@@ -1,0 +1,215 @@
+// E10 — Analytics substrate performance (tutorial §4: "semantic search
+// and analytics over entities and relations"). google-benchmark micro-
+// benchmarks over the triple store (index vs full scan), the join
+// engine (selectivity reordering on/off) and the LSM store (Bloom
+// filters on/off), i.e. the design-choice ablations of DESIGN.md §4.
+
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "query/engine.h"
+#include "rdf/triple_store.h"
+#include "storage/kv_store.h"
+#include "storage/triple_codec.h"
+#include "util/random.h"
+
+using namespace kb;
+
+namespace {
+
+constexpr size_t kEntities = 2000;
+constexpr size_t kTriples = 100000;
+
+/// One shared synthetic graph: (s, p, o) with 16 predicates.
+rdf::TripleStore* BuildStore() {
+  auto* store = new rdf::TripleStore();
+  Rng rng(33);
+  std::vector<rdf::TermId> entities, predicates;
+  for (size_t i = 0; i < kEntities; ++i) {
+    entities.push_back(store->dict().Intern(
+        rdf::Term::Iri("e" + std::to_string(i))));
+  }
+  for (size_t i = 0; i < 16; ++i) {
+    predicates.push_back(store->dict().Intern(
+        rdf::Term::Iri("p" + std::to_string(i))));
+  }
+  for (size_t i = 0; i < kTriples; ++i) {
+    store->Add(rdf::Triple(rng.Choice(entities), rng.Choice(predicates),
+                           rng.Choice(entities)));
+  }
+  store->EnsureIndexed();
+  return store;
+}
+
+rdf::TripleStore* g_store = BuildStore();
+
+void BM_TriplePattern_Indexed(benchmark::State& state) {
+  Rng rng(1);
+  rdf::TermId subject = g_store->dict().Lookup(rdf::Term::Iri("e42"));
+  for (auto _ : state) {
+    rdf::TriplePattern pattern;
+    pattern.s = subject;
+    benchmark::DoNotOptimize(g_store->Match(pattern));
+  }
+}
+BENCHMARK(BM_TriplePattern_Indexed);
+
+void BM_TriplePattern_FullScan(benchmark::State& state) {
+  rdf::TermId subject = g_store->dict().Lookup(rdf::Term::Iri("e42"));
+  for (auto _ : state) {
+    rdf::TriplePattern pattern;
+    pattern.s = subject;
+    benchmark::DoNotOptimize(g_store->MatchFullScan(pattern));
+  }
+}
+BENCHMARK(BM_TriplePattern_FullScan);
+
+query::SelectQuery MakeJoinQuery(bool selective_last) {
+  // ?x p0 ?y . ?y p1 ?z . ?x p2 e7  — the bound pattern placed first
+  // or last in written order.
+  auto var = [](const char* v) { return query::QueryTerm::Var(v); };
+  auto bound = [&](const std::string& iri) {
+    return query::QueryTerm::Bound(
+        g_store->dict().Lookup(rdf::Term::Iri(iri)));
+  };
+  query::SelectQuery q;
+  query::QueryPattern p1{var("x"), bound("p0"), var("y")};
+  query::QueryPattern p2{var("y"), bound("p1"), var("z")};
+  query::QueryPattern p3{var("x"), bound("p2"), bound("e7")};
+  if (selective_last) {
+    q.where = {p1, p2, p3};
+  } else {
+    q.where = {p3, p1, p2};
+  }
+  return q;
+}
+
+void BM_Join3_Reordered(benchmark::State& state) {
+  query::QueryEngine engine(g_store);
+  query::SelectQuery q = MakeJoinQuery(/*selective_last=*/true);
+  query::ExecutionOptions options;  // reordering on
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Execute(q, options));
+  }
+}
+BENCHMARK(BM_Join3_Reordered);
+
+void BM_Join3_WrittenOrder(benchmark::State& state) {
+  query::QueryEngine engine(g_store);
+  query::SelectQuery q = MakeJoinQuery(/*selective_last=*/true);
+  query::ExecutionOptions options;
+  options.reorder_patterns = false;  // executes the bad written order
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Execute(q, options));
+  }
+}
+BENCHMARK(BM_Join3_WrittenOrder);
+
+// ---- LSM store ----------------------------------------------------
+
+std::string TempDbDir(const std::string& tag) {
+  std::string path = (std::filesystem::temp_directory_path() /
+                      ("kbforge_bench_" + tag))
+                         .string();
+  std::filesystem::remove_all(path);
+  return path;
+}
+
+void BM_LsmFill(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::string dir = TempDbDir("fill");
+    storage::StoreOptions options;
+    options.use_wal = state.range(0) != 0;
+    auto store = storage::KVStore::Open(options, dir);
+    state.ResumeTiming();
+    for (int i = 0; i < 20000; ++i) {
+      rdf::Triple t(i, i % 16, i * 7 % 2048);
+      (*store)
+          ->Put(storage::EncodeTripleKey(storage::TripleOrder::kSpo, t),
+                "v")
+          .ok();
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 20000);
+}
+BENCHMARK(BM_LsmFill)->Arg(0)->Arg(1)->ArgName("wal");
+
+struct LsmFixture {
+  std::unique_ptr<storage::KVStore> with_bloom;
+  std::unique_ptr<storage::KVStore> without_bloom;
+  LsmFixture() {
+    auto build = [](bool bloom) {
+      std::string dir = TempDbDir(bloom ? "bloom" : "nobloom");
+      storage::StoreOptions options;
+      options.use_wal = false;
+      options.l0_compaction_trigger = 1000;  // keep many tables
+      options.memtable_flush_bytes = 64 << 10;
+      if (!bloom) options.table.bloom_bits_per_key = 0;
+      auto store = storage::KVStore::Open(options, dir);
+      Rng rng(9);
+      for (int i = 0; i < 50000; ++i) {
+        (*store)->Put("key" + std::to_string(i), "v").ok();
+      }
+      (*store)->Flush().ok();
+      return std::move(*store);
+    };
+    with_bloom = build(true);
+    without_bloom = build(false);
+  }
+};
+
+LsmFixture* g_lsm = new LsmFixture();
+
+void BM_LsmNegativeGet_Bloom(benchmark::State& state) {
+  int i = 0;
+  std::string value;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        g_lsm->with_bloom->Get("absent" + std::to_string(i++ % 10000),
+                               &value));
+  }
+  state.counters["bloom_skips"] = static_cast<double>(
+      g_lsm->with_bloom->stats().bloom_skips);
+}
+BENCHMARK(BM_LsmNegativeGet_Bloom);
+
+void BM_LsmNegativeGet_NoBloom(benchmark::State& state) {
+  int i = 0;
+  std::string value;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        g_lsm->without_bloom->Get("absent" + std::to_string(i++ % 10000),
+                                  &value));
+  }
+}
+BENCHMARK(BM_LsmNegativeGet_NoBloom);
+
+void BM_LsmPointGet(benchmark::State& state) {
+  int i = 0;
+  std::string value;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        g_lsm->with_bloom->Get("key" + std::to_string(i++ % 50000),
+                               &value));
+  }
+}
+BENCHMARK(BM_LsmPointGet);
+
+void BM_LsmScan(benchmark::State& state) {
+  for (auto _ : state) {
+    size_t n = 0;
+    g_lsm->with_bloom->Scan(Slice("key1"), Slice("key2"),
+                            [&n](const Slice&, const Slice&) {
+                              ++n;
+                              return true;
+                            });
+    benchmark::DoNotOptimize(n);
+  }
+}
+BENCHMARK(BM_LsmScan);
+
+}  // namespace
+
+BENCHMARK_MAIN();

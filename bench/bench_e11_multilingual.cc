@@ -1,0 +1,120 @@
+// E11 — Multilingual knowledge and interlinked KBs (tutorial §2/§3):
+// harvesting multilingual labels from interwiki links and aligning
+// KBs across languages. We sweep interwiki coverage (seed richness)
+// and languages with different string drift.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "corpus/generator.h"
+#include "multilingual/aligner.h"
+#include "multilingual/interwiki.h"
+#include "util/random.h"
+
+using namespace kb;
+
+namespace {
+
+struct AlignSetup {
+  multilingual::KbView left;
+  multilingual::KbView right;
+  std::vector<uint32_t> gold;
+};
+
+AlignSetup MakeSetup(const corpus::World& world, const std::string& lang) {
+  AlignSetup setup;
+  size_t n = world.entities().size();
+  setup.left.labels.resize(n);
+  setup.left.neighbors.resize(n);
+  setup.right.labels.resize(n);
+  setup.right.neighbors.resize(n);
+  setup.gold.resize(n);
+  std::vector<uint32_t> perm(n);
+  for (uint32_t i = 0; i < n; ++i) perm[i] = i;
+  Rng rng(5);
+  rng.Shuffle(&perm);
+  for (uint32_t i = 0; i < n; ++i) {
+    setup.left.labels[i] = world.entity(i).labels.at("en");
+    setup.right.labels[perm[i]] = world.entity(i).labels.at(lang);
+    setup.gold[i] = perm[i];
+  }
+  for (const corpus::GoldFact& f : world.facts()) {
+    if (corpus::GetRelationInfo(f.relation).literal_object) continue;
+    setup.left.neighbors[f.subject].push_back(f.object);
+    setup.left.neighbors[f.object].push_back(f.subject);
+    setup.right.neighbors[perm[f.subject]].push_back(perm[f.object]);
+    setup.right.neighbors[perm[f.object]].push_back(perm[f.subject]);
+  }
+  return setup;
+}
+
+}  // namespace
+
+int main() {
+  kbbench::Banner(
+      "E11: multilingual labels and cross-lingual KB alignment",
+      "multilingual names are harvested from interwiki links; KBs are "
+      "interlinked at the entity level across languages using string + "
+      "structure signals",
+      "interwiki harvest precision ~100% at generator-set coverage; "
+      "alignment recovers most links even from few seeds, degrading "
+      "gracefully as string drift grows and seeds shrink");
+
+  corpus::WorldOptions world_options;
+  world_options.seed = 19;
+  world_options.num_persons = 300;
+  corpus::World world = corpus::World::Generate(world_options);
+
+  // --- Interwiki harvest at different coverages.
+  kbbench::Row("%-12s %10s %12s %10s", "coverage", "labels",
+               "precision", "recall");
+  for (double coverage : {0.3, 0.7, 1.0}) {
+    corpus::CorpusOptions corpus_options;
+    corpus_options.seed = 20;
+    corpus_options.news_docs = 0;
+    corpus_options.web_docs = 0;
+    corpus_options.interwiki_coverage = coverage;
+    auto docs = corpus::GenerateDocuments(world, corpus_options);
+    auto labels = multilingual::HarvestInterwikiLabels(docs);
+    size_t correct = 0;
+    for (const auto& l : labels) {
+      const corpus::Entity& e = world.entity(l.entity);
+      auto it = e.labels.find(l.lang);
+      if (it != e.labels.end() && it->second == l.label) ++correct;
+    }
+    size_t possible = world.entities().size() * 2;  // de + fr
+    kbbench::Row("%-12.1f %10zu %11.1f%% %9.1f%%", coverage, labels.size(),
+                 labels.empty() ? 0.0 : 100.0 * correct / labels.size(),
+                 100.0 * labels.size() / possible);
+  }
+
+  // --- Alignment: seed fraction x language drift.
+  printf("\n");
+  kbbench::Row("%-6s %-12s %10s %12s %10s", "lang", "seed-frac",
+               "aligned", "precision", "coverage");
+  for (const char* lang : {"de", "fr"}) {
+    AlignSetup setup = MakeSetup(world, lang);
+    for (int seed_stride : {5, 10, 50}) {
+      std::vector<multilingual::Alignment> seeds;
+      for (uint32_t i = 0; i < setup.left.labels.size();
+           i += seed_stride) {
+        seeds.push_back({i, setup.gold[i], 1.0});
+      }
+      auto alignments = multilingual::AlignViews(
+          setup.left, setup.right, seeds, multilingual::AlignerOptions());
+      size_t correct = 0;
+      for (const auto& a : alignments) {
+        if (setup.gold[a.left] == a.right) ++correct;
+      }
+      double denominator = static_cast<double>(setup.left.labels.size() -
+                                               seeds.size());
+      kbbench::Row("%-6s 1/%-11d %10zu %11.1f%% %9.1f%%", lang,
+                   seed_stride, alignments.size(),
+                   alignments.empty()
+                       ? 0.0
+                       : 100.0 * correct / alignments.size(),
+                   100.0 * alignments.size() / denominator);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,89 @@
+// E1 — Automatic KB construction at scale (tutorial §1: automatically
+// constructed KBs "contain millions of entities and billions of facts"
+// with high accuracy; YAGO reports ~95%). We sweep the world size and
+// report entity/class/fact counts, construction throughput, and
+// accuracy, with consistency reasoning on and off.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/harvester.h"
+#include "extraction/evaluation.h"
+
+using namespace kb;
+
+namespace {
+
+struct ScalePoint {
+  const char* label;
+  size_t persons;
+  size_t cities;
+  size_t companies;
+  size_t news;
+};
+
+void RunPoint(const ScalePoint& point, bool reasoning,
+              bool gold_mentions = true) {
+  corpus::WorldOptions world_options;
+  world_options.seed = 1;
+  world_options.num_persons = point.persons;
+  world_options.num_cities = point.cities;
+  world_options.num_companies = point.companies;
+  world_options.num_bands = point.persons / 8;
+  world_options.num_albums = point.persons / 4;
+  world_options.num_films = point.persons / 5;
+  world_options.num_universities = point.cities / 3;
+  corpus::CorpusOptions corpus_options;
+  corpus_options.seed = 2;
+  corpus_options.news_docs = point.news;
+
+  kbbench::Timer total;
+  corpus::Corpus corpus = corpus::BuildCorpus(world_options, corpus_options);
+  core::HarvestOptions options;
+  options.use_reasoning = reasoning;
+  options.use_gold_mentions = gold_mentions;
+  core::Harvester harvester(options);
+  core::HarvestResult result = harvester.Harvest(corpus);
+  double seconds = total.seconds();
+
+  auto base = extraction::ExpressedFacts(corpus.docs);
+  PrecisionRecall pr =
+      extraction::EvaluateFacts(corpus.world, result.accepted, base);
+  kbbench::Row("%-6s %-9s %-8s %8zu %8zu %8zu %8zu %9.1f%% %8.1f%% %8.2fs",
+               point.label, reasoning ? "on" : "off",
+               gold_mentions ? "gold" : "detected",
+               corpus.world.entities().size(), result.kb.NumEntities(),
+               result.kb.NumClasses(), result.kb.NumTriples(),
+               100 * pr.precision(), 100 * pr.recall(), seconds);
+}
+
+}  // namespace
+
+int main() {
+  kbbench::Banner(
+      "E1: end-to-end KB construction (scale sweep)",
+      "automatic KB construction yields large, accurate KBs (YAGO ~95% "
+      "accuracy); counts grow linearly with source size",
+      "accuracy >=90% with reasoning on, and higher than with reasoning "
+      "off; triples scale ~linearly; runtime stays laptop-scale");
+
+  kbbench::Row("%-6s %-9s %-8s %8s %8s %8s %8s %10s %9s %9s", "scale",
+               "reasoning", "mentions", "gold-ent", "kb-ent", "classes",
+               "triples", "precision", "recall", "time");
+  ScalePoint points[] = {
+      {"S", 100, 25, 25, 100},
+      {"M", 300, 60, 80, 250},
+      {"L", 700, 120, 160, 500},
+  };
+  for (const ScalePoint& point : points) {
+    RunPoint(point, true);
+  }
+  // Reasoning ablation at the middle scale.
+  RunPoint(points[1], false);
+  // End-to-end realism ablation: detected + disambiguated mentions
+  // instead of gold spans (dictionary NER + joint NED feeding IE).
+  RunPoint(points[1], true, /*gold_mentions=*/false);
+  printf("\n(reasoning off keeps corrupted assertions: precision drops; "
+         "the 'off' row\n sits below every 'on' row, the SOFIE shape)\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// E5 — Scalability of knowledge harvesting (tutorial §1/§3: "scalable
+// distributed algorithms for harvesting knowledge", map-reduce-style
+// computation). We shard the annotation+extraction map phase across a
+// worker pool and measure throughput and speedup vs. worker count.
+
+#include <cstdio>
+#include <thread>
+
+#include "bench_util.h"
+#include "core/harvester.h"
+
+using namespace kb;
+
+int main() {
+  kbbench::Banner(
+      "E5: map-reduce-shaped harvesting scalability",
+      "big-data techniques (sharded map-reduce processing) let "
+      "knowledge harvesting scale",
+      "near-linear speedup of the document-processing map phase until "
+      "the physical core count; identical output at every worker count");
+
+  corpus::WorldOptions world_options;
+  world_options.seed = 9;
+  world_options.num_persons = 500;
+  world_options.num_cities = 100;
+  world_options.num_companies = 120;
+  corpus::CorpusOptions corpus_options;
+  corpus_options.seed = 10;
+  corpus_options.news_docs = 600;
+  corpus_options.web_docs = 150;
+  corpus::Corpus corpus = corpus::BuildCorpus(world_options, corpus_options);
+  printf("corpus: %zu documents; host reports %u hardware threads\n\n",
+         corpus.docs.size(), std::thread::hardware_concurrency());
+
+  kbbench::Row("%-8s %12s %12s %10s %10s %9s", "threads", "annotate-ms",
+               "docs/sec", "speedup", "facts", "triples");
+  double baseline_ms = 0;
+  size_t reference_facts = 0;
+  for (size_t threads : {1, 2, 4, 8}) {
+    core::HarvestOptions options;
+    options.threads = threads;
+    // Keep the measured phase the parallel one (sequential stages off
+    // would change outputs; keep full pipeline, report map-phase time).
+    core::Harvester harvester(options);
+    core::HarvestResult result = harvester.Harvest(corpus);
+    if (threads == 1) {
+      baseline_ms = result.stats.annotate_ms;
+      reference_facts = result.stats.accepted_facts;
+    }
+    double docs_per_sec = 1000.0 * static_cast<double>(corpus.docs.size()) /
+                          result.stats.annotate_ms;
+    kbbench::Row("%-8zu %12.1f %12.0f %9.2fx %10zu %9zu", threads,
+                 result.stats.annotate_ms, docs_per_sec,
+                 baseline_ms / result.stats.annotate_ms,
+                 result.stats.accepted_facts, result.kb.NumTriples());
+    if (result.stats.accepted_facts != reference_facts) {
+      printf("WARNING: output changed with thread count!\n");
+    }
+  }
+  printf("\n(sharding is deterministic: every worker count yields the "
+         "same KB)\n");
+  return 0;
+}

@@ -1,0 +1,101 @@
+// E6 — Temporal knowledge (tutorial §3): extracting temporal
+// expressions and inferring the timespans during which facts hold. We
+// measure timex normalization accuracy per expression kind and the
+// begin/end-year accuracy of scoped facts against the gold spans.
+
+#include <cstdio>
+#include <map>
+
+#include "bench_util.h"
+#include "corpus/generator.h"
+#include "extraction/pattern_extractor.h"
+#include "temporal/scoping.h"
+
+using namespace kb;
+
+int main() {
+  kbbench::Banner(
+      "E6: temporal expression extraction and fact scoping",
+      "temporal expressions can be extracted and normalized, and fact "
+      "validity timespans inferred from them",
+      "explicit dates normalize near-perfectly; interval-bearing "
+      "sentences give begin/end years with high accuracy; aggregation "
+      "across redundant mentions narrows spans");
+
+  corpus::WorldOptions world_options;
+  world_options.seed = 11;
+  world_options.num_persons = 300;
+  corpus::CorpusOptions corpus_options;
+  corpus_options.seed = 12;
+  corpus_options.news_docs = 300;
+  corpus_options.fact_error_rate = 0.0;
+  corpus::Corpus corpus = corpus::BuildCorpus(world_options, corpus_options);
+  nlp::PosTagger tagger;
+  auto sentences =
+      extraction::AnnotateDocuments(corpus.world, corpus.docs, tagger);
+
+  // Timex inventory across the corpus.
+  std::map<temporal::TimexKind, size_t> kind_counts;
+  for (const auto& as : sentences) {
+    for (const temporal::Timex& t :
+         temporal::ExtractTimexes(as.sentence)) {
+      kind_counts[t.kind]++;
+    }
+  }
+  kbbench::Row("%-14s %8s", "timex kind", "count");
+  const char* kind_names[] = {"date", "interval", "since", "until"};
+  for (const auto& [kind, count] : kind_counts) {
+    kbbench::Row("%-14s %8zu", kind_names[static_cast<int>(kind)], count);
+  }
+
+  // Scoping accuracy per temporal relation.
+  extraction::PatternExtractor patterns(extraction::DefaultPatterns());
+  temporal::TemporalScoper scoper(&patterns);
+  auto facts = scoper.ScopeSentences(sentences);
+
+  printf("\n");
+  kbbench::Row("%-12s %8s %10s %12s %12s", "relation", "scoped",
+               "begin-acc", "end-acc", "spanless");
+  for (corpus::Relation relation :
+       {corpus::Relation::kMayorOf, corpus::Relation::kWorksFor,
+        corpus::Relation::kMarriedTo}) {
+    size_t scoped = 0, begin_ok = 0, end_checked = 0, end_ok = 0,
+           spanless = 0;
+    for (const auto& f : facts) {
+      if (f.relation != relation) continue;
+      const corpus::GoldFact* gold = nullptr;
+      for (const corpus::GoldFact& g : corpus.world.facts()) {
+        if (g.relation == relation && g.subject == f.subject &&
+            g.object == f.object) {
+          gold = &g;
+          break;
+        }
+      }
+      if (gold == nullptr) continue;
+      if (!f.span.valid()) {
+        ++spanless;
+        continue;
+      }
+      ++scoped;
+      if (f.span.begin.valid() && gold->span.begin.valid() &&
+          f.span.begin.year == gold->span.begin.year) {
+        ++begin_ok;
+      }
+      if (gold->span.end.valid()) {
+        ++end_checked;
+        if (f.span.end.valid() &&
+            f.span.end.year == gold->span.end.year) {
+          ++end_ok;
+        }
+      }
+    }
+    kbbench::Row("%-12s %8zu %9.1f%% %11.1f%% %12zu",
+                 corpus::GetRelationInfo(relation).name.data(), scoped,
+                 scoped == 0 ? 0.0 : 100.0 * begin_ok / scoped,
+                 end_checked == 0 ? 0.0 : 100.0 * end_ok / end_checked,
+                 spanless);
+  }
+  printf("\n(facts whose sentences never carried a timex stay spanless — "
+         "the honest\n remainder real systems also leave unscoped)\n");
+  return 0;
+}

@@ -1,0 +1,143 @@
+// E7 — Named entity disambiguation (tutorial §4): "state-of-the-art
+// NED methods combine context similarity ... with coherence measures
+// for two or more entities co-occurring together" (the AIDA recipe).
+// We ablate the signal stack and split accuracy by mention ambiguity.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "corpus/generator.h"
+#include "ned/alias_index.h"
+#include "ned/coherence.h"
+#include "ned/context_model.h"
+#include "ned/disambiguator.h"
+
+using namespace kb;
+
+namespace {
+
+struct NedScores {
+  double all = 0;
+  double ambiguous = 0;
+  size_t total = 0;
+  size_t ambiguous_total = 0;
+};
+
+NedScores Score(const corpus::Corpus& corpus, const ned::AliasIndex& aliases,
+                const ned::ContextModel& context,
+                const ned::CoherenceModel& coherence, ned::NedMode mode) {
+  ned::NedOptions options;
+  options.mode = mode;
+  ned::Disambiguator disambiguator(&aliases, &context, &coherence, options);
+  size_t correct = 0, total = 0, amb_correct = 0, amb_total = 0;
+  for (const corpus::Document& doc : corpus.docs) {
+    if (doc.kind != corpus::DocKind::kNews) continue;
+    for (const ned::Disambiguation& d :
+         disambiguator.DisambiguateDocument(doc)) {
+      bool ok = d.predicted == doc.mentions[d.mention_index].entity;
+      ++total;
+      correct += ok;
+      if (d.num_candidates >= 2) {
+        ++amb_total;
+        amb_correct += ok;
+      }
+    }
+  }
+  NedScores scores;
+  scores.total = total;
+  scores.ambiguous_total = amb_total;
+  scores.all = total == 0 ? 0 : static_cast<double>(correct) / total;
+  scores.ambiguous =
+      amb_total == 0 ? 0 : static_cast<double>(amb_correct) / amb_total;
+  return scores;
+}
+
+}  // namespace
+
+int main() {
+  kbbench::Banner(
+      "E7: named entity disambiguation ablation",
+      "NED = context similarity + coherence of co-occurring entities; "
+      "each signal adds accuracy, with the largest gains on ambiguous "
+      "mentions (AIDA shape)",
+      "accuracy: prior < +context < +coherence; the gap widens on the "
+      "ambiguous-mention subset");
+
+  kbbench::Row("%-12s %-10s %10s %12s", "ambiguity", "mode", "accuracy",
+               "ambig-only");
+  for (double ambiguity : {0.2, 0.45, 0.7}) {
+    corpus::WorldOptions world_options;
+    world_options.seed = 13;
+    world_options.num_persons = 250;
+    world_options.surname_reuse = 0.55;
+    corpus::CorpusOptions corpus_options;
+    corpus_options.seed = 14;
+    corpus_options.news_docs = 250;
+    corpus_options.mention_ambiguity = ambiguity;
+    corpus::Corpus corpus =
+        corpus::BuildCorpus(world_options, corpus_options);
+    ned::AliasIndex aliases = ned::AliasIndex::Build(corpus.world);
+    ned::ContextModel context =
+        ned::ContextModel::Build(corpus.world, corpus.docs);
+    ned::CoherenceModel coherence =
+        ned::CoherenceModel::Build(corpus.world, corpus.docs);
+
+    const char* mode_names[] = {"prior", "+context", "+coherence"};
+    for (ned::NedMode mode : {ned::NedMode::kPrior, ned::NedMode::kContext,
+                              ned::NedMode::kCoherence}) {
+      NedScores s = Score(corpus, aliases, context, coherence, mode);
+      kbbench::Row("%-12.2f %-10s %9.1f%% %11.1f%%", ambiguity,
+                   mode_names[static_cast<int>(mode)], 100 * s.all,
+                   100 * s.ambiguous);
+    }
+    printf("\n");
+  }
+
+  // --- Emerging entities: hold persons out of the alias dictionary;
+  // their mentions must map to NIL, known entities must not.
+  {
+    corpus::WorldOptions world_options;
+    world_options.seed = 13;
+    world_options.num_persons = 250;
+    corpus::CorpusOptions corpus_options;
+    corpus_options.seed = 14;
+    corpus_options.news_docs = 250;
+    corpus::Corpus corpus =
+        corpus::BuildCorpus(world_options, corpus_options);
+    std::set<uint32_t> holdout;
+    const auto& persons = corpus.world.ByKind(corpus::EntityKind::kPerson);
+    for (size_t i = 0; i < persons.size(); i += 10) {
+      holdout.insert(persons[i]);  // 10% emerging
+    }
+    ned::AliasIndex aliases = ned::AliasIndex::Build(corpus.world,
+                                                     &holdout);
+    ned::ContextModel context =
+        ned::ContextModel::Build(corpus.world, corpus.docs);
+    ned::CoherenceModel coherence =
+        ned::CoherenceModel::Build(corpus.world, corpus.docs);
+    ned::NedOptions options;
+    ned::Disambiguator d(&aliases, &context, &coherence, options);
+    size_t nil_correct = 0, nil_gold = 0, nil_predicted = 0;
+    for (const corpus::Document& doc : corpus.docs) {
+      if (doc.kind != corpus::DocKind::kNews) continue;
+      for (const ned::Disambiguation& dec : d.DisambiguateDocument(doc)) {
+        bool gold_nil =
+            holdout.count(doc.mentions[dec.mention_index].entity) > 0;
+        bool predicted_nil = dec.predicted == UINT32_MAX;
+        nil_gold += gold_nil;
+        nil_predicted += predicted_nil;
+        nil_correct += gold_nil && predicted_nil;
+      }
+    }
+    printf("emerging entities (10%% of persons unknown to the KB):\n");
+    printf("  NIL precision %.1f%%, NIL recall %.1f%% over %zu "
+           "out-of-KB mentions\n",
+           nil_predicted == 0 ? 0.0 : 100.0 * nil_correct / nil_predicted,
+           nil_gold == 0 ? 0.0 : 100.0 * nil_correct / nil_gold, nil_gold);
+    printf("  (mentions whose surface is exclusively held-out map to "
+           "NIL; shared\n   surfaces like bare surnames fall back to a "
+           "known namesake — the\n   coverage challenge the tutorial "
+           "names for NED)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,93 @@
+// E8 — Entity linkage (tutorial §4): matching two knowledge resources'
+// records into owl:sameAs links, "covering statistical learning
+// approaches and graph algorithms", with blocking as the scalability
+// lever. We compare threshold / logistic / graph matchers and block-
+// ing strategies on two noisy copies of the gold world.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "corpus/world.h"
+#include "linkage/blocking.h"
+#include "linkage/graph_linker.h"
+#include "linkage/matcher.h"
+#include "linkage/record.h"
+
+using namespace kb;
+
+int main() {
+  kbbench::Banner(
+      "E8: entity linkage across knowledge resources",
+      "entity linkage via statistical learning and graph algorithms; "
+      "blocking cuts candidate pairs by orders of magnitude at little "
+      "recall cost",
+      "F1: threshold < logistic < graph-refined; blocking reduction "
+      ">= 10x with pairs-completeness near 1");
+
+  corpus::WorldOptions world_options;
+  world_options.seed = 15;
+  world_options.num_persons = 400;
+  world_options.num_companies = 100;
+  corpus::World world = corpus::World::Generate(world_options);
+  linkage::NoisyCopyOptions a_options;
+  a_options.seed = 21;
+  linkage::NoisyCopyOptions b_options;
+  b_options.seed = 22;
+  auto a = linkage::MakeNoisyRecords(world, a_options);
+  auto b = linkage::MakeNoisyRecords(world, b_options);
+  printf("resources: %zu and %zu records (noisy copies of one world)\n\n",
+         a.size(), b.size());
+
+  // --- Blocking comparison.
+  kbbench::Row("%-22s %10s %11s %14s %10s", "blocking", "pairs",
+               "reduction", "completeness", "time-ms");
+  std::vector<linkage::CandidatePair> standard_pairs;
+  size_t cross = a.size() * b.size();
+  for (auto strategy : {linkage::BlockingStrategy::kNone,
+                        linkage::BlockingStrategy::kStandard,
+                        linkage::BlockingStrategy::kSortedNeighborhood}) {
+    linkage::BlockingOptions options;
+    options.strategy = strategy;
+    kbbench::Timer timer;
+    auto pairs = linkage::GenerateCandidates(a, b, options);
+    double ms = timer.ms();
+    double completeness = linkage::PairsCompleteness(a, b, pairs);
+    const char* names[] = {"cross product", "standard key",
+                           "sorted neighborhood"};
+    kbbench::Row("%-22s %10zu %10.1fx %13.1f%% %10.2f",
+                 names[static_cast<int>(strategy)], pairs.size(),
+                 static_cast<double>(cross) /
+                     static_cast<double>(pairs.size()),
+                 100 * completeness, ms);
+    if (strategy == linkage::BlockingStrategy::kStandard) {
+      standard_pairs = std::move(pairs);
+    }
+  }
+
+  // --- Matcher comparison on the standard-blocked candidates.
+  printf("\n");
+  kbbench::Row("%-22s %8s %11s %9s %8s", "matcher", "links", "precision",
+               "recall", "F1");
+  auto report = [&](const char* label,
+                    const std::vector<linkage::Match>& matches) {
+    auto q = linkage::EvaluateMatches(a, b, matches);
+    kbbench::Row("%-22s %8zu %10.1f%% %8.1f%% %8.3f", label,
+                 matches.size(), 100 * q.precision, 100 * q.recall, q.f1);
+  };
+  for (double threshold : {0.85, 0.92}) {
+    char label[64];
+    snprintf(label, sizeof(label), "JW threshold %.2f", threshold);
+    report(label, linkage::ThresholdMatch(a, b, standard_pairs, threshold));
+  }
+  linkage::LogisticMatcher matcher;
+  matcher.Train(a, b, standard_pairs);
+  report("logistic regression",
+         matcher.MatchPairs(a, b, standard_pairs, 0.5));
+  linkage::GraphLinker linker;
+  report("graph (1-1+propagate)",
+         linker.Link(a, b, standard_pairs, matcher));
+  printf("\n(the graph algorithm inherits the logistic scores, then "
+         "one-to-one\n assignment and neighbor propagation prune "
+         "spurious links)\n");
+  return 0;
+}

@@ -1,0 +1,130 @@
+// E9 — Commonsense knowledge (tutorial §3): properties of concepts
+// ("apples can be red, green, juicy ... but not fast or funny"),
+// partOf/hasShape assertions, and commonsense rules. We sweep the
+// typicality threshold for property mining and check that AMIE-style
+// rule mining recovers the rules planted in the world.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "commonsense/property_miner.h"
+#include "commonsense/rule_application.h"
+#include "commonsense/rule_miner.h"
+#include "corpus/generator.h"
+
+using namespace kb;
+
+int main() {
+  kbbench::Banner(
+      "E9: commonsense properties and rules",
+      "commonsense (concept properties, partOf, shapes, rules) can be "
+      "mined from text/KB statistics; thresholding separates truth from "
+      "noise; planted rules are recovered with calibrated confidence",
+      "precision rises with the typicality threshold while yield falls; "
+      "both planted rules appear near the top of the mined-rule list");
+
+  corpus::WorldOptions world_options;
+  world_options.seed = 17;
+  world_options.num_persons = 200;
+  corpus::CorpusOptions corpus_options;
+  corpus_options.seed = 18;
+  corpus_options.web_docs = 500;
+  corpus::Corpus corpus = corpus::BuildCorpus(world_options, corpus_options);
+  nlp::PosTagger tagger;
+
+  commonsense::PropertyMiner miner(&tagger);
+  auto mined = miner.Mine(corpus.docs);
+  printf("mined %zu distinct assertions from %zu web documents\n\n",
+         mined.size(), corpus_options.web_docs);
+
+  kbbench::Row("%-14s %8s %10s %12s", "typicality>=", "kept",
+               "precision", "truth-recall");
+  size_t gold_truthful = 0;
+  for (const auto& g : corpus.world.commonsense()) {
+    if (g.truthful) ++gold_truthful;
+  }
+  for (double threshold : {0.0, 0.3, 0.5, 0.7, 1.0}) {
+    size_t kept = 0, correct = 0, recalled = 0;
+    for (const auto& a : mined) {
+      if (a.typicality < threshold) continue;
+      ++kept;
+      for (const auto& g : corpus.world.commonsense()) {
+        if (g.noun == a.concept_noun && g.relation == a.relation &&
+            g.value == a.value) {
+          if (g.truthful) {
+            ++correct;
+            ++recalled;
+          }
+          break;
+        }
+      }
+    }
+    kbbench::Row("%-14.1f %8zu %9.1f%% %11.1f%%", threshold, kept,
+                 kept == 0 ? 0.0 : 100.0 * correct / kept,
+                 100.0 * recalled / gold_truthful);
+  }
+
+  // Rule mining over the gold facts (the KB the pipeline would build).
+  std::vector<extraction::ExtractedFact> facts;
+  for (const corpus::GoldFact& f : corpus.world.facts()) {
+    if (corpus::GetRelationInfo(f.relation).literal_object) continue;
+    extraction::ExtractedFact e;
+    e.subject = f.subject;
+    e.relation = f.relation;
+    e.object = f.object;
+    facts.push_back(e);
+  }
+  commonsense::RuleMinerOptions rule_options;
+  rule_options.min_support = 5;
+  rule_options.min_confidence = 0.4;
+  auto rules = commonsense::MineRules(facts, rule_options);
+  printf("\nmined rules (support>=%d, confidence>=%.1f):\n",
+         rule_options.min_support, rule_options.min_confidence);
+  kbbench::Row("%-55s %8s %11s %7s", "rule", "support", "confidence",
+               "gold?");
+  for (const auto& rule : rules) {
+    bool planted = false;
+    for (const corpus::GoldRule& gold : corpus.world.gold_rules()) {
+      if (gold.head == rule.head && gold.body1 == rule.body1 &&
+          gold.body2 == rule.body2) {
+        planted = true;
+      }
+    }
+    kbbench::Row("%-55s %8d %10.1f%% %7s", rule.ToString().c_str(),
+                 rule.support, 100 * rule.confidence,
+                 planted ? "YES" : "");
+  }
+
+  // Rule-based KB completion: drop a third of citizenOf, re-derive.
+  std::vector<extraction::ExtractedFact> partial, dropped;
+  int counter = 0;
+  for (const auto& f : facts) {
+    if (f.relation == corpus::Relation::kCitizenOf && ++counter % 3 == 0) {
+      dropped.push_back(f);
+    } else {
+      partial.push_back(f);
+    }
+  }
+  auto partial_rules = commonsense::MineRules(partial, rule_options);
+  auto completion = commonsense::ApplyRules(partial, partial_rules);
+  size_t recovered = 0, correct = 0;
+  for (const auto& inf : completion.inferred) {
+    bool is_gold = false;
+    for (const auto& g : facts) {
+      if (inf.SameStatement(g)) is_gold = true;
+    }
+    if (is_gold) ++correct;
+    for (const auto& g : dropped) {
+      if (inf.SameStatement(g)) ++recovered;
+    }
+  }
+  printf("\nrule-based completion: dropped %zu citizenOf facts; rules "
+         "inferred %zu new facts,\n  %.1f%% of inferences correct, "
+         "recovering %.1f%% of the dropped facts\n",
+         dropped.size(), completion.inferred.size(),
+         completion.inferred.empty()
+             ? 0.0
+             : 100.0 * correct / completion.inferred.size(),
+         dropped.empty() ? 0.0 : 100.0 * recovered / dropped.size());
+  return 0;
+}

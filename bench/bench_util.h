@@ -1,0 +1,46 @@
+#ifndef KBFORGE_BENCH_BENCH_UTIL_H_
+#define KBFORGE_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+namespace kbbench {
+
+/// Prints the experiment banner (id, claim, expected shape).
+inline void Banner(const char* id, const char* claim,
+                   const char* expected) {
+  printf("================================================================\n");
+  printf("%s\n", id);
+  printf("claim:    %s\n", claim);
+  printf("expected: %s\n", expected);
+  printf("================================================================\n");
+}
+
+/// printf-style row with aligned output left to the caller's format.
+inline void Row(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  vprintf(fmt, args);
+  va_end(args);
+  printf("\n");
+}
+
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  double ms() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+  double seconds() const { return ms() / 1000.0; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace kbbench
+
+#endif  // KBFORGE_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,101 @@
+// Entity tracking: the tutorial's motivating analytics example —
+// "track and compare two entities in social media over an extended
+// timespan (e.g., the Apple iPhone vs Samsung Galaxy families)".
+//
+// Here a stream of news/web documents is disambiguated against the
+// harvested KB with full NED (prior + context + coherence); we then
+// compare the mention share of two rival companies over stream time.
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "corpus/generator.h"
+#include "ned/alias_index.h"
+#include "ned/coherence.h"
+#include "ned/context_model.h"
+#include "ned/disambiguator.h"
+
+int main() {
+  using namespace kb;
+
+  corpus::WorldOptions world_options;
+  world_options.seed = 99;
+  world_options.num_companies = 40;
+  corpus::CorpusOptions corpus_options;
+  corpus_options.seed = 17;
+  corpus_options.news_docs = 400;  // the "social media stream"
+  corpus::Corpus corpus = corpus::BuildCorpus(world_options, corpus_options);
+
+  // NED models built from the knowledge base side (articles).
+  ned::AliasIndex aliases = ned::AliasIndex::Build(corpus.world);
+  ned::ContextModel context =
+      ned::ContextModel::Build(corpus.world, corpus.docs);
+  ned::CoherenceModel coherence =
+      ned::CoherenceModel::Build(corpus.world, corpus.docs);
+  ned::Disambiguator disambiguator(&aliases, &context, &coherence,
+                                   ned::NedOptions());
+
+  // Pick the two most-mentioned companies as our rivals.
+  std::map<uint32_t, size_t> company_mentions;
+  for (const corpus::Document& doc : corpus.docs) {
+    if (doc.kind != corpus::DocKind::kNews) continue;
+    for (const corpus::Mention& m : doc.mentions) {
+      if (corpus.world.entity(m.entity).kind ==
+          corpus::EntityKind::kCompany) {
+        company_mentions[m.entity]++;
+      }
+    }
+  }
+  std::vector<std::pair<size_t, uint32_t>> ranked;
+  for (auto& [entity, count] : company_mentions) {
+    ranked.push_back({count, entity});
+  }
+  std::sort(ranked.rbegin(), ranked.rend());
+  if (ranked.size() < 2) {
+    printf("not enough company mentions generated\n");
+    return 1;
+  }
+  uint32_t rival_a = ranked[0].second;
+  uint32_t rival_b = ranked[1].second;
+  printf("tracking %s vs %s across %zu stream documents\n\n",
+         corpus.world.entity(rival_a).full_name.c_str(),
+         corpus.world.entity(rival_b).full_name.c_str(),
+         corpus_options.news_docs);
+
+  // Disambiguate the stream, bucket by stream position.
+  constexpr int kBuckets = 8;
+  size_t counts[kBuckets][2] = {};
+  size_t correct = 0, total = 0;
+  std::vector<const corpus::Document*> stream;
+  for (const corpus::Document& doc : corpus.docs) {
+    if (doc.kind == corpus::DocKind::kNews) stream.push_back(&doc);
+  }
+  for (size_t i = 0; i < stream.size(); ++i) {
+    const corpus::Document& doc = *stream[i];
+    int bucket = static_cast<int>(i * kBuckets / stream.size());
+    for (const ned::Disambiguation& d :
+         disambiguator.DisambiguateDocument(doc)) {
+      ++total;
+      if (d.predicted == doc.mentions[d.mention_index].entity) ++correct;
+      if (d.predicted == rival_a) counts[bucket][0]++;
+      if (d.predicted == rival_b) counts[bucket][1]++;
+    }
+  }
+
+  printf("%-8s %-10s %-10s\n", "epoch", "rival A", "rival B");
+  for (int b = 0; b < kBuckets; ++b) {
+    std::string bar_a(counts[b][0], '#');
+    std::string bar_b(counts[b][1], '*');
+    printf("%-8d %-10zu %-10zu  %s%s\n", b, counts[b][0], counts[b][1],
+           bar_a.c_str(), bar_b.c_str());
+  }
+  printf("\nNED accuracy on the stream: %.1f%% of %zu mentions\n",
+         100.0 * static_cast<double>(correct) / static_cast<double>(total),
+         total);
+  printf("(this is why 'knowledge about entities is a key asset': without\n"
+         " the KB the surface strings would conflate namesakes)\n");
+  return 0;
+}

@@ -1,0 +1,145 @@
+#include "commonsense/property_miner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "nlp/tokenizer.h"
+#include "util/string_util.h"
+
+namespace kb {
+namespace commonsense {
+
+namespace {
+
+bool IsShapeAdjective(const std::string& adj) {
+  static const std::set<std::string>* kShapes = new std::set<std::string>{
+      "round", "cylindrical", "square", "flat", "conical", "spherical"};
+  return kShapes->count(adj) > 0;
+}
+
+struct Key {
+  std::string concept_noun;
+  std::string relation;
+  std::string value;
+  bool operator<(const Key& o) const {
+    return std::tie(concept_noun, relation, value) <
+           std::tie(o.concept_noun, o.relation, o.value);
+  }
+};
+
+}  // namespace
+
+std::vector<MinedAssertion> PropertyMiner::Mine(
+    const std::vector<corpus::Document>& docs) const {
+  std::map<Key, int> counts;
+  std::map<std::string, int> concept_counts;
+  std::map<std::string, int> value_counts;
+  long long total = 0;
+
+  auto record = [&](const std::string& concept_noun,
+                    const std::string& relation, const std::string& value) {
+    counts[{concept_noun, relation, value}]++;
+    concept_counts[concept_noun]++;
+    value_counts[value]++;
+    ++total;
+  };
+
+  for (const corpus::Document& doc : docs) {
+    if (doc.kind != corpus::DocKind::kWeb) continue;
+    auto sentences = nlp::SplitSentences(doc.text);
+    for (auto& s : sentences) {
+      tagger_->Tag(&s.tokens);
+      const auto& t = s.tokens;
+      for (size_t i = 0; i + 2 < t.size(); ++i) {
+        // "<Plural> are ADJ" / "<Plural> can be ADJ"
+        if (LooksPlural(t[i].lower) &&
+            (t[i].pos == nlp::Pos::kNoun ||
+             t[i].pos == nlp::Pos::kProperNoun)) {
+          size_t adj_pos = 0;
+          if (t[i + 1].lower == "are") {
+            adj_pos = i + 2;
+          } else if (i + 3 < t.size() && t[i + 1].lower == "can" &&
+                     t[i + 2].lower == "be") {
+            adj_pos = i + 3;
+          }
+          if (adj_pos != 0 && adj_pos < t.size() &&
+              t[adj_pos].pos == nlp::Pos::kAdjective) {
+            record(Singularize(t[i].lower), "hasProperty",
+                   t[adj_pos].lower);
+            continue;
+          }
+        }
+        // "The <noun> is <shape-adjective>"
+        if (t[i].pos == nlp::Pos::kDeterminer && i + 3 < t.size() &&
+            t[i + 1].pos == nlp::Pos::kNoun && t[i + 2].lower == "is" &&
+            t[i + 3].pos == nlp::Pos::kAdjective) {
+          if (IsShapeAdjective(t[i + 3].lower)) {
+            record(t[i + 1].lower, "hasShape", t[i + 3].lower);
+          } else {
+            record(t[i + 1].lower, "hasProperty", t[i + 3].lower);
+          }
+          continue;
+        }
+        // "The <part> is part of a <whole>"
+        if (t[i].pos == nlp::Pos::kNoun && i + 4 < t.size() &&
+            t[i + 1].lower == "is" && t[i + 2].lower == "part" &&
+            t[i + 3].lower == "of" &&
+            (t[i + 4].pos == nlp::Pos::kDeterminer && i + 5 < t.size()
+                 ? t[i + 5].pos == nlp::Pos::kNoun
+                 : t[i + 4].pos == nlp::Pos::kNoun)) {
+          const nlp::Token& whole =
+              t[i + 4].pos == nlp::Pos::kDeterminer ? t[i + 5] : t[i + 4];
+          record(t[i].lower, "partOf", whole.lower);
+          continue;
+        }
+        // "Every <whole> has a <part>"
+        if (t[i].lower == "every" && i + 4 < t.size() &&
+            t[i + 1].pos == nlp::Pos::kNoun && t[i + 2].lower == "has" &&
+            t[i + 3].pos == nlp::Pos::kDeterminer &&
+            t[i + 4].pos == nlp::Pos::kNoun) {
+          record(t[i + 4].lower, "partOf", t[i + 1].lower);
+          continue;
+        }
+      }
+    }
+  }
+
+  // Distinct value count per concept (for the typicality score).
+  std::map<std::string, int> distinct_values;
+  for (const auto& [key, support] : counts) {
+    distinct_values[key.concept_noun]++;
+  }
+
+  std::vector<MinedAssertion> out;
+  out.reserve(counts.size());
+  for (const auto& [key, support] : counts) {
+    MinedAssertion a;
+    a.concept_noun = key.concept_noun;
+    a.relation = key.relation;
+    a.value = key.value;
+    a.support = support;
+    double joint = static_cast<double>(support) / total;
+    double pc = static_cast<double>(concept_counts.at(key.concept_noun)) /
+                total;
+    double pv = static_cast<double>(value_counts.at(key.value)) / total;
+    a.pmi = std::log(joint / (pc * pv));
+    double mean_support =
+        static_cast<double>(concept_counts.at(key.concept_noun)) /
+        static_cast<double>(distinct_values.at(key.concept_noun));
+    a.typicality = static_cast<double>(support) / mean_support;
+    out.push_back(std::move(a));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MinedAssertion& a, const MinedAssertion& b) {
+              if (a.pmi != b.pmi) return a.pmi > b.pmi;
+              if (a.support != b.support) return a.support > b.support;
+              return std::tie(a.concept_noun, a.relation, a.value) <
+                     std::tie(b.concept_noun, b.relation, b.value);
+            });
+  return out;
+}
+
+}  // namespace commonsense
+}  // namespace kb

@@ -1,0 +1,47 @@
+#ifndef KBFORGE_COMMONSENSE_PROPERTY_MINER_H_
+#define KBFORGE_COMMONSENSE_PROPERTY_MINER_H_
+
+#include <string>
+#include <vector>
+
+#include "corpus/document.h"
+#include "nlp/pos_tagger.h"
+
+namespace kb {
+namespace commonsense {
+
+/// A mined commonsense assertion with its corpus statistics.
+struct MinedAssertion {
+  std::string concept_noun;  ///< "apple" (singular)
+  std::string relation;      ///< "hasProperty" | "partOf" | "hasShape"
+  std::string value;         ///< "red" / "car" / "cylindrical"
+  int support = 0;           ///< occurrence count
+  double pmi = 0.0;          ///< pointwise mutual information score
+  /// Support relative to the concept's average value support: >1 means
+  /// the value is asserted more often than the concept's typical value
+  /// (separates "apples are red" from rare noise "apples are funny"
+  /// regardless of corpus size).
+  double typicality = 0.0;
+};
+
+/// Mines commonsense knowledge from web text (tutorial §3
+/// "Commonsense Knowledge"): properties of concepts ("apples can be
+/// red, green, juicy ... but not fast or funny"), shapes, and partOf
+/// assertions, scored by frequency and PMI so that rare spurious
+/// statements can be thresholded away.
+class PropertyMiner {
+ public:
+  explicit PropertyMiner(const nlp::PosTagger* tagger) : tagger_(tagger) {}
+
+  /// Mines all documents; returns assertions sorted by descending PMI.
+  std::vector<MinedAssertion> Mine(
+      const std::vector<corpus::Document>& docs) const;
+
+ private:
+  const nlp::PosTagger* tagger_;
+};
+
+}  // namespace commonsense
+}  // namespace kb
+
+#endif  // KBFORGE_COMMONSENSE_PROPERTY_MINER_H_

@@ -1,0 +1,87 @@
+#include "commonsense/rule_application.h"
+
+#include <map>
+#include <set>
+
+#include "rdf/triple.h"
+
+namespace kb {
+namespace commonsense {
+
+using corpus::GetRelationInfo;
+using corpus::kNumRelations;
+using corpus::Relation;
+using extraction::ExtractedFact;
+
+CompletionResult ApplyRules(const std::vector<ExtractedFact>& facts,
+                            const std::vector<MinedRule>& rules) {
+  CompletionResult result;
+  // Index the entity-object facts per relation.
+  struct PairInfo {
+    double confidence;
+  };
+  std::vector<std::map<std::pair<uint32_t, uint32_t>, PairInfo>> pairs(
+      kNumRelations);
+  std::vector<std::map<uint32_t, std::vector<std::pair<uint32_t, double>>>>
+      by_subject(kNumRelations);
+  std::vector<std::set<uint32_t>> subjects_with_value(kNumRelations);
+  for (const ExtractedFact& f : facts) {
+    if (f.relation == Relation::kNumRelations) continue;
+    if (GetRelationInfo(f.relation).literal_object) continue;
+    int r = static_cast<int>(f.relation);
+    auto key = std::make_pair(f.subject, f.object);
+    auto it = pairs[r].find(key);
+    if (it == pairs[r].end()) {
+      pairs[r].emplace(key, PairInfo{f.confidence});
+      by_subject[r][f.subject].emplace_back(f.object, f.confidence);
+      subjects_with_value[r].insert(f.subject);
+    } else if (f.confidence > it->second.confidence) {
+      it->second.confidence = f.confidence;
+    }
+  }
+
+  std::set<std::tuple<int, uint32_t, uint32_t>> emitted;
+  auto emit = [&](Relation head, uint32_t x, uint32_t z, double confidence) {
+    int r = static_cast<int>(head);
+    if (pairs[r].count({x, z}) > 0) return;  // already known
+    // Do not contradict functional relations that already have a value.
+    if (GetRelationInfo(head).functional &&
+        subjects_with_value[r].count(x) > 0) {
+      return;
+    }
+    if (!emitted.insert({r, x, z}).second) return;
+    ExtractedFact f;
+    f.subject = x;
+    f.relation = head;
+    f.object = z;
+    f.confidence = confidence;
+    f.extractor = rdf::kExtractorReasoner;
+    result.inferred.push_back(f);
+  };
+
+  for (const MinedRule& rule : rules) {
+    int b1 = static_cast<int>(rule.body1);
+    if (!rule.is_chain()) {
+      for (const auto& [pair, info] : pairs[b1]) {
+        ++result.rule_instantiations;
+        emit(rule.head, pair.first, pair.second,
+             rule.confidence * info.confidence);
+      }
+      continue;
+    }
+    int b2 = static_cast<int>(rule.body2);
+    for (const auto& [pair, info] : pairs[b1]) {
+      auto it = by_subject[b2].find(pair.second);
+      if (it == by_subject[b2].end()) continue;
+      for (const auto& [z, z_confidence] : it->second) {
+        ++result.rule_instantiations;
+        emit(rule.head, pair.first, z,
+             rule.confidence * std::min(info.confidence, z_confidence));
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace commonsense
+}  // namespace kb

@@ -1,0 +1,32 @@
+#ifndef KBFORGE_COMMONSENSE_RULE_APPLICATION_H_
+#define KBFORGE_COMMONSENSE_RULE_APPLICATION_H_
+
+#include <vector>
+
+#include "commonsense/rule_miner.h"
+
+namespace kb {
+namespace commonsense {
+
+/// Result of deductive KB completion.
+struct CompletionResult {
+  /// Newly inferred facts (absent from the input KB). Confidence =
+  /// rule confidence x min(confidence of the body facts).
+  std::vector<extraction::ExtractedFact> inferred;
+  size_t rule_instantiations = 0;  ///< body matches considered
+};
+
+/// Applies mined Horn rules to a fact collection and derives the head
+/// facts whose bodies hold but which the KB does not yet contain —
+/// rule-based knowledge-base completion, the deductive complement of
+/// extraction (the Knowledge-Vault direction of fusing priors with
+/// extractions). Functional-relation heads are only inferred when the
+/// subject has no value yet, so completion cannot contradict the KB.
+CompletionResult ApplyRules(
+    const std::vector<extraction::ExtractedFact>& facts,
+    const std::vector<MinedRule>& rules);
+
+}  // namespace commonsense
+}  // namespace kb
+
+#endif  // KBFORGE_COMMONSENSE_RULE_APPLICATION_H_

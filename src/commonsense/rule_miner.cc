@@ -1,0 +1,126 @@
+#include "commonsense/rule_miner.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace kb {
+namespace commonsense {
+
+using corpus::GetRelationInfo;
+using corpus::kNumRelations;
+using corpus::Relation;
+
+std::string MinedRule::ToString() const {
+  std::string out(GetRelationInfo(head).name);
+  out += "(x,z) <= ";
+  out += std::string(GetRelationInfo(body1).name);
+  if (is_chain()) {
+    out += "(x,y) AND " + std::string(GetRelationInfo(body2).name) +
+           "(y,z)";
+  } else {
+    out += "(x,z)";
+  }
+  return out;
+}
+
+std::vector<MinedRule> MineRules(
+    const std::vector<extraction::ExtractedFact>& facts,
+    const RuleMinerOptions& options) {
+  // Per-relation pair sets (entity-object relations only).
+  std::vector<std::set<std::pair<uint32_t, uint32_t>>> pairs(kNumRelations);
+  std::vector<std::map<uint32_t, std::vector<uint32_t>>> by_subject(
+      kNumRelations);
+  for (const extraction::ExtractedFact& f : facts) {
+    if (f.relation == Relation::kNumRelations) continue;
+    if (GetRelationInfo(f.relation).literal_object) continue;
+    int r = static_cast<int>(f.relation);
+    if (pairs[r].emplace(f.subject, f.object).second) {
+      by_subject[r][f.subject].push_back(f.object);
+    }
+  }
+
+  std::vector<MinedRule> out;
+
+  // Shape 1: head(x,z) <= body(x,z).
+  for (int body = 0; body < kNumRelations; ++body) {
+    if (pairs[body].empty()) continue;
+    for (int head = 0; head < kNumRelations; ++head) {
+      if (head == body || pairs[head].empty()) continue;
+      const auto& bi = GetRelationInfo(static_cast<Relation>(body));
+      const auto& hi = GetRelationInfo(static_cast<Relation>(head));
+      if (bi.subject_kind != hi.subject_kind ||
+          bi.object_kind != hi.object_kind) {
+        continue;
+      }
+      int support = 0;
+      for (const auto& p : pairs[body]) {
+        if (pairs[head].count(p) > 0) ++support;
+      }
+      int body_count = static_cast<int>(pairs[body].size());
+      double confidence = static_cast<double>(support) / body_count;
+      if (support >= options.min_support &&
+          confidence >= options.min_confidence) {
+        MinedRule rule;
+        rule.head = static_cast<Relation>(head);
+        rule.body1 = static_cast<Relation>(body);
+        rule.support = support;
+        rule.body_count = body_count;
+        rule.confidence = confidence;
+        out.push_back(rule);
+      }
+    }
+  }
+
+  // Shape 2: head(x,z) <= b1(x,y) AND b2(y,z).
+  for (int b1 = 0; b1 < kNumRelations; ++b1) {
+    if (pairs[b1].empty()) continue;
+    const auto& i1 = GetRelationInfo(static_cast<Relation>(b1));
+    for (int b2 = 0; b2 < kNumRelations; ++b2) {
+      if (pairs[b2].empty()) continue;
+      const auto& i2 = GetRelationInfo(static_cast<Relation>(b2));
+      if (i2.subject_kind != i1.object_kind) continue;  // join type check
+      for (int head = 0; head < kNumRelations; ++head) {
+        if (pairs[head].empty()) continue;
+        if (head == b1 || head == b2) continue;
+        const auto& hi = GetRelationInfo(static_cast<Relation>(head));
+        if (hi.subject_kind != i1.subject_kind ||
+            hi.object_kind != i2.object_kind) {
+          continue;
+        }
+        int support = 0, body_count = 0;
+        for (const auto& [x, y] : pairs[b1]) {
+          auto it = by_subject[b2].find(y);
+          if (it == by_subject[b2].end()) continue;
+          for (uint32_t z : it->second) {
+            ++body_count;
+            if (pairs[head].count({x, z}) > 0) ++support;
+          }
+        }
+        if (body_count == 0) continue;
+        double confidence = static_cast<double>(support) / body_count;
+        if (support >= options.min_support &&
+            confidence >= options.min_confidence) {
+          MinedRule rule;
+          rule.head = static_cast<Relation>(head);
+          rule.body1 = static_cast<Relation>(b1);
+          rule.body2 = static_cast<Relation>(b2);
+          rule.support = support;
+          rule.body_count = body_count;
+          rule.confidence = confidence;
+          out.push_back(rule);
+        }
+      }
+    }
+  }
+
+  std::sort(out.begin(), out.end(), [](const MinedRule& a,
+                                       const MinedRule& b) {
+    if (a.confidence != b.confidence) return a.confidence > b.confidence;
+    return a.support > b.support;
+  });
+  return out;
+}
+
+}  // namespace commonsense
+}  // namespace kb

@@ -1,0 +1,46 @@
+#ifndef KBFORGE_COMMONSENSE_RULE_MINER_H_
+#define KBFORGE_COMMONSENSE_RULE_MINER_H_
+
+#include <string>
+#include <vector>
+
+#include "extraction/annotation.h"
+
+namespace kb {
+namespace commonsense {
+
+/// A mined Horn rule over the relation inventory. Two shapes:
+///   head(x, z) <= body1(x, z)                       (body2 unset)
+///   head(x, z) <= body1(x, y) AND body2(y, z)       (chain rule)
+struct MinedRule {
+  corpus::Relation head = corpus::Relation::kNumRelations;
+  corpus::Relation body1 = corpus::Relation::kNumRelations;
+  corpus::Relation body2 = corpus::Relation::kNumRelations;  ///< unset = 1-atom
+  int support = 0;          ///< instantiations where head holds
+  int body_count = 0;       ///< instantiations of the body
+  double confidence = 0.0;  ///< support / body_count
+
+  bool is_chain() const {
+    return body2 != corpus::Relation::kNumRelations;
+  }
+  std::string ToString() const;
+};
+
+/// Mining thresholds.
+struct RuleMinerOptions {
+  int min_support = 5;
+  double min_confidence = 0.3;
+};
+
+/// AMIE-style Horn-rule mining over a fact collection (the
+/// "commonsense rules" of tutorial §3, e.g. that citizenship usually
+/// follows the birth city's country). Confidence uses the standard
+/// (closed-world) body-support denominator.
+std::vector<MinedRule> MineRules(
+    const std::vector<extraction::ExtractedFact>& facts,
+    const RuleMinerOptions& options = RuleMinerOptions());
+
+}  // namespace commonsense
+}  // namespace kb
+
+#endif  // KBFORGE_COMMONSENSE_RULE_MINER_H_

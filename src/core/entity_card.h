@@ -1,0 +1,54 @@
+#ifndef KBFORGE_CORE_ENTITY_CARD_H_
+#define KBFORGE_CORE_ENTITY_CARD_H_
+
+#include <string>
+#include <vector>
+
+#include "core/knowledge_base.h"
+
+namespace kb {
+namespace core {
+
+/// One fact line of an entity card.
+struct CardFact {
+  std::string property;   ///< local name, e.g. "bornIn"
+  std::string value;      ///< abbreviated object ("kb:Northfield" / "1955")
+  double confidence = 1.0;
+  uint32_t support = 1;
+  TimeSpan valid_time;
+  double salience = 0.0;  ///< ranking score
+};
+
+/// A Knowledge-Graph-style entity summary ("things, not strings"): the
+/// display name, types ordered most-specific-first, and the entity's
+/// facts ranked by salience — the knowledge-centric service surface the
+/// tutorial's §1 motivates (Google Knowledge Graph panels, Watson
+/// evidence).
+struct EntityCard {
+  std::string canonical;
+  std::string display_name;                 ///< en label if present
+  std::vector<std::string> types;           ///< specific -> general
+  std::vector<CardFact> facts;              ///< by descending salience
+  std::vector<std::pair<std::string, std::string>> labels;  ///< lang,label
+};
+
+struct EntityCardOptions {
+  size_t max_facts = 8;
+  /// Salience = confidence * (1 + log(support)) / log(2 + property
+  /// frequency): rare properties are more distinguishing.
+  bool downweight_common_properties = true;
+};
+
+/// Builds the card for `canonical`, or NotFound if the KB has no such
+/// entity.
+StatusOr<EntityCard> BuildEntityCard(const KnowledgeBase& kb,
+                                     const std::string& canonical,
+                                     const EntityCardOptions& options = {});
+
+/// Renders a card as plain text (for CLIs and the examples).
+std::string RenderEntityCard(const EntityCard& card);
+
+}  // namespace core
+}  // namespace kb
+
+#endif  // KBFORGE_CORE_ENTITY_CARD_H_

@@ -1,0 +1,231 @@
+#include "core/harvester.h"
+
+#include <chrono>
+#include <mutex>
+#include <unordered_map>
+
+#include "extraction/bootstrap.h"
+#include "extraction/distant_supervision.h"
+#include "extraction/infobox_extractor.h"
+#include "extraction/pattern_extractor.h"
+#include "multilingual/interwiki.h"
+#include "ned/coherence.h"
+#include "ned/context_model.h"
+#include "ned/disambiguator.h"
+#include "ned/mention_detector.h"
+#include "reasoning/consistency.h"
+#include "taxonomy/type_inference.h"
+#include "temporal/scoping.h"
+#include "util/thread_pool.h"
+
+namespace kb {
+namespace core {
+
+using extraction::AnnotatedSentence;
+using extraction::ExtractedFact;
+
+namespace {
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+}  // namespace
+
+Harvester::Harvester(HarvestOptions options) : options_(options) {}
+
+HarvestResult Harvester::Harvest(const corpus::Corpus& corpus) const {
+  HarvestResult result;
+  const corpus::World& world = corpus.world;
+  nlp::PosTagger tagger;
+  result.stats.documents = corpus.docs.size();
+
+  // ---- Map phase: annotate documents in parallel (the map-reduce
+  // shape the tutorial's "big-data methods" call for).
+  auto t0 = std::chrono::steady_clock::now();
+  // In no-gold mode, build the NED stack once and re-annotate every
+  // document with detected + disambiguated mentions.
+  std::unique_ptr<ned::AliasIndex> aliases;
+  std::unique_ptr<ned::ContextModel> context;
+  std::unique_ptr<ned::CoherenceModel> coherence;
+  if (!options_.use_gold_mentions) {
+    aliases = std::make_unique<ned::AliasIndex>(
+        ned::AliasIndex::Build(world));
+    context = std::make_unique<ned::ContextModel>(
+        ned::ContextModel::Build(world, corpus.docs));
+    coherence = std::make_unique<ned::CoherenceModel>(
+        ned::CoherenceModel::Build(world, corpus.docs));
+  }
+  std::vector<std::vector<AnnotatedSentence>> per_doc(corpus.docs.size());
+  {
+    ThreadPool pool(options_.threads);
+    pool.ParallelFor(corpus.docs.size(), [&](size_t i) {
+      if (options_.use_gold_mentions) {
+        per_doc[i] = extraction::AnnotateDocument(world, corpus.docs[i],
+                                                  tagger);
+        return;
+      }
+      // Detected-mention path: dictionary spans + joint NED.
+      ned::MentionDetector detector(aliases.get());
+      ned::Disambiguator disambiguator(aliases.get(), context.get(),
+                                       coherence.get(), ned::NedOptions());
+      corpus::Document redetected = corpus.docs[i];
+      redetected.mentions.clear();
+      for (const ned::DetectedMention& m :
+           detector.Detect(corpus.docs[i].text)) {
+        corpus::Mention mention;
+        mention.begin = m.begin;
+        mention.end = m.end;
+        mention.entity = UINT32_MAX;
+        redetected.mentions.push_back(mention);
+      }
+      auto decisions = disambiguator.DisambiguateDocument(redetected);
+      std::vector<corpus::Mention> resolved;
+      for (const ned::Disambiguation& d : decisions) {
+        if (d.predicted == UINT32_MAX) continue;  // NIL
+        corpus::Mention mention = redetected.mentions[d.mention_index];
+        mention.entity = d.predicted;
+        resolved.push_back(mention);
+      }
+      redetected.mentions = std::move(resolved);
+      per_doc[i] = extraction::AnnotateDocument(world, redetected, tagger);
+    });
+  }
+  std::vector<AnnotatedSentence> sentences;
+  for (auto& doc_sentences : per_doc) {
+    sentences.insert(sentences.end(),
+                     std::make_move_iterator(doc_sentences.begin()),
+                     std::make_move_iterator(doc_sentences.end()));
+  }
+  result.stats.sentences = sentences.size();
+  result.stats.annotate_ms = MsSince(t0);
+
+  // ---- Extraction stages.
+  t0 = std::chrono::steady_clock::now();
+  std::vector<ExtractedFact> all_facts;
+  std::vector<ExtractedFact> infobox_facts;
+  if (options_.use_infobox) {
+    std::unordered_map<std::string, uint32_t> by_canonical;
+    for (const corpus::Entity& e : world.entities()) {
+      by_canonical[e.canonical] = e.id;
+    }
+    extraction::InfoboxExtractor infobox(std::move(by_canonical));
+    infobox_facts = infobox.Extract(corpus.docs);
+    result.stats.infobox_facts = infobox_facts.size();
+    all_facts.insert(all_facts.end(), infobox_facts.begin(),
+                     infobox_facts.end());
+  }
+  extraction::PatternExtractor patterns(extraction::DefaultPatterns());
+  if (options_.use_patterns) {
+    std::vector<ExtractedFact> fact_list;
+    if (options_.use_temporal) {
+      temporal::TemporalScoper scoper(&patterns);
+      fact_list = scoper.ScopeSentences(sentences);
+    } else {
+      fact_list = patterns.Extract(sentences);
+    }
+    result.stats.pattern_facts = fact_list.size();
+    all_facts.insert(all_facts.end(), fact_list.begin(), fact_list.end());
+  }
+  if (options_.use_bootstrap && !infobox_facts.empty()) {
+    extraction::Bootstrapper bootstrapper;
+    // Bootstrap each relation independently (shard-parallel).
+    std::vector<std::vector<ExtractedFact>> per_relation(
+        corpus::kNumRelations);
+    ThreadPool pool(options_.threads);
+    pool.ParallelFor(corpus::kNumRelations, [&](size_t r) {
+      auto boot = bootstrapper.Run(static_cast<corpus::Relation>(r),
+                                   infobox_facts, sentences);
+      per_relation[r] = std::move(boot.facts);
+    });
+    for (auto& facts : per_relation) {
+      result.stats.bootstrap_facts += facts.size();
+      all_facts.insert(all_facts.end(), facts.begin(), facts.end());
+    }
+  }
+  if (options_.use_statistical && !infobox_facts.empty()) {
+    extraction::RelationClassifier classifier;
+    classifier.Train(sentences, infobox_facts);
+    auto ds_facts =
+        classifier.Extract(sentences, options_.statistical_min_confidence);
+    result.stats.statistical_facts = ds_facts.size();
+    all_facts.insert(all_facts.end(), ds_facts.begin(), ds_facts.end());
+  }
+  result.stats.extract_ms = MsSince(t0);
+
+  // ---- Consistency reasoning.
+  t0 = std::chrono::steady_clock::now();
+  if (options_.use_reasoning) {
+    reasoning::ConsistencyResult reasoned =
+        reasoning::ReasonOverFacts(all_facts);
+    result.accepted = std::move(reasoned.accepted);
+    result.stats.rejected_facts = reasoned.rejected.size();
+  } else {
+    result.accepted = extraction::DeduplicateFacts(all_facts);
+  }
+  result.stats.candidate_facts =
+      extraction::DeduplicateFacts(all_facts).size();
+  result.stats.accepted_facts = result.accepted.size();
+  result.stats.reason_ms = MsSince(t0);
+
+  // ---- Taxonomy + types + assembly.
+  t0 = std::chrono::steady_clock::now();
+  result.induced = taxonomy::InduceFromCategories(
+      corpus.docs, taxonomy::InductionOptions());
+  taxonomy::EntityTypes types =
+      taxonomy::InferTypes(corpus.docs, result.induced, tagger);
+
+  KnowledgeBase& kb = result.kb;
+  for (const auto& [sub, super] : taxonomy::BackboneEdges()) {
+    kb.AssertSubclass(sub, super);
+  }
+  // Induced subclass edges.
+  const taxonomy::Taxonomy& induced_tax = result.induced.taxonomy;
+  for (taxonomy::ClassId c = 0; c < induced_tax.size(); ++c) {
+    for (taxonomy::ClassId super : induced_tax.Superclasses(c)) {
+      kb.AssertSubclass(induced_tax.name(c), induced_tax.name(super));
+    }
+  }
+  for (const auto& [entity, classes] : types.types) {
+    for (const std::string& cls : classes) {
+      kb.AssertType(world.entity(entity).canonical, cls);
+    }
+  }
+  // Relational category yield: birth years.
+  for (const auto& [entity, year] : result.induced.birth_years) {
+    FactMeta meta;
+    meta.extractor = rdf::kExtractorCategory;
+    kb.AssertYearFact(world.entity(entity).canonical, "birthDate", year,
+                      meta);
+  }
+  // Accepted relational facts.
+  for (const ExtractedFact& f : result.accepted) {
+    const corpus::RelationInfo& info = corpus::GetRelationInfo(f.relation);
+    FactMeta meta;
+    meta.confidence = f.confidence;
+    meta.extractor = f.extractor;
+    meta.valid_time = f.span;
+    if (info.literal_object) {
+      kb.AssertYearFact(world.entity(f.subject).canonical,
+                        std::string(info.name), f.literal_year, meta);
+    } else {
+      kb.AssertFact(world.entity(f.subject).canonical,
+                    std::string(info.name),
+                    world.entity(f.object).canonical, meta);
+    }
+  }
+  // Multilingual labels from interwiki links, plus English labels.
+  for (const auto& label :
+       multilingual::HarvestInterwikiLabels(corpus.docs)) {
+    kb.AssertLabel(world.entity(label.entity).canonical, label.label,
+                   label.lang);
+  }
+  for (const corpus::Entity& e : world.entities()) {
+    kb.AssertLabel(e.canonical, e.full_name, "en");
+  }
+  result.stats.assemble_ms = MsSince(t0);
+  return result;
+}
+
+}  // namespace core
+}  // namespace kb

@@ -1,0 +1,141 @@
+#include "core/knowledge_base.h"
+
+#include "util/string_util.h"
+
+namespace kb {
+namespace core {
+
+using rdf::Term;
+using rdf::TermId;
+
+KnowledgeBase::KnowledgeBase() {
+  rdf_type_ = store_.dict().InternIri(std::string(rdf::kRdfType));
+  rdfs_subclass_ = store_.dict().InternIri(std::string(rdf::kRdfsSubClassOf));
+  rdfs_label_ = store_.dict().InternIri(std::string(rdf::kRdfsLabel));
+}
+
+TermId KnowledgeBase::EntityTerm(const std::string& canonical) {
+  auto it = entity_terms_.find(canonical);
+  if (it != entity_terms_.end()) return it->second;
+  TermId id = store_.dict().InternIri(rdf::EntityIri(canonical));
+  entity_terms_.emplace(canonical, id);
+  return id;
+}
+
+TermId KnowledgeBase::PropertyTerm(const std::string& local_name) {
+  return store_.dict().InternIri(rdf::PropertyIri(local_name));
+}
+
+TermId KnowledgeBase::ClassTerm(const std::string& class_name) {
+  return store_.dict().InternIri(rdf::ClassIri(class_name));
+}
+
+void KnowledgeBase::AssertType(const std::string& canonical,
+                               const std::string& cls) {
+  taxonomy_.Intern(cls);
+  store_.Add(rdf::Triple(EntityTerm(canonical), rdf_type_, ClassTerm(cls)));
+}
+
+void KnowledgeBase::AssertSubclass(const std::string& sub,
+                                   const std::string& super) {
+  taxonomy_.AddSubclass(taxonomy_.Intern(sub), taxonomy_.Intern(super));
+  store_.Add(rdf::Triple(ClassTerm(sub), rdfs_subclass_, ClassTerm(super)));
+}
+
+bool KnowledgeBase::AssertFact(const std::string& subject,
+                               const std::string& property,
+                               const std::string& object,
+                               const FactMeta& meta) {
+  rdf::Triple t(EntityTerm(subject), PropertyTerm(property),
+                EntityTerm(object));
+  bool fresh = store_.Add(t);
+  auto [it, inserted] = meta_.emplace(t, meta);
+  if (!inserted) {
+    it->second.confidence = std::max(it->second.confidence, meta.confidence);
+    it->second.support += meta.support;
+    if (!it->second.valid_time.valid() && meta.valid_time.valid()) {
+      it->second.valid_time = meta.valid_time;
+    }
+  }
+  return fresh;
+}
+
+bool KnowledgeBase::AssertYearFact(const std::string& subject,
+                                   const std::string& property, int32_t year,
+                                   const FactMeta& meta) {
+  rdf::Triple t(EntityTerm(subject), PropertyTerm(property),
+                store_.dict().Intern(Term::IntLiteral(year)));
+  bool fresh = store_.Add(t);
+  auto [it, inserted] = meta_.emplace(t, meta);
+  if (!inserted) {
+    it->second.confidence = std::max(it->second.confidence, meta.confidence);
+    it->second.support += meta.support;
+  }
+  return fresh;
+}
+
+void KnowledgeBase::AssertLabel(const std::string& canonical,
+                                const std::string& label,
+                                const std::string& lang) {
+  store_.Add(rdf::Triple(EntityTerm(canonical), rdfs_label_,
+                         store_.dict().Intern(Term::LangLiteral(label,
+                                                                lang))));
+}
+
+const FactMeta* KnowledgeBase::MetaOf(const rdf::Triple& triple) const {
+  auto it = meta_.find(triple);
+  return it == meta_.end() ? nullptr : &it->second;
+}
+
+void KnowledgeBase::AddTripleWithMeta(const rdf::Triple& triple,
+                                      const FactMeta* meta) {
+  store_.Add(triple);
+  if (meta != nullptr) meta_[triple] = *meta;
+}
+
+void KnowledgeBase::RebuildDerivedIndexes() {
+  // Entity IRIs from the dictionary.
+  for (rdf::TermId id = 1; id <= store_.dict().size(); ++id) {
+    const rdf::Term& term = store_.dict().term(id);
+    if (term.is_iri() && StartsWith(term.value(), rdf::kEntityNs)) {
+      entity_terms_[term.value().substr(rdf::kEntityNs.size())] = id;
+    }
+  }
+  auto class_name = [&](rdf::TermId id) -> std::string {
+    const rdf::Term& term = store_.dict().term(id);
+    if (!term.is_iri() || !StartsWith(term.value(), rdf::kClassNs)) {
+      return "";
+    }
+    return term.value().substr(rdf::kClassNs.size());
+  };
+  // Classes from rdf:type objects.
+  rdf::TriplePattern types;
+  types.p = rdf_type_;
+  store_.Scan(types, [&](const rdf::Triple& t) {
+    std::string cls = class_name(t.o);
+    if (!cls.empty()) taxonomy_.Intern(cls);
+    return true;
+  });
+  // Subclass edges from rdfs:subClassOf triples.
+  rdf::TriplePattern subclass;
+  subclass.p = rdfs_subclass_;
+  store_.Scan(subclass, [&](const rdf::Triple& t) {
+    std::string sub = class_name(t.s);
+    std::string super = class_name(t.o);
+    if (!sub.empty() && !super.empty()) {
+      taxonomy_.AddSubclass(taxonomy_.Intern(sub), taxonomy_.Intern(super));
+    }
+    return true;
+  });
+}
+
+StatusOr<std::vector<query::Binding>> KnowledgeBase::Query(
+    std::string_view sparql) const {
+  auto parsed = query::ParseSparql(sparql, store_.dict());
+  if (!parsed.ok()) return parsed.status();
+  query::QueryEngine engine(&store_);
+  return engine.Execute(*parsed);
+}
+
+}  // namespace core
+}  // namespace kb

@@ -1,0 +1,110 @@
+#ifndef KBFORGE_CORE_KNOWLEDGE_BASE_H_
+#define KBFORGE_CORE_KNOWLEDGE_BASE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "query/engine.h"
+#include "rdf/namespaces.h"
+#include "rdf/ntriples.h"
+#include "rdf/triple_store.h"
+#include "taxonomy/taxonomy.h"
+#include "util/date.h"
+#include "util/status.h"
+
+namespace kb {
+namespace core {
+
+/// Extraction metadata attached to an asserted fact.
+struct FactMeta {
+  double confidence = 1.0;
+  uint32_t support = 1;     ///< number of supporting occurrences
+  uint32_t extractor = 0;   ///< rdf::ExtractorId
+  TimeSpan valid_time;
+};
+
+/// The assembled knowledge base: dictionary-encoded triples, a class
+/// taxonomy, and per-fact confidence/provenance/temporal metadata —
+/// the product the tutorial's §2-§3 pipeline builds and its §4
+/// applications consume.
+class KnowledgeBase {
+ public:
+  KnowledgeBase();
+
+  rdf::TripleStore& store() { return store_; }
+  const rdf::TripleStore& store() const { return store_; }
+  taxonomy::Taxonomy& taxonomy() { return taxonomy_; }
+  const taxonomy::Taxonomy& taxonomy() const { return taxonomy_; }
+
+  /// Interns (or returns) the IRI term for an entity canonical name.
+  rdf::TermId EntityTerm(const std::string& canonical);
+
+  /// Interns the property IRI for a relation local name.
+  rdf::TermId PropertyTerm(const std::string& local_name);
+
+  /// Interns the class IRI.
+  rdf::TermId ClassTerm(const std::string& class_name);
+
+  /// Asserts entity rdf:type class (also interning the class into the
+  /// taxonomy).
+  void AssertType(const std::string& canonical, const std::string& cls);
+
+  /// Asserts a subClassOf axiom in both the taxonomy and the store.
+  void AssertSubclass(const std::string& sub, const std::string& super);
+
+  /// Asserts an entity-object fact with metadata. Returns false if the
+  /// triple was already present (metadata is then merged: max
+  /// confidence, summed support).
+  bool AssertFact(const std::string& subject, const std::string& property,
+                  const std::string& object, const FactMeta& meta);
+
+  /// Asserts a literal-object fact (year).
+  bool AssertYearFact(const std::string& subject, const std::string& property,
+                      int32_t year, const FactMeta& meta);
+
+  /// Asserts an rdfs:label in a language.
+  void AssertLabel(const std::string& canonical, const std::string& label,
+                   const std::string& lang);
+
+  /// Metadata for a triple (nullptr if untracked).
+  const FactMeta* MetaOf(const rdf::Triple& triple) const;
+
+  /// All tracked fact metadata (used by persistence).
+  const std::map<rdf::Triple, FactMeta>& meta_map() const { return meta_; }
+
+  /// Bulk-load path for persistence: inserts a raw triple (ids must be
+  /// valid in this KB's dictionary) with optional metadata, bypassing
+  /// the canonical-name APIs.
+  void AddTripleWithMeta(const rdf::Triple& triple, const FactMeta* meta);
+
+  /// Rebuilds the entity-name map and taxonomy from the triple store
+  /// (after a bulk load): entity IRIs, rdf:type classes and
+  /// rdfs:subClassOf edges are re-derived.
+  void RebuildDerivedIndexes();
+
+  /// Number of distinct entity IRIs typed or used as subjects.
+  size_t NumEntities() const { return entity_terms_.size(); }
+  size_t NumTriples() const { return store_.size(); }
+  size_t NumClasses() const { return taxonomy_.size(); }
+
+  /// Runs a SPARQL-lite query against the store.
+  StatusOr<std::vector<query::Binding>> Query(std::string_view sparql) const;
+
+  /// Serializes all triples as N-Triples (Linked-Data export).
+  std::string ExportNTriples() const { return rdf::WriteNTriples(store_); }
+
+ private:
+  rdf::TripleStore store_;
+  taxonomy::Taxonomy taxonomy_;
+  std::map<std::string, rdf::TermId> entity_terms_;
+  std::map<rdf::Triple, FactMeta> meta_;
+  rdf::TermId rdf_type_;
+  rdf::TermId rdfs_subclass_;
+  rdf::TermId rdfs_label_;
+};
+
+}  // namespace core
+}  // namespace kb
+
+#endif  // KBFORGE_CORE_KNOWLEDGE_BASE_H_

@@ -1,0 +1,171 @@
+#include "core/persistence.h"
+
+#include <cstring>
+#include <map>
+
+#include "rdf/term.h"
+#include "storage/triple_codec.h"
+#include "util/varint.h"
+
+namespace kb {
+namespace core {
+
+namespace {
+
+constexpr char kDictPrefix = 'D';
+
+std::string DictKey(rdf::TermId id) {
+  std::string key(1, kDictPrefix);
+  PutVarint32(&key, id);
+  return key;
+}
+
+std::string EncodeMeta(const FactMeta& meta) {
+  std::string out;
+  uint64_t confidence_bits = 0;
+  memcpy(&confidence_bits, &meta.confidence, sizeof(confidence_bits));
+  PutFixed64(&out, confidence_bits);
+  PutVarint32(&out, meta.support);
+  PutVarint32(&out, meta.extractor);
+  auto put_date = [&out](const Date& d) {
+    PutVarint32(&out, static_cast<uint32_t>(d.year));
+    PutVarint32(&out, static_cast<uint32_t>(d.month));
+    PutVarint32(&out, static_cast<uint32_t>(d.day));
+  };
+  put_date(meta.valid_time.begin);
+  put_date(meta.valid_time.end);
+  return out;
+}
+
+bool DecodeMeta(Slice input, FactMeta* meta) {
+  uint64_t bits = 0;
+  if (!GetFixed64(&input, &bits)) return false;
+  memcpy(&meta->confidence, &bits, sizeof(meta->confidence));
+  uint32_t support = 0, extractor = 0;
+  if (!GetVarint32(&input, &support) || !GetVarint32(&input, &extractor)) {
+    return false;
+  }
+  meta->support = support;
+  meta->extractor = extractor;
+  auto get_date = [&input](Date* d) {
+    uint32_t year = 0, month = 0, day = 0;
+    if (!GetVarint32(&input, &year) || !GetVarint32(&input, &month) ||
+        !GetVarint32(&input, &day)) {
+      return false;
+    }
+    d->year = static_cast<int32_t>(year);
+    d->month = static_cast<int8_t>(month);
+    d->day = static_cast<int8_t>(day);
+    return true;
+  };
+  return get_date(&meta->valid_time.begin) && get_date(&meta->valid_time.end);
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<KbStorage>> KbStorage::Open(
+    const std::string& path) {
+  storage::StoreOptions options;
+  auto store = storage::KVStore::Open(options, path);
+  if (!store.ok()) return store.status();
+  return std::unique_ptr<KbStorage>(new KbStorage(std::move(*store)));
+}
+
+Status KbStorage::Save(const KnowledgeBase& kb) {
+  const rdf::TripleStore& triples = kb.store();
+  // Dictionary.
+  for (rdf::TermId id = 1; id <= triples.dict().size(); ++id) {
+    KB_RETURN_IF_ERROR(
+        store_->Put(DictKey(id), triples.dict().term(id).ToString()));
+  }
+  // Triples in all three orders; metadata rides on the SPO copy.
+  Status status = Status::OK();
+  rdf::TriplePattern all;
+  triples.Scan(all, [&](const rdf::Triple& t) {
+    const FactMeta* meta = kb.MetaOf(t);
+    std::string value = meta != nullptr ? EncodeMeta(*meta) : std::string();
+    Status s = store_->Put(
+        storage::EncodeTripleKey(storage::TripleOrder::kSpo, t), value);
+    if (s.ok()) {
+      s = store_->Put(
+          storage::EncodeTripleKey(storage::TripleOrder::kPos, t), "");
+    }
+    if (s.ok()) {
+      s = store_->Put(
+          storage::EncodeTripleKey(storage::TripleOrder::kOsp, t), "");
+    }
+    if (!s.ok()) {
+      status = s;
+      return false;
+    }
+    return true;
+  });
+  KB_RETURN_IF_ERROR(status);
+  return store_->Flush();
+}
+
+StatusOr<std::unique_ptr<KnowledgeBase>> KbStorage::Load() {
+  auto kb = std::make_unique<KnowledgeBase>();
+  // 1. Dictionary: old id -> new id (interning preserves semantics even
+  // if the fresh KB pre-interned its builtin terms in another order).
+  std::map<rdf::TermId, rdf::TermId> remap;
+  Status status = Status::OK();
+  std::string dict_end(1, kDictPrefix + 1);
+  store_->Scan(Slice(std::string(1, kDictPrefix)), Slice(dict_end),
+               [&](const Slice& key, const Slice& value) {
+                 Slice input = key;
+                 input.remove_prefix(1);
+                 uint32_t old_id = 0;
+                 if (!GetVarint32(&input, &old_id)) {
+                   status = Status::Corruption("bad dictionary key");
+                   return false;
+                 }
+                 auto term = rdf::Term::Parse(value.ToStringView());
+                 if (!term.ok()) {
+                   status = term.status();
+                   return false;
+                 }
+                 remap[old_id] = kb->store().dict().Intern(*term);
+                 return true;
+               });
+  KB_RETURN_IF_ERROR(status);
+  // 2. Triples + metadata from the SPO keyspace.
+  std::string spo_begin(1, 'S');
+  std::string spo_end(1, 'S' + 1);
+  store_->Scan(Slice(spo_begin), Slice(spo_end),
+               [&](const Slice& key, const Slice& value) {
+                 storage::TripleOrder order;
+                 rdf::Triple old_triple;
+                 if (!storage::DecodeTripleKey(key, &order, &old_triple)) {
+                   status = Status::Corruption("bad triple key");
+                   return false;
+                 }
+                 auto s = remap.find(old_triple.s);
+                 auto p = remap.find(old_triple.p);
+                 auto o = remap.find(old_triple.o);
+                 if (s == remap.end() || p == remap.end() ||
+                     o == remap.end()) {
+                   status = Status::Corruption("triple references "
+                                               "unknown term");
+                   return false;
+                 }
+                 rdf::Triple triple(s->second, p->second, o->second);
+                 if (value.empty()) {
+                   kb->AddTripleWithMeta(triple, nullptr);
+                 } else {
+                   FactMeta meta;
+                   if (!DecodeMeta(value, &meta)) {
+                     status = Status::Corruption("bad fact metadata");
+                     return false;
+                   }
+                   kb->AddTripleWithMeta(triple, &meta);
+                 }
+                 return true;
+               });
+  KB_RETURN_IF_ERROR(status);
+  kb->RebuildDerivedIndexes();
+  return kb;
+}
+
+}  // namespace core
+}  // namespace kb

@@ -1,0 +1,49 @@
+#ifndef KBFORGE_CORE_PERSISTENCE_H_
+#define KBFORGE_CORE_PERSISTENCE_H_
+
+#include <memory>
+#include <string>
+
+#include "core/knowledge_base.h"
+#include "storage/kv_store.h"
+
+namespace kb {
+namespace core {
+
+/// Durable storage for knowledge bases on the LSM engine. Layout in
+/// one KVStore keyspace:
+///   'D' <varint term-id>          -> N-Triples term text
+///   'S'/'P'/'O' triple keys       -> fact metadata (or empty)
+///   'X' <class-pair>              -> "" (taxonomy subclass edges)
+///   'M' "next_term"               -> varint high-water term id
+/// Triples are stored in all three collation orders so a reopened KB
+/// can range-scan any access path straight off disk.
+class KbStorage {
+ public:
+  /// Opens (or creates) the storage directory.
+  static StatusOr<std::unique_ptr<KbStorage>> Open(const std::string& path);
+
+  /// Writes the whole KB. Existing content is logically replaced
+  /// (same-key overwrites; stale keys from a previous, larger KB are
+  /// not chased — use a fresh directory for snapshots).
+  Status Save(const KnowledgeBase& kb);
+
+  /// Reconstructs a KB from storage.
+  StatusOr<std::unique_ptr<KnowledgeBase>> Load();
+
+  /// Durability/compaction passthroughs.
+  Status Flush() { return store_->Flush(); }
+  Status Compact() { return store_->CompactAll(); }
+  storage::KVStore* store() { return store_.get(); }
+
+ private:
+  explicit KbStorage(std::unique_ptr<storage::KVStore> store)
+      : store_(std::move(store)) {}
+
+  std::unique_ptr<storage::KVStore> store_;
+};
+
+}  // namespace core
+}  // namespace kb
+
+#endif  // KBFORGE_CORE_PERSISTENCE_H_

@@ -1,0 +1,630 @@
+#include "corpus/generator.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace kb {
+namespace corpus {
+
+namespace {
+
+/// Appends text to a document, tracking gold mention offsets.
+class TextBuilder {
+ public:
+  explicit TextBuilder(Document* doc) : doc_(doc) {}
+
+  void Append(std::string_view s) { doc_->text.append(s); }
+
+  void AppendMention(uint32_t entity, std::string_view surface) {
+    Mention m;
+    m.begin = static_cast<uint32_t>(doc_->text.size());
+    m.end = m.begin + static_cast<uint32_t>(surface.size());
+    m.entity = entity;
+    doc_->mentions.push_back(m);
+    doc_->text.append(surface);
+  }
+
+ private:
+  Document* doc_;
+};
+
+/// Chooses a surface form: the full name, or (with probability
+/// `ambiguity`) one of the shorter/ambiguous aliases.
+std::string SurfaceFor(const Entity& e, double ambiguity, Rng* rng) {
+  if (!e.aliases.empty() && rng->Bernoulli(ambiguity)) {
+    return rng->Choice(e.aliases);
+  }
+  return e.full_name;
+}
+
+std::string DateInWords(const Date& d) {
+  std::string out(MonthName(d.month));
+  out += " " + std::to_string(static_cast<int>(d.day)) + ", " +
+         std::to_string(d.year);
+  return out;
+}
+
+/// Context passed through sentence realization.
+struct EmitContext {
+  const World* world;
+  Rng* rng;
+  double ambiguity;
+  TextBuilder* tb;
+  Document* doc;
+};
+
+/// Realizes one gold fact as a natural-language sentence, recording
+/// mentions. When `corrupt_object` is a valid entity id (or
+/// `corrupt_year` nonzero for literal relations), that wrong value is
+/// asserted instead and the fact is NOT recorded as expressed.
+void EmitFactSentence(const EmitContext& ctx, const GoldFact& f,
+                      uint32_t fact_id, uint32_t corrupt_object = UINT32_MAX,
+                      int32_t corrupt_year = 0) {
+  const World& w = *ctx.world;
+  Rng* rng = ctx.rng;
+  TextBuilder& tb = *ctx.tb;
+  const Entity& subj = w.entity(f.subject);
+  const bool corrupted = corrupt_object != UINT32_MAX || corrupt_year != 0;
+
+  auto subj_surface = [&] { return SurfaceFor(subj, ctx.ambiguity, rng); };
+  auto obj_entity = [&]() -> const Entity& {
+    return w.entity(corrupt_object != UINT32_MAX ? corrupt_object : f.object);
+  };
+  auto obj_surface = [&] {
+    return SurfaceFor(obj_entity(), ctx.ambiguity, rng);
+  };
+  auto emit_subj = [&] {
+    tb.AppendMention(subj.id, subj_surface());
+  };
+  auto emit_obj = [&] {
+    tb.AppendMention(obj_entity().id, obj_surface());
+  };
+  auto year_str = [&](int32_t y) { return std::to_string(y); };
+  int32_t lit_year = corrupt_year != 0 ? corrupt_year : f.literal_year;
+  int variant = static_cast<int>(rng->Uniform(3));
+
+  switch (f.relation) {
+    case Relation::kBornIn:
+      if (variant == 0) {
+        emit_subj();
+        tb.Append(" was born in ");
+        emit_obj();
+        tb.Append(".");
+      } else if (variant == 1) {
+        emit_subj();
+        tb.Append(", who was born in ");
+        emit_obj();
+        tb.Append(", became well known.");
+      } else {
+        tb.Append("Born in ");
+        emit_obj();
+        tb.Append(", ");
+        emit_subj();
+        tb.Append(" rose to prominence.");
+      }
+      break;
+    case Relation::kBirthDate:
+      emit_subj();
+      if (variant == 0) {
+        tb.Append(" was born on " +
+                  DateInWords(corrupt_year != 0
+                                  ? Date{corrupt_year, f.literal_date.month,
+                                         f.literal_date.day}
+                                  : f.literal_date) +
+                  ".");
+      } else {
+        tb.Append(" was born in " + year_str(lit_year) + ".");
+      }
+      break;
+    case Relation::kMarriedTo:
+      emit_subj();
+      if (f.span.end.valid() && variant != 2) {
+        tb.Append(" was married to ");
+        emit_obj();
+        tb.Append(" from " + year_str(f.span.begin.year) + " to " +
+                  year_str(f.span.end.year) + ".");
+      } else if (variant == 0 && f.span.begin.valid()) {
+        tb.Append(" married ");
+        emit_obj();
+        tb.Append(" in " + year_str(f.span.begin.year) + ".");
+      } else {
+        tb.Append(" is married to ");
+        emit_obj();
+        tb.Append(".");
+      }
+      break;
+    case Relation::kWorksFor:
+      emit_subj();
+      if (f.span.end.valid() && variant == 0) {
+        tb.Append(" worked for ");
+        emit_obj();
+        tb.Append(" from " + year_str(f.span.begin.year) + " to " +
+                  year_str(f.span.end.year) + ".");
+      } else if (variant == 1 && f.span.begin.valid()) {
+        tb.Append(" joined ");
+        emit_obj();
+        tb.Append(" in " + year_str(f.span.begin.year) + ".");
+      } else if (!f.span.end.valid() && f.span.begin.valid() &&
+                 variant == 2) {
+        tb.Append(" has worked for ");
+        emit_obj();
+        tb.Append(" since " + year_str(f.span.begin.year) + ".");
+      } else {
+        tb.Append(" works for ");
+        emit_obj();
+        tb.Append(".");
+      }
+      break;
+    case Relation::kFounded:
+      if (variant == 0) {
+        emit_subj();
+        tb.Append(" founded ");
+        emit_obj();
+        tb.Append(".");
+      } else if (variant == 1) {
+        emit_obj();
+        tb.Append(" was founded by ");
+        emit_subj();
+        tb.Append(".");
+      } else {
+        emit_subj();
+        tb.Append(" is the founder of ");
+        emit_obj();
+        tb.Append(".");
+      }
+      break;
+    case Relation::kFoundedYear:
+      emit_subj();
+      tb.Append(" was founded in " + year_str(lit_year) + ".");
+      break;
+    case Relation::kHeadquarteredIn:
+      emit_subj();
+      if (variant == 0) {
+        tb.Append(" is headquartered in ");
+      } else {
+        tb.Append(" has its headquarters in ");
+      }
+      emit_obj();
+      tb.Append(".");
+      break;
+    case Relation::kLocatedIn:
+      emit_subj();
+      if (variant == 0) {
+        tb.Append(" is a city in ");
+      } else {
+        tb.Append(" lies in ");
+      }
+      emit_obj();
+      tb.Append(".");
+      break;
+    case Relation::kCapitalOf:
+      emit_subj();
+      tb.Append(" is the capital of ");
+      emit_obj();
+      tb.Append(".");
+      break;
+    case Relation::kStudiedAt:
+      emit_subj();
+      if (variant == 0) {
+        tb.Append(" studied at ");
+        emit_obj();
+        tb.Append(".");
+      } else {
+        tb.Append(" graduated from ");
+        emit_obj();
+        tb.Append(".");
+      }
+      break;
+    case Relation::kMemberOf:
+      emit_subj();
+      if (variant == 0) {
+        tb.Append(" is a member of ");
+      } else {
+        tb.Append(" plays in ");
+      }
+      emit_obj();
+      tb.Append(".");
+      break;
+    case Relation::kReleasedAlbum:
+      if (variant == 0) {
+        emit_subj();
+        tb.Append(" released ");
+        emit_obj();
+        tb.Append(".");
+      } else {
+        emit_obj();
+        tb.Append(" was recorded by ");
+        emit_subj();
+        tb.Append(".");
+      }
+      break;
+    case Relation::kReleaseYear:
+      emit_subj();
+      tb.Append(" was released in " + year_str(lit_year) + ".");
+      break;
+    case Relation::kDirected:
+      if (variant == 0) {
+        emit_subj();
+        tb.Append(" directed ");
+        emit_obj();
+        tb.Append(".");
+      } else {
+        emit_obj();
+        tb.Append(" was directed by ");
+        emit_subj();
+        tb.Append(".");
+      }
+      break;
+    case Relation::kActedIn:
+      emit_subj();
+      if (variant == 0) {
+        tb.Append(" starred in ");
+      } else {
+        tb.Append(" appeared in ");
+      }
+      emit_obj();
+      tb.Append(".");
+      break;
+    case Relation::kMayorOf:
+      emit_subj();
+      if (f.span.end.valid() && variant != 2) {
+        tb.Append(variant == 0 ? " was the mayor of " : " served as mayor of ");
+        emit_obj();
+        tb.Append(" from " + year_str(f.span.begin.year) + " to " +
+                  year_str(f.span.end.year) + ".");
+      } else {
+        tb.Append(" became mayor of ");
+        emit_obj();
+        tb.Append(f.span.begin.valid()
+                      ? " in " + year_str(f.span.begin.year) + "."
+                      : ".");
+      }
+      break;
+    case Relation::kCitizenOf:
+      emit_subj();
+      tb.Append(" is a citizen of ");
+      emit_obj();
+      tb.Append(".");
+      break;
+    case Relation::kNumRelations:
+      KB_CHECK(false) << "invalid relation";
+  }
+  tb.Append(" ");
+  if (!corrupted) ctx.doc->fact_ids.push_back(fact_id);
+}
+
+/// Relation -> infobox key (the DBpedia-style mapping surface).
+const char* InfoboxKeyFor(Relation r) {
+  switch (r) {
+    case Relation::kBornIn: return "birth_place";
+    case Relation::kBirthDate: return "birth_date";
+    case Relation::kMarriedTo: return "spouse";
+    case Relation::kWorksFor: return "employer";
+    case Relation::kFounded: return "founder";  // on the company page
+    case Relation::kFoundedYear: return "founded_year";
+    case Relation::kHeadquarteredIn: return "headquarters";
+    case Relation::kLocatedIn: return "country";
+    case Relation::kCapitalOf: return "capital_of";
+    case Relation::kStudiedAt: return "alma_mater";
+    case Relation::kMemberOf: return "member_of";
+    case Relation::kReleasedAlbum: return "artist";  // on the album page
+    case Relation::kReleaseYear: return "release_year";
+    case Relation::kDirected: return "director";  // on the film page
+    case Relation::kActedIn: return "starring";   // on the film page
+    case Relation::kCitizenOf: return "citizenship";
+    default: return nullptr;  // temporal-only relations stay in text
+  }
+}
+
+/// Relations whose infobox slot lives on the *object's* page (the
+/// page-subject is the fact object: founder on company page, etc.).
+bool InfoboxOnObjectPage(Relation r) {
+  return r == Relation::kFounded || r == Relation::kReleasedAlbum ||
+         r == Relation::kDirected || r == Relation::kActedIn;
+}
+
+const char* kAdminCategories[] = {
+    "Articles needing cleanup", "All article stubs",
+    "Pages with dead links", "Wikipedia protected pages",
+    "Articles with unsourced statements",
+};
+
+const char* kInfoboxTypeNames[] = {"person",     "settlement", "country",
+                                   "company",    "university", "band",
+                                   "album",      "film"};
+
+/// Generates the encyclopedia article for entity `id`.
+Document MakeArticle(const World& world, const CorpusOptions& options,
+                     uint32_t id, const std::vector<uint32_t>& fact_index,
+                     Rng* rng) {
+  const Entity& e = world.entity(id);
+  Document doc;
+  doc.kind = DocKind::kArticle;
+  doc.title = e.canonical;
+  doc.subject = id;
+  TextBuilder tb(&doc);
+  EmitContext ctx{&world, rng, options.mention_ambiguity, &tb, &doc};
+
+  // Title line.
+  tb.AppendMention(id, e.full_name);
+  tb.Append("\n\n");
+
+  // Infobox markup + structured copy.
+  tb.Append("{{Infobox ");
+  tb.Append(kInfoboxTypeNames[static_cast<size_t>(e.kind)]);
+  tb.Append("\n| name = " + e.full_name + "\n");
+  for (uint32_t fact_id : fact_index) {
+    const GoldFact& f = world.facts()[fact_id];
+    const bool on_object_page = InfoboxOnObjectPage(f.relation);
+    if ((on_object_page && f.object != id) ||
+        (!on_object_page && f.subject != id)) {
+      continue;
+    }
+    const char* key = InfoboxKeyFor(f.relation);
+    if (key == nullptr) continue;
+    if (!rng->Bernoulli(0.8)) continue;  // infobox coverage < 1
+    const RelationInfo& info = GetRelationInfo(f.relation);
+    InfoboxSlot slot;
+    slot.key = key;
+    if (info.literal_object) {
+      slot.value = f.relation == Relation::kBirthDate
+                       ? f.literal_date.ToString()
+                       : std::to_string(f.literal_year);
+    } else {
+      uint32_t other = on_object_page ? f.subject : f.object;
+      slot.value = world.entity(other).canonical;
+    }
+    if (rng->Bernoulli(options.infobox_noise)) {
+      slot.corrupted = true;
+      slot.value = "???" + slot.value;
+    }
+    tb.Append("| " + slot.key + " = ");
+    if (info.literal_object || slot.corrupted) {
+      tb.Append(slot.value);
+    } else {
+      tb.Append("[[" + slot.value + "]]");
+    }
+    tb.Append("\n");
+    doc.infobox.push_back(std::move(slot));
+  }
+  tb.Append("}}\n\n");
+
+  // Lead sentence: types.
+  tb.AppendMention(id, e.full_name);
+  if (e.kind == EntityKind::kPerson) {
+    tb.Append(" is a ");
+    if (!e.nationality.empty()) tb.Append(e.nationality + " ");
+    tb.Append(e.occupations.empty() ? "person" : e.occupations[0]);
+    for (size_t i = 1; i < e.occupations.size(); ++i) {
+      tb.Append(" and " + e.occupations[i]);
+    }
+    tb.Append(". ");
+  } else {
+    static const char* kKindPhrase[] = {
+        "person", "city",  "country", "company",
+        "university", "band", "album", "film"};
+    tb.Append(" is a ");
+    tb.Append(kKindPhrase[static_cast<size_t>(e.kind)]);
+    tb.Append(". ");
+  }
+
+  // Body: one sentence per fact with this entity as subject, plus a
+  // capped number of incoming facts ("Keller Labs was founded by ...",
+  // as Wikipedia articles describe notable incoming relations). The
+  // incoming sentences give the entity link graph its density (NED
+  // coherence feeds on it).
+  int incoming_quota = 6;
+  for (uint32_t fact_id : fact_index) {
+    const GoldFact& f = world.facts()[fact_id];
+    if (f.subject == id) {
+      if (!rng->Bernoulli(0.9)) continue;  // textual coverage < 1
+      EmitFactSentence(ctx, f, fact_id);
+    } else if (f.object == id && incoming_quota > 0 &&
+               !GetRelationInfo(f.relation).literal_object &&
+               rng->Bernoulli(0.6)) {
+      EmitFactSentence(ctx, f, fact_id);
+      --incoming_quota;
+    }
+  }
+  tb.Append("\n");
+
+  // Categories.
+  doc.categories = world.CategoriesOf(id);
+  if (rng->Bernoulli(options.admin_category_rate)) {
+    doc.categories.push_back(kAdminCategories[rng->Uniform(
+        sizeof(kAdminCategories) / sizeof(kAdminCategories[0]))]);
+  }
+  if ((e.kind == EntityKind::kBand || e.kind == EntityKind::kAlbum) &&
+      rng->Bernoulli(0.5)) {
+    doc.categories.push_back("Music");  // topical (non-conceptual) noise
+  }
+  for (const std::string& cat : doc.categories) {
+    tb.Append("[[Category:" + cat + "]]\n");
+  }
+
+  // Interwiki links.
+  for (const auto& [lang, label] : e.labels) {
+    if (lang == "en") continue;
+    if (!rng->Bernoulli(options.interwiki_coverage)) continue;
+    doc.interwiki.emplace_back(lang, label);
+    tb.Append("[[" + lang + ":" + ReplaceAll(label, " ", "_") + "]]\n");
+  }
+  return doc;
+}
+
+Document MakeNewsDoc(const World& world, const CorpusOptions& options,
+                     uint32_t index, Rng* rng) {
+  Document doc;
+  doc.kind = DocKind::kNews;
+  doc.title = "Report_" + std::to_string(index);
+  TextBuilder tb(&doc);
+  EmitContext ctx{&world, rng, options.mention_ambiguity, &tb, &doc};
+  const auto& facts = world.facts();
+  for (int i = 0; i < options.facts_per_news_doc; ++i) {
+    uint32_t fact_id = static_cast<uint32_t>(rng->Uniform(facts.size()));
+    const GoldFact& f = facts[fact_id];
+    const RelationInfo& info = GetRelationInfo(f.relation);
+    if (rng->Bernoulli(options.fact_error_rate)) {
+      // Corrupt the object: same-kind wrong entity or shifted year.
+      if (info.literal_object) {
+        int32_t wrong = f.literal_year +
+                        static_cast<int32_t>(rng->UniformInt(1, 30));
+        EmitFactSentence(ctx, f, fact_id, UINT32_MAX, wrong);
+      } else {
+        const auto& pool = world.ByKind(info.object_kind);
+        uint32_t wrong = pool[rng->Uniform(pool.size())];
+        if (wrong == f.object) {
+          wrong = pool[(rng->Uniform(pool.size()) + 1) % pool.size()];
+        }
+        if (wrong != f.object) {
+          EmitFactSentence(ctx, f, fact_id, wrong);
+        }
+      }
+    } else {
+      EmitFactSentence(ctx, f, fact_id);
+    }
+  }
+  return doc;
+}
+
+Document MakeWebDoc(const World& world, const CorpusOptions& /*options*/,
+                    uint32_t index, Rng* rng) {
+  Document doc;
+  doc.kind = DocKind::kWeb;
+  doc.title = "Web_" + std::to_string(index);
+  TextBuilder tb(&doc);
+
+  // Commonsense assertions (both truthful and planted-false ones; the
+  // truthful ones appear much more often, so PMI separates them).
+  const auto& cs = world.commonsense();
+  int n_cs = static_cast<int>(rng->UniformInt(2, 6));
+  for (int i = 0; i < n_cs; ++i) {
+    const CommonsenseAssertion& a = cs[rng->Uniform(cs.size())];
+    if (!a.truthful && !rng->Bernoulli(0.25)) continue;  // rare noise
+    if (a.relation == "hasProperty") {
+      if (rng->Bernoulli(0.5)) {
+        tb.Append(Capitalize(Pluralize(a.noun)) + " are " + a.value +
+                  ". ");
+      } else {
+        tb.Append(Capitalize(Pluralize(a.noun)) + " can be " + a.value +
+                  ". ");
+      }
+    } else if (a.relation == "hasShape") {
+      tb.Append("The " + a.noun + " is " + a.value + ". ");
+    } else if (a.relation == "partOf") {
+      if (rng->Bernoulli(0.5)) {
+        tb.Append("The " + a.noun + " is part of a " + a.value + ". ");
+      } else {
+        tb.Append("Every " + a.value + " has a " + a.noun + ". ");
+      }
+    }
+  }
+
+  // Hearst-style enumeration sentences over classes.
+  if (rng->Bernoulli(0.7)) {
+    struct HearstSource {
+      EntityKind kind;
+      const char* class_plural;
+    };
+    static const HearstSource kSources[] = {
+        {EntityKind::kPerson, "singers"},
+        {EntityKind::kCity, "cities"},
+        {EntityKind::kCompany, "companies"},
+        {EntityKind::kBand, "bands"},
+    };
+    const HearstSource& src = kSources[rng->Uniform(4)];
+    const auto& pool = world.ByKind(src.kind);
+    if (pool.size() >= 2) {
+      // For persons, restrict to the advertised occupation.
+      std::vector<uint32_t> filtered;
+      for (uint32_t id : pool) {
+        if (src.kind != EntityKind::kPerson) {
+          filtered.push_back(id);
+          continue;
+        }
+        const Entity& p = world.entity(id);
+        if (std::find(p.occupations.begin(), p.occupations.end(),
+                      "singer") != p.occupations.end()) {
+          filtered.push_back(id);
+        }
+      }
+      if (filtered.size() >= 2) {
+        uint32_t a = filtered[rng->Uniform(filtered.size())];
+        uint32_t b = filtered[rng->Uniform(filtered.size())];
+        if (a != b) {
+          tb.Append(Capitalize(src.class_plural) + " such as ");
+          tb.AppendMention(a, world.entity(a).full_name);
+          tb.Append(" and ");
+          tb.AppendMention(b, world.entity(b).full_name);
+          tb.Append(" attracted attention. ");
+        }
+      }
+    }
+  }
+
+  // Distractor sentence.
+  const auto& cities = world.ByKind(EntityKind::kCity);
+  if (!cities.empty() && rng->Bernoulli(0.6)) {
+    uint32_t c = cities[rng->Uniform(cities.size())];
+    tb.Append("The weather in ");
+    tb.AppendMention(c, world.entity(c).full_name);
+    tb.Append(" was pleasant. ");
+  }
+  return doc;
+}
+
+}  // namespace
+
+std::vector<Document> GenerateDocuments(const World& world,
+                                        const CorpusOptions& options) {
+  Rng rng(options.seed);
+  std::vector<Document> docs;
+  docs.reserve(world.entities().size() + options.news_docs +
+               options.web_docs);
+
+  // Per-subject fact index (facts of id, plus object-page facts).
+  // Precompute: for each entity, facts where it is subject or the
+  // object-page holder.
+  std::vector<std::vector<uint32_t>> per_entity(world.entities().size());
+  for (uint32_t i = 0; i < world.facts().size(); ++i) {
+    const GoldFact& f = world.facts()[i];
+    per_entity[f.subject].push_back(i);
+    const RelationInfo& info = GetRelationInfo(f.relation);
+    if (!info.literal_object) {
+      per_entity[f.object].push_back(i);
+    }
+  }
+
+  for (uint32_t id = 0; id < world.entities().size(); ++id) {
+    Document doc = MakeArticle(world, options, id, per_entity[id], &rng);
+    doc.id = static_cast<uint32_t>(docs.size());
+    docs.push_back(std::move(doc));
+  }
+  for (size_t i = 0; i < options.news_docs; ++i) {
+    Document doc = MakeNewsDoc(world, options, static_cast<uint32_t>(i),
+                               &rng);
+    doc.id = static_cast<uint32_t>(docs.size());
+    docs.push_back(std::move(doc));
+  }
+  for (size_t i = 0; i < options.web_docs; ++i) {
+    Document doc = MakeWebDoc(world, options, static_cast<uint32_t>(i),
+                              &rng);
+    doc.id = static_cast<uint32_t>(docs.size());
+    docs.push_back(std::move(doc));
+  }
+  return docs;
+}
+
+Corpus BuildCorpus(const WorldOptions& world_options,
+                   const CorpusOptions& corpus_options) {
+  Corpus corpus;
+  corpus.world = World::Generate(world_options);
+  corpus.options = corpus_options;
+  corpus.docs = GenerateDocuments(corpus.world, corpus_options);
+  return corpus;
+}
+
+}  // namespace corpus
+}  // namespace kb

@@ -1,0 +1,57 @@
+#ifndef KBFORGE_CORPUS_GENERATOR_H_
+#define KBFORGE_CORPUS_GENERATOR_H_
+
+#include <vector>
+
+#include "corpus/document.h"
+#include "corpus/world.h"
+
+namespace kb {
+namespace corpus {
+
+/// Knobs of the document generator (the Wikipedia/Web substitution).
+struct CorpusOptions {
+  uint64_t seed = 7;
+  /// Multi-entity news documents (each restates `facts_per_news_doc`
+  /// random gold facts -> extraction redundancy).
+  size_t news_docs = 200;
+  int facts_per_news_doc = 5;
+  /// Noisy web pages with commonsense assertions, Hearst lists and
+  /// distractor sentences.
+  size_t web_docs = 100;
+  /// Probability a mention uses an ambiguous alias ("Jobs") instead of
+  /// the full name.
+  double mention_ambiguity = 0.35;
+  /// Probability a news sentence asserts a corrupted fact (wrong
+  /// object), exercising consistency reasoning.
+  double fact_error_rate = 0.05;
+  /// Probability an infobox slot is corrupted or malformed.
+  double infobox_noise = 0.03;
+  /// Probability an article carries an interwiki link per language.
+  double interwiki_coverage = 0.7;
+  /// Probability an article gets an administrative noise category.
+  double admin_category_rate = 0.3;
+};
+
+/// The full synthetic corpus: the gold world plus its documents.
+struct Corpus {
+  World world;
+  CorpusOptions options;
+  std::vector<Document> docs;
+
+  const Document& doc(uint32_t id) const { return docs[id]; }
+};
+
+/// Generates every document of the corpus for `world`. Articles come
+/// first (doc id = position), then news, then web documents.
+std::vector<Document> GenerateDocuments(const World& world,
+                                        const CorpusOptions& options);
+
+/// Convenience: world + documents in one call.
+Corpus BuildCorpus(const WorldOptions& world_options,
+                   const CorpusOptions& corpus_options);
+
+}  // namespace corpus
+}  // namespace kb
+
+#endif  // KBFORGE_CORPUS_GENERATOR_H_

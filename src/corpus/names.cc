@@ -1,0 +1,141 @@
+#include "corpus/names.h"
+
+#include "util/string_util.h"
+
+namespace kb {
+namespace corpus {
+
+namespace {
+const char* kGivenNames[] = {
+    "Marcus",  "Elena",   "Viktor",  "Sofia",  "Adrian", "Clara",
+    "Felix",   "Nadia",   "Oscar",   "Irene",  "Hugo",   "Lydia",
+    "Bruno",   "Alma",    "Cedric",  "Vera",   "Damian", "Ruth",
+    "Edgar",   "Paula",   "Gustav",  "Nina",   "Ivan",   "Greta",
+    "Jonas",   "Hannah",  "Leo",     "Marta",  "Nils",   "Olivia",
+    "Pavel",   "Rosa",    "Simon",   "Tessa",  "Anton",  "Wilma",
+    "Emil",    "Astrid",  "Casper",  "Ingrid",
+};
+
+const char* kSurnames[] = {
+    "Hallberg",  "Vance",    "Okonkwo",  "Lindqvist", "Marchetti",
+    "Novak",     "Petrov",   "Sandoval", "Keller",    "Ashford",
+    "Brandt",    "Castell",  "Drummond", "Eriksen",   "Falk",
+    "Garrel",    "Hoffman",  "Ibsen",    "Jansson",   "Kovacs",
+    "Lambert",   "Moreau",   "Nystrom",  "Olsen",     "Paquet",
+    "Quiroga",   "Rustand",  "Soler",    "Thorne",    "Ulvaeus",
+    "Vintner",   "Weiss",    "Ziegler",  "Bergen",    "Calloway",
+    "Delacroix", "Eastwood", "Fairfax",  "Grimaldi",  "Holloway",
+};
+
+const char* kCityPrefixes[] = {
+    "North", "East",  "South", "West",  "New",   "Old",
+    "Spring", "River", "Lake",  "Stone", "Green", "Silver",
+    "Iron",  "Gold",  "Clear", "Bright", "High",  "Fair",
+};
+
+const char* kCitySuffixes[] = {
+    "field", "port",  "haven", "bridge", "ford",  "ton",
+    "burg",  "stad",  "ville", "mouth",  "dale",  "crest",
+};
+
+const char* kCountries[] = {
+    "Freedonia", "Sylvania",  "Veridia",   "Norlandia", "Aquitania",
+    "Borduria",  "Zubrowka",  "Carpathia", "Meridiana", "Ostrovia",
+    "Pelagonia", "Quorvania",
+};
+
+const char* kCompanySuffixes[] = {
+    "Systems",   "Industries", "Labs",     "Dynamics", "Works",
+    "Solutions", "Group",      "Software", "Motors",   "Media",
+};
+
+const char* kBandAdjectives[] = {
+    "Velvet",  "Silent",  "Electric", "Crimson", "Midnight",
+    "Golden",  "Broken",  "Wandering", "Hollow",  "Neon",
+};
+
+const char* kBandNouns[] = {
+    "Owls",    "Harbors",  "Foxes",   "Mirrors", "Tigers",
+    "Rivers",  "Shadows",  "Engines", "Comets",  "Lanterns",
+};
+
+const char* kTitleAdjectives[] = {
+    "Last",    "Distant",  "Quiet",  "Burning", "Frozen",
+    "Hidden",  "Endless",  "Broken", "Scarlet", "Pale",
+};
+
+const char* kTitleNouns[] = {
+    "Harbor",  "Winter",  "Garden", "Signal",  "Voyage",
+    "Empire",  "Horizon", "Letter", "Monument", "Echo",
+};
+
+template <size_t N>
+const char* Pick(Rng* rng, const char* (&pool)[N]) {
+  return pool[rng->Uniform(N)];
+}
+}  // namespace
+
+std::string NameGenerator::GivenName() { return Pick(rng_, kGivenNames); }
+
+std::string NameGenerator::Surname() { return Pick(rng_, kSurnames); }
+
+std::string NameGenerator::CityName() {
+  return std::string(Pick(rng_, kCityPrefixes)) + Pick(rng_, kCitySuffixes);
+}
+
+std::string NameGenerator::CountryName(size_t index) {
+  return kCountries[index % (sizeof(kCountries) / sizeof(kCountries[0]))];
+}
+
+std::string NameGenerator::CompanyName(const std::string& founder_surname) {
+  if (rng_->Bernoulli(0.6)) {
+    return founder_surname + " " + Pick(rng_, kCompanySuffixes);
+  }
+  return std::string(Pick(rng_, kCityPrefixes)) +
+         ToLower(Pick(rng_, kCitySuffixes)) + " " +
+         Pick(rng_, kCompanySuffixes);
+}
+
+std::string NameGenerator::UniversityName(const std::string& city) {
+  return "University of " + city;
+}
+
+std::string NameGenerator::BandName() {
+  return std::string("The ") + Pick(rng_, kBandAdjectives) + " " +
+         Pick(rng_, kBandNouns);
+}
+
+std::string NameGenerator::AlbumTitle() {
+  return std::string(Pick(rng_, kTitleAdjectives)) + " " +
+         Pick(rng_, kTitleNouns);
+}
+
+std::string NameGenerator::FilmTitle() {
+  return std::string("The ") + Pick(rng_, kTitleAdjectives) + " " +
+         Pick(rng_, kTitleNouns);
+}
+
+std::string NameGenerator::Localize(const std::string& label,
+                                    const std::string& lang) {
+  // Systematic, invertible-ish transformations: enough overlap for
+  // string similarity to help, enough drift that it is not trivial.
+  if (lang == "en") return label;
+  std::string out = label;
+  if (lang == "de") {
+    out = ReplaceAll(out, "c", "k");
+    out = ReplaceAll(out, "University of", "Universitaet");
+    out += "en";
+    return out;
+  }
+  if (lang == "fr") {
+    out = ReplaceAll(out, "k", "que");
+    out = ReplaceAll(out, "University of", "Universite de");
+    out += "e";
+    return out;
+  }
+  // Unknown language: reverse-ish mangle to simulate low overlap.
+  return out + "_" + lang;
+}
+
+}  // namespace corpus
+}  // namespace kb

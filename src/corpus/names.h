@@ -1,0 +1,60 @@
+#ifndef KBFORGE_CORPUS_NAMES_H_
+#define KBFORGE_CORPUS_NAMES_H_
+
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+
+namespace kb {
+namespace corpus {
+
+/// Deterministic name factories for the synthetic world. All pools are
+/// fixed string tables; generated names combine pool elements, so the
+/// space is large while staying pronounceable and Latin-alphabet.
+class NameGenerator {
+ public:
+  explicit NameGenerator(Rng* rng) : rng_(rng) {}
+
+  /// "Marcus" — given names are shared across persons freely.
+  std::string GivenName();
+
+  /// "Hallberg" — surnames repeat with controlled probability, which is
+  /// the ambiguity NED must resolve.
+  std::string Surname();
+
+  /// "Northfield", "Eastport" — city name from part pools.
+  std::string CityName();
+
+  /// "Freedonia" — from a fixed country pool (few, never ambiguous).
+  std::string CountryName(size_t index);
+
+  /// "Hallberg Systems" — companies often derive from a surname.
+  std::string CompanyName(const std::string& founder_surname);
+
+  /// "University of Northfield".
+  std::string UniversityName(const std::string& city);
+
+  /// "The Velvet Owls" — band name from adjective+animal pools.
+  std::string BandName();
+
+  /// "Silent Horizons" — album title.
+  std::string AlbumTitle();
+
+  /// "The Last Harbor" — film title.
+  std::string FilmTitle();
+
+  /// Multilingual variant of a label for language "de" or "fr"
+  /// (systematic suffix/spelling transformation, so cross-lingual
+  /// alignment has real but imperfect string similarity).
+  static std::string Localize(const std::string& label,
+                              const std::string& lang);
+
+ private:
+  Rng* rng_;
+};
+
+}  // namespace corpus
+}  // namespace kb
+
+#endif  // KBFORGE_CORPUS_NAMES_H_

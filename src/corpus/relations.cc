@@ -1,0 +1,81 @@
+#include "corpus/relations.h"
+
+#include "util/logging.h"
+
+namespace kb {
+namespace corpus {
+
+std::string_view EntityKindName(EntityKind kind) {
+  switch (kind) {
+    case EntityKind::kPerson: return "person";
+    case EntityKind::kCity: return "city";
+    case EntityKind::kCountry: return "country";
+    case EntityKind::kCompany: return "company";
+    case EntityKind::kUniversity: return "university";
+    case EntityKind::kBand: return "band";
+    case EntityKind::kAlbum: return "album";
+    case EntityKind::kFilm: return "film";
+    case EntityKind::kNumKinds: break;
+  }
+  return "?";
+}
+
+namespace {
+constexpr RelationInfo kRelationTable[] = {
+    {Relation::kBornIn, "bornIn", EntityKind::kPerson, EntityKind::kCity,
+     false, true, false, false},
+    {Relation::kBirthDate, "birthDate", EntityKind::kPerson,
+     EntityKind::kPerson, true, true, false, false},
+    {Relation::kMarriedTo, "marriedTo", EntityKind::kPerson,
+     EntityKind::kPerson, false, false, false, true},
+    {Relation::kWorksFor, "worksFor", EntityKind::kPerson,
+     EntityKind::kCompany, false, false, false, true},
+    {Relation::kFounded, "founded", EntityKind::kPerson,
+     EntityKind::kCompany, false, false, false, false},
+    {Relation::kFoundedYear, "foundedYear", EntityKind::kCompany,
+     EntityKind::kCompany, true, true, false, false},
+    {Relation::kHeadquarteredIn, "headquarteredIn", EntityKind::kCompany,
+     EntityKind::kCity, false, true, false, false},
+    {Relation::kLocatedIn, "locatedIn", EntityKind::kCity,
+     EntityKind::kCountry, false, true, false, false},
+    {Relation::kCapitalOf, "capitalOf", EntityKind::kCity,
+     EntityKind::kCountry, false, true, true, false},
+    {Relation::kStudiedAt, "studiedAt", EntityKind::kPerson,
+     EntityKind::kUniversity, false, false, false, false},
+    {Relation::kMemberOf, "memberOf", EntityKind::kPerson,
+     EntityKind::kBand, false, false, false, false},
+    {Relation::kReleasedAlbum, "releasedAlbum", EntityKind::kBand,
+     EntityKind::kAlbum, false, false, true, false},
+    {Relation::kReleaseYear, "releaseYear", EntityKind::kAlbum,
+     EntityKind::kAlbum, true, true, false, false},
+    {Relation::kDirected, "directed", EntityKind::kPerson,
+     EntityKind::kFilm, false, false, true, false},
+    {Relation::kActedIn, "actedIn", EntityKind::kPerson, EntityKind::kFilm,
+     false, false, false, false},
+    {Relation::kMayorOf, "mayorOf", EntityKind::kPerson, EntityKind::kCity,
+     false, false, false, true},
+    {Relation::kCitizenOf, "citizenOf", EntityKind::kPerson,
+     EntityKind::kCountry, false, true, false, false},
+};
+static_assert(sizeof(kRelationTable) / sizeof(kRelationTable[0]) ==
+                  static_cast<size_t>(Relation::kNumRelations),
+              "relation table out of sync");
+}  // namespace
+
+const RelationInfo& GetRelationInfo(Relation r) {
+  int index = static_cast<int>(r);
+  KB_CHECK(index >= 0 && index < kNumRelations) << "bad relation";
+  const RelationInfo& info = kRelationTable[index];
+  KB_CHECK(info.relation == r) << "relation table out of order";
+  return info;
+}
+
+Relation RelationByName(std::string_view name) {
+  for (const RelationInfo& info : kRelationTable) {
+    if (info.name == name) return info.relation;
+  }
+  return Relation::kNumRelations;
+}
+
+}  // namespace corpus
+}  // namespace kb

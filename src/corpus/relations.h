@@ -1,0 +1,75 @@
+#ifndef KBFORGE_CORPUS_RELATIONS_H_
+#define KBFORGE_CORPUS_RELATIONS_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace kb {
+namespace corpus {
+
+/// Kinds of entities in the synthetic WikiWorld.
+enum class EntityKind : uint8_t {
+  kPerson = 0,
+  kCity,
+  kCountry,
+  kCompany,
+  kUniversity,
+  kBand,
+  kAlbum,
+  kFilm,
+  kNumKinds,
+};
+
+std::string_view EntityKindName(EntityKind kind);
+
+/// The closed relation inventory of the gold world. Extractors that
+/// work on a pre-specified relation set (tutorial §3 "Harvesting
+/// Relational Facts") target these; open IE ignores the inventory.
+enum class Relation : uint8_t {
+  kBornIn = 0,        ///< person -> city
+  kBirthDate,         ///< person -> date literal
+  kMarriedTo,         ///< person -> person (temporal)
+  kWorksFor,          ///< person -> company (temporal)
+  kFounded,           ///< person -> company
+  kFoundedYear,       ///< company -> year literal
+  kHeadquarteredIn,   ///< company -> city
+  kLocatedIn,         ///< city -> country
+  kCapitalOf,         ///< city -> country
+  kStudiedAt,         ///< person -> university
+  kMemberOf,          ///< person -> band
+  kReleasedAlbum,     ///< band -> album
+  kReleaseYear,       ///< album -> year literal
+  kDirected,          ///< person -> film
+  kActedIn,           ///< person -> film
+  kMayorOf,           ///< person -> city (temporal)
+  kCitizenOf,         ///< person -> country
+  kNumRelations,
+};
+
+inline constexpr int kNumRelations =
+    static_cast<int>(Relation::kNumRelations);
+
+/// Static metadata about a relation, used to type-check extractions
+/// (consistency reasoning) and to map facts to RDF properties.
+struct RelationInfo {
+  Relation relation;
+  std::string_view name;        ///< property local name, e.g. "bornIn"
+  EntityKind subject_kind;
+  EntityKind object_kind;       ///< ignored when literal_object
+  bool literal_object;          ///< object is a year/date literal
+  bool functional;              ///< at most one object per subject
+  bool inverse_functional;      ///< at most one subject per object
+  bool temporal;                ///< facts carry a validity timespan
+};
+
+/// Metadata for `r`. Aborts on kNumRelations.
+const RelationInfo& GetRelationInfo(Relation r);
+
+/// Looks up a relation by its property local name; returns
+/// kNumRelations if unknown.
+Relation RelationByName(std::string_view name);
+
+}  // namespace corpus
+}  // namespace kb
+
+#endif  // KBFORGE_CORPUS_RELATIONS_H_

@@ -1,0 +1,130 @@
+#ifndef KBFORGE_CORPUS_WORLD_H_
+#define KBFORGE_CORPUS_WORLD_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "corpus/relations.h"
+#include "util/date.h"
+#include "util/random.h"
+
+namespace kb {
+namespace corpus {
+
+/// One entity of the gold world.
+struct Entity {
+  uint32_t id = 0;
+  EntityKind kind = EntityKind::kPerson;
+  std::string canonical;   ///< unique page title, e.g. "Marcus_Hallberg_2"
+  std::string full_name;   ///< display name, e.g. "Marcus Hallberg"
+  std::vector<std::string> aliases;  ///< shorter/ambiguous surface forms
+  std::map<std::string, std::string> labels;  ///< lang -> localized label
+  std::vector<std::string> occupations;  ///< persons: "singer", ...
+  std::string nationality;  ///< persons/companies: "Freedonian"
+  uint32_t country = UINT32_MAX;  ///< home country entity id if any
+  Date birth_date;          ///< persons only
+  uint32_t popularity = 1;  ///< Zipf rank weight; higher = more mentions
+};
+
+/// One gold fact. Literal-object relations store the value in
+/// `literal_year` / `literal_date` instead of `object`.
+struct GoldFact {
+  uint32_t subject = 0;
+  Relation relation = Relation::kBornIn;
+  uint32_t object = UINT32_MAX;
+  int32_t literal_year = 0;
+  Date literal_date;
+  TimeSpan span;  ///< for temporal relations
+};
+
+/// Gold commonsense: concept -> property/part assertions with a truth
+/// flag (false ones exist so that precision is measurable).
+struct CommonsenseAssertion {
+  std::string noun;       ///< "apple"
+  std::string relation;   ///< "hasProperty" | "partOf" | "hasShape"
+  std::string value;      ///< "red" / "car" / "cylindrical"
+  bool truthful = true;
+};
+
+/// A gold commonsense Horn rule planted in the world (E9 checks that
+/// rule mining recovers it). Encoded as: head(x, z) <= body1(x, y) AND
+/// body2(y, z) over the closed relation inventory.
+struct GoldRule {
+  Relation head;
+  Relation body1;
+  Relation body2;
+  std::string description;
+};
+
+/// Size and shape knobs of the generated world.
+struct WorldOptions {
+  uint64_t seed = 42;
+  size_t num_persons = 300;
+  size_t num_cities = 60;
+  size_t num_countries = 6;
+  size_t num_companies = 80;
+  size_t num_universities = 20;
+  size_t num_bands = 30;
+  size_t num_albums = 60;
+  size_t num_films = 50;
+  /// Probability that a new person reuses an existing surname
+  /// (drives NED ambiguity).
+  double surname_reuse = 0.5;
+  /// Probability that a new city reuses an existing city name in a
+  /// different country.
+  double city_name_reuse = 0.15;
+};
+
+/// The gold world: the ground truth every experiment measures against.
+/// Deterministic in WorldOptions::seed.
+class World {
+ public:
+  /// Generates a world.
+  static World Generate(const WorldOptions& options);
+
+  const WorldOptions& options() const { return options_; }
+  const std::vector<Entity>& entities() const { return entities_; }
+  const Entity& entity(uint32_t id) const { return entities_[id]; }
+  const std::vector<GoldFact>& facts() const { return facts_; }
+  const std::vector<CommonsenseAssertion>& commonsense() const {
+    return commonsense_;
+  }
+  const std::vector<GoldRule>& gold_rules() const { return gold_rules_; }
+
+  /// Entity ids of one kind.
+  const std::vector<uint32_t>& ByKind(EntityKind kind) const {
+    return by_kind_[static_cast<size_t>(kind)];
+  }
+
+  /// Gold categories of an entity (conceptual ones; the document
+  /// generator adds administrative/topical noise categories on top).
+  std::vector<std::string> CategoriesOf(uint32_t id) const;
+
+  /// All facts with the given subject.
+  std::vector<const GoldFact*> FactsOf(uint32_t subject) const;
+
+  /// True if (subject, relation, object/literal) is a gold fact.
+  bool HasFact(uint32_t subject, Relation relation, uint32_t object,
+               int32_t literal_year = 0) const;
+
+  /// The set of distinct conceptual class names used by this world
+  /// ("singer", "city", ...), for taxonomy evaluation.
+  std::vector<std::string> AllClassNames() const;
+
+ private:
+  void AddFact(GoldFact fact) { facts_.push_back(fact); }
+
+  WorldOptions options_;
+  std::vector<Entity> entities_;
+  std::vector<GoldFact> facts_;
+  std::vector<CommonsenseAssertion> commonsense_;
+  std::vector<GoldRule> gold_rules_;
+  std::vector<std::vector<uint32_t>> by_kind_;
+};
+
+}  // namespace corpus
+}  // namespace kb
+
+#endif  // KBFORGE_CORPUS_WORLD_H_

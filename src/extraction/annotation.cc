@@ -1,0 +1,97 @@
+#include "extraction/annotation.h"
+
+#include <algorithm>
+#include <map>
+
+#include "nlp/tokenizer.h"
+
+namespace kb {
+namespace extraction {
+
+namespace {
+/// True if the sentence looks like markup rather than prose.
+bool IsMarkupSentence(const nlp::Sentence& s, const std::string& text) {
+  if (s.tokens.empty()) return true;
+  std::string_view span(text.data() + s.begin, s.end - s.begin);
+  return span.find("{{") != std::string_view::npos ||
+         span.find("}}") != std::string_view::npos ||
+         span.find("[[") != std::string_view::npos ||
+         span.find("| ") != std::string_view::npos;
+}
+}  // namespace
+
+std::vector<AnnotatedSentence> AnnotateDocument(
+    const corpus::World& world, const corpus::Document& doc,
+    const nlp::PosTagger& tagger) {
+  std::vector<AnnotatedSentence> out;
+  std::vector<nlp::Sentence> sentences = nlp::SplitSentences(doc.text);
+  for (nlp::Sentence& s : sentences) {
+    if (IsMarkupSentence(s, doc.text)) continue;
+    tagger.Tag(&s.tokens);
+    AnnotatedSentence annotated;
+    annotated.doc_id = doc.id;
+    // Align gold byte-span mentions to token spans.
+    for (const corpus::Mention& m : doc.mentions) {
+      if (m.begin < s.begin || m.end > s.end) continue;
+      uint32_t token_begin = UINT32_MAX, token_end = UINT32_MAX;
+      for (uint32_t t = 0; t < s.tokens.size(); ++t) {
+        if (s.tokens[t].begin >= m.begin && token_begin == UINT32_MAX) {
+          token_begin = t;
+        }
+        if (s.tokens[t].end <= m.end) token_end = t + 1;
+      }
+      if (token_begin == UINT32_MAX || token_end == UINT32_MAX ||
+          token_end <= token_begin) {
+        continue;
+      }
+      SentenceMention sm;
+      sm.token_begin = token_begin;
+      sm.token_end = token_end;
+      sm.entity = m.entity;
+      sm.kind = world.entity(m.entity).kind;
+      annotated.mentions.push_back(sm);
+    }
+    annotated.sentence = std::move(s);
+    out.push_back(std::move(annotated));
+  }
+  return out;
+}
+
+std::vector<AnnotatedSentence> AnnotateDocuments(
+    const corpus::World& world, const std::vector<corpus::Document>& docs,
+    const nlp::PosTagger& tagger) {
+  std::vector<AnnotatedSentence> out;
+  for (const corpus::Document& doc : docs) {
+    auto sentences = AnnotateDocument(world, doc, tagger);
+    out.insert(out.end(), std::make_move_iterator(sentences.begin()),
+               std::make_move_iterator(sentences.end()));
+  }
+  return out;
+}
+
+std::vector<ExtractedFact> DeduplicateFacts(
+    const std::vector<ExtractedFact>& facts, std::vector<int>* support) {
+  std::map<std::tuple<uint32_t, int, uint32_t, int32_t>, size_t> index;
+  std::vector<ExtractedFact> out;
+  std::vector<int> counts;
+  for (const ExtractedFact& f : facts) {
+    auto key = std::make_tuple(f.subject, static_cast<int>(f.relation),
+                               f.object, f.literal_year);
+    auto it = index.find(key);
+    if (it == index.end()) {
+      index.emplace(key, out.size());
+      out.push_back(f);
+      counts.push_back(1);
+    } else {
+      counts[it->second]++;
+      if (f.confidence > out[it->second].confidence) {
+        out[it->second].confidence = f.confidence;
+      }
+    }
+  }
+  if (support != nullptr) *support = std::move(counts);
+  return out;
+}
+
+}  // namespace extraction
+}  // namespace kb

@@ -1,0 +1,73 @@
+#ifndef KBFORGE_EXTRACTION_ANNOTATION_H_
+#define KBFORGE_EXTRACTION_ANNOTATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "corpus/generator.h"
+#include "nlp/pos_tagger.h"
+#include "nlp/token.h"
+#include "util/date.h"
+
+namespace kb {
+namespace extraction {
+
+/// An entity mention aligned to token positions of one sentence.
+struct SentenceMention {
+  uint32_t token_begin = 0;  ///< first token index
+  uint32_t token_end = 0;    ///< one past last token index
+  uint32_t entity = UINT32_MAX;
+  corpus::EntityKind kind = corpus::EntityKind::kPerson;
+};
+
+/// A tokenized, POS-tagged sentence with located entity mentions —
+/// the unit every relational extractor consumes.
+struct AnnotatedSentence {
+  nlp::Sentence sentence;
+  std::vector<SentenceMention> mentions;
+  uint32_t doc_id = 0;
+};
+
+/// Tokenizes and tags the prose portions of every document, aligning
+/// the documents' gold mention spans to token spans. Markup lines
+/// (infobox, categories, interwiki) are skipped — extractors see prose
+/// only. Gold mentions stand in for a perfect named-entity recognizer;
+/// mention *disambiguation* quality is measured separately (E7).
+std::vector<AnnotatedSentence> AnnotateDocuments(
+    const corpus::World& world, const std::vector<corpus::Document>& docs,
+    const nlp::PosTagger& tagger);
+
+/// As above for one document.
+std::vector<AnnotatedSentence> AnnotateDocument(
+    const corpus::World& world, const corpus::Document& doc,
+    const nlp::PosTagger& tagger);
+
+/// An extracted relational fact over world entities (the id space the
+/// gold standard uses; core/ maps these to RDF when assembling a KB).
+struct ExtractedFact {
+  uint32_t subject = UINT32_MAX;
+  corpus::Relation relation = corpus::Relation::kNumRelations;
+  uint32_t object = UINT32_MAX;  ///< entity object
+  int32_t literal_year = 0;      ///< literal object (year relations)
+  double confidence = 0.0;
+  uint32_t doc_id = 0;
+  uint32_t extractor = 0;  ///< rdf::ExtractorId
+  TimeSpan span;           ///< validity interval, if temporally scoped
+
+  /// Identity of the asserted statement (ignoring provenance).
+  bool SameStatement(const ExtractedFact& o) const {
+    return subject == o.subject && relation == o.relation &&
+           object == o.object && literal_year == o.literal_year;
+  }
+};
+
+/// Deduplicates facts by statement, keeping the highest confidence and
+/// counting supporting occurrences into `support` (if non-null).
+std::vector<ExtractedFact> DeduplicateFacts(
+    const std::vector<ExtractedFact>& facts,
+    std::vector<int>* support = nullptr);
+
+}  // namespace extraction
+}  // namespace kb
+
+#endif  // KBFORGE_EXTRACTION_ANNOTATION_H_

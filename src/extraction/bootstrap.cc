@@ -1,0 +1,183 @@
+#include "extraction/bootstrap.h"
+
+#include <map>
+#include <set>
+
+#include "rdf/triple.h"
+#include "util/string_util.h"
+
+namespace kb {
+namespace extraction {
+
+using corpus::GetRelationInfo;
+using corpus::Relation;
+using corpus::RelationInfo;
+
+Bootstrapper::Bootstrapper(BootstrapOptions options) : options_(options) {}
+
+namespace {
+
+/// (subject, object-or-year) pair identifying a statement.
+using Pair = std::pair<uint32_t, int64_t>;
+
+Pair PairOf(const ExtractedFact& f, bool literal) {
+  return {f.subject, literal ? static_cast<int64_t>(f.literal_year)
+                             : static_cast<int64_t>(f.object)};
+}
+
+struct Occurrence {
+  Pair pair;
+  std::string context;   ///< lowercased gap tokens joined with ' '
+  bool subject_first;
+  uint32_t doc_id;
+  std::vector<std::string> words;
+};
+
+}  // namespace
+
+Bootstrapper::Result Bootstrapper::Run(
+    Relation relation, const std::vector<ExtractedFact>& seeds,
+    const std::vector<AnnotatedSentence>& sentences) const {
+  const RelationInfo& info = GetRelationInfo(relation);
+  Result result;
+
+  // Enumerate every candidate occurrence once up front.
+  std::vector<Occurrence> occurrences;
+  for (const AnnotatedSentence& as : sentences) {
+    const nlp::Sentence& s = as.sentence;
+    auto gap_words = [&](uint32_t from, uint32_t to) {
+      std::vector<std::string> words;
+      for (uint32_t t = from; t < to; ++t) words.push_back(s.tokens[t].lower);
+      return words;
+    };
+    if (info.literal_object) {
+      for (const SentenceMention& subj : as.mentions) {
+        if (subj.kind != info.subject_kind) continue;
+        for (uint32_t t = subj.token_end;
+             t < s.tokens.size() &&
+             t - subj.token_end <= options_.max_gap;
+             ++t) {
+          int year = 0;
+          if (!IsYearToken(s.tokens[t], &year)) continue;
+          Occurrence occ;
+          occ.pair = {subj.entity, year};
+          occ.words = gap_words(subj.token_end, t);
+          occ.context = Join(occ.words, " ");
+          occ.subject_first = true;
+          occ.doc_id = as.doc_id;
+          occurrences.push_back(std::move(occ));
+        }
+      }
+      continue;
+    }
+    for (const SentenceMention& first : as.mentions) {
+      for (const SentenceMention& second : as.mentions) {
+        if (&first == &second || second.token_begin < first.token_end) {
+          continue;
+        }
+        if (second.token_begin - first.token_end > options_.max_gap) {
+          continue;
+        }
+        for (bool subject_first : {true, false}) {
+          const SentenceMention& subj = subject_first ? first : second;
+          const SentenceMention& obj = subject_first ? second : first;
+          if (subj.entity == obj.entity) continue;
+          if (subj.kind != info.subject_kind ||
+              obj.kind != info.object_kind) {
+            continue;
+          }
+          Occurrence occ;
+          occ.pair = {subj.entity, obj.entity};
+          occ.words = gap_words(first.token_end, second.token_begin);
+          occ.context = Join(occ.words, " ");
+          occ.subject_first = subject_first;
+          occ.doc_id = as.doc_id;
+          occurrences.push_back(std::move(occ));
+        }
+      }
+    }
+  }
+
+  // Seed statements and their subjects.
+  std::set<Pair> known;
+  std::set<uint32_t> known_subjects;
+  for (const ExtractedFact& f : seeds) {
+    if (f.relation != relation) continue;
+    known.insert(PairOf(f, info.literal_object));
+    known_subjects.insert(f.subject);
+  }
+
+  std::set<std::string> accepted_keys;
+  std::vector<ExtractedFact> raw_facts;
+
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    result.iterations_run = iter + 1;
+    // Score contexts against the current seed set.
+    struct Stats {
+      int pos = 0;
+      int neg = 0;
+      const Occurrence* sample = nullptr;
+    };
+    std::map<std::string, Stats> stats;
+    for (const Occurrence& occ : occurrences) {
+      std::string key = occ.context + (occ.subject_first ? "|SF" : "|OF");
+      Stats& st = stats[key];
+      st.sample = &occ;
+      if (known.count(occ.pair) > 0) {
+        ++st.pos;
+      } else if (known_subjects.count(occ.pair.first) > 0) {
+        ++st.neg;  // contradicts what we believe about this subject
+      }
+    }
+    // Accept new patterns.
+    size_t before = accepted_keys.size();
+    for (const auto& [key, st] : stats) {
+      if (accepted_keys.count(key) > 0) continue;
+      if (st.pos < options_.min_pattern_support) continue;
+      double precision =
+          static_cast<double>(st.pos) / static_cast<double>(st.pos + st.neg);
+      if (precision < options_.min_pattern_precision) continue;
+      if (st.sample->words.empty()) continue;  // adjacency is too generic
+      accepted_keys.insert(key);
+      SurfacePattern p;
+      p.relation = relation;
+      p.between = st.sample->words;
+      p.subject_first = st.sample->subject_first;
+      p.confidence = precision;
+      result.learned_patterns.push_back(std::move(p));
+    }
+    if (accepted_keys.size() == before && iter > 0) break;  // converged
+
+    // Apply all accepted patterns; grow the seed set.
+    std::map<std::string, double> key_confidence;
+    for (const SurfacePattern& p : result.learned_patterns) {
+      key_confidence[Join(p.between, " ") + (p.subject_first ? "|SF" : "|OF")] =
+          p.confidence;
+    }
+    for (const Occurrence& occ : occurrences) {
+      std::string key = occ.context + (occ.subject_first ? "|SF" : "|OF");
+      auto it = key_confidence.find(key);
+      if (it == key_confidence.end()) continue;
+      ExtractedFact f;
+      f.subject = occ.pair.first;
+      f.relation = relation;
+      if (info.literal_object) {
+        f.literal_year = static_cast<int32_t>(occ.pair.second);
+      } else {
+        f.object = static_cast<uint32_t>(occ.pair.second);
+      }
+      f.confidence = it->second;
+      f.doc_id = occ.doc_id;
+      f.extractor = rdf::kExtractorBootstrap;
+      raw_facts.push_back(f);
+      known.insert(occ.pair);
+      known_subjects.insert(occ.pair.first);
+    }
+  }
+
+  result.facts = DeduplicateFacts(raw_facts);
+  return result;
+}
+
+}  // namespace extraction
+}  // namespace kb

@@ -1,0 +1,51 @@
+#ifndef KBFORGE_EXTRACTION_BOOTSTRAP_H_
+#define KBFORGE_EXTRACTION_BOOTSTRAP_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "extraction/pattern_extractor.h"
+
+namespace kb {
+namespace extraction {
+
+/// Tuning of the DIPRE/Snowball-style pattern bootstrapper.
+struct BootstrapOptions {
+  int max_iterations = 3;
+  /// Seed matches required before a context becomes a pattern.
+  int min_pattern_support = 3;
+  /// pos / (pos + neg) threshold, where neg counts matches that
+  /// contradict the seed set on a seeded subject.
+  double min_pattern_precision = 0.75;
+  /// Longest between-mention token gap considered a pattern.
+  size_t max_gap = 6;
+};
+
+/// Iterative pattern induction from seed facts (tutorial §3's
+/// statistical middle ground): occurrences of seed pairs yield
+/// between-text patterns; high-precision patterns yield new facts;
+/// repeat. Closes the recall gap of the hand-written pattern set.
+class Bootstrapper {
+ public:
+  explicit Bootstrapper(BootstrapOptions options = BootstrapOptions());
+
+  struct Result {
+    std::vector<SurfacePattern> learned_patterns;
+    std::vector<ExtractedFact> facts;  ///< deduplicated
+    int iterations_run = 0;
+  };
+
+  /// Bootstraps one relation from `seeds` over `sentences`.
+  Result Run(corpus::Relation relation,
+             const std::vector<ExtractedFact>& seeds,
+             const std::vector<AnnotatedSentence>& sentences) const;
+
+ private:
+  BootstrapOptions options_;
+};
+
+}  // namespace extraction
+}  // namespace kb
+
+#endif  // KBFORGE_EXTRACTION_BOOTSTRAP_H_

@@ -1,0 +1,242 @@
+#include "extraction/distant_supervision.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "extraction/pattern_extractor.h"
+#include "rdf/triple.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace kb {
+namespace extraction {
+
+using corpus::EntityKind;
+using corpus::GetRelationInfo;
+using corpus::kNumRelations;
+using corpus::Relation;
+
+namespace {
+constexpr int kNoneLabel = kNumRelations;
+
+std::string KindName(EntityKind k) {
+  return std::string(corpus::EntityKindName(k));
+}
+}  // namespace
+
+RelationClassifier::RelationClassifier(ClassifierOptions options)
+    : options_(options), weights_(kNumRelations + 1) {}
+
+void RelationClassifier::CollectCandidates(const AnnotatedSentence& as,
+                                           size_t max_gap,
+                                           std::vector<Candidate>* out) {
+  const nlp::Sentence& s = as.sentence;
+  auto make_features = [&](uint32_t from, uint32_t to, bool subject_first,
+                           EntityKind sk, EntityKind ok, bool literal) {
+    std::vector<std::string> f;
+    std::string joined;
+    for (uint32_t t = from; t < to; ++t) {
+      f.push_back("bw:" + s.tokens[t].lower);
+      if (!joined.empty()) joined += ' ';
+      joined += s.tokens[t].lower;
+      if (t + 1 < to) {
+        f.push_back("bg:" + s.tokens[t].lower + "_" + s.tokens[t + 1].lower);
+      }
+    }
+    f.push_back("ctx:" + joined + (subject_first ? "|SF" : "|OF"));
+    f.push_back("kinds:" + KindName(sk) + "-" +
+                (literal ? std::string("year") : KindName(ok)) +
+                (subject_first ? "|SF" : "|OF"));
+    f.push_back("gap:" + std::to_string((to - from) / 2));
+    f.push_back("bias");
+    return f;
+  };
+
+  for (size_t i = 0; i < as.mentions.size(); ++i) {
+    const SentenceMention& first = as.mentions[i];
+    // Literal (year) candidates to the right of a mention.
+    for (uint32_t t = first.token_end;
+         t < s.tokens.size() && t - first.token_end <= max_gap; ++t) {
+      int year = 0;
+      if (!IsYearToken(s.tokens[t], &year)) continue;
+      Candidate c;
+      c.subject = first.entity;
+      c.object = UINT32_MAX;
+      c.literal_year = year;
+      c.subject_kind = first.kind;
+      c.object_kind = first.kind;
+      c.literal = true;
+      c.doc_id = as.doc_id;
+      c.features = make_features(first.token_end, t, true, first.kind,
+                                 first.kind, true);
+      out->push_back(std::move(c));
+    }
+    for (size_t j = 0; j < as.mentions.size(); ++j) {
+      if (i == j) continue;
+      const SentenceMention& second = as.mentions[j];
+      if (second.token_begin < first.token_end) continue;
+      if (second.token_begin - first.token_end > max_gap) continue;
+      if (first.entity == second.entity) continue;
+      for (bool subject_first : {true, false}) {
+        const SentenceMention& subj = subject_first ? first : second;
+        const SentenceMention& obj = subject_first ? second : first;
+        Candidate c;
+        c.subject = subj.entity;
+        c.object = obj.entity;
+        c.literal_year = 0;
+        c.subject_kind = subj.kind;
+        c.object_kind = obj.kind;
+        c.literal = false;
+        c.doc_id = as.doc_id;
+        c.features = make_features(first.token_end, second.token_begin,
+                                   subject_first, subj.kind, obj.kind, false);
+        out->push_back(std::move(c));
+      }
+    }
+  }
+}
+
+double RelationClassifier::Score(const std::vector<std::string>& features,
+                                 int label, bool averaged) const {
+  const auto& table = weights_[label];
+  double score = 0;
+  for (const std::string& f : features) {
+    auto it = table.find(f);
+    if (it == table.end()) continue;
+    if (averaged) {
+      // Finalized average: acc already includes trailing updates.
+      score += it->second.acc;
+    } else {
+      score += it->second.w;
+    }
+  }
+  return score;
+}
+
+void RelationClassifier::Train(
+    const std::vector<AnnotatedSentence>& sentences,
+    const std::vector<ExtractedFact>& seed_facts) {
+  // Index the seed KB.
+  std::set<std::tuple<uint32_t, int, int64_t>> kb;
+  for (const ExtractedFact& f : seed_facts) {
+    const auto& info = GetRelationInfo(f.relation);
+    kb.emplace(f.subject, static_cast<int>(f.relation),
+               info.literal_object ? static_cast<int64_t>(f.literal_year)
+                                   : static_cast<int64_t>(f.object));
+  }
+  auto label_of = [&](const Candidate& c) {
+    for (int r = 0; r < kNumRelations; ++r) {
+      const auto& info = GetRelationInfo(static_cast<Relation>(r));
+      if (info.literal_object != c.literal) continue;
+      if (info.subject_kind != c.subject_kind) continue;
+      if (!c.literal && info.object_kind != c.object_kind) continue;
+      int64_t obj = c.literal ? static_cast<int64_t>(c.literal_year)
+                              : static_cast<int64_t>(c.object);
+      if (kb.count({c.subject, r, obj}) > 0) return r;
+    }
+    return kNoneLabel;
+  };
+
+  // Build the training set (subsampling NONE).
+  std::vector<Candidate> candidates;
+  for (const AnnotatedSentence& as : sentences) {
+    CollectCandidates(as, options_.max_gap, &candidates);
+  }
+  Rng rng(options_.seed);
+  std::vector<std::pair<int, const Candidate*>> train;
+  for (const Candidate& c : candidates) {
+    int label = label_of(c);
+    if (label == kNoneLabel && !rng.Bernoulli(options_.none_subsample)) {
+      continue;
+    }
+    train.emplace_back(label, &c);
+  }
+
+  auto update = [&](int label, const std::string& feature, double delta) {
+    Weight& weight = weights_[label][feature];
+    weight.acc += weight.w * static_cast<double>(steps_ - weight.last);
+    weight.last = steps_;
+    weight.w += delta;
+  };
+
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(&train);
+    for (const auto& [gold, candidate] : train) {
+      ++steps_;
+      int best = kNoneLabel;
+      double best_score = -1e100;
+      for (int label = 0; label <= kNoneLabel; ++label) {
+        double score = Score(candidate->features, label, /*averaged=*/false);
+        if (score > best_score) {
+          best_score = score;
+          best = label;
+        }
+      }
+      if (best != gold) {
+        for (const std::string& f : candidate->features) {
+          update(gold, f, +1.0);
+          update(best, f, -1.0);
+        }
+      }
+    }
+  }
+  // Finalize averages.
+  for (auto& table : weights_) {
+    for (auto& [feature, weight] : table) {
+      weight.acc += weight.w * static_cast<double>(steps_ - weight.last);
+      weight.last = steps_;
+      weight.acc /= std::max<long long>(1, steps_);
+    }
+  }
+}
+
+std::vector<ExtractedFact> RelationClassifier::Extract(
+    const std::vector<AnnotatedSentence>& sentences,
+    double min_confidence) const {
+  std::vector<ExtractedFact> out;
+  std::vector<Candidate> candidates;
+  for (const AnnotatedSentence& as : sentences) {
+    CollectCandidates(as, options_.max_gap, &candidates);
+  }
+  for (const Candidate& c : candidates) {
+    int best = kNoneLabel;
+    double best_score = -1e100, second = -1e100;
+    for (int label = 0; label <= kNoneLabel; ++label) {
+      double score = Score(c.features, label, /*averaged=*/true);
+      if (score > best_score) {
+        second = best_score;
+        best_score = score;
+        best = label;
+      } else if (score > second) {
+        second = score;
+      }
+    }
+    if (best == kNoneLabel) continue;
+    const auto& info = GetRelationInfo(static_cast<Relation>(best));
+    if (info.literal_object != c.literal) continue;
+    if (info.subject_kind != c.subject_kind) continue;
+    if (!c.literal && info.object_kind != c.object_kind) continue;
+    double confidence = 1.0 / (1.0 + std::exp(-(best_score - second)));
+    if (confidence < min_confidence) continue;
+    ExtractedFact f;
+    f.subject = c.subject;
+    f.relation = static_cast<Relation>(best);
+    f.object = c.literal ? UINT32_MAX : c.object;
+    f.literal_year = c.literal ? c.literal_year : 0;
+    f.confidence = confidence;
+    f.doc_id = c.doc_id;
+    f.extractor = rdf::kExtractorStatistical;
+    out.push_back(f);
+  }
+  return DeduplicateFacts(out);
+}
+
+size_t RelationClassifier::num_features() const {
+  size_t n = 0;
+  for (const auto& table : weights_) n += table.size();
+  return n;
+}
+
+}  // namespace extraction
+}  // namespace kb

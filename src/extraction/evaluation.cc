@@ -1,0 +1,84 @@
+#include "extraction/evaluation.h"
+
+#include <map>
+
+namespace kb {
+namespace extraction {
+
+using corpus::GetRelationInfo;
+using corpus::Relation;
+
+std::set<uint32_t> ExpressedFacts(const std::vector<corpus::Document>& docs) {
+  std::set<uint32_t> out;
+  for (const corpus::Document& doc : docs) {
+    out.insert(doc.fact_ids.begin(), doc.fact_ids.end());
+  }
+  return out;
+}
+
+namespace {
+
+/// Statement identity of a gold fact.
+std::tuple<uint32_t, int, uint32_t, int32_t> GoldKey(
+    const corpus::GoldFact& f) {
+  const auto& info = GetRelationInfo(f.relation);
+  if (info.literal_object) {
+    return {f.subject, static_cast<int>(f.relation), UINT32_MAX,
+            f.literal_year};
+  }
+  return {f.subject, static_cast<int>(f.relation), f.object, 0};
+}
+
+std::tuple<uint32_t, int, uint32_t, int32_t> PredKey(
+    const ExtractedFact& f) {
+  const auto& info = GetRelationInfo(f.relation);
+  if (info.literal_object) {
+    return {f.subject, static_cast<int>(f.relation), UINT32_MAX,
+            f.literal_year};
+  }
+  return {f.subject, static_cast<int>(f.relation), f.object, 0};
+}
+
+}  // namespace
+
+PrecisionRecall EvaluateFacts(const corpus::World& world,
+                              const std::vector<ExtractedFact>& facts,
+                              const std::set<uint32_t>& recall_base) {
+  auto per_relation = EvaluateFactsPerRelation(world, facts, recall_base);
+  PrecisionRecall total;
+  for (const auto& [relation, pr] : per_relation) total.Merge(pr);
+  return total;
+}
+
+std::vector<std::pair<Relation, PrecisionRecall>> EvaluateFactsPerRelation(
+    const corpus::World& world, const std::vector<ExtractedFact>& facts,
+    const std::set<uint32_t>& recall_base) {
+  // Gold statement keys (all, and the recall base subset).
+  std::set<std::tuple<uint32_t, int, uint32_t, int32_t>> gold_all;
+  std::map<std::tuple<uint32_t, int, uint32_t, int32_t>, Relation> base;
+  for (uint32_t i = 0; i < world.facts().size(); ++i) {
+    const corpus::GoldFact& f = world.facts()[i];
+    gold_all.insert(GoldKey(f));
+    if (recall_base.count(i) > 0) base.emplace(GoldKey(f), f.relation);
+  }
+
+  std::map<Relation, PrecisionRecall> per_relation;
+  std::set<std::tuple<uint32_t, int, uint32_t, int32_t>> predicted;
+  for (const ExtractedFact& f : facts) {
+    auto key = PredKey(f);
+    if (!predicted.insert(key).second) continue;  // dedup
+    if (gold_all.count(key) > 0) {
+      per_relation[f.relation].AddTP();
+    } else {
+      per_relation[f.relation].AddFP();
+    }
+  }
+  for (const auto& [key, relation] : base) {
+    if (predicted.count(key) == 0) per_relation[relation].AddFN();
+  }
+  return std::vector<std::pair<Relation, PrecisionRecall>>(
+      per_relation.begin(), per_relation.end());
+}
+
+}  // namespace extraction
+}  // namespace kb

@@ -1,0 +1,35 @@
+#ifndef KBFORGE_EXTRACTION_EVALUATION_H_
+#define KBFORGE_EXTRACTION_EVALUATION_H_
+
+#include <set>
+#include <vector>
+
+#include "extraction/annotation.h"
+#include "util/metrics.h"
+
+namespace kb {
+namespace extraction {
+
+/// Scores extracted facts against the gold world. Precision counts a
+/// predicted statement as correct iff it is a gold fact. Recall is
+/// measured against `recall_base`: the gold fact ids the system could
+/// possibly have found (normally: the facts expressed in the corpus
+/// text, collected from Document::fact_ids). Duplicates are collapsed
+/// before scoring.
+PrecisionRecall EvaluateFacts(const corpus::World& world,
+                              const std::vector<ExtractedFact>& facts,
+                              const std::set<uint32_t>& recall_base);
+
+/// Collects the ids of all facts expressed in the given documents.
+std::set<uint32_t> ExpressedFacts(const std::vector<corpus::Document>& docs);
+
+/// Per-relation breakdown of EvaluateFacts.
+std::vector<std::pair<corpus::Relation, PrecisionRecall>>
+EvaluateFactsPerRelation(const corpus::World& world,
+                         const std::vector<ExtractedFact>& facts,
+                         const std::set<uint32_t>& recall_base);
+
+}  // namespace extraction
+}  // namespace kb
+
+#endif  // KBFORGE_EXTRACTION_EVALUATION_H_

@@ -1,0 +1,132 @@
+#include "extraction/infobox_extractor.h"
+
+#include "rdf/triple.h"
+#include "util/string_util.h"
+
+namespace kb {
+namespace extraction {
+
+using corpus::Relation;
+
+namespace {
+
+struct KeyMapping {
+  const char* key;
+  Relation relation;
+  bool subject_is_page;  ///< false: the page entity is the fact's object
+};
+
+constexpr KeyMapping kKeyMap[] = {
+    {"birth_place", Relation::kBornIn, true},
+    {"birth_date", Relation::kBirthDate, true},
+    {"spouse", Relation::kMarriedTo, true},
+    {"employer", Relation::kWorksFor, true},
+    {"founder", Relation::kFounded, false},
+    {"founded_year", Relation::kFoundedYear, true},
+    {"headquarters", Relation::kHeadquarteredIn, true},
+    {"country", Relation::kLocatedIn, true},
+    {"capital_of", Relation::kCapitalOf, true},
+    {"alma_mater", Relation::kStudiedAt, true},
+    {"member_of", Relation::kMemberOf, true},
+    {"artist", Relation::kReleasedAlbum, false},
+    {"release_year", Relation::kReleaseYear, true},
+    {"director", Relation::kDirected, false},
+    {"starring", Relation::kActedIn, false},
+    {"citizenship", Relation::kCitizenOf, true},
+};
+
+const KeyMapping* FindMapping(std::string_view key) {
+  for (const KeyMapping& m : kKeyMap) {
+    if (key == m.key) return &m;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+InfoboxExtractor::InfoboxExtractor(
+    std::unordered_map<std::string, uint32_t> by_canonical)
+    : by_canonical_(std::move(by_canonical)) {}
+
+std::vector<ExtractedFact> InfoboxExtractor::ExtractFromArticle(
+    const corpus::Document& doc) const {
+  std::vector<ExtractedFact> out;
+  if (doc.subject == UINT32_MAX) return out;
+  size_t box_begin = doc.text.find("{{Infobox");
+  if (box_begin == std::string::npos) return out;
+  size_t box_end = doc.text.find("}}", box_begin);
+  if (box_end == std::string::npos) return out;
+  std::string_view box(doc.text.data() + box_begin, box_end - box_begin);
+
+  size_t pos = 0;
+  while (pos < box.size()) {
+    size_t nl = box.find('\n', pos);
+    std::string_view line =
+        nl == std::string_view::npos ? box.substr(pos) : box.substr(pos, nl - pos);
+    pos = nl == std::string_view::npos ? box.size() : nl + 1;
+    line = StripWhitespace(line);
+    if (line.empty() || line.front() != '|') continue;
+    size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      ++malformed_slots_;
+      continue;
+    }
+    std::string key(StripWhitespace(line.substr(1, eq - 1)));
+    std::string value(StripWhitespace(line.substr(eq + 1)));
+    const KeyMapping* mapping = FindMapping(key);
+    if (mapping == nullptr) continue;  // e.g. "name"
+    const corpus::RelationInfo& info = GetRelationInfo(mapping->relation);
+
+    ExtractedFact f;
+    f.relation = mapping->relation;
+    f.confidence = 0.95;
+    f.doc_id = doc.id;
+    f.extractor = rdf::kExtractorInfobox;
+
+    if (info.literal_object) {
+      // "1955-02-24" or "1987".
+      long long year = 0;
+      std::string year_part = value.substr(0, value.find('-'));
+      if (!ParseInt64(year_part, &year) || year < 1000 || year > 2100) {
+        ++malformed_slots_;
+        continue;
+      }
+      f.subject = doc.subject;
+      f.literal_year = static_cast<int32_t>(year);
+    } else {
+      if (!StartsWith(value, "[[") || !EndsWith(value, "]]")) {
+        ++malformed_slots_;  // corrupted or plain-text value
+        continue;
+      }
+      std::string title = value.substr(2, value.size() - 4);
+      auto it = by_canonical_.find(title);
+      if (it == by_canonical_.end()) {
+        ++malformed_slots_;
+        continue;
+      }
+      if (mapping->subject_is_page) {
+        f.subject = doc.subject;
+        f.object = it->second;
+      } else {
+        f.subject = it->second;
+        f.object = doc.subject;
+      }
+    }
+    out.push_back(f);
+  }
+  return out;
+}
+
+std::vector<ExtractedFact> InfoboxExtractor::Extract(
+    const std::vector<corpus::Document>& docs) const {
+  std::vector<ExtractedFact> out;
+  for (const corpus::Document& doc : docs) {
+    if (doc.kind != corpus::DocKind::kArticle) continue;
+    auto facts = ExtractFromArticle(doc);
+    out.insert(out.end(), facts.begin(), facts.end());
+  }
+  return out;
+}
+
+}  // namespace extraction
+}  // namespace kb

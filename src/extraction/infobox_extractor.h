@@ -1,0 +1,44 @@
+#ifndef KBFORGE_EXTRACTION_INFOBOX_EXTRACTOR_H_
+#define KBFORGE_EXTRACTION_INFOBOX_EXTRACTOR_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "extraction/annotation.h"
+
+namespace kb {
+namespace extraction {
+
+/// Harvests facts from the semi-structured infobox markup of articles
+/// (the DBpedia approach, tutorial §2): parses "| key = value" lines in
+/// the "{{Infobox ...}}" block and maps keys to relations. Entity
+/// values are "[[Canonical_Title]]" wiki links, resolved through the
+/// page-title index; unresolvable or malformed values are dropped.
+class InfoboxExtractor {
+ public:
+  /// `by_canonical` maps page titles to entity ids (the page index a
+  /// real wiki provides for free).
+  explicit InfoboxExtractor(
+      std::unordered_map<std::string, uint32_t> by_canonical);
+
+  /// Extracts from one article document; `subject` is its entity.
+  std::vector<ExtractedFact> ExtractFromArticle(
+      const corpus::Document& doc) const;
+
+  /// Extracts from every article in `docs`.
+  std::vector<ExtractedFact> Extract(
+      const std::vector<corpus::Document>& docs) const;
+
+  /// Number of lines that looked like slots but failed to parse.
+  size_t malformed_slots() const { return malformed_slots_; }
+
+ private:
+  std::unordered_map<std::string, uint32_t> by_canonical_;
+  mutable size_t malformed_slots_ = 0;
+};
+
+}  // namespace extraction
+}  // namespace kb
+
+#endif  // KBFORGE_EXTRACTION_INFOBOX_EXTRACTOR_H_

@@ -1,0 +1,139 @@
+#include "extraction/pattern_extractor.h"
+
+#include "rdf/triple.h"
+#include "util/string_util.h"
+
+namespace kb {
+namespace extraction {
+
+using corpus::EntityKind;
+using corpus::GetRelationInfo;
+using corpus::Relation;
+using corpus::RelationInfo;
+
+bool IsYearToken(const nlp::Token& token, int* year) {
+  if (token.pos != nlp::Pos::kNumber) return false;
+  long long v = 0;
+  if (!ParseInt64(token.lower, &v)) return false;
+  if (v < 1200 || v > 2100) return false;
+  *year = static_cast<int>(v);
+  return true;
+}
+
+const std::vector<SurfacePattern>& DefaultPatterns() {
+  static const auto* kPatterns = new std::vector<SurfacePattern>{
+      {Relation::kBornIn, {"was", "born", "in"}, true, 0.85},
+      {Relation::kBirthDate, {"was", "born", "in"}, true, 0.85},
+      {Relation::kMarriedTo, {"married"}, true, 0.80},
+      {Relation::kMarriedTo, {"is", "married", "to"}, true, 0.85},
+      {Relation::kMarriedTo, {"was", "married", "to"}, true, 0.85},
+      {Relation::kWorksFor, {"works", "for"}, true, 0.85},
+      {Relation::kWorksFor, {"worked", "for"}, true, 0.85},
+      {Relation::kWorksFor, {"joined"}, true, 0.75},
+      {Relation::kFounded, {"founded"}, true, 0.85},
+      {Relation::kFounded, {"was", "founded", "by"}, false, 0.85},
+      {Relation::kFoundedYear, {"was", "founded", "in"}, true, 0.85},
+      {Relation::kHeadquarteredIn, {"is", "headquartered", "in"}, true, 0.9},
+      {Relation::kLocatedIn, {"is", "a", "city", "in"}, true, 0.9},
+      {Relation::kCapitalOf, {"is", "the", "capital", "of"}, true, 0.9},
+      {Relation::kStudiedAt, {"studied", "at"}, true, 0.85},
+      {Relation::kMemberOf, {"is", "a", "member", "of"}, true, 0.85},
+      {Relation::kReleasedAlbum, {"released"}, true, 0.8},
+      {Relation::kReleaseYear, {"was", "released", "in"}, true, 0.85},
+      {Relation::kDirected, {"directed"}, true, 0.85},
+      {Relation::kDirected, {"was", "directed", "by"}, false, 0.85},
+      {Relation::kActedIn, {"starred", "in"}, true, 0.85},
+      {Relation::kMayorOf, {"was", "the", "mayor", "of"}, true, 0.85},
+      {Relation::kMayorOf, {"became", "mayor", "of"}, true, 0.8},
+      {Relation::kCitizenOf, {"is", "a", "citizen", "of"}, true, 0.9},
+  };
+  return *kPatterns;
+}
+
+PatternExtractor::PatternExtractor(std::vector<SurfacePattern> patterns)
+    : patterns_(std::move(patterns)) {}
+
+namespace {
+
+/// Checks that the tokens in (from, to) equal `words`.
+bool GapMatches(const nlp::Sentence& s, uint32_t from, uint32_t to,
+                const std::vector<std::string>& words) {
+  if (to < from || to - from != words.size()) return false;
+  for (size_t i = 0; i < words.size(); ++i) {
+    if (s.tokens[from + i].lower != words[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<ExtractedFact> PatternExtractor::ExtractFromSentence(
+    const AnnotatedSentence& sentence) const {
+  std::vector<ExtractedFact> out;
+  const auto& mentions = sentence.mentions;
+  const nlp::Sentence& s = sentence.sentence;
+
+  for (const SurfacePattern& pattern : patterns_) {
+    const RelationInfo& info = GetRelationInfo(pattern.relation);
+    if (info.literal_object) {
+      // subject mention ... pattern ... year token.
+      for (const SentenceMention& subj : mentions) {
+        if (subj.kind != info.subject_kind) continue;
+        uint32_t start = subj.token_end;
+        uint32_t year_pos = start + static_cast<uint32_t>(
+                                        pattern.between.size());
+        if (year_pos >= s.tokens.size()) continue;
+        int year = 0;
+        if (!IsYearToken(s.tokens[year_pos], &year)) continue;
+        if (!GapMatches(s, start, year_pos, pattern.between)) continue;
+        ExtractedFact f;
+        f.subject = subj.entity;
+        f.relation = pattern.relation;
+        f.literal_year = year;
+        f.confidence = pattern.confidence;
+        f.doc_id = sentence.doc_id;
+        f.extractor = rdf::kExtractorPattern;
+        out.push_back(f);
+      }
+      continue;
+    }
+    for (const SentenceMention& first : mentions) {
+      for (const SentenceMention& second : mentions) {
+        if (&first == &second) continue;
+        if (second.token_begin < first.token_end) continue;  // ordered
+        const SentenceMention& subj = pattern.subject_first ? first : second;
+        const SentenceMention& obj = pattern.subject_first ? second : first;
+        if (subj.entity == obj.entity) continue;
+        if (subj.kind != info.subject_kind || obj.kind != info.object_kind) {
+          continue;
+        }
+        if (!GapMatches(s, first.token_end, second.token_begin,
+                        pattern.between)) {
+          continue;
+        }
+        ExtractedFact f;
+        f.subject = subj.entity;
+        f.relation = pattern.relation;
+        f.object = obj.entity;
+        f.confidence = pattern.confidence;
+        f.doc_id = sentence.doc_id;
+        f.extractor = rdf::kExtractorPattern;
+        out.push_back(f);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<ExtractedFact> PatternExtractor::Extract(
+    const std::vector<AnnotatedSentence>& sentences) const {
+  std::vector<ExtractedFact> out;
+  for (const AnnotatedSentence& s : sentences) {
+    auto facts = ExtractFromSentence(s);
+    out.insert(out.end(), facts.begin(), facts.end());
+  }
+  return out;
+}
+
+}  // namespace extraction
+}  // namespace kb

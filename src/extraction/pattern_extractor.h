@@ -1,0 +1,54 @@
+#ifndef KBFORGE_EXTRACTION_PATTERN_EXTRACTOR_H_
+#define KBFORGE_EXTRACTION_PATTERN_EXTRACTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "extraction/annotation.h"
+
+namespace kb {
+namespace extraction {
+
+/// A surface pattern: the exact (lowercased) token sequence that must
+/// appear between a subject mention and an object mention. This is the
+/// "pattern matching" tier of the extraction spectrum (tutorial §3).
+struct SurfacePattern {
+  corpus::Relation relation = corpus::Relation::kNumRelations;
+  std::vector<std::string> between;  ///< lowercased tokens
+  bool subject_first = true;         ///< subject mention precedes object
+  double confidence = 0.8;           ///< prior precision of the pattern
+};
+
+/// The hand-written pattern inventory. Deliberately covers only the
+/// most common verbalizations of each relation — the recall gap is what
+/// bootstrapping (and statistical learning) close.
+const std::vector<SurfacePattern>& DefaultPatterns();
+
+/// Matches `patterns` against annotated sentences. For entity-object
+/// relations both mentions must have the relation's signature kinds;
+/// for literal relations the object is a 4-digit year token.
+class PatternExtractor {
+ public:
+  explicit PatternExtractor(std::vector<SurfacePattern> patterns);
+
+  /// Extraction over one sentence.
+  std::vector<ExtractedFact> ExtractFromSentence(
+      const AnnotatedSentence& sentence) const;
+
+  /// Extraction over a collection.
+  std::vector<ExtractedFact> Extract(
+      const std::vector<AnnotatedSentence>& sentences) const;
+
+  const std::vector<SurfacePattern>& patterns() const { return patterns_; }
+
+ private:
+  std::vector<SurfacePattern> patterns_;
+};
+
+/// True if `token` looks like a plausible year literal.
+bool IsYearToken(const nlp::Token& token, int* year);
+
+}  // namespace extraction
+}  // namespace kb
+
+#endif  // KBFORGE_EXTRACTION_PATTERN_EXTRACTOR_H_

@@ -1,0 +1,114 @@
+#include "linkage/blocking.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+
+#include "util/string_util.h"
+
+namespace kb {
+namespace linkage {
+
+namespace {
+/// Multi-key standard blocking: one key per name token (kind + first
+/// character), so "E. Holloway" and "Emil Holloway" and the bare alias
+/// "Holloway" still share a block.
+std::vector<std::string> StandardKeys(const Record& r) {
+  std::vector<std::string> keys;
+  for (const std::string& token : SplitWhitespace(ToLower(r.name))) {
+    keys.push_back(r.kind + ":" + token.substr(0, 1));
+  }
+  if (keys.empty()) keys.push_back(r.kind + ":?");
+  return keys;
+}
+}  // namespace
+
+std::vector<CandidatePair> GenerateCandidates(
+    const std::vector<Record>& a, const std::vector<Record>& b,
+    const BlockingOptions& options) {
+  std::vector<CandidatePair> out;
+  switch (options.strategy) {
+    case BlockingStrategy::kNone: {
+      out.reserve(a.size() * b.size());
+      for (uint32_t i = 0; i < a.size(); ++i) {
+        for (uint32_t j = 0; j < b.size(); ++j) {
+          out.emplace_back(i, j);
+        }
+      }
+      return out;
+    }
+    case BlockingStrategy::kStandard: {
+      std::map<std::string, std::vector<uint32_t>> blocks;
+      for (uint32_t j = 0; j < b.size(); ++j) {
+        for (const std::string& key : StandardKeys(b[j])) {
+          blocks[key].push_back(j);
+        }
+      }
+      std::set<CandidatePair> unique;
+      for (uint32_t i = 0; i < a.size(); ++i) {
+        for (const std::string& key : StandardKeys(a[i])) {
+          auto it = blocks.find(key);
+          if (it == blocks.end()) continue;
+          for (uint32_t j : it->second) unique.emplace(i, j);
+        }
+      }
+      out.assign(unique.begin(), unique.end());
+      return out;
+    }
+    case BlockingStrategy::kSortedNeighborhood: {
+      // Merge both sets, sort by (kind, lowercased name), slide a
+      // window, and emit cross-set pairs inside it.
+      struct Entry {
+        std::string key;
+        uint32_t index;
+        bool from_a;
+      };
+      std::vector<Entry> entries;
+      entries.reserve(a.size() + b.size());
+      for (uint32_t i = 0; i < a.size(); ++i) {
+        entries.push_back({a[i].kind + ":" + ToLower(a[i].name), i, true});
+      }
+      for (uint32_t j = 0; j < b.size(); ++j) {
+        entries.push_back({b[j].kind + ":" + ToLower(b[j].name), j, false});
+      }
+      std::sort(entries.begin(), entries.end(),
+                [](const Entry& x, const Entry& y) { return x.key < y.key; });
+      std::set<CandidatePair> unique;
+      for (size_t i = 0; i < entries.size(); ++i) {
+        size_t hi = std::min(entries.size(), i + options.window);
+        for (size_t j = i + 1; j < hi; ++j) {
+          if (entries[i].from_a == entries[j].from_a) continue;
+          const Entry& ea = entries[i].from_a ? entries[i] : entries[j];
+          const Entry& eb = entries[i].from_a ? entries[j] : entries[i];
+          unique.emplace(ea.index, eb.index);
+        }
+      }
+      out.assign(unique.begin(), unique.end());
+      return out;
+    }
+  }
+  return out;
+}
+
+double PairsCompleteness(const std::vector<Record>& a,
+                         const std::vector<Record>& b,
+                         const std::vector<CandidatePair>& candidates) {
+  std::set<std::pair<uint32_t, uint32_t>> gold;
+  std::map<uint32_t, std::vector<uint32_t>> b_by_entity;
+  for (const Record& r : b) b_by_entity[r.gold_entity].push_back(r.id);
+  for (const Record& r : a) {
+    auto it = b_by_entity.find(r.gold_entity);
+    if (it == b_by_entity.end()) continue;
+    for (uint32_t j : it->second) gold.emplace(r.id, j);
+  }
+  if (gold.empty()) return 1.0;
+  size_t covered = 0;
+  for (const CandidatePair& p : candidates) {
+    if (gold.count(p) > 0) ++covered;
+  }
+  return static_cast<double>(covered) / static_cast<double>(gold.size());
+}
+
+}  // namespace linkage
+}  // namespace kb

@@ -1,0 +1,99 @@
+#include "linkage/clustering.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace kb {
+namespace linkage {
+
+namespace {
+
+/// Union-find with per-root resource multiset for the one-per-resource
+/// constraint.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n), resources_(n) {
+    for (size_t i = 0; i < n; ++i) parent_[i] = i;
+  }
+
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void SetResource(size_t x, uint32_t resource) {
+    resources_[x].insert(resource);
+  }
+
+  /// Merges the clusters of a and b unless that would place two
+  /// records of the same resource together (when enforced).
+  bool Union(size_t a, size_t b, bool one_per_resource) {
+    size_t ra = Find(a), rb = Find(b);
+    if (ra == rb) return true;
+    if (one_per_resource) {
+      for (uint32_t r : resources_[rb]) {
+        if (resources_[ra].count(r) > 0) return false;
+      }
+    }
+    if (resources_[ra].size() < resources_[rb].size()) std::swap(ra, rb);
+    parent_[rb] = ra;
+    resources_[ra].insert(resources_[rb].begin(), resources_[rb].end());
+    resources_[rb].clear();
+    return true;
+  }
+
+ private:
+  std::vector<size_t> parent_;
+  std::vector<std::multiset<uint32_t>> resources_;
+};
+
+}  // namespace
+
+std::vector<SameAsCluster> ClusterSameAs(const std::vector<SameAsEdge>& edges,
+                                         const ClusterOptions& options) {
+  // Index the nodes.
+  std::map<ResourceRecord, size_t> node_index;
+  std::vector<ResourceRecord> nodes;
+  auto intern = [&](const ResourceRecord& r) {
+    auto it = node_index.find(r);
+    if (it != node_index.end()) return it->second;
+    size_t id = nodes.size();
+    node_index.emplace(r, id);
+    nodes.push_back(r);
+    return id;
+  };
+  std::vector<std::tuple<double, size_t, size_t>> indexed_edges;
+  for (const SameAsEdge& e : edges) {
+    indexed_edges.emplace_back(e.score, intern(e.a), intern(e.b));
+  }
+
+  UnionFind uf(nodes.size());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    uf.SetResource(i, nodes[i].resource);
+  }
+  // Strongest edges first: a conflicting weak edge loses.
+  std::sort(indexed_edges.rbegin(), indexed_edges.rend());
+  for (const auto& [score, a, b] : indexed_edges) {
+    uf.Union(a, b, options.one_per_resource);
+  }
+
+  std::map<size_t, SameAsCluster> clusters;
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    clusters[uf.Find(i)].push_back(nodes[i]);
+  }
+  std::vector<SameAsCluster> out;
+  out.reserve(clusters.size());
+  for (auto& [root, members] : clusters) {
+    std::sort(members.begin(), members.end());
+    out.push_back(std::move(members));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace linkage
+}  // namespace kb

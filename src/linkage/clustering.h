@@ -1,0 +1,55 @@
+#ifndef KBFORGE_LINKAGE_CLUSTERING_H_
+#define KBFORGE_LINKAGE_CLUSTERING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "linkage/matcher.h"
+
+namespace kb {
+namespace linkage {
+
+/// A node in the multi-resource sameAs graph: (resource id, record id).
+struct ResourceRecord {
+  uint32_t resource = 0;
+  uint32_t record = 0;
+
+  bool operator<(const ResourceRecord& o) const {
+    return resource != o.resource ? resource < o.resource
+                                  : record < o.record;
+  }
+  bool operator==(const ResourceRecord& o) const {
+    return resource == o.resource && record == o.record;
+  }
+};
+
+/// One entity cluster: the records (across resources) that denote the
+/// same real-world entity.
+using SameAsCluster = std::vector<ResourceRecord>;
+
+/// A sameAs edge between two resources' records with its match score.
+struct SameAsEdge {
+  ResourceRecord a;
+  ResourceRecord b;
+  double score = 1.0;
+};
+
+struct ClusterOptions {
+  /// Enforce that a cluster contains at most one record per resource
+  /// (the well-curated-resource assumption). When merging two clusters
+  /// would violate it, the edge is skipped — weakest edges are
+  /// considered last, so the strongest consistent clustering wins.
+  bool one_per_resource = true;
+};
+
+/// Clusters pairwise sameAs links into entity clusters by union-find
+/// over edges in descending score order — how "generate and maintain
+/// owl:sameAs information across knowledge resources" (tutorial §4)
+/// turns pairwise matches into a coherent entity space.
+std::vector<SameAsCluster> ClusterSameAs(const std::vector<SameAsEdge>& edges,
+                                         const ClusterOptions& options = {});
+
+}  // namespace linkage
+}  // namespace kb
+
+#endif  // KBFORGE_LINKAGE_CLUSTERING_H_

@@ -1,0 +1,75 @@
+#include "linkage/graph_linker.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/string_util.h"
+
+namespace kb {
+namespace linkage {
+
+GraphLinker::GraphLinker(GraphLinkOptions options) : options_(options) {}
+
+std::vector<Match> GraphLinker::Link(const std::vector<Record>& a,
+                                     const std::vector<Record>& b,
+                                     const std::vector<CandidatePair>& pairs,
+                                     const LogisticMatcher& base) const {
+  // Base scores.
+  std::vector<Match> scored;
+  scored.reserve(pairs.size());
+  for (const CandidatePair& p : pairs) {
+    double prob = base.Probability(a[p.first], b[p.second]);
+    if (prob >= options_.accept_threshold * 0.5) {
+      scored.push_back({p.first, p.second, prob});
+    }
+  }
+
+  // Record graph: records sharing a place value are neighbors; a pair
+  // (i, j) is supported when a currently-accepted pair exists between
+  // neighbors of i and neighbors of j (here: identical place strings).
+  auto place_key = [](const Record& r) { return ToLower(r.place); };
+  for (int round = 0; round < options_.propagation_rounds; ++round) {
+    // Current accepted set (above threshold).
+    std::map<std::string, int> accepted_by_place;  // place -> #matches
+    for (const Match& m : scored) {
+      if (m.score < options_.accept_threshold) continue;
+      std::string pa = place_key(a[m.a]);
+      std::string pb = place_key(b[m.b]);
+      if (!pa.empty() && pa == pb) accepted_by_place[pa]++;
+    }
+    for (Match& m : scored) {
+      std::string pa = place_key(a[m.a]);
+      std::string pb = place_key(b[m.b]);
+      if (pa.empty() || pa != pb) continue;
+      auto it = accepted_by_place.find(pa);
+      if (it == accepted_by_place.end()) continue;
+      // Subtract the pair's own contribution.
+      int neighbors = it->second - (m.score >= options_.accept_threshold);
+      if (neighbors > 0) {
+        m.score = std::min(1.0, m.score + options_.neighbor_boost);
+      }
+    }
+  }
+
+  // Greedy one-to-one assignment by descending score.
+  std::sort(scored.begin(), scored.end(),
+            [](const Match& x, const Match& y) {
+              if (x.score != y.score) return x.score > y.score;
+              if (x.a != y.a) return x.a < y.a;
+              return x.b < y.b;
+            });
+  std::set<uint32_t> used_a, used_b;
+  std::vector<Match> out;
+  for (const Match& m : scored) {
+    if (m.score < options_.accept_threshold) break;
+    if (used_a.count(m.a) > 0 || used_b.count(m.b) > 0) continue;
+    used_a.insert(m.a);
+    used_b.insert(m.b);
+    out.push_back(m);
+  }
+  return out;
+}
+
+}  // namespace linkage
+}  // namespace kb

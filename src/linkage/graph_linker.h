@@ -1,0 +1,41 @@
+#ifndef KBFORGE_LINKAGE_GRAPH_LINKER_H_
+#define KBFORGE_LINKAGE_GRAPH_LINKER_H_
+
+#include <vector>
+
+#include "linkage/matcher.h"
+
+namespace kb {
+namespace linkage {
+
+/// Options of the graph-based linker.
+struct GraphLinkOptions {
+  double accept_threshold = 0.5;   ///< minimum pair probability
+  double neighbor_boost = 0.15;    ///< score bonus per agreeing neighbor
+  int propagation_rounds = 2;
+};
+
+/// Graph-algorithm entity linkage (tutorial §4's second family):
+/// candidate pair scores from the base matcher are refined by
+/// *similarity propagation* — a pair gains confidence when related
+/// records (same `place` attribute = shared neighbor in the record
+/// graph) are themselves matched — and the final sameAs set is made
+/// one-to-one by greedy best-first selection, mirroring the constraint
+/// that each entity appears once per well-curated resource.
+class GraphLinker {
+ public:
+  explicit GraphLinker(GraphLinkOptions options = GraphLinkOptions());
+
+  std::vector<Match> Link(const std::vector<Record>& a,
+                          const std::vector<Record>& b,
+                          const std::vector<CandidatePair>& pairs,
+                          const LogisticMatcher& base) const;
+
+ private:
+  GraphLinkOptions options_;
+};
+
+}  // namespace linkage
+}  // namespace kb
+
+#endif  // KBFORGE_LINKAGE_GRAPH_LINKER_H_

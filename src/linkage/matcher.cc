@@ -1,0 +1,148 @@
+#include "linkage/matcher.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "linkage/similarity.h"
+#include "util/random.h"
+#include "util/string_util.h"
+
+namespace kb {
+namespace linkage {
+
+PairFeatures ComputeFeatures(const Record& a, const Record& b) {
+  PairFeatures f;
+  std::string na = ToLower(a.name), nb = ToLower(b.name);
+  f[0] = JaroWinkler(na, nb);
+  f[1] = NgramJaccard(na, nb, 3);
+  f[2] = TokenJaccard(a.name, b.name);
+  if (a.year != 0 && b.year != 0) {
+    f[3] = NumericSimilarity(a.year, b.year, 5.0);
+  } else {
+    f[3] = 0.5;  // missing year: uninformative
+  }
+  if (!a.place.empty() && !b.place.empty()) {
+    f[4] = JaroWinkler(ToLower(a.place), ToLower(b.place));
+  } else {
+    f[4] = 0.5;
+  }
+  f[5] = a.kind == b.kind ? 1.0 : 0.0;
+  return f;
+}
+
+std::vector<Match> ThresholdMatch(const std::vector<Record>& a,
+                                  const std::vector<Record>& b,
+                                  const std::vector<CandidatePair>& pairs,
+                                  double threshold) {
+  std::vector<Match> out;
+  for (const CandidatePair& p : pairs) {
+    double sim =
+        JaroWinkler(ToLower(a[p.first].name), ToLower(b[p.second].name));
+    if (sim >= threshold && a[p.first].kind == b[p.second].kind) {
+      out.push_back({p.first, p.second, sim});
+    }
+  }
+  return out;
+}
+
+void LogisticMatcher::Train(const std::vector<Record>& a,
+                            const std::vector<Record>& b,
+                            const std::vector<CandidatePair>& pairs,
+                            const TrainOptions& options) {
+  struct Example {
+    PairFeatures features;
+    double label;
+  };
+  std::vector<Example> examples;
+  examples.reserve(pairs.size());
+  size_t positives = 0;
+  for (const CandidatePair& p : pairs) {
+    Example ex;
+    ex.features = ComputeFeatures(a[p.first], b[p.second]);
+    ex.label =
+        a[p.first].gold_entity == b[p.second].gold_entity ? 1.0 : 0.0;
+    positives += ex.label > 0.5 ? 1 : 0;
+    examples.push_back(ex);
+  }
+  if (examples.empty() || positives == 0) return;
+
+  Rng rng(options.seed);
+  weights_ = {};
+  bias_ = 0;
+  // Reweight classes so the rare positives matter — capped, or the
+  // decision boundary drowns in recall bias.
+  double pos_weight = std::min(
+      4.0, static_cast<double>(examples.size() - positives) /
+               static_cast<double>(positives));
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.Shuffle(&examples);
+    for (const Example& ex : examples) {
+      double z = bias_;
+      for (size_t i = 0; i < kNumPairFeatures; ++i) {
+        z += weights_[i] * ex.features[i];
+      }
+      double p = 1.0 / (1.0 + std::exp(-z));
+      double gradient = (ex.label - p) *
+                        (ex.label > 0.5 ? pos_weight : 1.0);
+      double lr = options.learning_rate;
+      for (size_t i = 0; i < kNumPairFeatures; ++i) {
+        weights_[i] += lr * (gradient * ex.features[i] -
+                             options.l2 * weights_[i]);
+      }
+      bias_ += lr * gradient;
+    }
+  }
+}
+
+double LogisticMatcher::Probability(const Record& a, const Record& b) const {
+  PairFeatures f = ComputeFeatures(a, b);
+  double z = bias_;
+  for (size_t i = 0; i < kNumPairFeatures; ++i) z += weights_[i] * f[i];
+  return 1.0 / (1.0 + std::exp(-z));
+}
+
+std::vector<Match> LogisticMatcher::MatchPairs(
+    const std::vector<Record>& a, const std::vector<Record>& b,
+    const std::vector<CandidatePair>& pairs, double threshold) const {
+  std::vector<Match> out;
+  for (const CandidatePair& p : pairs) {
+    double prob = Probability(a[p.first], b[p.second]);
+    if (prob >= threshold) {
+      out.push_back({p.first, p.second, prob});
+    }
+  }
+  return out;
+}
+
+LinkageQuality EvaluateMatches(const std::vector<Record>& a,
+                               const std::vector<Record>& b,
+                               const std::vector<Match>& matches) {
+  std::set<std::pair<uint32_t, uint32_t>> gold;
+  std::map<uint32_t, std::vector<uint32_t>> b_by_entity;
+  for (const Record& r : b) b_by_entity[r.gold_entity].push_back(r.id);
+  for (const Record& r : a) {
+    auto it = b_by_entity.find(r.gold_entity);
+    if (it == b_by_entity.end()) continue;
+    for (uint32_t j : it->second) gold.emplace(r.id, j);
+  }
+  std::set<std::pair<uint32_t, uint32_t>> predicted;
+  for (const Match& m : matches) predicted.emplace(m.a, m.b);
+  size_t tp = 0;
+  for (const auto& p : predicted) {
+    if (gold.count(p) > 0) ++tp;
+  }
+  LinkageQuality q;
+  q.precision = predicted.empty()
+                    ? 0.0
+                    : static_cast<double>(tp) / predicted.size();
+  q.recall = gold.empty() ? 0.0 : static_cast<double>(tp) / gold.size();
+  q.f1 = (q.precision + q.recall) == 0
+             ? 0.0
+             : 2 * q.precision * q.recall / (q.precision + q.recall);
+  return q;
+}
+
+}  // namespace linkage
+}  // namespace kb

@@ -1,0 +1,83 @@
+#ifndef KBFORGE_LINKAGE_MATCHER_H_
+#define KBFORGE_LINKAGE_MATCHER_H_
+
+#include <array>
+#include <vector>
+
+#include "linkage/blocking.h"
+#include "linkage/record.h"
+
+namespace kb {
+namespace linkage {
+
+/// The per-pair feature vector used by the learned matcher.
+inline constexpr size_t kNumPairFeatures = 6;
+using PairFeatures = std::array<double, kNumPairFeatures>;
+
+/// Computes similarity features for one record pair: Jaro-Winkler and
+/// trigram-Jaccard of the names, token Jaccard, year agreement, place
+/// agreement, kind equality.
+PairFeatures ComputeFeatures(const Record& a, const Record& b);
+
+/// A decided match with its score.
+struct Match {
+  uint32_t a = 0;
+  uint32_t b = 0;
+  double score = 0.0;
+};
+
+/// Baseline matcher: name Jaro-Winkler above a threshold.
+std::vector<Match> ThresholdMatch(const std::vector<Record>& a,
+                                  const std::vector<Record>& b,
+                                  const std::vector<CandidatePair>& pairs,
+                                  double threshold);
+
+/// Training hyperparameters of the logistic matcher.
+struct TrainOptions {
+  int epochs = 30;
+  double learning_rate = 0.5;
+  double l2 = 1e-4;
+  uint64_t seed = 77;
+};
+
+/// Logistic-regression matcher trained on labeled pairs (the
+/// "statistical learning approaches" to entity linkage of tutorial §4).
+class LogisticMatcher {
+ public:
+  /// Trains on candidate pairs labeled by gold entity equality.
+  void Train(const std::vector<Record>& a, const std::vector<Record>& b,
+             const std::vector<CandidatePair>& pairs,
+             const TrainOptions& options = TrainOptions());
+
+  /// P(match) for one pair.
+  double Probability(const Record& a, const Record& b) const;
+
+  /// All pairs with P(match) >= threshold.
+  std::vector<Match> MatchPairs(const std::vector<Record>& a,
+                                const std::vector<Record>& b,
+                                const std::vector<CandidatePair>& pairs,
+                                double threshold = 0.5) const;
+
+  const PairFeatures& weights() const { return weights_; }
+
+ private:
+  PairFeatures weights_ = {};
+  double bias_ = 0.0;
+};
+
+/// Scores match quality against the gold record alignment.
+/// A predicted pair is correct iff both records share a gold entity;
+/// recall is over all co-present gold entity pairs.
+struct LinkageQuality {
+  double precision = 0;
+  double recall = 0;
+  double f1 = 0;
+};
+LinkageQuality EvaluateMatches(const std::vector<Record>& a,
+                               const std::vector<Record>& b,
+                               const std::vector<Match>& matches);
+
+}  // namespace linkage
+}  // namespace kb
+
+#endif  // KBFORGE_LINKAGE_MATCHER_H_

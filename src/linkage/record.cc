@@ -1,0 +1,84 @@
+#include "linkage/record.h"
+
+#include "util/random.h"
+
+namespace kb {
+namespace linkage {
+
+namespace {
+/// Applies one random character edit (substitute/delete/swap).
+std::string Typo(const std::string& s, Rng* rng) {
+  if (s.size() < 3) return s;
+  std::string out = s;
+  size_t pos = 1 + rng->Uniform(out.size() - 2);
+  switch (rng->Uniform(3)) {
+    case 0:  // substitute
+      out[pos] = static_cast<char>('a' + rng->Uniform(26));
+      break;
+    case 1:  // delete
+      out.erase(pos, 1);
+      break;
+    default:  // swap
+      std::swap(out[pos], out[pos - 1]);
+      break;
+  }
+  return out;
+}
+}  // namespace
+
+std::vector<Record> MakeNoisyRecords(const corpus::World& world,
+                                     const NoisyCopyOptions& options) {
+  Rng rng(options.seed);
+  std::vector<Record> out;
+  auto add_kind = [&](corpus::EntityKind kind) {
+    for (uint32_t id : world.ByKind(kind)) {
+      if (rng.Bernoulli(options.drop_rate)) continue;
+      const corpus::Entity& e = world.entity(id);
+      Record r;
+      r.id = static_cast<uint32_t>(out.size());
+      r.gold_entity = id;
+      r.kind = std::string(corpus::EntityKindName(kind));
+      r.name = e.full_name;
+      if (!e.aliases.empty() && rng.Bernoulli(options.alias_rate)) {
+        r.name = rng.Choice(e.aliases);
+      }
+      if (rng.Bernoulli(options.typo_rate)) {
+        r.name = Typo(r.name, &rng);
+      }
+      // Year attribute: birth year (persons) / founding year (companies).
+      int32_t year = 0;
+      if (kind == corpus::EntityKind::kPerson) {
+        year = e.birth_date.year;
+      } else {
+        for (const corpus::GoldFact* f : world.FactsOf(id)) {
+          if (f->relation == corpus::Relation::kFoundedYear) {
+            year = f->literal_year;
+          }
+        }
+      }
+      if (!rng.Bernoulli(options.year_missing_rate)) {
+        if (rng.Bernoulli(options.year_off_by_one_rate)) {
+          year += rng.Bernoulli(0.5) ? 1 : -1;
+        }
+        r.year = year;
+      }
+      // Place attribute: birth city / headquarters city.
+      if (!rng.Bernoulli(options.place_missing_rate)) {
+        for (const corpus::GoldFact* f : world.FactsOf(id)) {
+          if (f->relation == corpus::Relation::kBornIn ||
+              f->relation == corpus::Relation::kHeadquarteredIn) {
+            r.place = world.entity(f->object).full_name;
+            break;
+          }
+        }
+      }
+      out.push_back(std::move(r));
+    }
+  };
+  add_kind(corpus::EntityKind::kPerson);
+  add_kind(corpus::EntityKind::kCompany);
+  return out;
+}
+
+}  // namespace linkage
+}  // namespace kb

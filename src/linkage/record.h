@@ -1,0 +1,45 @@
+#ifndef KBFORGE_LINKAGE_RECORD_H_
+#define KBFORGE_LINKAGE_RECORD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "corpus/world.h"
+
+namespace kb {
+namespace linkage {
+
+/// A semi-structured record as it appears in one knowledge resource:
+/// entity linkage must decide which records of two resources denote
+/// the same real-world entity (owl:sameAs, tutorial §4).
+struct Record {
+  uint32_t id = 0;          ///< position in its record set
+  uint32_t gold_entity = UINT32_MAX;  ///< hidden ground truth
+  std::string name;
+  std::string kind;         ///< "person", "company", ...
+  int32_t year = 0;         ///< birth/founding year (0 = missing)
+  std::string place;        ///< associated city name (may be empty)
+};
+
+/// Noise knobs for deriving a record set from the gold world.
+struct NoisyCopyOptions {
+  uint64_t seed = 3;
+  double typo_rate = 0.25;       ///< name gets a character edit
+  double alias_rate = 0.2;       ///< name replaced by an alias
+  double year_missing_rate = 0.15;
+  double year_off_by_one_rate = 0.1;
+  double place_missing_rate = 0.2;
+  double drop_rate = 0.1;        ///< entity absent from this copy
+};
+
+/// Derives one noisy record set from the world (persons + companies).
+/// Two calls with different seeds model two independently-curated
+/// knowledge resources describing the same underlying entities.
+std::vector<Record> MakeNoisyRecords(const corpus::World& world,
+                                     const NoisyCopyOptions& options);
+
+}  // namespace linkage
+}  // namespace kb
+
+#endif  // KBFORGE_LINKAGE_RECORD_H_

@@ -1,0 +1,123 @@
+#include "linkage/similarity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace kb {
+namespace linkage {
+
+size_t Levenshtein(std::string_view a, std::string_view b) {
+  if (a.size() > b.size()) std::swap(a, b);
+  std::vector<size_t> prev(a.size() + 1), cur(a.size() + 1);
+  for (size_t i = 0; i <= a.size(); ++i) prev[i] = i;
+  for (size_t j = 1; j <= b.size(); ++j) {
+    cur[0] = j;
+    for (size_t i = 1; i <= a.size(); ++i) {
+      size_t cost = a[i - 1] == b[j - 1] ? 0 : 1;
+      cur[i] = std::min({prev[i] + 1, cur[i - 1] + 1, prev[i - 1] + cost});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[a.size()];
+}
+
+double LevenshteinSimilarity(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  size_t d = Levenshtein(a, b);
+  size_t max_len = std::max(a.size(), b.size());
+  return 1.0 - static_cast<double>(d) / static_cast<double>(max_len);
+}
+
+double Jaro(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  if (a == b) return 1.0;
+  size_t window =
+      std::max(a.size(), b.size()) / 2 > 0
+          ? std::max(a.size(), b.size()) / 2 - 1
+          : 0;
+  std::vector<bool> a_matched(a.size(), false), b_matched(b.size(), false);
+  size_t matches = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    size_t lo = i > window ? i - window : 0;
+    size_t hi = std::min(b.size(), i + window + 1);
+    for (size_t j = lo; j < hi; ++j) {
+      if (b_matched[j] || a[i] != b[j]) continue;
+      a_matched[i] = b_matched[j] = true;
+      ++matches;
+      break;
+    }
+  }
+  if (matches == 0) return 0.0;
+  // Transpositions.
+  size_t transpositions = 0;
+  size_t k = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!a_matched[i]) continue;
+    while (!b_matched[k]) ++k;
+    if (a[i] != b[k]) ++transpositions;
+    ++k;
+  }
+  double m = static_cast<double>(matches);
+  return (m / a.size() + m / b.size() +
+          (m - transpositions / 2.0) / m) /
+         3.0;
+}
+
+double JaroWinkler(std::string_view a, std::string_view b) {
+  double jaro = Jaro(a, b);
+  size_t prefix = 0;
+  for (size_t i = 0; i < std::min({a.size(), b.size(), size_t{4}}); ++i) {
+    if (a[i] != b[i]) break;
+    ++prefix;
+  }
+  return jaro + 0.1 * static_cast<double>(prefix) * (1.0 - jaro);
+}
+
+double NgramJaccard(std::string_view a, std::string_view b, int n) {
+  auto grams = [n](std::string_view s) {
+    std::set<std::string> out;
+    std::string padded = "^" + std::string(s) + "$";
+    if (static_cast<int>(padded.size()) < n) {
+      out.insert(padded);
+      return out;
+    }
+    for (size_t i = 0; i + n <= padded.size(); ++i) {
+      out.insert(padded.substr(i, n));
+    }
+    return out;
+  };
+  std::set<std::string> ga = grams(a), gb = grams(b);
+  if (ga.empty() && gb.empty()) return 1.0;
+  size_t inter = 0;
+  for (const std::string& g : ga) inter += gb.count(g);
+  size_t uni = ga.size() + gb.size() - inter;
+  return uni == 0 ? 1.0 : static_cast<double>(inter) / uni;
+}
+
+double TokenJaccard(std::string_view a, std::string_view b) {
+  auto tokens = [](std::string_view s) {
+    std::set<std::string> out;
+    for (const std::string& t : SplitWhitespace(ToLower(s))) out.insert(t);
+    return out;
+  };
+  std::set<std::string> ta = tokens(a), tb = tokens(b);
+  if (ta.empty() && tb.empty()) return 1.0;
+  size_t inter = 0;
+  for (const std::string& t : ta) inter += tb.count(t);
+  size_t uni = ta.size() + tb.size() - inter;
+  return uni == 0 ? 1.0 : static_cast<double>(inter) / uni;
+}
+
+double NumericSimilarity(double a, double b, double scale) {
+  if (scale <= 0) return a == b ? 1.0 : 0.0;
+  double sim = 1.0 - std::abs(a - b) / scale;
+  return std::clamp(sim, 0.0, 1.0);
+}
+
+}  // namespace linkage
+}  // namespace kb

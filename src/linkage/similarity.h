@@ -1,0 +1,35 @@
+#ifndef KBFORGE_LINKAGE_SIMILARITY_H_
+#define KBFORGE_LINKAGE_SIMILARITY_H_
+
+#include <string>
+#include <string_view>
+
+namespace kb {
+namespace linkage {
+
+/// Edit distance (Levenshtein, unit costs).
+size_t Levenshtein(std::string_view a, std::string_view b);
+
+/// Normalized edit similarity in [0, 1].
+double LevenshteinSimilarity(std::string_view a, std::string_view b);
+
+/// Jaro similarity in [0, 1].
+double Jaro(std::string_view a, std::string_view b);
+
+/// Jaro-Winkler: Jaro with a bonus for a shared prefix (standard
+/// p=0.1, max prefix 4) — the workhorse of record-linkage name fields.
+double JaroWinkler(std::string_view a, std::string_view b);
+
+/// Jaccard overlap of character n-gram sets.
+double NgramJaccard(std::string_view a, std::string_view b, int n = 3);
+
+/// Jaccard overlap of whitespace token sets (case-insensitive).
+double TokenJaccard(std::string_view a, std::string_view b);
+
+/// 1 - |a-b|/scale, clamped to [0, 1]; for numeric attributes.
+double NumericSimilarity(double a, double b, double scale);
+
+}  // namespace linkage
+}  // namespace kb
+
+#endif  // KBFORGE_LINKAGE_SIMILARITY_H_

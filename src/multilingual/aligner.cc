@@ -1,0 +1,98 @@
+#include "multilingual/aligner.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "linkage/similarity.h"
+#include "util/string_util.h"
+
+namespace kb {
+namespace multilingual {
+
+std::vector<Alignment> AlignViews(const KbView& left, const KbView& right,
+                                  const std::vector<Alignment>& seeds,
+                                  const AlignerOptions& options) {
+  // Current mapping left -> right (and its inverse).
+  std::map<uint32_t, uint32_t> mapped, inverse;
+  for (const Alignment& seed : seeds) {
+    mapped[seed.left] = seed.right;
+    inverse[seed.right] = seed.left;
+  }
+
+  // Candidate blocking by lowercase label prefix.
+  std::map<std::string, std::vector<uint32_t>> right_blocks;
+  for (uint32_t j = 0; j < right.labels.size(); ++j) {
+    std::string key = ToLower(right.labels[j]).substr(
+        0, std::min(options.block_prefix, right.labels[j].size()));
+    right_blocks[key].push_back(j);
+  }
+
+  auto structure_overlap = [&](uint32_t i, uint32_t j) {
+    // Fraction of i's neighbors whose mapping lands in j's neighbors.
+    if (i >= left.neighbors.size() || j >= right.neighbors.size()) {
+      return 0.0;
+    }
+    const auto& ln = left.neighbors[i];
+    if (ln.empty()) return 0.0;
+    std::set<uint32_t> rn(right.neighbors[j].begin(),
+                          right.neighbors[j].end());
+    size_t hits = 0;
+    for (uint32_t n : ln) {
+      auto it = mapped.find(n);
+      if (it != mapped.end() && rn.count(it->second) > 0) ++hits;
+    }
+    return static_cast<double>(hits) / static_cast<double>(ln.size());
+  };
+
+  for (int round = 0; round < options.rounds; ++round) {
+    std::vector<Alignment> candidates;
+    for (uint32_t i = 0; i < left.labels.size(); ++i) {
+      if (mapped.count(i) > 0) continue;
+      std::string lower = ToLower(left.labels[i]);
+      std::string key =
+          lower.substr(0, std::min(options.block_prefix, lower.size()));
+      auto it = right_blocks.find(key);
+      if (it == right_blocks.end()) continue;
+      for (uint32_t j : it->second) {
+        if (inverse.count(j) > 0) continue;
+        double string_sim =
+            linkage::JaroWinkler(lower, ToLower(right.labels[j]));
+        if (string_sim < 0.5) continue;
+        double score = options.string_weight * string_sim +
+                       options.structure_weight * structure_overlap(i, j);
+        // Normalize to [0, 1] by the maximum achievable score.
+        score /= options.string_weight + options.structure_weight;
+        if (score >= options.min_score) {
+          candidates.push_back({i, j, score});
+        }
+      }
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Alignment& a, const Alignment& b) {
+                if (a.score != b.score) return a.score > b.score;
+                if (a.left != b.left) return a.left < b.left;
+                return a.right < b.right;
+              });
+    size_t added = 0;
+    for (const Alignment& c : candidates) {
+      if (mapped.count(c.left) > 0 || inverse.count(c.right) > 0) continue;
+      mapped[c.left] = c.right;
+      inverse[c.right] = c.left;
+      ++added;
+    }
+    if (added == 0) break;
+  }
+
+  std::vector<Alignment> out;
+  std::set<std::pair<uint32_t, uint32_t>> seed_set;
+  for (const Alignment& s : seeds) seed_set.emplace(s.left, s.right);
+  for (const auto& [i, j] : mapped) {
+    if (seed_set.count({i, j}) > 0) continue;  // report new links only
+    out.push_back({i, j, 1.0});
+  }
+  return out;
+}
+
+}  // namespace multilingual
+}  // namespace kb

@@ -1,0 +1,46 @@
+#ifndef KBFORGE_MULTILINGUAL_ALIGNER_H_
+#define KBFORGE_MULTILINGUAL_ALIGNER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace kb {
+namespace multilingual {
+
+/// One side of a cross-lingual alignment problem: node labels plus the
+/// (language-independent) relational link structure between nodes.
+struct KbView {
+  std::vector<std::string> labels;
+  std::vector<std::vector<uint32_t>> neighbors;  ///< adjacency lists
+};
+
+/// A proposed owl:sameAs link between views.
+struct Alignment {
+  uint32_t left = UINT32_MAX;
+  uint32_t right = UINT32_MAX;
+  double score = 0.0;
+};
+
+struct AlignerOptions {
+  double string_weight = 1.0;
+  double structure_weight = 1.5;
+  double min_score = 0.45;
+  int rounds = 3;
+  size_t block_prefix = 1;  ///< candidate blocking by label prefix
+};
+
+/// Cross-lingual entity alignment (tutorial §2 "several KB's are
+/// interlinked at the entity level" / §3 multilingual knowledge):
+/// combines label string similarity with link-structure overlap,
+/// bootstrapped from `seed` alignments (e.g. harvested interwiki
+/// links) and iterated so that confident matches support their
+/// neighbors — greedy one-to-one at each round.
+std::vector<Alignment> AlignViews(const KbView& left, const KbView& right,
+                                  const std::vector<Alignment>& seeds,
+                                  const AlignerOptions& options);
+
+}  // namespace multilingual
+}  // namespace kb
+
+#endif  // KBFORGE_MULTILINGUAL_ALIGNER_H_

@@ -1,0 +1,38 @@
+#include "multilingual/interwiki.h"
+
+#include "util/string_util.h"
+
+namespace kb {
+namespace multilingual {
+
+std::vector<MultilingualLabel> HarvestInterwikiLabels(
+    const std::vector<corpus::Document>& docs) {
+  std::vector<MultilingualLabel> out;
+  for (const corpus::Document& doc : docs) {
+    if (doc.kind != corpus::DocKind::kArticle) continue;
+    size_t pos = 0;
+    while ((pos = doc.text.find("[[", pos)) != std::string::npos) {
+      size_t end = doc.text.find("]]", pos);
+      if (end == std::string::npos) break;
+      std::string link = doc.text.substr(pos + 2, end - pos - 2);
+      pos = end + 2;
+      size_t colon = link.find(':');
+      if (colon == std::string::npos) continue;
+      std::string prefix = link.substr(0, colon);
+      // Interwiki prefixes are 2-3 lowercase letters ("de", "fr").
+      if (prefix.size() < 2 || prefix.size() > 3) continue;
+      bool lower = true;
+      for (char c : prefix) lower = lower && islower((unsigned char)c);
+      if (!lower) continue;
+      MultilingualLabel label;
+      label.entity = doc.subject;
+      label.lang = prefix;
+      label.label = ReplaceAll(link.substr(colon + 1), "_", " ");
+      out.push_back(std::move(label));
+    }
+  }
+  return out;
+}
+
+}  // namespace multilingual
+}  // namespace kb

@@ -1,0 +1,30 @@
+#ifndef KBFORGE_MULTILINGUAL_INTERWIKI_H_
+#define KBFORGE_MULTILINGUAL_INTERWIKI_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "corpus/document.h"
+
+namespace kb {
+namespace multilingual {
+
+/// A harvested multilingual label.
+struct MultilingualLabel {
+  uint32_t entity = UINT32_MAX;
+  std::string lang;
+  std::string label;
+};
+
+/// Harvests multilingual entity names from interwiki links in article
+/// markup ("[[de:Markus_Hallbergen]]") — the direct route to
+/// multilingual knowledge that tutorial §3 describes for Wikipedia-
+/// based KBs. Coverage is bounded by link coverage in the corpus.
+std::vector<MultilingualLabel> HarvestInterwikiLabels(
+    const std::vector<corpus::Document>& docs);
+
+}  // namespace multilingual
+}  // namespace kb
+
+#endif  // KBFORGE_MULTILINGUAL_INTERWIKI_H_

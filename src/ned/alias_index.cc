@@ -1,0 +1,54 @@
+#include "ned/alias_index.h"
+
+#include <algorithm>
+
+namespace kb {
+namespace ned {
+
+AliasIndex AliasIndex::Build(const corpus::World& world,
+                             const std::set<uint32_t>* exclude) {
+  AliasIndex out;
+  std::unordered_map<std::string, std::unordered_map<uint32_t, double>>
+      weights;
+  for (const corpus::Entity& e : world.entities()) {
+    if (exclude != nullptr && exclude->count(e.id) > 0) continue;
+    double pop = static_cast<double>(e.popularity);
+    weights[e.full_name][e.id] += pop;
+    for (const std::string& alias : e.aliases) {
+      weights[alias][e.id] += pop * 0.5;  // aliases are weaker evidence
+    }
+  }
+  for (auto& [surface, entity_weights] : weights) {
+    double total = 0;
+    for (const auto& [entity, w] : entity_weights) total += w;
+    std::vector<Candidate> candidates;
+    candidates.reserve(entity_weights.size());
+    for (const auto& [entity, w] : entity_weights) {
+      candidates.push_back({entity, w / total});
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate& a, const Candidate& b) {
+                if (a.prior != b.prior) return a.prior > b.prior;
+                return a.entity < b.entity;
+              });
+    out.index_.emplace(surface, std::move(candidates));
+  }
+  return out;
+}
+
+const std::vector<Candidate>* AliasIndex::Lookup(
+    const std::string& surface) const {
+  auto it = index_.find(surface);
+  return it == index_.end() ? nullptr : &it->second;
+}
+
+size_t AliasIndex::num_ambiguous_surfaces() const {
+  size_t n = 0;
+  for (const auto& [surface, candidates] : index_) {
+    if (candidates.size() > 1) ++n;
+  }
+  return n;
+}
+
+}  // namespace ned
+}  // namespace kb

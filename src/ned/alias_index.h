@@ -1,0 +1,49 @@
+#ifndef KBFORGE_NED_ALIAS_INDEX_H_
+#define KBFORGE_NED_ALIAS_INDEX_H_
+
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "corpus/world.h"
+
+namespace kb {
+namespace ned {
+
+/// One disambiguation candidate for a surface form.
+struct Candidate {
+  uint32_t entity = UINT32_MAX;
+  double prior = 0.0;  ///< P(entity | surface), popularity-derived
+};
+
+/// The name/alias dictionary: surface form -> candidate entities with
+/// priors — the analogue of a Wikipedia anchor-text dictionary. This
+/// is where ambiguity becomes visible: "Hallberg" maps to every person
+/// with that surname plus companies named after one.
+class AliasIndex {
+ public:
+  /// Builds the dictionary from entity names, aliases and labels.
+  /// Entities in `exclude` are left out — they model real-world
+  /// entities the KB does not (yet) know, whose mentions a NED system
+  /// should map to NIL (the "emerging entity" setting).
+  static AliasIndex Build(const corpus::World& world,
+                          const std::set<uint32_t>* exclude = nullptr);
+
+  /// Candidates for a surface form (nullptr if unknown). Sorted by
+  /// descending prior.
+  const std::vector<Candidate>* Lookup(const std::string& surface) const;
+
+  /// Number of surfaces whose candidate set has more than one entry.
+  size_t num_ambiguous_surfaces() const;
+
+  size_t size() const { return index_.size(); }
+
+ private:
+  std::unordered_map<std::string, std::vector<Candidate>> index_;
+};
+
+}  // namespace ned
+}  // namespace kb
+
+#endif  // KBFORGE_NED_ALIAS_INDEX_H_

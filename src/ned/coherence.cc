@@ -1,0 +1,51 @@
+#include "ned/coherence.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace kb {
+namespace ned {
+
+CoherenceModel CoherenceModel::Build(
+    const corpus::World& world, const std::vector<corpus::Document>& docs) {
+  CoherenceModel model;
+  model.total_entities_ = std::max<size_t>(2, world.entities().size());
+  std::vector<std::set<uint32_t>> inlinks(world.entities().size());
+  for (const corpus::Document& doc : docs) {
+    if (doc.kind != corpus::DocKind::kArticle) continue;
+    for (const corpus::Mention& m : doc.mentions) {
+      // The subject's own article counts into its link set (it mentions
+      // itself in title and lead), so an entity and the entities its
+      // article links to always share at least that article.
+      if (m.entity < inlinks.size()) {
+        inlinks[m.entity].insert(doc.subject);
+      }
+    }
+  }
+  model.inlinks_.reserve(inlinks.size());
+  for (const auto& s : inlinks) {
+    model.inlinks_.emplace_back(s.begin(), s.end());
+  }
+  return model;
+}
+
+double CoherenceModel::Relatedness(uint32_t a, uint32_t b) const {
+  if (a >= inlinks_.size() || b >= inlinks_.size()) return 0.0;
+  const auto& la = inlinks_[a];
+  const auto& lb = inlinks_[b];
+  if (la.empty() || lb.empty()) return 0.0;
+  std::vector<uint32_t> shared;
+  std::set_intersection(la.begin(), la.end(), lb.begin(), lb.end(),
+                        std::back_inserter(shared));
+  if (shared.empty()) return 0.0;
+  double max_size = static_cast<double>(std::max(la.size(), lb.size()));
+  double min_size = static_cast<double>(std::min(la.size(), lb.size()));
+  double n = static_cast<double>(total_entities_);
+  double value = (std::log(max_size) - std::log(static_cast<double>(
+                                           shared.size()))) /
+                 (std::log(n) - std::log(min_size));
+  return std::clamp(1.0 - value, 0.0, 1.0);
+}
+
+}  // namespace ned
+}  // namespace kb

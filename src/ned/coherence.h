@@ -1,0 +1,37 @@
+#ifndef KBFORGE_NED_COHERENCE_H_
+#define KBFORGE_NED_COHERENCE_H_
+
+#include <set>
+#include <vector>
+
+#include "corpus/generator.h"
+
+namespace kb {
+namespace ned {
+
+/// Milne-Witten semantic relatedness over the entity link graph: two
+/// entities are related in proportion to the overlap of the article
+/// sets that mention them. This provides the "coherence measures for
+/// two or more entities co-occurring together" of tutorial §4.
+class CoherenceModel {
+ public:
+  /// Builds inlink sets from article mentions (who links to whom).
+  static CoherenceModel Build(const corpus::World& world,
+                              const std::vector<corpus::Document>& docs);
+
+  /// Relatedness in [0, 1]; 0 for entities with disjoint inlinks.
+  double Relatedness(uint32_t a, uint32_t b) const;
+
+  size_t inlink_count(uint32_t entity) const {
+    return entity < inlinks_.size() ? inlinks_[entity].size() : 0;
+  }
+
+ private:
+  std::vector<std::vector<uint32_t>> inlinks_;  // sorted doc-subject ids
+  size_t total_entities_ = 1;
+};
+
+}  // namespace ned
+}  // namespace kb
+
+#endif  // KBFORGE_NED_COHERENCE_H_

@@ -1,0 +1,72 @@
+#include "ned/context_model.h"
+
+#include <cctype>
+
+#include "nlp/stemmer.h"
+#include "nlp/stopwords.h"
+#include "util/string_util.h"
+
+namespace kb {
+namespace ned {
+
+namespace {
+/// Lowercased alphabetic word bag of `text`, stopwords removed.
+std::vector<std::string> WordBag(std::string_view text) {
+  std::vector<std::string> out;
+  std::string current;
+  auto flush = [&] {
+    if (current.size() > 1 && !nlp::IsStopword(current)) {
+      out.push_back(nlp::Stem(current));  // densify the vector space
+    }
+    current.clear();
+  };
+  for (char c : text) {
+    if (isalpha(static_cast<unsigned char>(c))) {
+      current += static_cast<char>(tolower(static_cast<unsigned char>(c)));
+    } else {
+      flush();
+    }
+  }
+  flush();
+  return out;
+}
+}  // namespace
+
+std::vector<std::string> ContextWords(const std::string& text, size_t begin,
+                                      size_t end, size_t window) {
+  size_t from = begin > window ? begin - window : 0;
+  size_t to = std::min(text.size(), end + window);
+  std::string around = text.substr(from, begin - from) +
+                       " " + text.substr(end, to - end);
+  return WordBag(around);
+}
+
+ContextModel ContextModel::Build(const corpus::World& world,
+                                 const std::vector<corpus::Document>& docs) {
+  ContextModel model;
+  std::vector<std::vector<std::string>> bags(world.entities().size());
+  for (const corpus::Document& doc : docs) {
+    if (doc.kind != corpus::DocKind::kArticle) continue;
+    if (doc.subject >= bags.size()) continue;
+    bags[doc.subject] = WordBag(doc.text);
+  }
+  for (const auto& bag : bags) model.tfidf_.AddDocument(bag);
+  model.entity_vectors_.reserve(bags.size());
+  for (const auto& bag : bags) {
+    model.entity_vectors_.push_back(model.tfidf_.Vectorize(bag));
+  }
+  return model;
+}
+
+nlp::SparseVector ContextModel::VectorizeText(const std::string& text) const {
+  return tfidf_.Vectorize(WordBag(text));
+}
+
+double ContextModel::Similarity(uint32_t entity,
+                                const nlp::SparseVector& ctx) const {
+  if (entity >= entity_vectors_.size()) return 0.0;
+  return nlp::Cosine(entity_vectors_[entity], ctx);
+}
+
+}  // namespace ned
+}  // namespace kb

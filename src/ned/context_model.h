@@ -1,0 +1,48 @@
+#ifndef KBFORGE_NED_CONTEXT_MODEL_H_
+#define KBFORGE_NED_CONTEXT_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "corpus/generator.h"
+#include "nlp/tfidf.h"
+
+namespace kb {
+namespace ned {
+
+/// Per-entity keyphrase vectors built from the entities' own articles,
+/// compared against mention contexts by cosine — the "context
+/// similarity between the surroundings of a mention and salient
+/// phrases associated with an entity" half of NED (tutorial §4).
+class ContextModel {
+ public:
+  /// Learns TF-IDF statistics and entity vectors from the articles.
+  static ContextModel Build(const corpus::World& world,
+                            const std::vector<corpus::Document>& docs);
+
+  /// Vectorizes an arbitrary text window (lowercased word bag,
+  /// stopwords removed).
+  nlp::SparseVector VectorizeText(const std::string& text) const;
+
+  /// Vectorizes a pre-extracted word bag (e.g. from ContextWords).
+  nlp::SparseVector VectorizeBag(const std::vector<std::string>& words) const {
+    return tfidf_.Vectorize(words);
+  }
+
+  /// Cosine between an entity's profile and a context vector.
+  double Similarity(uint32_t entity, const nlp::SparseVector& ctx) const;
+
+ private:
+  nlp::TfIdfModel tfidf_;
+  std::vector<nlp::SparseVector> entity_vectors_;
+};
+
+/// Extracts the context word bag around byte span [begin, end) in
+/// `text` (+- `window` bytes, clipped), lowercased and stopword-free.
+std::vector<std::string> ContextWords(const std::string& text, size_t begin,
+                                      size_t end, size_t window);
+
+}  // namespace ned
+}  // namespace kb
+
+#endif  // KBFORGE_NED_CONTEXT_MODEL_H_

@@ -1,0 +1,122 @@
+#include "ned/disambiguator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace kb {
+namespace ned {
+
+Disambiguator::Disambiguator(const AliasIndex* aliases,
+                             const ContextModel* context,
+                             const CoherenceModel* coherence,
+                             NedOptions options)
+    : aliases_(aliases),
+      context_(context),
+      coherence_(coherence),
+      options_(options) {}
+
+std::vector<Disambiguation> Disambiguator::DisambiguateDocument(
+    const corpus::Document& doc) const {
+  struct MentionState {
+    uint32_t mention_index;
+    std::vector<Candidate> candidates;
+    std::vector<double> local_scores;
+    size_t chosen = 0;
+  };
+  std::vector<MentionState> states;
+
+  for (uint32_t mi = 0; mi < doc.mentions.size(); ++mi) {
+    const corpus::Mention& m = doc.mentions[mi];
+    std::string surface = doc.text.substr(m.begin, m.end - m.begin);
+    const std::vector<Candidate>* candidates = aliases_->Lookup(surface);
+    MentionState state;
+    state.mention_index = mi;
+    if (candidates != nullptr) {
+      size_t n = std::min(options_.max_candidates, candidates->size());
+      state.candidates.assign(candidates->begin(), candidates->begin() + n);
+    }
+    // Local scores: prior (+ context similarity unless prior-only).
+    nlp::SparseVector ctx;
+    if (options_.mode != NedMode::kPrior && !state.candidates.empty()) {
+      ctx = context_->VectorizeBag(
+          ContextWords(doc.text, m.begin, m.end, options_.context_window));
+    }
+    for (const Candidate& c : state.candidates) {
+      double score = options_.prior_weight * c.prior;
+      if (options_.mode != NedMode::kPrior) {
+        score += options_.context_weight * context_->Similarity(c.entity, ctx);
+      }
+      state.local_scores.push_back(score);
+    }
+    if (!state.candidates.empty()) {
+      state.chosen = static_cast<size_t>(
+          std::max_element(state.local_scores.begin(),
+                           state.local_scores.end()) -
+          state.local_scores.begin());
+    }
+    states.push_back(std::move(state));
+  }
+
+  // Joint refinement: iterated conditional modes over the coherence
+  // graph. Each mention re-picks the candidate maximizing local score
+  // plus average relatedness to the other mentions' current picks.
+  if (options_.mode == NedMode::kCoherence && states.size() > 1) {
+    for (int iter = 0; iter < options_.iterations; ++iter) {
+      bool changed = false;
+      for (size_t i = 0; i < states.size(); ++i) {
+        MentionState& state = states[i];
+        if (state.candidates.empty()) continue;
+        double best_score = -1e100;
+        size_t best = state.chosen;
+        for (size_t c = 0; c < state.candidates.size(); ++c) {
+          double coherence_sum = 0;
+          size_t others = 0;
+          for (size_t j = 0; j < states.size(); ++j) {
+            if (j == i || states[j].candidates.empty()) continue;
+            uint32_t other =
+                states[j].candidates[states[j].chosen].entity;
+            // A mention of the same entity is trivially coherent.
+            coherence_sum += coherence_->Relatedness(
+                state.candidates[c].entity, other);
+            if (state.candidates[c].entity == other) coherence_sum += 1.0;
+            ++others;
+          }
+          double score = state.local_scores[c];
+          if (others > 0) {
+            score += options_.coherence_weight *
+                     (coherence_sum / static_cast<double>(others));
+          }
+          if (score > best_score) {
+            best_score = score;
+            best = c;
+          }
+        }
+        if (best != state.chosen) {
+          state.chosen = best;
+          changed = true;
+        }
+      }
+      if (!changed) break;
+    }
+  }
+
+  std::vector<Disambiguation> out;
+  out.reserve(states.size());
+  for (const MentionState& state : states) {
+    Disambiguation d;
+    d.mention_index = state.mention_index;
+    d.num_candidates = state.candidates.size();
+    if (!state.candidates.empty()) {
+      d.score = state.local_scores[state.chosen];
+      if (options_.nil_threshold <= 0.0 ||
+          d.score >= options_.nil_threshold) {
+        d.predicted = state.candidates[state.chosen].entity;
+      }
+    }
+    out.push_back(d);
+  }
+  return out;
+}
+
+}  // namespace ned
+}  // namespace kb

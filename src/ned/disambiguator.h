@@ -1,0 +1,65 @@
+#ifndef KBFORGE_NED_DISAMBIGUATOR_H_
+#define KBFORGE_NED_DISAMBIGUATOR_H_
+
+#include <vector>
+
+#include "ned/alias_index.h"
+#include "ned/coherence.h"
+#include "ned/context_model.h"
+
+namespace kb {
+namespace ned {
+
+/// Disambiguation strategies for the E7 ablation.
+enum class NedMode : uint8_t {
+  kPrior = 0,    ///< most popular candidate wins
+  kContext,      ///< prior + context similarity
+  kCoherence,    ///< prior + context + joint coherence (AIDA-style)
+};
+
+struct NedOptions {
+  NedMode mode = NedMode::kCoherence;
+  double prior_weight = 1.0;
+  double context_weight = 2.5;
+  double coherence_weight = 1.5;
+  size_t max_candidates = 10;   ///< per mention, by prior
+  size_t context_window = 200;  ///< bytes around the mention
+  int iterations = 3;           ///< joint refinement rounds
+  /// Mentions whose best candidate scores below this map to NIL
+  /// (emerging-entity handling). 0 disables.
+  double nil_threshold = 0.0;
+};
+
+/// One disambiguation decision.
+struct Disambiguation {
+  uint32_t mention_index = 0;  ///< position in Document::mentions
+  uint32_t predicted = UINT32_MAX;  ///< UINT32_MAX = NIL (no candidate)
+  double score = 0.0;
+  size_t num_candidates = 0;
+};
+
+/// Named-entity disambiguation combining a popularity prior, keyphrase
+/// context similarity, and pairwise entity coherence, resolved jointly
+/// per document by iterated conditional modes (a deterministic
+/// simplification of AIDA's dense-subgraph heuristic).
+class Disambiguator {
+ public:
+  Disambiguator(const AliasIndex* aliases, const ContextModel* context,
+                const CoherenceModel* coherence, NedOptions options);
+
+  /// Disambiguates every annotated mention of `doc` (gold-mention NED
+  /// evaluation setting: spans given, referents hidden).
+  std::vector<Disambiguation> DisambiguateDocument(
+      const corpus::Document& doc) const;
+
+ private:
+  const AliasIndex* aliases_;
+  const ContextModel* context_;
+  const CoherenceModel* coherence_;
+  NedOptions options_;
+};
+
+}  // namespace ned
+}  // namespace kb
+
+#endif  // KBFORGE_NED_DISAMBIGUATOR_H_

@@ -1,0 +1,67 @@
+#include "ned/mention_detector.h"
+
+#include <cctype>
+
+#include "nlp/tokenizer.h"
+
+namespace kb {
+namespace ned {
+
+MentionDetector::MentionDetector(const AliasIndex* aliases)
+    : aliases_(aliases) {}
+
+std::vector<DetectedMention> MentionDetector::Detect(
+    const std::string& text) const {
+  std::vector<DetectedMention> out;
+  std::vector<nlp::Token> tokens = nlp::Tokenize(text);
+  size_t i = 0;
+  while (i < tokens.size()) {
+    // Only capitalized tokens can start a name (all KB surface forms
+    // are proper names); this suppresses lowercase dictionary noise.
+    if (!tokens[i].capitalized()) {
+      ++i;
+      continue;
+    }
+    bool matched = false;
+    size_t limit = std::min(tokens.size(), i + max_surface_tokens_);
+    for (size_t j = limit; j > i; --j) {
+      uint32_t begin = tokens[i].begin;
+      uint32_t end = tokens[j - 1].end;
+      std::string surface = text.substr(begin, end - begin);
+      if (aliases_->Lookup(surface) != nullptr) {
+        DetectedMention m;
+        m.begin = begin;
+        m.end = end;
+        m.surface = std::move(surface);
+        out.push_back(std::move(m));
+        i = j;  // longest match consumes its tokens
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) ++i;
+  }
+  return out;
+}
+
+DetectionQuality MentionDetector::Evaluate(
+    const corpus::Document& doc) const {
+  DetectionQuality q;
+  auto detected = Detect(doc.text);
+  q.detected = detected.size();
+  q.gold = doc.mentions.size();
+  size_t di = 0;
+  // Both lists are in document order; count exact span matches.
+  for (const corpus::Mention& gold : doc.mentions) {
+    while (di < detected.size() && detected[di].end <= gold.begin) ++di;
+    if (di < detected.size() && detected[di].begin == gold.begin &&
+        detected[di].end == gold.end) {
+      ++q.exact_matches;
+      ++di;
+    }
+  }
+  return q;
+}
+
+}  // namespace ned
+}  // namespace kb

@@ -1,0 +1,63 @@
+#ifndef KBFORGE_NED_MENTION_DETECTOR_H_
+#define KBFORGE_NED_MENTION_DETECTOR_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "corpus/document.h"
+#include "ned/alias_index.h"
+#include "nlp/token.h"
+
+namespace kb {
+namespace ned {
+
+/// A detected (not yet disambiguated) mention: a byte span whose
+/// surface form is in the alias dictionary.
+struct DetectedMention {
+  uint32_t begin = 0;
+  uint32_t end = 0;
+  std::string surface;
+};
+
+/// Detection quality against gold mention spans.
+struct DetectionQuality {
+  size_t detected = 0;
+  size_t gold = 0;
+  size_t exact_matches = 0;
+  double precision() const {
+    return detected == 0 ? 0.0
+                         : static_cast<double>(exact_matches) / detected;
+  }
+  double recall() const {
+    return gold == 0 ? 0.0 : static_cast<double>(exact_matches) / gold;
+  }
+};
+
+/// Dictionary-based longest-match mention detection over tokenized
+/// text: every maximal token span whose surface form has alias-index
+/// candidates becomes a mention (the standard first stage of NED when
+/// no gold spans exist). Capitalized-token gating suppresses spurious
+/// lowercase hits.
+class MentionDetector {
+ public:
+  explicit MentionDetector(const AliasIndex* aliases);
+
+  /// Detects mentions in raw text.
+  std::vector<DetectedMention> Detect(const std::string& text) const;
+
+  /// Detects and scores against a document's gold spans.
+  DetectionQuality Evaluate(const corpus::Document& doc) const;
+
+  /// Longest alias length in tokens (detection window bound).
+  size_t max_surface_tokens() const { return max_surface_tokens_; }
+
+ private:
+  const AliasIndex* aliases_;
+  size_t max_surface_tokens_ = 4;
+};
+
+}  // namespace ned
+}  // namespace kb
+
+#endif  // KBFORGE_NED_MENTION_DETECTOR_H_

@@ -1,0 +1,66 @@
+#include "nlp/chunker.h"
+
+namespace kb {
+namespace nlp {
+
+std::vector<Chunk> FindNounPhrases(const Sentence& sentence) {
+  std::vector<Chunk> chunks;
+  const auto& toks = sentence.tokens;
+  size_t i = 0;
+  while (i < toks.size()) {
+    size_t start = i;
+    bool saw_det = false;
+    if (toks[i].pos == Pos::kDeterminer) {
+      saw_det = true;
+      ++i;
+    }
+    while (i < toks.size() && (toks[i].pos == Pos::kAdjective ||
+                               toks[i].pos == Pos::kNumber)) {
+      ++i;
+    }
+    size_t noun_start = i;
+    bool proper = false;
+    while (i < toks.size() && (toks[i].pos == Pos::kNoun ||
+                               toks[i].pos == Pos::kProperNoun)) {
+      proper = proper || toks[i].pos == Pos::kProperNoun;
+      ++i;
+    }
+    if (i > noun_start) {
+      Chunk c;
+      c.begin = static_cast<uint32_t>(start);
+      c.end = static_cast<uint32_t>(i);
+      c.proper = proper;
+      chunks.push_back(c);
+    } else {
+      // No noun head: the optional det/adj prefix was not an NP.
+      i = start + (saw_det ? 1 : 0);
+      if (i == start) ++i;
+    }
+  }
+  return chunks;
+}
+
+std::string ChunkText(const Sentence& sentence, const Chunk& chunk) {
+  std::string out;
+  for (uint32_t i = chunk.begin; i < chunk.end; ++i) {
+    if (!out.empty()) out += ' ';
+    out += sentence.tokens[i].text;
+  }
+  return out;
+}
+
+std::string ChunkTextNoDet(const Sentence& sentence, const Chunk& chunk) {
+  std::string out;
+  for (uint32_t i = chunk.begin; i < chunk.end; ++i) {
+    if (i == chunk.begin &&
+        sentence.tokens[i].pos == Pos::kDeterminer) {
+      continue;
+    }
+    if (!out.empty()) out += ' ';
+    out += sentence.tokens[i].text;
+  }
+  return out;
+}
+
+}  // namespace nlp
+}  // namespace kb

@@ -1,0 +1,36 @@
+#ifndef KBFORGE_NLP_CHUNKER_H_
+#define KBFORGE_NLP_CHUNKER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nlp/token.h"
+
+namespace kb {
+namespace nlp {
+
+/// A contiguous token span [begin, end) within one sentence.
+struct Chunk {
+  uint32_t begin = 0;
+  uint32_t end = 0;
+  bool proper = false;  ///< contains a proper noun head
+
+  uint32_t size() const { return end - begin; }
+};
+
+/// Finds noun phrases: (Det)? (Adj|Num)* (Noun|ProperNoun)+ with the
+/// longest-match rule. This is the "noun phrases as entity candidates"
+/// primitive that open IE taps into (tutorial §3).
+std::vector<Chunk> FindNounPhrases(const Sentence& sentence);
+
+/// Renders a chunk's surface text (tokens joined with single spaces).
+std::string ChunkText(const Sentence& sentence, const Chunk& chunk);
+
+/// Renders a chunk without a leading determiner.
+std::string ChunkTextNoDet(const Sentence& sentence, const Chunk& chunk);
+
+}  // namespace nlp
+}  // namespace kb
+
+#endif  // KBFORGE_NLP_CHUNKER_H_

@@ -1,0 +1,195 @@
+#include "nlp/pos_tagger.h"
+
+#include "util/string_util.h"
+
+namespace kb {
+namespace nlp {
+
+std::string_view PosName(Pos pos) {
+  switch (pos) {
+    case Pos::kNoun: return "NOUN";
+    case Pos::kProperNoun: return "PROPN";
+    case Pos::kVerb: return "VERB";
+    case Pos::kAdjective: return "ADJ";
+    case Pos::kAdverb: return "ADV";
+    case Pos::kDeterminer: return "DET";
+    case Pos::kPreposition: return "PREP";
+    case Pos::kPronoun: return "PRON";
+    case Pos::kConjunction: return "CONJ";
+    case Pos::kNumber: return "NUM";
+    case Pos::kPunctuation: return "PUNCT";
+    case Pos::kParticle: return "PART";
+    case Pos::kOther: return "X";
+  }
+  return "?";
+}
+
+namespace {
+struct LexEntry {
+  const char* word;
+  Pos pos;
+};
+
+constexpr LexEntry kClosedClass[] = {
+    // Determiners.
+    {"the", Pos::kDeterminer}, {"a", Pos::kDeterminer},
+    {"an", Pos::kDeterminer}, {"this", Pos::kDeterminer},
+    {"that", Pos::kDeterminer}, {"these", Pos::kDeterminer},
+    {"those", Pos::kDeterminer}, {"its", Pos::kDeterminer},
+    {"his", Pos::kDeterminer}, {"her", Pos::kDeterminer},
+    {"their", Pos::kDeterminer}, {"every", Pos::kDeterminer},
+    {"some", Pos::kDeterminer}, {"many", Pos::kDeterminer},
+    {"several", Pos::kDeterminer}, {"other", Pos::kDeterminer},
+    // Prepositions.
+    {"of", Pos::kPreposition}, {"in", Pos::kPreposition},
+    {"on", Pos::kPreposition}, {"at", Pos::kPreposition},
+    {"by", Pos::kPreposition}, {"for", Pos::kPreposition},
+    {"with", Pos::kPreposition}, {"from", Pos::kPreposition},
+    {"into", Pos::kPreposition}, {"near", Pos::kPreposition},
+    {"since", Pos::kPreposition}, {"until", Pos::kPreposition},
+    {"during", Pos::kPreposition}, {"as", Pos::kPreposition},
+    {"between", Pos::kPreposition}, {"after", Pos::kPreposition},
+    {"before", Pos::kPreposition}, {"under", Pos::kPreposition},
+    // Pronouns.
+    {"he", Pos::kPronoun}, {"she", Pos::kPronoun}, {"it", Pos::kPronoun},
+    {"they", Pos::kPronoun}, {"who", Pos::kPronoun}, {"which", Pos::kPronoun},
+    {"him", Pos::kPronoun}, {"them", Pos::kPronoun},
+    // Conjunctions.
+    {"and", Pos::kConjunction}, {"or", Pos::kConjunction},
+    {"but", Pos::kConjunction}, {"when", Pos::kConjunction},
+    {"while", Pos::kConjunction}, {"where", Pos::kConjunction},
+    // Particle.
+    {"to", Pos::kParticle},
+    // Copulas / auxiliaries / frequent verbs.
+    {"is", Pos::kVerb}, {"was", Pos::kVerb}, {"are", Pos::kVerb},
+    {"were", Pos::kVerb}, {"be", Pos::kVerb}, {"been", Pos::kVerb},
+    {"has", Pos::kVerb}, {"have", Pos::kVerb}, {"had", Pos::kVerb},
+    {"does", Pos::kVerb}, {"did", Pos::kVerb}, {"do", Pos::kVerb},
+    {"can", Pos::kVerb}, {"will", Pos::kVerb}, {"would", Pos::kVerb},
+    {"became", Pos::kVerb}, {"remains", Pos::kVerb},
+    // Adverbs common in the corpus templates.
+    {"not", Pos::kAdverb}, {"also", Pos::kAdverb}, {"later", Pos::kAdverb},
+    {"currently", Pos::kAdverb}, {"formerly", Pos::kAdverb},
+    {"originally", Pos::kAdverb}, {"such", Pos::kAdjective},
+};
+
+// Open-class vocabulary shared with the corpus generator's templates.
+constexpr LexEntry kOpenClass[] = {
+    // Verbs (base/past forms used by the templates).
+    {"founded", Pos::kVerb}, {"married", Pos::kVerb}, {"born", Pos::kVerb},
+    {"works", Pos::kVerb}, {"worked", Pos::kVerb}, {"plays", Pos::kVerb},
+    {"played", Pos::kVerb}, {"released", Pos::kVerb},
+    {"recorded", Pos::kVerb}, {"directed", Pos::kVerb},
+    {"located", Pos::kVerb}, {"wrote", Pos::kVerb}, {"written", Pos::kVerb},
+    {"lives", Pos::kVerb}, {"lived", Pos::kVerb}, {"studied", Pos::kVerb},
+    {"graduated", Pos::kVerb}, {"joined", Pos::kVerb},
+    {"acquired", Pos::kVerb}, {"headquartered", Pos::kVerb},
+    {"stars", Pos::kVerb}, {"starred", Pos::kVerb}, {"won", Pos::kVerb},
+    {"leads", Pos::kVerb}, {"led", Pos::kVerb}, {"serves", Pos::kVerb},
+    {"served", Pos::kVerb}, {"created", Pos::kVerb}, {"owns", Pos::kVerb},
+    {"owned", Pos::kVerb}, {"borders", Pos::kVerb}, {"died", Pos::kVerb},
+    {"moved", Pos::kVerb}, {"signed", Pos::kVerb}, {"performed", Pos::kVerb},
+    {"developed", Pos::kVerb}, {"launched", Pos::kVerb},
+    {"produced", Pos::kVerb}, {"composed", Pos::kVerb},
+    {"met", Pos::kVerb}, {"sang", Pos::kVerb}, {"left", Pos::kVerb},
+    {"rose", Pos::kVerb}, {"attracted", Pos::kVerb},
+    {"lies", Pos::kVerb}, {"appeared", Pos::kVerb}, {"known", Pos::kVerb},
+    {"listened", Pos::kVerb}, {"arrived", Pos::kVerb},
+    {"spoke", Pos::kVerb},
+    // Nouns used by templates, categories and commonsense assertions.
+    {"singer", Pos::kNoun}, {"musician", Pos::kNoun}, {"band", Pos::kNoun},
+    {"album", Pos::kNoun}, {"song", Pos::kNoun}, {"company", Pos::kNoun},
+    {"city", Pos::kNoun}, {"country", Pos::kNoun}, {"river", Pos::kNoun},
+    {"university", Pos::kNoun}, {"mayor", Pos::kNoun},
+    {"capital", Pos::kNoun}, {"founder", Pos::kNoun}, {"wife", Pos::kNoun},
+    {"husband", Pos::kNoun}, {"employee", Pos::kNoun},
+    {"student", Pos::kNoun}, {"actor", Pos::kNoun}, {"actress", Pos::kNoun},
+    {"film", Pos::kNoun}, {"movie", Pos::kNoun}, {"writer", Pos::kNoun},
+    {"author", Pos::kNoun}, {"novel", Pos::kNoun}, {"book", Pos::kNoun},
+    {"scientist", Pos::kNoun}, {"physicist", Pos::kNoun},
+    {"entrepreneur", Pos::kNoun}, {"pioneer", Pos::kNoun},
+    {"politician", Pos::kNoun}, {"president", Pos::kNoun},
+    {"team", Pos::kNoun}, {"player", Pos::kNoun}, {"club", Pos::kNoun},
+    {"population", Pos::kNoun}, {"area", Pos::kNoun},
+    {"headquarters", Pos::kNoun}, {"ceo", Pos::kNoun},
+    {"person", Pos::kNoun}, {"people", Pos::kNoun}, {"year", Pos::kNoun},
+    {"apple", Pos::kNoun}, {"apples", Pos::kNoun},
+    {"clarinet", Pos::kNoun}, {"mouthpiece", Pos::kNoun},
+    {"wheel", Pos::kNoun}, {"engine", Pos::kNoun}, {"car", Pos::kNoun},
+    {"guitar", Pos::kNoun}, {"label", Pos::kNoun}, {"mountain", Pos::kNoun},
+    {"lake", Pos::kNoun}, {"street", Pos::kNoun}, {"district", Pos::kNoun},
+    {"member", Pos::kNoun}, {"citizen", Pos::kNoun},
+    {"attention", Pos::kNoun}, {"weather", Pos::kNoun},
+    {"festival", Pos::kNoun}, {"prominence", Pos::kNoun},
+    {"shape", Pos::kNoun}, {"part", Pos::kNoun},
+    {"well", Pos::kAdverb}, {"pleasant", Pos::kAdjective},
+    // Adjectives (incl. commonsense property vocabulary).
+    {"red", Pos::kAdjective}, {"green", Pos::kAdjective},
+    {"juicy", Pos::kAdjective}, {"sweet", Pos::kAdjective},
+    {"sour", Pos::kAdjective}, {"fast", Pos::kAdjective},
+    {"funny", Pos::kAdjective}, {"cylindrical", Pos::kAdjective},
+    {"large", Pos::kAdjective}, {"small", Pos::kAdjective},
+    {"famous", Pos::kAdjective}, {"american", Pos::kAdjective},
+    {"german", Pos::kAdjective}, {"french", Pos::kAdjective},
+    {"british", Pos::kAdjective}, {"young", Pos::kAdjective},
+    {"old", Pos::kAdjective}, {"new", Pos::kAdjective},
+    {"popular", Pos::kAdjective}, {"round", Pos::kAdjective},
+    {"loud", Pos::kAdjective}, {"soft", Pos::kAdjective},
+    {"tall", Pos::kAdjective}, {"cold", Pos::kAdjective},
+    {"wooden", Pos::kAdjective}, {"metallic", Pos::kAdjective},
+};
+}  // namespace
+
+PosTagger::PosTagger() {
+  for (const LexEntry& e : kClosedClass) lexicon_[e.word] = e.pos;
+  for (const LexEntry& e : kOpenClass) lexicon_[e.word] = e.pos;
+}
+
+void PosTagger::AddWord(const std::string& lower, Pos pos) {
+  lexicon_[lower] = pos;
+}
+
+Pos PosTagger::TagWord(const std::string& lower, bool capitalized,
+                       bool sentence_initial) const {
+  if (lower.empty()) return Pos::kOther;
+  char c0 = lower[0];
+  if (!isalnum(static_cast<unsigned char>(c0))) return Pos::kPunctuation;
+  auto it = lexicon_.find(lower);
+  if (it != lexicon_.end()) return it->second;
+  if (IsDigits(lower) ||
+      (isdigit(static_cast<unsigned char>(c0)) && lower.size() > 1)) {
+    return Pos::kNumber;
+  }
+  // Capitalization signals a proper noun except at sentence start,
+  // where we also require the word to be out-of-lexicon (it is, here).
+  if (capitalized && !sentence_initial) return Pos::kProperNoun;
+  // Suffix heuristics.
+  if (EndsWith(lower, "ly")) return Pos::kAdverb;
+  if (EndsWith(lower, "ing") || EndsWith(lower, "ed")) return Pos::kVerb;
+  if (EndsWith(lower, "tion") || EndsWith(lower, "ness") ||
+      EndsWith(lower, "ment") || EndsWith(lower, "ist") ||
+      EndsWith(lower, "er") || EndsWith(lower, "ism")) {
+    return Pos::kNoun;
+  }
+  if (EndsWith(lower, "ous") || EndsWith(lower, "ful") ||
+      EndsWith(lower, "ive") || EndsWith(lower, "al") ||
+      EndsWith(lower, "ic")) {
+    return Pos::kAdjective;
+  }
+  if (capitalized) return Pos::kProperNoun;  // sentence-initial unknown
+  return Pos::kNoun;
+}
+
+void PosTagger::Tag(std::vector<Token>* tokens) const {
+  for (size_t i = 0; i < tokens->size(); ++i) {
+    Token& t = (*tokens)[i];
+    t.pos = TagWord(t.lower, t.capitalized(), i == 0);
+  }
+}
+
+void PosTagger::TagSentences(std::vector<Sentence>* sentences) const {
+  for (Sentence& s : *sentences) Tag(&s.tokens);
+}
+
+}  // namespace nlp
+}  // namespace kb

@@ -1,0 +1,52 @@
+#ifndef KBFORGE_NLP_POS_TAGGER_H_
+#define KBFORGE_NLP_POS_TAGGER_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "nlp/token.h"
+
+namespace kb {
+namespace nlp {
+
+/// Lexicon + suffix-rule part-of-speech tagger.
+///
+/// Tagging decisions, in priority order:
+///   1. closed-class lexicon (determiners, prepositions, pronouns, ...)
+///   2. open-class lexicon (seeded with the vocabulary KBForge's corpus
+///      templates use, extensible via AddWord)
+///   3. orthography (digits -> Number, capitalized -> ProperNoun)
+///   4. suffix heuristics (-ly adverb, -ing/-ed verb, -tion/-ness noun)
+///   5. fallback: common noun
+///
+/// This design mirrors the "computational linguistics" tier of the
+/// extraction spectrum in tutorial §3 at the fidelity the synthetic
+/// corpus requires: the corpus generator and tagger share a vocabulary,
+/// so downstream pattern extractors behave as they would with a real
+/// tagger on real text.
+class PosTagger {
+ public:
+  PosTagger();
+
+  /// Adds or overrides a lexicon entry (lowercase form).
+  void AddWord(const std::string& lower, Pos pos);
+
+  /// Tags every token in place.
+  void Tag(std::vector<Token>* tokens) const;
+
+  /// Tags all sentences in place.
+  void TagSentences(std::vector<Sentence>* sentences) const;
+
+  /// Tags a single word out of context.
+  Pos TagWord(const std::string& lower, bool capitalized,
+              bool sentence_initial) const;
+
+ private:
+  std::unordered_map<std::string, Pos> lexicon_;
+};
+
+}  // namespace nlp
+}  // namespace kb
+
+#endif  // KBFORGE_NLP_POS_TAGGER_H_

@@ -1,0 +1,62 @@
+#include "nlp/stemmer.h"
+
+#include "util/string_util.h"
+
+namespace kb {
+namespace nlp {
+
+namespace {
+bool HasVowel(std::string_view s) {
+  for (char c : s) {
+    if (c == 'a' || c == 'e' || c == 'i' || c == 'o' || c == 'u') {
+      return true;
+    }
+  }
+  return false;
+}
+}  // namespace
+
+std::string Stem(std::string_view word) {
+  std::string w(word);
+  if (w.size() <= 3) return w;
+
+  // Plural / 3rd-person suffixes.
+  if (EndsWith(w, "sses")) {
+    w.resize(w.size() - 2);
+  } else if (EndsWith(w, "ies") && w.size() > 4) {
+    w.resize(w.size() - 3);
+    w += 'y';
+  } else if (EndsWith(w, "s") && !EndsWith(w, "ss") && !EndsWith(w, "us") &&
+             !EndsWith(w, "is")) {
+    w.resize(w.size() - 1);
+  }
+  if (w.size() <= 3) return w;
+
+  // Inflection suffixes (require a vowel in the remaining stem).
+  auto strip = [&](std::string_view suffix) {
+    if (w.size() > suffix.size() + 2 && EndsWith(w, suffix) &&
+        HasVowel(std::string_view(w).substr(0, w.size() - suffix.size()))) {
+      w.resize(w.size() - suffix.size());
+      return true;
+    }
+    return false;
+  };
+  if (strip("ing") || strip("edly") || strip("ed")) {
+    // Undouble a final consonant ("planned" -> "plan").
+    if (w.size() > 3 && w[w.size() - 1] == w[w.size() - 2] &&
+        !HasVowel(std::string_view(w).substr(w.size() - 1))) {
+      w.resize(w.size() - 1);
+    }
+    // Restore a silent 'e' heuristically ("releas" -> "release").
+    if (w.size() > 3 && (EndsWith(w, "at") || EndsWith(w, "iz") ||
+                         EndsWith(w, "as") || EndsWith(w, "us"))) {
+      w += 'e';
+    }
+  } else {
+    strip("ly");
+  }
+  return w;
+}
+
+}  // namespace nlp
+}  // namespace kb

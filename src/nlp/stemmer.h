@@ -1,0 +1,20 @@
+#ifndef KBFORGE_NLP_STEMMER_H_
+#define KBFORGE_NLP_STEMMER_H_
+
+#include <string>
+#include <string_view>
+
+namespace kb {
+namespace nlp {
+
+/// A light English suffix stemmer (Porter step-1-style): strips plural
+/// and inflection suffixes so context vectors conflate "founded",
+/// "founder", "founding" less aggressively than full Porter but enough
+/// to densify bag-of-words models. Deterministic, lowercase-in,
+/// lowercase-out.
+std::string Stem(std::string_view word);
+
+}  // namespace nlp
+}  // namespace kb
+
+#endif  // KBFORGE_NLP_STEMMER_H_

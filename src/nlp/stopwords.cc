@@ -1,0 +1,25 @@
+#include "nlp/stopwords.h"
+
+#include <unordered_set>
+
+namespace kb {
+namespace nlp {
+
+bool IsStopword(const std::string& lower) {
+  static const std::unordered_set<std::string>* kStop =
+      new std::unordered_set<std::string>{
+          "the", "a",    "an",   "of",    "in",   "on",    "at",   "by",
+          "for", "with", "from", "into",  "to",   "and",   "or",   "but",
+          "is",  "was",  "are",  "were",  "be",   "been",  "has",  "have",
+          "had", "it",   "its",  "he",    "she",  "his",   "her",  "they",
+          "their", "them", "this", "that", "these", "those", "as",  "who",
+          "which", "when", "while", "where", "not", "also", "such", "other",
+          "there", "than", "then", "so",   "do",   "did",   "does", "can",
+          "will", "would", "after", "before", "during", "since", "until",
+          "near", "between", "under", "every", "some", "many", "several",
+      };
+  return kStop->count(lower) > 0;
+}
+
+}  // namespace nlp
+}  // namespace kb

@@ -1,0 +1,16 @@
+#ifndef KBFORGE_NLP_STOPWORDS_H_
+#define KBFORGE_NLP_STOPWORDS_H_
+
+#include <string>
+
+namespace kb {
+namespace nlp {
+
+/// True for high-frequency function words that carry no topical signal
+/// (used by TF-IDF context models and keyphrase harvesting).
+bool IsStopword(const std::string& lower);
+
+}  // namespace nlp
+}  // namespace kb
+
+#endif  // KBFORGE_NLP_STOPWORDS_H_

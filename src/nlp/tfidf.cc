@@ -1,0 +1,64 @@
+#include "nlp/tfidf.h"
+
+#include <cmath>
+#include <cstdint>
+#include <unordered_set>
+
+namespace kb {
+namespace nlp {
+
+double Cosine(const SparseVector& a, const SparseVector& b) {
+  const SparseVector& small = a.size() <= b.size() ? a : b;
+  const SparseVector& large = a.size() <= b.size() ? b : a;
+  double dot = 0;
+  for (const auto& [id, w] : small) {
+    auto it = large.find(id);
+    if (it != large.end()) dot += w * it->second;
+  }
+  if (dot == 0) return 0;
+  double na = 0, nb = 0;
+  for (const auto& [id, w] : a) na += w * w;
+  for (const auto& [id, w] : b) nb += w * w;
+  if (na == 0 || nb == 0) return 0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+uint32_t TfIdfModel::WordId(const std::string& word) {
+  auto it = vocab_.find(word);
+  if (it != vocab_.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(vocab_.size());
+  vocab_.emplace(word, id);
+  doc_freq_.push_back(0);
+  return id;
+}
+
+uint32_t TfIdfModel::LookupWordId(const std::string& word) const {
+  auto it = vocab_.find(word);
+  return it == vocab_.end() ? UINT32_MAX : it->second;
+}
+
+void TfIdfModel::AddDocument(const std::vector<std::string>& words) {
+  std::unordered_set<uint32_t> seen;
+  for (const std::string& w : words) seen.insert(WordId(w));
+  for (uint32_t id : seen) ++doc_freq_[id];
+  ++num_documents_;
+}
+
+SparseVector TfIdfModel::Vectorize(
+    const std::vector<std::string>& words) const {
+  SparseVector tf;
+  for (const std::string& w : words) {
+    uint32_t id = LookupWordId(w);
+    if (id == UINT32_MAX) continue;
+    tf[id] += 1.0;
+  }
+  SparseVector out;
+  for (const auto& [id, count] : tf) {
+    double idf = std::log((1.0 + num_documents_) / (1.0 + doc_freq_[id])) + 1.0;
+    out[id] = (1.0 + std::log(count)) * idf;
+  }
+  return out;
+}
+
+}  // namespace nlp
+}  // namespace kb

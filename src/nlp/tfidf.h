@@ -1,0 +1,53 @@
+#ifndef KBFORGE_NLP_TFIDF_H_
+#define KBFORGE_NLP_TFIDF_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace kb {
+namespace nlp {
+
+/// A sparse bag-of-words vector: word id -> weight.
+using SparseVector = std::unordered_map<uint32_t, double>;
+
+/// Cosine similarity between two sparse vectors.
+double Cosine(const SparseVector& a, const SparseVector& b);
+
+/// Interns words to dense ids and accumulates document frequencies so
+/// that TF-IDF vectors can be built incrementally over a corpus.
+///
+/// Usage: AddDocument() every bag once (to learn DF), then Vectorize()
+/// bags against the learned statistics.
+class TfIdfModel {
+ public:
+  TfIdfModel() = default;
+
+  /// Interns a word (lowercased externally).
+  uint32_t WordId(const std::string& word);
+
+  /// Returns the id if known, UINT32_MAX otherwise.
+  uint32_t LookupWordId(const std::string& word) const;
+
+  /// Registers one document's distinct words for DF statistics.
+  void AddDocument(const std::vector<std::string>& words);
+
+  /// Builds a TF-IDF weighted, L2-normalizable sparse vector.
+  /// Unknown words are skipped (idf unknown). Stopwords should be
+  /// filtered by the caller.
+  SparseVector Vectorize(const std::vector<std::string>& words) const;
+
+  size_t num_documents() const { return num_documents_; }
+  size_t vocabulary_size() const { return vocab_.size(); }
+
+ private:
+  std::unordered_map<std::string, uint32_t> vocab_;
+  std::vector<uint32_t> doc_freq_;
+  size_t num_documents_ = 0;
+};
+
+}  // namespace nlp
+}  // namespace kb
+
+#endif  // KBFORGE_NLP_TFIDF_H_

@@ -1,0 +1,54 @@
+#ifndef KBFORGE_NLP_TOKEN_H_
+#define KBFORGE_NLP_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace kb {
+namespace nlp {
+
+/// Part-of-speech tags, deliberately coarse (Penn-style granularity is
+/// unnecessary for pattern-based relation extraction).
+enum class Pos : uint8_t {
+  kNoun = 0,
+  kProperNoun,
+  kVerb,
+  kAdjective,
+  kAdverb,
+  kDeterminer,
+  kPreposition,
+  kPronoun,
+  kConjunction,
+  kNumber,
+  kPunctuation,
+  kParticle,  ///< infinitival "to"
+  kOther,
+};
+
+std::string_view PosName(Pos pos);
+
+/// One token of a sentence with its surface form and annotations.
+struct Token {
+  std::string text;    ///< original surface form
+  std::string lower;   ///< lowercase form
+  Pos pos = Pos::kOther;
+  uint32_t begin = 0;  ///< byte offset in the source text
+  uint32_t end = 0;    ///< one past the last byte
+
+  bool capitalized() const {
+    return !text.empty() && text[0] >= 'A' && text[0] <= 'Z';
+  }
+};
+
+/// A tokenized sentence.
+struct Sentence {
+  std::vector<Token> tokens;
+  uint32_t begin = 0;  ///< byte offset of the sentence in the document
+  uint32_t end = 0;
+};
+
+}  // namespace nlp
+}  // namespace kb
+
+#endif  // KBFORGE_NLP_TOKEN_H_

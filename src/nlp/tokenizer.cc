@@ -1,0 +1,158 @@
+#include "nlp/tokenizer.h"
+
+#include <cctype>
+#include <unordered_set>
+
+#include "util/string_util.h"
+
+namespace kb {
+namespace nlp {
+
+namespace {
+
+bool IsWordChar(char c) {
+  return isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsAbbreviation(std::string_view token) {
+  static const std::unordered_set<std::string>* kAbbrev =
+      new std::unordered_set<std::string>{
+          "dr", "mr", "mrs", "ms", "prof", "st", "inc", "corp", "ltd",
+          "co", "vs", "etc", "jr", "sr", "no", "vol", "approx",
+      };
+  return kAbbrev->count(ToLower(token)) > 0;
+}
+
+}  // namespace
+
+std::vector<Token> Tokenize(std::string_view text) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = text.size();
+  auto push = [&](size_t begin, size_t end) {
+    Token t;
+    t.text = std::string(text.substr(begin, end - begin));
+    t.lower = ToLower(t.text);
+    t.begin = static_cast<uint32_t>(begin);
+    t.end = static_cast<uint32_t>(end);
+    tokens.push_back(std::move(t));
+  };
+  while (i < n) {
+    char c = text[i];
+    if (isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (IsWordChar(c)) {
+      size_t start = i;
+      while (i < n) {
+        if (IsWordChar(text[i])) {
+          ++i;
+          continue;
+        }
+        // Keep internal '.', '-' and '\'' when flanked by word chars:
+        // decimals ("3.14"), hyphenations ("never-ending"), clitics.
+        if ((text[i] == '.' || text[i] == '-' || text[i] == '\'') &&
+            i + 1 < n && IsWordChar(text[i + 1]) && i > start) {
+          // Internal period only inside numbers; "U.S." style initials
+          // are also allowed (single letters around the dot).
+          if (text[i] == '.') {
+            bool digit_ctx = isdigit(static_cast<unsigned char>(
+                                 text[i - 1])) &&
+                             isdigit(static_cast<unsigned char>(text[i + 1]));
+            bool initial_ctx =
+                (i - start == 1 ||
+                 (i >= 2 && text[i - 2] == '.')) &&
+                isalpha(static_cast<unsigned char>(text[i - 1]));
+            if (!digit_ctx && !initial_ctx) break;
+          }
+          ++i;
+          continue;
+        }
+        break;
+      }
+      push(start, i);
+      continue;
+    }
+    // Punctuation: one char per token (runs of the same char merge).
+    size_t start = i;
+    char p = text[i];
+    ++i;
+    while (i < n && text[i] == p && (p == '.' || p == '-')) ++i;
+    push(start, i);
+  }
+  return tokens;
+}
+
+std::vector<Sentence> SplitSentences(std::string_view text) {
+  std::vector<Sentence> sentences;
+  size_t start = 0;
+  size_t i = 0;
+  const size_t n = text.size();
+  auto flush = [&](size_t begin, size_t end) {
+    std::string_view span = text.substr(begin, end - begin);
+    if (StripWhitespace(span).empty()) return;
+    Sentence s;
+    s.begin = static_cast<uint32_t>(begin);
+    s.end = static_cast<uint32_t>(end);
+    s.tokens = Tokenize(span);
+    for (Token& t : s.tokens) {
+      t.begin += static_cast<uint32_t>(begin);
+      t.end += static_cast<uint32_t>(begin);
+    }
+    sentences.push_back(std::move(s));
+  };
+  while (i < n) {
+    char c = text[i];
+    if (c == '!' || c == '?') {
+      flush(start, i + 1);
+      start = i + 1;
+      ++i;
+      continue;
+    }
+    if (c == '\n') {
+      // Blank line = hard sentence/paragraph break.
+      if (i + 1 < n && text[i + 1] == '\n') {
+        flush(start, i);
+        start = i + 2;
+        i += 2;
+        continue;
+      }
+      ++i;
+      continue;
+    }
+    if (c == '.') {
+      // Look back for the word before the period.
+      size_t wb = i;
+      while (wb > start && IsWordChar(text[wb - 1])) --wb;
+      std::string_view prev = text.substr(wb, i - wb);
+      bool abbrev = IsAbbreviation(prev) ||
+                    (prev.size() == 1 &&
+                     isupper(static_cast<unsigned char>(prev[0])));
+      // Sentence end: period then whitespace then uppercase/EOF.
+      size_t j = i + 1;
+      while (j < n && (text[j] == ' ' || text[j] == '\t')) ++j;
+      bool boundary =
+          !abbrev && (j >= n || text[j] == '\n' ||
+                      isupper(static_cast<unsigned char>(text[j])) ||
+                      isdigit(static_cast<unsigned char>(text[j])));
+      if (boundary && j > i + 1) {
+        flush(start, i + 1);
+        start = j;
+        i = j;
+        continue;
+      }
+      if (boundary && j >= n) {
+        flush(start, i + 1);
+        start = n;
+        break;
+      }
+    }
+    ++i;
+  }
+  if (start < n) flush(start, n);
+  return sentences;
+}
+
+}  // namespace nlp
+}  // namespace kb

@@ -1,0 +1,25 @@
+#ifndef KBFORGE_NLP_TOKENIZER_H_
+#define KBFORGE_NLP_TOKENIZER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "nlp/token.h"
+
+namespace kb {
+namespace nlp {
+
+/// Rule-based tokenizer: splits on whitespace, detaches punctuation,
+/// keeps decimal numbers ("3.14"), hyphenated words and apostrophe
+/// clitics ("O'Brien") together. Offsets refer to the input text.
+std::vector<Token> Tokenize(std::string_view text);
+
+/// Splits text into sentences at ./!/? boundaries followed by
+/// whitespace and an uppercase letter or EOF, skipping common
+/// abbreviations ("Dr.", "St.", "Inc."). Each sentence is tokenized.
+std::vector<Sentence> SplitSentences(std::string_view text);
+
+}  // namespace nlp
+}  // namespace kb
+
+#endif  // KBFORGE_NLP_TOKENIZER_H_

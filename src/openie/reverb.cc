@@ -1,0 +1,179 @@
+#include "openie/reverb.h"
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "util/string_util.h"
+
+namespace kb {
+namespace openie {
+
+using extraction::AnnotatedSentence;
+using nlp::Pos;
+
+namespace {
+
+bool IsVerb(Pos pos) { return pos == Pos::kVerb; }
+bool IsPrep(Pos pos) {
+  return pos == Pos::kPreposition || pos == Pos::kParticle;
+}
+bool IsFiller(Pos pos) {
+  return pos == Pos::kNoun || pos == Pos::kAdjective ||
+         pos == Pos::kAdverb || pos == Pos::kDeterminer ||
+         pos == Pos::kPronoun;
+}
+
+/// Longest relation phrase starting at `start`: V | V P | V W* P.
+/// Returns one past the end, or `start` if no verb there.
+uint32_t MatchRelationPhrase(const nlp::Sentence& s, uint32_t start) {
+  if (start >= s.tokens.size() || !IsVerb(s.tokens[start].pos)) return start;
+  uint32_t i = start + 1;
+  // Verb chain ("was married").
+  while (i < s.tokens.size() && IsVerb(s.tokens[i].pos)) ++i;
+  uint32_t after_verbs = i;
+  // Optional W* P extension.
+  uint32_t j = i;
+  while (j < s.tokens.size() && IsFiller(s.tokens[j].pos)) ++j;
+  if (j < s.tokens.size() && IsPrep(s.tokens[j].pos)) {
+    return j + 1;  // V W* P
+  }
+  if (i < s.tokens.size() && IsPrep(s.tokens[i].pos)) {
+    return i + 1;  // V P
+  }
+  return after_verbs;  // V
+}
+
+std::string TokensText(const nlp::Sentence& s, uint32_t from, uint32_t to) {
+  std::string out;
+  for (uint32_t i = from; i < to; ++i) {
+    if (!out.empty()) out += ' ';
+    out += s.tokens[i].text;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string NormalizeRelationPhrase(const std::string& phrase) {
+  std::vector<std::string> words = SplitWhitespace(ToLower(phrase));
+  static const std::set<std::string>* kAux = new std::set<std::string>{
+      "is", "was", "are", "were", "has", "have", "had", "been", "be"};
+  size_t start = 0;
+  while (start + 1 < words.size() && kAux->count(words[start]) > 0) {
+    ++start;
+  }
+  std::vector<std::string> rest(words.begin() + start, words.end());
+  return Join(rest, " ");
+}
+
+double OpenIEConfidence(size_t relation_tokens, bool arg1_proper,
+                        bool arg2_proper, bool relation_ends_with_prep,
+                        size_t sentence_tokens) {
+  // Hand-set logistic model in the spirit of ReVerb's trained one.
+  double z = 0.6;
+  z += arg1_proper ? 0.9 : -0.5;
+  z += arg2_proper ? 0.6 : -0.3;
+  z += relation_ends_with_prep ? 0.3 : 0.0;
+  z -= 0.25 * static_cast<double>(relation_tokens > 4 ? relation_tokens - 4
+                                                      : 0);
+  z -= 0.03 * static_cast<double>(sentence_tokens > 20
+                                      ? sentence_tokens - 20
+                                      : 0);
+  return 1.0 / (1.0 + std::exp(-z));
+}
+
+OpenIEExtractor::OpenIEExtractor(OpenIEOptions options)
+    : options_(options) {}
+
+std::vector<OpenTriple> OpenIEExtractor::ExtractFromSentence(
+    const AnnotatedSentence& as) const {
+  std::vector<OpenTriple> out;
+  const nlp::Sentence& s = as.sentence;
+  std::vector<nlp::Chunk> nps = nlp::FindNounPhrases(s);
+  if (nps.size() < 2) return out;
+
+  auto aligned_entity = [&](const nlp::Chunk& chunk) -> uint32_t {
+    for (const extraction::SentenceMention& m : as.mentions) {
+      // The NP must cover the mention and add at most a determiner.
+      if (m.token_begin >= chunk.begin && m.token_end <= chunk.end &&
+          m.token_end - m.token_begin + 1 >= chunk.size()) {
+        return m.entity;
+      }
+    }
+    return UINT32_MAX;
+  };
+
+  for (size_t a = 0; a + 1 < nps.size(); ++a) {
+    const nlp::Chunk& left = nps[a];
+    uint32_t rel_end = MatchRelationPhrase(s, left.end);
+    if (rel_end == left.end) continue;  // no verb after arg1
+    // arg2 is the NP starting exactly where the relation phrase ends;
+    // NPs swallowed by the W* filler ("has [its headquarters] in") are
+    // part of the relation, not arguments.
+    const nlp::Chunk* right_ptr = nullptr;
+    for (size_t b = a + 1; b < nps.size(); ++b) {
+      if (nps[b].begin == rel_end) {
+        right_ptr = &nps[b];
+        break;
+      }
+      if (nps[b].begin > rel_end) break;
+    }
+    if (right_ptr == nullptr) continue;
+    const nlp::Chunk& right = *right_ptr;
+    OpenTriple t;
+    t.arg1 = nlp::ChunkTextNoDet(s, left);
+    t.arg2 = nlp::ChunkTextNoDet(s, right);
+    t.relation = TokensText(s, left.end, rel_end);
+    t.normalized_relation = NormalizeRelationPhrase(t.relation);
+    if (t.normalized_relation.empty()) continue;
+    t.doc_id = as.doc_id;
+    t.arg1_entity = aligned_entity(left);
+    t.arg2_entity = aligned_entity(right);
+    bool ends_with_prep = IsPrep(s.tokens[rel_end - 1].pos);
+    t.confidence =
+        OpenIEConfidence(rel_end - left.end, left.proper, right.proper,
+                         ends_with_prep, s.tokens.size());
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+std::vector<OpenTriple> OpenIEExtractor::Extract(
+    const std::vector<AnnotatedSentence>& sentences) const {
+  std::vector<OpenTriple> all;
+  for (const AnnotatedSentence& s : sentences) {
+    auto triples = ExtractFromSentence(s);
+    all.insert(all.end(), triples.begin(), triples.end());
+  }
+  // Lexical constraint: a relation phrase must occur with enough
+  // distinct argument pairs to count as a real relation.
+  if (options_.min_relation_support > 1) {
+    std::map<std::string, std::set<std::pair<std::string, std::string>>>
+        support;
+    for (const OpenTriple& t : all) {
+      support[t.normalized_relation].insert({t.arg1, t.arg2});
+    }
+    std::vector<OpenTriple> kept;
+    for (OpenTriple& t : all) {
+      if (static_cast<int>(support[t.normalized_relation].size()) >=
+          options_.min_relation_support) {
+        kept.push_back(std::move(t));
+      }
+    }
+    all = std::move(kept);
+  }
+  if (options_.min_confidence > 0) {
+    std::vector<OpenTriple> kept;
+    for (OpenTriple& t : all) {
+      if (t.confidence >= options_.min_confidence) {
+        kept.push_back(std::move(t));
+      }
+    }
+    all = std::move(kept);
+  }
+  return all;
+}
+
+}  // namespace openie
+}  // namespace kb

@@ -1,0 +1,72 @@
+#ifndef KBFORGE_OPENIE_REVERB_H_
+#define KBFORGE_OPENIE_REVERB_H_
+
+#include <string>
+#include <vector>
+
+#include "extraction/annotation.h"
+#include "nlp/chunker.h"
+#include "nlp/token.h"
+
+namespace kb {
+namespace openie {
+
+/// An open-domain SPO triple with surface-form arguments (tutorial §3
+/// "Open Information Extraction": noun phrases as entity candidates,
+/// verbal phrases as prototypic relation patterns).
+struct OpenTriple {
+  std::string arg1;
+  std::string relation;             ///< raw relation phrase
+  std::string normalized_relation;  ///< auxiliary-stripped, lowercased
+  std::string arg2;
+  double confidence = 0.0;
+  uint32_t doc_id = 0;
+  /// Gold alignment when the argument span coincides with an annotated
+  /// entity mention (UINT32_MAX = unaligned NP).
+  uint32_t arg1_entity = UINT32_MAX;
+  uint32_t arg2_entity = UINT32_MAX;
+};
+
+/// Extraction options (ablations for E4).
+struct OpenIEOptions {
+  /// Require the relation phrase to be seen with >= this many distinct
+  /// argument pairs (ReVerb's lexical constraint; 1 disables).
+  int min_relation_support = 1;
+  /// Drop triples whose confidence is below this threshold.
+  double min_confidence = 0.0;
+};
+
+/// ReVerb-style open IE: finds relation phrases matching the POS
+/// pattern V | V P | V W* P between two noun phrases, then scores each
+/// extraction with a logistic confidence function over shallow
+/// features. No relation inventory is consulted.
+class OpenIEExtractor {
+ public:
+  explicit OpenIEExtractor(OpenIEOptions options = OpenIEOptions());
+
+  /// Extracts open triples from tagged, mention-annotated sentences.
+  std::vector<OpenTriple> Extract(
+      const std::vector<extraction::AnnotatedSentence>& sentences) const;
+
+  /// Single-sentence extraction (no lexical-support filtering).
+  std::vector<OpenTriple> ExtractFromSentence(
+      const extraction::AnnotatedSentence& sentence) const;
+
+ private:
+  OpenIEOptions options_;
+};
+
+/// Strips leading auxiliaries/copulas and lowercases a relation phrase
+/// ("was founded by" -> "founded by").
+std::string NormalizeRelationPhrase(const std::string& phrase);
+
+/// The confidence function (exposed for tests): logistic over shallow
+/// features of the extraction.
+double OpenIEConfidence(size_t relation_tokens, bool arg1_proper,
+                        bool arg2_proper, bool relation_ends_with_prep,
+                        size_t sentence_tokens);
+
+}  // namespace openie
+}  // namespace kb
+
+#endif  // KBFORGE_OPENIE_REVERB_H_

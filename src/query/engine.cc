@@ -1,0 +1,245 @@
+#include "query/engine.h"
+
+#include <algorithm>
+#include <set>
+
+#include "rdf/term.h"
+#include "util/string_util.h"
+
+namespace kb {
+namespace query {
+
+namespace {
+
+/// Resolves a query term under the current binding. Returns kAnyTerm
+/// for unbound variables; sets *unmatchable for invalid constants.
+rdf::TermId Resolve(const QueryTerm& term, const Binding& binding,
+                    bool* unmatchable) {
+  if (!term.is_var) {
+    if (term.id == rdf::kInvalidTermId) *unmatchable = true;
+    return term.id == rdf::kInvalidTermId ? rdf::kAnyTerm : term.id;
+  }
+  auto it = binding.find(term.var);
+  return it == binding.end() ? rdf::kAnyTerm : it->second;
+}
+
+rdf::TriplePattern MakePattern(const QueryPattern& qp,
+                               const Binding& binding, bool* unmatchable) {
+  rdf::TriplePattern pattern;
+  pattern.s = Resolve(qp.s, binding, unmatchable);
+  pattern.p = Resolve(qp.p, binding, unmatchable);
+  pattern.o = Resolve(qp.o, binding, unmatchable);
+  return pattern;
+}
+
+int BoundPositions(const rdf::TriplePattern& p) {
+  return (p.s != rdf::kAnyTerm) + (p.p != rdf::kAnyTerm) +
+         (p.o != rdf::kAnyTerm);
+}
+
+}  // namespace
+
+std::vector<Binding> QueryEngine::Execute(const SelectQuery& query,
+                                          const ExecutionOptions& options,
+                                          QueryStats* stats) const {
+  std::vector<Binding> results;
+  std::vector<bool> used(query.where.size(), false);
+  Binding binding;
+  QueryStats local_stats;
+  std::set<Binding> seen;  // for DISTINCT
+  bool done = false;
+
+  // Recursive index nested-loop join with greedy dynamic ordering.
+  std::function<void(size_t)> recurse = [&](size_t depth) {
+    if (done) return;
+    if (depth == query.where.size()) {
+      Binding row;
+      if (query.projection.empty()) {
+        row = binding;
+      } else {
+        for (const std::string& var : query.projection) {
+          auto it = binding.find(var);
+          if (it != binding.end()) row[var] = it->second;
+        }
+      }
+      if (query.distinct && !seen.insert(row).second) return;
+      results.push_back(std::move(row));
+      if (query.limit != 0 && results.size() >= query.limit) done = true;
+      return;
+    }
+    // Choose the next pattern.
+    size_t chosen = query.where.size();
+    if (options.reorder_patterns) {
+      int best_bound = -1;
+      size_t best_count = SIZE_MAX;
+      for (size_t i = 0; i < query.where.size(); ++i) {
+        if (used[i]) continue;
+        bool unmatchable = false;
+        rdf::TriplePattern pattern =
+            MakePattern(query.where[i], binding, &unmatchable);
+        if (unmatchable) {
+          chosen = i;  // will immediately produce zero rows
+          best_bound = 4;
+          break;
+        }
+        int bound = BoundPositions(pattern);
+        if (bound > best_bound) {
+          best_bound = bound;
+          best_count = store_->CountMatches(pattern);
+          chosen = i;
+        } else if (bound == best_bound) {
+          size_t count = store_->CountMatches(pattern);
+          if (count < best_count) {
+            best_count = count;
+            chosen = i;
+          }
+        }
+      }
+    } else {
+      for (size_t i = 0; i < query.where.size(); ++i) {
+        if (!used[i]) {
+          chosen = i;
+          break;
+        }
+      }
+    }
+    if (chosen >= query.where.size()) return;
+    used[chosen] = true;
+    const QueryPattern& qp = query.where[chosen];
+    bool unmatchable = false;
+    rdf::TriplePattern pattern = MakePattern(qp, binding, &unmatchable);
+    ++local_stats.patterns_evaluated;
+    if (!unmatchable) {
+      auto visit = [&](const rdf::Triple& t) {
+        // Bind new variables; repeated variables must agree.
+        Binding saved = binding;
+        auto bind = [&](const QueryTerm& term, rdf::TermId value) {
+          if (!term.is_var) return true;
+          auto it = binding.find(term.var);
+          if (it != binding.end()) return it->second == value;
+          binding[term.var] = value;
+          return true;
+        };
+        ++local_stats.intermediate_rows;
+        if (bind(qp.s, t.s) && bind(qp.p, t.p) && bind(qp.o, t.o)) {
+          recurse(depth + 1);
+        }
+        binding = std::move(saved);
+        return !done;
+      };
+      ++local_stats.index_scans;
+      if (options.use_indexes) {
+        store_->Scan(pattern, visit);
+      } else {
+        for (const rdf::Triple& t : store_->MatchFullScan(pattern)) {
+          visit(t);
+        }
+      }
+    }
+    used[chosen] = false;
+  };
+  recurse(0);
+  if (stats != nullptr) *stats = local_stats;
+  return results;
+}
+
+StatusOr<SelectQuery> ParseSparql(std::string_view text,
+                                  const rdf::Dictionary& dict) {
+  SelectQuery query;
+  // Tokenize by whitespace but keep quoted literals intact.
+  std::vector<std::string> tokens;
+  {
+    std::string current;
+    bool in_quotes = false;
+    for (size_t i = 0; i < text.size(); ++i) {
+      char c = text[i];
+      if (c == '"' ) {
+        in_quotes = !in_quotes;
+        current += c;
+        continue;
+      }
+      if (!in_quotes && isspace(static_cast<unsigned char>(c))) {
+        if (!current.empty()) {
+          tokens.push_back(current);
+          current.clear();
+        }
+        continue;
+      }
+      current += c;
+    }
+    if (!current.empty()) tokens.push_back(current);
+  }
+  size_t i = 0;
+  auto expect = [&](const char* word) -> bool {
+    if (i < tokens.size() && ToUpper(tokens[i]) == word) {
+      ++i;
+      return true;
+    }
+    return false;
+  };
+  if (!expect("SELECT")) return Status::InvalidArgument("expected SELECT");
+  if (expect("DISTINCT")) query.distinct = true;
+  while (i < tokens.size() && tokens[i][0] == '?') {
+    query.projection.push_back(tokens[i].substr(1));
+    ++i;
+  }
+  if (i < tokens.size() && tokens[i] == "*") ++i;  // SELECT *
+  if (!expect("WHERE")) return Status::InvalidArgument("expected WHERE");
+  if (i >= tokens.size() || tokens[i] != "{") {
+    return Status::InvalidArgument("expected {");
+  }
+  ++i;
+  std::vector<QueryTerm> terms;
+  auto flush_pattern = [&]() -> Status {
+    if (terms.empty()) return Status::OK();
+    if (terms.size() != 3) {
+      return Status::InvalidArgument("pattern must have 3 terms");
+    }
+    query.where.push_back({terms[0], terms[1], terms[2]});
+    terms.clear();
+    return Status::OK();
+  };
+  for (; i < tokens.size(); ++i) {
+    const std::string& token = tokens[i];
+    if (token == "}") {
+      KB_RETURN_IF_ERROR(flush_pattern());
+      if (query.where.empty()) {
+        return Status::InvalidArgument("empty WHERE clause");
+      }
+      // Optional trailing "LIMIT n".
+      ++i;
+      if (i < tokens.size() && ToUpper(tokens[i]) == "LIMIT") {
+        ++i;
+        long long n = 0;
+        if (i >= tokens.size() || !ParseInt64(tokens[i], &n) || n < 0) {
+          return Status::InvalidArgument("bad LIMIT");
+        }
+        query.limit = static_cast<size_t>(n);
+        ++i;
+      }
+      if (i < tokens.size()) {
+        return Status::InvalidArgument("trailing tokens after query");
+      }
+      return query;
+    }
+    if (token == ".") {
+      KB_RETURN_IF_ERROR(flush_pattern());
+      continue;
+    }
+    if (token[0] == '?') {
+      if (token.size() < 2) {
+        return Status::InvalidArgument("bare '?' variable");
+      }
+      terms.push_back(QueryTerm::Var(token.substr(1)));
+      continue;
+    }
+    auto parsed = rdf::Term::Parse(token);
+    if (!parsed.ok()) return parsed.status();
+    // Unknown constants stay kInvalidTermId = unmatchable.
+    terms.push_back(QueryTerm::Bound(dict.Lookup(*parsed)));
+  }
+  return Status::InvalidArgument("unterminated WHERE clause");
+}
+
+}  // namespace query
+}  // namespace kb

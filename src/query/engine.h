@@ -1,0 +1,90 @@
+#ifndef KBFORGE_QUERY_ENGINE_H_
+#define KBFORGE_QUERY_ENGINE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "rdf/triple_store.h"
+#include "util/statusor.h"
+
+namespace kb {
+namespace query {
+
+/// One position of a query pattern: a variable or a bound term.
+struct QueryTerm {
+  bool is_var = false;
+  std::string var;          ///< without '?', e.g. "x"
+  rdf::TermId id = rdf::kInvalidTermId;
+
+  static QueryTerm Var(std::string name) {
+    QueryTerm t;
+    t.is_var = true;
+    t.var = std::move(name);
+    return t;
+  }
+  static QueryTerm Bound(rdf::TermId id) {
+    QueryTerm t;
+    t.id = id;
+    return t;
+  }
+};
+
+/// A triple pattern with variables (one conjunct of a basic graph
+/// pattern).
+struct QueryPattern {
+  QueryTerm s, p, o;
+};
+
+/// SELECT ?vars WHERE { patterns } — the analytics workhorse over
+/// entity-relationship data (tutorial §4 "semantic search and
+/// analytics over entities and relations").
+struct SelectQuery {
+  std::vector<std::string> projection;  ///< empty = all variables
+  std::vector<QueryPattern> where;
+  bool distinct = false;  ///< drop duplicate projected rows
+  size_t limit = 0;       ///< stop after this many rows (0 = no limit)
+};
+
+/// A result row: variable name -> term id.
+using Binding = std::map<std::string, rdf::TermId>;
+
+/// Executor knobs (E10 ablations).
+struct ExecutionOptions {
+  bool reorder_patterns = true;  ///< greedy selectivity-based join order
+  bool use_indexes = true;       ///< false = full scan per pattern
+};
+
+/// Execution counters.
+struct QueryStats {
+  uint64_t patterns_evaluated = 0;
+  uint64_t intermediate_rows = 0;
+  uint64_t index_scans = 0;
+};
+
+/// Evaluates basic graph patterns against a TripleStore with index
+/// nested-loop joins and greedy selectivity-based join ordering.
+class QueryEngine {
+ public:
+  explicit QueryEngine(const rdf::TripleStore* store) : store_(store) {}
+
+  /// Runs the query, returning all result rows (projected).
+  std::vector<Binding> Execute(const SelectQuery& query,
+                               const ExecutionOptions& options = {},
+                               QueryStats* stats = nullptr) const;
+
+ private:
+  const rdf::TripleStore* store_;
+};
+
+/// Parses a minimal SPARQL subset:
+///   SELECT ?x ?y WHERE { ?x <iri> ?y . <iri> ?p "literal" . }
+/// Terms are N-Triples syntax or ?variables. Unknown constant terms
+/// yield an empty-result query (they cannot match).
+StatusOr<SelectQuery> ParseSparql(std::string_view text,
+                                  const rdf::Dictionary& dict);
+
+}  // namespace query
+}  // namespace kb
+
+#endif  // KBFORGE_QUERY_ENGINE_H_

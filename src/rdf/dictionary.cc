@@ -1,0 +1,34 @@
+#include "rdf/dictionary.h"
+
+#include "util/logging.h"
+
+namespace kb {
+namespace rdf {
+
+Dictionary::Dictionary() {
+  terms_.emplace_back();  // id 0 is reserved
+}
+
+TermId Dictionary::Intern(const Term& term) {
+  std::string key = term.ToString();
+  auto it = index_.find(key);
+  if (it != index_.end()) return it->second;
+  TermId id = static_cast<TermId>(terms_.size());
+  terms_.push_back(term);
+  index_.emplace(std::move(key), id);
+  return id;
+}
+
+TermId Dictionary::Lookup(const Term& term) const {
+  auto it = index_.find(term.ToString());
+  return it == index_.end() ? kInvalidTermId : it->second;
+}
+
+const Term& Dictionary::term(TermId id) const {
+  KB_CHECK(id != kInvalidTermId && id < terms_.size())
+      << "bad term id " << id;
+  return terms_[id];
+}
+
+}  // namespace rdf
+}  // namespace kb

@@ -1,0 +1,50 @@
+#ifndef KBFORGE_RDF_DICTIONARY_H_
+#define KBFORGE_RDF_DICTIONARY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/term.h"
+
+namespace kb {
+namespace rdf {
+
+/// Dense integer id for a dictionary-encoded term. Id 0 is reserved as
+/// "invalid"; valid ids start at 1.
+using TermId = uint32_t;
+inline constexpr TermId kInvalidTermId = 0;
+
+/// Bidirectional mapping between RDF terms and dense ids. Dictionary
+/// encoding is what lets the triple store hold hundreds of millions of
+/// triples in sorted integer arrays (the standard RDF-store design).
+class Dictionary {
+ public:
+  Dictionary();
+
+  /// Returns the id for `term`, interning it if new.
+  TermId Intern(const Term& term);
+
+  /// Returns the id if present, kInvalidTermId otherwise.
+  TermId Lookup(const Term& term) const;
+
+  /// Returns the term for a valid id. Aborts on invalid id.
+  const Term& term(TermId id) const;
+
+  /// Number of interned terms.
+  size_t size() const { return terms_.size() - 1; }
+
+  /// Convenience: intern an IRI string.
+  TermId InternIri(std::string iri) { return Intern(Term::Iri(std::move(iri))); }
+
+ private:
+  std::vector<Term> terms_;                       // terms_[id]
+  std::unordered_map<std::string, TermId> index_; // ToString() -> id
+};
+
+}  // namespace rdf
+}  // namespace kb
+
+#endif  // KBFORGE_RDF_DICTIONARY_H_

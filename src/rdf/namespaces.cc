@@ -1,0 +1,31 @@
+#include "rdf/namespaces.h"
+
+#include "util/string_util.h"
+
+namespace kb {
+namespace rdf {
+
+std::string Abbreviate(std::string_view iri) {
+  struct Prefix {
+    std::string_view ns;
+    std::string_view abbrev;
+  };
+  static constexpr Prefix kPrefixes[] = {
+      {kEntityNs, "kb:"},
+      {kPropertyNs, "kbp:"},
+      {kClassNs, "kbc:"},
+      {"http://www.w3.org/1999/02/22-rdf-syntax-ns#", "rdf:"},
+      {"http://www.w3.org/2000/01/rdf-schema#", "rdfs:"},
+      {"http://www.w3.org/2002/07/owl#", "owl:"},
+      {"http://www.w3.org/2001/XMLSchema#", "xsd:"},
+  };
+  for (const auto& p : kPrefixes) {
+    if (StartsWith(iri, p.ns)) {
+      return std::string(p.abbrev) + std::string(iri.substr(p.ns.size()));
+    }
+  }
+  return std::string(iri);
+}
+
+}  // namespace rdf
+}  // namespace kb

@@ -1,0 +1,45 @@
+#ifndef KBFORGE_RDF_NAMESPACES_H_
+#define KBFORGE_RDF_NAMESPACES_H_
+
+#include <string>
+#include <string_view>
+
+namespace kb {
+namespace rdf {
+
+/// Namespace prefixes used throughout KBForge's knowledge bases. KBForge
+/// entities live under kb:, relations under kbp:, classes under kbc:.
+inline constexpr std::string_view kEntityNs = "http://kbforge.org/entity/";
+inline constexpr std::string_view kPropertyNs = "http://kbforge.org/prop/";
+inline constexpr std::string_view kClassNs = "http://kbforge.org/class/";
+inline constexpr std::string_view kRdfType =
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+inline constexpr std::string_view kRdfsSubClassOf =
+    "http://www.w3.org/2000/01/rdf-schema#subClassOf";
+inline constexpr std::string_view kRdfsLabel =
+    "http://www.w3.org/2000/01/rdf-schema#label";
+inline constexpr std::string_view kOwlSameAs =
+    "http://www.w3.org/2002/07/owl#sameAs";
+inline constexpr std::string_view kXsdInteger =
+    "http://www.w3.org/2001/XMLSchema#integer";
+inline constexpr std::string_view kXsdDate =
+    "http://www.w3.org/2001/XMLSchema#date";
+
+/// Builds a full IRI from a namespace and local name.
+inline std::string EntityIri(std::string_view local) {
+  return std::string(kEntityNs) + std::string(local);
+}
+inline std::string PropertyIri(std::string_view local) {
+  return std::string(kPropertyNs) + std::string(local);
+}
+inline std::string ClassIri(std::string_view local) {
+  return std::string(kClassNs) + std::string(local);
+}
+
+/// Strips a known namespace prefix for display ("kb:Steve_Jobs").
+std::string Abbreviate(std::string_view iri);
+
+}  // namespace rdf
+}  // namespace kb
+
+#endif  // KBFORGE_RDF_NAMESPACES_H_

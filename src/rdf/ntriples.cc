@@ -1,0 +1,116 @@
+#include "rdf/ntriples.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace kb {
+namespace rdf {
+
+namespace {
+
+/// Splits one N-Triples line into its three term tokens, respecting
+/// quoted literals. Returns false on malformed lines.
+bool TokenizeLine(std::string_view line, std::string_view out[3]) {
+  int found = 0;
+  size_t i = 0;
+  while (i < line.size() && found < 3) {
+    while (i < line.size() && isspace(static_cast<unsigned char>(line[i])))
+      ++i;
+    if (i >= line.size()) break;
+    size_t start = i;
+    if (line[i] == '"') {
+      ++i;
+      while (i < line.size()) {
+        if (line[i] == '\\') {
+          i += 2;
+          continue;
+        }
+        if (line[i] == '"') break;
+        ++i;
+      }
+      if (i >= line.size()) return false;
+      ++i;  // past closing quote
+      // Suffix: @lang or ^^<...>
+      while (i < line.size() && !isspace(static_cast<unsigned char>(line[i])))
+        ++i;
+    } else {
+      while (i < line.size() && !isspace(static_cast<unsigned char>(line[i])))
+        ++i;
+    }
+    out[found++] = line.substr(start, i - start);
+  }
+  if (found != 3) return false;
+  // Remainder must be the terminating dot.
+  std::string_view rest = StripWhitespace(line.substr(i));
+  return rest == ".";
+}
+
+}  // namespace
+
+std::string WriteNTriples(const TripleStore& store) {
+  std::ostringstream out;
+  TriplePattern all;
+  store.Scan(all, [&](const Triple& t) {
+    out << store.dict().term(t.s).ToString() << " "
+        << store.dict().term(t.p).ToString() << " "
+        << store.dict().term(t.o).ToString() << " .\n";
+    return true;
+  });
+  return out.str();
+}
+
+Status ReadNTriples(std::string_view text, TripleStore* store) {
+  size_t line_no = 0;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t nl = text.find('\n', pos);
+    std::string_view line = nl == std::string_view::npos
+                                ? text.substr(pos)
+                                : text.substr(pos, nl - pos);
+    pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+    ++line_no;
+    std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty() || stripped.front() == '#') continue;
+    std::string_view tokens[3];
+    if (!TokenizeLine(stripped, tokens)) {
+      return Status::Corruption("malformed N-Triples line " +
+                                std::to_string(line_no));
+    }
+    Term terms[3];
+    for (int i = 0; i < 3; ++i) {
+      auto parsed = Term::Parse(tokens[i]);
+      if (!parsed.ok()) {
+        return Status::Corruption("line " + std::to_string(line_no) + ": " +
+                                  parsed.status().message());
+      }
+      terms[i] = std::move(parsed).value();
+    }
+    if (!terms[1].is_iri()) {
+      return Status::Corruption("line " + std::to_string(line_no) +
+                                ": predicate must be an IRI");
+    }
+    store->AddTerms(terms[0], terms[1], terms[2]);
+  }
+  return Status::OK();
+}
+
+Status WriteNTriplesFile(const TripleStore& store, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out << WriteNTriples(store);
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Status ReadNTriplesFile(const std::string& path, TripleStore* store) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ReadNTriples(buf.str(), store);
+}
+
+}  // namespace rdf
+}  // namespace kb

@@ -1,0 +1,31 @@
+#ifndef KBFORGE_RDF_NTRIPLES_H_
+#define KBFORGE_RDF_NTRIPLES_H_
+
+#include <string>
+#include <string_view>
+
+#include "rdf/triple_store.h"
+#include "util/status.h"
+
+namespace kb {
+namespace rdf {
+
+/// Serializes the whole store in N-Triples format (one triple per line,
+/// terminated by " ."). Order is SPO index order: deterministic.
+std::string WriteNTriples(const TripleStore& store);
+
+/// Parses N-Triples text into `store`. Lines that are empty or start
+/// with '#' are skipped. Returns the first parse error with its line
+/// number, having already added all preceding valid triples.
+Status ReadNTriples(std::string_view text, TripleStore* store);
+
+/// Writes the store to a file.
+Status WriteNTriplesFile(const TripleStore& store, const std::string& path);
+
+/// Reads a file of N-Triples into `store`.
+Status ReadNTriplesFile(const std::string& path, TripleStore* store);
+
+}  // namespace rdf
+}  // namespace kb
+
+#endif  // KBFORGE_RDF_NTRIPLES_H_

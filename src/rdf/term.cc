@@ -1,0 +1,120 @@
+#include "rdf/term.h"
+
+#include <tuple>
+
+#include "util/string_util.h"
+
+namespace kb {
+namespace rdf {
+
+namespace {
+constexpr char kXsdInteger[] = "http://www.w3.org/2001/XMLSchema#integer";
+}  // namespace
+
+Term Term::Iri(std::string iri) {
+  Term t;
+  t.kind_ = TermKind::kIri;
+  t.value_ = std::move(iri);
+  return t;
+}
+
+Term Term::Literal(std::string value) {
+  Term t;
+  t.kind_ = TermKind::kLiteral;
+  t.value_ = std::move(value);
+  return t;
+}
+
+Term Term::LangLiteral(std::string value, std::string lang) {
+  Term t = Literal(std::move(value));
+  t.language_ = std::move(lang);
+  return t;
+}
+
+Term Term::TypedLiteral(std::string value, std::string datatype_iri) {
+  Term t = Literal(std::move(value));
+  t.datatype_ = std::move(datatype_iri);
+  return t;
+}
+
+Term Term::IntLiteral(int64_t value) {
+  return TypedLiteral(std::to_string(value), kXsdInteger);
+}
+
+Term Term::Blank(std::string label) {
+  Term t;
+  t.kind_ = TermKind::kBlank;
+  t.value_ = std::move(label);
+  return t;
+}
+
+std::string Term::ToString() const {
+  switch (kind_) {
+    case TermKind::kIri:
+      return "<" + value_ + ">";
+    case TermKind::kBlank:
+      return "_:" + value_;
+    case TermKind::kLiteral: {
+      std::string out = "\"" + EscapeNTriples(value_) + "\"";
+      if (!language_.empty()) {
+        out += "@" + language_;
+      } else if (!datatype_.empty()) {
+        out += "^^<" + datatype_ + ">";
+      }
+      return out;
+    }
+  }
+  return "";
+}
+
+StatusOr<Term> Term::Parse(std::string_view text) {
+  text = StripWhitespace(text);
+  if (text.empty()) return Status::InvalidArgument("empty term");
+  if (text.front() == '<') {
+    if (text.back() != '>' || text.size() < 2) {
+      return Status::InvalidArgument("unterminated IRI: " + std::string(text));
+    }
+    return Iri(std::string(text.substr(1, text.size() - 2)));
+  }
+  if (StartsWith(text, "_:")) {
+    return Blank(std::string(text.substr(2)));
+  }
+  if (text.front() == '"') {
+    // Find the closing unescaped quote.
+    size_t end = std::string_view::npos;
+    for (size_t i = 1; i < text.size(); ++i) {
+      if (text[i] == '\\') {
+        ++i;  // skip escaped char
+        continue;
+      }
+      if (text[i] == '"') {
+        end = i;
+        break;
+      }
+    }
+    if (end == std::string_view::npos) {
+      return Status::InvalidArgument("unterminated literal: " +
+                                     std::string(text));
+    }
+    std::string value = UnescapeNTriples(text.substr(1, end - 1));
+    std::string_view rest = text.substr(end + 1);
+    if (rest.empty()) return Literal(std::move(value));
+    if (rest.front() == '@') {
+      return LangLiteral(std::move(value), std::string(rest.substr(1)));
+    }
+    if (StartsWith(rest, "^^<") && rest.back() == '>') {
+      return TypedLiteral(std::move(value),
+                          std::string(rest.substr(3, rest.size() - 4)));
+    }
+    return Status::InvalidArgument("bad literal suffix: " + std::string(text));
+  }
+  return Status::InvalidArgument("unrecognized term: " + std::string(text));
+}
+
+bool Term::operator<(const Term& o) const {
+  return std::tie(kind_, value_, language_, datatype_) <
+         std::tie(o.kind_, o.value_, o.language_, o.datatype_);
+}
+
+}  // namespace rdf
+}  // namespace kb

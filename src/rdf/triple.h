@@ -1,0 +1,68 @@
+#ifndef KBFORGE_RDF_TRIPLE_H_
+#define KBFORGE_RDF_TRIPLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <tuple>
+
+#include "rdf/dictionary.h"
+#include "util/date.h"
+#include "util/hash.h"
+
+namespace kb {
+namespace rdf {
+
+/// A dictionary-encoded SPO triple.
+struct Triple {
+  TermId s = kInvalidTermId;
+  TermId p = kInvalidTermId;
+  TermId o = kInvalidTermId;
+
+  Triple() = default;
+  Triple(TermId s_, TermId p_, TermId o_) : s(s_), p(p_), o(o_) {}
+
+  bool operator==(const Triple& t) const {
+    return s == t.s && p == t.p && o == t.o;
+  }
+  bool operator<(const Triple& t) const {
+    return std::tie(s, p, o) < std::tie(t.s, t.p, t.o);
+  }
+};
+
+struct TripleHash {
+  size_t operator()(const Triple& t) const {
+    uint64_t h = Mix64((static_cast<uint64_t>(t.s) << 32) | t.p);
+    return static_cast<size_t>(HashCombine(h, Mix64(t.o)));
+  }
+};
+
+/// An extracted fact: a triple plus the extraction metadata that the
+/// harvesting pipeline, consistency reasoner and temporal scoper use.
+struct Fact {
+  Triple triple;
+  double confidence = 1.0;   ///< extractor confidence in [0, 1]
+  uint32_t source_doc = 0;   ///< provenance: generating document id
+  uint32_t extractor = 0;    ///< which extractor produced it
+  TimeSpan valid_time;       ///< temporal scope, if known
+
+  Fact() = default;
+  Fact(Triple t, double conf) : triple(t), confidence(conf) {}
+};
+
+/// Well-known extractor ids recorded as provenance on facts.
+enum ExtractorId : uint32_t {
+  kExtractorUnknown = 0,
+  kExtractorInfobox = 1,
+  kExtractorPattern = 2,
+  kExtractorBootstrap = 3,
+  kExtractorStatistical = 4,
+  kExtractorOpenIE = 5,
+  kExtractorCategory = 6,
+  kExtractorTemporal = 7,
+  kExtractorReasoner = 8,
+};
+
+}  // namespace rdf
+}  // namespace kb
+
+#endif  // KBFORGE_RDF_TRIPLE_H_

@@ -1,0 +1,185 @@
+#include "rdf/triple_store.h"
+
+#include <algorithm>
+
+namespace kb {
+namespace rdf {
+
+bool TripleStore::Add(const Triple& t) {
+  if (!set_.insert(t).second) return false;
+  pending_.push_back(t);
+  return true;
+}
+
+bool TripleStore::AddTerms(const Term& s, const Term& p, const Term& o) {
+  return Add(Triple(dict_.Intern(s), dict_.Intern(p), dict_.Intern(o)));
+}
+
+bool TripleStore::LessSpo(const Triple& a, const Triple& b) {
+  return std::tie(a.s, a.p, a.o) < std::tie(b.s, b.p, b.o);
+}
+bool TripleStore::LessPos(const Triple& a, const Triple& b) {
+  return std::tie(a.p, a.o, a.s) < std::tie(b.p, b.o, b.s);
+}
+bool TripleStore::LessOsp(const Triple& a, const Triple& b) {
+  return std::tie(a.o, a.s, a.p) < std::tie(b.o, b.s, b.p);
+}
+
+void TripleStore::EnsureIndexed() const {
+  if (pending_.empty()) return;
+  auto merge = [](std::vector<Triple>* index, std::vector<Triple> batch,
+                  bool (*less)(const Triple&, const Triple&)) {
+    std::sort(batch.begin(), batch.end(), less);
+    std::vector<Triple> merged;
+    merged.reserve(index->size() + batch.size());
+    std::merge(index->begin(), index->end(), batch.begin(), batch.end(),
+               std::back_inserter(merged), less);
+    *index = std::move(merged);
+  };
+  merge(&spo_, pending_, &LessSpo);
+  merge(&pos_, pending_, &LessPos);
+  merge(&osp_, pending_, &LessOsp);
+  pending_.clear();
+}
+
+void TripleStore::ScanIndex(
+    const std::vector<Triple>& index, Order order,
+    const TriplePattern& pattern,
+    const std::function<bool(const Triple&)>& fn) const {
+  // Build lower/upper bound triples for the bound prefix of the order.
+  // Components bound beyond the contiguous prefix are filtered in-loop.
+  TermId k1 = kAnyTerm, k2 = kAnyTerm;
+  bool (*less)(const Triple&, const Triple&) = &LessSpo;
+  switch (order) {
+    case Order::kSpo:
+      k1 = pattern.s;
+      k2 = pattern.p;
+      less = &LessSpo;
+      break;
+    case Order::kPos:
+      k1 = pattern.p;
+      k2 = pattern.o;
+      less = &LessPos;
+      break;
+    case Order::kOsp:
+      k1 = pattern.o;
+      k2 = pattern.s;
+      less = &LessOsp;
+      break;
+  }
+  auto make = [order](TermId a, TermId b, TermId c) {
+    switch (order) {
+      case Order::kSpo:
+        return Triple(a, b, c);
+      case Order::kPos:
+        return Triple(c, a, b);
+      case Order::kOsp:
+        return Triple(b, c, a);
+    }
+    return Triple();
+  };
+  auto begin = index.begin(), end = index.end();
+  if (k1 != kAnyTerm) {
+    if (k2 != kAnyTerm) {
+      begin = std::lower_bound(index.begin(), index.end(), make(k1, k2, 0),
+                               less);
+      end = std::upper_bound(begin, index.end(),
+                             make(k1, k2, kAnyTerm - 1), less);
+    } else {
+      begin = std::lower_bound(index.begin(), index.end(), make(k1, 0, 0),
+                               less);
+      end = std::upper_bound(begin, index.end(),
+                             make(k1, kAnyTerm - 1, kAnyTerm - 1), less);
+    }
+  }
+  for (auto it = begin; it != end; ++it) {
+    if (pattern.Matches(*it)) {
+      if (!fn(*it)) return;
+    }
+  }
+}
+
+void TripleStore::Scan(const TriplePattern& pattern,
+                       const std::function<bool(const Triple&)>& fn) const {
+  EnsureIndexed();
+  const bool bs = pattern.s != kAnyTerm;
+  const bool bp = pattern.p != kAnyTerm;
+  const bool bo = pattern.o != kAnyTerm;
+  // Choose the index whose sort order has the longest bound prefix.
+  if (bs) {
+    ScanIndex(spo_, Order::kSpo, pattern, fn);  // S or SP or SPO or SO
+  } else if (bp) {
+    ScanIndex(pos_, Order::kPos, pattern, fn);  // P or PO
+  } else if (bo) {
+    ScanIndex(osp_, Order::kOsp, pattern, fn);  // O
+  } else {
+    ScanIndex(spo_, Order::kSpo, pattern, fn);  // full scan
+  }
+}
+
+std::vector<Triple> TripleStore::Match(const TriplePattern& pattern) const {
+  std::vector<Triple> out;
+  Scan(pattern, [&out](const Triple& t) {
+    out.push_back(t);
+    return true;
+  });
+  return out;
+}
+
+size_t TripleStore::CountMatches(const TriplePattern& pattern) const {
+  size_t n = 0;
+  Scan(pattern, [&n](const Triple&) {
+    ++n;
+    return true;
+  });
+  return n;
+}
+
+std::vector<TermId> TripleStore::Objects(TermId s, TermId p) const {
+  std::vector<TermId> out;
+  TriplePattern pat;
+  pat.s = s;
+  pat.p = p;
+  Scan(pat, [&out](const Triple& t) {
+    out.push_back(t.o);
+    return true;
+  });
+  return out;
+}
+
+std::vector<TermId> TripleStore::Subjects(TermId p, TermId o) const {
+  std::vector<TermId> out;
+  TriplePattern pat;
+  pat.p = p;
+  pat.o = o;
+  Scan(pat, [&out](const Triple& t) {
+    out.push_back(t.s);
+    return true;
+  });
+  return out;
+}
+
+TermId TripleStore::FirstObject(TermId s, TermId p) const {
+  TermId out = kInvalidTermId;
+  TriplePattern pat;
+  pat.s = s;
+  pat.p = p;
+  Scan(pat, [&out](const Triple& t) {
+    out = t.o;
+    return false;
+  });
+  return out;
+}
+
+std::vector<Triple> TripleStore::MatchFullScan(
+    const TriplePattern& pattern) const {
+  EnsureIndexed();
+  std::vector<Triple> out;
+  for (const Triple& t : spo_) {
+    if (pattern.Matches(t)) out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace rdf
+}  // namespace kb

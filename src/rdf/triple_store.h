@@ -1,0 +1,104 @@
+#ifndef KBFORGE_RDF_TRIPLE_STORE_H_
+#define KBFORGE_RDF_TRIPLE_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "rdf/dictionary.h"
+#include "rdf/triple.h"
+
+namespace kb {
+namespace rdf {
+
+/// A triple pattern: any component may be a concrete TermId or the
+/// wildcard kAnyTerm.
+inline constexpr TermId kAnyTerm = 0xffffffffu;
+
+struct TriplePattern {
+  TermId s = kAnyTerm;
+  TermId p = kAnyTerm;
+  TermId o = kAnyTerm;
+
+  bool Matches(const Triple& t) const {
+    return (s == kAnyTerm || s == t.s) && (p == kAnyTerm || p == t.p) &&
+           (o == kAnyTerm || o == t.o);
+  }
+};
+
+/// In-memory dictionary-encoded triple store with three collated
+/// permutation indexes (SPO, POS, OSP), which together answer every
+/// triple-pattern shape with a binary-searchable range. This is the
+/// standard architecture of RDF engines (RDF-3X-style, simplified).
+///
+/// Writes are buffered and merged into the sorted indexes lazily on the
+/// next read, so bulk loading stays O(n log n) overall.
+class TripleStore {
+ public:
+  TripleStore() = default;
+
+  /// The shared term dictionary.
+  Dictionary& dict() { return dict_; }
+  const Dictionary& dict() const { return dict_; }
+
+  /// Adds a triple of term ids; returns false if it was already present.
+  bool Add(const Triple& t);
+
+  /// Interns the terms and adds the triple.
+  bool AddTerms(const Term& s, const Term& p, const Term& o);
+
+  bool Contains(const Triple& t) const { return set_.count(t) > 0; }
+
+  size_t size() const { return set_.size(); }
+
+  /// Invokes `fn` for each triple matching the pattern, in SPO order of
+  /// the chosen index. Return false from fn to stop early.
+  void Scan(const TriplePattern& pattern,
+            const std::function<bool(const Triple&)>& fn) const;
+
+  /// All matches of a pattern, materialized.
+  std::vector<Triple> Match(const TriplePattern& pattern) const;
+
+  /// Number of matches (uses index ranges; cheap for bound prefixes).
+  size_t CountMatches(const TriplePattern& pattern) const;
+
+  /// Distinct objects for (s, p, *) — convenience for attribute lookup.
+  std::vector<TermId> Objects(TermId s, TermId p) const;
+
+  /// Distinct subjects for (*, p, o).
+  std::vector<TermId> Subjects(TermId p, TermId o) const;
+
+  /// First object for (s, p, *), or kInvalidTermId.
+  TermId FirstObject(TermId s, TermId p) const;
+
+  /// Forces the lazy indexes to be merged now (e.g. before timing reads).
+  void EnsureIndexed() const;
+
+  /// Naive full-scan matcher, used as the ablation baseline in E10 and
+  /// as the model for property tests.
+  std::vector<Triple> MatchFullScan(const TriplePattern& pattern) const;
+
+ private:
+  enum class Order { kSpo, kPos, kOsp };
+
+  static bool LessSpo(const Triple& a, const Triple& b);
+  static bool LessPos(const Triple& a, const Triple& b);
+  static bool LessOsp(const Triple& a, const Triple& b);
+
+  void ScanIndex(const std::vector<Triple>& index, Order order,
+                 const TriplePattern& pattern,
+                 const std::function<bool(const Triple&)>& fn) const;
+
+  Dictionary dict_;
+  std::unordered_set<Triple, TripleHash> set_;
+
+  // Sorted indexes + unmerged tail. mutable: merged lazily on read.
+  mutable std::vector<Triple> spo_, pos_, osp_;
+  mutable std::vector<Triple> pending_;
+};
+
+}  // namespace rdf
+}  // namespace kb
+
+#endif  // KBFORGE_RDF_TRIPLE_STORE_H_

@@ -1,0 +1,171 @@
+#include "reasoning/consistency.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "reasoning/factor_graph.h"
+
+namespace kb {
+namespace reasoning {
+
+using corpus::GetRelationInfo;
+using corpus::Relation;
+using extraction::ExtractedFact;
+
+namespace {
+
+double HypothesisWeight(const ExtractedFact& fact, int support,
+                        bool support_weighting) {
+  double weight = fact.confidence;
+  if (support_weighting) {
+    weight *= 1.0 + std::log(static_cast<double>(support));
+  }
+  return weight;
+}
+
+/// Grounds the ontology constraints into pairwise conflicts between
+/// hypothesis indexes.
+std::vector<std::pair<size_t, size_t>> GroundConflicts(
+    const std::vector<ExtractedFact>& hypotheses,
+    const ConsistencyOptions& options) {
+  std::vector<std::pair<size_t, size_t>> conflicts;
+  std::map<std::pair<uint32_t, int>, std::vector<size_t>> by_subject;
+  std::map<std::pair<uint32_t, int>, std::vector<size_t>> by_object;
+  for (size_t i = 0; i < hypotheses.size(); ++i) {
+    const ExtractedFact& f = hypotheses[i];
+    by_subject[{f.subject, static_cast<int>(f.relation)}].push_back(i);
+    if (!GetRelationInfo(f.relation).literal_object) {
+      by_object[{f.object, static_cast<int>(f.relation)}].push_back(i);
+    }
+  }
+  if (options.functionality) {
+    for (const auto& [key, group] : by_subject) {
+      Relation relation = static_cast<Relation>(key.second);
+      if (!GetRelationInfo(relation).functional) continue;
+      for (size_t i = 0; i < group.size(); ++i) {
+        for (size_t j = i + 1; j < group.size(); ++j) {
+          const ExtractedFact& a = hypotheses[group[i]];
+          const ExtractedFact& b = hypotheses[group[j]];
+          bool same_value = GetRelationInfo(relation).literal_object
+                                ? a.literal_year == b.literal_year
+                                : a.object == b.object;
+          if (!same_value) conflicts.emplace_back(group[i], group[j]);
+        }
+      }
+    }
+  }
+  if (options.inverse_functionality) {
+    for (const auto& [key, group] : by_object) {
+      Relation relation = static_cast<Relation>(key.second);
+      if (!GetRelationInfo(relation).inverse_functional) continue;
+      for (size_t i = 0; i < group.size(); ++i) {
+        for (size_t j = i + 1; j < group.size(); ++j) {
+          if (hypotheses[group[i]].subject != hypotheses[group[j]].subject) {
+            conflicts.emplace_back(group[i], group[j]);
+          }
+        }
+      }
+    }
+  }
+  if (options.temporal_conflicts) {
+    // A city has one mayor at a time: overlapping spans of different
+    // mayors for the same city conflict.
+    for (const auto& [key, group] : by_object) {
+      Relation relation = static_cast<Relation>(key.second);
+      if (relation != Relation::kMayorOf) continue;
+      for (size_t i = 0; i < group.size(); ++i) {
+        for (size_t j = i + 1; j < group.size(); ++j) {
+          const ExtractedFact& a = hypotheses[group[i]];
+          const ExtractedFact& b = hypotheses[group[j]];
+          if (a.subject == b.subject) continue;
+          if (a.span.valid() && b.span.valid() && a.span.Overlaps(b.span)) {
+            conflicts.emplace_back(group[i], group[j]);
+          }
+        }
+      }
+    }
+  }
+  return conflicts;
+}
+
+}  // namespace
+
+ConsistencyResult ReasonOverFacts(const std::vector<ExtractedFact>& facts,
+                                  const ConsistencyOptions& options) {
+  ConsistencyResult result;
+  std::vector<int> support;
+  std::vector<ExtractedFact> hypotheses =
+      extraction::DeduplicateFacts(facts, &support);
+
+  MaxSatSolver solver;
+  std::vector<uint32_t> vars(hypotheses.size());
+  for (size_t i = 0; i < hypotheses.size(); ++i) {
+    vars[i] = solver.AddVariable();
+    solver.AddSoftUnit(
+        Pos(vars[i]),
+        HypothesisWeight(hypotheses[i], support[i],
+                         options.support_weighting));
+  }
+  auto conflicts = GroundConflicts(hypotheses, options);
+  for (const auto& [a, b] : conflicts) {
+    solver.AddHardConflict(vars[a], vars[b]);
+  }
+  result.num_conflicts = conflicts.size();
+
+  MaxSatResult solved = solver.Solve(options.solver);
+  for (size_t i = 0; i < hypotheses.size(); ++i) {
+    if (!solved.assignment.empty() && solved.assignment[i]) {
+      result.accepted.push_back(hypotheses[i]);
+    } else {
+      result.rejected.push_back(hypotheses[i]);
+    }
+  }
+  return result;
+}
+
+ConsistencyResult ReasonOverFactsProbabilistic(
+    const std::vector<ExtractedFact>& facts,
+    const ProbabilisticOptions& options) {
+  ConsistencyResult result;
+  std::vector<int> support;
+  std::vector<ExtractedFact> hypotheses =
+      extraction::DeduplicateFacts(facts, &support);
+
+  FactorGraph graph;
+  for (size_t i = 0; i < hypotheses.size(); ++i) {
+    graph.AddVariable();
+    // Log-odds prior from extractor confidence, boosted by redundancy.
+    double p = std::clamp(hypotheses[i].confidence, 0.05, 0.95);
+    double weight = std::log(p / (1 - p)) +
+                    (options.constraints.support_weighting
+                         ? std::log(static_cast<double>(support[i]))
+                         : 0.0);
+    graph.AddUnary(static_cast<uint32_t>(i), weight);
+  }
+  auto conflicts = GroundConflicts(hypotheses, options.constraints);
+  for (const auto& [a, b] : conflicts) {
+    graph.AddMutex(static_cast<uint32_t>(a), static_cast<uint32_t>(b),
+                   options.mutex_weight);
+  }
+  result.num_conflicts = conflicts.size();
+
+  FactorGraph::GibbsOptions gibbs;
+  gibbs.seed = options.seed;
+  gibbs.burn_in = options.gibbs_burn_in;
+  gibbs.samples = options.gibbs_samples;
+  std::vector<double> marginals = graph.Marginals(gibbs);
+  for (size_t i = 0; i < hypotheses.size(); ++i) {
+    ExtractedFact f = hypotheses[i];
+    f.confidence = marginals[i];  // calibrated output probability
+    if (marginals[i] >= options.accept_probability) {
+      result.accepted.push_back(f);
+    } else {
+      result.rejected.push_back(f);
+    }
+  }
+  return result;
+}
+
+}  // namespace reasoning
+}  // namespace kb

@@ -1,0 +1,64 @@
+#ifndef KBFORGE_REASONING_CONSISTENCY_H_
+#define KBFORGE_REASONING_CONSISTENCY_H_
+
+#include <vector>
+
+#include "extraction/annotation.h"
+#include "reasoning/maxsat.h"
+
+namespace kb {
+namespace reasoning {
+
+/// Consistency-reasoning configuration (constraint families on/off for
+/// the E3 ablation).
+struct ConsistencyOptions {
+  bool functionality = true;          ///< one object per subject
+  bool inverse_functionality = true;  ///< one subject per object
+  bool temporal_conflicts = true;     ///< overlapping mayorOf spans etc.
+  /// Weight of a hypothesis = confidence * (1 + log(support)).
+  bool support_weighting = true;
+  MaxSatOptions solver;
+};
+
+/// Outcome of the consistency pass.
+struct ConsistencyResult {
+  std::vector<extraction::ExtractedFact> accepted;
+  std::vector<extraction::ExtractedFact> rejected;
+  size_t num_conflicts = 0;  ///< grounded conflict clauses
+};
+
+/// SOFIE-style consistency reasoning: every deduplicated extraction
+/// hypothesis becomes a weighted boolean variable; ontology constraints
+/// (functionality, inverse functionality) ground into hard conflict
+/// clauses; weighted MaxSat picks the most plausible consistent world.
+/// Redundant evidence (support) raises a hypothesis' weight, so the
+/// majority reading survives and corrupted assertions drop out.
+ConsistencyResult ReasonOverFacts(
+    const std::vector<extraction::ExtractedFact>& facts,
+    const ConsistencyOptions& options = ConsistencyOptions());
+
+/// Options of the probabilistic (factor-graph) engine.
+struct ProbabilisticOptions {
+  ConsistencyOptions constraints;  ///< same conflict grounding
+  double mutex_weight = 4.0;       ///< soft mutual-exclusion strength
+  double accept_probability = 0.5;
+  int gibbs_burn_in = 300;
+  int gibbs_samples = 1200;
+  uint64_t seed = 29;
+};
+
+/// DeepDive-style alternative: the same hypotheses and conflicts are
+/// grounded into a factor graph (unary log-weights from confidence and
+/// support, soft mutex factors for conflicts); Gibbs sampling yields a
+/// marginal probability per fact, and facts above
+/// `accept_probability` are kept. Each accepted fact's confidence is
+/// replaced by its marginal — the calibrated-probability output that
+/// distinguishes the DeepDive school from MaxSat's 0/1 worlds.
+ConsistencyResult ReasonOverFactsProbabilistic(
+    const std::vector<extraction::ExtractedFact>& facts,
+    const ProbabilisticOptions& options = ProbabilisticOptions());
+
+}  // namespace reasoning
+}  // namespace kb
+
+#endif  // KBFORGE_REASONING_CONSISTENCY_H_

@@ -1,0 +1,101 @@
+#include "reasoning/factor_graph.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace kb {
+namespace reasoning {
+
+uint32_t FactorGraph::AddVariable() {
+  occurs_.emplace_back();
+  return static_cast<uint32_t>(num_vars_++);
+}
+
+void FactorGraph::AddUnary(uint32_t var, double weight) {
+  KB_CHECK(var < num_vars_);
+  occurs_[var].push_back(static_cast<uint32_t>(factors_.size()));
+  factors_.push_back({FactorKind::kUnary, var, 0, weight});
+}
+
+void FactorGraph::AddMutex(uint32_t a, uint32_t b, double weight) {
+  KB_CHECK(a < num_vars_ && b < num_vars_);
+  occurs_[a].push_back(static_cast<uint32_t>(factors_.size()));
+  occurs_[b].push_back(static_cast<uint32_t>(factors_.size()));
+  factors_.push_back({FactorKind::kMutex, a, b, weight});
+}
+
+void FactorGraph::AddImply(uint32_t a, uint32_t b, double weight) {
+  KB_CHECK(a < num_vars_ && b < num_vars_);
+  occurs_[a].push_back(static_cast<uint32_t>(factors_.size()));
+  occurs_[b].push_back(static_cast<uint32_t>(factors_.size()));
+  factors_.push_back({FactorKind::kImply, a, b, weight});
+}
+
+double FactorGraph::FactorScore(const Factor& f,
+                                const std::vector<bool>& x) const {
+  switch (f.kind) {
+    case FactorKind::kUnary:
+      return x[f.a] ? f.weight : 0.0;
+    case FactorKind::kMutex:
+      return (x[f.a] && x[f.b]) ? 0.0 : f.weight;
+    case FactorKind::kImply:
+      return (!x[f.a] || x[f.b]) ? f.weight : 0.0;
+  }
+  return 0.0;
+}
+
+std::vector<double> FactorGraph::Marginals(const GibbsOptions& options) const {
+  Rng rng(options.seed);
+  std::vector<bool> x(num_vars_);
+  for (size_t v = 0; v < num_vars_; ++v) x[v] = rng.Bernoulli(0.5);
+  std::vector<double> true_counts(num_vars_, 0.0);
+
+  auto conditional = [&](uint32_t var) {
+    // log-odds of var=true given the rest.
+    double score_true = 0, score_false = 0;
+    x[var] = true;
+    for (uint32_t f : occurs_[var]) score_true += FactorScore(factors_[f], x);
+    x[var] = false;
+    for (uint32_t f : occurs_[var]) score_false += FactorScore(factors_[f], x);
+    double p = 1.0 / (1.0 + std::exp(score_false - score_true));
+    return p;
+  };
+
+  for (int it = 0; it < options.burn_in + options.samples; ++it) {
+    for (uint32_t v = 0; v < num_vars_; ++v) {
+      double p = conditional(v);
+      x[v] = rng.Bernoulli(p);
+    }
+    if (it >= options.burn_in) {
+      for (uint32_t v = 0; v < num_vars_; ++v) {
+        if (x[v]) true_counts[v] += 1.0;
+      }
+    }
+  }
+  for (double& c : true_counts) c /= std::max(1, options.samples);
+  return true_counts;
+}
+
+std::vector<double> FactorGraph::ExactMarginals() const {
+  KB_CHECK(num_vars_ <= 20) << "exact marginals limited to 20 variables";
+  std::vector<double> numerator(num_vars_, 0.0);
+  double z = 0.0;
+  const uint64_t limit = 1ULL << num_vars_;
+  for (uint64_t bits = 0; bits < limit; ++bits) {
+    std::vector<bool> x(num_vars_);
+    for (size_t v = 0; v < num_vars_; ++v) x[v] = (bits >> v) & 1;
+    double score = 0;
+    for (const Factor& f : factors_) score += FactorScore(f, x);
+    double weight = std::exp(score);
+    z += weight;
+    for (size_t v = 0; v < num_vars_; ++v) {
+      if (x[v]) numerator[v] += weight;
+    }
+  }
+  for (double& n : numerator) n /= z;
+  return numerator;
+}
+
+}  // namespace reasoning
+}  // namespace kb

@@ -1,0 +1,73 @@
+#ifndef KBFORGE_REASONING_FACTOR_GRAPH_H_
+#define KBFORGE_REASONING_FACTOR_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+
+namespace kb {
+namespace reasoning {
+
+/// Factor kinds supported by the graph.
+enum class FactorKind : uint8_t {
+  kUnary = 0,       ///< weight * [x is true]
+  kMutex,           ///< weight * [NOT (x AND y)] — soft mutual exclusion
+  kImply,           ///< weight * [x -> y]
+};
+
+/// A DeepDive-style factor graph over boolean variables with log-
+/// linear factors, marginalized by Gibbs sampling. The probabilistic
+/// alternative to MaxSat consistency reasoning (tutorial §3
+/// "statistical learning (e.g., factor graphs and MLN's)"): instead of
+/// one consistent world it yields per-fact marginal probabilities.
+class FactorGraph {
+ public:
+  /// Adds a variable; returns its index.
+  uint32_t AddVariable();
+
+  /// Adds a unary factor on `var` with the given log-weight.
+  void AddUnary(uint32_t var, double weight);
+
+  /// Adds a soft mutual-exclusion factor between two variables.
+  void AddMutex(uint32_t a, uint32_t b, double weight);
+
+  /// Adds a soft implication factor a -> b.
+  void AddImply(uint32_t a, uint32_t b, double weight);
+
+  size_t num_variables() const { return num_vars_; }
+  size_t num_factors() const { return factors_.size(); }
+
+  struct GibbsOptions {
+    uint64_t seed = 23;
+    int burn_in = 200;
+    int samples = 800;
+  };
+
+  /// Runs Gibbs sampling and returns the marginal P(x=true) per
+  /// variable.
+  std::vector<double> Marginals(const GibbsOptions& options) const;
+
+  /// Exact marginals by enumeration (<= 20 variables), for tests.
+  std::vector<double> ExactMarginals() const;
+
+ private:
+  struct Factor {
+    FactorKind kind;
+    uint32_t a;
+    uint32_t b;  ///< unused for kUnary
+    double weight;
+  };
+
+  double FactorScore(const Factor& f, const std::vector<bool>& x) const;
+  double LocalEnergyDelta(uint32_t var, std::vector<bool>* x) const;
+
+  size_t num_vars_ = 0;
+  std::vector<Factor> factors_;
+  std::vector<std::vector<uint32_t>> occurs_;
+};
+
+}  // namespace reasoning
+}  // namespace kb
+
+#endif  // KBFORGE_REASONING_FACTOR_GRAPH_H_

@@ -1,0 +1,212 @@
+#include "reasoning/maxsat.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace kb {
+namespace reasoning {
+
+uint32_t MaxSatSolver::AddVariable() {
+  return static_cast<uint32_t>(num_vars_++);
+}
+
+void MaxSatSolver::AddClause(Clause clause) {
+  KB_CHECK(!clause.literals.empty()) << "empty clause";
+  for (const Literal& lit : clause.literals) {
+    KB_CHECK(lit.var < num_vars_) << "unknown variable";
+  }
+  clauses_.push_back(std::move(clause));
+}
+
+void MaxSatSolver::AddSoftUnit(Literal lit, double weight) {
+  Clause c;
+  c.literals = {lit};
+  c.weight = weight;
+  c.hard = false;
+  AddClause(std::move(c));
+}
+
+void MaxSatSolver::AddHardConflict(uint32_t a, uint32_t b) {
+  Clause c;
+  c.literals = {Neg(a), Neg(b)};
+  c.hard = true;
+  AddClause(std::move(c));
+}
+
+namespace {
+bool LiteralSatisfied(const Literal& lit, const std::vector<bool>& a) {
+  return a[lit.var] == lit.positive;
+}
+
+bool ClauseSatisfied(const Clause& c, const std::vector<bool>& a) {
+  for (const Literal& lit : c.literals) {
+    if (LiteralSatisfied(lit, a)) return true;
+  }
+  return false;
+}
+}  // namespace
+
+MaxSatResult MaxSatSolver::Solve(const MaxSatOptions& options) const {
+  Rng rng(options.seed);
+  MaxSatResult best;
+  best.hard_satisfied = false;
+  double best_score = -std::numeric_limits<double>::infinity();
+
+  // Occurrence lists: var -> clause indices.
+  std::vector<std::vector<uint32_t>> occurs(num_vars_);
+  for (uint32_t c = 0; c < clauses_.size(); ++c) {
+    for (const Literal& lit : clauses_[c].literals) {
+      occurs[lit.var].push_back(c);
+    }
+  }
+
+  for (int restart = 0; restart < options.restarts; ++restart) {
+    // Initial assignment: greedy on soft unit clauses, random elsewhere.
+    std::vector<double> unit_bias(num_vars_, 0.0);
+    for (const Clause& c : clauses_) {
+      if (c.literals.size() == 1 && !c.hard) {
+        unit_bias[c.literals[0].var] +=
+            c.literals[0].positive ? c.weight : -c.weight;
+      }
+    }
+    std::vector<bool> assignment(num_vars_);
+    for (size_t v = 0; v < num_vars_; ++v) {
+      if (unit_bias[v] > 0) {
+        assignment[v] = true;
+      } else if (unit_bias[v] < 0) {
+        assignment[v] = false;
+      } else {
+        assignment[v] = rng.Bernoulli(0.5);
+      }
+    }
+
+    std::vector<bool> clause_sat(clauses_.size());
+    for (uint32_t c = 0; c < clauses_.size(); ++c) {
+      clause_sat[c] = ClauseSatisfied(clauses_[c], assignment);
+    }
+
+    // Records the current assignment if it beats the best seen so far
+    // (WalkSAT keeps the best state visited, not the final one).
+    auto consider_best = [&](const std::vector<uint32_t>& violated_hard,
+                             const std::vector<uint32_t>& violated_soft) {
+      double cost = 1e9 * static_cast<double>(violated_hard.size());
+      for (uint32_t c : violated_soft) cost += clauses_[c].weight;
+      double score = -cost;
+      if (score > best_score) {
+        best_score = score;
+        best.assignment = assignment;
+        best.hard_satisfied = violated_hard.empty();
+      }
+    };
+
+    for (int flip = 0; flip < options.max_flips_per_restart; ++flip) {
+      // Collect violated clauses (hard first).
+      std::vector<uint32_t> violated_hard, violated_soft;
+      for (uint32_t c = 0; c < clauses_.size(); ++c) {
+        if (clause_sat[c]) continue;
+        (clauses_[c].hard ? violated_hard : violated_soft).push_back(c);
+      }
+      consider_best(violated_hard, violated_soft);
+      if (violated_hard.empty() && violated_soft.empty()) break;
+      uint32_t target;
+      if (!violated_hard.empty()) {
+        target = violated_hard[rng.Uniform(violated_hard.size())];
+      } else {
+        target = violated_soft[rng.Uniform(violated_soft.size())];
+      }
+      const Clause& clause = clauses_[target];
+
+      uint32_t flip_var;
+      if (rng.Bernoulli(options.walk_probability)) {
+        flip_var = clause.literals[rng.Uniform(clause.literals.size())].var;
+      } else {
+        // Greedy: flip the literal's var that yields the lowest cost.
+        double best_delta = std::numeric_limits<double>::infinity();
+        flip_var = clause.literals[0].var;
+        for (const Literal& lit : clause.literals) {
+          double delta = 0;
+          assignment[lit.var] = !assignment[lit.var];
+          for (uint32_t c : occurs[lit.var]) {
+            bool now = ClauseSatisfied(clauses_[c], assignment);
+            if (now != clause_sat[c]) {
+              double w = clauses_[c].hard ? 1e9 : clauses_[c].weight;
+              delta += now ? -w : +w;
+            }
+          }
+          assignment[lit.var] = !assignment[lit.var];
+          if (delta < best_delta) {
+            best_delta = delta;
+            flip_var = lit.var;
+          }
+        }
+      }
+      assignment[flip_var] = !assignment[flip_var];
+      for (uint32_t c : occurs[flip_var]) {
+        clause_sat[c] = ClauseSatisfied(clauses_[c], assignment);
+      }
+    }
+
+    // Evaluate the final state of this restart as well.
+    std::vector<uint32_t> violated_hard, violated_soft;
+    for (uint32_t c = 0; c < clauses_.size(); ++c) {
+      if (clause_sat[c]) continue;
+      (clauses_[c].hard ? violated_hard : violated_soft).push_back(c);
+    }
+    consider_best(violated_hard, violated_soft);
+  }
+
+  // Fill in the weight summary for the best assignment.
+  best.satisfied_soft_weight = 0;
+  best.violated_soft_weight = 0;
+  for (const Clause& c : clauses_) {
+    if (c.hard) continue;
+    if (ClauseSatisfied(c, best.assignment)) {
+      best.satisfied_soft_weight += c.weight;
+    } else {
+      best.violated_soft_weight += c.weight;
+    }
+  }
+  return best;
+}
+
+MaxSatResult MaxSatSolver::SolveExact() const {
+  KB_CHECK(num_vars_ <= 24) << "exact solver limited to 24 variables";
+  MaxSatResult best;
+  double best_score = -std::numeric_limits<double>::infinity();
+  const uint64_t limit = 1ULL << num_vars_;
+  for (uint64_t bits = 0; bits < limit; ++bits) {
+    std::vector<bool> assignment(num_vars_);
+    for (size_t v = 0; v < num_vars_; ++v) {
+      assignment[v] = (bits >> v) & 1;
+    }
+    double soft = 0;
+    bool hard_ok = true;
+    for (const Clause& c : clauses_) {
+      bool sat = ClauseSatisfied(c, assignment);
+      if (c.hard && !sat) {
+        hard_ok = false;
+        break;
+      }
+      if (!c.hard && sat) soft += c.weight;
+    }
+    if (!hard_ok) continue;
+    if (soft > best_score) {
+      best_score = soft;
+      best.assignment = assignment;
+      best.hard_satisfied = true;
+    }
+  }
+  best.satisfied_soft_weight = best_score;
+  best.violated_soft_weight = 0;
+  for (const Clause& c : clauses_) {
+    if (!c.hard && !ClauseSatisfied(c, best.assignment)) {
+      best.violated_soft_weight += c.weight;
+    }
+  }
+  return best;
+}
+
+}  // namespace reasoning
+}  // namespace kb

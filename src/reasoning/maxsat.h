@@ -1,0 +1,86 @@
+#ifndef KBFORGE_REASONING_MAXSAT_H_
+#define KBFORGE_REASONING_MAXSAT_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/random.h"
+
+namespace kb {
+namespace reasoning {
+
+/// A literal: variable index with polarity.
+struct Literal {
+  uint32_t var = 0;
+  bool positive = true;
+};
+
+inline Literal Pos(uint32_t var) { return {var, true}; }
+inline Literal Neg(uint32_t var) { return {var, false}; }
+
+/// A weighted clause (disjunction). Hard clauses must be satisfied;
+/// soft clauses contribute their weight when satisfied.
+struct Clause {
+  std::vector<Literal> literals;
+  double weight = 1.0;
+  bool hard = false;
+};
+
+/// Solver tuning.
+struct MaxSatOptions {
+  uint64_t seed = 17;
+  int restarts = 3;
+  int max_flips_per_restart = 20000;
+  double walk_probability = 0.2;  ///< random-walk move fraction
+};
+
+/// Result of a solve.
+struct MaxSatResult {
+  std::vector<bool> assignment;
+  double satisfied_soft_weight = 0;
+  double violated_soft_weight = 0;
+  bool hard_satisfied = false;
+};
+
+/// Weighted MaxSat via unit propagation on hard clauses plus WalkSAT-
+/// style stochastic local search — the solver class SOFIE popularized
+/// for consistency reasoning over extraction hypotheses (tutorial §3
+/// "logical consistency reasoning (e.g., weighted MaxSat ...)").
+class MaxSatSolver {
+ public:
+  MaxSatSolver() = default;
+
+  /// Adds a fresh boolean variable; returns its index.
+  uint32_t AddVariable();
+
+  /// Adds a clause over existing variables.
+  void AddClause(Clause clause);
+
+  /// Convenience: soft unit clause.
+  void AddSoftUnit(Literal lit, double weight);
+
+  /// Convenience: hard binary clause (¬a ∨ ¬b) forbidding both.
+  void AddHardConflict(uint32_t a, uint32_t b);
+
+  size_t num_variables() const { return num_vars_; }
+  size_t num_clauses() const { return clauses_.size(); }
+
+  /// Stochastic local search.
+  MaxSatResult Solve(const MaxSatOptions& options = MaxSatOptions()) const;
+
+  /// Exhaustive search (exact optimum). Requires <= 24 variables.
+  MaxSatResult SolveExact() const;
+
+ private:
+  double EvaluateAndMark(const std::vector<bool>& assignment,
+                         std::vector<bool>* clause_sat) const;
+
+  size_t num_vars_ = 0;
+  std::vector<Clause> clauses_;
+};
+
+}  // namespace reasoning
+}  // namespace kb
+
+#endif  // KBFORGE_REASONING_MAXSAT_H_

@@ -1,0 +1,148 @@
+#include "storage/block.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/varint.h"
+
+namespace kb {
+namespace storage {
+
+BlockBuilder::BlockBuilder(int restart_interval)
+    : restart_interval_(std::max(1, restart_interval)) {
+  restarts_.push_back(0);
+}
+
+void BlockBuilder::Reset() {
+  buffer_.clear();
+  restarts_.clear();
+  restarts_.push_back(0);
+  counter_ = 0;
+  counter_total_ = 0;
+  last_key_.clear();
+}
+
+void BlockBuilder::Add(const Slice& key, const Slice& value) {
+  assert(counter_total_ == 0 || Slice(last_key_).compare(key) < 0);
+  size_t shared = 0;
+  if (counter_ < restart_interval_) {
+    size_t min_len = std::min(last_key_.size(), key.size());
+    while (shared < min_len && last_key_[shared] == key[shared]) ++shared;
+  } else {
+    restarts_.push_back(static_cast<uint32_t>(buffer_.size()));
+    counter_ = 0;
+  }
+  size_t non_shared = key.size() - shared;
+  PutVarint64(&buffer_, shared);
+  PutVarint64(&buffer_, non_shared);
+  PutVarint64(&buffer_, value.size());
+  buffer_.append(key.data() + shared, non_shared);
+  buffer_.append(value.data(), value.size());
+  last_key_.assign(key.data(), key.size());
+  ++counter_;
+  ++counter_total_;
+}
+
+std::string BlockBuilder::Finish() {
+  for (uint32_t r : restarts_) PutFixed32(&buffer_, r);
+  PutFixed32(&buffer_, static_cast<uint32_t>(restarts_.size()));
+  return std::move(buffer_);
+}
+
+size_t BlockBuilder::CurrentSizeEstimate() const {
+  return buffer_.size() + restarts_.size() * 4 + 4;
+}
+
+BlockIterator::BlockIterator(Slice block) {
+  if (block.size() < 4) {
+    corrupted_ = true;
+    return;
+  }
+  Slice footer(block.data() + block.size() - 4, 4);
+  uint32_t num_restarts = 0;
+  GetFixed32(&footer, &num_restarts);
+  size_t restart_bytes = static_cast<size_t>(num_restarts) * 4 + 4;
+  if (num_restarts == 0 || restart_bytes > block.size()) {
+    corrupted_ = true;
+    return;
+  }
+  size_t entries_end = block.size() - restart_bytes;
+  data_ = Slice(block.data(), entries_end);
+  Slice restart_region(block.data() + entries_end, num_restarts * 4);
+  restarts_.reserve(num_restarts);
+  for (uint32_t i = 0; i < num_restarts; ++i) {
+    uint32_t off = 0;
+    GetFixed32(&restart_region, &off);
+    if (off > entries_end) {
+      corrupted_ = true;
+      return;
+    }
+    restarts_.push_back(off);
+  }
+}
+
+void BlockIterator::SeekToRestart(uint32_t index) {
+  current_ = restarts_[index];
+  key_.clear();
+  valid_ = false;
+}
+
+bool BlockIterator::ParseNextEntry() {
+  if (current_ >= data_.size()) {
+    valid_ = false;
+    return false;
+  }
+  Slice input(data_.data() + current_, data_.size() - current_);
+  uint64_t shared = 0, non_shared = 0, value_len = 0;
+  if (!GetVarint64(&input, &shared) || !GetVarint64(&input, &non_shared) ||
+      !GetVarint64(&input, &value_len) ||
+      input.size() < non_shared + value_len || shared > key_.size()) {
+    corrupted_ = true;
+    valid_ = false;
+    return false;
+  }
+  key_.resize(shared);
+  key_.append(input.data(), non_shared);
+  value_ = Slice(input.data() + non_shared, value_len);
+  current_ = static_cast<size_t>(value_.data() + value_len - data_.data());
+  valid_ = true;
+  return true;
+}
+
+void BlockIterator::SeekToFirst() {
+  if (corrupted_ || restarts_.empty()) return;
+  SeekToRestart(0);
+  ParseNextEntry();
+}
+
+void BlockIterator::Seek(const Slice& target) {
+  if (corrupted_ || restarts_.empty()) return;
+  // Binary search over restart points: find the last restart whose key
+  // is < target, then scan linearly.
+  uint32_t lo = 0, hi = static_cast<uint32_t>(restarts_.size()) - 1;
+  while (lo < hi) {
+    uint32_t mid = (lo + hi + 1) / 2;
+    SeekToRestart(mid);
+    if (!ParseNextEntry()) {
+      hi = mid - 1;
+      continue;
+    }
+    if (Slice(key_).compare(target) < 0) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  SeekToRestart(lo);
+  while (ParseNextEntry()) {
+    if (Slice(key_).compare(target) >= 0) return;
+  }
+}
+
+void BlockIterator::Next() {
+  assert(valid_);
+  ParseNextEntry();
+}
+
+}  // namespace storage
+}  // namespace kb

@@ -1,0 +1,78 @@
+#ifndef KBFORGE_STORAGE_BLOCK_H_
+#define KBFORGE_STORAGE_BLOCK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/slice.h"
+
+namespace kb {
+namespace storage {
+
+/// Builds a sorted key/value block with leading-prefix compression and
+/// periodic restart points, in the LevelDB/RocksDB block-based format:
+///
+///   entry  := varint shared | varint non_shared | varint value_len
+///             | key[shared..] | value
+///   block  := entry* | fixed32 restart_offset* | fixed32 num_restarts
+class BlockBuilder {
+ public:
+  explicit BlockBuilder(int restart_interval = 16);
+
+  /// Keys must be added in strictly increasing order.
+  void Add(const Slice& key, const Slice& value);
+
+  /// Finalizes and returns the block contents.
+  std::string Finish();
+
+  /// Bytes the block would occupy if finished now.
+  size_t CurrentSizeEstimate() const;
+
+  bool empty() const { return counter_total_ == 0; }
+
+  void Reset();
+
+ private:
+  int restart_interval_;
+  std::string buffer_;
+  std::vector<uint32_t> restarts_;
+  int counter_ = 0;        // entries since last restart
+  int counter_total_ = 0;  // total entries
+  std::string last_key_;
+};
+
+/// Iterates over a block produced by BlockBuilder. The block bytes must
+/// outlive the iterator.
+class BlockIterator {
+ public:
+  explicit BlockIterator(Slice block);
+
+  bool Valid() const { return valid_; }
+  void SeekToFirst();
+  /// Positions at the first entry with key >= target.
+  void Seek(const Slice& target);
+  void Next();
+  Slice key() const { return Slice(key_); }
+  Slice value() const { return value_; }
+
+  /// True if the block footer was malformed.
+  bool corrupted() const { return corrupted_; }
+
+ private:
+  void SeekToRestart(uint32_t index);
+  bool ParseNextEntry();
+
+  Slice data_;                 // entry region (without restart array)
+  std::vector<uint32_t> restarts_;
+  size_t current_ = 0;         // offset of next entry to parse
+  std::string key_;
+  Slice value_;
+  bool valid_ = false;
+  bool corrupted_ = false;
+};
+
+}  // namespace storage
+}  // namespace kb
+
+#endif  // KBFORGE_STORAGE_BLOCK_H_

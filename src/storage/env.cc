@@ -1,0 +1,78 @@
+#include "storage/env.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace kb {
+namespace storage {
+
+namespace fs = std::filesystem;
+
+Status WriteStringToFile(const std::string& path, const std::string& data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("open for write: " + path);
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  out.flush();
+  if (!out) return Status::IOError("write: " + path);
+  return Status::OK();
+}
+
+Status AppendStringToFile(const std::string& path, const std::string& data) {
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  if (!out) return Status::IOError("open for append: " + path);
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  out.flush();
+  if (!out) return Status::IOError("append: " + path);
+  return Status::OK();
+}
+
+StatusOr<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("open for read: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) return Status::IOError("read: " + path);
+  return buf.str();
+}
+
+bool FileExists(const std::string& path) {
+  std::error_code ec;
+  return fs::exists(path, ec);
+}
+
+Status RemoveFile(const std::string& path) {
+  std::error_code ec;
+  if (!fs::remove(path, ec) || ec) {
+    return Status::IOError("remove: " + path + ": " + ec.message());
+  }
+  return Status::OK();
+}
+
+Status CreateDirIfMissing(const std::string& path) {
+  std::error_code ec;
+  fs::create_directories(path, ec);
+  if (ec) return Status::IOError("mkdir: " + path + ": " + ec.message());
+  return Status::OK();
+}
+
+StatusOr<std::vector<std::string>> ListDir(const std::string& path) {
+  std::error_code ec;
+  std::vector<std::string> names;
+  for (auto it = fs::directory_iterator(path, ec);
+       !ec && it != fs::directory_iterator(); it.increment(ec)) {
+    names.push_back(it->path().filename().string());
+  }
+  if (ec) return Status::IOError("listdir: " + path + ": " + ec.message());
+  return names;
+}
+
+StatusOr<uint64_t> FileSize(const std::string& path) {
+  std::error_code ec;
+  uint64_t size = fs::file_size(path, ec);
+  if (ec) return Status::IOError("stat: " + path + ": " + ec.message());
+  return size;
+}
+
+}  // namespace storage
+}  // namespace kb

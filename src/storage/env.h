@@ -1,0 +1,28 @@
+#ifndef KBFORGE_STORAGE_ENV_H_
+#define KBFORGE_STORAGE_ENV_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace kb {
+namespace storage {
+
+/// Thin filesystem shims used by the storage engine. Kept behind one
+/// header so tests can exercise failure paths uniformly.
+
+Status WriteStringToFile(const std::string& path, const std::string& data);
+Status AppendStringToFile(const std::string& path, const std::string& data);
+StatusOr<std::string> ReadFileToString(const std::string& path);
+bool FileExists(const std::string& path);
+Status RemoveFile(const std::string& path);
+Status CreateDirIfMissing(const std::string& path);
+StatusOr<std::vector<std::string>> ListDir(const std::string& path);
+StatusOr<uint64_t> FileSize(const std::string& path);
+
+}  // namespace storage
+}  // namespace kb
+
+#endif  // KBFORGE_STORAGE_ENV_H_

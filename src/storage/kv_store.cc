@@ -1,0 +1,345 @@
+#include "storage/kv_store.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "storage/env.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace kb {
+namespace storage {
+
+namespace {
+constexpr char kWalFileName[] = "wal.log";
+
+/// SSTable values are tagged with a leading type byte so tombstones
+/// survive flushes and shadow older tables.
+std::string TagValue(EntryType type, const Slice& value) {
+  std::string out;
+  out.reserve(value.size() + 1);
+  out.push_back(static_cast<char>(type));
+  out.append(value.data(), value.size());
+  return out;
+}
+
+bool UntagValue(const Slice& tagged, EntryType* type, Slice* value) {
+  if (tagged.empty()) return false;
+  *type = static_cast<EntryType>(tagged[0]);
+  *value = Slice(tagged.data() + 1, tagged.size() - 1);
+  return true;
+}
+}  // namespace
+
+KVStore::KVStore(StoreOptions options, std::string path)
+    : options_(options), path_(std::move(path)), mem_(new MemTable()) {}
+
+KVStore::~KVStore() {
+  if (wal_open_) wal_.Close();
+}
+
+StatusOr<std::unique_ptr<KVStore>> KVStore::Open(const StoreOptions& options,
+                                                 const std::string& path) {
+  KB_RETURN_IF_ERROR(CreateDirIfMissing(path));
+  std::unique_ptr<KVStore> store(new KVStore(options, path));
+  KB_RETURN_IF_ERROR(store->LoadExistingTables());
+  KB_RETURN_IF_ERROR(store->ReplayWalIntoMemtable());
+  if (options.use_wal) {
+    KB_RETURN_IF_ERROR(WalWriter::Open(path + "/" + kWalFileName,
+                                       &store->wal_));
+    store->wal_open_ = true;
+  }
+  return store;
+}
+
+std::string KVStore::TableFileName(uint64_t number) const {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "%06llu.sst",
+           static_cast<unsigned long long>(number));
+  return path_ + "/" + buf;
+}
+
+Status KVStore::LoadExistingTables() {
+  auto names = ListDir(path_);
+  if (!names.ok()) return Status::OK();  // fresh directory
+  std::vector<uint64_t> numbers;
+  for (const std::string& name : *names) {
+    if (EndsWith(name, ".sst")) {
+      long long n = 0;
+      if (ParseInt64(name.substr(0, name.size() - 4), &n) && n > 0) {
+        numbers.push_back(static_cast<uint64_t>(n));
+      }
+    }
+  }
+  std::sort(numbers.begin(), numbers.end());
+  for (uint64_t n : numbers) {
+    auto contents = ReadFileToString(TableFileName(n));
+    if (!contents.ok()) return contents.status();
+    auto table = TableReader::Open(std::move(*contents));
+    if (!table.ok()) return table.status();
+    tables_.push_back(std::move(*table));
+    table_numbers_.push_back(n);
+    next_table_number_ = std::max(next_table_number_, n + 1);
+  }
+  return Status::OK();
+}
+
+Status KVStore::ReplayWalIntoMemtable() {
+  std::string wal_path = path_ + "/" + kWalFileName;
+  if (!FileExists(wal_path)) return Status::OK();
+  return ReplayWal(wal_path, [this](EntryType type, const Slice& key,
+                                    const Slice& value) {
+    if (type == EntryType::kPut) {
+      mem_->Put(key, value);
+    } else {
+      mem_->Delete(key);
+    }
+  });
+}
+
+Status KVStore::WriteInternal(EntryType type, const Slice& key,
+                              const Slice& value) {
+  if (wal_open_) {
+    KB_RETURN_IF_ERROR(wal_.Append(type, key, value));
+  }
+  if (type == EntryType::kPut) {
+    mem_->Put(key, value);
+  } else {
+    mem_->Delete(key);
+  }
+  if (mem_->ApproximateMemoryUsage() >= options_.memtable_flush_bytes) {
+    KB_RETURN_IF_ERROR(Flush());
+  }
+  return Status::OK();
+}
+
+Status KVStore::Put(const Slice& key, const Slice& value) {
+  return WriteInternal(EntryType::kPut, key, value);
+}
+
+Status KVStore::Delete(const Slice& key) {
+  return WriteInternal(EntryType::kDelete, key, Slice());
+}
+
+Status KVStore::Get(const Slice& key, std::string* value) {
+  ++stats_.gets;
+  EntryType type;
+  if (mem_->Get(key, value, &type)) {
+    if (type == EntryType::kDelete) return Status::NotFound("tombstone");
+    return Status::OK();
+  }
+  for (auto it = tables_.rbegin(); it != tables_.rend(); ++it) {
+    if (!(*it)->MayContain(key)) {
+      ++stats_.bloom_skips;
+      continue;
+    }
+    ++stats_.table_probes;
+    std::string tagged;
+    Status s = (*it)->Get(key, &tagged);
+    if (s.IsNotFound()) continue;
+    if (!s.ok()) return s;
+    EntryType t;
+    Slice v;
+    if (!UntagValue(Slice(tagged), &t, &v)) {
+      return Status::Corruption("untagged table value");
+    }
+    if (t == EntryType::kDelete) return Status::NotFound("tombstone");
+    *value = v.ToString();
+    return Status::OK();
+  }
+  return Status::NotFound("key absent");
+}
+
+Status KVStore::Flush() {
+  if (mem_->empty()) return Status::OK();
+  TableBuilder builder(options_.table);
+  MemTable::Iterator it = mem_->NewIterator();
+  for (it.SeekToFirst(); it.Valid(); it.Next()) {
+    builder.Add(it.key(), Slice(TagValue(it.type(), it.value())));
+  }
+  uint64_t number = next_table_number_++;
+  std::string contents = builder.Finish();
+  KB_RETURN_IF_ERROR(WriteStringToFile(TableFileName(number), contents));
+  auto table = TableReader::Open(std::move(contents));
+  if (!table.ok()) return table.status();
+  tables_.push_back(std::move(*table));
+  table_numbers_.push_back(number);
+  mem_.reset(new MemTable());
+  if (wal_open_) {
+    wal_.Close();
+    wal_open_ = false;
+    std::string wal_path = path_ + "/" + kWalFileName;
+    if (FileExists(wal_path)) {
+      KB_RETURN_IF_ERROR(RemoveFile(wal_path));
+    }
+    KB_RETURN_IF_ERROR(WalWriter::Open(wal_path, &wal_));
+    wal_open_ = true;
+  }
+  ++stats_.flushes;
+  return MaybeScheduleCompaction();
+}
+
+Status KVStore::MaybeScheduleCompaction() {
+  if (static_cast<int>(tables_.size()) >= options_.l0_compaction_trigger) {
+    return CompactAll();
+  }
+  return Status::OK();
+}
+
+namespace {
+/// One source in the k-way merge: either the memtable or a table.
+/// Higher `priority` shadows lower on equal keys.
+struct MergeSource {
+  std::optional<MemTable::Iterator> mem_iter;
+  std::optional<TableReader::Iterator> table_iter;
+  int priority;
+
+  bool Valid() const {
+    return mem_iter.has_value() ? mem_iter->Valid() : table_iter->Valid();
+  }
+  Slice key() const {
+    return mem_iter.has_value() ? mem_iter->key() : table_iter->key();
+  }
+  void Next() {
+    if (mem_iter.has_value()) {
+      mem_iter->Next();
+    } else {
+      table_iter->Next();
+    }
+  }
+  /// Entry type and untagged value for the current position.
+  void Current(EntryType* type, Slice* value) const {
+    if (mem_iter.has_value()) {
+      *type = mem_iter->type();
+      *value = mem_iter->value();
+    } else {
+      Slice tagged = table_iter->value();
+      UntagValue(tagged, type, value);
+    }
+  }
+};
+}  // namespace
+
+void KVStore::Scan(const Slice& start, const Slice& end,
+                   const std::function<bool(const Slice&, const Slice&)>& fn) {
+  std::vector<MergeSource> sources;
+  {
+    MergeSource src;
+    src.mem_iter.emplace(mem_->NewIterator());
+    src.priority = static_cast<int>(tables_.size());
+    if (start.empty()) {
+      src.mem_iter->SeekToFirst();
+    } else {
+      src.mem_iter->Seek(start);
+    }
+    sources.push_back(std::move(src));
+  }
+  for (size_t i = 0; i < tables_.size(); ++i) {
+    MergeSource src;
+    src.table_iter.emplace(tables_[i]->NewIterator());
+    src.priority = static_cast<int>(i);
+    if (start.empty()) {
+      src.table_iter->SeekToFirst();
+    } else {
+      src.table_iter->Seek(start);
+    }
+    sources.push_back(std::move(src));
+  }
+  std::string last_emitted_key;
+  bool have_last = false;
+  while (true) {
+    // Pick the smallest key; among equals the highest priority.
+    int best = -1;
+    for (size_t i = 0; i < sources.size(); ++i) {
+      if (!sources[i].Valid()) continue;
+      if (best < 0) {
+        best = static_cast<int>(i);
+        continue;
+      }
+      int cmp = sources[i].key().compare(sources[best].key());
+      if (cmp < 0 ||
+          (cmp == 0 && sources[i].priority > sources[best].priority)) {
+        best = static_cast<int>(i);
+      }
+    }
+    if (best < 0) return;
+    Slice key = sources[best].key();
+    if (!end.empty() && key.compare(end) >= 0) return;
+    bool duplicate = have_last && key == Slice(last_emitted_key);
+    if (!duplicate) {
+      EntryType type = EntryType::kPut;
+      Slice value;
+      sources[best].Current(&type, &value);
+      last_emitted_key.assign(key.data(), key.size());
+      have_last = true;
+      if (type == EntryType::kPut) {
+        if (!fn(Slice(last_emitted_key), value)) return;
+      }
+    }
+    sources[best].Next();
+  }
+}
+
+Status KVStore::CompactAll() {
+  KB_RETURN_IF_ERROR(Flush());
+  if (tables_.size() <= 1) return Status::OK();
+  TableBuilder builder(options_.table);
+  // Merge newest-wins across all tables, keeping only live entries.
+  std::vector<TableReader::Iterator> iters;
+  iters.reserve(tables_.size());
+  for (const auto& t : tables_) {
+    iters.push_back(t->NewIterator());
+    iters.back().SeekToFirst();
+  }
+  std::string last_key;
+  bool have_last = false;
+  while (true) {
+    int best = -1;
+    for (size_t i = 0; i < iters.size(); ++i) {
+      if (!iters[i].Valid()) continue;
+      if (best < 0) {
+        best = static_cast<int>(i);
+        continue;
+      }
+      int cmp = iters[i].key().compare(iters[best].key());
+      // Later tables are newer; prefer them on equal keys (i ascends).
+      if (cmp <= 0) best = static_cast<int>(i);
+    }
+    if (best < 0) break;
+    Slice key = iters[best].key();
+    bool duplicate = have_last && key == Slice(last_key);
+    if (!duplicate) {
+      EntryType type = EntryType::kPut;
+      Slice value;
+      UntagValue(iters[best].value(), &type, &value);
+      last_key.assign(key.data(), key.size());
+      have_last = true;
+      if (type == EntryType::kPut) {
+        // Bottom-most merge: tombstones and shadowed versions drop out.
+        builder.Add(key, Slice(TagValue(EntryType::kPut, value)));
+      }
+    }
+    iters[best].Next();
+  }
+  uint64_t number = next_table_number_++;
+  std::string contents = builder.Finish();
+  KB_RETURN_IF_ERROR(WriteStringToFile(TableFileName(number), contents));
+  auto merged = TableReader::Open(std::move(contents));
+  if (!merged.ok()) return merged.status();
+  // Remove the old files only after the new table is durable.
+  for (uint64_t old_number : table_numbers_) {
+    Status s = RemoveFile(TableFileName(old_number));
+    if (!s.ok()) {
+      KB_LOG(Warning) << "compaction cleanup: " << s;
+    }
+  }
+  tables_.clear();
+  table_numbers_.clear();
+  tables_.push_back(std::move(*merged));
+  table_numbers_.push_back(number);
+  ++stats_.compactions;
+  return Status::OK();
+}
+
+}  // namespace storage
+}  // namespace kb

@@ -1,0 +1,99 @@
+#ifndef KBFORGE_STORAGE_KV_STORE_H_
+#define KBFORGE_STORAGE_KV_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/memtable.h"
+#include "storage/sstable.h"
+#include "storage/wal.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace kb {
+namespace storage {
+
+/// Tuning knobs for the mini-LSM engine.
+struct StoreOptions {
+  size_t memtable_flush_bytes = 1 << 20;  ///< flush threshold
+  int l0_compaction_trigger = 4;          ///< #tables that triggers merge
+  bool use_wal = true;                    ///< write-ahead logging on/off
+  TableOptions table;                     ///< SSTable layout options
+};
+
+/// Read/write counters for benches and the Bloom ablation (E10).
+struct StoreStats {
+  uint64_t gets = 0;
+  uint64_t bloom_skips = 0;      ///< table probes skipped by the filter
+  uint64_t table_probes = 0;     ///< actual block searches performed
+  uint64_t flushes = 0;
+  uint64_t compactions = 0;
+};
+
+/// A persistent ordered key/value store in the LSM architecture the
+/// RocksDB wiki describes: WAL + skiplist memtable + immutable sorted
+/// tables, with full merges once enough L0 tables accumulate. This is
+/// the durable substrate under KBForge's knowledge bases, letting a
+/// harvested KB survive restarts and scale past RAM-friendly loads.
+///
+/// Single-threaded by design (the harvesting pipeline shards work above
+/// this layer, writing through one store handle).
+class KVStore {
+ public:
+  /// Opens (or creates) a store in directory `path`, replaying any WAL.
+  static StatusOr<std::unique_ptr<KVStore>> Open(const StoreOptions& options,
+                                                 const std::string& path);
+
+  ~KVStore();
+
+  Status Put(const Slice& key, const Slice& value);
+  Status Delete(const Slice& key);
+
+  /// Point lookup; NotFound if absent or deleted.
+  Status Get(const Slice& key, std::string* value);
+
+  /// Visits live entries with start <= key < end (empty end = no bound)
+  /// in key order; newest version wins, tombstones are skipped.
+  /// Return false from fn to stop.
+  void Scan(const Slice& start, const Slice& end,
+            const std::function<bool(const Slice&, const Slice&)>& fn);
+
+  /// Forces the memtable into a new SSTable.
+  Status Flush();
+
+  /// Merges all SSTables into one, dropping shadowed versions and
+  /// tombstones.
+  Status CompactAll();
+
+  size_t num_tables() const { return tables_.size(); }
+  const StoreStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = StoreStats(); }
+
+ private:
+  KVStore(StoreOptions options, std::string path);
+
+  Status WriteInternal(EntryType type, const Slice& key, const Slice& value);
+  Status LoadExistingTables();
+  Status ReplayWalIntoMemtable();
+  std::string TableFileName(uint64_t number) const;
+  Status MaybeScheduleCompaction();
+
+  StoreOptions options_;
+  std::string path_;
+  std::unique_ptr<MemTable> mem_;
+  WalWriter wal_;
+  bool wal_open_ = false;
+  // Oldest first; readers search newest (back) to oldest (front).
+  std::vector<std::shared_ptr<TableReader>> tables_;
+  std::vector<uint64_t> table_numbers_;
+  uint64_t next_table_number_ = 1;
+  StoreStats stats_;
+};
+
+}  // namespace storage
+}  // namespace kb
+
+#endif  // KBFORGE_STORAGE_KV_STORE_H_

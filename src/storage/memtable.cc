@@ -1,0 +1,181 @@
+#include "storage/memtable.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace kb {
+namespace storage {
+
+/// Skiplist node: flexible layout in the arena.
+/// [Node header][next pointers (height)][key bytes][value bytes]
+struct MemTable::Node {
+  uint32_t key_size;
+  uint32_t value_size;
+  EntryType type;
+  uint8_t height;
+
+  Node** next_array() {
+    return reinterpret_cast<Node**>(reinterpret_cast<char*>(this) +
+                                    sizeof(Node));
+  }
+  Node* next(int level) const {
+    return const_cast<Node*>(this)->next_array()[level];
+  }
+  void set_next(int level, Node* n) { next_array()[level] = n; }
+  const char* key_data() const {
+    return reinterpret_cast<const char*>(this) + sizeof(Node) +
+           height * sizeof(Node*);
+  }
+  const char* value_data() const { return key_data() + key_size; }
+  Slice key() const { return Slice(key_data(), key_size); }
+  Slice value() const { return Slice(value_data(), value_size); }
+};
+
+MemTable::MemTable() : rng_(0xdecafbadULL) {
+  head_ = NewNode(Slice(), Slice(), EntryType::kPut, kMaxHeight);
+  for (int i = 0; i < kMaxHeight; ++i) head_->set_next(i, nullptr);
+}
+
+MemTable::~MemTable() = default;
+
+MemTable::Node* MemTable::NewNode(const Slice& key, const Slice& value,
+                                  EntryType type, int height) {
+  size_t bytes =
+      sizeof(Node) + height * sizeof(Node*) + key.size() + value.size();
+  char* mem = arena_.AllocateAligned(bytes);
+  Node* node = reinterpret_cast<Node*>(mem);
+  node->key_size = static_cast<uint32_t>(key.size());
+  node->value_size = static_cast<uint32_t>(value.size());
+  node->type = type;
+  node->height = static_cast<uint8_t>(height);
+  char* data = mem + sizeof(Node) + height * sizeof(Node*);
+  memcpy(data, key.data(), key.size());
+  memcpy(data + key.size(), value.data(), value.size());
+  return node;
+}
+
+int MemTable::RandomHeight() {
+  int height = 1;
+  while (height < kMaxHeight && rng_.Bernoulli(0.25)) ++height;
+  return height;
+}
+
+MemTable::Node* MemTable::FindGreaterOrEqual(const Slice& key,
+                                             Node** prev) const {
+  Node* x = head_;
+  int level = max_height_ - 1;
+  while (true) {
+    Node* next = x->next(level);
+    if (next != nullptr && next->key().compare(key) < 0) {
+      x = next;
+    } else {
+      if (prev != nullptr) prev[level] = x;
+      if (level == 0) return next;
+      --level;
+    }
+  }
+}
+
+void MemTable::Put(const Slice& key, const Slice& value) {
+  Node* prev[kMaxHeight];
+  Node* existing = FindGreaterOrEqual(key, prev);
+  if (existing != nullptr && existing->key() == key) {
+    // Overwrite in place when sizes allow; otherwise splice a fresh
+    // node after prev (newer node first in scan order would complicate
+    // iteration, so we replace payload via a new node and unlink).
+    // Simpler correct approach: mutate type and, if the value fits,
+    // overwrite; else allocate a new node and relink at all levels.
+    if (value.size() <= existing->value_size) {
+      memcpy(const_cast<char*>(existing->value_data()), value.data(),
+             value.size());
+      existing->value_size = static_cast<uint32_t>(value.size());
+      existing->type = EntryType::kPut;
+      return;
+    }
+    // Unlink the old node, then fall through to a fresh insert.
+    for (int level = 0; level < max_height_; ++level) {
+      if (prev[level]->next(level) == existing) {
+        prev[level]->set_next(level, existing->next(level));
+      }
+    }
+    --num_entries_;
+  }
+  int height = RandomHeight();
+  if (height > max_height_) {
+    for (int level = max_height_; level < height; ++level) {
+      prev[level] = head_;
+    }
+    max_height_ = height;
+  }
+  Node* node = NewNode(key, value, EntryType::kPut, height);
+  for (int level = 0; level < height; ++level) {
+    node->set_next(level, prev[level]->next(level));
+    prev[level]->set_next(level, node);
+  }
+  ++num_entries_;
+}
+
+void MemTable::Delete(const Slice& key) {
+  Node* prev[kMaxHeight];
+  Node* existing = FindGreaterOrEqual(key, prev);
+  if (existing != nullptr && existing->key() == key) {
+    existing->type = EntryType::kDelete;
+    existing->value_size = 0;
+    return;
+  }
+  int height = RandomHeight();
+  if (height > max_height_) {
+    for (int level = max_height_; level < height; ++level) {
+      prev[level] = head_;
+    }
+    max_height_ = height;
+  }
+  Node* node = NewNode(key, Slice(), EntryType::kDelete, height);
+  for (int level = 0; level < height; ++level) {
+    node->set_next(level, prev[level]->next(level));
+    prev[level]->set_next(level, node);
+  }
+  ++num_entries_;
+}
+
+bool MemTable::Get(const Slice& key, std::string* value,
+                   EntryType* type) const {
+  Node* node = FindGreaterOrEqual(key, nullptr);
+  if (node == nullptr || node->key() != key) return false;
+  *type = node->type;
+  if (node->type == EntryType::kPut) {
+    value->assign(node->value_data(), node->value_size);
+  } else {
+    value->clear();
+  }
+  return true;
+}
+
+MemTable::Iterator::Iterator(const MemTable* mem)
+    : mem_(mem), node_(nullptr) {}
+
+bool MemTable::Iterator::Valid() const { return node_ != nullptr; }
+
+void MemTable::Iterator::SeekToFirst() { node_ = mem_->head_->next(0); }
+
+void MemTable::Iterator::Seek(const Slice& target) {
+  node_ = mem_->FindGreaterOrEqual(target, nullptr);
+}
+
+void MemTable::Iterator::Next() {
+  assert(Valid());
+  node_ = static_cast<const Node*>(node_)->next(0);
+}
+
+Slice MemTable::Iterator::key() const {
+  return static_cast<const Node*>(node_)->key();
+}
+Slice MemTable::Iterator::value() const {
+  return static_cast<const Node*>(node_)->value();
+}
+EntryType MemTable::Iterator::type() const {
+  return static_cast<const Node*>(node_)->type;
+}
+
+}  // namespace storage
+}  // namespace kb

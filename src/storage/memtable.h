@@ -1,0 +1,83 @@
+#ifndef KBFORGE_STORAGE_MEMTABLE_H_
+#define KBFORGE_STORAGE_MEMTABLE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "util/arena.h"
+#include "util/random.h"
+#include "util/slice.h"
+
+namespace kb {
+namespace storage {
+
+/// Entry type tag stored with each memtable value (and in SSTable
+/// values): a Put carries data, a Delete is a tombstone that shadows
+/// older versions during reads and merges.
+enum class EntryType : uint8_t { kPut = 0, kDelete = 1 };
+
+/// A sorted in-memory write buffer backed by a skiplist whose nodes
+/// live in an arena (the classic LSM memtable design). Single-writer,
+/// multi-reader is sufficient for KBForge (the engine serializes
+/// writes); no internal locking.
+class MemTable {
+ public:
+  MemTable();
+  ~MemTable();
+  MemTable(const MemTable&) = delete;
+  MemTable& operator=(const MemTable&) = delete;
+
+  /// Inserts or overwrites `key`.
+  void Put(const Slice& key, const Slice& value);
+
+  /// Inserts a tombstone for `key`.
+  void Delete(const Slice& key);
+
+  /// Returns true and sets *value/*type if the key has an entry.
+  bool Get(const Slice& key, std::string* value, EntryType* type) const;
+
+  size_t num_entries() const { return num_entries_; }
+  size_t ApproximateMemoryUsage() const { return arena_.MemoryUsage(); }
+  bool empty() const { return num_entries_ == 0; }
+
+  /// Iterator in key order over live entries (including tombstones).
+  class Iterator {
+   public:
+    explicit Iterator(const MemTable* mem);
+    bool Valid() const;
+    void SeekToFirst();
+    void Seek(const Slice& target);
+    void Next();
+    Slice key() const;
+    Slice value() const;
+    EntryType type() const;
+
+   private:
+    friend class MemTable;
+    const MemTable* mem_;
+    const void* node_;
+  };
+
+  Iterator NewIterator() const { return Iterator(this); }
+
+ private:
+  struct Node;
+  static constexpr int kMaxHeight = 12;
+
+  Node* NewNode(const Slice& key, const Slice& value, EntryType type,
+                int height);
+  Node* FindGreaterOrEqual(const Slice& key, Node** prev) const;
+  int RandomHeight();
+
+  Arena arena_;
+  Node* head_;
+  int max_height_ = 1;
+  size_t num_entries_ = 0;
+  Rng rng_;
+};
+
+}  // namespace storage
+}  // namespace kb
+
+#endif  // KBFORGE_STORAGE_MEMTABLE_H_

@@ -1,0 +1,188 @@
+#include "storage/sstable.h"
+
+#include <cassert>
+
+#include "util/varint.h"
+
+namespace kb {
+namespace storage {
+
+namespace {
+constexpr uint64_t kTableMagic = 0x6b62666f72676521ULL;  // "kbforge!"
+constexpr size_t kFooterSize = 8 * 5;
+}  // namespace
+
+TableBuilder::TableBuilder(TableOptions options)
+    : options_(options),
+      data_block_(options.restart_interval),
+      index_block_(1),
+      bloom_(options.bloom_bits_per_key) {}
+
+void TableBuilder::Add(const Slice& key, const Slice& value) {
+  if (pending_index_entry_) {
+    // last_key_ is the final key of the just-flushed block.
+    std::string handle;
+    PutFixed64(&handle, pending_offset_);
+    PutFixed64(&handle, pending_size_);
+    index_block_.Add(Slice(last_key_), Slice(handle));
+    pending_index_entry_ = false;
+  }
+  if (options_.bloom_bits_per_key > 0) bloom_.AddKey(key);
+  data_block_.Add(key, value);
+  last_key_.assign(key.data(), key.size());
+  ++num_entries_;
+  if (data_block_.CurrentSizeEstimate() >= options_.block_size) {
+    FlushDataBlock();
+  }
+}
+
+void TableBuilder::FlushDataBlock() {
+  if (data_block_.empty()) return;
+  std::string block = data_block_.Finish();
+  pending_offset_ = file_.size();
+  pending_size_ = block.size();
+  file_.append(block);
+  data_block_.Reset();
+  pending_index_entry_ = true;
+}
+
+std::string TableBuilder::Finish() {
+  FlushDataBlock();
+  if (pending_index_entry_) {
+    std::string handle;
+    PutFixed64(&handle, pending_offset_);
+    PutFixed64(&handle, pending_size_);
+    index_block_.Add(Slice(last_key_), Slice(handle));
+    pending_index_entry_ = false;
+  }
+  uint64_t filter_offset = file_.size();
+  std::string filter =
+      options_.bloom_bits_per_key > 0 ? bloom_.Finish() : std::string();
+  file_.append(filter);
+  uint64_t index_offset = file_.size();
+  std::string index = index_block_.Finish();
+  file_.append(index);
+  PutFixed64(&file_, index_offset);
+  PutFixed64(&file_, index.size());
+  PutFixed64(&file_, filter_offset);
+  PutFixed64(&file_, filter.size());
+  PutFixed64(&file_, kTableMagic);
+  return std::move(file_);
+}
+
+StatusOr<std::shared_ptr<TableReader>> TableReader::Open(
+    std::string contents) {
+  if (contents.size() < kFooterSize) {
+    return Status::Corruption("table too small");
+  }
+  Slice footer(contents.data() + contents.size() - kFooterSize, kFooterSize);
+  uint64_t index_offset, index_size, filter_offset, filter_size, magic;
+  GetFixed64(&footer, &index_offset);
+  GetFixed64(&footer, &index_size);
+  GetFixed64(&footer, &filter_offset);
+  GetFixed64(&footer, &filter_size);
+  GetFixed64(&footer, &magic);
+  if (magic != kTableMagic) return Status::Corruption("bad table magic");
+  if (index_offset + index_size > contents.size() ||
+      filter_offset + filter_size > contents.size()) {
+    return Status::Corruption("bad table footer offsets");
+  }
+  auto table = std::shared_ptr<TableReader>(new TableReader());
+  table->contents_ = std::move(contents);
+  table->filter_data_ =
+      table->contents_.substr(filter_offset, filter_size);
+  Slice index_block(table->contents_.data() + index_offset, index_size);
+  BlockIterator it(index_block);
+  for (it.SeekToFirst(); it.Valid(); it.Next()) {
+    Slice handle = it.value();
+    uint64_t offset, size;
+    if (!GetFixed64(&handle, &offset) || !GetFixed64(&handle, &size) ||
+        offset + size > table->contents_.size()) {
+      return Status::Corruption("bad index entry");
+    }
+    table->index_entries_.push_back(
+        {it.key().ToString(), offset, size});
+  }
+  if (it.corrupted()) return Status::Corruption("corrupt index block");
+  return table;
+}
+
+bool TableReader::MayContain(const Slice& key) const {
+  if (filter_data_.empty()) return true;
+  return BloomFilterReader(Slice(filter_data_)).MayContain(key);
+}
+
+Slice TableReader::BlockContents(size_t index) const {
+  const IndexEntry& e = index_entries_[index];
+  return Slice(contents_.data() + e.offset, e.size);
+}
+
+Status TableReader::Get(const Slice& key, std::string* value) const {
+  if (!MayContain(key)) return Status::NotFound("bloom miss");
+  // Binary search for the first block whose last key >= key.
+  size_t lo = 0, hi = index_entries_.size();
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (Slice(index_entries_[mid].last_key).compare(key) < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo == index_entries_.size()) return Status::NotFound("past last block");
+  BlockIterator it(BlockContents(lo));
+  it.Seek(key);
+  if (it.corrupted()) return Status::Corruption("corrupt data block");
+  if (it.Valid() && it.key() == key) {
+    *value = it.value().ToString();
+    return Status::OK();
+  }
+  return Status::NotFound("key absent");
+}
+
+TableReader::Iterator::Iterator(const TableReader* table) : table_(table) {}
+
+void TableReader::Iterator::LoadBlock(size_t index) {
+  block_index_ = index;
+  if (index >= table_->index_entries_.size()) {
+    block_iter_.reset();
+    return;
+  }
+  block_iter_.emplace(table_->BlockContents(index));
+  block_iter_->SeekToFirst();
+}
+
+bool TableReader::Iterator::Valid() const {
+  return block_iter_.has_value() && block_iter_->Valid();
+}
+
+void TableReader::Iterator::SeekToFirst() { LoadBlock(0); }
+
+void TableReader::Iterator::Seek(const Slice& target) {
+  size_t lo = 0, hi = table_->index_entries_.size();
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (Slice(table_->index_entries_[mid].last_key).compare(target) < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  LoadBlock(lo);
+  if (block_iter_.has_value()) {
+    block_iter_->Seek(target);
+    if (!block_iter_->Valid()) LoadBlock(lo + 1);
+  }
+}
+
+void TableReader::Iterator::Next() {
+  assert(Valid());
+  block_iter_->Next();
+  if (!block_iter_->Valid()) LoadBlock(block_index_ + 1);
+}
+
+Slice TableReader::Iterator::key() const { return block_iter_->key(); }
+Slice TableReader::Iterator::value() const { return block_iter_->value(); }
+
+}  // namespace storage
+}  // namespace kb

@@ -1,0 +1,108 @@
+#ifndef KBFORGE_STORAGE_SSTABLE_H_
+#define KBFORGE_STORAGE_SSTABLE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "storage/block.h"
+#include "util/bloom_filter.h"
+#include "util/slice.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace kb {
+namespace storage {
+
+/// Options controlling SSTable layout.
+struct TableOptions {
+  size_t block_size = 4096;      ///< target uncompressed data block size
+  int restart_interval = 16;     ///< keys between restart points
+  int bloom_bits_per_key = 10;   ///< 0 disables the per-table Bloom filter
+};
+
+/// Writes an immutable sorted table:
+///   [data blocks][filter block][index block][footer]
+/// The index block maps each data block's last key to its (offset, size).
+class TableBuilder {
+ public:
+  explicit TableBuilder(TableOptions options = TableOptions());
+
+  /// Keys must arrive in strictly increasing order.
+  void Add(const Slice& key, const Slice& value);
+
+  /// Finalizes the table and returns its serialized bytes.
+  std::string Finish();
+
+  size_t num_entries() const { return num_entries_; }
+
+ private:
+  void FlushDataBlock();
+
+  TableOptions options_;
+  std::string file_;
+  BlockBuilder data_block_;
+  BlockBuilder index_block_;
+  BloomFilterBuilder bloom_;
+  std::string last_key_;
+  size_t num_entries_ = 0;
+  bool pending_index_entry_ = false;
+  uint64_t pending_offset_ = 0;
+  uint64_t pending_size_ = 0;
+};
+
+/// Reads an SSTable previously produced by TableBuilder. The table
+/// contents are held in memory (mmap-free simplification).
+class TableReader {
+ public:
+  /// Parses the footer and index; returns Corruption on malformed data.
+  static StatusOr<std::shared_ptr<TableReader>> Open(std::string contents);
+
+  /// Point lookup. Returns NotFound if absent (after Bloom check).
+  Status Get(const Slice& key, std::string* value) const;
+
+  /// Whether the Bloom filter rules the key out (used by stats/benches).
+  bool MayContain(const Slice& key) const;
+
+  size_t num_blocks() const { return index_entries_.size(); }
+
+  /// Forward iterator over all entries in key order.
+  class Iterator {
+   public:
+    explicit Iterator(const TableReader* table);
+    bool Valid() const;
+    void SeekToFirst();
+    void Seek(const Slice& target);
+    void Next();
+    Slice key() const;
+    Slice value() const;
+
+   private:
+    void LoadBlock(size_t index);
+    const TableReader* table_;
+    size_t block_index_ = 0;
+    std::optional<BlockIterator> block_iter_;
+  };
+
+  Iterator NewIterator() const { return Iterator(this); }
+
+ private:
+  TableReader() = default;
+
+  struct IndexEntry {
+    std::string last_key;
+    uint64_t offset;
+    uint64_t size;
+  };
+
+  Slice BlockContents(size_t index) const;
+
+  std::string contents_;
+  std::vector<IndexEntry> index_entries_;
+  std::string filter_data_;
+};
+
+}  // namespace storage
+}  // namespace kb
+
+#endif  // KBFORGE_STORAGE_SSTABLE_H_

@@ -1,0 +1,73 @@
+#include "storage/wal.h"
+
+#include "storage/env.h"
+#include "util/hash.h"
+#include "util/varint.h"
+
+namespace kb {
+namespace storage {
+
+Status WalWriter::Open(const std::string& path, WalWriter* writer) {
+  writer->path_ = path;
+  writer->out_.open(path, std::ios::binary | std::ios::app);
+  if (!writer->out_) return Status::IOError("open wal: " + path);
+  return Status::OK();
+}
+
+Status WalWriter::Append(EntryType type, const Slice& key,
+                         const Slice& value) {
+  std::string payload;
+  PutVarint64(&payload, key.size());
+  PutVarint64(&payload, value.size());
+  payload.push_back(static_cast<char>(type));
+  payload.append(key.data(), key.size());
+  payload.append(value.data(), value.size());
+  std::string record;
+  PutFixed32(&record, static_cast<uint32_t>(Hash64(payload)));
+  record += payload;
+  out_.write(record.data(), static_cast<std::streamsize>(record.size()));
+  out_.flush();
+  if (!out_) return Status::IOError("wal append: " + path_);
+  return Status::OK();
+}
+
+void WalWriter::Close() {
+  if (out_.is_open()) out_.close();
+}
+
+Status ReplayWal(
+    const std::string& path,
+    const std::function<void(EntryType, const Slice&, const Slice&)>& fn) {
+  auto contents = ReadFileToString(path);
+  if (!contents.ok()) return contents.status();
+  Slice input(*contents);
+  while (!input.empty()) {
+    Slice record = input;
+    uint32_t stored_crc = 0;
+    if (!GetFixed32(&record, &stored_crc)) break;
+    const char* payload_start = record.data();
+    uint64_t key_len = 0, value_len = 0;
+    if (!GetVarint64(&record, &key_len) ||
+        !GetVarint64(&record, &value_len) || record.empty()) {
+      break;
+    }
+    EntryType type = static_cast<EntryType>(record[0]);
+    record.remove_prefix(1);
+    if (record.size() < key_len + value_len) break;  // torn tail
+    size_t payload_size =
+        static_cast<size_t>(record.data() + key_len + value_len -
+                            payload_start);
+    uint32_t actual_crc = static_cast<uint32_t>(
+        Hash64(payload_start, payload_size));
+    if (actual_crc != stored_crc) break;  // corrupt record: stop replay
+    Slice key(record.data(), key_len);
+    Slice value(record.data() + key_len, value_len);
+    fn(type, key, value);
+    input = Slice(record.data() + key_len + value_len,
+                  record.size() - key_len - value_len);
+  }
+  return Status::OK();
+}
+
+}  // namespace storage
+}  // namespace kb

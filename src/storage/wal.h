@@ -1,0 +1,45 @@
+#ifndef KBFORGE_STORAGE_WAL_H_
+#define KBFORGE_STORAGE_WAL_H_
+
+#include <fstream>
+#include <functional>
+#include <string>
+
+#include "storage/memtable.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace kb {
+namespace storage {
+
+/// Append-only write-ahead log. Each record is
+///   fixed32 checksum | varint key_len | varint value_len | type byte
+///   | key | value
+/// where the checksum covers everything after itself. Replay stops at
+/// the first torn/corrupt record (standard crash-recovery semantics).
+class WalWriter {
+ public:
+  /// Opens (creating or appending to) the log at `path`.
+  static Status Open(const std::string& path, WalWriter* writer);
+
+  /// Appends one record and flushes it to the OS.
+  Status Append(EntryType type, const Slice& key, const Slice& value);
+
+  void Close();
+
+ private:
+  std::ofstream out_;
+  std::string path_;
+};
+
+/// Replays a log, invoking `fn(type, key, value)` per intact record.
+/// Returns OK even if the tail is torn (that is the expected crash
+/// shape); returns IOError only if the file cannot be read at all.
+Status ReplayWal(
+    const std::string& path,
+    const std::function<void(EntryType, const Slice&, const Slice&)>& fn);
+
+}  // namespace storage
+}  // namespace kb
+
+#endif  // KBFORGE_STORAGE_WAL_H_

@@ -1,0 +1,139 @@
+#include "taxonomy/category_induction.h"
+
+#include <unordered_set>
+
+#include "util/string_util.h"
+
+namespace kb {
+namespace taxonomy {
+
+namespace {
+
+bool IsPrepositionWord(const std::string& lower) {
+  static const std::unordered_set<std::string>* kPreps =
+      new std::unordered_set<std::string>{
+          "in", "of", "from", "by", "with", "needing", "for", "at"};
+  return kPreps->count(lower) > 0;
+}
+
+bool IsAdminWord(const std::string& lower) {
+  static const std::unordered_set<std::string>* kAdmin =
+      new std::unordered_set<std::string>{
+          "articles", "article", "stubs", "stub", "wikipedia", "pages",
+          "cleanup", "unsourced", "protected", "dead", "links"};
+  return kAdmin->count(lower) > 0;
+}
+
+bool IsRelationalHead(const std::string& head_lower) {
+  return head_lower == "births" || head_lower == "deaths" ||
+         head_lower == "establishments" || head_lower == "disestablishments";
+}
+
+struct Analysis {
+  CategoryDecision decision = CategoryDecision::kTopical;
+  std::string head_singular;  ///< "singer"
+  std::string specific;       ///< "freedonian singer"
+  int year = 0;               ///< for relational categories
+};
+
+Analysis Analyze(const std::string& category,
+                 const InductionOptions& options) {
+  Analysis out;
+  std::vector<std::string> tokens = SplitWhitespace(category);
+  if (tokens.empty()) return out;
+
+  // Administrative filter (keyword blacklist).
+  if (options.admin_filter) {
+    for (const std::string& t : tokens) {
+      if (IsAdminWord(ToLower(t))) {
+        out.decision = CategoryDecision::kAdministrative;
+        return out;
+      }
+    }
+  }
+
+  // The head NP is the token run before the first preposition; its last
+  // token is the head noun ("Cities in Freedonia" -> "Cities";
+  // "Freedonian singers" -> "singers").
+  size_t head_np_end = tokens.size();
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (IsPrepositionWord(ToLower(tokens[i]))) {
+      head_np_end = i;
+      break;
+    }
+  }
+  if (head_np_end == 0) return out;
+  const std::string head = ToLower(tokens[head_np_end - 1]);
+
+  // Relational categories: "<year> births".
+  if (options.relational_categories && IsRelationalHead(head)) {
+    long long year = 0;
+    if (head_np_end >= 2 && ParseInt64(tokens[0], &year)) {
+      out.decision = CategoryDecision::kRelational;
+      out.year = static_cast<int>(year);
+      return out;
+    }
+  }
+
+  if (!LooksPlural(head)) {
+    out.decision = CategoryDecision::kTopical;  // "Music", "Economy of X"
+    return out;
+  }
+
+  out.decision = CategoryDecision::kConceptual;
+  out.head_singular = Singularize(head);
+  // Specific class keeps the pre-modifiers: "Freedonian singers" ->
+  // "freedonian singer".
+  std::string specific;
+  for (size_t i = 0; i + 1 < head_np_end; ++i) {
+    specific += ToLower(tokens[i]) + " ";
+  }
+  specific += out.head_singular;
+  out.specific = specific;
+  return out;
+}
+
+}  // namespace
+
+CategoryDecision ClassifyCategory(const std::string& category,
+                                  const InductionOptions& options,
+                                  std::string* head_singular) {
+  Analysis a = Analyze(category, options);
+  if (head_singular != nullptr) *head_singular = a.head_singular;
+  return a.decision;
+}
+
+InducedTaxonomy InduceFromCategories(
+    const std::vector<corpus::Document>& docs,
+    const InductionOptions& options) {
+  InducedTaxonomy out;
+  out.taxonomy = MakeBackboneTaxonomy();
+  for (const corpus::Document& doc : docs) {
+    if (doc.kind != corpus::DocKind::kArticle) continue;
+    for (const std::string& category : doc.categories) {
+      auto decision_it = out.decisions.find(category);
+      Analysis a = Analyze(category, options);
+      if (decision_it == out.decisions.end()) {
+        out.decisions.emplace(category, a.decision);
+      }
+      if (a.decision == CategoryDecision::kRelational) {
+        out.birth_years[doc.subject] = a.year;
+        continue;
+      }
+      if (a.decision != CategoryDecision::kConceptual) continue;
+      ClassId specific = out.taxonomy.Intern(a.specific);
+      if (a.specific != a.head_singular) {
+        ClassId general = out.taxonomy.Intern(a.head_singular);
+        out.taxonomy.AddSubclass(specific, general);
+      }
+      out.entity_classes[doc.subject].push_back(a.specific);
+      if (a.specific != a.head_singular) {
+        out.entity_classes[doc.subject].push_back(a.head_singular);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace taxonomy
+}  // namespace kb

@@ -1,0 +1,57 @@
+#ifndef KBFORGE_TAXONOMY_CATEGORY_INDUCTION_H_
+#define KBFORGE_TAXONOMY_CATEGORY_INDUCTION_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "corpus/document.h"
+#include "taxonomy/taxonomy.h"
+
+namespace kb {
+namespace taxonomy {
+
+/// How the inducer classified one category string.
+enum class CategoryDecision : uint8_t {
+  kConceptual = 0,  ///< plural head noun -> becomes a class
+  kRelational,      ///< "1955 births"-style -> yields a fact, not a class
+  kAdministrative,  ///< maintenance category -> dropped
+  kTopical,         ///< singular/mass head -> thematic link, not a class
+};
+
+/// Options for the WikiTaxonomy-style inducer (E2 ablations).
+struct InductionOptions {
+  /// Treat "<year> births|deaths|establishments" as relational
+  /// (YAGO-style). Off = they wrongly become classes.
+  bool relational_categories = true;
+  /// Filter maintenance categories by keyword blacklist.
+  bool admin_filter = true;
+};
+
+/// The result of category analysis over a document collection.
+struct InducedTaxonomy {
+  Taxonomy taxonomy;
+  /// entity (by article doc id) -> induced class names.
+  std::map<uint32_t, std::vector<std::string>> entity_classes;
+  /// category string -> decision (for precision analysis).
+  std::map<std::string, CategoryDecision> decisions;
+  /// Relational yield: article subject -> birth year from "NNNN births".
+  std::map<uint32_t, int> birth_years;
+};
+
+/// Classifies one category name. Exposed for unit tests.
+CategoryDecision ClassifyCategory(const std::string& category,
+                                  const InductionOptions& options,
+                                  std::string* head_singular);
+
+/// Analyzes the category system of `docs` (articles only) and induces
+/// a class taxonomy, linking induced classes into the backbone where
+/// the head noun is known. This is the Wikipedia-based method of the
+/// tutorial's §2 "Harvesting Knowledge on Entities and Classes".
+InducedTaxonomy InduceFromCategories(const std::vector<corpus::Document>& docs,
+                                     const InductionOptions& options);
+
+}  // namespace taxonomy
+}  // namespace kb
+
+#endif  // KBFORGE_TAXONOMY_CATEGORY_INDUCTION_H_

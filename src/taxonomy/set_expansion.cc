@@ -1,0 +1,70 @@
+#include "taxonomy/set_expansion.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace kb {
+namespace taxonomy {
+
+SetExpander::SetExpander(const std::vector<corpus::Document>& docs) {
+  for (const corpus::Document& doc : docs) {
+    // Every "such as" enumeration is one list context; its member
+    // entities are the mentions between the cue and the sentence end.
+    size_t pos = 0;
+    while ((pos = doc.text.find("such as", pos)) != std::string::npos) {
+      size_t sentence_end = doc.text.find('.', pos);
+      if (sentence_end == std::string::npos) sentence_end = doc.text.size();
+      std::vector<uint32_t> members;
+      for (const corpus::Mention& m : doc.mentions) {
+        if (m.begin >= pos && m.end <= sentence_end) {
+          members.push_back(m.entity);
+        }
+      }
+      if (members.size() >= 2) {
+        uint32_t context_id = static_cast<uint32_t>(contexts_.size());
+        contexts_.push_back(members);
+        for (uint32_t e : members) {
+          entity_contexts_[e].push_back(context_id);
+        }
+      }
+      pos = sentence_end;
+    }
+  }
+}
+
+std::vector<ExpansionCandidate> SetExpander::Expand(
+    const std::set<uint32_t>& seeds, double min_score) const {
+  // Union of seed contexts.
+  std::unordered_set<uint32_t> seed_contexts;
+  for (uint32_t seed : seeds) {
+    auto it = entity_contexts_.find(seed);
+    if (it == entity_contexts_.end()) continue;
+    seed_contexts.insert(it->second.begin(), it->second.end());
+  }
+  std::vector<ExpansionCandidate> out;
+  if (seed_contexts.empty()) return out;
+  for (const auto& [entity, ctxs] : entity_contexts_) {
+    if (seeds.count(entity) > 0) continue;
+    size_t shared = 0;
+    for (uint32_t c : ctxs) {
+      if (seed_contexts.count(c) > 0) ++shared;
+    }
+    if (shared == 0) continue;
+    double score = static_cast<double>(shared) /
+                   std::sqrt(static_cast<double>(ctxs.size()) *
+                             static_cast<double>(seed_contexts.size()));
+    if (score >= min_score) {
+      out.push_back({entity, score});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ExpansionCandidate& a, const ExpansionCandidate& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.entity < b.entity;
+            });
+  return out;
+}
+
+}  // namespace taxonomy
+}  // namespace kb

@@ -1,0 +1,53 @@
+#ifndef KBFORGE_TAXONOMY_SET_EXPANSION_H_
+#define KBFORGE_TAXONOMY_SET_EXPANSION_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "corpus/document.h"
+
+namespace kb {
+namespace taxonomy {
+
+/// One scored candidate produced by set expansion.
+struct ExpansionCandidate {
+  uint32_t entity = UINT32_MAX;
+  double score = 0.0;
+};
+
+/// Web-based entity-class harvesting via set expansion (tutorial §2):
+/// starting from a handful of seed entities of an unknown class, find
+/// other members by exploiting list contexts — here, Hearst-style
+/// enumerations ("singers such as A and B") in web documents.
+///
+/// The expander builds a bipartite graph between entities and the list
+/// contexts they appear in, then scores candidates by weighted overlap
+/// with the seeds' contexts (the KnowItAll/SEAL family of methods,
+/// simplified to its co-occurrence core).
+class SetExpander {
+ public:
+  /// Indexes the enumeration contexts of `docs` (web documents).
+  explicit SetExpander(const std::vector<corpus::Document>& docs);
+
+  /// Expands `seeds`, returning candidates sorted by descending score
+  /// (seeds excluded). `min_score` prunes weak candidates.
+  std::vector<ExpansionCandidate> Expand(const std::set<uint32_t>& seeds,
+                                         double min_score = 0.0) const;
+
+  /// Number of indexed list contexts.
+  size_t num_contexts() const { return contexts_.size(); }
+
+ private:
+  // context id -> entities in that enumeration
+  std::vector<std::vector<uint32_t>> contexts_;
+  // entity -> context ids
+  std::map<uint32_t, std::vector<uint32_t>> entity_contexts_;
+};
+
+}  // namespace taxonomy
+}  // namespace kb
+
+#endif  // KBFORGE_TAXONOMY_SET_EXPANSION_H_

@@ -1,0 +1,105 @@
+#include "taxonomy/taxonomy.h"
+
+#include <algorithm>
+
+namespace kb {
+namespace taxonomy {
+
+ClassId Taxonomy::Intern(const std::string& name) {
+  auto it = index_.find(name);
+  if (it != index_.end()) return it->second;
+  ClassId id = static_cast<ClassId>(names_.size());
+  names_.push_back(name);
+  supers_.emplace_back();
+  subs_.emplace_back();
+  index_.emplace(name, id);
+  return id;
+}
+
+ClassId Taxonomy::Lookup(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? kInvalidClassId : it->second;
+}
+
+bool Taxonomy::AddSubclass(ClassId sub, ClassId super) {
+  if (sub == super) return false;
+  auto& ups = supers_[sub];
+  if (std::find(ups.begin(), ups.end(), super) != ups.end()) return false;
+  // Reject cycles: super must not already be subsumed by sub.
+  if (IsSubclassOf(super, sub)) return false;
+  ups.push_back(super);
+  subs_[super].push_back(sub);
+  ++num_edges_;
+  return true;
+}
+
+bool Taxonomy::IsSubclassOf(ClassId sub, ClassId super) const {
+  if (sub == super) return true;
+  // DFS upward.
+  std::vector<ClassId> stack = {sub};
+  std::vector<bool> visited(names_.size(), false);
+  visited[sub] = true;
+  while (!stack.empty()) {
+    ClassId cur = stack.back();
+    stack.pop_back();
+    for (ClassId up : supers_[cur]) {
+      if (up == super) return true;
+      if (!visited[up]) {
+        visited[up] = true;
+        stack.push_back(up);
+      }
+    }
+  }
+  return false;
+}
+
+std::vector<ClassId> Taxonomy::Ancestors(ClassId id) const {
+  std::vector<ClassId> out = {id};
+  std::vector<bool> visited(names_.size(), false);
+  visited[id] = true;
+  for (size_t i = 0; i < out.size(); ++i) {
+    for (ClassId up : supers_[out[i]]) {
+      if (!visited[up]) {
+        visited[up] = true;
+        out.push_back(up);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<ClassId> Taxonomy::Roots() const {
+  std::vector<ClassId> out;
+  for (ClassId id = 0; id < names_.size(); ++id) {
+    if (supers_[id].empty()) out.push_back(id);
+  }
+  return out;
+}
+
+const std::vector<std::pair<std::string, std::string>>& BackboneEdges() {
+  static const auto* kEdges =
+      new std::vector<std::pair<std::string, std::string>>{
+          {"singer", "person"},       {"musician", "person"},
+          {"entrepreneur", "person"}, {"scientist", "person"},
+          {"actor", "person"},        {"politician", "person"},
+          {"writer", "person"},       {"person", "entity"},
+          {"city", "location"},       {"country", "location"},
+          {"location", "entity"},     {"company", "organization"},
+          {"university", "organization"},
+          {"band", "organization"},   {"musical group", "organization"},
+          {"organization", "entity"}, {"album", "work"},
+          {"film", "work"},           {"work", "entity"},
+      };
+  return *kEdges;
+}
+
+Taxonomy MakeBackboneTaxonomy() {
+  Taxonomy t;
+  for (const auto& [sub, super] : BackboneEdges()) {
+    t.AddSubclass(t.Intern(sub), t.Intern(super));
+  }
+  return t;
+}
+
+}  // namespace taxonomy
+}  // namespace kb

@@ -1,0 +1,78 @@
+#ifndef KBFORGE_TAXONOMY_TAXONOMY_H_
+#define KBFORGE_TAXONOMY_TAXONOMY_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace kb {
+namespace taxonomy {
+
+/// Dense id of a class node in the taxonomy.
+using ClassId = uint32_t;
+inline constexpr ClassId kInvalidClassId = UINT32_MAX;
+
+/// A directed acyclic graph of classes under rdfs:subClassOf, as the
+/// tutorial's §2 describes: "classes are organized into a taxonomy,
+/// where more special classes are subsumed by more general classes".
+/// Edge insertion refuses cycles, keeping subsumption a partial order.
+class Taxonomy {
+ public:
+  Taxonomy() = default;
+
+  /// Returns the id of `name`, creating the class if new.
+  ClassId Intern(const std::string& name);
+
+  /// Returns the id or kInvalidClassId.
+  ClassId Lookup(const std::string& name) const;
+
+  const std::string& name(ClassId id) const { return names_[id]; }
+  size_t size() const { return names_.size(); }
+
+  /// Adds `sub` subClassOf `super`. Returns false (and does nothing) if
+  /// the edge would create a cycle or already exists.
+  bool AddSubclass(ClassId sub, ClassId super);
+
+  /// Direct superclasses.
+  const std::vector<ClassId>& Superclasses(ClassId id) const {
+    return supers_[id];
+  }
+
+  /// Direct subclasses.
+  const std::vector<ClassId>& Subclasses(ClassId id) const {
+    return subs_[id];
+  }
+
+  /// Reflexive-transitive subsumption test.
+  bool IsSubclassOf(ClassId sub, ClassId super) const;
+
+  /// All (reflexive-transitive) superclasses of `id`, unordered.
+  std::vector<ClassId> Ancestors(ClassId id) const;
+
+  /// Classes with no superclass.
+  std::vector<ClassId> Roots() const;
+
+  /// Number of subClassOf edges.
+  size_t num_edges() const { return num_edges_; }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, ClassId> index_;
+  std::vector<std::vector<ClassId>> supers_;
+  std::vector<std::vector<ClassId>> subs_;
+  size_t num_edges_ = 0;
+};
+
+/// The WordNet-style upper backbone KBForge links induced classes into
+/// (the WordNet substitution documented in DESIGN.md). Returns pairs
+/// (sub, super) of class names.
+const std::vector<std::pair<std::string, std::string>>& BackboneEdges();
+
+/// Builds a taxonomy containing just the backbone.
+Taxonomy MakeBackboneTaxonomy();
+
+}  // namespace taxonomy
+}  // namespace kb
+
+#endif  // KBFORGE_TAXONOMY_TAXONOMY_H_

@@ -1,0 +1,67 @@
+#include "taxonomy/type_inference.h"
+
+#include "nlp/tokenizer.h"
+#include "util/string_util.h"
+
+namespace kb {
+namespace taxonomy {
+
+std::vector<std::string> LeadSentenceTypes(const corpus::Document& doc,
+                                           const nlp::PosTagger& tagger) {
+  std::vector<std::string> out;
+  // The lead sentence is the first sentence after the infobox block.
+  size_t start = doc.text.find("}}");
+  start = start == std::string::npos ? 0 : start + 2;
+  size_t end = doc.text.find('.', start);
+  if (end == std::string::npos) return out;
+  std::string_view lead(doc.text.data() + start, end - start + 1);
+
+  auto tokens = nlp::Tokenize(lead);
+  tagger.Tag(&tokens);
+  // Pattern: (is|was) (a|an) <modifier>* <noun> (and <noun>)*.
+  for (size_t i = 0; i + 2 < tokens.size(); ++i) {
+    if (tokens[i].lower != "is" && tokens[i].lower != "was") continue;
+    if (tokens[i + 1].lower != "a" && tokens[i + 1].lower != "an") continue;
+    size_t j = i + 2;
+    // Skip adjectives / nationality modifiers (often tagged ProperNoun
+    // because capitalized, e.g. "Freedonian").
+    while (j < tokens.size() && (tokens[j].pos == nlp::Pos::kAdjective ||
+                                 tokens[j].pos == nlp::Pos::kProperNoun)) {
+      ++j;
+    }
+    while (j < tokens.size() && tokens[j].pos == nlp::Pos::kNoun) {
+      out.push_back(tokens[j].lower);
+      ++j;
+      // "singer and entrepreneur"
+      if (j + 1 < tokens.size() && tokens[j].lower == "and" &&
+          tokens[j + 1].pos == nlp::Pos::kNoun) {
+        ++j;
+      }
+    }
+    if (!out.empty()) break;
+  }
+  return out;
+}
+
+EntityTypes InferTypes(const std::vector<corpus::Document>& docs,
+                       const InducedTaxonomy& induced,
+                       const nlp::PosTagger& tagger) {
+  EntityTypes out;
+  for (const corpus::Document& doc : docs) {
+    if (doc.kind != corpus::DocKind::kArticle) continue;
+    auto& types = out.types[doc.subject];
+    auto it = induced.entity_classes.find(doc.subject);
+    if (it != induced.entity_classes.end()) {
+      for (const std::string& cls : it->second) {
+        if (types.insert(cls).second) ++out.from_categories;
+      }
+    }
+    for (const std::string& cls : LeadSentenceTypes(doc, tagger)) {
+      if (types.insert(cls).second) ++out.from_lead_sentences;
+    }
+  }
+  return out;
+}
+
+}  // namespace taxonomy
+}  // namespace kb

@@ -1,0 +1,38 @@
+#ifndef KBFORGE_TAXONOMY_TYPE_INFERENCE_H_
+#define KBFORGE_TAXONOMY_TYPE_INFERENCE_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "corpus/document.h"
+#include "nlp/pos_tagger.h"
+#include "taxonomy/category_induction.h"
+
+namespace kb {
+namespace taxonomy {
+
+/// Entity typing result: article subject -> class names, with the
+/// evidence source split out for analysis.
+struct EntityTypes {
+  std::map<uint32_t, std::set<std::string>> types;
+  size_t from_categories = 0;
+  size_t from_lead_sentences = 0;
+};
+
+/// Extracts the "X is a (Nationality)? <class>" pattern from an
+/// article's lead sentence. Returns the class nouns found.
+std::vector<std::string> LeadSentenceTypes(const corpus::Document& doc,
+                                           const nlp::PosTagger& tagger);
+
+/// Combines category-induced classes with lead-sentence "is a" types
+/// into one typing per entity (union; categories dominate on conflict).
+EntityTypes InferTypes(const std::vector<corpus::Document>& docs,
+                       const InducedTaxonomy& induced,
+                       const nlp::PosTagger& tagger);
+
+}  // namespace taxonomy
+}  // namespace kb
+
+#endif  // KBFORGE_TAXONOMY_TYPE_INFERENCE_H_

@@ -1,0 +1,97 @@
+#include "temporal/scoping.h"
+
+#include <map>
+
+namespace kb {
+namespace temporal {
+
+using extraction::AnnotatedSentence;
+using extraction::ExtractedFact;
+
+std::vector<ExtractedFact> TemporalScoper::ScopeSentence(
+    const AnnotatedSentence& sentence) const {
+  std::vector<ExtractedFact> facts =
+      extractor_->ExtractFromSentence(sentence);
+  if (facts.empty()) return facts;
+  std::vector<Timex> timexes = ExtractTimexes(sentence.sentence);
+  if (timexes.empty()) return facts;
+
+  for (ExtractedFact& f : facts) {
+    const corpus::RelationInfo& info = corpus::GetRelationInfo(f.relation);
+    // Year-literal facts already carry their year; skip.
+    if (info.literal_object) continue;
+    // Pick the best timex: prefer intervals, then open bounds, then a
+    // plain date (which starts the fact for temporal relations).
+    const Timex* best = nullptr;
+    for (const Timex& t : timexes) {
+      if (best == nullptr) {
+        best = &t;
+        continue;
+      }
+      auto rank = [](const Timex& x) {
+        switch (x.kind) {
+          case TimexKind::kInterval: return 3;
+          case TimexKind::kOpenBegin: return 2;
+          case TimexKind::kOpenEnd: return 2;
+          case TimexKind::kDate: return 1;
+        }
+        return 0;
+      };
+      if (rank(t) > rank(*best)) best = &t;
+    }
+    switch (best->kind) {
+      case TimexKind::kInterval:
+      case TimexKind::kOpenBegin:
+      case TimexKind::kOpenEnd:
+        f.span = best->span;
+        break;
+      case TimexKind::kDate:
+        if (info.temporal) f.span.begin = best->date;
+        break;
+    }
+  }
+  return facts;
+}
+
+std::vector<ExtractedFact> TemporalScoper::ScopeSentences(
+    const std::vector<AnnotatedSentence>& sentences) const {
+  std::vector<ExtractedFact> all;
+  for (const AnnotatedSentence& s : sentences) {
+    auto facts = ScopeSentence(s);
+    all.insert(all.end(), facts.begin(), facts.end());
+  }
+  return AggregateSpans(all);
+}
+
+std::vector<ExtractedFact> TemporalScoper::AggregateSpans(
+    const std::vector<ExtractedFact>& facts) {
+  std::map<std::tuple<uint32_t, int, uint32_t, int32_t>, ExtractedFact>
+      merged;
+  for (const ExtractedFact& f : facts) {
+    auto key = std::make_tuple(f.subject, static_cast<int>(f.relation),
+                               f.object, f.literal_year);
+    auto it = merged.find(key);
+    if (it == merged.end()) {
+      merged.emplace(key, f);
+      continue;
+    }
+    ExtractedFact& m = it->second;
+    m.confidence = std::max(m.confidence, f.confidence);
+    // Earliest begin and latest end observed.
+    if (f.span.begin.valid() &&
+        (!m.span.begin.valid() || f.span.begin < m.span.begin)) {
+      m.span.begin = f.span.begin;
+    }
+    if (f.span.end.valid() &&
+        (!m.span.end.valid() || m.span.end < f.span.end)) {
+      m.span.end = f.span.end;
+    }
+  }
+  std::vector<ExtractedFact> out;
+  out.reserve(merged.size());
+  for (auto& [key, f] : merged) out.push_back(f);
+  return out;
+}
+
+}  // namespace temporal
+}  // namespace kb

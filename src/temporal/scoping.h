@@ -1,0 +1,47 @@
+#ifndef KBFORGE_TEMPORAL_SCOPING_H_
+#define KBFORGE_TEMPORAL_SCOPING_H_
+
+#include <vector>
+
+#include "extraction/annotation.h"
+#include "extraction/pattern_extractor.h"
+#include "temporal/timex.h"
+
+namespace kb {
+namespace temporal {
+
+/// Attaches validity timespans to relational extractions (tutorial §3
+/// "inferring the timepoints of events and timespans during which
+/// certain facts hold").
+///
+/// Per sentence: facts matched by the pattern extractor are paired with
+/// the sentence's temporal expressions — an interval timex scopes the
+/// fact directly; "since"/"until" open one side; a single date gives
+/// the begin point of temporal relations. Observations of the same
+/// statement from different sentences are then aggregated (earliest
+/// begin / latest end seen).
+class TemporalScoper {
+ public:
+  explicit TemporalScoper(const extraction::PatternExtractor* extractor)
+      : extractor_(extractor) {}
+
+  /// Extracts facts with attached spans from one sentence.
+  std::vector<extraction::ExtractedFact> ScopeSentence(
+      const extraction::AnnotatedSentence& sentence) const;
+
+  /// Extracts and aggregates over a corpus of sentences.
+  std::vector<extraction::ExtractedFact> ScopeSentences(
+      const std::vector<extraction::AnnotatedSentence>& sentences) const;
+
+  /// Merges span observations of identical statements.
+  static std::vector<extraction::ExtractedFact> AggregateSpans(
+      const std::vector<extraction::ExtractedFact>& facts);
+
+ private:
+  const extraction::PatternExtractor* extractor_;
+};
+
+}  // namespace temporal
+}  // namespace kb
+
+#endif  // KBFORGE_TEMPORAL_SCOPING_H_

@@ -1,0 +1,122 @@
+#include "temporal/timex.h"
+
+#include "util/string_util.h"
+
+namespace kb {
+namespace temporal {
+
+namespace {
+
+bool YearAt(const nlp::Sentence& s, uint32_t i, int* year) {
+  if (i >= s.tokens.size()) return false;
+  const nlp::Token& t = s.tokens[i];
+  long long v = 0;
+  if (!ParseInt64(t.lower, &v)) return false;
+  if (v < 1200 || v > 2100) return false;
+  *year = static_cast<int>(v);
+  return true;
+}
+
+bool DayAt(const nlp::Sentence& s, uint32_t i, int* day) {
+  if (i >= s.tokens.size()) return false;
+  long long v = 0;
+  if (!ParseInt64(s.tokens[i].lower, &v)) return false;
+  if (v < 1 || v > 31) return false;
+  *day = static_cast<int>(v);
+  return true;
+}
+
+bool WordAt(const nlp::Sentence& s, uint32_t i, const char* word) {
+  return i < s.tokens.size() && s.tokens[i].lower == word;
+}
+
+}  // namespace
+
+std::vector<Timex> ExtractTimexes(const nlp::Sentence& sentence) {
+  std::vector<Timex> out;
+  const auto& tokens = sentence.tokens;
+  uint32_t i = 0;
+  while (i < tokens.size()) {
+    int year = 0, year2 = 0, day = 0;
+
+    // "from YYYY to YYYY"
+    if (WordAt(sentence, i, "from") && YearAt(sentence, i + 1, &year) &&
+        WordAt(sentence, i + 2, "to") && YearAt(sentence, i + 3, &year2)) {
+      Timex t;
+      t.token_begin = i;
+      t.token_end = i + 4;
+      t.kind = TimexKind::kInterval;
+      t.span.begin.year = year;
+      t.span.end.year = year2;
+      out.push_back(t);
+      i += 4;
+      continue;
+    }
+    // "since YYYY"
+    if (WordAt(sentence, i, "since") && YearAt(sentence, i + 1, &year)) {
+      Timex t;
+      t.token_begin = i;
+      t.token_end = i + 2;
+      t.kind = TimexKind::kOpenBegin;
+      t.span.begin.year = year;
+      out.push_back(t);
+      i += 2;
+      continue;
+    }
+    // "until YYYY"
+    if (WordAt(sentence, i, "until") && YearAt(sentence, i + 1, &year)) {
+      Timex t;
+      t.token_begin = i;
+      t.token_end = i + 2;
+      t.kind = TimexKind::kOpenEnd;
+      t.span.end.year = year;
+      out.push_back(t);
+      i += 2;
+      continue;
+    }
+    // "Month DD , YYYY" (comma optional)
+    int month = MonthByName(tokens[i].lower);
+    if (month != 0 && DayAt(sentence, i + 1, &day)) {
+      uint32_t y_pos = i + 2;
+      if (WordAt(sentence, y_pos, ",")) ++y_pos;
+      if (YearAt(sentence, y_pos, &year)) {
+        Timex t;
+        t.token_begin = i;
+        t.token_end = y_pos + 1;
+        t.kind = TimexKind::kDate;
+        t.date = Date{year, static_cast<int8_t>(month),
+                      static_cast<int8_t>(day)};
+        out.push_back(t);
+        i = y_pos + 1;
+        continue;
+      }
+    }
+    // "Month YYYY"
+    if (month != 0 && YearAt(sentence, i + 1, &year)) {
+      Timex t;
+      t.token_begin = i;
+      t.token_end = i + 2;
+      t.kind = TimexKind::kDate;
+      t.date = Date{year, static_cast<int8_t>(month), 0};
+      out.push_back(t);
+      i += 2;
+      continue;
+    }
+    // bare year (also covers "in YYYY"; the preposition stays outside).
+    if (YearAt(sentence, i, &year)) {
+      Timex t;
+      t.token_begin = i;
+      t.token_end = i + 1;
+      t.kind = TimexKind::kDate;
+      t.date = Date{year, 0, 0};
+      out.push_back(t);
+      ++i;
+      continue;
+    }
+    ++i;
+  }
+  return out;
+}
+
+}  // namespace temporal
+}  // namespace kb

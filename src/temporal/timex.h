@@ -1,0 +1,39 @@
+#ifndef KBFORGE_TEMPORAL_TIMEX_H_
+#define KBFORGE_TEMPORAL_TIMEX_H_
+
+#include <vector>
+
+#include "nlp/token.h"
+#include "util/date.h"
+
+namespace kb {
+namespace temporal {
+
+/// Kinds of temporal expressions recognized by the extractor.
+enum class TimexKind : uint8_t {
+  kDate = 0,       ///< "February 24, 1955" / "in 1982" / bare "1955"
+  kInterval,       ///< "from 1976 to 1985"
+  kOpenBegin,      ///< "since 1990"
+  kOpenEnd,        ///< "until 1985"
+};
+
+/// A normalized temporal expression anchored to token positions.
+struct Timex {
+  uint32_t token_begin = 0;
+  uint32_t token_end = 0;  ///< one past last token
+  TimexKind kind = TimexKind::kDate;
+  Date date;       ///< for kDate
+  TimeSpan span;   ///< for the other kinds
+};
+
+/// Extracts and normalizes the temporal expressions of one sentence
+/// (tutorial §3 "techniques for extracting temporal expressions").
+/// Handles explicit dates ("February 24, 1955"), prepositional years
+/// ("in 1982", "since 1990", "until 1985") and year intervals
+/// ("from 1976 to 1985"). Longest match wins; matches do not overlap.
+std::vector<Timex> ExtractTimexes(const nlp::Sentence& sentence);
+
+}  // namespace temporal
+}  // namespace kb
+
+#endif  // KBFORGE_TEMPORAL_TIMEX_H_

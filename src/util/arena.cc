@@ -1,0 +1,53 @@
+#include "util/arena.h"
+
+#include <cassert>
+
+namespace kb {
+
+char* Arena::Allocate(size_t bytes) {
+  assert(bytes > 0);
+  if (bytes <= alloc_bytes_remaining_) {
+    char* result = alloc_ptr_;
+    alloc_ptr_ += bytes;
+    alloc_bytes_remaining_ -= bytes;
+    return result;
+  }
+  return AllocateFallback(bytes);
+}
+
+char* Arena::AllocateAligned(size_t bytes) {
+  constexpr size_t kAlign = alignof(std::max_align_t);
+  size_t current_mod = reinterpret_cast<uintptr_t>(alloc_ptr_) & (kAlign - 1);
+  size_t slop = current_mod == 0 ? 0 : kAlign - current_mod;
+  size_t needed = bytes + slop;
+  if (needed <= alloc_bytes_remaining_) {
+    char* result = alloc_ptr_ + slop;
+    alloc_ptr_ += needed;
+    alloc_bytes_remaining_ -= needed;
+    return result;
+  }
+  // Fallback blocks are max_align_t-aligned by operator new[].
+  return AllocateFallback(bytes);
+}
+
+char* Arena::AllocateFallback(size_t bytes) {
+  if (bytes > kBlockSize / 4) {
+    // Large allocation gets its own block so we do not waste the
+    // remainder of the current block.
+    return AllocateNewBlock(bytes);
+  }
+  alloc_ptr_ = AllocateNewBlock(kBlockSize);
+  alloc_bytes_remaining_ = kBlockSize;
+  char* result = alloc_ptr_;
+  alloc_ptr_ += bytes;
+  alloc_bytes_remaining_ -= bytes;
+  return result;
+}
+
+char* Arena::AllocateNewBlock(size_t block_bytes) {
+  blocks_.emplace_back(new char[block_bytes]);
+  memory_usage_ += block_bytes + sizeof(char*);
+  return blocks_.back().get();
+}
+
+}  // namespace kb

@@ -1,0 +1,42 @@
+#ifndef KBFORGE_UTIL_ARENA_H_
+#define KBFORGE_UTIL_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace kb {
+
+/// Bump allocator for short-lived, same-lifetime allocations (skiplist
+/// nodes in the memtable). Not thread-safe; freed all at once.
+class Arena {
+ public:
+  Arena() = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns `bytes` of uninitialized storage.
+  char* Allocate(size_t bytes);
+
+  /// Returns `bytes` of storage aligned for any scalar type.
+  char* AllocateAligned(size_t bytes);
+
+  /// Total bytes reserved from the heap.
+  size_t MemoryUsage() const { return memory_usage_; }
+
+ private:
+  char* AllocateFallback(size_t bytes);
+  char* AllocateNewBlock(size_t block_bytes);
+
+  static constexpr size_t kBlockSize = 4096;
+
+  char* alloc_ptr_ = nullptr;
+  size_t alloc_bytes_remaining_ = 0;
+  std::vector<std::unique_ptr<char[]>> blocks_;
+  size_t memory_usage_ = 0;
+};
+
+}  // namespace kb
+
+#endif  // KBFORGE_UTIL_ARENA_H_

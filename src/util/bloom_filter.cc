@@ -1,0 +1,56 @@
+#include "util/bloom_filter.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/hash.h"
+
+namespace kb {
+
+BloomFilterBuilder::BloomFilterBuilder(int bits_per_key)
+    : bits_per_key_(std::max(1, bits_per_key)) {
+  // k = ln(2) * bits/key, clamped to a sane range.
+  num_probes_ = static_cast<int>(bits_per_key_ * 0.69);
+  num_probes_ = std::clamp(num_probes_, 1, 30);
+}
+
+void BloomFilterBuilder::AddKey(const Slice& key) {
+  key_hashes_.push_back(Hash64(key.data(), key.size()));
+}
+
+std::string BloomFilterBuilder::Finish() const {
+  size_t bits = std::max<size_t>(64, key_hashes_.size() * bits_per_key_);
+  size_t bytes = (bits + 7) / 8;
+  bits = bytes * 8;
+  std::string out(bytes, '\0');
+  for (uint64_t h : key_hashes_) {
+    uint64_t delta = (h >> 17) | (h << 47);  // rotate for double hashing
+    for (int j = 0; j < num_probes_; ++j) {
+      size_t bit = h % bits;
+      out[bit / 8] = static_cast<char>(out[bit / 8] | (1 << (bit % 8)));
+      h += delta;
+    }
+  }
+  out.push_back(static_cast<char>(num_probes_));
+  return out;
+}
+
+bool BloomFilterReader::MayContain(const Slice& key) const {
+  if (data_.size() < 2) return true;  // degenerate filter: no information
+  size_t bytes = data_.size() - 1;
+  size_t bits = bytes * 8;
+  int num_probes = static_cast<unsigned char>(data_[data_.size() - 1]);
+  if (num_probes <= 0 || num_probes > 30) return true;
+  uint64_t h = Hash64(key.data(), key.size());
+  uint64_t delta = (h >> 17) | (h << 47);
+  for (int j = 0; j < num_probes; ++j) {
+    size_t bit = h % bits;
+    if ((static_cast<unsigned char>(data_[bit / 8]) & (1 << (bit % 8))) == 0) {
+      return false;
+    }
+    h += delta;
+  }
+  return true;
+}
+
+}  // namespace kb

@@ -1,0 +1,47 @@
+#ifndef KBFORGE_UTIL_BLOOM_FILTER_H_
+#define KBFORGE_UTIL_BLOOM_FILTER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/slice.h"
+
+namespace kb {
+
+/// A classic blocked-free Bloom filter with double hashing, built in one
+/// shot from a key set (as done per-SSTable in the storage layer).
+class BloomFilterBuilder {
+ public:
+  /// `bits_per_key` ~ 10 gives ~1% false positive rate.
+  explicit BloomFilterBuilder(int bits_per_key);
+
+  void AddKey(const Slice& key);
+
+  /// Serializes the filter for the keys added so far. Layout:
+  /// [bit array][1 byte probe count].
+  std::string Finish() const;
+
+ private:
+  int bits_per_key_;
+  int num_probes_;
+  std::vector<uint64_t> key_hashes_;
+};
+
+/// Read-side view over a serialized filter.
+class BloomFilterReader {
+ public:
+  /// `data` must outlive the reader.
+  explicit BloomFilterReader(Slice data) : data_(data) {}
+
+  /// False means definitely absent. True means possibly present.
+  bool MayContain(const Slice& key) const;
+
+ private:
+  Slice data_;
+};
+
+}  // namespace kb
+
+#endif  // KBFORGE_UTIL_BLOOM_FILTER_H_

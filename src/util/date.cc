@@ -1,0 +1,69 @@
+#include "util/date.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace kb {
+
+std::string Date::ToString() const {
+  char buf[32];
+  if (!valid()) return "?";
+  if (month == 0) {
+    snprintf(buf, sizeof(buf), "%d", year);
+  } else if (day == 0) {
+    snprintf(buf, sizeof(buf), "%d-%02d", year, month);
+  } else {
+    snprintf(buf, sizeof(buf), "%d-%02d-%02d", year, month, day);
+  }
+  return buf;
+}
+
+int64_t Date::ApproxDayNumber() const {
+  int m = month == 0 ? 6 : month;
+  int d = day == 0 ? 15 : day;
+  return static_cast<int64_t>(year) * 365 + (m - 1) * 30 + d;
+}
+
+namespace {
+constexpr std::string_view kMonths[] = {
+    "January", "February", "March",     "April",   "May",      "June",
+    "July",    "August",   "September", "October", "November", "December"};
+}  // namespace
+
+std::string_view MonthName(int month) {
+  if (month < 1 || month > 12) return "";
+  return kMonths[month - 1];
+}
+
+int MonthByName(std::string_view name) {
+  for (int m = 1; m <= 12; ++m) {
+    const std::string_view& ref = kMonths[m - 1];
+    if (name.size() != ref.size()) continue;
+    bool equal = true;
+    for (size_t i = 0; i < ref.size(); ++i) {
+      char a = static_cast<char>(tolower(static_cast<unsigned char>(name[i])));
+      char b = static_cast<char>(tolower(static_cast<unsigned char>(ref[i])));
+      if (a != b) {
+        equal = false;
+        break;
+      }
+    }
+    if (equal) return m;
+  }
+  return 0;
+}
+
+bool TimeSpan::Overlaps(const TimeSpan& o) const {
+  // Unbounded endpoints overlap everything on that side.
+  int64_t a_begin = begin.valid() ? begin.ApproxDayNumber() : INT64_MIN;
+  int64_t a_end = end.valid() ? end.ApproxDayNumber() : INT64_MAX;
+  int64_t b_begin = o.begin.valid() ? o.begin.ApproxDayNumber() : INT64_MIN;
+  int64_t b_end = o.end.valid() ? o.end.ApproxDayNumber() : INT64_MAX;
+  return a_begin <= b_end && b_begin <= a_end;
+}
+
+std::string TimeSpan::ToString() const {
+  return "[" + begin.ToString() + ", " + end.ToString() + "]";
+}
+
+}  // namespace kb

@@ -1,0 +1,65 @@
+#ifndef KBFORGE_UTIL_DATE_H_
+#define KBFORGE_UTIL_DATE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace kb {
+
+/// A calendar date with optional month/day (0 = unknown), as needed for
+/// temporal knowledge ("1955", "February 1955", "1955-02-24" are all
+/// valid granularities).
+struct Date {
+  int32_t year = 0;   // 0 = unknown date
+  int8_t month = 0;   // 1..12, 0 = unknown
+  int8_t day = 0;     // 1..31, 0 = unknown
+
+  bool valid() const { return year != 0; }
+
+  /// Lexicographic comparison at the finest shared granularity.
+  bool operator<(const Date& o) const {
+    if (year != o.year) return year < o.year;
+    if (month != o.month) return month < o.month;
+    return day < o.day;
+  }
+  bool operator==(const Date& o) const {
+    return year == o.year && month == o.month && day == o.day;
+  }
+
+  /// xsd:date-style rendering, truncated to known granularity
+  /// ("1955", "1955-02", "1955-02-24").
+  std::string ToString() const;
+
+  /// Days since year 0 (proleptic, month/day unknown treated as mid-
+  /// period); used only for interval arithmetic, not display.
+  int64_t ApproxDayNumber() const;
+};
+
+/// English month name ("February") for month in [1, 12]; "" otherwise.
+std::string_view MonthName(int month);
+
+/// Inverse of MonthName (case-insensitive); 0 if not a month name.
+int MonthByName(std::string_view name);
+
+/// A (possibly half-open) validity interval for a fact.
+struct TimeSpan {
+  Date begin;  // invalid() = unbounded / unknown start
+  Date end;    // invalid() = unbounded / unknown end
+
+  bool valid() const { return begin.valid() || end.valid(); }
+
+  /// True if the two spans could overlap given their granularity.
+  bool Overlaps(const TimeSpan& o) const;
+
+  /// "[1976-04, 1985]" style rendering.
+  std::string ToString() const;
+
+  bool operator==(const TimeSpan& o) const {
+    return begin == o.begin && end == o.end;
+  }
+};
+
+}  // namespace kb
+
+#endif  // KBFORGE_UTIL_DATE_H_

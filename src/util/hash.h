@@ -1,0 +1,27 @@
+#ifndef KBFORGE_UTIL_HASH_H_
+#define KBFORGE_UTIL_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace kb {
+
+/// 64-bit FNV-1a over arbitrary bytes; stable across platforms and runs,
+/// so it is safe to persist (used by Bloom filters in SSTables).
+uint64_t Hash64(const void* data, size_t n, uint64_t seed = 0xcbf29ce484222325ULL);
+
+inline uint64_t Hash64(std::string_view s, uint64_t seed = 0xcbf29ce484222325ULL) {
+  return Hash64(s.data(), s.size(), seed);
+}
+
+/// Mixes a 64-bit value (splitmix64 finalizer); good avalanche behaviour.
+uint64_t Mix64(uint64_t x);
+
+/// Combines two hashes.
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return Mix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+}  // namespace kb
+
+#endif  // KBFORGE_UTIL_HASH_H_

@@ -1,0 +1,75 @@
+#ifndef KBFORGE_UTIL_LOGGING_H_
+#define KBFORGE_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace kb {
+
+/// Severity levels for the minimal logging facility.
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum level that is actually emitted (default: kInfo).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and flushes it to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Like LogMessage but aborts the process on destruction.
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* expr);
+  [[noreturn]] ~FatalMessage();
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define KB_LOG(level)                                                       \
+  if (::kb::LogLevel::k##level < ::kb::GetLogLevel()) {                     \
+  } else                                                                    \
+    ::kb::internal::LogMessage(::kb::LogLevel::k##level, __FILE__,          \
+                               __LINE__)                                    \
+        .stream()
+
+/// Always-on invariant check; aborts with a message when violated.
+#define KB_CHECK(cond)                                                     \
+  if (cond) {                                                              \
+  } else                                                                   \
+    ::kb::internal::FatalMessage(__FILE__, __LINE__, #cond).stream()
+
+#define KB_CHECK_OK(expr)                                                  \
+  do {                                                                     \
+    ::kb::Status _kb_chk = (expr);                                         \
+    KB_CHECK(_kb_chk.ok()) << _kb_chk.ToString();                          \
+  } while (0)
+
+#ifndef NDEBUG
+#define KB_DCHECK(cond) KB_CHECK(cond)
+#else
+#define KB_DCHECK(cond) \
+  if (true) {           \
+  } else                \
+    ::kb::internal::FatalMessage(__FILE__, __LINE__, #cond).stream()
+#endif
+
+}  // namespace kb
+
+#endif  // KBFORGE_UTIL_LOGGING_H_

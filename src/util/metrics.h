@@ -1,0 +1,44 @@
+#ifndef KBFORGE_UTIL_METRICS_H_
+#define KBFORGE_UTIL_METRICS_H_
+
+#include <cstddef>
+
+namespace kb {
+
+/// Precision / recall / F1 accumulator shared by every evaluation in the
+/// library (extraction, NED, linkage, taxonomy induction, ...).
+struct PrecisionRecall {
+  size_t true_positives = 0;
+  size_t false_positives = 0;
+  size_t false_negatives = 0;
+
+  void AddTP(size_t n = 1) { true_positives += n; }
+  void AddFP(size_t n = 1) { false_positives += n; }
+  void AddFN(size_t n = 1) { false_negatives += n; }
+
+  double precision() const {
+    size_t denom = true_positives + false_positives;
+    return denom == 0 ? 0.0 : static_cast<double>(true_positives) / denom;
+  }
+  double recall() const {
+    size_t denom = true_positives + false_negatives;
+    return denom == 0 ? 0.0 : static_cast<double>(true_positives) / denom;
+  }
+  double f1() const {
+    double p = precision();
+    double r = recall();
+    return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+  }
+  size_t predicted() const { return true_positives + false_positives; }
+  size_t gold() const { return true_positives + false_negatives; }
+
+  void Merge(const PrecisionRecall& other) {
+    true_positives += other.true_positives;
+    false_positives += other.false_positives;
+    false_negatives += other.false_negatives;
+  }
+};
+
+}  // namespace kb
+
+#endif  // KBFORGE_UTIL_METRICS_H_

@@ -1,0 +1,48 @@
+#include "util/random.h"
+
+#include <cmath>
+
+namespace kb {
+
+uint64_t Rng::Zipf(uint64_t n, double s) {
+  KB_DCHECK(n > 0);
+  // Inverse-CDF sampling over the (truncated) harmonic weights. For the
+  // corpus sizes used here an O(log n) bisection over a cached prefix sum
+  // would be ideal; we use rejection sampling which is allocation-free
+  // and fast for s in [0.5, 2].
+  // Rejection from the bounding envelope f(r) = 1/(r+1)^s.
+  while (true) {
+    double u = UniformDouble();
+    // Inverse of the integral of 1/x^s over [1, n+1].
+    double x;
+    if (std::abs(s - 1.0) < 1e-9) {
+      x = std::exp(u * std::log(static_cast<double>(n + 1)));
+    } else {
+      double a = 1.0 - s;
+      x = std::pow(u * (std::pow(static_cast<double>(n + 1), a) - 1.0) + 1.0,
+                   1.0 / a);
+    }
+    uint64_t r = static_cast<uint64_t>(x);  // in [1, n+1)
+    if (r >= 1 && r <= n) {
+      // Accept with ratio between the discrete pmf and the envelope.
+      double accept = std::pow(static_cast<double>(r) / x, s);
+      if (UniformDouble() < accept) return r - 1;
+    }
+  }
+}
+
+size_t Rng::WeightedChoice(const std::vector<double>& weights) {
+  KB_DCHECK(!weights.empty());
+  double total = 0;
+  for (double w : weights) total += w;
+  KB_DCHECK(total > 0);
+  double r = UniformDouble() * total;
+  double acc = 0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace kb

@@ -1,0 +1,80 @@
+#ifndef KBFORGE_UTIL_RANDOM_H_
+#define KBFORGE_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace kb {
+
+/// Deterministic pseudo-random source. Every stochastic component in the
+/// library takes an explicit Rng (or seed) so that experiments are
+/// exactly reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) {
+    KB_DCHECK(n > 0);
+    return std::uniform_int_distribution<uint64_t>(0, n - 1)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    KB_DCHECK(lo <= hi);
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Bernoulli draw.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  /// Normal draw.
+  double Gaussian(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Zipf-like draw in [0, n): rank r with probability proportional to
+  /// 1/(r+1)^s. Used to give entity mentions a realistic skew.
+  uint64_t Zipf(uint64_t n, double s);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = Uniform(i);
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// Picks a uniformly random element; container must be non-empty.
+  template <typename T>
+  const T& Choice(const std::vector<T>& v) {
+    KB_DCHECK(!v.empty());
+    return v[Uniform(v.size())];
+  }
+
+  /// Draws an index according to (non-negative, not all zero) weights.
+  size_t WeightedChoice(const std::vector<double>& weights);
+
+  std::mt19937_64& engine() { return engine_; }
+
+  /// Derives an independent child generator (for per-shard determinism).
+  Rng Fork(uint64_t stream_id) {
+    return Rng(engine_() ^ (0x9e3779b97f4a7c15ULL * (stream_id + 1)));
+  }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace kb
+
+#endif  // KBFORGE_UTIL_RANDOM_H_

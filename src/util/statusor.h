@@ -1,0 +1,69 @@
+#ifndef KBFORGE_UTIL_STATUSOR_H_
+#define KBFORGE_UTIL_STATUSOR_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace kb {
+
+/// Holds either a value of type T or a non-OK Status explaining why the
+/// value is absent. Accessing the value of an errored StatusOr is a
+/// programming error (asserts in debug builds).
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from an error status. `status` must not be OK.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok());
+  }
+
+  /// Constructs from a value (OK status).
+  StatusOr(T value)  // NOLINT
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` if errored.
+  T value_or(T fallback) const& { return ok() ? *value_ : fallback; }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Assigns the value of a StatusOr expression to `lhs`, or returns its
+/// status from the enclosing function.
+#define KB_ASSIGN_OR_RETURN(lhs, expr)                 \
+  auto KB_CONCAT_(_kb_sor, __LINE__) = (expr);         \
+  if (!KB_CONCAT_(_kb_sor, __LINE__).ok())             \
+    return KB_CONCAT_(_kb_sor, __LINE__).status();     \
+  lhs = std::move(KB_CONCAT_(_kb_sor, __LINE__)).value()
+
+#define KB_CONCAT_INNER_(a, b) a##b
+#define KB_CONCAT_(a, b) KB_CONCAT_INNER_(a, b)
+
+}  // namespace kb
+
+#endif  // KBFORGE_UTIL_STATUSOR_H_

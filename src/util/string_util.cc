@@ -1,0 +1,239 @@
+#include "util/string_util.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_map>
+
+namespace kb {
+
+std::vector<std::string> Split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> SplitWhitespace(std::string_view s) {
+  std::vector<std::string> out;
+  size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && isspace(static_cast<unsigned char>(s[i]))) ++i;
+    size_t start = i;
+    while (i < s.size() && !isspace(static_cast<unsigned char>(s[i]))) ++i;
+    if (i > start) out.emplace_back(s.substr(start, i - start));
+  }
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::string ToUpper(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(toupper(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::string_view StripWhitespace(std::string_view s) {
+  size_t b = 0;
+  while (b < s.size() && isspace(static_cast<unsigned char>(s[b]))) ++b;
+  size_t e = s.size();
+  while (e > b && isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::string ReplaceAll(std::string_view s, std::string_view from,
+                       std::string_view to) {
+  if (from.empty()) return std::string(s);
+  std::string out;
+  size_t pos = 0;
+  while (pos < s.size()) {
+    size_t hit = s.find(from, pos);
+    if (hit == std::string_view::npos) {
+      out.append(s.substr(pos));
+      break;
+    }
+    out.append(s.substr(pos, hit - pos));
+    out.append(to);
+    pos = hit + from.size();
+  }
+  return out;
+}
+
+bool IsDigits(std::string_view s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+bool IsCapitalized(std::string_view s) {
+  return !s.empty() && isupper(static_cast<unsigned char>(s[0]));
+}
+
+bool ParseInt64(std::string_view s, long long* out) {
+  s = StripWhitespace(s);
+  if (s.empty()) return false;
+  std::string buf(s);
+  char* end = nullptr;
+  errno = 0;
+  long long v = strtoll(buf.c_str(), &end, 10);
+  if (errno != 0 || end != buf.c_str() + buf.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool ParseDouble(std::string_view s, double* out) {
+  s = StripWhitespace(s);
+  if (s.empty()) return false;
+  std::string buf(s);
+  char* end = nullptr;
+  errno = 0;
+  double v = strtod(buf.c_str(), &end);
+  if (errno != 0 || end != buf.c_str() + buf.size()) return false;
+  *out = v;
+  return true;
+}
+
+std::string FormatDouble(double v, int digits) {
+  char buf[64];
+  snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+std::string EscapeNTriples(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string UnescapeNTriples(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '\\' && i + 1 < s.size()) {
+      char n = s[i + 1];
+      switch (n) {
+        case '\\': out += '\\'; ++i; continue;
+        case '"': out += '"'; ++i; continue;
+        case 'n': out += '\n'; ++i; continue;
+        case 't': out += '\t'; ++i; continue;
+        case 'r': out += '\r'; ++i; continue;
+        default: break;
+      }
+    }
+    out += s[i];
+  }
+  return out;
+}
+
+namespace {
+// Irregular plurals that matter for category head nouns.
+const std::unordered_map<std::string, std::string>& IrregularPlurals() {
+  static const auto* m = new std::unordered_map<std::string, std::string>{
+      {"people", "person"}, {"men", "man"},         {"women", "woman"},
+      {"children", "child"}, {"countries", "country"}, {"cities", "city"},
+      {"companies", "company"}, {"universities", "university"},
+      {"parties", "party"}, {"geese", "goose"}, {"mice", "mouse"},
+      {"feet", "foot"}, {"teeth", "tooth"},
+  };
+  return *m;
+}
+}  // namespace
+
+std::string Singularize(std::string_view word) {
+  std::string lower = ToLower(word);
+  auto it = IrregularPlurals().find(lower);
+  if (it != IrregularPlurals().end()) return it->second;
+  if (EndsWith(lower, "ies") && lower.size() > 3) {
+    return lower.substr(0, lower.size() - 3) + "y";
+  }
+  if (EndsWith(lower, "sses") || EndsWith(lower, "shes") ||
+      EndsWith(lower, "ches") || EndsWith(lower, "xes")) {
+    return lower.substr(0, lower.size() - 2);
+  }
+  if (EndsWith(lower, "s") && !EndsWith(lower, "ss") && lower.size() > 2) {
+    return lower.substr(0, lower.size() - 1);
+  }
+  return lower;
+}
+
+std::string Pluralize(std::string_view word) {
+  std::string lower = ToLower(word);
+  static const std::unordered_map<std::string, std::string>* kIrregular =
+      new std::unordered_map<std::string, std::string>{
+          {"person", "people"}, {"man", "men"},     {"woman", "women"},
+          {"child", "children"}, {"country", "countries"},
+          {"city", "cities"},   {"company", "companies"},
+          {"university", "universities"}, {"party", "parties"},
+      };
+  auto it = kIrregular->find(lower);
+  if (it != kIrregular->end()) return it->second;
+  if (EndsWith(lower, "y") && lower.size() > 1 &&
+      std::string("aeiou").find(lower[lower.size() - 2]) ==
+          std::string::npos) {
+    return lower.substr(0, lower.size() - 1) + "ies";
+  }
+  if (EndsWith(lower, "s") || EndsWith(lower, "sh") ||
+      EndsWith(lower, "ch") || EndsWith(lower, "x")) {
+    return lower + "es";
+  }
+  return lower + "s";
+}
+
+std::string Capitalize(std::string_view word) {
+  std::string out(word);
+  if (!out.empty()) {
+    out[0] = static_cast<char>(toupper(static_cast<unsigned char>(out[0])));
+  }
+  return out;
+}
+
+bool LooksPlural(std::string_view word) {
+  std::string lower = ToLower(word);
+  if (IrregularPlurals().count(lower) > 0) return true;
+  if (lower.size() <= 2) return false;
+  return EndsWith(lower, "s") && !EndsWith(lower, "ss") &&
+         !EndsWith(lower, "us") && !EndsWith(lower, "is");
+}
+
+}  // namespace kb

@@ -1,0 +1,70 @@
+#ifndef KBFORGE_UTIL_STRING_UTIL_H_
+#define KBFORGE_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kb {
+
+/// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Splits `s` on any run of ASCII whitespace, dropping empty fields.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// Joins `parts` with `sep` between elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// ASCII lowercase / uppercase copies.
+std::string ToLower(std::string_view s);
+std::string ToUpper(std::string_view s);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Replaces every occurrence of `from` (non-empty) with `to`.
+std::string ReplaceAll(std::string_view s, std::string_view from,
+                       std::string_view to);
+
+/// True if `s` consists only of ASCII digits (and is non-empty).
+bool IsDigits(std::string_view s);
+
+/// True if the first character is an ASCII uppercase letter.
+bool IsCapitalized(std::string_view s);
+
+/// Parses a base-10 signed integer; returns false on any malformation.
+bool ParseInt64(std::string_view s, long long* out);
+
+/// Parses a floating point number; returns false on any malformation.
+bool ParseDouble(std::string_view s, double* out);
+
+/// Formats a double with `digits` decimal places.
+std::string FormatDouble(double v, int digits);
+
+/// Escapes characters that are special in N-Triples string literals
+/// (backslash, quote, newline, tab, carriage return).
+std::string EscapeNTriples(std::string_view s);
+
+/// Inverse of EscapeNTriples. Invalid escapes are kept verbatim.
+std::string UnescapeNTriples(std::string_view s);
+
+/// A naive English plural→singular heuristic good enough for category
+/// head nouns ("singers"→"singer", "cities"→"city", "people"→"person").
+std::string Singularize(std::string_view word);
+
+/// True if `word` looks like an English plural noun per Singularize.
+bool LooksPlural(std::string_view word);
+
+/// Naive English singular→plural ("city"→"cities", "person"→"people").
+std::string Pluralize(std::string_view word);
+
+/// Uppercases the first character (ASCII).
+std::string Capitalize(std::string_view word);
+
+}  // namespace kb
+
+#endif  // KBFORGE_UTIL_STRING_UTIL_H_

@@ -1,0 +1,99 @@
+#include "util/varint.h"
+
+namespace kb {
+
+void PutVarint32(std::string* dst, uint32_t v) { PutVarint64(dst, v); }
+
+void PutVarint64(std::string* dst, uint64_t v) {
+  unsigned char buf[10];
+  int n = 0;
+  while (v >= 0x80) {
+    buf[n++] = static_cast<unsigned char>(v) | 0x80;
+    v >>= 7;
+  }
+  buf[n++] = static_cast<unsigned char>(v);
+  dst->append(reinterpret_cast<char*>(buf), n);
+}
+
+void PutFixed32(std::string* dst, uint32_t v) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  dst->append(buf, 4);
+}
+
+void PutFixed64(std::string* dst, uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  dst->append(buf, 8);
+}
+
+void PutLengthPrefixedSlice(std::string* dst, const Slice& s) {
+  PutVarint64(dst, s.size());
+  dst->append(s.data(), s.size());
+}
+
+bool GetVarint64(Slice* input, uint64_t* value) {
+  uint64_t result = 0;
+  for (int shift = 0; shift <= 63 && !input->empty(); shift += 7) {
+    unsigned char byte = static_cast<unsigned char>((*input)[0]);
+    input->remove_prefix(1);
+    if (byte & 0x80) {
+      result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    } else {
+      result |= static_cast<uint64_t>(byte) << shift;
+      *value = result;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool GetVarint32(Slice* input, uint32_t* value) {
+  uint64_t v;
+  if (!GetVarint64(input, &v) || v > 0xffffffffULL) return false;
+  *value = static_cast<uint32_t>(v);
+  return true;
+}
+
+bool GetFixed32(Slice* input, uint32_t* value) {
+  if (input->size() < 4) return false;
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>((*input)[i]))
+         << (8 * i);
+  }
+  input->remove_prefix(4);
+  *value = v;
+  return true;
+}
+
+bool GetFixed64(Slice* input, uint64_t* value) {
+  if (input->size() < 8) return false;
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>((*input)[i]))
+         << (8 * i);
+  }
+  input->remove_prefix(8);
+  *value = v;
+  return true;
+}
+
+bool GetLengthPrefixedSlice(Slice* input, Slice* result) {
+  uint64_t len;
+  if (!GetVarint64(input, &len) || input->size() < len) return false;
+  *result = Slice(input->data(), len);
+  input->remove_prefix(len);
+  return true;
+}
+
+int VarintLength(uint64_t v) {
+  int len = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++len;
+  }
+  return len;
+}
+
+}  // namespace kb

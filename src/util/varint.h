@@ -1,0 +1,34 @@
+#ifndef KBFORGE_UTIL_VARINT_H_
+#define KBFORGE_UTIL_VARINT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/slice.h"
+
+namespace kb {
+
+/// LEB128-style variable-length encoding of unsigned integers, used by
+/// the block format in the storage layer.
+void PutVarint32(std::string* dst, uint32_t v);
+void PutVarint64(std::string* dst, uint64_t v);
+void PutFixed32(std::string* dst, uint32_t v);
+void PutFixed64(std::string* dst, uint64_t v);
+
+/// Appends a varint length followed by the bytes.
+void PutLengthPrefixedSlice(std::string* dst, const Slice& s);
+
+/// Each Get* consumes from `input` on success and returns true; on
+/// malformed input returns false leaving `input` unspecified.
+bool GetVarint32(Slice* input, uint32_t* value);
+bool GetVarint64(Slice* input, uint64_t* value);
+bool GetFixed32(Slice* input, uint32_t* value);
+bool GetFixed64(Slice* input, uint64_t* value);
+bool GetLengthPrefixedSlice(Slice* input, Slice* result);
+
+/// Number of bytes PutVarint64 would write.
+int VarintLength(uint64_t v);
+
+}  // namespace kb
+
+#endif  // KBFORGE_UTIL_VARINT_H_

@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include "commonsense/property_miner.h"
+#include "commonsense/rule_application.h"
+#include "commonsense/rule_miner.h"
+#include "corpus/generator.h"
+
+namespace kb {
+namespace commonsense {
+namespace {
+
+class CommonsenseFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    corpus::WorldOptions wopts;
+    wopts.seed = 81;
+    wopts.num_persons = 60;
+    corpus::CorpusOptions copts;
+    copts.seed = 82;
+    copts.news_docs = 10;
+    copts.web_docs = 400;  // commonsense lives in web documents
+    corpus_ = new corpus::Corpus(corpus::BuildCorpus(wopts, copts));
+    tagger_ = new nlp::PosTagger();
+  }
+  static void TearDownTestSuite() {
+    delete tagger_;
+    delete corpus_;
+  }
+  static corpus::Corpus* corpus_;
+  static nlp::PosTagger* tagger_;
+};
+
+corpus::Corpus* CommonsenseFixture::corpus_ = nullptr;
+nlp::PosTagger* CommonsenseFixture::tagger_ = nullptr;
+
+TEST_F(CommonsenseFixture, MinesPlantedProperties) {
+  PropertyMiner miner(tagger_);
+  auto mined = miner.Mine(corpus_->docs);
+  ASSERT_FALSE(mined.empty());
+  auto find = [&](const std::string& c, const std::string& r,
+                  const std::string& v) -> const MinedAssertion* {
+    for (const auto& a : mined) {
+      if (a.concept_noun == c && a.relation == r && a.value == v) return &a;
+    }
+    return nullptr;
+  };
+  EXPECT_NE(find("apple", "hasProperty", "red"), nullptr);
+  EXPECT_NE(find("apple", "hasProperty", "juicy"), nullptr);
+  EXPECT_NE(find("wheel", "partOf", "car"), nullptr);
+  EXPECT_NE(find("clarinet", "hasShape", "cylindrical"), nullptr);
+}
+
+TEST_F(CommonsenseFixture, TruthfulAssertionsOutscoreNoise) {
+  PropertyMiner miner(tagger_);
+  auto mined = miner.Mine(corpus_->docs);
+  auto support_of = [&](const std::string& c, const std::string& v) {
+    for (const auto& a : mined) {
+      if (a.concept_noun == c && a.value == v) return a.support;
+    }
+    return 0;
+  };
+  // Planted noise ("apples are funny") occurs, but much more rarely.
+  int red = support_of("apple", "red");
+  int funny = support_of("apple", "funny");
+  EXPECT_GT(red, funny * 2);
+}
+
+TEST_F(CommonsenseFixture, TypicalityThresholdTradesYieldForPrecision) {
+  PropertyMiner miner(tagger_);
+  auto mined = miner.Mine(corpus_->docs);
+  auto precision_at = [&](double min_typicality) {
+    size_t correct = 0, total = 0;
+    for (const auto& a : mined) {
+      if (a.typicality < min_typicality) continue;
+      ++total;
+      for (const auto& gold : corpus_->world.commonsense()) {
+        if (gold.noun == a.concept_noun && gold.relation == a.relation &&
+            gold.value == a.value) {
+          if (gold.truthful) ++correct;
+          break;
+        }
+      }
+    }
+    return total == 0
+               ? 1.0
+               : static_cast<double>(correct) / static_cast<double>(total);
+  };
+  double loose = precision_at(0.0);
+  double strict = precision_at(0.7);
+  EXPECT_GE(strict + 1e-9, loose);
+  EXPECT_GT(strict, 0.9);
+  EXPECT_LT(loose, 1.0);  // the noise is visible without the threshold
+}
+
+// ---------------------------------------------------------------- Rules
+
+std::vector<extraction::ExtractedFact> GoldAsFacts(
+    const corpus::World& world) {
+  std::vector<extraction::ExtractedFact> facts;
+  for (const corpus::GoldFact& f : world.facts()) {
+    if (corpus::GetRelationInfo(f.relation).literal_object) continue;
+    extraction::ExtractedFact e;
+    e.subject = f.subject;
+    e.relation = f.relation;
+    e.object = f.object;
+    e.confidence = 1.0;
+    facts.push_back(e);
+  }
+  return facts;
+}
+
+TEST_F(CommonsenseFixture, MinesPlantedChainRule) {
+  auto facts = GoldAsFacts(corpus_->world);
+  RuleMinerOptions options;
+  options.min_support = 5;
+  options.min_confidence = 0.5;
+  auto rules = MineRules(facts, options);
+  ASSERT_FALSE(rules.empty());
+  bool found_citizen_rule = false;
+  for (const MinedRule& rule : rules) {
+    if (rule.head == corpus::Relation::kCitizenOf &&
+        rule.body1 == corpus::Relation::kBornIn &&
+        rule.body2 == corpus::Relation::kLocatedIn) {
+      found_citizen_rule = true;
+      // Planted at 0.9 follow-rate.
+      EXPECT_GT(rule.confidence, 0.75);
+      EXPECT_LT(rule.confidence, 1.0);
+    }
+  }
+  EXPECT_TRUE(found_citizen_rule);
+}
+
+TEST_F(CommonsenseFixture, MinesPlantedSingleAtomRule) {
+  auto facts = GoldAsFacts(corpus_->world);
+  RuleMinerOptions options;
+  options.min_support = 3;
+  options.min_confidence = 0.5;
+  auto rules = MineRules(facts, options);
+  bool found = false;
+  for (const MinedRule& rule : rules) {
+    if (rule.head == corpus::Relation::kLocatedIn &&
+        rule.body1 == corpus::Relation::kCapitalOf && !rule.is_chain()) {
+      found = true;
+      EXPECT_DOUBLE_EQ(rule.confidence, 1.0);  // capitals lie inside
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+
+// ---------------------------------------------------------------- Apply
+
+TEST_F(CommonsenseFixture, RuleApplicationCompletesMissingFacts) {
+  // Drop 30% of citizenOf facts, mine rules from the rest, and check
+  // that applying them recovers most of the dropped facts.
+  auto facts = GoldAsFacts(corpus_->world);
+  std::vector<extraction::ExtractedFact> partial;
+  std::vector<extraction::ExtractedFact> dropped;
+  int counter = 0;
+  for (const auto& f : facts) {
+    if (f.relation == corpus::Relation::kCitizenOf && ++counter % 3 == 0) {
+      dropped.push_back(f);
+    } else {
+      partial.push_back(f);
+    }
+  }
+  ASSERT_GT(dropped.size(), 10u);
+  RuleMinerOptions options;
+  options.min_support = 5;
+  options.min_confidence = 0.5;
+  auto rules = MineRules(partial, options);
+  auto completion = ApplyRules(partial, rules);
+  ASSERT_GT(completion.inferred.size(), 0u);
+  // Recovered = inferred facts matching a dropped gold fact.
+  size_t recovered = 0;
+  for (const auto& inf : completion.inferred) {
+    for (const auto& gold : dropped) {
+      if (inf.SameStatement(gold)) ++recovered;
+    }
+  }
+  // citizenOf follows birthplace-country 90% of the time, so ~90% of
+  // the dropped facts are derivable.
+  EXPECT_GT(static_cast<double>(recovered) / dropped.size(), 0.75);
+  // And inferred confidences carry the rule confidence.
+  for (const auto& inf : completion.inferred) {
+    EXPECT_LE(inf.confidence, 1.0);
+    EXPECT_GT(inf.confidence, 0.3);
+  }
+}
+
+TEST_F(CommonsenseFixture, RuleApplicationNeverContradictsFunctional) {
+  auto facts = GoldAsFacts(corpus_->world);
+  RuleMinerOptions options;
+  options.min_support = 5;
+  options.min_confidence = 0.4;
+  auto rules = MineRules(facts, options);
+  auto completion = ApplyRules(facts, rules);
+  // Every subject that already has a functional value must not get a
+  // second one.
+  std::set<std::pair<uint32_t, int>> functional_subjects;
+  for (const auto& f : facts) {
+    if (corpus::GetRelationInfo(f.relation).functional) {
+      functional_subjects.insert(
+          {f.subject, static_cast<int>(f.relation)});
+    }
+  }
+  for (const auto& inf : completion.inferred) {
+    if (!corpus::GetRelationInfo(inf.relation).functional) continue;
+    EXPECT_EQ(functional_subjects.count(
+                  {inf.subject, static_cast<int>(inf.relation)}),
+              0u)
+        << "inferred a second value for a functional relation";
+  }
+}
+
+TEST(RuleMinerTest, EmptyInputYieldsNoRules) {
+  EXPECT_TRUE(MineRules({}).empty());
+}
+
+TEST(MinedRuleTest, ToStringFormats) {
+  MinedRule rule;
+  rule.head = corpus::Relation::kCitizenOf;
+  rule.body1 = corpus::Relation::kBornIn;
+  rule.body2 = corpus::Relation::kLocatedIn;
+  EXPECT_EQ(rule.ToString(),
+            "citizenOf(x,z) <= bornIn(x,y) AND locatedIn(y,z)");
+  rule.body2 = corpus::Relation::kNumRelations;
+  rule.body1 = corpus::Relation::kCapitalOf;
+  rule.head = corpus::Relation::kLocatedIn;
+  EXPECT_EQ(rule.ToString(), "locatedIn(x,z) <= capitalOf(x,z)");
+}
+
+}  // namespace
+}  // namespace commonsense
+}  // namespace kb

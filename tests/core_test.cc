@@ -1,0 +1,273 @@
+#include <gtest/gtest.h>
+
+#include "core/harvester.h"
+#include "core/entity_card.h"
+#include "core/knowledge_base.h"
+#include "extraction/evaluation.h"
+#include "rdf/namespaces.h"
+
+namespace kb {
+namespace core {
+namespace {
+
+// ---------------------------------------------------------------- KB
+
+TEST(KnowledgeBaseTest, AssertAndQueryFacts) {
+  KnowledgeBase kb;
+  FactMeta meta;
+  meta.confidence = 0.9;
+  EXPECT_TRUE(kb.AssertFact("Steve_Jobs", "founded", "Apple_Inc", meta));
+  EXPECT_FALSE(kb.AssertFact("Steve_Jobs", "founded", "Apple_Inc", meta));
+  kb.AssertType("Steve_Jobs", "entrepreneur");
+  kb.AssertSubclass("entrepreneur", "person");
+
+  auto rows = kb.Query(
+      "SELECT ?c WHERE { <" + rdf::EntityIri("Steve_Jobs") + "> <" +
+      rdf::PropertyIri("founded") + "> ?c . }");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+}
+
+TEST(KnowledgeBaseTest, MetadataMergesOnRepeatedAssert) {
+  KnowledgeBase kb;
+  FactMeta low;
+  low.confidence = 0.5;
+  FactMeta high;
+  high.confidence = 0.9;
+  kb.AssertFact("A", "rel", "B", low);
+  kb.AssertFact("A", "rel", "B", high);
+  rdf::Triple t(kb.EntityTerm("A"), kb.PropertyTerm("rel"),
+                kb.EntityTerm("B"));
+  const FactMeta* meta = kb.MetaOf(t);
+  ASSERT_NE(meta, nullptr);
+  EXPECT_DOUBLE_EQ(meta->confidence, 0.9);
+  EXPECT_EQ(meta->support, 2u);
+}
+
+TEST(KnowledgeBaseTest, TaxonomyAndStoreStayInSync) {
+  KnowledgeBase kb;
+  kb.AssertSubclass("singer", "person");
+  taxonomy::ClassId singer = kb.taxonomy().Lookup("singer");
+  taxonomy::ClassId person = kb.taxonomy().Lookup("person");
+  ASSERT_NE(singer, taxonomy::kInvalidClassId);
+  EXPECT_TRUE(kb.taxonomy().IsSubclassOf(singer, person));
+  // The rdfs:subClassOf triple exists too.
+  auto rows = kb.Query("SELECT ?super WHERE { <" + rdf::ClassIri("singer") +
+                       "> <http://www.w3.org/2000/01/rdf-schema#subClassOf>"
+                       " ?super . }");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 1u);
+}
+
+TEST(KnowledgeBaseTest, ExportRoundTrips) {
+  KnowledgeBase kb;
+  kb.AssertFact("A", "rel", "B", FactMeta());
+  kb.AssertYearFact("B", "foundedYear", 1976, FactMeta());
+  kb.AssertLabel("A", "The A", "en");
+  std::string ntriples = kb.ExportNTriples();
+  rdf::TripleStore restored;
+  ASSERT_TRUE(rdf::ReadNTriples(ntriples, &restored).ok());
+  EXPECT_EQ(restored.size(), kb.NumTriples());
+}
+
+// ---------------------------------------------------------------- Pipeline
+
+class HarvestFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    corpus::WorldOptions wopts;
+    wopts.seed = 101;
+    wopts.num_persons = 80;
+    wopts.num_cities = 20;
+    wopts.num_companies = 25;
+    corpus::CorpusOptions copts;
+    copts.seed = 102;
+    copts.news_docs = 100;
+    copts.web_docs = 20;
+    corpus_ = new corpus::Corpus(corpus::BuildCorpus(wopts, copts));
+    Harvester harvester;
+    result_ = new HarvestResult(harvester.Harvest(*corpus_));
+  }
+  static void TearDownTestSuite() {
+    delete result_;
+    delete corpus_;
+  }
+  static corpus::Corpus* corpus_;
+  static HarvestResult* result_;
+};
+
+corpus::Corpus* HarvestFixture::corpus_ = nullptr;
+HarvestResult* HarvestFixture::result_ = nullptr;
+
+TEST_F(HarvestFixture, PipelineProducesSubstantialKb) {
+  const HarvestStats& stats = result_->stats;
+  EXPECT_EQ(stats.documents, corpus_->docs.size());
+  EXPECT_GT(stats.sentences, 500u);
+  EXPECT_GT(stats.infobox_facts, 100u);
+  EXPECT_GT(stats.pattern_facts, 100u);
+  EXPECT_GT(stats.accepted_facts, 200u);
+  EXPECT_GT(result_->kb.NumTriples(), 1000u);
+  EXPECT_GT(result_->kb.NumEntities(),
+            corpus_->world.entities().size() / 2);
+}
+
+TEST_F(HarvestFixture, HarvestedFactsAreAccurate) {
+  auto base = extraction::ExpressedFacts(corpus_->docs);
+  PrecisionRecall pr =
+      extraction::EvaluateFacts(corpus_->world, result_->accepted, base);
+  EXPECT_GT(pr.precision(), 0.85) << "P=" << pr.precision();
+  EXPECT_GT(pr.recall(), 0.6) << "R=" << pr.recall();
+}
+
+TEST_F(HarvestFixture, ReasoningImprovesPrecision) {
+  HarvestOptions no_reasoning;
+  no_reasoning.use_reasoning = false;
+  Harvester harvester(no_reasoning);
+  HarvestResult unreasoned = harvester.Harvest(*corpus_);
+  auto base = extraction::ExpressedFacts(corpus_->docs);
+  PrecisionRecall with =
+      extraction::EvaluateFacts(corpus_->world, result_->accepted, base);
+  PrecisionRecall without =
+      extraction::EvaluateFacts(corpus_->world, unreasoned.accepted, base);
+  EXPECT_GT(with.precision(), without.precision());
+}
+
+TEST_F(HarvestFixture, KbAnswersSemanticQueries) {
+  // Every accepted bornIn fact must be queryable.
+  auto rows = result_->kb.Query(
+      "SELECT ?p ?c WHERE { ?p <" + rdf::PropertyIri("bornIn") +
+      "> ?c . }");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_GT(rows->size(), 30u);
+}
+
+TEST_F(HarvestFixture, TypesAndTaxonomyAssembled) {
+  const taxonomy::Taxonomy& tax = result_->kb.taxonomy();
+  taxonomy::ClassId singer = tax.Lookup("singer");
+  taxonomy::ClassId person = tax.Lookup("person");
+  ASSERT_NE(singer, taxonomy::kInvalidClassId);
+  ASSERT_NE(person, taxonomy::kInvalidClassId);
+  EXPECT_TRUE(tax.IsSubclassOf(singer, person));
+  // Some typed entities exist.
+  auto rows = result_->kb.Query(
+      "SELECT ?e WHERE { ?e "
+      "<http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <" +
+      rdf::ClassIri("singer") + "> . }");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_GT(rows->size(), 5u);
+}
+
+TEST_F(HarvestFixture, MultilingualLabelsAttached) {
+  auto rows = result_->kb.Query(
+      "SELECT ?e ?l WHERE { ?e "
+      "<http://www.w3.org/2000/01/rdf-schema#label> ?l . }");
+  ASSERT_TRUE(rows.ok());
+  // At least en + most de/fr labels.
+  EXPECT_GT(rows->size(), corpus_->world.entities().size());
+}
+
+TEST_F(HarvestFixture, TemporalScopesSurvive) {
+  size_t scoped = 0;
+  for (const auto& f : result_->accepted) {
+    if (f.span.valid()) ++scoped;
+  }
+  EXPECT_GT(scoped, 10u);
+}
+
+TEST_F(HarvestFixture, StageTogglesReduceWork) {
+  HarvestOptions minimal;
+  minimal.use_bootstrap = false;
+  minimal.use_statistical = false;
+  minimal.use_temporal = false;
+  Harvester harvester(minimal);
+  HarvestResult small = harvester.Harvest(*corpus_);
+  EXPECT_EQ(small.stats.bootstrap_facts, 0u);
+  EXPECT_EQ(small.stats.statistical_facts, 0u);
+  EXPECT_LT(small.stats.accepted_facts, result_->stats.accepted_facts);
+}
+
+
+TEST_F(HarvestFixture, DetectedMentionPipelineDegradesGracefully) {
+  HarvestOptions options;
+  options.use_gold_mentions = false;
+  Harvester harvester(options);
+  HarvestResult detected = harvester.Harvest(*corpus_);
+  auto base = extraction::ExpressedFacts(corpus_->docs);
+  PrecisionRecall gold_pr =
+      extraction::EvaluateFacts(corpus_->world, result_->accepted, base);
+  PrecisionRecall detected_pr =
+      extraction::EvaluateFacts(corpus_->world, detected.accepted, base);
+  // The no-gold pipeline must still work, just below the perfect-NER
+  // ceiling.
+  EXPECT_GT(detected_pr.precision(), 0.7)
+      << "P=" << detected_pr.precision();
+  EXPECT_GT(detected_pr.recall(), 0.4) << "R=" << detected_pr.recall();
+  EXPECT_LE(detected_pr.f1(), gold_pr.f1() + 0.02);
+}
+
+
+// ---------------------------------------------------------------- Cards
+
+TEST(EntityCardTest, BuildsRankedCard) {
+  KnowledgeBase kb;
+  FactMeta strong;
+  strong.confidence = 0.95;
+  strong.support = 5;
+  FactMeta weak;
+  weak.confidence = 0.6;
+  weak.support = 1;
+  kb.AssertFact("Steve_Jobs", "founded", "Apple_Inc", strong);
+  kb.AssertFact("Steve_Jobs", "worksFor", "Pixar", weak);
+  kb.AssertType("Steve_Jobs", "entrepreneur");
+  kb.AssertType("Steve_Jobs", "person");
+  kb.AssertSubclass("entrepreneur", "person");
+  kb.AssertLabel("Steve_Jobs", "Steve Jobs", "en");
+  kb.AssertLabel("Steve_Jobs", "Stefan Hiob", "de");
+
+  auto card = BuildEntityCard(kb, "Steve_Jobs");
+  ASSERT_TRUE(card.ok());
+  EXPECT_EQ(card->display_name, "Steve Jobs");
+  // Most specific type first.
+  ASSERT_EQ(card->types.size(), 2u);
+  EXPECT_EQ(card->types[0], "entrepreneur");
+  // Stronger fact ranks first.
+  ASSERT_EQ(card->facts.size(), 2u);
+  EXPECT_EQ(card->facts[0].property, "founded");
+  EXPECT_GT(card->facts[0].salience, card->facts[1].salience);
+  std::string rendered = RenderEntityCard(*card);
+  EXPECT_NE(rendered.find("founded: kb:Apple_Inc"), std::string::npos);
+  EXPECT_NE(rendered.find("label@de"), std::string::npos);
+}
+
+TEST(EntityCardTest, MissingEntityIsNotFound) {
+  KnowledgeBase kb;
+  EXPECT_TRUE(BuildEntityCard(kb, "Nobody").status().IsNotFound());
+}
+
+TEST_F(HarvestFixture, CardsForHarvestedEntities) {
+  // Cards work straight off the harvested KB, capped at max_facts.
+  EntityCardOptions options;
+  options.max_facts = 4;
+  size_t with_facts = 0;
+  for (uint32_t id :
+       corpus_->world.ByKind(corpus::EntityKind::kPerson)) {
+    auto card = BuildEntityCard(
+        result_->kb, corpus_->world.entity(id).canonical, options);
+    if (!card.ok()) continue;
+    EXPECT_LE(card->facts.size(), 4u);
+    if (!card->facts.empty()) ++with_facts;
+  }
+  EXPECT_GT(with_facts,
+            corpus_->world.ByKind(corpus::EntityKind::kPerson).size() / 2);
+}
+
+TEST_F(HarvestFixture, DeterministicAcrossRuns) {
+  Harvester harvester;
+  HarvestResult again = harvester.Harvest(*corpus_);
+  EXPECT_EQ(again.stats.accepted_facts, result_->stats.accepted_facts);
+  EXPECT_EQ(again.kb.NumTriples(), result_->kb.NumTriples());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace kb

@@ -1,0 +1,259 @@
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "corpus/generator.h"
+#include "extraction/annotation.h"
+#include "extraction/bootstrap.h"
+#include "extraction/distant_supervision.h"
+#include "extraction/evaluation.h"
+#include "extraction/infobox_extractor.h"
+#include "extraction/pattern_extractor.h"
+
+namespace kb {
+namespace extraction {
+namespace {
+
+class ExtractionFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    corpus::WorldOptions wopts;
+    wopts.seed = 31;
+    wopts.num_persons = 100;
+    wopts.num_cities = 25;
+    wopts.num_companies = 30;
+    wopts.num_universities = 8;
+    wopts.num_bands = 10;
+    wopts.num_albums = 20;
+    wopts.num_films = 15;
+    corpus::CorpusOptions copts;
+    copts.seed = 32;
+    copts.news_docs = 150;
+    copts.web_docs = 20;
+    copts.fact_error_rate = 0.05;
+    corpus_ = new corpus::Corpus(corpus::BuildCorpus(wopts, copts));
+    tagger_ = new nlp::PosTagger();
+    sentences_ = new std::vector<AnnotatedSentence>(
+        AnnotateDocuments(corpus_->world, corpus_->docs, *tagger_));
+  }
+  static void TearDownTestSuite() {
+    delete sentences_;
+    delete tagger_;
+    delete corpus_;
+  }
+
+  static std::unordered_map<std::string, uint32_t> CanonicalIndex() {
+    std::unordered_map<std::string, uint32_t> out;
+    for (const corpus::Entity& e : corpus_->world.entities()) {
+      out[e.canonical] = e.id;
+    }
+    return out;
+  }
+
+  static corpus::Corpus* corpus_;
+  static nlp::PosTagger* tagger_;
+  static std::vector<AnnotatedSentence>* sentences_;
+};
+
+corpus::Corpus* ExtractionFixture::corpus_ = nullptr;
+nlp::PosTagger* ExtractionFixture::tagger_ = nullptr;
+std::vector<AnnotatedSentence>* ExtractionFixture::sentences_ = nullptr;
+
+// ---------------------------------------------------------------- Annotation
+
+TEST_F(ExtractionFixture, AnnotationAlignsMentionsToTokens) {
+  size_t mentions = 0;
+  for (const AnnotatedSentence& as : *sentences_) {
+    for (const SentenceMention& m : as.mentions) {
+      ASSERT_LT(m.token_begin, m.token_end);
+      ASSERT_LE(m.token_end, as.sentence.tokens.size());
+      ++mentions;
+      // The mention's first token must be part of a surface form of
+      // the entity.
+      const corpus::Entity& e = corpus_->world.entity(m.entity);
+      const std::string& first = as.sentence.tokens[m.token_begin].text;
+      bool found = e.full_name.find(first) != std::string::npos;
+      for (const std::string& alias : e.aliases) {
+        found = found || alias.find(first) != std::string::npos;
+      }
+      EXPECT_TRUE(found) << first << " vs " << e.full_name;
+    }
+  }
+  EXPECT_GT(mentions, 1000u);
+}
+
+TEST_F(ExtractionFixture, MarkupSentencesFiltered) {
+  for (const AnnotatedSentence& as : *sentences_) {
+    for (const nlp::Token& t : as.sentence.tokens) {
+      EXPECT_NE(t.text, "Infobox");
+      EXPECT_NE(t.text, "Category");
+    }
+  }
+}
+
+TEST(DeduplicateFactsTest, MergesAndCounts) {
+  ExtractedFact a;
+  a.subject = 1;
+  a.relation = corpus::Relation::kBornIn;
+  a.object = 2;
+  a.confidence = 0.5;
+  ExtractedFact b = a;
+  b.confidence = 0.9;
+  ExtractedFact c = a;
+  c.object = 3;
+  std::vector<int> support;
+  auto out = DeduplicateFacts({a, b, c}, &support);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].confidence, 0.9);
+  EXPECT_EQ(support[0], 2);
+  EXPECT_EQ(support[1], 1);
+}
+
+// ---------------------------------------------------------------- Patterns
+
+TEST_F(ExtractionFixture, PatternExtractionHasHighPrecision) {
+  PatternExtractor extractor(DefaultPatterns());
+  auto facts = extractor.Extract(*sentences_);
+  ASSERT_GT(facts.size(), 100u);
+  auto base = ExpressedFacts(corpus_->docs);
+  PrecisionRecall pr = EvaluateFacts(corpus_->world, facts, base);
+  EXPECT_GT(pr.precision(), 0.85) << "P=" << pr.precision();
+  EXPECT_GT(pr.recall(), 0.3) << "R=" << pr.recall();
+  EXPECT_LT(pr.recall(), 0.95);  // hand patterns must not be complete
+}
+
+TEST_F(ExtractionFixture, PatternExtractorRespectsKindSignatures) {
+  PatternExtractor extractor(DefaultPatterns());
+  auto facts = extractor.Extract(*sentences_);
+  for (const ExtractedFact& f : facts) {
+    const auto& info = corpus::GetRelationInfo(f.relation);
+    EXPECT_EQ(corpus_->world.entity(f.subject).kind, info.subject_kind);
+    if (!info.literal_object) {
+      EXPECT_EQ(corpus_->world.entity(f.object).kind, info.object_kind);
+    }
+  }
+}
+
+TEST(IsYearTokenTest, Bounds) {
+  nlp::Token t;
+  t.lower = "1955";
+  t.pos = nlp::Pos::kNumber;
+  int year = 0;
+  EXPECT_TRUE(IsYearToken(t, &year));
+  EXPECT_EQ(year, 1955);
+  t.lower = "123";
+  EXPECT_FALSE(IsYearToken(t, &year));
+  t.lower = "99999";
+  EXPECT_FALSE(IsYearToken(t, &year));
+  t.pos = nlp::Pos::kNoun;
+  t.lower = "1955";
+  EXPECT_FALSE(IsYearToken(t, &year));
+}
+
+// ---------------------------------------------------------------- Infobox
+
+TEST_F(ExtractionFixture, InfoboxExtractionIsNearPerfect) {
+  InfoboxExtractor extractor(CanonicalIndex());
+  auto facts = extractor.Extract(corpus_->docs);
+  ASSERT_GT(facts.size(), 200u);
+  size_t correct = 0;
+  for (const ExtractedFact& f : facts) {
+    if (corpus_->world.HasFact(f.subject, f.relation, f.object,
+                               f.literal_year)) {
+      ++correct;
+    }
+  }
+  // Corrupted slots are dropped by the parser, so precision stays high.
+  EXPECT_GT(static_cast<double>(correct) / facts.size(), 0.97);
+}
+
+TEST_F(ExtractionFixture, InfoboxCorruptionIsDetected) {
+  InfoboxExtractor extractor(CanonicalIndex());
+  auto facts = extractor.Extract(corpus_->docs);
+  (void)facts;
+  EXPECT_GT(extractor.malformed_slots(), 0u);
+}
+
+// ---------------------------------------------------------------- Bootstrap
+
+TEST_F(ExtractionFixture, BootstrapLearnsUnseenTemplates) {
+  // Seeds: infobox facts for studiedAt ("graduated from" is NOT in the
+  // hand-written pattern set).
+  InfoboxExtractor infobox(CanonicalIndex());
+  auto seeds = infobox.Extract(corpus_->docs);
+  Bootstrapper bootstrapper;
+  auto result = bootstrapper.Run(corpus::Relation::kStudiedAt, seeds,
+                                 *sentences_);
+  ASSERT_FALSE(result.learned_patterns.empty());
+  bool learned_graduated = false;
+  for (const SurfacePattern& p : result.learned_patterns) {
+    if (!p.between.empty() && p.between[0] == "graduated") {
+      learned_graduated = true;
+    }
+  }
+  EXPECT_TRUE(learned_graduated);
+}
+
+TEST_F(ExtractionFixture, BootstrapBeatsPatternRecall) {
+  PatternExtractor patterns(DefaultPatterns());
+  auto pattern_facts = patterns.Extract(*sentences_);
+  InfoboxExtractor infobox(CanonicalIndex());
+  auto seeds = infobox.Extract(corpus_->docs);
+
+  auto base = ExpressedFacts(corpus_->docs);
+  // Compare on one relation where the generator uses excluded
+  // templates: kStudiedAt ("graduated from").
+  auto only = [](std::vector<ExtractedFact> facts, corpus::Relation r) {
+    std::vector<ExtractedFact> out;
+    for (const ExtractedFact& f : facts) {
+      if (f.relation == r) out.push_back(f);
+    }
+    return out;
+  };
+  Bootstrapper bootstrapper;
+  auto boot = bootstrapper.Run(corpus::Relation::kStudiedAt, seeds,
+                               *sentences_);
+  PrecisionRecall pattern_pr = EvaluateFacts(
+      corpus_->world, only(pattern_facts, corpus::Relation::kStudiedAt),
+      base);
+  PrecisionRecall boot_pr =
+      EvaluateFacts(corpus_->world,
+                    only(boot.facts, corpus::Relation::kStudiedAt), base);
+  EXPECT_GT(boot_pr.recall(), pattern_pr.recall());
+}
+
+// ---------------------------------------------------------------- DS
+
+TEST_F(ExtractionFixture, DistantSupervisionLearnsExtractor) {
+  InfoboxExtractor infobox(CanonicalIndex());
+  auto seeds = infobox.Extract(corpus_->docs);
+  RelationClassifier classifier;
+  classifier.Train(*sentences_, seeds);
+  EXPECT_GT(classifier.num_features(), 100u);
+  auto facts = classifier.Extract(*sentences_, 0.5);
+  ASSERT_GT(facts.size(), 100u);
+  auto base = ExpressedFacts(corpus_->docs);
+  PrecisionRecall pr = EvaluateFacts(corpus_->world, facts, base);
+  EXPECT_GT(pr.precision(), 0.6) << "P=" << pr.precision();
+  EXPECT_GT(pr.recall(), 0.5) << "R=" << pr.recall();
+}
+
+TEST_F(ExtractionFixture, StatisticalRecallBeatsPatterns) {
+  PatternExtractor patterns(DefaultPatterns());
+  auto pattern_facts = patterns.Extract(*sentences_);
+  InfoboxExtractor infobox(CanonicalIndex());
+  auto seeds = infobox.Extract(corpus_->docs);
+  RelationClassifier classifier;
+  classifier.Train(*sentences_, seeds);
+  auto ds_facts = classifier.Extract(*sentences_, 0.5);
+
+  auto base = ExpressedFacts(corpus_->docs);
+  PrecisionRecall pattern_pr =
+      EvaluateFacts(corpus_->world, pattern_facts, base);
+  PrecisionRecall ds_pr = EvaluateFacts(corpus_->world, ds_facts, base);
+  EXPECT_GT(ds_pr.recall(), pattern_pr.recall());
+}
+
+}  // namespace
+}  // namespace extraction
+}  // namespace kb

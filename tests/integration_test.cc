@@ -1,0 +1,188 @@
+// End-to-end integration: the full lifecycle a KB service runs —
+// harvest a KB from text, complete it with mined rules, persist it,
+// reopen it, serve NED and queries from it, and link it against an
+// independently-derived resource.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "commonsense/rule_application.h"
+#include "commonsense/rule_miner.h"
+#include "core/harvester.h"
+#include "core/persistence.h"
+#include "extraction/evaluation.h"
+#include "linkage/blocking.h"
+#include "linkage/clustering.h"
+#include "linkage/graph_linker.h"
+#include "ned/alias_index.h"
+#include "ned/coherence.h"
+#include "ned/context_model.h"
+#include "ned/disambiguator.h"
+#include "ned/mention_detector.h"
+#include "rdf/namespaces.h"
+
+namespace kb {
+namespace {
+
+class LifecycleFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    corpus::WorldOptions wopts;
+    wopts.seed = 2014;
+    wopts.num_persons = 120;
+    wopts.num_cities = 30;
+    wopts.num_companies = 35;
+    corpus::CorpusOptions copts;
+    copts.seed = 713;
+    copts.news_docs = 150;
+    copts.web_docs = 40;
+    corpus_ = new corpus::Corpus(corpus::BuildCorpus(wopts, copts));
+    core::Harvester harvester;
+    result_ = new core::HarvestResult(harvester.Harvest(*corpus_));
+  }
+  static void TearDownTestSuite() {
+    delete result_;
+    delete corpus_;
+  }
+  static corpus::Corpus* corpus_;
+  static core::HarvestResult* result_;
+};
+
+corpus::Corpus* LifecycleFixture::corpus_ = nullptr;
+core::HarvestResult* LifecycleFixture::result_ = nullptr;
+
+TEST_F(LifecycleFixture, HarvestCompletePersistReloadQuery) {
+  // 1. Mine rules from the harvested facts and complete the KB.
+  commonsense::RuleMinerOptions mine_options;
+  mine_options.min_support = 5;
+  mine_options.min_confidence = 0.6;
+  auto rules = commonsense::MineRules(result_->accepted, mine_options);
+  auto completion = commonsense::ApplyRules(result_->accepted, rules);
+
+  core::KnowledgeBase kb;  // rebuild with completed facts
+  for (const auto& f : result_->accepted) {
+    const auto& info = corpus::GetRelationInfo(f.relation);
+    core::FactMeta meta;
+    meta.confidence = f.confidence;
+    meta.extractor = f.extractor;
+    if (info.literal_object) {
+      kb.AssertYearFact(corpus_->world.entity(f.subject).canonical,
+                        std::string(info.name), f.literal_year, meta);
+    } else {
+      kb.AssertFact(corpus_->world.entity(f.subject).canonical,
+                    std::string(info.name),
+                    corpus_->world.entity(f.object).canonical, meta);
+    }
+  }
+  size_t before_completion = kb.NumTriples();
+  for (const auto& f : completion.inferred) {
+    core::FactMeta meta;
+    meta.confidence = f.confidence;
+    meta.extractor = f.extractor;
+    kb.AssertFact(corpus_->world.entity(f.subject).canonical,
+                  std::string(corpus::GetRelationInfo(f.relation).name),
+                  corpus_->world.entity(f.object).canonical, meta);
+  }
+  EXPECT_GT(kb.NumTriples(), before_completion);
+
+  // 2. Persist, reopen, compare.
+  std::string dir = (std::filesystem::temp_directory_path() /
+                     "kbforge_lifecycle")
+                        .string();
+  std::filesystem::remove_all(dir);
+  {
+    auto storage = core::KbStorage::Open(dir);
+    ASSERT_TRUE(storage.ok());
+    ASSERT_TRUE((*storage)->Save(kb).ok());
+  }
+  auto storage = core::KbStorage::Open(dir);
+  ASSERT_TRUE(storage.ok());
+  auto reloaded = (*storage)->Load();
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ((*reloaded)->NumTriples(), kb.NumTriples());
+
+  // 3. Query the reopened KB with DISTINCT + LIMIT.
+  auto rows = (*reloaded)->Query(
+      "SELECT DISTINCT ?c WHERE { ?p <" + rdf::PropertyIri("citizenOf") +
+      "> ?c . } LIMIT 3");
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  EXPECT_EQ(rows->size(), 3u);
+}
+
+TEST_F(LifecycleFixture, NedServesFromHarvestedModels) {
+  // The KB-side models (aliases, contexts, coherence) disambiguate a
+  // stream document end to end, starting from raw text (detection).
+  ned::AliasIndex aliases = ned::AliasIndex::Build(corpus_->world);
+  ned::ContextModel context =
+      ned::ContextModel::Build(corpus_->world, corpus_->docs);
+  ned::CoherenceModel coherence =
+      ned::CoherenceModel::Build(corpus_->world, corpus_->docs);
+  ned::MentionDetector detector(&aliases);
+  ned::Disambiguator disambiguator(&aliases, &context, &coherence,
+                                   ned::NedOptions());
+
+  size_t detected_total = 0, correct = 0, resolved = 0;
+  for (const corpus::Document& doc : corpus_->docs) {
+    if (doc.kind != corpus::DocKind::kNews) continue;
+    corpus::Document redetected = doc;
+    redetected.mentions.clear();
+    for (const auto& m : detector.Detect(doc.text)) {
+      corpus::Mention mention;
+      mention.begin = m.begin;
+      mention.end = m.end;
+      redetected.mentions.push_back(mention);
+    }
+    detected_total += redetected.mentions.size();
+    auto decisions = disambiguator.DisambiguateDocument(redetected);
+    // Score against gold where spans coincide.
+    for (const auto& d : decisions) {
+      if (d.predicted == UINT32_MAX) continue;
+      const corpus::Mention& span = redetected.mentions[d.mention_index];
+      for (const corpus::Mention& gold : doc.mentions) {
+        if (gold.begin == span.begin && gold.end == span.end) {
+          ++resolved;
+          if (gold.entity == d.predicted) ++correct;
+          break;
+        }
+      }
+    }
+  }
+  ASSERT_GT(detected_total, 500u);
+  ASSERT_GT(resolved, 400u);
+  EXPECT_GT(static_cast<double>(correct) / resolved, 0.7);
+}
+
+TEST_F(LifecycleFixture, TwoResourcesFuseIntoClusters) {
+  linkage::NoisyCopyOptions a_options;
+  a_options.seed = 51;
+  linkage::NoisyCopyOptions b_options;
+  b_options.seed = 52;
+  auto a = linkage::MakeNoisyRecords(corpus_->world, a_options);
+  auto b = linkage::MakeNoisyRecords(corpus_->world, b_options);
+  auto pairs = linkage::GenerateCandidates(a, b, linkage::BlockingOptions());
+  linkage::LogisticMatcher matcher;
+  matcher.Train(a, b, pairs);
+  linkage::GraphLinker linker;
+  auto matches = linker.Link(a, b, pairs, matcher);
+  std::vector<linkage::SameAsEdge> edges;
+  for (const auto& m : matches) {
+    edges.push_back({{0, m.a}, {1, m.b}, m.score});
+  }
+  auto clusters = linkage::ClusterSameAs(edges);
+  ASSERT_GT(clusters.size(), 100u);
+  for (const auto& cluster : clusters) {
+    EXPECT_LE(cluster.size(), 2u);  // one record per resource
+  }
+}
+
+TEST_F(LifecycleFixture, HarvestQualityHoldsOnThisSeed) {
+  auto base = extraction::ExpressedFacts(corpus_->docs);
+  PrecisionRecall pr =
+      extraction::EvaluateFacts(corpus_->world, result_->accepted, base);
+  EXPECT_GT(pr.precision(), 0.9);
+  EXPECT_GT(pr.recall(), 0.8);
+}
+
+}  // namespace
+}  // namespace kb

@@ -1,0 +1,273 @@
+#include <gtest/gtest.h>
+
+#include "corpus/world.h"
+#include "linkage/blocking.h"
+#include "linkage/clustering.h"
+#include "linkage/graph_linker.h"
+#include "linkage/matcher.h"
+#include "linkage/record.h"
+#include "linkage/similarity.h"
+
+namespace kb {
+namespace linkage {
+namespace {
+
+// ---------------------------------------------------------------- Strings
+
+TEST(SimilarityTest, LevenshteinBasics) {
+  EXPECT_EQ(Levenshtein("", ""), 0u);
+  EXPECT_EQ(Levenshtein("abc", "abc"), 0u);
+  EXPECT_EQ(Levenshtein("kitten", "sitting"), 3u);
+  EXPECT_EQ(Levenshtein("abc", ""), 3u);
+}
+
+TEST(SimilarityTest, LevenshteinSimilarityNormalized) {
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("", ""), 1.0);
+  EXPECT_NEAR(LevenshteinSimilarity("abcd", "abxd"), 0.75, 1e-9);
+}
+
+TEST(SimilarityTest, JaroKnownValues) {
+  EXPECT_DOUBLE_EQ(Jaro("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(Jaro("abc", "xyz"), 0.0);
+  // Classic textbook pair.
+  EXPECT_NEAR(Jaro("martha", "marhta"), 0.9444, 1e-3);
+  EXPECT_NEAR(JaroWinkler("martha", "marhta"), 0.9611, 1e-3);
+}
+
+TEST(SimilarityTest, JaroWinklerPrefixBonus) {
+  double with_prefix = JaroWinkler("hallberg", "hallburg");
+  double without = Jaro("hallberg", "hallburg");
+  EXPECT_GT(with_prefix, without);
+}
+
+TEST(SimilarityTest, SymmetryProperty) {
+  const char* samples[] = {"elena", "elan", "viktor", "victorine", ""};
+  for (const char* a : samples) {
+    for (const char* b : samples) {
+      EXPECT_DOUBLE_EQ(Jaro(a, b), Jaro(b, a));
+      EXPECT_DOUBLE_EQ(JaroWinkler(a, b), JaroWinkler(b, a));
+      EXPECT_DOUBLE_EQ(NgramJaccard(a, b), NgramJaccard(b, a));
+      EXPECT_EQ(Levenshtein(a, b), Levenshtein(b, a));
+    }
+  }
+}
+
+TEST(SimilarityTest, NgramAndTokenJaccard) {
+  EXPECT_DOUBLE_EQ(NgramJaccard("abc", "abc"), 1.0);
+  EXPECT_GT(NgramJaccard("marcus hallberg", "marcus hallburg"), 0.5);
+  EXPECT_DOUBLE_EQ(TokenJaccard("Marcus Hallberg", "marcus hallberg"), 1.0);
+  EXPECT_DOUBLE_EQ(TokenJaccard("a b", "c d"), 0.0);
+}
+
+TEST(SimilarityTest, NumericSimilarity) {
+  EXPECT_DOUBLE_EQ(NumericSimilarity(1955, 1955, 5), 1.0);
+  EXPECT_DOUBLE_EQ(NumericSimilarity(1955, 1960, 5), 0.0);
+  EXPECT_NEAR(NumericSimilarity(1955, 1956, 5), 0.8, 1e-9);
+}
+
+// ---------------------------------------------------------------- Records
+
+class LinkageFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    corpus::WorldOptions wopts;
+    wopts.seed = 71;
+    wopts.num_persons = 150;
+    wopts.num_companies = 40;
+    world_ = new corpus::World(corpus::World::Generate(wopts));
+    NoisyCopyOptions a_opts;
+    a_opts.seed = 100;
+    NoisyCopyOptions b_opts;
+    b_opts.seed = 200;
+    a_ = new std::vector<Record>(MakeNoisyRecords(*world_, a_opts));
+    b_ = new std::vector<Record>(MakeNoisyRecords(*world_, b_opts));
+  }
+  static void TearDownTestSuite() {
+    delete b_;
+    delete a_;
+    delete world_;
+  }
+  static corpus::World* world_;
+  static std::vector<Record>* a_;
+  static std::vector<Record>* b_;
+};
+
+corpus::World* LinkageFixture::world_ = nullptr;
+std::vector<Record>* LinkageFixture::a_ = nullptr;
+std::vector<Record>* LinkageFixture::b_ = nullptr;
+
+TEST_F(LinkageFixture, NoisyCopiesDifferButAlign) {
+  EXPECT_GT(a_->size(), 100u);
+  EXPECT_NE(a_->size(), world_->ByKind(corpus::EntityKind::kPerson).size() +
+                            world_->ByKind(corpus::EntityKind::kCompany)
+                                .size());  // drops happened
+  size_t different_names = 0, comparable = 0;
+  std::map<uint32_t, const Record*> by_entity;
+  for (const Record& r : *b_) by_entity[r.gold_entity] = &r;
+  for (const Record& r : *a_) {
+    auto it = by_entity.find(r.gold_entity);
+    if (it == by_entity.end()) continue;
+    ++comparable;
+    if (r.name != it->second->name) ++different_names;
+  }
+  ASSERT_GT(comparable, 50u);
+  EXPECT_GT(different_names, comparable / 5);  // noise is real
+}
+
+TEST_F(LinkageFixture, BlockingReducesPairsKeepsRecall) {
+  BlockingOptions none;
+  none.strategy = BlockingStrategy::kNone;
+  auto full = GenerateCandidates(*a_, *b_, none);
+  BlockingOptions standard;
+  standard.strategy = BlockingStrategy::kStandard;
+  auto blocked = GenerateCandidates(*a_, *b_, standard);
+  EXPECT_LT(blocked.size(), full.size() / 5);
+  EXPECT_EQ(PairsCompleteness(*a_, *b_, full), 1.0);
+  // First-character blocking only loses pairs whose name mutated its
+  // first character (rare: typos avoid position 0, aliases keep case).
+  EXPECT_GT(PairsCompleteness(*a_, *b_, blocked), 0.75);
+}
+
+TEST_F(LinkageFixture, SortedNeighborhoodWorks) {
+  BlockingOptions sn;
+  sn.strategy = BlockingStrategy::kSortedNeighborhood;
+  sn.window = 12;
+  auto pairs = GenerateCandidates(*a_, *b_, sn);
+  EXPECT_GT(pairs.size(), 0u);
+  EXPECT_GT(PairsCompleteness(*a_, *b_, pairs), 0.6);
+}
+
+TEST_F(LinkageFixture, LogisticBeatsThreshold) {
+  BlockingOptions standard;
+  auto pairs = GenerateCandidates(*a_, *b_, standard);
+  auto threshold_matches = ThresholdMatch(*a_, *b_, pairs, 0.92);
+  LogisticMatcher matcher;
+  matcher.Train(*a_, *b_, pairs);
+  auto learned_matches = matcher.MatchPairs(*a_, *b_, pairs, 0.5);
+
+  LinkageQuality threshold_quality =
+      EvaluateMatches(*a_, *b_, threshold_matches);
+  LinkageQuality learned_quality =
+      EvaluateMatches(*a_, *b_, learned_matches);
+  EXPECT_GT(learned_quality.f1, threshold_quality.f1)
+      << "logistic F1 " << learned_quality.f1 << " vs threshold "
+      << threshold_quality.f1;
+  EXPECT_GT(learned_quality.f1, 0.6);
+}
+
+TEST_F(LinkageFixture, GraphLinkerBeatsRawLogistic) {
+  BlockingOptions standard;
+  auto pairs = GenerateCandidates(*a_, *b_, standard);
+  LogisticMatcher matcher;
+  matcher.Train(*a_, *b_, pairs);
+  auto logistic_matches = matcher.MatchPairs(*a_, *b_, pairs, 0.5);
+  GraphLinker linker;
+  auto graph_matches = linker.Link(*a_, *b_, pairs, matcher);
+
+  LinkageQuality logistic_quality =
+      EvaluateMatches(*a_, *b_, logistic_matches);
+  LinkageQuality graph_quality = EvaluateMatches(*a_, *b_, graph_matches);
+  // One-to-one constraint + propagation should raise precision and F1.
+  EXPECT_GE(graph_quality.precision, logistic_quality.precision);
+  EXPECT_GT(graph_quality.f1 + 0.02, logistic_quality.f1);
+}
+
+TEST_F(LinkageFixture, GraphLinkerIsOneToOne) {
+  BlockingOptions standard;
+  auto pairs = GenerateCandidates(*a_, *b_, standard);
+  LogisticMatcher matcher;
+  matcher.Train(*a_, *b_, pairs);
+  GraphLinker linker;
+  auto matches = linker.Link(*a_, *b_, pairs, matcher);
+  std::set<uint32_t> left, right;
+  for (const Match& m : matches) {
+    EXPECT_TRUE(left.insert(m.a).second);
+    EXPECT_TRUE(right.insert(m.b).second);
+  }
+}
+
+
+// ---------------------------------------------------------------- Clusters
+
+TEST(ClusteringTest, TransitiveMergeAcrossResources) {
+  // A0 = B0 = C0 should form one 3-resource cluster.
+  std::vector<SameAsEdge> edges = {
+      {{0, 0}, {1, 0}, 0.9},
+      {{1, 0}, {2, 0}, 0.8},
+      {{0, 1}, {1, 1}, 0.7},
+  };
+  auto clusters = ClusterSameAs(edges);
+  ASSERT_EQ(clusters.size(), 2u);
+  EXPECT_EQ(clusters[0].size(), 3u);
+  EXPECT_EQ(clusters[1].size(), 2u);
+}
+
+TEST(ClusteringTest, OnePerResourceConstraintBlocksWeakEdge) {
+  // Two records of resource 1 both claim record (0,0); only the
+  // stronger link wins.
+  std::vector<SameAsEdge> edges = {
+      {{0, 0}, {1, 0}, 0.9},
+      {{0, 0}, {1, 1}, 0.6},
+  };
+  auto clusters = ClusterSameAs(edges);
+  ASSERT_EQ(clusters.size(), 2u);
+  // The 0.9 edge formed the pair; (1,1) stays alone.
+  bool found_pair = false;
+  for (const auto& c : clusters) {
+    if (c.size() == 2) {
+      found_pair = true;
+      EXPECT_EQ(c[0].resource, 0u);
+      EXPECT_EQ(c[1], (ResourceRecord{1, 0}));
+    }
+  }
+  EXPECT_TRUE(found_pair);
+}
+
+TEST(ClusteringTest, ConstraintOffMergesEverything) {
+  std::vector<SameAsEdge> edges = {
+      {{0, 0}, {1, 0}, 0.9},
+      {{0, 0}, {1, 1}, 0.6},
+  };
+  ClusterOptions options;
+  options.one_per_resource = false;
+  auto clusters = ClusterSameAs(edges, options);
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0].size(), 3u);
+}
+
+TEST_F(LinkageFixture, EndToEndClusteringMatchesGold) {
+  BlockingOptions standard;
+  auto pairs = GenerateCandidates(*a_, *b_, standard);
+  LogisticMatcher matcher;
+  matcher.Train(*a_, *b_, pairs);
+  GraphLinker linker;
+  auto matches = linker.Link(*a_, *b_, pairs, matcher);
+  std::vector<SameAsEdge> edges;
+  for (const Match& m : matches) {
+    edges.push_back({{0, m.a}, {1, m.b}, m.score});
+  }
+  auto clusters = ClusterSameAs(edges);
+  size_t pure = 0;
+  for (const auto& cluster : clusters) {
+    if (cluster.size() != 2) continue;
+    uint32_t ea = (*a_)[cluster[0].record].gold_entity;
+    uint32_t eb = (*b_)[cluster[1].record].gold_entity;
+    if (ea == eb) ++pure;
+  }
+  EXPECT_GT(static_cast<double>(pure) / clusters.size(), 0.85);
+}
+
+TEST(ComputeFeaturesTest, IdenticalRecordsScoreHigh) {
+  Record r;
+  r.name = "Marcus Hallberg";
+  r.kind = "person";
+  r.year = 1955;
+  r.place = "Northfield";
+  PairFeatures f = ComputeFeatures(r, r);
+  for (double v : f) EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+}  // namespace
+}  // namespace linkage
+}  // namespace kb

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "corpus/generator.h"
+#include "multilingual/aligner.h"
+#include "multilingual/interwiki.h"
+
+namespace kb {
+namespace multilingual {
+namespace {
+
+class MultilingualFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    corpus::WorldOptions wopts;
+    wopts.seed = 91;
+    wopts.num_persons = 100;
+    corpus::CorpusOptions copts;
+    copts.seed = 92;
+    copts.news_docs = 5;
+    copts.web_docs = 5;
+    copts.interwiki_coverage = 0.7;
+    corpus_ = new corpus::Corpus(corpus::BuildCorpus(wopts, copts));
+  }
+  static void TearDownTestSuite() { delete corpus_; }
+  static corpus::Corpus* corpus_;
+};
+
+corpus::Corpus* MultilingualFixture::corpus_ = nullptr;
+
+TEST_F(MultilingualFixture, InterwikiHarvestIsAccurate) {
+  auto labels = HarvestInterwikiLabels(corpus_->docs);
+  ASSERT_GT(labels.size(), corpus_->world.entities().size());
+  for (const MultilingualLabel& l : labels) {
+    const corpus::Entity& e = corpus_->world.entity(l.entity);
+    auto it = e.labels.find(l.lang);
+    ASSERT_NE(it, e.labels.end()) << l.lang;
+    EXPECT_EQ(l.label, it->second) << e.canonical;
+  }
+}
+
+TEST_F(MultilingualFixture, InterwikiCoverageMatchesGenerator) {
+  auto labels = HarvestInterwikiLabels(corpus_->docs);
+  // ~70% coverage x 2 languages per entity.
+  double expected =
+      2.0 * 0.7 * static_cast<double>(corpus_->world.entities().size());
+  EXPECT_NEAR(static_cast<double>(labels.size()), expected,
+              expected * 0.2);
+}
+
+// Builds the two alignment views: English labels + link structure vs a
+// foreign ("de") copy with permuted ids.
+struct ViewPair {
+  KbView left;
+  KbView right;
+  std::vector<uint32_t> gold_right_of_left;  // left id -> right id
+};
+
+ViewPair MakeViews(const corpus::World& world) {
+  ViewPair views;
+  size_t n = world.entities().size();
+  views.left.labels.resize(n);
+  views.left.neighbors.resize(n);
+  views.right.labels.resize(n);
+  views.right.neighbors.resize(n);
+  views.gold_right_of_left.resize(n);
+  // Permute foreign ids deterministically.
+  std::vector<uint32_t> perm(n);
+  for (uint32_t i = 0; i < n; ++i) perm[i] = (i * 31 + 7) % n;
+  // perm must be a bijection: 31 coprime with n may fail; fix by
+  // using a simple swap-based shuffle instead.
+  Rng rng(1234);
+  for (uint32_t i = 0; i < n; ++i) perm[i] = i;
+  rng.Shuffle(&perm);
+  for (uint32_t i = 0; i < n; ++i) {
+    views.left.labels[i] = world.entity(i).labels.at("en");
+    views.right.labels[perm[i]] = world.entity(i).labels.at("de");
+    views.gold_right_of_left[i] = perm[i];
+  }
+  for (const corpus::GoldFact& f : world.facts()) {
+    if (corpus::GetRelationInfo(f.relation).literal_object) continue;
+    views.left.neighbors[f.subject].push_back(f.object);
+    views.left.neighbors[f.object].push_back(f.subject);
+    views.right.neighbors[perm[f.subject]].push_back(perm[f.object]);
+    views.right.neighbors[perm[f.object]].push_back(perm[f.subject]);
+  }
+  return views;
+}
+
+TEST_F(MultilingualFixture, AlignerRecoversMapping) {
+  ViewPair views = MakeViews(corpus_->world);
+  // Seeds: 10% of entities (as interwiki links would provide).
+  std::vector<Alignment> seeds;
+  for (uint32_t i = 0; i < views.left.labels.size(); i += 10) {
+    seeds.push_back({i, views.gold_right_of_left[i], 1.0});
+  }
+  AlignerOptions options;
+  auto alignments = AlignViews(views.left, views.right, seeds, options);
+  ASSERT_GT(alignments.size(), views.left.labels.size() / 3);
+  size_t correct = 0;
+  for (const Alignment& a : alignments) {
+    if (views.gold_right_of_left[a.left] == a.right) ++correct;
+  }
+  double precision =
+      static_cast<double>(correct) / static_cast<double>(alignments.size());
+  EXPECT_GT(precision, 0.9) << "precision " << precision << " over "
+                            << alignments.size();
+}
+
+TEST_F(MultilingualFixture, StructureHelpsBeyondStrings) {
+  ViewPair views = MakeViews(corpus_->world);
+  std::vector<Alignment> seeds;
+  for (uint32_t i = 0; i < views.left.labels.size(); i += 10) {
+    seeds.push_back({i, views.gold_right_of_left[i], 1.0});
+  }
+  auto count_correct = [&](double structure_weight) {
+    AlignerOptions options;
+    options.structure_weight = structure_weight;
+    auto alignments = AlignViews(views.left, views.right, seeds, options);
+    size_t correct = 0;
+    for (const Alignment& a : alignments) {
+      if (views.gold_right_of_left[a.left] == a.right) ++correct;
+    }
+    return correct;
+  };
+  size_t with_structure = count_correct(1.5);
+  size_t strings_only = count_correct(0.0);
+  EXPECT_GE(with_structure, strings_only);
+}
+
+TEST(AlignerTest, EmptyViewsAlignNothing) {
+  KbView empty;
+  auto alignments = AlignViews(empty, empty, {}, AlignerOptions());
+  EXPECT_TRUE(alignments.empty());
+}
+
+}  // namespace
+}  // namespace multilingual
+}  // namespace kb

@@ -1,0 +1,270 @@
+#include <gtest/gtest.h>
+
+#include "corpus/generator.h"
+#include "ned/alias_index.h"
+#include "ned/coherence.h"
+#include "ned/context_model.h"
+#include "ned/disambiguator.h"
+#include "ned/mention_detector.h"
+
+namespace kb {
+namespace ned {
+namespace {
+
+class NedFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    corpus::WorldOptions wopts;
+    wopts.seed = 61;
+    wopts.num_persons = 150;
+    wopts.surname_reuse = 0.6;  // plenty of ambiguity
+    corpus::CorpusOptions copts;
+    copts.seed = 62;
+    copts.news_docs = 120;
+    copts.mention_ambiguity = 0.45;
+    corpus_ = new corpus::Corpus(corpus::BuildCorpus(wopts, copts));
+    aliases_ = new AliasIndex(AliasIndex::Build(corpus_->world));
+    context_ = new ContextModel(
+        ContextModel::Build(corpus_->world, corpus_->docs));
+    coherence_ = new CoherenceModel(
+        CoherenceModel::Build(corpus_->world, corpus_->docs));
+  }
+  static void TearDownTestSuite() {
+    delete coherence_;
+    delete context_;
+    delete aliases_;
+    delete corpus_;
+  }
+
+  /// NED accuracy over news docs (test set) for a mode.
+  static double Accuracy(NedMode mode, bool ambiguous_only = false) {
+    NedOptions options;
+    options.mode = mode;
+    Disambiguator disambiguator(aliases_, context_, coherence_, options);
+    size_t correct = 0, total = 0;
+    for (const corpus::Document& doc : corpus_->docs) {
+      if (doc.kind != corpus::DocKind::kNews) continue;
+      auto decisions = disambiguator.DisambiguateDocument(doc);
+      for (const Disambiguation& d : decisions) {
+        if (ambiguous_only && d.num_candidates < 2) continue;
+        ++total;
+        if (d.predicted == doc.mentions[d.mention_index].entity) ++correct;
+      }
+    }
+    return total == 0 ? 0.0 : static_cast<double>(correct) / total;
+  }
+
+  static corpus::Corpus* corpus_;
+  static AliasIndex* aliases_;
+  static ContextModel* context_;
+  static CoherenceModel* coherence_;
+};
+
+corpus::Corpus* NedFixture::corpus_ = nullptr;
+AliasIndex* NedFixture::aliases_ = nullptr;
+ContextModel* NedFixture::context_ = nullptr;
+CoherenceModel* NedFixture::coherence_ = nullptr;
+
+// ---------------------------------------------------------------- Aliases
+
+TEST_F(NedFixture, AliasIndexCoversAllSurfaceForms) {
+  for (const corpus::Entity& e : corpus_->world.entities()) {
+    const auto* candidates = aliases_->Lookup(e.full_name);
+    ASSERT_NE(candidates, nullptr) << e.full_name;
+    bool found = false;
+    for (const Candidate& c : *candidates) found = found || c.entity == e.id;
+    EXPECT_TRUE(found) << e.full_name;
+  }
+}
+
+TEST_F(NedFixture, AmbiguousSurfacesExist) {
+  EXPECT_GT(aliases_->num_ambiguous_surfaces(), 10u);
+}
+
+TEST_F(NedFixture, PriorsSumToOneAndSort) {
+  for (const corpus::Entity& e : corpus_->world.entities()) {
+    const auto* candidates = aliases_->Lookup(e.full_name);
+    ASSERT_NE(candidates, nullptr);
+    double sum = 0;
+    double prev = 2.0;
+    for (const Candidate& c : *candidates) {
+      sum += c.prior;
+      EXPECT_LE(c.prior, prev);
+      prev = c.prior;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+// ---------------------------------------------------------------- Context
+
+TEST_F(NedFixture, EntityMatchesOwnArticleContext) {
+  // An entity's article text should be most similar to its own vector.
+  int checked = 0;
+  for (uint32_t id : corpus_->world.ByKind(corpus::EntityKind::kPerson)) {
+    if (checked >= 20) break;
+    const corpus::Document& doc = corpus_->docs[id];
+    auto ctx = context_->VectorizeText(doc.text);
+    double own = context_->Similarity(id, ctx);
+    EXPECT_GT(own, 0.3) << corpus_->world.entity(id).canonical;
+    ++checked;
+  }
+}
+
+TEST(ContextWordsTest, WindowAndStopwords) {
+  std::string text = "The famous singer from Northfield released an album.";
+  auto words = ContextWords(text, 11, 17, 100);  // around "singer"
+  // Stopwords dropped; mention word excluded from the window.
+  for (const std::string& w : words) {
+    EXPECT_NE(w, "the");
+    EXPECT_NE(w, "singer");
+  }
+  EXPECT_FALSE(words.empty());
+}
+
+// ---------------------------------------------------------------- Coherence
+
+TEST_F(NedFixture, RelatedEntitiesScoreHigherThanRandom) {
+  // A person and their birth city co-occur in articles: related.
+  double related_sum = 0;
+  double unrelated_sum = 0;
+  int n = 0;
+  const auto& persons = corpus_->world.ByKind(corpus::EntityKind::kPerson);
+  for (uint32_t person : persons) {
+    if (n >= 30) break;
+    uint32_t city = UINT32_MAX;
+    for (const corpus::GoldFact* f : corpus_->world.FactsOf(person)) {
+      if (f->relation == corpus::Relation::kBornIn) city = f->object;
+    }
+    if (city == UINT32_MAX) continue;
+    uint32_t random_person = persons[(person * 31 + 7) % persons.size()];
+    if (random_person == person) continue;
+    related_sum += coherence_->Relatedness(person, city);
+    unrelated_sum += coherence_->Relatedness(person, random_person);
+    ++n;
+  }
+  ASSERT_GT(n, 10);
+  EXPECT_GT(related_sum, unrelated_sum);
+}
+
+TEST_F(NedFixture, RelatednessIsBounded) {
+  for (uint32_t a = 0; a < 20; ++a) {
+    for (uint32_t b = 0; b < 20; ++b) {
+      double r = coherence_->Relatedness(a, b);
+      EXPECT_GE(r, 0.0);
+      EXPECT_LE(r, 1.0);
+    }
+  }
+}
+
+// ---------------------------------------------------------------- NED
+
+TEST_F(NedFixture, AblationOrderingHolds) {
+  double prior = Accuracy(NedMode::kPrior);
+  double context = Accuracy(NedMode::kContext);
+  double coherence = Accuracy(NedMode::kCoherence);
+  // The tutorial's claim: context helps over prior, coherence helps
+  // further (AIDA shape).
+  EXPECT_GT(context, prior - 0.02);
+  EXPECT_GT(coherence, prior);
+  EXPECT_GE(coherence + 0.01, context);
+  EXPECT_GT(coherence, 0.75) << "joint NED accuracy too low";
+}
+
+TEST_F(NedFixture, AmbiguousMentionsAreTheHardCase) {
+  double all = Accuracy(NedMode::kCoherence);
+  double ambiguous = Accuracy(NedMode::kCoherence, true);
+  EXPECT_LE(ambiguous, all + 1e-9);
+  // On the ambiguous subset the joint model must beat the prior-only
+  // baseline (the tutorial's "biggest gain on ambiguous mentions").
+  double prior_ambiguous = Accuracy(NedMode::kPrior, true);
+  EXPECT_GT(ambiguous, prior_ambiguous);
+  EXPECT_GT(ambiguous, 0.35);
+}
+
+TEST_F(NedFixture, UnambiguousMentionsAreTrivial) {
+  NedOptions options;
+  options.mode = NedMode::kPrior;
+  Disambiguator d(aliases_, context_, coherence_, options);
+  for (const corpus::Document& doc : corpus_->docs) {
+    if (doc.kind != corpus::DocKind::kNews) continue;
+    for (const Disambiguation& dec : d.DisambiguateDocument(doc)) {
+      if (dec.num_candidates == 1) {
+        EXPECT_EQ(dec.predicted, doc.mentions[dec.mention_index].entity);
+      }
+    }
+    break;
+  }
+}
+
+
+// ---------------------------------------------------------------- Detector
+
+TEST_F(NedFixture, DetectorFindsGoldSpans) {
+  MentionDetector detector(aliases_);
+  DetectionQuality total;
+  for (const corpus::Document& doc : corpus_->docs) {
+    if (doc.kind != corpus::DocKind::kNews) continue;
+    DetectionQuality q = detector.Evaluate(doc);
+    total.detected += q.detected;
+    total.gold += q.gold;
+    total.exact_matches += q.exact_matches;
+  }
+  ASSERT_GT(total.gold, 500u);
+  EXPECT_GT(total.recall(), 0.9) << "R=" << total.recall();
+  EXPECT_GT(total.precision(), 0.9) << "P=" << total.precision();
+}
+
+TEST_F(NedFixture, DetectorLongestMatchWins) {
+  MentionDetector detector(aliases_);
+  // A full name must be detected as one mention, not surname-only.
+  const corpus::Entity& person =
+      corpus_->world.entity(corpus_->world.ByKind(
+          corpus::EntityKind::kPerson)[0]);
+  std::string text = "Yesterday " + person.full_name + " arrived.";
+  auto mentions = detector.Detect(text);
+  ASSERT_EQ(mentions.size(), 1u);
+  EXPECT_EQ(mentions[0].surface, person.full_name);
+}
+
+TEST_F(NedFixture, DetectorIgnoresLowercaseNoise) {
+  MentionDetector detector(aliases_);
+  auto mentions = detector.Detect("the weather was pleasant and warm");
+  EXPECT_TRUE(mentions.empty());
+}
+
+// ---------------------------------------------------------------- NIL
+
+TEST_F(NedFixture, NilThresholdAbstainsOnWeakCandidates) {
+  NedOptions options;
+  options.mode = NedMode::kContext;
+  options.nil_threshold = 1e9;  // absurd: everything becomes NIL
+  Disambiguator d(aliases_, context_, coherence_, options);
+  for (const corpus::Document& doc : corpus_->docs) {
+    if (doc.kind != corpus::DocKind::kNews) continue;
+    for (const Disambiguation& dec : d.DisambiguateDocument(doc)) {
+      EXPECT_EQ(dec.predicted, UINT32_MAX);
+    }
+    break;
+  }
+}
+
+TEST_F(NedFixture, UnknownSurfaceMapsToNil) {
+  NedOptions options;
+  Disambiguator d(aliases_, context_, coherence_, options);
+  corpus::Document doc;
+  doc.text = "Zzyzx Quuxbar spoke.";
+  corpus::Mention m;
+  m.begin = 0;
+  m.end = 13;  // "Zzyzx Quuxbar"
+  m.entity = 0;
+  doc.mentions.push_back(m);
+  auto decisions = d.DisambiguateDocument(doc);
+  ASSERT_EQ(decisions.size(), 1u);
+  EXPECT_EQ(decisions[0].predicted, UINT32_MAX);
+  EXPECT_EQ(decisions[0].num_candidates, 0u);
+}
+
+}  // namespace
+}  // namespace ned
+}  // namespace kb

@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include "nlp/chunker.h"
+#include "nlp/pos_tagger.h"
+#include "nlp/stemmer.h"
+#include "nlp/stopwords.h"
+#include "nlp/tfidf.h"
+#include "nlp/tokenizer.h"
+
+namespace kb {
+namespace nlp {
+namespace {
+
+std::vector<std::string> Texts(const std::vector<Token>& tokens) {
+  std::vector<std::string> out;
+  for (const Token& t : tokens) out.push_back(t.text);
+  return out;
+}
+
+// ---------------------------------------------------------------- Tokenizer
+
+TEST(TokenizerTest, SplitsWordsAndPunctuation) {
+  auto tokens = Tokenize("Marcus founded Hallberg Systems.");
+  EXPECT_EQ(Texts(tokens),
+            (std::vector<std::string>{"Marcus", "founded", "Hallberg",
+                                      "Systems", "."}));
+}
+
+TEST(TokenizerTest, KeepsDecimalsAndHyphens) {
+  auto tokens = Tokenize("about 3.14 never-ending O'Brien");
+  EXPECT_EQ(Texts(tokens),
+            (std::vector<std::string>{"about", "3.14", "never-ending",
+                                      "O'Brien"}));
+}
+
+TEST(TokenizerTest, OffsetsAreExact) {
+  std::string text = "Elena  married Viktor.";
+  auto tokens = Tokenize(text);
+  for (const Token& t : tokens) {
+    EXPECT_EQ(text.substr(t.begin, t.end - t.begin), t.text);
+  }
+}
+
+TEST(TokenizerTest, CommaSeparated) {
+  auto tokens = Tokenize("Elena, who sang, left.");
+  EXPECT_EQ(Texts(tokens),
+            (std::vector<std::string>{"Elena", ",", "who", "sang", ",",
+                                      "left", "."}));
+}
+
+TEST(SentenceSplitterTest, SplitsOnPeriodBeforeCapital) {
+  auto sentences =
+      SplitSentences("Elena sang. Viktor listened. They left.");
+  ASSERT_EQ(sentences.size(), 3u);
+  EXPECT_EQ(sentences[1].tokens[0].text, "Viktor");
+}
+
+TEST(SentenceSplitterTest, KeepsAbbreviations) {
+  auto sentences = SplitSentences("Dr. Novak arrived. He spoke.");
+  ASSERT_EQ(sentences.size(), 2u);
+  EXPECT_EQ(sentences[0].tokens[0].text, "Dr");
+}
+
+TEST(SentenceSplitterTest, TokenOffsetsPointIntoDocument) {
+  std::string text = "Elena sang. Viktor listened.";
+  auto sentences = SplitSentences(text);
+  ASSERT_EQ(sentences.size(), 2u);
+  const Token& viktor = sentences[1].tokens[0];
+  EXPECT_EQ(text.substr(viktor.begin, viktor.end - viktor.begin), "Viktor");
+}
+
+TEST(SentenceSplitterTest, ParagraphBreaks) {
+  auto sentences = SplitSentences("First line\n\nsecond block here");
+  ASSERT_EQ(sentences.size(), 2u);
+}
+
+// ---------------------------------------------------------------- Tagger
+
+TEST(PosTaggerTest, TagsClosedClassWords) {
+  PosTagger tagger;
+  auto tokens = Tokenize("The singer works for the company.");
+  tagger.Tag(&tokens);
+  EXPECT_EQ(tokens[0].pos, Pos::kDeterminer);
+  EXPECT_EQ(tokens[1].pos, Pos::kNoun);
+  EXPECT_EQ(tokens[2].pos, Pos::kVerb);
+  EXPECT_EQ(tokens[3].pos, Pos::kPreposition);
+  EXPECT_EQ(tokens[5].pos, Pos::kNoun);
+  EXPECT_EQ(tokens[6].pos, Pos::kPunctuation);
+}
+
+TEST(PosTaggerTest, CapitalizedMidSentenceIsProperNoun) {
+  PosTagger tagger;
+  auto tokens = Tokenize("Yesterday Elena met Viktor Petrov.");
+  tagger.Tag(&tokens);
+  EXPECT_EQ(tokens[1].pos, Pos::kProperNoun);
+  EXPECT_EQ(tokens[3].pos, Pos::kProperNoun);
+  EXPECT_EQ(tokens[4].pos, Pos::kProperNoun);
+}
+
+TEST(PosTaggerTest, NumbersAndSuffixRules) {
+  PosTagger tagger;
+  auto tokens = Tokenize("quickly 1976 awesomeness understanding");
+  tagger.Tag(&tokens);
+  EXPECT_EQ(tokens[0].pos, Pos::kAdverb);
+  EXPECT_EQ(tokens[1].pos, Pos::kNumber);
+  EXPECT_EQ(tokens[2].pos, Pos::kNoun);
+  EXPECT_EQ(tokens[3].pos, Pos::kVerb);  // -ing
+}
+
+TEST(PosTaggerTest, AddWordOverrides) {
+  PosTagger tagger;
+  tagger.AddWord("zork", Pos::kVerb);
+  EXPECT_EQ(tagger.TagWord("zork", false, false), Pos::kVerb);
+}
+
+// ---------------------------------------------------------------- Chunker
+
+TEST(ChunkerTest, FindsSimpleNounPhrases) {
+  PosTagger tagger;
+  auto sentences = SplitSentences("The famous singer joined the new company.");
+  tagger.TagSentences(&sentences);
+  auto chunks = FindNounPhrases(sentences[0]);
+  ASSERT_EQ(chunks.size(), 2u);
+  EXPECT_EQ(ChunkText(sentences[0], chunks[0]), "The famous singer");
+  EXPECT_EQ(ChunkTextNoDet(sentences[0], chunks[0]), "famous singer");
+  EXPECT_EQ(ChunkText(sentences[0], chunks[1]), "the new company");
+}
+
+TEST(ChunkerTest, ProperNounChains) {
+  PosTagger tagger;
+  auto sentences = SplitSentences("Later Viktor Petrov met Elena Novak.");
+  tagger.TagSentences(&sentences);
+  auto chunks = FindNounPhrases(sentences[0]);
+  ASSERT_EQ(chunks.size(), 2u);
+  EXPECT_TRUE(chunks[0].proper);
+  EXPECT_EQ(ChunkText(sentences[0], chunks[0]), "Viktor Petrov");
+}
+
+TEST(ChunkerTest, DeterminerWithoutNounIsNotAPhrase) {
+  PosTagger tagger;
+  auto sentences = SplitSentences("The quickly running");
+  tagger.TagSentences(&sentences);
+  auto chunks = FindNounPhrases(sentences[0]);
+  EXPECT_TRUE(chunks.empty());
+}
+
+// ---------------------------------------------------------------- TF-IDF
+
+TEST(TfIdfTest, StopwordListWorks) {
+  EXPECT_TRUE(IsStopword("the"));
+  EXPECT_TRUE(IsStopword("was"));
+  EXPECT_FALSE(IsStopword("singer"));
+}
+
+TEST(TfIdfTest, CosineOfIdenticalVectorsIsOne) {
+  TfIdfModel model;
+  model.AddDocument({"singer", "album", "band"});
+  model.AddDocument({"company", "founder"});
+  auto v = model.Vectorize({"singer", "album"});
+  EXPECT_NEAR(Cosine(v, v), 1.0, 1e-9);
+}
+
+TEST(TfIdfTest, DisjointVectorsAreOrthogonal) {
+  TfIdfModel model;
+  model.AddDocument({"singer", "album"});
+  model.AddDocument({"company", "founder"});
+  auto a = model.Vectorize({"singer"});
+  auto b = model.Vectorize({"company"});
+  EXPECT_EQ(Cosine(a, b), 0.0);
+}
+
+TEST(TfIdfTest, RareWordsWeighMore) {
+  TfIdfModel model;
+  for (int i = 0; i < 50; ++i) model.AddDocument({"common", "filler"});
+  model.AddDocument({"common", "rare"});
+  auto v = model.Vectorize({"common", "rare"});
+  uint32_t common_id = model.LookupWordId("common");
+  uint32_t rare_id = model.LookupWordId("rare");
+  EXPECT_GT(v[rare_id], v[common_id]);
+}
+
+TEST(TfIdfTest, UnknownWordsIgnored) {
+  TfIdfModel model;
+  model.AddDocument({"known"});
+  auto v = model.Vectorize({"unseen", "unseen2"});
+  EXPECT_TRUE(v.empty());
+}
+
+
+// ---------------------------------------------------------------- Stemmer
+
+TEST(StemmerTest, PluralsAndInflections) {
+  EXPECT_EQ(Stem("singers"), Stem("singer"));
+  EXPECT_EQ(Stem("cities"), "city");
+  EXPECT_EQ(Stem("founded"), Stem("founding"));
+  EXPECT_EQ(Stem("planned"), "plan");
+  EXPECT_EQ(Stem("released"), "release");
+  EXPECT_EQ(Stem("quickly"), "quick");
+}
+
+TEST(StemmerTest, ShortAndNonSuffixWordsUntouched) {
+  EXPECT_EQ(Stem("is"), "is");
+  EXPECT_EQ(Stem("bus"), "bus");
+  EXPECT_EQ(Stem("glass"), "glass");
+  EXPECT_EQ(Stem("red"), "red");  // 'ed' guard: no vowel-bearing stem
+}
+
+TEST(StemmerTest, Idempotent) {
+  for (const char* w : {"singers", "founded", "cities", "releasing",
+                        "quickly", "engines"}) {
+    std::string once = Stem(w);
+    EXPECT_EQ(Stem(once), once) << w;
+  }
+}
+
+}  // namespace
+}  // namespace nlp
+}  // namespace kb

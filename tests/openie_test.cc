@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "corpus/generator.h"
+#include "extraction/annotation.h"
+#include "nlp/tokenizer.h"
+#include "openie/reverb.h"
+
+namespace kb {
+namespace openie {
+namespace {
+
+extraction::AnnotatedSentence Annotate(const std::string& text) {
+  nlp::PosTagger tagger;
+  auto sentences = nlp::SplitSentences(text);
+  tagger.TagSentences(&sentences);
+  extraction::AnnotatedSentence as;
+  as.sentence = sentences.at(0);
+  return as;
+}
+
+TEST(NormalizeRelationTest, StripsAuxiliaries) {
+  EXPECT_EQ(NormalizeRelationPhrase("was founded by"), "founded by");
+  EXPECT_EQ(NormalizeRelationPhrase("is married to"), "married to");
+  EXPECT_EQ(NormalizeRelationPhrase("founded"), "founded");
+  // A bare copula survives (it IS the relation).
+  EXPECT_EQ(NormalizeRelationPhrase("is"), "is");
+}
+
+TEST(OpenIEConfidenceTest, ProperArgumentsRaiseConfidence) {
+  double proper = OpenIEConfidence(2, true, true, true, 10);
+  double common = OpenIEConfidence(2, false, false, true, 10);
+  EXPECT_GT(proper, common);
+  double long_rel = OpenIEConfidence(9, true, true, true, 10);
+  EXPECT_GT(proper, long_rel);
+}
+
+TEST(OpenIETest, ExtractsSimpleVerbTriple) {
+  OpenIEExtractor extractor;
+  auto triples =
+      extractor.ExtractFromSentence(Annotate("Marcus founded Vance Systems."));
+  ASSERT_EQ(triples.size(), 1u);
+  EXPECT_EQ(triples[0].arg1, "Marcus");
+  EXPECT_EQ(triples[0].relation, "founded");
+  EXPECT_EQ(triples[0].arg2, "Vance Systems");
+}
+
+TEST(OpenIETest, ExtractsVerbPrepositionTriple) {
+  OpenIEExtractor extractor;
+  auto triples = extractor.ExtractFromSentence(
+      Annotate("Elena works for Keller Labs."));
+  ASSERT_EQ(triples.size(), 1u);
+  EXPECT_EQ(triples[0].relation, "works for");
+}
+
+TEST(OpenIETest, ExtractsVWStarPPattern) {
+  OpenIEExtractor extractor;
+  auto triples = extractor.ExtractFromSentence(
+      Annotate("Novak Industries has its headquarters in Northfield."));
+  ASSERT_EQ(triples.size(), 1u);
+  EXPECT_EQ(triples[0].relation, "has its headquarters in");
+  EXPECT_EQ(triples[0].arg2, "Northfield");
+}
+
+TEST(OpenIETest, PassiveNormalization) {
+  OpenIEExtractor extractor;
+  auto triples = extractor.ExtractFromSentence(
+      Annotate("Keller Labs was founded by Elena Keller."));
+  ASSERT_EQ(triples.size(), 1u);
+  EXPECT_EQ(triples[0].normalized_relation, "founded by");
+}
+
+TEST(OpenIETest, NoTripleWithoutVerb) {
+  OpenIEExtractor extractor;
+  auto triples = extractor.ExtractFromSentence(
+      Annotate("The red apple on the old table."));
+  EXPECT_TRUE(triples.empty());
+}
+
+class OpenIECorpusFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    corpus::WorldOptions wopts;
+    wopts.seed = 51;
+    wopts.num_persons = 80;
+    corpus::CorpusOptions copts;
+    copts.seed = 52;
+    copts.news_docs = 100;
+    copts.web_docs = 30;
+    corpus_ = new corpus::Corpus(corpus::BuildCorpus(wopts, copts));
+    nlp::PosTagger tagger;
+    sentences_ = new std::vector<extraction::AnnotatedSentence>(
+        extraction::AnnotateDocuments(corpus_->world, corpus_->docs,
+                                      tagger));
+  }
+  static void TearDownTestSuite() {
+    delete sentences_;
+    delete corpus_;
+  }
+  static corpus::Corpus* corpus_;
+  static std::vector<extraction::AnnotatedSentence>* sentences_;
+};
+
+corpus::Corpus* OpenIECorpusFixture::corpus_ = nullptr;
+std::vector<extraction::AnnotatedSentence>* OpenIECorpusFixture::sentences_ =
+    nullptr;
+
+TEST_F(OpenIECorpusFixture, YieldExceedsClosedInventory) {
+  OpenIEExtractor extractor;
+  auto triples = extractor.Extract(*sentences_);
+  ASSERT_GT(triples.size(), 500u);
+  // Open IE finds relation phrases beyond the closed inventory: count
+  // distinct normalized relations.
+  std::set<std::string> relations;
+  for (const auto& t : triples) relations.insert(t.normalized_relation);
+  EXPECT_GT(relations.size(), 15u);
+}
+
+TEST_F(OpenIECorpusFixture, ConfidenceThresholdRaisesAlignmentPrecision) {
+  OpenIEExtractor extractor;
+  auto triples = extractor.Extract(*sentences_);
+  auto aligned_precision = [&](double min_confidence) {
+    size_t aligned = 0, total = 0;
+    for (const auto& t : triples) {
+      if (t.confidence < min_confidence) continue;
+      ++total;
+      if (t.arg1_entity != UINT32_MAX && t.arg2_entity != UINT32_MAX) {
+        ++aligned;
+      }
+    }
+    return total == 0 ? 0.0 : static_cast<double>(aligned) / total;
+  };
+  // Higher confidence slice should be at least as entity-grounded.
+  EXPECT_GE(aligned_precision(0.8) + 0.02, aligned_precision(0.0));
+}
+
+TEST_F(OpenIECorpusFixture, LexicalConstraintPrunesRareRelations) {
+  OpenIEOptions strict;
+  strict.min_relation_support = 5;
+  OpenIEExtractor strict_extractor(strict);
+  OpenIEExtractor loose_extractor;
+  auto strict_triples = strict_extractor.Extract(*sentences_);
+  auto loose_triples = loose_extractor.Extract(*sentences_);
+  EXPECT_LT(strict_triples.size(), loose_triples.size());
+  EXPECT_GT(strict_triples.size(), 0u);
+}
+
+}  // namespace
+}  // namespace openie
+}  // namespace kb

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/harvester.h"
+#include "core/persistence.h"
+#include "storage/triple_codec.h"
+#include "rdf/namespaces.h"
+
+namespace kb {
+namespace core {
+namespace {
+
+std::string TempDir(const std::string& name) {
+  std::string path = (std::filesystem::temp_directory_path() /
+                      ("kbforge_persist_" + name))
+                         .string();
+  std::filesystem::remove_all(path);
+  return path;
+}
+
+TEST(PersistenceTest, SmallKbRoundTrip) {
+  std::string dir = TempDir("small");
+  KnowledgeBase kb;
+  FactMeta meta;
+  meta.confidence = 0.875;
+  meta.support = 3;
+  meta.extractor = rdf::kExtractorPattern;
+  meta.valid_time.begin = Date{1976, 4, 1};
+  meta.valid_time.end = Date{1985, 0, 0};
+  kb.AssertFact("Steve_Jobs", "founded", "Apple_Inc", meta);
+  kb.AssertType("Steve_Jobs", "entrepreneur");
+  kb.AssertSubclass("entrepreneur", "person");
+  kb.AssertLabel("Steve_Jobs", "Steve Jobs", "en");
+  kb.AssertYearFact("Apple_Inc", "foundedYear", 1976, FactMeta());
+
+  {
+    auto storage = KbStorage::Open(dir);
+    ASSERT_TRUE(storage.ok());
+    ASSERT_TRUE((*storage)->Save(kb).ok());
+  }
+  auto storage = KbStorage::Open(dir);
+  ASSERT_TRUE(storage.ok());
+  auto loaded = (*storage)->Load();
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+
+  EXPECT_EQ((*loaded)->NumTriples(), kb.NumTriples());
+  EXPECT_EQ((*loaded)->ExportNTriples(), kb.ExportNTriples());
+
+  // Metadata survives, including the timespan.
+  rdf::Triple t((*loaded)->EntityTerm("Steve_Jobs"),
+                (*loaded)->PropertyTerm("founded"),
+                (*loaded)->EntityTerm("Apple_Inc"));
+  const FactMeta* restored = (*loaded)->MetaOf(t);
+  ASSERT_NE(restored, nullptr);
+  EXPECT_DOUBLE_EQ(restored->confidence, 0.875);
+  EXPECT_EQ(restored->support, 3u);
+  EXPECT_EQ(restored->extractor,
+            static_cast<uint32_t>(rdf::kExtractorPattern));
+  EXPECT_EQ(restored->valid_time.begin.ToString(), "1976-04-01");
+  EXPECT_EQ(restored->valid_time.end.ToString(), "1985");
+
+  // Derived indexes rebuilt: taxonomy subsumption works.
+  taxonomy::ClassId sub = (*loaded)->taxonomy().Lookup("entrepreneur");
+  taxonomy::ClassId super = (*loaded)->taxonomy().Lookup("person");
+  ASSERT_NE(sub, taxonomy::kInvalidClassId);
+  EXPECT_TRUE((*loaded)->taxonomy().IsSubclassOf(sub, super));
+}
+
+TEST(PersistenceTest, HarvestedKbSurvivesReopen) {
+  std::string dir = TempDir("harvest");
+  corpus::WorldOptions world_options;
+  world_options.seed = 111;
+  world_options.num_persons = 60;
+  corpus::CorpusOptions corpus_options;
+  corpus_options.seed = 112;
+  corpus_options.news_docs = 50;
+  corpus::Corpus corpus = corpus::BuildCorpus(world_options, corpus_options);
+  Harvester harvester;
+  HarvestResult result = harvester.Harvest(corpus);
+
+  {
+    auto storage = KbStorage::Open(dir);
+    ASSERT_TRUE(storage.ok());
+    ASSERT_TRUE((*storage)->Save(result.kb).ok());
+    ASSERT_TRUE((*storage)->Compact().ok());
+  }
+  auto storage = KbStorage::Open(dir);
+  ASSERT_TRUE(storage.ok());
+  auto loaded = (*storage)->Load();
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ((*loaded)->NumTriples(), result.kb.NumTriples());
+  EXPECT_EQ((*loaded)->NumEntities(), result.kb.NumEntities());
+
+  // Queries run identically against the reopened KB.
+  std::string sparql = "SELECT ?p ?c WHERE { ?p <" +
+                       rdf::PropertyIri("bornIn") + "> ?c . }";
+  auto before = result.kb.Query(sparql);
+  auto after = (*loaded)->Query(sparql);
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(before->size(), after->size());
+  EXPECT_GT(after->size(), 10u);
+}
+
+TEST(PersistenceTest, LoadFromEmptyStoreGivesEmptyKb) {
+  std::string dir = TempDir("empty");
+  auto storage = KbStorage::Open(dir);
+  ASSERT_TRUE(storage.ok());
+  auto loaded = (*storage)->Load();
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ((*loaded)->NumTriples(), 0u);
+}
+
+TEST(PersistenceTest, CorruptMetadataDetected) {
+  std::string dir = TempDir("corrupt");
+  KnowledgeBase kb;
+  FactMeta meta;
+  meta.confidence = 0.5;
+  kb.AssertFact("A", "rel", "B", meta);
+  auto storage = KbStorage::Open(dir);
+  ASSERT_TRUE(storage.ok());
+  ASSERT_TRUE((*storage)->Save(kb).ok());
+  // Clobber the metadata of the SPO entry.
+  rdf::Triple t(kb.EntityTerm("A"), kb.PropertyTerm("rel"),
+                kb.EntityTerm("B"));
+  std::string key =
+      storage::EncodeTripleKey(storage::TripleOrder::kSpo, t);
+  ASSERT_TRUE((*storage)->store()->Put(key, "xx").ok());
+  auto loaded = (*storage)->Load();
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsCorruption());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace kb

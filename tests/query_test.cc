@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include "query/engine.h"
+#include "rdf/namespaces.h"
+#include "rdf/term.h"
+
+namespace kb {
+namespace query {
+namespace {
+
+using rdf::Term;
+using rdf::TermId;
+
+class QueryFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // A small family/work graph.
+    auto iri = [&](const std::string& s) {
+      return store_.dict().Intern(Term::Iri(s));
+    };
+    type_ = iri("type");
+    person_ = iri("Person");
+    company_ = iri("Company");
+    works_for_ = iri("worksFor");
+    located_in_ = iri("locatedIn");
+    alice_ = iri("Alice");
+    bob_ = iri("Bob");
+    carol_ = iri("Carol");
+    acme_ = iri("Acme");
+    globex_ = iri("Globex");
+    springfield_ = iri("Springfield");
+
+    store_.Add({alice_, type_, person_});
+    store_.Add({bob_, type_, person_});
+    store_.Add({carol_, type_, person_});
+    store_.Add({acme_, type_, company_});
+    store_.Add({globex_, type_, company_});
+    store_.Add({alice_, works_for_, acme_});
+    store_.Add({bob_, works_for_, acme_});
+    store_.Add({carol_, works_for_, globex_});
+    store_.Add({acme_, located_in_, springfield_});
+  }
+
+  rdf::TripleStore store_;
+  TermId type_, person_, company_, works_for_, located_in_;
+  TermId alice_, bob_, carol_, acme_, globex_, springfield_;
+};
+
+TEST_F(QueryFixture, SinglePatternAllBindings) {
+  SelectQuery q;
+  q.where.push_back({QueryTerm::Var("x"), QueryTerm::Bound(type_),
+                     QueryTerm::Bound(person_)});
+  QueryEngine engine(&store_);
+  auto rows = engine.Execute(q);
+  EXPECT_EQ(rows.size(), 3u);
+}
+
+TEST_F(QueryFixture, TwoPatternJoin) {
+  // Who works for a company located in Springfield?
+  SelectQuery q;
+  q.projection = {"who"};
+  q.where.push_back({QueryTerm::Var("who"), QueryTerm::Bound(works_for_),
+                     QueryTerm::Var("c")});
+  q.where.push_back({QueryTerm::Var("c"), QueryTerm::Bound(located_in_),
+                     QueryTerm::Bound(springfield_)});
+  QueryEngine engine(&store_);
+  auto rows = engine.Execute(q);
+  ASSERT_EQ(rows.size(), 2u);
+  std::set<TermId> who;
+  for (const Binding& row : rows) who.insert(row.at("who"));
+  EXPECT_TRUE(who.count(alice_));
+  EXPECT_TRUE(who.count(bob_));
+}
+
+TEST_F(QueryFixture, ThreeWayJoinWithTypeConstraint) {
+  SelectQuery q;
+  q.where.push_back({QueryTerm::Var("p"), QueryTerm::Bound(type_),
+                     QueryTerm::Bound(person_)});
+  q.where.push_back({QueryTerm::Var("p"), QueryTerm::Bound(works_for_),
+                     QueryTerm::Var("c")});
+  q.where.push_back({QueryTerm::Var("c"), QueryTerm::Bound(type_),
+                     QueryTerm::Bound(company_)});
+  QueryEngine engine(&store_);
+  auto rows = engine.Execute(q);
+  EXPECT_EQ(rows.size(), 3u);
+}
+
+TEST_F(QueryFixture, RepeatedVariableMustAgree) {
+  // ?x worksFor ?x never holds here.
+  SelectQuery q;
+  q.where.push_back({QueryTerm::Var("x"), QueryTerm::Bound(works_for_),
+                     QueryTerm::Var("x")});
+  QueryEngine engine(&store_);
+  EXPECT_TRUE(engine.Execute(q).empty());
+}
+
+TEST_F(QueryFixture, ReorderingDoesNotChangeResults) {
+  SelectQuery q;
+  // Deliberately bad written order: unselective first.
+  q.where.push_back({QueryTerm::Var("p"), QueryTerm::Var("r"),
+                     QueryTerm::Var("o")});
+  q.where.push_back({QueryTerm::Var("p"), QueryTerm::Bound(works_for_),
+                     QueryTerm::Bound(acme_)});
+  QueryEngine engine(&store_);
+  ExecutionOptions optimized;
+  ExecutionOptions naive;
+  naive.reorder_patterns = false;
+  QueryStats stats_opt, stats_naive;
+  auto rows_opt = engine.Execute(q, optimized, &stats_opt);
+  auto rows_naive = engine.Execute(q, naive, &stats_naive);
+  EXPECT_EQ(rows_opt.size(), rows_naive.size());
+  EXPECT_LE(stats_opt.intermediate_rows, stats_naive.intermediate_rows);
+}
+
+TEST_F(QueryFixture, ProjectionLimitsColumns) {
+  SelectQuery q;
+  q.projection = {"c"};
+  q.where.push_back({QueryTerm::Var("p"), QueryTerm::Bound(works_for_),
+                     QueryTerm::Var("c")});
+  QueryEngine engine(&store_);
+  auto rows = engine.Execute(q);
+  for (const Binding& row : rows) {
+    EXPECT_EQ(row.size(), 1u);
+    EXPECT_TRUE(row.count("c"));
+  }
+}
+
+TEST_F(QueryFixture, UnknownConstantYieldsEmpty) {
+  SelectQuery q;
+  QueryTerm ghost = QueryTerm::Bound(rdf::kInvalidTermId);
+  q.where.push_back({QueryTerm::Var("x"), QueryTerm::Bound(works_for_),
+                     ghost});
+  QueryEngine engine(&store_);
+  EXPECT_TRUE(engine.Execute(q).empty());
+}
+
+// ---------------------------------------------------------------- Parser
+
+TEST_F(QueryFixture, ParseAndRunSparql) {
+  auto parsed = ParseSparql(
+      "SELECT ?who WHERE { ?who <worksFor> ?c . ?c <locatedIn> "
+      "<Springfield> . }",
+      store_.dict());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  QueryEngine engine(&store_);
+  auto rows = engine.Execute(*parsed);
+  EXPECT_EQ(rows.size(), 2u);
+}
+
+TEST_F(QueryFixture, ParseRejectsMalformed) {
+  EXPECT_FALSE(ParseSparql("FETCH ?x WHERE { }", store_.dict()).ok());
+  EXPECT_FALSE(ParseSparql("SELECT ?x { ?x ?y ?z }", store_.dict()).ok());
+  EXPECT_FALSE(
+      ParseSparql("SELECT ?x WHERE { ?x ?y }", store_.dict()).ok());
+  EXPECT_FALSE(
+      ParseSparql("SELECT ?x WHERE { ?x ?y ?z . ", store_.dict()).ok());
+  EXPECT_FALSE(ParseSparql("SELECT ?x WHERE { }", store_.dict()).ok());
+}
+
+TEST_F(QueryFixture, ParseHandlesLiterals) {
+  store_.AddTerms(Term::Iri("Alice"), Term::Iri("name"),
+                  Term::Literal("Alice Smith"));
+  auto parsed = ParseSparql(
+      "SELECT ?x WHERE { ?x <name> \"Alice Smith\" . }", store_.dict());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  QueryEngine engine(&store_);
+  EXPECT_EQ(engine.Execute(*parsed).size(), 1u);
+}
+
+TEST_F(QueryFixture, ParseUnknownConstantRunsEmpty) {
+  auto parsed = ParseSparql(
+      "SELECT ?x WHERE { ?x <worksFor> <Initech> . }", store_.dict());
+  ASSERT_TRUE(parsed.ok());
+  QueryEngine engine(&store_);
+  EXPECT_TRUE(engine.Execute(*parsed).empty());
+}
+
+
+TEST_F(QueryFixture, DistinctDropsDuplicateRows) {
+  SelectQuery q;
+  q.projection = {"c"};
+  q.where.push_back({QueryTerm::Var("p"), QueryTerm::Bound(works_for_),
+                     QueryTerm::Var("c")});
+  QueryEngine engine(&store_);
+  auto plain = engine.Execute(q);
+  EXPECT_EQ(plain.size(), 3u);  // acme twice, globex once
+  q.distinct = true;
+  auto distinct = engine.Execute(q);
+  EXPECT_EQ(distinct.size(), 2u);
+}
+
+TEST_F(QueryFixture, LimitStopsEarly) {
+  SelectQuery q;
+  q.where.push_back({QueryTerm::Var("x"), QueryTerm::Var("y"),
+                     QueryTerm::Var("z")});
+  q.limit = 2;
+  QueryEngine engine(&store_);
+  QueryStats stats;
+  auto rows = engine.Execute(q, {}, &stats);
+  EXPECT_EQ(rows.size(), 2u);
+  // Early termination: far fewer intermediate rows than the store.
+  EXPECT_LT(stats.intermediate_rows, store_.size());
+}
+
+TEST_F(QueryFixture, ParseDistinctAndLimit) {
+  auto parsed = ParseSparql(
+      "SELECT DISTINCT ?c WHERE { ?p <worksFor> ?c . } LIMIT 1",
+      store_.dict());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_TRUE(parsed->distinct);
+  EXPECT_EQ(parsed->limit, 1u);
+  QueryEngine engine(&store_);
+  EXPECT_EQ(engine.Execute(*parsed).size(), 1u);
+  EXPECT_FALSE(ParseSparql(
+      "SELECT ?x WHERE { ?x ?y ?z . } LIMIT -3", store_.dict()).ok());
+  EXPECT_FALSE(ParseSparql(
+      "SELECT ?x WHERE { ?x ?y ?z . } GARBAGE", store_.dict()).ok());
+}
+
+}  // namespace
+}  // namespace query
+}  // namespace kb

@@ -1,0 +1,260 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "rdf/dictionary.h"
+#include "rdf/namespaces.h"
+#include "rdf/ntriples.h"
+#include "rdf/term.h"
+#include "rdf/triple_store.h"
+#include "util/random.h"
+
+namespace kb {
+namespace rdf {
+namespace {
+
+// ---------------------------------------------------------------- Term
+
+TEST(TermTest, IriRoundTrip) {
+  Term t = Term::Iri("http://kbforge.org/entity/Steve_Jobs");
+  EXPECT_EQ(t.ToString(), "<http://kbforge.org/entity/Steve_Jobs>");
+  auto parsed = Term::Parse(t.ToString());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, t);
+}
+
+TEST(TermTest, PlainLiteralRoundTrip) {
+  Term t = Term::Literal("hello \"world\"\nnext");
+  auto parsed = Term::Parse(t.ToString());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, t);
+}
+
+TEST(TermTest, LangLiteralRoundTrip) {
+  Term t = Term::LangLiteral("Vienne", "fr");
+  EXPECT_EQ(t.ToString(), "\"Vienne\"@fr");
+  auto parsed = Term::Parse(t.ToString());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->language(), "fr");
+}
+
+TEST(TermTest, TypedLiteralRoundTrip) {
+  Term t = Term::IntLiteral(42);
+  auto parsed = Term::Parse(t.ToString());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->value(), "42");
+  EXPECT_EQ(parsed->datatype(), "http://www.w3.org/2001/XMLSchema#integer");
+}
+
+TEST(TermTest, BlankRoundTrip) {
+  Term t = Term::Blank("b42");
+  EXPECT_EQ(t.ToString(), "_:b42");
+  auto parsed = Term::Parse("_:b42");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, t);
+}
+
+TEST(TermTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(Term::Parse("").ok());
+  EXPECT_FALSE(Term::Parse("<unterminated").ok());
+  EXPECT_FALSE(Term::Parse("\"unterminated").ok());
+  EXPECT_FALSE(Term::Parse("plainword").ok());
+}
+
+TEST(NamespacesTest, AbbreviateKnownPrefixes) {
+  EXPECT_EQ(Abbreviate(EntityIri("Steve_Jobs")), "kb:Steve_Jobs");
+  EXPECT_EQ(Abbreviate(std::string(kRdfType)), "rdf:type");
+  EXPECT_EQ(Abbreviate("http://example.org/x"), "http://example.org/x");
+}
+
+// ---------------------------------------------------------------- Dictionary
+
+TEST(DictionaryTest, InternIsIdempotent) {
+  Dictionary dict;
+  TermId a = dict.Intern(Term::Iri("x"));
+  TermId b = dict.Intern(Term::Iri("x"));
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(dict.size(), 1u);
+  EXPECT_EQ(dict.term(a).value(), "x");
+}
+
+TEST(DictionaryTest, DistinctTermsDistinctIds) {
+  Dictionary dict;
+  TermId iri = dict.Intern(Term::Iri("x"));
+  TermId lit = dict.Intern(Term::Literal("x"));
+  EXPECT_NE(iri, lit);
+}
+
+TEST(DictionaryTest, LookupMissReturnsInvalid) {
+  Dictionary dict;
+  EXPECT_EQ(dict.Lookup(Term::Iri("nope")), kInvalidTermId);
+}
+
+// ---------------------------------------------------------------- Store
+
+class TripleStoreTest : public ::testing::Test {
+ protected:
+  TermId Iri(const std::string& s) {
+    return store_.dict().Intern(Term::Iri(s));
+  }
+  TripleStore store_;
+};
+
+TEST_F(TripleStoreTest, AddAndContains) {
+  Triple t(Iri("s"), Iri("p"), Iri("o"));
+  EXPECT_TRUE(store_.Add(t));
+  EXPECT_FALSE(store_.Add(t));  // duplicate
+  EXPECT_TRUE(store_.Contains(t));
+  EXPECT_EQ(store_.size(), 1u);
+}
+
+TEST_F(TripleStoreTest, PatternShapesAllWork) {
+  TermId s1 = Iri("s1"), s2 = Iri("s2");
+  TermId p1 = Iri("p1"), p2 = Iri("p2");
+  TermId o1 = Iri("o1"), o2 = Iri("o2");
+  for (TermId s : {s1, s2})
+    for (TermId p : {p1, p2})
+      for (TermId o : {o1, o2}) store_.Add(Triple(s, p, o));
+  EXPECT_EQ(store_.size(), 8u);
+
+  TriplePattern all;
+  EXPECT_EQ(store_.Match(all).size(), 8u);
+  TriplePattern sp;
+  sp.s = s1;
+  sp.p = p2;
+  EXPECT_EQ(store_.Match(sp).size(), 2u);
+  TriplePattern po;
+  po.p = p1;
+  po.o = o2;
+  EXPECT_EQ(store_.Match(po).size(), 2u);
+  TriplePattern so;
+  so.s = s2;
+  so.o = o1;
+  EXPECT_EQ(store_.Match(so).size(), 2u);
+  TriplePattern exact;
+  exact.s = s1;
+  exact.p = p1;
+  exact.o = o1;
+  EXPECT_EQ(store_.Match(exact).size(), 1u);
+}
+
+TEST_F(TripleStoreTest, ScanEarlyStop) {
+  for (int i = 0; i < 10; ++i) {
+    store_.Add(Triple(Iri("s"), Iri("p"), Iri("o" + std::to_string(i))));
+  }
+  int seen = 0;
+  TriplePattern pat;
+  pat.s = store_.dict().Lookup(Term::Iri("s"));
+  store_.Scan(pat, [&seen](const Triple&) { return ++seen < 3; });
+  EXPECT_EQ(seen, 3);
+}
+
+TEST_F(TripleStoreTest, ObjectsAndSubjectsHelpers) {
+  TermId s = Iri("s"), p = Iri("p");
+  TermId o1 = Iri("o1"), o2 = Iri("o2");
+  store_.Add(Triple(s, p, o1));
+  store_.Add(Triple(s, p, o2));
+  auto objects = store_.Objects(s, p);
+  EXPECT_EQ(objects.size(), 2u);
+  auto subjects = store_.Subjects(p, o1);
+  ASSERT_EQ(subjects.size(), 1u);
+  EXPECT_EQ(subjects[0], s);
+  EXPECT_NE(store_.FirstObject(s, p), kInvalidTermId);
+  EXPECT_EQ(store_.FirstObject(p, s), kInvalidTermId);
+}
+
+TEST_F(TripleStoreTest, InterleavedAddAndQuery) {
+  TermId p = Iri("p");
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 100; ++i) {
+      store_.Add(Triple(Iri("s" + std::to_string(round * 100 + i)), p,
+                        Iri("o")));
+    }
+    TriplePattern pat;
+    pat.p = p;
+    EXPECT_EQ(store_.CountMatches(pat), (round + 1) * 100u);
+  }
+}
+
+// Property test: the indexed matcher must agree with a full scan on
+// randomly generated stores and patterns.
+class TripleStorePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TripleStorePropertyTest, IndexAgreesWithFullScan) {
+  Rng rng(GetParam());
+  TripleStore store;
+  std::vector<TermId> ids;
+  for (int i = 0; i < 20; ++i) {
+    ids.push_back(store.dict().Intern(Term::Iri("t" + std::to_string(i))));
+  }
+  for (int i = 0; i < 500; ++i) {
+    store.Add(Triple(rng.Choice(ids), rng.Choice(ids), rng.Choice(ids)));
+  }
+  for (int q = 0; q < 100; ++q) {
+    TriplePattern pat;
+    if (rng.Bernoulli(0.5)) pat.s = rng.Choice(ids);
+    if (rng.Bernoulli(0.5)) pat.p = rng.Choice(ids);
+    if (rng.Bernoulli(0.5)) pat.o = rng.Choice(ids);
+    auto indexed = store.Match(pat);
+    auto scanned = store.MatchFullScan(pat);
+    auto key = [](const Triple& t) {
+      return std::tuple(t.s, t.p, t.o);
+    };
+    std::sort(indexed.begin(), indexed.end());
+    std::sort(scanned.begin(), scanned.end());
+    ASSERT_EQ(indexed.size(), scanned.size());
+    for (size_t i = 0; i < indexed.size(); ++i) {
+      EXPECT_EQ(key(indexed[i]), key(scanned[i]));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TripleStorePropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// ---------------------------------------------------------------- N-Triples
+
+TEST(NTriplesTest, RoundTripPreservesTriples) {
+  TripleStore store;
+  store.AddTerms(Term::Iri("http://kb/s"), Term::Iri("http://kb/p"),
+                 Term::LangLiteral("wert", "de"));
+  store.AddTerms(Term::Iri("http://kb/s"), Term::Iri("http://kb/p2"),
+                 Term::IntLiteral(7));
+  store.AddTerms(Term::Blank("b1"), Term::Iri("http://kb/p"),
+                 Term::Literal("x y z"));
+  std::string text = WriteNTriples(store);
+
+  TripleStore restored;
+  ASSERT_TRUE(ReadNTriples(text, &restored).ok());
+  EXPECT_EQ(restored.size(), store.size());
+  EXPECT_EQ(WriteNTriples(restored), text);
+}
+
+TEST(NTriplesTest, SkipsCommentsAndBlanks) {
+  TripleStore store;
+  std::string text =
+      "# a comment\n\n<http://a> <http://b> \"lit\" .\n   \n";
+  ASSERT_TRUE(ReadNTriples(text, &store).ok());
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(NTriplesTest, RejectsMalformedLine) {
+  TripleStore store;
+  EXPECT_FALSE(ReadNTriples("<http://a> <http://b> .\n", &store).ok());
+  EXPECT_FALSE(
+      ReadNTriples("<http://a> <http://b> \"x\" extra .\n", &store).ok());
+  EXPECT_FALSE(ReadNTriples("<a> \"notiri\" <c> .\n", &store).ok());
+}
+
+TEST(NTriplesTest, LiteralWithDotAndSpaces) {
+  TripleStore store;
+  std::string line =
+      "<http://a> <http://b> \"ends with . dot \\\" q\" .\n";
+  ASSERT_TRUE(ReadNTriples(line, &store).ok());
+  EXPECT_EQ(store.size(), 1u);
+}
+
+}  // namespace
+}  // namespace rdf
+}  // namespace kb

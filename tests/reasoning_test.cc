@@ -1,0 +1,319 @@
+#include <gtest/gtest.h>
+
+#include "reasoning/consistency.h"
+#include "reasoning/factor_graph.h"
+#include "reasoning/maxsat.h"
+#include "util/random.h"
+
+namespace kb {
+namespace reasoning {
+namespace {
+
+using corpus::Relation;
+using extraction::ExtractedFact;
+
+// ---------------------------------------------------------------- MaxSat
+
+TEST(MaxSatTest, UnitClausesDriveAssignment) {
+  MaxSatSolver solver;
+  uint32_t a = solver.AddVariable();
+  uint32_t b = solver.AddVariable();
+  solver.AddSoftUnit(Pos(a), 2.0);
+  solver.AddSoftUnit(Neg(b), 1.0);
+  MaxSatResult result = solver.Solve();
+  EXPECT_TRUE(result.hard_satisfied);
+  EXPECT_TRUE(result.assignment[a]);
+  EXPECT_FALSE(result.assignment[b]);
+  EXPECT_DOUBLE_EQ(result.satisfied_soft_weight, 3.0);
+}
+
+TEST(MaxSatTest, HardConflictPicksHeavierSide) {
+  MaxSatSolver solver;
+  uint32_t a = solver.AddVariable();
+  uint32_t b = solver.AddVariable();
+  solver.AddSoftUnit(Pos(a), 3.0);
+  solver.AddSoftUnit(Pos(b), 1.0);
+  solver.AddHardConflict(a, b);
+  MaxSatResult result = solver.Solve();
+  EXPECT_TRUE(result.hard_satisfied);
+  EXPECT_TRUE(result.assignment[a]);
+  EXPECT_FALSE(result.assignment[b]);
+}
+
+TEST(MaxSatTest, ChainOfConflicts) {
+  // a-b, b-c conflicts; weights make {a, c} optimal.
+  MaxSatSolver solver;
+  uint32_t a = solver.AddVariable();
+  uint32_t b = solver.AddVariable();
+  uint32_t c = solver.AddVariable();
+  solver.AddSoftUnit(Pos(a), 2.0);
+  solver.AddSoftUnit(Pos(b), 2.5);
+  solver.AddSoftUnit(Pos(c), 2.0);
+  solver.AddHardConflict(a, b);
+  solver.AddHardConflict(b, c);
+  MaxSatResult result = solver.Solve();
+  EXPECT_TRUE(result.hard_satisfied);
+  EXPECT_TRUE(result.assignment[a]);
+  EXPECT_FALSE(result.assignment[b]);
+  EXPECT_TRUE(result.assignment[c]);
+}
+
+TEST(MaxSatTest, ExactSolverSmallInstance) {
+  MaxSatSolver solver;
+  uint32_t a = solver.AddVariable();
+  uint32_t b = solver.AddVariable();
+  solver.AddSoftUnit(Pos(a), 1.0);
+  solver.AddSoftUnit(Pos(b), 1.0);
+  solver.AddHardConflict(a, b);
+  MaxSatResult exact = solver.SolveExact();
+  EXPECT_TRUE(exact.hard_satisfied);
+  EXPECT_DOUBLE_EQ(exact.satisfied_soft_weight, 1.0);
+}
+
+// Property: local search must reach the exact optimum on random small
+// instances (it has restarts and plenty of flips for ~12 vars).
+class MaxSatPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MaxSatPropertyTest, LocalSearchMatchesExactOptimum) {
+  Rng rng(GetParam() * 7919);
+  MaxSatSolver solver;
+  const int kVars = 10;
+  std::vector<uint32_t> vars;
+  for (int i = 0; i < kVars; ++i) vars.push_back(solver.AddVariable());
+  // Random soft units.
+  for (uint32_t v : vars) {
+    solver.AddSoftUnit(rng.Bernoulli(0.7) ? Pos(v) : Neg(v),
+                       0.5 + rng.UniformDouble() * 2.0);
+  }
+  // Random conflicts (hard) and soft binary clauses.
+  for (int i = 0; i < 8; ++i) {
+    uint32_t a = vars[rng.Uniform(kVars)];
+    uint32_t b = vars[rng.Uniform(kVars)];
+    if (a == b) continue;
+    if (rng.Bernoulli(0.6)) {
+      solver.AddHardConflict(a, b);
+    } else {
+      Clause c;
+      c.literals = {Pos(a), Pos(b)};
+      c.weight = 0.5 + rng.UniformDouble();
+      solver.AddClause(c);
+    }
+  }
+  MaxSatResult exact = solver.SolveExact();
+  MaxSatResult search = solver.Solve();
+  ASSERT_TRUE(search.hard_satisfied);
+  EXPECT_NEAR(search.satisfied_soft_weight, exact.satisfied_soft_weight,
+              1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MaxSatPropertyTest,
+                         ::testing::Range(1, 11));
+
+// ---------------------------------------------------------------- Pipeline
+
+ExtractedFact MakeFact(uint32_t subject, Relation relation, uint32_t object,
+                       double confidence) {
+  ExtractedFact f;
+  f.subject = subject;
+  f.relation = relation;
+  f.object = object;
+  f.confidence = confidence;
+  return f;
+}
+
+TEST(ConsistencyTest, MajoritySupportWinsFunctionalConflict) {
+  // bornIn is functional: subject 1 is claimed born in city 100 (three
+  // sources) and city 200 (one source).
+  std::vector<ExtractedFact> facts;
+  for (int i = 0; i < 3; ++i) {
+    facts.push_back(MakeFact(1, Relation::kBornIn, 100, 0.8));
+  }
+  facts.push_back(MakeFact(1, Relation::kBornIn, 200, 0.8));
+  ConsistencyResult result = ReasonOverFacts(facts);
+  ASSERT_EQ(result.accepted.size(), 1u);
+  EXPECT_EQ(result.accepted[0].object, 100u);
+  ASSERT_EQ(result.rejected.size(), 1u);
+  EXPECT_EQ(result.rejected[0].object, 200u);
+  EXPECT_GT(result.num_conflicts, 0u);
+}
+
+TEST(ConsistencyTest, NonFunctionalRelationsKeepMultipleObjects) {
+  std::vector<ExtractedFact> facts;
+  facts.push_back(MakeFact(1, Relation::kStudiedAt, 100, 0.8));
+  facts.push_back(MakeFact(1, Relation::kStudiedAt, 200, 0.8));
+  ConsistencyResult result = ReasonOverFacts(facts);
+  EXPECT_EQ(result.accepted.size(), 2u);
+  EXPECT_EQ(result.num_conflicts, 0u);
+}
+
+TEST(ConsistencyTest, InverseFunctionalCapitalConflict) {
+  // capitalOf is inverse functional: two cities claiming the same
+  // country conflict.
+  std::vector<ExtractedFact> facts;
+  facts.push_back(MakeFact(10, Relation::kCapitalOf, 500, 0.9));
+  facts.push_back(MakeFact(10, Relation::kCapitalOf, 500, 0.9));
+  facts.push_back(MakeFact(20, Relation::kCapitalOf, 500, 0.6));
+  ConsistencyResult result = ReasonOverFacts(facts);
+  ASSERT_EQ(result.accepted.size(), 1u);
+  EXPECT_EQ(result.accepted[0].subject, 10u);
+}
+
+TEST(ConsistencyTest, TemporalMayorOverlapConflict) {
+  ExtractedFact a = MakeFact(1, Relation::kMayorOf, 100, 0.9);
+  a.span.begin.year = 1990;
+  a.span.end.year = 2000;
+  ExtractedFact dup = a;  // second source for the same mayor
+  ExtractedFact b = MakeFact(2, Relation::kMayorOf, 100, 0.8);
+  b.span.begin.year = 1995;
+  b.span.end.year = 1998;
+  ConsistencyResult result = ReasonOverFacts({a, dup, b});
+  ASSERT_EQ(result.accepted.size(), 1u);
+  EXPECT_EQ(result.accepted[0].subject, 1u);
+  // Non-overlapping spans coexist.
+  ExtractedFact c = MakeFact(2, Relation::kMayorOf, 100, 0.8);
+  c.span.begin.year = 2001;
+  c.span.end.year = 2005;
+  result = ReasonOverFacts({a, c});
+  EXPECT_EQ(result.accepted.size(), 2u);
+}
+
+TEST(ConsistencyTest, ReasoningOffKeepsEverything) {
+  std::vector<ExtractedFact> facts;
+  facts.push_back(MakeFact(1, Relation::kBornIn, 100, 0.8));
+  facts.push_back(MakeFact(1, Relation::kBornIn, 200, 0.8));
+  ConsistencyOptions options;
+  options.functionality = false;
+  options.inverse_functionality = false;
+  options.temporal_conflicts = false;
+  ConsistencyResult result = ReasonOverFacts(facts, options);
+  EXPECT_EQ(result.accepted.size(), 2u);
+}
+
+// ---------------------------------------------------------------- Factors
+
+TEST(FactorGraphTest, UnaryFactorSetsMarginal) {
+  FactorGraph graph;
+  uint32_t x = graph.AddVariable();
+  graph.AddUnary(x, 2.0);
+  auto exact = graph.ExactMarginals();
+  // P(x) = e^2 / (1 + e^2) ~ 0.88.
+  EXPECT_NEAR(exact[x], std::exp(2.0) / (1 + std::exp(2.0)), 1e-9);
+  auto gibbs = graph.Marginals(FactorGraph::GibbsOptions{5, 200, 2000});
+  EXPECT_NEAR(gibbs[x], exact[x], 0.05);
+}
+
+TEST(FactorGraphTest, MutexSuppressesJointTruth) {
+  FactorGraph graph;
+  uint32_t a = graph.AddVariable();
+  uint32_t b = graph.AddVariable();
+  graph.AddUnary(a, 1.5);
+  graph.AddUnary(b, 1.5);
+  graph.AddMutex(a, b, 4.0);
+  auto exact = graph.ExactMarginals();
+  // Strong mutex: both can't be likely true together; marginals drop
+  // below the unary-only value.
+  double unary_only = std::exp(1.5) / (1 + std::exp(1.5));
+  EXPECT_LT(exact[a], unary_only);
+  auto gibbs = graph.Marginals(FactorGraph::GibbsOptions{7, 300, 3000});
+  EXPECT_NEAR(gibbs[a], exact[a], 0.06);
+  EXPECT_NEAR(gibbs[b], exact[b], 0.06);
+}
+
+TEST(FactorGraphTest, ImplicationRaisesConsequent) {
+  FactorGraph graph;
+  uint32_t a = graph.AddVariable();
+  uint32_t b = graph.AddVariable();
+  graph.AddUnary(a, 3.0);   // a almost surely true
+  graph.AddImply(a, b, 2.0);
+  auto exact = graph.ExactMarginals();
+  EXPECT_GT(exact[b], 0.6);  // pulled up by the implication
+}
+
+class FactorGraphPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FactorGraphPropertyTest, GibbsApproximatesExact) {
+  Rng rng(GetParam() * 104729);
+  FactorGraph graph;
+  const int kVars = 6;
+  std::vector<uint32_t> vars;
+  for (int i = 0; i < kVars; ++i) vars.push_back(graph.AddVariable());
+  for (uint32_t v : vars) {
+    graph.AddUnary(v, rng.Gaussian(0, 1.5));
+  }
+  for (int i = 0; i < 4; ++i) {
+    uint32_t a = vars[rng.Uniform(kVars)];
+    uint32_t b = vars[rng.Uniform(kVars)];
+    if (a == b) continue;
+    if (rng.Bernoulli(0.5)) {
+      graph.AddMutex(a, b, rng.UniformDouble() * 2);
+    } else {
+      graph.AddImply(a, b, rng.UniformDouble() * 2);
+    }
+  }
+  auto exact = graph.ExactMarginals();
+  auto gibbs = graph.Marginals(
+      FactorGraph::GibbsOptions{GetParam() * 31u, 500, 6000});
+  for (int i = 0; i < kVars; ++i) {
+    EXPECT_NEAR(gibbs[i], exact[i], 0.08) << "var " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FactorGraphPropertyTest,
+                         ::testing::Values(1, 2, 3, 4));
+
+
+// ---------------------------------------------------------------- Gibbs
+
+TEST(ProbabilisticConsistencyTest, MajorityWinsLikeMaxSat) {
+  std::vector<ExtractedFact> facts;
+  for (int i = 0; i < 3; ++i) {
+    facts.push_back(MakeFact(1, Relation::kBornIn, 100, 0.8));
+  }
+  facts.push_back(MakeFact(1, Relation::kBornIn, 200, 0.8));
+  ConsistencyResult result = ReasonOverFactsProbabilistic(facts);
+  ASSERT_EQ(result.accepted.size(), 1u);
+  EXPECT_EQ(result.accepted[0].object, 100u);
+  // The output confidence is a calibrated marginal, not the input.
+  EXPECT_GT(result.accepted[0].confidence, 0.5);
+  EXPECT_LE(result.accepted[0].confidence, 1.0);
+  ASSERT_EQ(result.rejected.size(), 1u);
+  EXPECT_LT(result.rejected[0].confidence, 0.5);
+}
+
+TEST(ProbabilisticConsistencyTest, UnconflictedFactsGetHighMarginals) {
+  std::vector<ExtractedFact> facts;
+  facts.push_back(MakeFact(1, Relation::kStudiedAt, 100, 0.9));
+  facts.push_back(MakeFact(2, Relation::kStudiedAt, 100, 0.9));
+  ConsistencyResult result = ReasonOverFactsProbabilistic(facts);
+  ASSERT_EQ(result.accepted.size(), 2u);
+  for (const auto& f : result.accepted) {
+    EXPECT_GT(f.confidence, 0.8);
+  }
+}
+
+TEST(ProbabilisticConsistencyTest, AgreesWithMaxSatOnCleanInput) {
+  // Both engines should accept the same statements on an input whose
+  // conflicts have clear majorities.
+  std::vector<ExtractedFact> facts;
+  for (uint32_t subject = 1; subject <= 10; ++subject) {
+    for (int rep = 0; rep < 3; ++rep) {
+      facts.push_back(
+          MakeFact(subject, Relation::kBornIn, 100 + subject, 0.85));
+    }
+    facts.push_back(MakeFact(subject, Relation::kBornIn, 999, 0.6));
+  }
+  auto maxsat = ReasonOverFacts(facts);
+  auto gibbs = ReasonOverFactsProbabilistic(facts);
+  ASSERT_EQ(maxsat.accepted.size(), gibbs.accepted.size());
+  auto key = [](const ExtractedFact& f) {
+    return std::make_tuple(f.subject, f.object);
+  };
+  std::set<std::tuple<uint32_t, uint32_t>> a, b;
+  for (const auto& f : maxsat.accepted) a.insert(key(f));
+  for (const auto& f : gibbs.accepted) b.insert(key(f));
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace reasoning
+}  // namespace kb

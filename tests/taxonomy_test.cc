@@ -1,0 +1,247 @@
+#include <gtest/gtest.h>
+
+#include "corpus/generator.h"
+#include "taxonomy/category_induction.h"
+#include "taxonomy/set_expansion.h"
+#include "taxonomy/taxonomy.h"
+#include "taxonomy/type_inference.h"
+
+namespace kb {
+namespace taxonomy {
+namespace {
+
+// ---------------------------------------------------------------- DAG
+
+TEST(TaxonomyTest, InternAndLookup) {
+  Taxonomy t;
+  ClassId singer = t.Intern("singer");
+  EXPECT_EQ(t.Intern("singer"), singer);
+  EXPECT_EQ(t.Lookup("singer"), singer);
+  EXPECT_EQ(t.Lookup("absent"), kInvalidClassId);
+  EXPECT_EQ(t.name(singer), "singer");
+}
+
+TEST(TaxonomyTest, TransitiveSubsumption) {
+  Taxonomy t;
+  ClassId singer = t.Intern("singer");
+  ClassId person = t.Intern("person");
+  ClassId entity = t.Intern("entity");
+  EXPECT_TRUE(t.AddSubclass(singer, person));
+  EXPECT_TRUE(t.AddSubclass(person, entity));
+  EXPECT_TRUE(t.IsSubclassOf(singer, entity));
+  EXPECT_TRUE(t.IsSubclassOf(singer, singer));
+  EXPECT_FALSE(t.IsSubclassOf(entity, singer));
+}
+
+TEST(TaxonomyTest, RejectsCycles) {
+  Taxonomy t;
+  ClassId a = t.Intern("a");
+  ClassId b = t.Intern("b");
+  ClassId c = t.Intern("c");
+  EXPECT_TRUE(t.AddSubclass(a, b));
+  EXPECT_TRUE(t.AddSubclass(b, c));
+  EXPECT_FALSE(t.AddSubclass(c, a));  // would close a cycle
+  EXPECT_FALSE(t.AddSubclass(a, a));
+  EXPECT_FALSE(t.AddSubclass(a, b));  // duplicate
+  EXPECT_EQ(t.num_edges(), 2u);
+}
+
+TEST(TaxonomyTest, AncestorsAndRoots) {
+  Taxonomy t = MakeBackboneTaxonomy();
+  ClassId singer = t.Lookup("singer");
+  ASSERT_NE(singer, kInvalidClassId);
+  auto ancestors = t.Ancestors(singer);
+  bool found_entity = false;
+  for (ClassId a : ancestors) {
+    if (t.name(a) == "entity") found_entity = true;
+  }
+  EXPECT_TRUE(found_entity);
+  auto roots = t.Roots();
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_EQ(t.name(roots[0]), "entity");
+}
+
+// ---------------------------------------------------------------- Categories
+
+TEST(CategoryClassifierTest, ConceptualPluralHead) {
+  InductionOptions options;
+  std::string head;
+  EXPECT_EQ(ClassifyCategory("Freedonian singers", options, &head),
+            CategoryDecision::kConceptual);
+  EXPECT_EQ(head, "singer");
+  EXPECT_EQ(ClassifyCategory("Cities in Freedonia", options, &head),
+            CategoryDecision::kConceptual);
+  EXPECT_EQ(head, "city");
+}
+
+TEST(CategoryClassifierTest, RelationalYearCategories) {
+  InductionOptions options;
+  std::string head;
+  EXPECT_EQ(ClassifyCategory("1955 births", options, &head),
+            CategoryDecision::kRelational);
+  options.relational_categories = false;
+  EXPECT_EQ(ClassifyCategory("1955 births", options, &head),
+            CategoryDecision::kConceptual);  // the precision mistake
+}
+
+TEST(CategoryClassifierTest, AdministrativeFiltered) {
+  InductionOptions options;
+  EXPECT_EQ(ClassifyCategory("Articles needing cleanup", options, nullptr),
+            CategoryDecision::kAdministrative);
+  options.admin_filter = false;
+  EXPECT_EQ(ClassifyCategory("Articles needing cleanup", options, nullptr),
+            CategoryDecision::kConceptual);  // heuristic misfires
+}
+
+TEST(CategoryClassifierTest, TopicalSingularHead) {
+  InductionOptions options;
+  EXPECT_EQ(ClassifyCategory("Music", options, nullptr),
+            CategoryDecision::kTopical);
+}
+
+class InductionFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    corpus::WorldOptions wopts;
+    wopts.seed = 21;
+    wopts.num_persons = 80;
+    wopts.num_cities = 20;
+    wopts.num_companies = 25;
+    corpus::CorpusOptions copts;
+    copts.seed = 22;
+    copts.news_docs = 10;
+    copts.web_docs = 60;
+    corpus_ = new corpus::Corpus(corpus::BuildCorpus(wopts, copts));
+  }
+  static void TearDownTestSuite() {
+    delete corpus_;
+    corpus_ = nullptr;
+  }
+  static corpus::Corpus* corpus_;
+};
+
+corpus::Corpus* InductionFixture::corpus_ = nullptr;
+
+TEST_F(InductionFixture, InducesGoldClasses) {
+  InducedTaxonomy induced =
+      InduceFromCategories(corpus_->docs, InductionOptions());
+  // Every gold class with a category form should appear.
+  for (const char* cls : {"singer", "city", "company", "university"}) {
+    EXPECT_NE(induced.taxonomy.Lookup(cls), kInvalidClassId) << cls;
+  }
+  // Specific classes subsume into general ones.
+  ClassId specific = induced.taxonomy.Lookup("freedonian singer");
+  ClassId general = induced.taxonomy.Lookup("singer");
+  if (specific != kInvalidClassId) {
+    EXPECT_TRUE(induced.taxonomy.IsSubclassOf(specific, general));
+  }
+  // Induced singer class subsumes into the backbone person class.
+  ClassId person = induced.taxonomy.Lookup("person");
+  ASSERT_NE(person, kInvalidClassId);
+  EXPECT_TRUE(induced.taxonomy.IsSubclassOf(general, person));
+}
+
+TEST_F(InductionFixture, BirthYearsHarvestedFromRelationalCategories) {
+  InducedTaxonomy induced =
+      InduceFromCategories(corpus_->docs, InductionOptions());
+  EXPECT_GT(induced.birth_years.size(),
+            corpus_->world.ByKind(corpus::EntityKind::kPerson).size() / 2);
+  for (const auto& [entity, year] : induced.birth_years) {
+    EXPECT_EQ(year, corpus_->world.entity(entity).birth_date.year);
+  }
+}
+
+TEST_F(InductionFixture, EntityTypingPrecision) {
+  InducedTaxonomy induced =
+      InduceFromCategories(corpus_->docs, InductionOptions());
+  size_t correct = 0, total = 0;
+  for (const auto& [entity, classes] : induced.entity_classes) {
+    const corpus::Entity& e = corpus_->world.entity(entity);
+    for (const std::string& cls : classes) {
+      // Only check the single-word general classes.
+      if (cls.find(' ') != std::string::npos) continue;
+      ++total;
+      bool ok = cls == corpus::EntityKindName(e.kind) ||
+                (e.kind == corpus::EntityKind::kBand && cls == "group");
+      for (const std::string& occ : e.occupations) ok = ok || cls == occ;
+      if (ok) ++correct;
+    }
+  }
+  ASSERT_GT(total, 0u);
+  EXPECT_GT(static_cast<double>(correct) / total, 0.85);
+}
+
+TEST_F(InductionFixture, LeadSentenceTypesFound) {
+  nlp::PosTagger tagger;
+  size_t with_types = 0, persons = 0;
+  for (const corpus::Document& doc : corpus_->docs) {
+    if (doc.kind != corpus::DocKind::kArticle) continue;
+    if (corpus_->world.entity(doc.subject).kind !=
+        corpus::EntityKind::kPerson) {
+      continue;
+    }
+    ++persons;
+    auto types = LeadSentenceTypes(doc, tagger);
+    if (!types.empty()) {
+      ++with_types;
+      // The first type must be a gold occupation.
+      const auto& occupations =
+          corpus_->world.entity(doc.subject).occupations;
+      EXPECT_NE(std::find(occupations.begin(), occupations.end(), types[0]),
+                occupations.end())
+          << doc.title << " got " << types[0];
+    }
+  }
+  EXPECT_GT(with_types, persons * 3 / 4);
+}
+
+TEST_F(InductionFixture, InferTypesCombinesSources) {
+  InducedTaxonomy induced =
+      InduceFromCategories(corpus_->docs, InductionOptions());
+  nlp::PosTagger tagger;
+  EntityTypes types = InferTypes(corpus_->docs, induced, tagger);
+  EXPECT_GT(types.from_categories, 0u);
+  EXPECT_GT(types.from_lead_sentences, 0u);
+  EXPECT_EQ(types.types.size(), corpus_->world.entities().size());
+}
+
+// ---------------------------------------------------------------- Expansion
+
+TEST_F(InductionFixture, SetExpansionFindsClassMembers) {
+  SetExpander expander(corpus_->docs);
+  ASSERT_GT(expander.num_contexts(), 0u);
+  // Seeds: first three gold singers that appear in some context.
+  std::set<uint32_t> gold_singers;
+  for (uint32_t id : corpus_->world.ByKind(corpus::EntityKind::kPerson)) {
+    const auto& occ = corpus_->world.entity(id).occupations;
+    if (std::find(occ.begin(), occ.end(), "singer") != occ.end()) {
+      gold_singers.insert(id);
+    }
+  }
+  std::set<uint32_t> seeds;
+  for (uint32_t id : gold_singers) {
+    if (seeds.size() >= 3) break;
+    seeds.insert(id);
+  }
+  ASSERT_GE(seeds.size(), 3u);
+  auto expanded = expander.Expand(seeds);
+  if (expanded.empty()) GTEST_SKIP() << "no overlapping contexts drawn";
+  size_t correct = 0;
+  for (const auto& cand : expanded) {
+    if (gold_singers.count(cand.entity) > 0) ++correct;
+  }
+  // Expansion from singer seeds should be dominated by singers:
+  // contexts are class-pure by construction, so errors only come from
+  // entities sharing a sentence.
+  EXPECT_GT(static_cast<double>(correct) / expanded.size(), 0.6);
+}
+
+TEST(SetExpanderTest, EmptySeedsGiveNothing) {
+  std::vector<corpus::Document> docs;
+  SetExpander expander(docs);
+  EXPECT_TRUE(expander.Expand({}).empty());
+}
+
+}  // namespace
+}  // namespace taxonomy
+}  // namespace kb

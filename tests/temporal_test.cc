@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "corpus/generator.h"
+#include "extraction/annotation.h"
+#include "nlp/tokenizer.h"
+#include "temporal/scoping.h"
+#include "temporal/timex.h"
+
+namespace kb {
+namespace temporal {
+namespace {
+
+nlp::Sentence MakeSentence(const std::string& text) {
+  nlp::PosTagger tagger;
+  auto sentences = nlp::SplitSentences(text);
+  tagger.TagSentences(&sentences);
+  return sentences.at(0);
+}
+
+// ---------------------------------------------------------------- Timex
+
+TEST(TimexTest, FullDate) {
+  auto timexes = MakeSentence("He was born on February 24, 1955.").tokens.empty()
+                     ? std::vector<Timex>{}
+                     : ExtractTimexes(
+                           MakeSentence("He was born on February 24, 1955."));
+  ASSERT_EQ(timexes.size(), 1u);
+  EXPECT_EQ(timexes[0].kind, TimexKind::kDate);
+  EXPECT_EQ(timexes[0].date.ToString(), "1955-02-24");
+}
+
+TEST(TimexTest, MonthYear) {
+  auto timexes = ExtractTimexes(MakeSentence("It happened in March 1999."));
+  ASSERT_EQ(timexes.size(), 1u);
+  EXPECT_EQ(timexes[0].date.ToString(), "1999-03");
+}
+
+TEST(TimexTest, BareYear) {
+  auto timexes = ExtractTimexes(MakeSentence("The company grew in 1982."));
+  ASSERT_EQ(timexes.size(), 1u);
+  EXPECT_EQ(timexes[0].kind, TimexKind::kDate);
+  EXPECT_EQ(timexes[0].date.year, 1982);
+  EXPECT_EQ(timexes[0].date.month, 0);
+}
+
+TEST(TimexTest, Interval) {
+  auto timexes =
+      ExtractTimexes(MakeSentence("She led the city from 1976 to 1985."));
+  ASSERT_EQ(timexes.size(), 1u);
+  EXPECT_EQ(timexes[0].kind, TimexKind::kInterval);
+  EXPECT_EQ(timexes[0].span.begin.year, 1976);
+  EXPECT_EQ(timexes[0].span.end.year, 1985);
+}
+
+TEST(TimexTest, OpenBounds) {
+  auto since = ExtractTimexes(MakeSentence("He has worked there since 1990."));
+  ASSERT_EQ(since.size(), 1u);
+  EXPECT_EQ(since[0].kind, TimexKind::kOpenBegin);
+  EXPECT_EQ(since[0].span.begin.year, 1990);
+  auto until = ExtractTimexes(MakeSentence("He stayed until 1985."));
+  ASSERT_EQ(until.size(), 1u);
+  EXPECT_EQ(until[0].kind, TimexKind::kOpenEnd);
+  EXPECT_EQ(until[0].span.end.year, 1985);
+}
+
+TEST(TimexTest, NonYearsIgnored) {
+  auto timexes =
+      ExtractTimexes(MakeSentence("Chapter 7 covers 42 pages and 123 items."));
+  EXPECT_TRUE(timexes.empty());
+}
+
+TEST(TimexTest, MultipleExpressions) {
+  auto timexes = ExtractTimexes(
+      MakeSentence("Born in 1950, he ruled from 1976 to 1985."));
+  ASSERT_EQ(timexes.size(), 2u);
+  EXPECT_EQ(timexes[0].kind, TimexKind::kDate);
+  EXPECT_EQ(timexes[1].kind, TimexKind::kInterval);
+}
+
+// ---------------------------------------------------------------- Scoping
+
+class ScopingFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    corpus::WorldOptions wopts;
+    wopts.seed = 41;
+    wopts.num_persons = 120;
+    corpus::CorpusOptions copts;
+    copts.seed = 42;
+    copts.news_docs = 100;
+    copts.fact_error_rate = 0.0;
+    corpus_ = new corpus::Corpus(corpus::BuildCorpus(wopts, copts));
+    tagger_ = new nlp::PosTagger();
+    sentences_ = new std::vector<extraction::AnnotatedSentence>(
+        extraction::AnnotateDocuments(corpus_->world, corpus_->docs,
+                                      *tagger_));
+  }
+  static void TearDownTestSuite() {
+    delete sentences_;
+    delete tagger_;
+    delete corpus_;
+  }
+  static corpus::Corpus* corpus_;
+  static nlp::PosTagger* tagger_;
+  static std::vector<extraction::AnnotatedSentence>* sentences_;
+};
+
+corpus::Corpus* ScopingFixture::corpus_ = nullptr;
+nlp::PosTagger* ScopingFixture::tagger_ = nullptr;
+std::vector<extraction::AnnotatedSentence>* ScopingFixture::sentences_ =
+    nullptr;
+
+TEST_F(ScopingFixture, MayorSpansRecovered) {
+  extraction::PatternExtractor patterns(extraction::DefaultPatterns());
+  TemporalScoper scoper(&patterns);
+  auto facts = scoper.ScopeSentences(*sentences_);
+  size_t with_span = 0, correct_span = 0;
+  for (const auto& f : facts) {
+    if (f.relation != corpus::Relation::kMayorOf) continue;
+    if (!f.span.begin.valid()) continue;
+    ++with_span;
+    // Find the gold fact.
+    for (const corpus::GoldFact& gold : corpus_->world.facts()) {
+      if (gold.relation == corpus::Relation::kMayorOf &&
+          gold.subject == f.subject && gold.object == f.object) {
+        if (gold.span.begin.year == f.span.begin.year) ++correct_span;
+        break;
+      }
+    }
+  }
+  ASSERT_GT(with_span, 5u);
+  EXPECT_GT(static_cast<double>(correct_span) / with_span, 0.8);
+}
+
+TEST_F(ScopingFixture, MarriageSpansRecovered) {
+  extraction::PatternExtractor patterns(extraction::DefaultPatterns());
+  TemporalScoper scoper(&patterns);
+  auto facts = scoper.ScopeSentences(*sentences_);
+  size_t spans = 0;
+  for (const auto& f : facts) {
+    if (f.relation == corpus::Relation::kMarriedTo && f.span.valid()) {
+      ++spans;
+    }
+  }
+  EXPECT_GT(spans, 5u);
+}
+
+TEST(AggregateSpansTest, MergesEndpointsAcrossObservations) {
+  extraction::ExtractedFact a;
+  a.subject = 1;
+  a.relation = corpus::Relation::kWorksFor;
+  a.object = 2;
+  a.confidence = 0.6;
+  a.span.begin.year = 1980;
+  extraction::ExtractedFact b = a;
+  b.confidence = 0.9;
+  b.span.begin = Date{};
+  b.span.end.year = 1990;
+  auto merged = TemporalScoper::AggregateSpans({a, b});
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].span.begin.year, 1980);
+  EXPECT_EQ(merged[0].span.end.year, 1990);
+  EXPECT_DOUBLE_EQ(merged[0].confidence, 0.9);
+}
+
+}  // namespace
+}  // namespace temporal
+}  // namespace kb

@@ -1,0 +1,427 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/arena.h"
+#include "util/bloom_filter.h"
+#include "util/date.h"
+#include "util/hash.h"
+#include "util/metrics.h"
+#include "util/random.h"
+#include "util/slice.h"
+#include "util/logging.h"
+#include "util/status.h"
+#include "util/statusor.h"
+#include "util/string_util.h"
+#include "util/thread_pool.h"
+#include "util/varint.h"
+
+namespace kb {
+namespace {
+
+// ---------------------------------------------------------------- Status
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing key");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: missing key");
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  auto fails = [] { return Status::Corruption("bad"); };
+  auto wrapper = [&]() -> Status {
+    KB_RETURN_IF_ERROR(fails());
+    return Status::OK();
+  };
+  EXPECT_TRUE(wrapper().IsCorruption());
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_EQ(v.value_or(7), 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::InvalidArgument("nope");
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.value_or(7), 7);
+  EXPECT_TRUE(v.status().IsInvalidArgument());
+}
+
+TEST(StatusOrTest, MoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> v = std::make_unique<int>(5);
+  ASSERT_TRUE(v.ok());
+  std::unique_ptr<int> out = std::move(v).value();
+  EXPECT_EQ(*out, 5);
+}
+
+// ---------------------------------------------------------------- Slice
+
+TEST(SliceTest, CompareOrdersLexicographically) {
+  EXPECT_LT(Slice("abc").compare(Slice("abd")), 0);
+  EXPECT_GT(Slice("abd").compare(Slice("abc")), 0);
+  EXPECT_EQ(Slice("abc").compare(Slice("abc")), 0);
+  EXPECT_LT(Slice("ab").compare(Slice("abc")), 0);  // prefix sorts first
+}
+
+TEST(SliceTest, StartsWithAndRemovePrefix) {
+  Slice s("hello world");
+  EXPECT_TRUE(s.starts_with(Slice("hello")));
+  s.remove_prefix(6);
+  EXPECT_EQ(s.ToString(), "world");
+}
+
+// ---------------------------------------------------------------- Strings
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  auto parts = Split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[1], "");
+}
+
+TEST(StringUtilTest, SplitWhitespaceDropsRuns) {
+  auto parts = SplitWhitespace("  a \t b\n c  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StringUtilTest, JoinRoundTrip) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringUtilTest, ReplaceAll) {
+  EXPECT_EQ(ReplaceAll("aaa", "a", "bb"), "bbbbbb");
+  EXPECT_EQ(ReplaceAll("abc", "x", "y"), "abc");
+}
+
+TEST(StringUtilTest, ParseInt64RejectsGarbage) {
+  long long v = 0;
+  EXPECT_TRUE(ParseInt64("-123", &v));
+  EXPECT_EQ(v, -123);
+  EXPECT_FALSE(ParseInt64("12x", &v));
+  EXPECT_FALSE(ParseInt64("", &v));
+}
+
+TEST(StringUtilTest, NTriplesEscapeRoundTrip) {
+  std::string nasty = "line\nwith \"quotes\" and \\slashes\\ and\ttabs";
+  EXPECT_EQ(UnescapeNTriples(EscapeNTriples(nasty)), nasty);
+}
+
+TEST(StringUtilTest, SingularizeHandlesCommonShapes) {
+  EXPECT_EQ(Singularize("singers"), "singer");
+  EXPECT_EQ(Singularize("cities"), "city");
+  EXPECT_EQ(Singularize("people"), "person");
+  EXPECT_EQ(Singularize("companies"), "company");
+  EXPECT_EQ(Singularize("glass"), "glass");  // not a plural
+}
+
+TEST(StringUtilTest, PluralizeInvertsSingularize) {
+  for (const char* w : {"singer", "city", "person", "company", "film"}) {
+    EXPECT_EQ(Singularize(Pluralize(w)), w) << w;
+  }
+}
+
+TEST(StringUtilTest, LooksPlural) {
+  EXPECT_TRUE(LooksPlural("singers"));
+  EXPECT_TRUE(LooksPlural("people"));
+  EXPECT_FALSE(LooksPlural("glass"));
+  EXPECT_FALSE(LooksPlural("status"));
+}
+
+// ---------------------------------------------------------------- Varint
+
+TEST(VarintTest, RoundTripBoundaries) {
+  std::vector<uint64_t> values = {0, 1, 127, 128, 16383, 16384,
+                                  (1ULL << 32) - 1, 1ULL << 32,
+                                  UINT64_MAX};
+  std::string buf;
+  for (uint64_t v : values) PutVarint64(&buf, v);
+  Slice input(buf);
+  for (uint64_t v : values) {
+    uint64_t got = 0;
+    ASSERT_TRUE(GetVarint64(&input, &got));
+    EXPECT_EQ(got, v);
+  }
+  EXPECT_TRUE(input.empty());
+}
+
+TEST(VarintTest, TruncatedInputFails) {
+  std::string buf;
+  PutVarint64(&buf, 1ULL << 40);
+  Slice input(buf.data(), buf.size() - 1);
+  uint64_t got;
+  EXPECT_FALSE(GetVarint64(&input, &got));
+}
+
+TEST(VarintTest, FixedRoundTrip) {
+  std::string buf;
+  PutFixed32(&buf, 0xdeadbeefu);
+  PutFixed64(&buf, 0x0123456789abcdefULL);
+  Slice input(buf);
+  uint32_t a;
+  uint64_t b;
+  ASSERT_TRUE(GetFixed32(&input, &a));
+  ASSERT_TRUE(GetFixed64(&input, &b));
+  EXPECT_EQ(a, 0xdeadbeefu);
+  EXPECT_EQ(b, 0x0123456789abcdefULL);
+}
+
+TEST(VarintTest, LengthPrefixedSlice) {
+  std::string buf;
+  PutLengthPrefixedSlice(&buf, Slice("hello"));
+  PutLengthPrefixedSlice(&buf, Slice(""));
+  Slice input(buf);
+  Slice a, b;
+  ASSERT_TRUE(GetLengthPrefixedSlice(&input, &a));
+  ASSERT_TRUE(GetLengthPrefixedSlice(&input, &b));
+  EXPECT_EQ(a.ToString(), "hello");
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(VarintTest, VarintLengthMatchesEncoding) {
+  for (uint64_t v : {0ULL, 127ULL, 128ULL, 1ULL << 62}) {
+    std::string buf;
+    PutVarint64(&buf, v);
+    EXPECT_EQ(static_cast<int>(buf.size()), VarintLength(v));
+  }
+}
+
+// ---------------------------------------------------------------- Hash
+
+TEST(HashTest, StableAcrossCalls) {
+  EXPECT_EQ(Hash64("knowledge"), Hash64("knowledge"));
+  EXPECT_NE(Hash64("knowledge"), Hash64("knowledgf"));
+}
+
+TEST(HashTest, Mix64Avalanches) {
+  // Flipping one input bit should flip roughly half the output bits.
+  uint64_t base = Mix64(0x1234);
+  uint64_t flipped = Mix64(0x1235);
+  int diff = __builtin_popcountll(base ^ flipped);
+  EXPECT_GT(diff, 16);
+  EXPECT_LT(diff, 48);
+}
+
+// ---------------------------------------------------------------- Bloom
+
+TEST(BloomFilterTest, NoFalseNegatives) {
+  BloomFilterBuilder builder(10);
+  std::vector<std::string> keys;
+  for (int i = 0; i < 1000; ++i) keys.push_back("key" + std::to_string(i));
+  for (const auto& k : keys) builder.AddKey(Slice(k));
+  std::string data = builder.Finish();
+  BloomFilterReader reader((Slice(data)));
+  for (const auto& k : keys) {
+    EXPECT_TRUE(reader.MayContain(Slice(k))) << k;
+  }
+}
+
+TEST(BloomFilterTest, FalsePositiveRateIsLow) {
+  BloomFilterBuilder builder(10);
+  for (int i = 0; i < 2000; ++i) {
+    std::string k = "present" + std::to_string(i);
+    builder.AddKey(Slice(k));
+  }
+  std::string data = builder.Finish();
+  BloomFilterReader reader((Slice(data)));
+  int false_positives = 0;
+  const int kProbes = 10000;
+  for (int i = 0; i < kProbes; ++i) {
+    std::string k = "absent" + std::to_string(i);
+    if (reader.MayContain(Slice(k))) ++false_positives;
+  }
+  // 10 bits/key should be ~1%; allow generous slack.
+  EXPECT_LT(false_positives, kProbes / 25);
+}
+
+TEST(BloomFilterTest, EmptyFilterIsSafe) {
+  BloomFilterBuilder builder(10);
+  std::string data = builder.Finish();
+  BloomFilterReader reader((Slice(data)));
+  // No keys: any answer is allowed, but it must not crash.
+  reader.MayContain(Slice("x"));
+}
+
+// ---------------------------------------------------------------- Arena
+
+TEST(ArenaTest, AllocationsDoNotOverlap) {
+  Arena arena;
+  char* a = arena.Allocate(100);
+  char* b = arena.Allocate(100);
+  memset(a, 0xaa, 100);
+  memset(b, 0xbb, 100);
+  EXPECT_EQ(static_cast<unsigned char>(a[50]), 0xaa);
+  EXPECT_EQ(static_cast<unsigned char>(b[50]), 0xbb);
+}
+
+TEST(ArenaTest, AlignedAllocationIsAligned) {
+  Arena arena;
+  arena.Allocate(1);  // misalign the bump pointer
+  char* p = arena.AllocateAligned(64);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % alignof(std::max_align_t), 0u);
+}
+
+TEST(ArenaTest, LargeAllocationsWork) {
+  Arena arena;
+  char* p = arena.Allocate(1 << 20);
+  memset(p, 1, 1 << 20);
+  EXPECT_GE(arena.MemoryUsage(), 1u << 20);
+}
+
+// ---------------------------------------------------------------- Rng
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(99), b(99);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Uniform(1000), b.Uniform(1000));
+  }
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.Uniform(17);
+    EXPECT_LT(v, 17u);
+    int64_t w = rng.UniformInt(-5, 5);
+    EXPECT_GE(w, -5);
+    EXPECT_LE(w, 5);
+  }
+}
+
+TEST(RngTest, ZipfIsSkewedTowardLowRanks) {
+  Rng rng(5);
+  size_t low = 0, total = 20000;
+  for (size_t i = 0; i < total; ++i) {
+    if (rng.Zipf(1000, 1.0) < 10) ++low;
+  }
+  // Under uniformity low ranks would get ~1%; Zipf gives far more.
+  EXPECT_GT(low, total / 20);
+}
+
+TEST(RngTest, WeightedChoiceFollowsWeights) {
+  Rng rng(7);
+  std::vector<double> weights = {1.0, 0.0, 9.0};
+  size_t counts[3] = {0, 0, 0};
+  for (int i = 0; i < 10000; ++i) ++counts[rng.WeightedChoice(weights)];
+  EXPECT_EQ(counts[1], 0u);
+  EXPECT_GT(counts[2], counts[0] * 5);
+}
+
+// ---------------------------------------------------------------- Dates
+
+TEST(DateTest, ToStringRespectsGranularity) {
+  EXPECT_EQ((Date{1955, 0, 0}).ToString(), "1955");
+  EXPECT_EQ((Date{1955, 2, 0}).ToString(), "1955-02");
+  EXPECT_EQ((Date{1955, 2, 24}).ToString(), "1955-02-24");
+}
+
+TEST(DateTest, Ordering) {
+  EXPECT_LT((Date{1990, 1, 1}), (Date{1990, 1, 2}));
+  EXPECT_LT((Date{1989, 12, 31}), (Date{1990, 1, 1}));
+}
+
+TEST(DateTest, MonthNames) {
+  EXPECT_EQ(MonthName(2), "February");
+  EXPECT_EQ(MonthByName("february"), 2);
+  EXPECT_EQ(MonthByName("Smarch"), 0);
+}
+
+TEST(TimeSpanTest, OverlapLogic) {
+  TimeSpan a{{1970, 0, 0}, {1980, 0, 0}};
+  TimeSpan b{{1979, 0, 0}, {1990, 0, 0}};
+  TimeSpan c{{1981, 0, 0}, {1990, 0, 0}};
+  EXPECT_TRUE(a.Overlaps(b));
+  EXPECT_FALSE(a.Overlaps(c));
+  TimeSpan open{{1975, 0, 0}, {}};
+  EXPECT_TRUE(open.Overlaps(c));
+}
+
+// ---------------------------------------------------------------- Metrics
+
+TEST(MetricsTest, PrecisionRecallF1) {
+  PrecisionRecall pr;
+  pr.AddTP(8);
+  pr.AddFP(2);
+  pr.AddFN(8);
+  EXPECT_DOUBLE_EQ(pr.precision(), 0.8);
+  EXPECT_DOUBLE_EQ(pr.recall(), 0.5);
+  EXPECT_NEAR(pr.f1(), 2 * 0.8 * 0.5 / 1.3, 1e-12);
+}
+
+TEST(MetricsTest, EmptyIsZeroNotNan) {
+  PrecisionRecall pr;
+  EXPECT_EQ(pr.precision(), 0.0);
+  EXPECT_EQ(pr.recall(), 0.0);
+  EXPECT_EQ(pr.f1(), 0.0);
+}
+
+
+// ---------------------------------------------------------------- Checks
+
+TEST(LoggingTest, CheckFailureAborts) {
+  EXPECT_DEATH({ KB_CHECK(1 == 2) << "impossible"; }, "Check failed");
+}
+
+TEST(LoggingTest, CheckOkPassesThrough) {
+  KB_CHECK(true) << "never evaluated";
+  KB_CHECK_OK(Status::OK());
+}
+
+TEST(LoggingTest, CheckOkAbortsOnError) {
+  EXPECT_DEATH(KB_CHECK_OK(Status::Corruption("boom")), "boom");
+}
+
+TEST(LoggingTest, LogLevelFiltering) {
+  LogLevel saved = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  KB_LOG(Info) << "suppressed";  // must not crash, just be filtered
+  SetLogLevel(saved);
+}
+
+// ---------------------------------------------------------------- Pool
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRange) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(1000, [&hits](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPoolTest, WaitIsReentrant) {
+  ThreadPool pool(2);
+  pool.Wait();  // nothing queued
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+}  // namespace
+}  // namespace kb
