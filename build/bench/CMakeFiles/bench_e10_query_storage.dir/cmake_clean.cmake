@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_query_storage.dir/bench_e10_query_storage.cc.o"
+  "CMakeFiles/bench_e10_query_storage.dir/bench_e10_query_storage.cc.o.d"
+  "bench_e10_query_storage"
+  "bench_e10_query_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_query_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_multilingual.dir/bench_e11_multilingual.cc.o"
+  "CMakeFiles/bench_e11_multilingual.dir/bench_e11_multilingual.cc.o.d"
+  "bench_e11_multilingual"
+  "bench_e11_multilingual.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_multilingual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

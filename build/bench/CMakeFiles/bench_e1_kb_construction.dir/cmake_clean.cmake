@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_kb_construction.dir/bench_e1_kb_construction.cc.o"
+  "CMakeFiles/bench_e1_kb_construction.dir/bench_e1_kb_construction.cc.o.d"
+  "bench_e1_kb_construction"
+  "bench_e1_kb_construction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_kb_construction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

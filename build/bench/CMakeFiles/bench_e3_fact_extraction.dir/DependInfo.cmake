@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_e3_fact_extraction.cc" "bench/CMakeFiles/bench_e3_fact_extraction.dir/bench_e3_fact_extraction.cc.o" "gcc" "bench/CMakeFiles/bench_e3_fact_extraction.dir/bench_e3_fact_extraction.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/kb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kb_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kb_openie.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kb_reasoning.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kb_temporal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kb_multilingual.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kb_commonsense.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kb_extraction.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kb_taxonomy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kb_ned.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kb_nlp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kb_linkage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kb_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kb_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

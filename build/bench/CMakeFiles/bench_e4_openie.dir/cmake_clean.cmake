@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_openie.dir/bench_e4_openie.cc.o"
+  "CMakeFiles/bench_e4_openie.dir/bench_e4_openie.cc.o.d"
+  "bench_e4_openie"
+  "bench_e4_openie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_openie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_temporal.dir/bench_e6_temporal.cc.o"
+  "CMakeFiles/bench_e6_temporal.dir/bench_e6_temporal.cc.o.d"
+  "bench_e6_temporal"
+  "bench_e6_temporal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_temporal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_ned.dir/bench_e7_ned.cc.o"
+  "CMakeFiles/bench_e7_ned.dir/bench_e7_ned.cc.o.d"
+  "bench_e7_ned"
+  "bench_e7_ned.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_ned.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

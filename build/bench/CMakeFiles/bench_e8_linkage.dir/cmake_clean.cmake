@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_linkage.dir/bench_e8_linkage.cc.o"
+  "CMakeFiles/bench_e8_linkage.dir/bench_e8_linkage.cc.o.d"
+  "bench_e8_linkage"
+  "bench_e8_linkage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_linkage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

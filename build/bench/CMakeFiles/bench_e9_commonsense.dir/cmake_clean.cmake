@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_commonsense.dir/bench_e9_commonsense.cc.o"
+  "CMakeFiles/bench_e9_commonsense.dir/bench_e9_commonsense.cc.o.d"
+  "bench_e9_commonsense"
+  "bench_e9_commonsense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_commonsense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/entity_tracking.dir/entity_tracking.cpp.o"
+  "CMakeFiles/entity_tracking.dir/entity_tracking.cpp.o.d"
+  "entity_tracking"
+  "entity_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/entity_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kb_fusion.dir/kb_fusion.cpp.o"
+  "CMakeFiles/kb_fusion.dir/kb_fusion.cpp.o.d"
+  "kb_fusion"
+  "kb_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kb_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

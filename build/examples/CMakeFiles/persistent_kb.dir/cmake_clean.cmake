@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/persistent_kb.dir/persistent_kb.cpp.o"
+  "CMakeFiles/persistent_kb.dir/persistent_kb.cpp.o.d"
+  "persistent_kb"
+  "persistent_kb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/persistent_kb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kb_commonsense.dir/commonsense/property_miner.cc.o"
+  "CMakeFiles/kb_commonsense.dir/commonsense/property_miner.cc.o.d"
+  "CMakeFiles/kb_commonsense.dir/commonsense/rule_application.cc.o"
+  "CMakeFiles/kb_commonsense.dir/commonsense/rule_application.cc.o.d"
+  "CMakeFiles/kb_commonsense.dir/commonsense/rule_miner.cc.o"
+  "CMakeFiles/kb_commonsense.dir/commonsense/rule_miner.cc.o.d"
+  "libkb_commonsense.a"
+  "libkb_commonsense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kb_commonsense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kb_core.dir/core/entity_card.cc.o"
+  "CMakeFiles/kb_core.dir/core/entity_card.cc.o.d"
+  "CMakeFiles/kb_core.dir/core/harvester.cc.o"
+  "CMakeFiles/kb_core.dir/core/harvester.cc.o.d"
+  "CMakeFiles/kb_core.dir/core/knowledge_base.cc.o"
+  "CMakeFiles/kb_core.dir/core/knowledge_base.cc.o.d"
+  "CMakeFiles/kb_core.dir/core/persistence.cc.o"
+  "CMakeFiles/kb_core.dir/core/persistence.cc.o.d"
+  "libkb_core.a"
+  "libkb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

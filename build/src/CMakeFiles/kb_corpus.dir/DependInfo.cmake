@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/corpus/generator.cc" "src/CMakeFiles/kb_corpus.dir/corpus/generator.cc.o" "gcc" "src/CMakeFiles/kb_corpus.dir/corpus/generator.cc.o.d"
+  "/root/repo/src/corpus/names.cc" "src/CMakeFiles/kb_corpus.dir/corpus/names.cc.o" "gcc" "src/CMakeFiles/kb_corpus.dir/corpus/names.cc.o.d"
+  "/root/repo/src/corpus/relations.cc" "src/CMakeFiles/kb_corpus.dir/corpus/relations.cc.o" "gcc" "src/CMakeFiles/kb_corpus.dir/corpus/relations.cc.o.d"
+  "/root/repo/src/corpus/world.cc" "src/CMakeFiles/kb_corpus.dir/corpus/world.cc.o" "gcc" "src/CMakeFiles/kb_corpus.dir/corpus/world.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/kb_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kb_rdf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

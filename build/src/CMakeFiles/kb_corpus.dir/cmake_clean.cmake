@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kb_corpus.dir/corpus/generator.cc.o"
+  "CMakeFiles/kb_corpus.dir/corpus/generator.cc.o.d"
+  "CMakeFiles/kb_corpus.dir/corpus/names.cc.o"
+  "CMakeFiles/kb_corpus.dir/corpus/names.cc.o.d"
+  "CMakeFiles/kb_corpus.dir/corpus/relations.cc.o"
+  "CMakeFiles/kb_corpus.dir/corpus/relations.cc.o.d"
+  "CMakeFiles/kb_corpus.dir/corpus/world.cc.o"
+  "CMakeFiles/kb_corpus.dir/corpus/world.cc.o.d"
+  "libkb_corpus.a"
+  "libkb_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kb_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kb_extraction.dir/extraction/annotation.cc.o"
+  "CMakeFiles/kb_extraction.dir/extraction/annotation.cc.o.d"
+  "CMakeFiles/kb_extraction.dir/extraction/bootstrap.cc.o"
+  "CMakeFiles/kb_extraction.dir/extraction/bootstrap.cc.o.d"
+  "CMakeFiles/kb_extraction.dir/extraction/distant_supervision.cc.o"
+  "CMakeFiles/kb_extraction.dir/extraction/distant_supervision.cc.o.d"
+  "CMakeFiles/kb_extraction.dir/extraction/evaluation.cc.o"
+  "CMakeFiles/kb_extraction.dir/extraction/evaluation.cc.o.d"
+  "CMakeFiles/kb_extraction.dir/extraction/infobox_extractor.cc.o"
+  "CMakeFiles/kb_extraction.dir/extraction/infobox_extractor.cc.o.d"
+  "CMakeFiles/kb_extraction.dir/extraction/pattern_extractor.cc.o"
+  "CMakeFiles/kb_extraction.dir/extraction/pattern_extractor.cc.o.d"
+  "libkb_extraction.a"
+  "libkb_extraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kb_extraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

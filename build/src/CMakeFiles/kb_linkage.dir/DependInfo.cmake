@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linkage/blocking.cc" "src/CMakeFiles/kb_linkage.dir/linkage/blocking.cc.o" "gcc" "src/CMakeFiles/kb_linkage.dir/linkage/blocking.cc.o.d"
+  "/root/repo/src/linkage/clustering.cc" "src/CMakeFiles/kb_linkage.dir/linkage/clustering.cc.o" "gcc" "src/CMakeFiles/kb_linkage.dir/linkage/clustering.cc.o.d"
+  "/root/repo/src/linkage/graph_linker.cc" "src/CMakeFiles/kb_linkage.dir/linkage/graph_linker.cc.o" "gcc" "src/CMakeFiles/kb_linkage.dir/linkage/graph_linker.cc.o.d"
+  "/root/repo/src/linkage/matcher.cc" "src/CMakeFiles/kb_linkage.dir/linkage/matcher.cc.o" "gcc" "src/CMakeFiles/kb_linkage.dir/linkage/matcher.cc.o.d"
+  "/root/repo/src/linkage/record.cc" "src/CMakeFiles/kb_linkage.dir/linkage/record.cc.o" "gcc" "src/CMakeFiles/kb_linkage.dir/linkage/record.cc.o.d"
+  "/root/repo/src/linkage/similarity.cc" "src/CMakeFiles/kb_linkage.dir/linkage/similarity.cc.o" "gcc" "src/CMakeFiles/kb_linkage.dir/linkage/similarity.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/kb_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kb_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kb_corpus.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kb_linkage.dir/linkage/blocking.cc.o"
+  "CMakeFiles/kb_linkage.dir/linkage/blocking.cc.o.d"
+  "CMakeFiles/kb_linkage.dir/linkage/clustering.cc.o"
+  "CMakeFiles/kb_linkage.dir/linkage/clustering.cc.o.d"
+  "CMakeFiles/kb_linkage.dir/linkage/graph_linker.cc.o"
+  "CMakeFiles/kb_linkage.dir/linkage/graph_linker.cc.o.d"
+  "CMakeFiles/kb_linkage.dir/linkage/matcher.cc.o"
+  "CMakeFiles/kb_linkage.dir/linkage/matcher.cc.o.d"
+  "CMakeFiles/kb_linkage.dir/linkage/record.cc.o"
+  "CMakeFiles/kb_linkage.dir/linkage/record.cc.o.d"
+  "CMakeFiles/kb_linkage.dir/linkage/similarity.cc.o"
+  "CMakeFiles/kb_linkage.dir/linkage/similarity.cc.o.d"
+  "libkb_linkage.a"
+  "libkb_linkage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kb_linkage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

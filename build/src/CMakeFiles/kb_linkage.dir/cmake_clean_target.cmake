@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libkb_linkage.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kb_multilingual.dir/multilingual/aligner.cc.o"
+  "CMakeFiles/kb_multilingual.dir/multilingual/aligner.cc.o.d"
+  "CMakeFiles/kb_multilingual.dir/multilingual/interwiki.cc.o"
+  "CMakeFiles/kb_multilingual.dir/multilingual/interwiki.cc.o.d"
+  "libkb_multilingual.a"
+  "libkb_multilingual.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kb_multilingual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

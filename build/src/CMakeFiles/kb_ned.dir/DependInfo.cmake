@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ned/alias_index.cc" "src/CMakeFiles/kb_ned.dir/ned/alias_index.cc.o" "gcc" "src/CMakeFiles/kb_ned.dir/ned/alias_index.cc.o.d"
+  "/root/repo/src/ned/coherence.cc" "src/CMakeFiles/kb_ned.dir/ned/coherence.cc.o" "gcc" "src/CMakeFiles/kb_ned.dir/ned/coherence.cc.o.d"
+  "/root/repo/src/ned/context_model.cc" "src/CMakeFiles/kb_ned.dir/ned/context_model.cc.o" "gcc" "src/CMakeFiles/kb_ned.dir/ned/context_model.cc.o.d"
+  "/root/repo/src/ned/disambiguator.cc" "src/CMakeFiles/kb_ned.dir/ned/disambiguator.cc.o" "gcc" "src/CMakeFiles/kb_ned.dir/ned/disambiguator.cc.o.d"
+  "/root/repo/src/ned/mention_detector.cc" "src/CMakeFiles/kb_ned.dir/ned/mention_detector.cc.o" "gcc" "src/CMakeFiles/kb_ned.dir/ned/mention_detector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/kb_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kb_nlp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kb_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/kb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

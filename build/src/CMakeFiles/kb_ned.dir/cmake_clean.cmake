@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kb_ned.dir/ned/alias_index.cc.o"
+  "CMakeFiles/kb_ned.dir/ned/alias_index.cc.o.d"
+  "CMakeFiles/kb_ned.dir/ned/coherence.cc.o"
+  "CMakeFiles/kb_ned.dir/ned/coherence.cc.o.d"
+  "CMakeFiles/kb_ned.dir/ned/context_model.cc.o"
+  "CMakeFiles/kb_ned.dir/ned/context_model.cc.o.d"
+  "CMakeFiles/kb_ned.dir/ned/disambiguator.cc.o"
+  "CMakeFiles/kb_ned.dir/ned/disambiguator.cc.o.d"
+  "CMakeFiles/kb_ned.dir/ned/mention_detector.cc.o"
+  "CMakeFiles/kb_ned.dir/ned/mention_detector.cc.o.d"
+  "libkb_ned.a"
+  "libkb_ned.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kb_ned.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nlp/chunker.cc" "src/CMakeFiles/kb_nlp.dir/nlp/chunker.cc.o" "gcc" "src/CMakeFiles/kb_nlp.dir/nlp/chunker.cc.o.d"
+  "/root/repo/src/nlp/pos_tagger.cc" "src/CMakeFiles/kb_nlp.dir/nlp/pos_tagger.cc.o" "gcc" "src/CMakeFiles/kb_nlp.dir/nlp/pos_tagger.cc.o.d"
+  "/root/repo/src/nlp/stemmer.cc" "src/CMakeFiles/kb_nlp.dir/nlp/stemmer.cc.o" "gcc" "src/CMakeFiles/kb_nlp.dir/nlp/stemmer.cc.o.d"
+  "/root/repo/src/nlp/stopwords.cc" "src/CMakeFiles/kb_nlp.dir/nlp/stopwords.cc.o" "gcc" "src/CMakeFiles/kb_nlp.dir/nlp/stopwords.cc.o.d"
+  "/root/repo/src/nlp/tfidf.cc" "src/CMakeFiles/kb_nlp.dir/nlp/tfidf.cc.o" "gcc" "src/CMakeFiles/kb_nlp.dir/nlp/tfidf.cc.o.d"
+  "/root/repo/src/nlp/tokenizer.cc" "src/CMakeFiles/kb_nlp.dir/nlp/tokenizer.cc.o" "gcc" "src/CMakeFiles/kb_nlp.dir/nlp/tokenizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/kb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

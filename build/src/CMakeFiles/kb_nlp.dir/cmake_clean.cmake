@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kb_nlp.dir/nlp/chunker.cc.o"
+  "CMakeFiles/kb_nlp.dir/nlp/chunker.cc.o.d"
+  "CMakeFiles/kb_nlp.dir/nlp/pos_tagger.cc.o"
+  "CMakeFiles/kb_nlp.dir/nlp/pos_tagger.cc.o.d"
+  "CMakeFiles/kb_nlp.dir/nlp/stemmer.cc.o"
+  "CMakeFiles/kb_nlp.dir/nlp/stemmer.cc.o.d"
+  "CMakeFiles/kb_nlp.dir/nlp/stopwords.cc.o"
+  "CMakeFiles/kb_nlp.dir/nlp/stopwords.cc.o.d"
+  "CMakeFiles/kb_nlp.dir/nlp/tfidf.cc.o"
+  "CMakeFiles/kb_nlp.dir/nlp/tfidf.cc.o.d"
+  "CMakeFiles/kb_nlp.dir/nlp/tokenizer.cc.o"
+  "CMakeFiles/kb_nlp.dir/nlp/tokenizer.cc.o.d"
+  "libkb_nlp.a"
+  "libkb_nlp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kb_nlp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kb_openie.dir/openie/reverb.cc.o"
+  "CMakeFiles/kb_openie.dir/openie/reverb.cc.o.d"
+  "libkb_openie.a"
+  "libkb_openie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kb_openie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

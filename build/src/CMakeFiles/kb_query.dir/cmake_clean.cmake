@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kb_query.dir/query/engine.cc.o"
+  "CMakeFiles/kb_query.dir/query/engine.cc.o.d"
+  "libkb_query.a"
+  "libkb_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kb_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

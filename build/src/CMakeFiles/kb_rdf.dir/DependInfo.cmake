@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rdf/dictionary.cc" "src/CMakeFiles/kb_rdf.dir/rdf/dictionary.cc.o" "gcc" "src/CMakeFiles/kb_rdf.dir/rdf/dictionary.cc.o.d"
+  "/root/repo/src/rdf/namespaces.cc" "src/CMakeFiles/kb_rdf.dir/rdf/namespaces.cc.o" "gcc" "src/CMakeFiles/kb_rdf.dir/rdf/namespaces.cc.o.d"
+  "/root/repo/src/rdf/ntriples.cc" "src/CMakeFiles/kb_rdf.dir/rdf/ntriples.cc.o" "gcc" "src/CMakeFiles/kb_rdf.dir/rdf/ntriples.cc.o.d"
+  "/root/repo/src/rdf/term.cc" "src/CMakeFiles/kb_rdf.dir/rdf/term.cc.o" "gcc" "src/CMakeFiles/kb_rdf.dir/rdf/term.cc.o.d"
+  "/root/repo/src/rdf/triple_store.cc" "src/CMakeFiles/kb_rdf.dir/rdf/triple_store.cc.o" "gcc" "src/CMakeFiles/kb_rdf.dir/rdf/triple_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/kb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

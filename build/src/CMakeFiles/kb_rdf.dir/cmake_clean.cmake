@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kb_rdf.dir/rdf/dictionary.cc.o"
+  "CMakeFiles/kb_rdf.dir/rdf/dictionary.cc.o.d"
+  "CMakeFiles/kb_rdf.dir/rdf/namespaces.cc.o"
+  "CMakeFiles/kb_rdf.dir/rdf/namespaces.cc.o.d"
+  "CMakeFiles/kb_rdf.dir/rdf/ntriples.cc.o"
+  "CMakeFiles/kb_rdf.dir/rdf/ntriples.cc.o.d"
+  "CMakeFiles/kb_rdf.dir/rdf/term.cc.o"
+  "CMakeFiles/kb_rdf.dir/rdf/term.cc.o.d"
+  "CMakeFiles/kb_rdf.dir/rdf/triple_store.cc.o"
+  "CMakeFiles/kb_rdf.dir/rdf/triple_store.cc.o.d"
+  "libkb_rdf.a"
+  "libkb_rdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kb_rdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

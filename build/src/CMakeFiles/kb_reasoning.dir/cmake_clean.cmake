@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kb_reasoning.dir/reasoning/consistency.cc.o"
+  "CMakeFiles/kb_reasoning.dir/reasoning/consistency.cc.o.d"
+  "CMakeFiles/kb_reasoning.dir/reasoning/factor_graph.cc.o"
+  "CMakeFiles/kb_reasoning.dir/reasoning/factor_graph.cc.o.d"
+  "CMakeFiles/kb_reasoning.dir/reasoning/maxsat.cc.o"
+  "CMakeFiles/kb_reasoning.dir/reasoning/maxsat.cc.o.d"
+  "libkb_reasoning.a"
+  "libkb_reasoning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kb_reasoning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

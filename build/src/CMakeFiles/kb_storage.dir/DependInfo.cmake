@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/block.cc" "src/CMakeFiles/kb_storage.dir/storage/block.cc.o" "gcc" "src/CMakeFiles/kb_storage.dir/storage/block.cc.o.d"
+  "/root/repo/src/storage/env.cc" "src/CMakeFiles/kb_storage.dir/storage/env.cc.o" "gcc" "src/CMakeFiles/kb_storage.dir/storage/env.cc.o.d"
+  "/root/repo/src/storage/kv_store.cc" "src/CMakeFiles/kb_storage.dir/storage/kv_store.cc.o" "gcc" "src/CMakeFiles/kb_storage.dir/storage/kv_store.cc.o.d"
+  "/root/repo/src/storage/memtable.cc" "src/CMakeFiles/kb_storage.dir/storage/memtable.cc.o" "gcc" "src/CMakeFiles/kb_storage.dir/storage/memtable.cc.o.d"
+  "/root/repo/src/storage/sstable.cc" "src/CMakeFiles/kb_storage.dir/storage/sstable.cc.o" "gcc" "src/CMakeFiles/kb_storage.dir/storage/sstable.cc.o.d"
+  "/root/repo/src/storage/triple_codec.cc" "src/CMakeFiles/kb_storage.dir/storage/triple_codec.cc.o" "gcc" "src/CMakeFiles/kb_storage.dir/storage/triple_codec.cc.o.d"
+  "/root/repo/src/storage/wal.cc" "src/CMakeFiles/kb_storage.dir/storage/wal.cc.o" "gcc" "src/CMakeFiles/kb_storage.dir/storage/wal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/kb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

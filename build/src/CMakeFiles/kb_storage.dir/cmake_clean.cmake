@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kb_storage.dir/storage/block.cc.o"
+  "CMakeFiles/kb_storage.dir/storage/block.cc.o.d"
+  "CMakeFiles/kb_storage.dir/storage/env.cc.o"
+  "CMakeFiles/kb_storage.dir/storage/env.cc.o.d"
+  "CMakeFiles/kb_storage.dir/storage/kv_store.cc.o"
+  "CMakeFiles/kb_storage.dir/storage/kv_store.cc.o.d"
+  "CMakeFiles/kb_storage.dir/storage/memtable.cc.o"
+  "CMakeFiles/kb_storage.dir/storage/memtable.cc.o.d"
+  "CMakeFiles/kb_storage.dir/storage/sstable.cc.o"
+  "CMakeFiles/kb_storage.dir/storage/sstable.cc.o.d"
+  "CMakeFiles/kb_storage.dir/storage/triple_codec.cc.o"
+  "CMakeFiles/kb_storage.dir/storage/triple_codec.cc.o.d"
+  "CMakeFiles/kb_storage.dir/storage/wal.cc.o"
+  "CMakeFiles/kb_storage.dir/storage/wal.cc.o.d"
+  "libkb_storage.a"
+  "libkb_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kb_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kb_taxonomy.dir/taxonomy/category_induction.cc.o"
+  "CMakeFiles/kb_taxonomy.dir/taxonomy/category_induction.cc.o.d"
+  "CMakeFiles/kb_taxonomy.dir/taxonomy/set_expansion.cc.o"
+  "CMakeFiles/kb_taxonomy.dir/taxonomy/set_expansion.cc.o.d"
+  "CMakeFiles/kb_taxonomy.dir/taxonomy/taxonomy.cc.o"
+  "CMakeFiles/kb_taxonomy.dir/taxonomy/taxonomy.cc.o.d"
+  "CMakeFiles/kb_taxonomy.dir/taxonomy/type_inference.cc.o"
+  "CMakeFiles/kb_taxonomy.dir/taxonomy/type_inference.cc.o.d"
+  "libkb_taxonomy.a"
+  "libkb_taxonomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kb_taxonomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kb_temporal.dir/temporal/scoping.cc.o"
+  "CMakeFiles/kb_temporal.dir/temporal/scoping.cc.o.d"
+  "CMakeFiles/kb_temporal.dir/temporal/timex.cc.o"
+  "CMakeFiles/kb_temporal.dir/temporal/timex.cc.o.d"
+  "libkb_temporal.a"
+  "libkb_temporal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kb_temporal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kb_util.dir/util/arena.cc.o"
+  "CMakeFiles/kb_util.dir/util/arena.cc.o.d"
+  "CMakeFiles/kb_util.dir/util/bloom_filter.cc.o"
+  "CMakeFiles/kb_util.dir/util/bloom_filter.cc.o.d"
+  "CMakeFiles/kb_util.dir/util/date.cc.o"
+  "CMakeFiles/kb_util.dir/util/date.cc.o.d"
+  "CMakeFiles/kb_util.dir/util/hash.cc.o"
+  "CMakeFiles/kb_util.dir/util/hash.cc.o.d"
+  "CMakeFiles/kb_util.dir/util/logging.cc.o"
+  "CMakeFiles/kb_util.dir/util/logging.cc.o.d"
+  "CMakeFiles/kb_util.dir/util/random.cc.o"
+  "CMakeFiles/kb_util.dir/util/random.cc.o.d"
+  "CMakeFiles/kb_util.dir/util/status.cc.o"
+  "CMakeFiles/kb_util.dir/util/status.cc.o.d"
+  "CMakeFiles/kb_util.dir/util/string_util.cc.o"
+  "CMakeFiles/kb_util.dir/util/string_util.cc.o.d"
+  "CMakeFiles/kb_util.dir/util/thread_pool.cc.o"
+  "CMakeFiles/kb_util.dir/util/thread_pool.cc.o.d"
+  "CMakeFiles/kb_util.dir/util/varint.cc.o"
+  "CMakeFiles/kb_util.dir/util/varint.cc.o.d"
+  "libkb_util.a"
+  "libkb_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kb_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

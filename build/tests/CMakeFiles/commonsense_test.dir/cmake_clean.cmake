@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/commonsense_test.dir/commonsense_test.cc.o"
+  "CMakeFiles/commonsense_test.dir/commonsense_test.cc.o.d"
+  "commonsense_test"
+  "commonsense_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/commonsense_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

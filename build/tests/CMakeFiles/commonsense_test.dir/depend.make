@@ -1,0 +1,2 @@
+# Empty dependencies file for commonsense_test.
+# This may be replaced when dependencies are built.

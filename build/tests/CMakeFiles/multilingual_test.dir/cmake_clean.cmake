@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multilingual_test.dir/multilingual_test.cc.o"
+  "CMakeFiles/multilingual_test.dir/multilingual_test.cc.o.d"
+  "multilingual_test"
+  "multilingual_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multilingual_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ned_test.dir/ned_test.cc.o"
+  "CMakeFiles/ned_test.dir/ned_test.cc.o.d"
+  "ned_test"
+  "ned_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ned_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
