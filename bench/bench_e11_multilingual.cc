@@ -50,7 +50,8 @@ AlignSetup MakeSetup(const corpus::World& world, const std::string& lang) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const kbbench::BenchArgs args = kbbench::ParseArgs(argc, argv);
   kbbench::Banner(
       "E11: multilingual labels and cross-lingual KB alignment",
       "multilingual names are harvested from interwiki links; KBs are "
@@ -62,7 +63,7 @@ int main() {
 
   corpus::WorldOptions world_options;
   world_options.seed = 19;
-  world_options.num_persons = 300;
+  world_options.num_persons = args.Scaled(300, 50);
   corpus::World world = corpus::World::Generate(world_options);
 
   // --- Interwiki harvest at different coverages.

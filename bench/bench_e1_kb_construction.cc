@@ -59,7 +59,8 @@ void RunPoint(const ScalePoint& point, bool reasoning,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const kbbench::BenchArgs args = kbbench::ParseArgs(argc, argv);
   kbbench::Banner(
       "E1: end-to-end KB construction (scale sweep)",
       "automatic KB construction yields large, accurate KBs (YAGO ~95% "
@@ -70,6 +71,12 @@ int main() {
   kbbench::Row("%-6s %-9s %-8s %8s %8s %8s %8s %10s %9s %9s", "scale",
                "reasoning", "mentions", "gold-ent", "kb-ent", "classes",
                "triples", "precision", "recall", "time");
+  if (args.smoke) {
+    ScalePoint tiny = {"XS", 30, 10, 10, 30};
+    RunPoint(tiny, true);
+    RunPoint(tiny, false);
+    return 0;
+  }
   ScalePoint points[] = {
       {"S", 100, 25, 25, 100},
       {"M", 300, 60, 80, 250},

@@ -69,7 +69,8 @@ void Evaluate(const corpus::Corpus& corpus,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const kbbench::BenchArgs args = kbbench::ParseArgs(argc, argv);
   kbbench::Banner(
       "E2: class taxonomy from the category system",
       "analyzing the category system yields a class taxonomy "
@@ -81,9 +82,9 @@ int main() {
 
   corpus::WorldOptions world_options;
   world_options.seed = 3;
-  world_options.num_persons = 400;
-  world_options.num_cities = 80;
-  world_options.num_companies = 100;
+  world_options.num_persons = args.Scaled(400, 60);
+  world_options.num_cities = args.Scaled(80, 15);
+  world_options.num_companies = args.Scaled(100, 15);
   corpus::CorpusOptions corpus_options;
   corpus_options.seed = 4;
   corpus_options.news_docs = 20;

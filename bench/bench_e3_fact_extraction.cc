@@ -31,7 +31,8 @@ void Report(const char* label, const corpus::Corpus& corpus,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const kbbench::BenchArgs args = kbbench::ParseArgs(argc, argv);
   kbbench::Banner(
       "E3: the extraction spectrum + consistency reasoning",
       "methods span patterns, statistics and logical consistency "
@@ -42,12 +43,12 @@ int main() {
 
   corpus::WorldOptions world_options;
   world_options.seed = 5;
-  world_options.num_persons = 250;
-  world_options.num_cities = 50;
-  world_options.num_companies = 70;
+  world_options.num_persons = args.Scaled(250, 50);
+  world_options.num_cities = args.Scaled(50, 12);
+  world_options.num_companies = args.Scaled(70, 15);
   corpus::CorpusOptions corpus_options;
   corpus_options.seed = 6;
-  corpus_options.news_docs = 300;
+  corpus_options.news_docs = args.Scaled(300, 40);
   corpus_options.fact_error_rate = 0.08;  // enough noise to matter
   corpus::Corpus corpus = corpus::BuildCorpus(world_options, corpus_options);
 

@@ -36,7 +36,8 @@ bool TripleCorrect(const corpus::World& world, const openie::OpenTriple& t) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const kbbench::BenchArgs args = kbbench::ParseArgs(argc, argv);
   kbbench::Banner(
       "E4: open IE vs closed IE",
       "open IE harvests arbitrary SPO triples at far higher yield than a "
@@ -47,11 +48,11 @@ int main() {
 
   corpus::WorldOptions world_options;
   world_options.seed = 7;
-  world_options.num_persons = 200;
+  world_options.num_persons = args.Scaled(200, 40);
   corpus::CorpusOptions corpus_options;
   corpus_options.seed = 8;
-  corpus_options.news_docs = 250;
-  corpus_options.web_docs = 60;
+  corpus_options.news_docs = args.Scaled(250, 40);
+  corpus_options.web_docs = args.Scaled(60, 10);
   corpus::Corpus corpus = corpus::BuildCorpus(world_options, corpus_options);
   nlp::PosTagger tagger;
   auto sentences =

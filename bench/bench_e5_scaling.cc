@@ -11,7 +11,8 @@
 
 using namespace kb;
 
-int main() {
+int main(int argc, char** argv) {
+  const kbbench::BenchArgs args = kbbench::ParseArgs(argc, argv);
   kbbench::Banner(
       "E5: map-reduce-shaped harvesting scalability",
       "big-data techniques (sharded map-reduce processing) let "
@@ -21,13 +22,13 @@ int main() {
 
   corpus::WorldOptions world_options;
   world_options.seed = 9;
-  world_options.num_persons = 500;
-  world_options.num_cities = 100;
-  world_options.num_companies = 120;
+  world_options.num_persons = args.Scaled(500, 60);
+  world_options.num_cities = args.Scaled(100, 15);
+  world_options.num_companies = args.Scaled(120, 15);
   corpus::CorpusOptions corpus_options;
   corpus_options.seed = 10;
-  corpus_options.news_docs = 600;
-  corpus_options.web_docs = 150;
+  corpus_options.news_docs = args.Scaled(600, 60);
+  corpus_options.web_docs = args.Scaled(150, 20);
   corpus::Corpus corpus = corpus::BuildCorpus(world_options, corpus_options);
   printf("corpus: %zu documents; host reports %u hardware threads\n\n",
          corpus.docs.size(), std::thread::hardware_concurrency());

@@ -13,7 +13,8 @@
 
 using namespace kb;
 
-int main() {
+int main(int argc, char** argv) {
+  const kbbench::BenchArgs args = kbbench::ParseArgs(argc, argv);
   kbbench::Banner(
       "E6: temporal expression extraction and fact scoping",
       "temporal expressions can be extracted and normalized, and fact "
@@ -24,10 +25,10 @@ int main() {
 
   corpus::WorldOptions world_options;
   world_options.seed = 11;
-  world_options.num_persons = 300;
+  world_options.num_persons = args.Scaled(300, 50);
   corpus::CorpusOptions corpus_options;
   corpus_options.seed = 12;
-  corpus_options.news_docs = 300;
+  corpus_options.news_docs = args.Scaled(300, 40);
   corpus_options.fact_error_rate = 0.0;
   corpus::Corpus corpus = corpus::BuildCorpus(world_options, corpus_options);
   nlp::PosTagger tagger;

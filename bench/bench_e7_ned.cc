@@ -54,7 +54,8 @@ NedScores Score(const corpus::Corpus& corpus, const ned::AliasIndex& aliases,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const kbbench::BenchArgs args = kbbench::ParseArgs(argc, argv);
   kbbench::Banner(
       "E7: named entity disambiguation ablation",
       "NED = context similarity + coherence of co-occurring entities; "
@@ -68,11 +69,11 @@ int main() {
   for (double ambiguity : {0.2, 0.45, 0.7}) {
     corpus::WorldOptions world_options;
     world_options.seed = 13;
-    world_options.num_persons = 250;
+    world_options.num_persons = args.Scaled(250, 50);
     world_options.surname_reuse = 0.55;
     corpus::CorpusOptions corpus_options;
     corpus_options.seed = 14;
-    corpus_options.news_docs = 250;
+    corpus_options.news_docs = args.Scaled(250, 40);
     corpus_options.mention_ambiguity = ambiguity;
     corpus::Corpus corpus =
         corpus::BuildCorpus(world_options, corpus_options);
@@ -98,10 +99,10 @@ int main() {
   {
     corpus::WorldOptions world_options;
     world_options.seed = 13;
-    world_options.num_persons = 250;
+    world_options.num_persons = args.Scaled(250, 50);
     corpus::CorpusOptions corpus_options;
     corpus_options.seed = 14;
-    corpus_options.news_docs = 250;
+    corpus_options.news_docs = args.Scaled(250, 40);
     corpus::Corpus corpus =
         corpus::BuildCorpus(world_options, corpus_options);
     std::set<uint32_t> holdout;

@@ -15,7 +15,8 @@
 
 using namespace kb;
 
-int main() {
+int main(int argc, char** argv) {
+  const kbbench::BenchArgs args = kbbench::ParseArgs(argc, argv);
   kbbench::Banner(
       "E8: entity linkage across knowledge resources",
       "entity linkage via statistical learning and graph algorithms; "
@@ -26,8 +27,8 @@ int main() {
 
   corpus::WorldOptions world_options;
   world_options.seed = 15;
-  world_options.num_persons = 400;
-  world_options.num_companies = 100;
+  world_options.num_persons = args.Scaled(400, 60);
+  world_options.num_companies = args.Scaled(100, 15);
   corpus::World world = corpus::World::Generate(world_options);
   linkage::NoisyCopyOptions a_options;
   a_options.seed = 21;

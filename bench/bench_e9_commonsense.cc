@@ -14,7 +14,8 @@
 
 using namespace kb;
 
-int main() {
+int main(int argc, char** argv) {
+  const kbbench::BenchArgs args = kbbench::ParseArgs(argc, argv);
   kbbench::Banner(
       "E9: commonsense properties and rules",
       "commonsense (concept properties, partOf, shapes, rules) can be "
@@ -25,10 +26,10 @@ int main() {
 
   corpus::WorldOptions world_options;
   world_options.seed = 17;
-  world_options.num_persons = 200;
+  world_options.num_persons = args.Scaled(200, 40);
   corpus::CorpusOptions corpus_options;
   corpus_options.seed = 18;
-  corpus_options.web_docs = 500;
+  corpus_options.web_docs = args.Scaled(500, 80);
   corpus::Corpus corpus = corpus::BuildCorpus(world_options, corpus_options);
   nlp::PosTagger tagger;
 

@@ -4,9 +4,30 @@
 #include <chrono>
 #include <cstdarg>
 #include <cstdio>
+#include <cstring>
 #include <string>
 
 namespace kbbench {
+
+/// Options shared by the hand-rolled experiment runners. `--smoke`
+/// switches to tiny corpora so CI can execute every experiment binary
+/// end-to-end in seconds (a liveness check and a perf-trajectory seed,
+/// not a measurement).
+struct BenchArgs {
+  bool smoke = false;
+
+  /// `full` in a real run, `tiny` under --smoke.
+  size_t Scaled(size_t full, size_t tiny) const { return smoke ? tiny : full; }
+};
+
+inline BenchArgs ParseArgs(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) args.smoke = true;
+  }
+  if (args.smoke) printf("[--smoke: tiny corpus sizes, timings meaningless]\n");
+  return args;
+}
 
 /// Prints the experiment banner (id, claim, expected shape).
 inline void Banner(const char* id, const char* claim,

@@ -14,6 +14,7 @@
 #include "core/harvester.h"
 #include "extraction/evaluation.h"
 #include "rdf/namespaces.h"
+#include "util/metrics_registry.h"
 
 int main() {
   using namespace kb;
@@ -72,5 +73,22 @@ int main() {
   std::string ntriples = result.kb.ExportNTriples();
   printf("\nexport: %zu bytes of N-Triples, e.g.\n", ntriples.size());
   printf("%s\n", ntriples.substr(0, ntriples.find('\n')).c_str());
+
+  // 6. Where did the time go? Every subsystem records into the
+  // process-wide metrics registry; snapshot it after the run.
+  MetricsSnapshot snap = MetricsRegistry::Default().Snapshot();
+  printf("\nruntime metrics (excerpt of %zu counters, %zu histograms):\n",
+         snap.counters.size(), snap.histograms.size());
+  for (const char* name :
+       {"harvest.stage.annotate_ms", "harvest.stage.extract_ms",
+        "harvest.stage.reason_ms", "harvest.stage.assemble_ms"}) {
+    const HistogramSnapshot* h = snap.histogram(name);
+    if (h == nullptr) continue;
+    printf("  %-28s mean %7.2f ms  p99 %7.2f ms\n", name, h->mean, h->p99);
+  }
+  printf("  %-28s %zu\n", "extraction.pattern.facts",
+         static_cast<size_t>(snap.counter("extraction.pattern.facts")));
+  printf("  %-28s %zu\n", "harvest.facts.accepted",
+         static_cast<size_t>(snap.counter("harvest.facts.accepted")));
   return 0;
 }

@@ -1,7 +1,5 @@
 #include "core/harvester.h"
 
-#include <chrono>
-#include <mutex>
 #include <unordered_map>
 
 #include "extraction/bootstrap.h"
@@ -16,6 +14,7 @@
 #include "reasoning/consistency.h"
 #include "taxonomy/type_inference.h"
 #include "temporal/scoping.h"
+#include "util/metrics_registry.h"
 #include "util/thread_pool.h"
 
 namespace kb {
@@ -25,24 +24,74 @@ using extraction::AnnotatedSentence;
 using extraction::ExtractedFact;
 
 namespace {
-double MsSince(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double, std::milli>(
-             std::chrono::steady_clock::now() - start)
-      .count();
-}
+
+/// Pipeline instruments, resolved once. Stage timers live in the
+/// default registry so a Snapshot() after any harvest shows where the
+/// wall-clock went; the per-document instruments are updated from the
+/// map-phase workers and must stay lock-free.
+struct HarvestMetrics {
+  Counter& runs;
+  Counter& documents;
+  Counter& sentences;
+  Counter& map_docs;  ///< incremented per document by map workers
+  Counter& infobox_facts;
+  Counter& pattern_facts;
+  Counter& bootstrap_facts;
+  Counter& statistical_facts;
+  Counter& candidate_facts;
+  Counter& accepted_facts;
+  Counter& rejected_facts;
+  Histogram& annotate_doc_ms;  ///< per-document, observed by workers
+  Histogram& annotate_ms;
+  Histogram& extract_ms;
+  Histogram& reason_ms;
+  Histogram& assemble_ms;
+  Histogram& total_ms;
+
+  static HarvestMetrics& Get() {
+    static HarvestMetrics* m = [] {
+      MetricsRegistry& r = MetricsRegistry::Default();
+      return new HarvestMetrics{
+          r.counter("harvest.runs"),
+          r.counter("harvest.documents"),
+          r.counter("harvest.sentences"),
+          r.counter("harvest.map.docs"),
+          r.counter("harvest.facts.infobox"),
+          r.counter("harvest.facts.pattern"),
+          r.counter("harvest.facts.bootstrap"),
+          r.counter("harvest.facts.statistical"),
+          r.counter("harvest.facts.candidate"),
+          r.counter("harvest.facts.accepted"),
+          r.counter("harvest.facts.rejected"),
+          r.histogram("harvest.map.annotate_doc_ms"),
+          r.histogram("harvest.stage.annotate_ms"),
+          r.histogram("harvest.stage.extract_ms"),
+          r.histogram("harvest.stage.reason_ms"),
+          r.histogram("harvest.stage.assemble_ms"),
+          r.histogram("harvest.total_ms"),
+      };
+    }();
+    return *m;
+  }
+};
+
 }  // namespace
 
 Harvester::Harvester(HarvestOptions options) : options_(options) {}
 
 HarvestResult Harvester::Harvest(const corpus::Corpus& corpus) const {
+  HarvestMetrics& metrics = HarvestMetrics::Get();
+  metrics.runs.Increment();
+  ScopedTimer total_timer(metrics.total_ms);
   HarvestResult result;
   const corpus::World& world = corpus.world;
   nlp::PosTagger tagger;
   result.stats.documents = corpus.docs.size();
+  metrics.documents.Increment(corpus.docs.size());
 
   // ---- Map phase: annotate documents in parallel (the map-reduce
   // shape the tutorial's "big-data methods" call for).
-  auto t0 = std::chrono::steady_clock::now();
+  ScopedTimer annotate_timer(metrics.annotate_ms);
   // In no-gold mode, build the NED stack once and re-annotate every
   // document with detected + disambiguated mentions.
   std::unique_ptr<ned::AliasIndex> aliases;
@@ -60,6 +109,8 @@ HarvestResult Harvester::Harvest(const corpus::Corpus& corpus) const {
   {
     ThreadPool pool(options_.threads);
     pool.ParallelFor(corpus.docs.size(), [&](size_t i) {
+      metrics.map_docs.Increment();
+      ScopedTimer doc_timer(metrics.annotate_doc_ms);
       if (options_.use_gold_mentions) {
         per_doc[i] = extraction::AnnotateDocument(world, corpus.docs[i],
                                                   tagger);
@@ -98,10 +149,11 @@ HarvestResult Harvester::Harvest(const corpus::Corpus& corpus) const {
                      std::make_move_iterator(doc_sentences.end()));
   }
   result.stats.sentences = sentences.size();
-  result.stats.annotate_ms = MsSince(t0);
+  metrics.sentences.Increment(sentences.size());
+  result.stats.annotate_ms = annotate_timer.Stop();
 
   // ---- Extraction stages.
-  t0 = std::chrono::steady_clock::now();
+  ScopedTimer extract_timer(metrics.extract_ms);
   std::vector<ExtractedFact> all_facts;
   std::vector<ExtractedFact> infobox_facts;
   if (options_.use_infobox) {
@@ -112,6 +164,7 @@ HarvestResult Harvester::Harvest(const corpus::Corpus& corpus) const {
     extraction::InfoboxExtractor infobox(std::move(by_canonical));
     infobox_facts = infobox.Extract(corpus.docs);
     result.stats.infobox_facts = infobox_facts.size();
+    metrics.infobox_facts.Increment(infobox_facts.size());
     all_facts.insert(all_facts.end(), infobox_facts.begin(),
                      infobox_facts.end());
   }
@@ -125,6 +178,7 @@ HarvestResult Harvester::Harvest(const corpus::Corpus& corpus) const {
       fact_list = patterns.Extract(sentences);
     }
     result.stats.pattern_facts = fact_list.size();
+    metrics.pattern_facts.Increment(fact_list.size());
     all_facts.insert(all_facts.end(), fact_list.begin(), fact_list.end());
   }
   if (options_.use_bootstrap && !infobox_facts.empty()) {
@@ -140,6 +194,7 @@ HarvestResult Harvester::Harvest(const corpus::Corpus& corpus) const {
     });
     for (auto& facts : per_relation) {
       result.stats.bootstrap_facts += facts.size();
+      metrics.bootstrap_facts.Increment(facts.size());
       all_facts.insert(all_facts.end(), facts.begin(), facts.end());
     }
   }
@@ -149,12 +204,13 @@ HarvestResult Harvester::Harvest(const corpus::Corpus& corpus) const {
     auto ds_facts =
         classifier.Extract(sentences, options_.statistical_min_confidence);
     result.stats.statistical_facts = ds_facts.size();
+    metrics.statistical_facts.Increment(ds_facts.size());
     all_facts.insert(all_facts.end(), ds_facts.begin(), ds_facts.end());
   }
-  result.stats.extract_ms = MsSince(t0);
+  result.stats.extract_ms = extract_timer.Stop();
 
   // ---- Consistency reasoning.
-  t0 = std::chrono::steady_clock::now();
+  ScopedTimer reason_timer(metrics.reason_ms);
   if (options_.use_reasoning) {
     reasoning::ConsistencyResult reasoned =
         reasoning::ReasonOverFacts(all_facts);
@@ -166,10 +222,13 @@ HarvestResult Harvester::Harvest(const corpus::Corpus& corpus) const {
   result.stats.candidate_facts =
       extraction::DeduplicateFacts(all_facts).size();
   result.stats.accepted_facts = result.accepted.size();
-  result.stats.reason_ms = MsSince(t0);
+  metrics.candidate_facts.Increment(result.stats.candidate_facts);
+  metrics.accepted_facts.Increment(result.stats.accepted_facts);
+  metrics.rejected_facts.Increment(result.stats.rejected_facts);
+  result.stats.reason_ms = reason_timer.Stop();
 
   // ---- Taxonomy + types + assembly.
-  t0 = std::chrono::steady_clock::now();
+  ScopedTimer assemble_timer(metrics.assemble_ms);
   result.induced = taxonomy::InduceFromCategories(
       corpus.docs, taxonomy::InductionOptions());
   taxonomy::EntityTypes types =
@@ -223,7 +282,7 @@ HarvestResult Harvester::Harvest(const corpus::Corpus& corpus) const {
   for (const corpus::Entity& e : world.entities()) {
     kb.AssertLabel(e.canonical, e.full_name, "en");
   }
-  result.stats.assemble_ms = MsSince(t0);
+  result.stats.assemble_ms = assemble_timer.Stop();
   return result;
 }
 

@@ -14,7 +14,31 @@ KnowledgeBase::KnowledgeBase() {
   rdfs_label_ = store_.dict().InternIri(std::string(rdf::kRdfsLabel));
 }
 
-TermId KnowledgeBase::EntityTerm(const std::string& canonical) {
+KnowledgeBase::KnowledgeBase(KnowledgeBase&& other) noexcept {
+  std::lock_guard<std::mutex> lock(other.mu_);
+  store_ = std::move(other.store_);
+  taxonomy_ = std::move(other.taxonomy_);
+  entity_terms_ = std::move(other.entity_terms_);
+  meta_ = std::move(other.meta_);
+  rdf_type_ = other.rdf_type_;
+  rdfs_subclass_ = other.rdfs_subclass_;
+  rdfs_label_ = other.rdfs_label_;
+}
+
+KnowledgeBase& KnowledgeBase::operator=(KnowledgeBase&& other) noexcept {
+  if (this == &other) return *this;
+  std::scoped_lock lock(mu_, other.mu_);
+  store_ = std::move(other.store_);
+  taxonomy_ = std::move(other.taxonomy_);
+  entity_terms_ = std::move(other.entity_terms_);
+  meta_ = std::move(other.meta_);
+  rdf_type_ = other.rdf_type_;
+  rdfs_subclass_ = other.rdfs_subclass_;
+  rdfs_label_ = other.rdfs_label_;
+  return *this;
+}
+
+TermId KnowledgeBase::EntityTermLocked(const std::string& canonical) {
   auto it = entity_terms_.find(canonical);
   if (it != entity_terms_.end()) return it->second;
   TermId id = store_.dict().InternIri(rdf::EntityIri(canonical));
@@ -22,78 +46,107 @@ TermId KnowledgeBase::EntityTerm(const std::string& canonical) {
   return id;
 }
 
-TermId KnowledgeBase::PropertyTerm(const std::string& local_name) {
+TermId KnowledgeBase::PropertyTermLocked(const std::string& local_name) {
   return store_.dict().InternIri(rdf::PropertyIri(local_name));
 }
 
-TermId KnowledgeBase::ClassTerm(const std::string& class_name) {
+TermId KnowledgeBase::ClassTermLocked(const std::string& class_name) {
   return store_.dict().InternIri(rdf::ClassIri(class_name));
+}
+
+TermId KnowledgeBase::EntityTerm(const std::string& canonical) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return EntityTermLocked(canonical);
+}
+
+TermId KnowledgeBase::PropertyTerm(const std::string& local_name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return PropertyTermLocked(local_name);
+}
+
+TermId KnowledgeBase::ClassTerm(const std::string& class_name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ClassTermLocked(class_name);
 }
 
 void KnowledgeBase::AssertType(const std::string& canonical,
                                const std::string& cls) {
+  std::lock_guard<std::mutex> lock(mu_);
   taxonomy_.Intern(cls);
-  store_.Add(rdf::Triple(EntityTerm(canonical), rdf_type_, ClassTerm(cls)));
+  store_.Add(rdf::Triple(EntityTermLocked(canonical), rdf_type_,
+                         ClassTermLocked(cls)));
 }
 
 void KnowledgeBase::AssertSubclass(const std::string& sub,
                                    const std::string& super) {
+  std::lock_guard<std::mutex> lock(mu_);
   taxonomy_.AddSubclass(taxonomy_.Intern(sub), taxonomy_.Intern(super));
-  store_.Add(rdf::Triple(ClassTerm(sub), rdfs_subclass_, ClassTerm(super)));
+  store_.Add(rdf::Triple(ClassTermLocked(sub), rdfs_subclass_,
+                         ClassTermLocked(super)));
+}
+
+bool KnowledgeBase::InsertMetaLocked(const rdf::Triple& t,
+                                     const FactMeta& meta,
+                                     bool merge_valid_time) {
+  auto [it, inserted] = meta_.emplace(t, meta);
+  if (!inserted) {
+    it->second.confidence = std::max(it->second.confidence, meta.confidence);
+    it->second.support += meta.support;
+    if (merge_valid_time && !it->second.valid_time.valid() &&
+        meta.valid_time.valid()) {
+      it->second.valid_time = meta.valid_time;
+    }
+  }
+  return inserted;
 }
 
 bool KnowledgeBase::AssertFact(const std::string& subject,
                                const std::string& property,
                                const std::string& object,
                                const FactMeta& meta) {
-  rdf::Triple t(EntityTerm(subject), PropertyTerm(property),
-                EntityTerm(object));
+  std::lock_guard<std::mutex> lock(mu_);
+  rdf::Triple t(EntityTermLocked(subject), PropertyTermLocked(property),
+                EntityTermLocked(object));
   bool fresh = store_.Add(t);
-  auto [it, inserted] = meta_.emplace(t, meta);
-  if (!inserted) {
-    it->second.confidence = std::max(it->second.confidence, meta.confidence);
-    it->second.support += meta.support;
-    if (!it->second.valid_time.valid() && meta.valid_time.valid()) {
-      it->second.valid_time = meta.valid_time;
-    }
-  }
+  InsertMetaLocked(t, meta, /*merge_valid_time=*/true);
   return fresh;
 }
 
 bool KnowledgeBase::AssertYearFact(const std::string& subject,
                                    const std::string& property, int32_t year,
                                    const FactMeta& meta) {
-  rdf::Triple t(EntityTerm(subject), PropertyTerm(property),
+  std::lock_guard<std::mutex> lock(mu_);
+  rdf::Triple t(EntityTermLocked(subject), PropertyTermLocked(property),
                 store_.dict().Intern(Term::IntLiteral(year)));
   bool fresh = store_.Add(t);
-  auto [it, inserted] = meta_.emplace(t, meta);
-  if (!inserted) {
-    it->second.confidence = std::max(it->second.confidence, meta.confidence);
-    it->second.support += meta.support;
-  }
+  InsertMetaLocked(t, meta, /*merge_valid_time=*/false);
   return fresh;
 }
 
 void KnowledgeBase::AssertLabel(const std::string& canonical,
                                 const std::string& label,
                                 const std::string& lang) {
-  store_.Add(rdf::Triple(EntityTerm(canonical), rdfs_label_,
+  std::lock_guard<std::mutex> lock(mu_);
+  store_.Add(rdf::Triple(EntityTermLocked(canonical), rdfs_label_,
                          store_.dict().Intern(Term::LangLiteral(label,
                                                                 lang))));
 }
 
 const FactMeta* KnowledgeBase::MetaOf(const rdf::Triple& triple) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = meta_.find(triple);
   return it == meta_.end() ? nullptr : &it->second;
 }
 
 void KnowledgeBase::AddTripleWithMeta(const rdf::Triple& triple,
                                       const FactMeta* meta) {
+  std::lock_guard<std::mutex> lock(mu_);
   store_.Add(triple);
   if (meta != nullptr) meta_[triple] = *meta;
 }
 
 void KnowledgeBase::RebuildDerivedIndexes() {
+  std::lock_guard<std::mutex> lock(mu_);
   // Entity IRIs from the dictionary.
   for (rdf::TermId id = 1; id <= store_.dict().size(); ++id) {
     const rdf::Term& term = store_.dict().term(id);
@@ -131,6 +184,10 @@ void KnowledgeBase::RebuildDerivedIndexes() {
 
 StatusOr<std::vector<query::Binding>> KnowledgeBase::Query(
     std::string_view sparql) const {
+  // Serialized with the assert APIs: parsing reads the dictionary and
+  // execution triggers the store's lazy index merge, both of which
+  // race with concurrent interning otherwise.
+  std::lock_guard<std::mutex> lock(mu_);
   auto parsed = query::ParseSparql(sparql, store_.dict());
   if (!parsed.ok()) return parsed.status();
   query::QueryEngine engine(&store_);

@@ -2,6 +2,7 @@
 #define KBFORGE_CORE_KNOWLEDGE_BASE_H_
 
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -28,9 +29,21 @@ struct FactMeta {
 /// taxonomy, and per-fact confidence/provenance/temporal metadata —
 /// the product the tutorial's §2-§3 pipeline builds and its §4
 /// applications consume.
+///
+/// Concurrency: the Assert*/intern APIs, MetaOf and Query are
+/// serialized by one internal mutex, so reduce-phase workers may
+/// assert into a shared KB concurrently. Direct access to store(),
+/// taxonomy() and meta_map() bypasses that lock — quiesce writers
+/// before using those handles.
 class KnowledgeBase {
  public:
   KnowledgeBase();
+
+  /// Movable (the mutex is not moved — the target gets a fresh one).
+  /// Moving while another thread still uses the source is a race, as
+  /// with any container.
+  KnowledgeBase(KnowledgeBase&& other) noexcept;
+  KnowledgeBase& operator=(KnowledgeBase&& other) noexcept;
 
   rdf::TripleStore& store() { return store_; }
   const rdf::TripleStore& store() const { return store_; }
@@ -95,6 +108,13 @@ class KnowledgeBase {
   std::string ExportNTriples() const { return rdf::WriteNTriples(store_); }
 
  private:
+  rdf::TermId EntityTermLocked(const std::string& canonical);
+  rdf::TermId PropertyTermLocked(const std::string& local_name);
+  rdf::TermId ClassTermLocked(const std::string& class_name);
+  bool InsertMetaLocked(const rdf::Triple& t, const FactMeta& meta,
+                        bool merge_valid_time);
+
+  mutable std::mutex mu_;
   rdf::TripleStore store_;
   taxonomy::Taxonomy taxonomy_;
   std::map<std::string, rdf::TermId> entity_terms_;

@@ -233,14 +233,17 @@ World World::Generate(const WorldOptions& options) {
   // ---- Companies ---------------------------------------------------------
   for (size_t i = 0; i < options.num_companies; ++i) {
     uint32_t founder = persons[rng.Uniform(persons.size())];
-    const Entity& founder_e = world.entities_[founder];
-    std::string surname = Split(founder_e.full_name, ' ').back();
+    // Copy before new_entity: the push_back may reallocate entities_,
+    // invalidating any reference into it.
+    const std::string surname =
+        Split(world.entities_[founder].full_name, ' ').back();
+    const int founder_birth_year = world.entities_[founder].birth_date.year;
     Entity& company = new_entity(EntityKind::kCompany,
                                  names.CompanyName(surname));
     uint32_t hq = cities[rng.Uniform(cities.size())];
     company.country = world.entities_[hq].country;
     company.aliases.push_back(Split(company.full_name, ' ')[0]);
-    int founded_year = std::max(founder_e.birth_date.year + 20,
+    int founded_year = std::max(founder_birth_year + 20,
                                 1960 + static_cast<int>(rng.UniformInt(0, 50)));
 
     GoldFact founded;

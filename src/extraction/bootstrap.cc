@@ -3,6 +3,7 @@
 #include <map>
 #include <set>
 
+#include "extraction/extraction_metrics.h"
 #include "rdf/triple.h"
 #include "util/string_util.h"
 
@@ -176,6 +177,7 @@ Bootstrapper::Result Bootstrapper::Run(
   }
 
   result.facts = DeduplicateFacts(raw_facts);
+  RecordExtractorYield("bootstrap", result.facts);
   return result;
 }
 

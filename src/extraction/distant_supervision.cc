@@ -4,6 +4,7 @@
 #include <cmath>
 #include <set>
 
+#include "extraction/extraction_metrics.h"
 #include "extraction/pattern_extractor.h"
 #include "rdf/triple.h"
 #include "util/random.h"
@@ -229,7 +230,9 @@ std::vector<ExtractedFact> RelationClassifier::Extract(
     f.extractor = rdf::kExtractorStatistical;
     out.push_back(f);
   }
-  return DeduplicateFacts(out);
+  std::vector<ExtractedFact> deduped = DeduplicateFacts(out);
+  RecordExtractorYield("statistical", deduped);
+  return deduped;
 }
 
 size_t RelationClassifier::num_features() const {

@@ -1,0 +1,20 @@
+#include "extraction/extraction_metrics.h"
+
+#include "util/metrics_registry.h"
+
+namespace kb {
+namespace extraction {
+
+void RecordExtractorYield(const std::string& extractor,
+                          const std::vector<ExtractedFact>& facts) {
+  MetricsRegistry& registry = MetricsRegistry::Default();
+  registry.counter("extraction." + extractor + ".batches").Increment();
+  registry.counter("extraction." + extractor + ".facts")
+      .Increment(facts.size());
+  Histogram& confidence =
+      registry.histogram("extraction." + extractor + ".confidence");
+  for (const ExtractedFact& f : facts) confidence.Observe(f.confidence);
+}
+
+}  // namespace extraction
+}  // namespace kb

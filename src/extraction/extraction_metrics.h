@@ -1,0 +1,24 @@
+#ifndef KBFORGE_EXTRACTION_EXTRACTION_METRICS_H_
+#define KBFORGE_EXTRACTION_EXTRACTION_METRICS_H_
+
+#include <string>
+#include <vector>
+
+#include "extraction/annotation.h"
+
+namespace kb {
+namespace extraction {
+
+/// Records one extractor batch into the default metrics registry:
+/// increments `extraction.<extractor>.facts` by facts.size(),
+/// `extraction.<extractor>.batches` by one, and observes every fact's
+/// confidence into `extraction.<extractor>.confidence`. Thread-safe —
+/// extractors running on pool workers (bootstrap) may call this
+/// concurrently.
+void RecordExtractorYield(const std::string& extractor,
+                          const std::vector<ExtractedFact>& facts);
+
+}  // namespace extraction
+}  // namespace kb
+
+#endif  // KBFORGE_EXTRACTION_EXTRACTION_METRICS_H_

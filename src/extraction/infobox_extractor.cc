@@ -1,5 +1,6 @@
 #include "extraction/infobox_extractor.h"
 
+#include "extraction/extraction_metrics.h"
 #include "rdf/triple.h"
 #include "util/string_util.h"
 
@@ -125,6 +126,7 @@ std::vector<ExtractedFact> InfoboxExtractor::Extract(
     auto facts = ExtractFromArticle(doc);
     out.insert(out.end(), facts.begin(), facts.end());
   }
+  RecordExtractorYield("infobox", out);
   return out;
 }
 

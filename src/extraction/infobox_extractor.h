@@ -1,6 +1,7 @@
 #ifndef KBFORGE_EXTRACTION_INFOBOX_EXTRACTOR_H_
 #define KBFORGE_EXTRACTION_INFOBOX_EXTRACTOR_H_
 
+#include <atomic>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -31,11 +32,14 @@ class InfoboxExtractor {
       const std::vector<corpus::Document>& docs) const;
 
   /// Number of lines that looked like slots but failed to parse.
-  size_t malformed_slots() const { return malformed_slots_; }
+  size_t malformed_slots() const {
+    return malformed_slots_.load(std::memory_order_relaxed);
+  }
 
  private:
   std::unordered_map<std::string, uint32_t> by_canonical_;
-  mutable size_t malformed_slots_ = 0;
+  /// Atomic so one extractor can serve parallel per-document calls.
+  mutable std::atomic<size_t> malformed_slots_{0};
 };
 
 }  // namespace extraction

@@ -1,5 +1,6 @@
 #include "extraction/pattern_extractor.h"
 
+#include "extraction/extraction_metrics.h"
 #include "rdf/triple.h"
 #include "util/string_util.h"
 
@@ -132,6 +133,7 @@ std::vector<ExtractedFact> PatternExtractor::Extract(
     auto facts = ExtractFromSentence(s);
     out.insert(out.end(), facts.begin(), facts.end());
   }
+  RecordExtractorYield("pattern", out);
   return out;
 }
 

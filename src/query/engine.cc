@@ -4,12 +4,36 @@
 #include <set>
 
 #include "rdf/term.h"
+#include "util/metrics_registry.h"
 #include "util/string_util.h"
 
 namespace kb {
 namespace query {
 
 namespace {
+
+/// Executor instruments in the default registry.
+struct QueryMetrics {
+  Counter& executions;
+  Counter& rows;
+  Counter& patterns_evaluated;
+  Counter& index_scans;
+  Histogram& execute_ms;
+
+  static QueryMetrics& Get() {
+    static QueryMetrics* m = [] {
+      MetricsRegistry& r = MetricsRegistry::Default();
+      return new QueryMetrics{
+          r.counter("query.executions"),
+          r.counter("query.rows"),
+          r.counter("query.patterns_evaluated"),
+          r.counter("query.index_scans"),
+          r.histogram("query.execute_ms"),
+      };
+    }();
+    return *m;
+  }
+};
 
 /// Resolves a query term under the current binding. Returns kAnyTerm
 /// for unbound variables; sets *unmatchable for invalid constants.
@@ -42,6 +66,9 @@ int BoundPositions(const rdf::TriplePattern& p) {
 std::vector<Binding> QueryEngine::Execute(const SelectQuery& query,
                                           const ExecutionOptions& options,
                                           QueryStats* stats) const {
+  QueryMetrics& metrics = QueryMetrics::Get();
+  metrics.executions.Increment();
+  ScopedTimer timer(metrics.execute_ms);
   std::vector<Binding> results;
   std::vector<bool> used(query.where.size(), false);
   Binding binding;
@@ -140,6 +167,9 @@ std::vector<Binding> QueryEngine::Execute(const SelectQuery& query,
   };
   recurse(0);
   if (stats != nullptr) *stats = local_stats;
+  metrics.rows.Increment(results.size());
+  metrics.patterns_evaluated.Increment(local_stats.patterns_evaluated);
+  metrics.index_scans.Increment(local_stats.index_scans);
   return results;
 }
 

@@ -5,6 +5,7 @@
 
 #include "storage/env.h"
 #include "util/logging.h"
+#include "util/metrics_registry.h"
 #include "util/string_util.h"
 
 namespace kb {
@@ -12,6 +13,51 @@ namespace storage {
 
 namespace {
 constexpr char kWalFileName[] = "wal.log";
+
+/// Storage instruments in the default registry. The gauges describe
+/// the store that updated them last — with several stores open, treat
+/// them as "most recent store activity", not a per-store breakdown.
+struct KvMetrics {
+  Counter& gets;
+  Counter& puts;
+  Counter& deletes;
+  Counter& scans;
+  Counter& flushes;
+  Counter& compactions;
+  Counter& bloom_skips;
+  Counter& table_probes;
+  Counter& wal_appends;
+  Histogram& get_ms;
+  Histogram& put_ms;
+  Histogram& flush_ms;
+  Histogram& compact_ms;
+  Gauge& memtable_bytes;
+  Gauge& num_tables;
+
+  static KvMetrics& Get() {
+    static KvMetrics* m = [] {
+      MetricsRegistry& r = MetricsRegistry::Default();
+      return new KvMetrics{
+          r.counter("kv.gets"),
+          r.counter("kv.puts"),
+          r.counter("kv.deletes"),
+          r.counter("kv.scans"),
+          r.counter("kv.flushes"),
+          r.counter("kv.compactions"),
+          r.counter("kv.bloom_skips"),
+          r.counter("kv.table_probes"),
+          r.counter("kv.wal_appends"),
+          r.histogram("kv.get_ms"),
+          r.histogram("kv.put_ms"),
+          r.histogram("kv.flush_ms"),
+          r.histogram("kv.compact_ms"),
+          r.gauge("kv.memtable_bytes"),
+          r.gauge("kv.num_tables"),
+      };
+    }();
+    return *m;
+  }
+};
 
 /// SSTable values are tagged with a leading type byte so tombstones
 /// survive flushes and shadow older tables.
@@ -101,27 +147,40 @@ Status KVStore::WriteInternal(EntryType type, const Slice& key,
                               const Slice& value) {
   if (wal_open_) {
     KB_RETURN_IF_ERROR(wal_.Append(type, key, value));
+    KvMetrics::Get().wal_appends.Increment();
   }
   if (type == EntryType::kPut) {
     mem_->Put(key, value);
   } else {
     mem_->Delete(key);
   }
+  KvMetrics::Get().memtable_bytes.Set(
+      static_cast<int64_t>(mem_->ApproximateMemoryUsage()));
   if (mem_->ApproximateMemoryUsage() >= options_.memtable_flush_bytes) {
-    KB_RETURN_IF_ERROR(Flush());
+    KB_RETURN_IF_ERROR(FlushLocked());
   }
   return Status::OK();
 }
 
 Status KVStore::Put(const Slice& key, const Slice& value) {
+  KvMetrics& metrics = KvMetrics::Get();
+  metrics.puts.Increment();
+  ScopedTimer timer(metrics.put_ms);
+  std::lock_guard<std::mutex> lock(mu_);
   return WriteInternal(EntryType::kPut, key, value);
 }
 
 Status KVStore::Delete(const Slice& key) {
+  KvMetrics::Get().deletes.Increment();
+  std::lock_guard<std::mutex> lock(mu_);
   return WriteInternal(EntryType::kDelete, key, Slice());
 }
 
 Status KVStore::Get(const Slice& key, std::string* value) {
+  KvMetrics& metrics = KvMetrics::Get();
+  metrics.gets.Increment();
+  ScopedTimer timer(metrics.get_ms);
+  std::lock_guard<std::mutex> lock(mu_);
   ++stats_.gets;
   EntryType type;
   if (mem_->Get(key, value, &type)) {
@@ -131,9 +190,11 @@ Status KVStore::Get(const Slice& key, std::string* value) {
   for (auto it = tables_.rbegin(); it != tables_.rend(); ++it) {
     if (!(*it)->MayContain(key)) {
       ++stats_.bloom_skips;
+      metrics.bloom_skips.Increment();
       continue;
     }
     ++stats_.table_probes;
+    metrics.table_probes.Increment();
     std::string tagged;
     Status s = (*it)->Get(key, &tagged);
     if (s.IsNotFound()) continue;
@@ -151,7 +212,14 @@ Status KVStore::Get(const Slice& key, std::string* value) {
 }
 
 Status KVStore::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FlushLocked();
+}
+
+Status KVStore::FlushLocked() {
   if (mem_->empty()) return Status::OK();
+  KvMetrics& metrics = KvMetrics::Get();
+  ScopedTimer timer(metrics.flush_ms);
   TableBuilder builder(options_.table);
   MemTable::Iterator it = mem_->NewIterator();
   for (it.SeekToFirst(); it.Valid(); it.Next()) {
@@ -176,12 +244,15 @@ Status KVStore::Flush() {
     wal_open_ = true;
   }
   ++stats_.flushes;
+  metrics.flushes.Increment();
+  metrics.memtable_bytes.Set(0);
+  metrics.num_tables.Set(static_cast<int64_t>(tables_.size()));
   return MaybeScheduleCompaction();
 }
 
 Status KVStore::MaybeScheduleCompaction() {
   if (static_cast<int>(tables_.size()) >= options_.l0_compaction_trigger) {
-    return CompactAll();
+    return CompactAllLocked();
   }
   return Status::OK();
 }
@@ -222,6 +293,8 @@ struct MergeSource {
 
 void KVStore::Scan(const Slice& start, const Slice& end,
                    const std::function<bool(const Slice&, const Slice&)>& fn) {
+  KvMetrics::Get().scans.Increment();
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<MergeSource> sources;
   {
     MergeSource src;
@@ -281,8 +354,15 @@ void KVStore::Scan(const Slice& start, const Slice& end,
 }
 
 Status KVStore::CompactAll() {
-  KB_RETURN_IF_ERROR(Flush());
+  std::lock_guard<std::mutex> lock(mu_);
+  return CompactAllLocked();
+}
+
+Status KVStore::CompactAllLocked() {
+  KB_RETURN_IF_ERROR(FlushLocked());
   if (tables_.size() <= 1) return Status::OK();
+  KvMetrics& metrics = KvMetrics::Get();
+  ScopedTimer timer(metrics.compact_ms);
   TableBuilder builder(options_.table);
   // Merge newest-wins across all tables, keeping only live entries.
   std::vector<TableReader::Iterator> iters;
@@ -338,6 +418,8 @@ Status KVStore::CompactAll() {
   tables_.push_back(std::move(*merged));
   table_numbers_.push_back(number);
   ++stats_.compactions;
+  metrics.compactions.Increment();
+  metrics.num_tables.Set(static_cast<int64_t>(tables_.size()));
   return Status::OK();
 }
 

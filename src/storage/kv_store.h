@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -39,8 +40,11 @@ struct StoreStats {
 /// the durable substrate under KBForge's knowledge bases, letting a
 /// harvested KB survive restarts and scale past RAM-friendly loads.
 ///
-/// Single-threaded by design (the harvesting pipeline shards work above
-/// this layer, writing through one store handle).
+/// Thread-safe: every public operation is serialized by one internal
+/// mutex (coarse by design — the harvesting pipeline shards work above
+/// this layer, so the store itself only needs correctness, not
+/// internal parallelism). Scan holds the mutex across the visitor, so
+/// `fn` must not reenter the store.
 class KVStore {
  public:
   /// Opens (or creates) a store in directory `path`, replaying any WAL.
@@ -68,9 +72,18 @@ class KVStore {
   /// tombstones.
   Status CompactAll();
 
-  size_t num_tables() const { return tables_.size(); }
-  const StoreStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = StoreStats(); }
+  size_t num_tables() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return tables_.size();
+  }
+  StoreStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+  void ResetStats() {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_ = StoreStats();
+  }
 
  private:
   KVStore(StoreOptions options, std::string path);
@@ -80,7 +93,10 @@ class KVStore {
   Status ReplayWalIntoMemtable();
   std::string TableFileName(uint64_t number) const;
   Status MaybeScheduleCompaction();
+  Status FlushLocked();
+  Status CompactAllLocked();
 
+  mutable std::mutex mu_;
   StoreOptions options_;
   std::string path_;
   std::unique_ptr<MemTable> mem_;

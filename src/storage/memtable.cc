@@ -8,7 +8,9 @@ namespace storage {
 
 /// Skiplist node: flexible layout in the arena.
 /// [Node header][next pointers (height)][key bytes][value bytes]
-struct MemTable::Node {
+/// The header is padded to pointer alignment so the next array that
+/// trails it holds Node* at properly aligned addresses.
+struct alignas(alignof(void*)) MemTable::Node {
   uint32_t key_size;
   uint32_t value_size;
   EntryType type;

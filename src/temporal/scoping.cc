@@ -2,6 +2,8 @@
 
 #include <map>
 
+#include "extraction/extraction_metrics.h"
+
 namespace kb {
 namespace temporal {
 
@@ -60,7 +62,11 @@ std::vector<ExtractedFact> TemporalScoper::ScopeSentences(
     auto facts = ScopeSentence(s);
     all.insert(all.end(), facts.begin(), facts.end());
   }
-  return AggregateSpans(all);
+  std::vector<ExtractedFact> scoped = AggregateSpans(all);
+  // This path wraps the pattern extractor sentence-by-sentence, so the
+  // batch API never sees the yield; record it here instead.
+  extraction::RecordExtractorYield("pattern", scoped);
+  return scoped;
 }
 
 std::vector<ExtractedFact> TemporalScoper::AggregateSpans(

@@ -1,0 +1,256 @@
+#include "util/metrics_registry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace kb {
+
+namespace {
+
+/// Relaxed CAS-min/max over atomic doubles.
+void AtomicMin(std::atomic<double>* slot, double value) {
+  double current = slot->load(std::memory_order_relaxed);
+  while (value < current &&
+         !slot->compare_exchange_weak(current, value,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>* slot, double value) {
+  double current = slot->load(std::memory_order_relaxed);
+  while (value > current &&
+         !slot->compare_exchange_weak(current, value,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+size_t BucketIndex(double value) {
+  if (value <= Histogram::kBucketBase) return 0;
+  double log = std::log2(value / Histogram::kBucketBase);
+  size_t index = static_cast<size_t>(std::ceil(log));
+  return std::min(index, Histogram::kNumBuckets - 1);
+}
+
+}  // namespace
+
+void Histogram::Observe(double value) {
+  if (!(value >= 0.0)) value = 0.0;  // clamps negatives and NaN
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  AtomicMin(&min_, value);
+  AtomicMax(&max_, value);
+}
+
+double Histogram::mean() const {
+  uint64_t n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+double Histogram::min() const {
+  return count() == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
+}
+
+double Histogram::max() const {
+  return count() == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
+}
+
+double Histogram::BucketUpperBound(size_t i) {
+  return kBucketBase * std::pow(2.0, static_cast<double>(i));
+}
+
+double Histogram::Quantile(double q) const {
+  uint64_t total = count();
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  double rank = q * static_cast<double>(total);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    uint64_t in_bucket = bucket_count(i);
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) >= rank) {
+      double lower = i == 0 ? 0.0 : BucketUpperBound(i - 1);
+      double upper = BucketUpperBound(i);
+      double fraction =
+          (rank - static_cast<double>(cumulative)) / in_bucket;
+      return lower + fraction * (upper - lower);
+    }
+    cumulative += in_bucket;
+  }
+  return max();
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+uint64_t MetricsSnapshot::counter(const std::string& name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+int64_t MetricsSnapshot::gauge(const std::string& name) const {
+  for (const auto& [n, v] : gauges) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+const HistogramSnapshot* MetricsSnapshot::histogram(
+    const std::string& name) const {
+  for (const auto& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+std::string MetricsSnapshot::ToText() const {
+  std::ostringstream out;
+  for (const auto& [name, value] : counters) {
+    out << "counter " << name << " = " << value << "\n";
+  }
+  for (const auto& [name, value] : gauges) {
+    out << "gauge " << name << " = " << value << "\n";
+  }
+  char buf[256];
+  for (const auto& h : histograms) {
+    snprintf(buf, sizeof(buf),
+             "histogram %s: count=%llu sum=%.3f mean=%.3f min=%.3f "
+             "max=%.3f p50=%.3f p90=%.3f p99=%.3f",
+             h.name.c_str(), static_cast<unsigned long long>(h.count), h.sum,
+             h.mean, h.min, h.max, h.p50, h.p90, h.p99);
+    out << buf << "\n";
+  }
+  return out.str();
+}
+
+namespace {
+/// Escapes the characters our dotted metric names could plausibly
+/// smuggle into a JSON string.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[64];
+  snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+}  // namespace
+
+std::string MetricsSnapshot::ToJson() const {
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  for (size_t i = 0; i < counters.size(); ++i) {
+    if (i) out << ",";
+    out << "\"" << JsonEscape(counters[i].first)
+        << "\":" << counters[i].second;
+  }
+  out << "},\"gauges\":{";
+  for (size_t i = 0; i < gauges.size(); ++i) {
+    if (i) out << ",";
+    out << "\"" << JsonEscape(gauges[i].first) << "\":" << gauges[i].second;
+  }
+  out << "},\"histograms\":{";
+  for (size_t i = 0; i < histograms.size(); ++i) {
+    const HistogramSnapshot& h = histograms[i];
+    if (i) out << ",";
+    out << "\"" << JsonEscape(h.name) << "\":{\"count\":" << h.count
+        << ",\"sum\":" << JsonNumber(h.sum) << ",\"mean\":"
+        << JsonNumber(h.mean) << ",\"min\":" << JsonNumber(h.min)
+        << ",\"max\":" << JsonNumber(h.max) << ",\"p50\":"
+        << JsonNumber(h.p50) << ",\"p90\":" << JsonNumber(h.p90)
+        << ",\"p99\":" << JsonNumber(h.p99) << "}";
+  }
+  out << "}}";
+  return out.str();
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* instance = new MetricsRegistry();
+  return *instance;
+}
+
+MetricsRegistry& MetricsRegistry::Named(const std::string& name) {
+  static std::mutex* mu = new std::mutex();
+  static auto* registries =
+      new std::map<std::string, std::unique_ptr<MetricsRegistry>>();
+  std::lock_guard<std::mutex> lock(*mu);
+  auto& slot = (*registries)[name];
+  if (slot == nullptr) slot = std::make_unique<MetricsRegistry>();
+  return *slot;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace_back(name, c->value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.emplace_back(name, g->value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot hs;
+    hs.name = name;
+    hs.count = h->count();
+    hs.sum = h->sum();
+    hs.min = h->min();
+    hs.max = h->max();
+    hs.mean = h->mean();
+    hs.p50 = h->Quantile(0.50);
+    hs.p90 = h->Quantile(0.90);
+    hs.p99 = h->Quantile(0.99);
+    snap.histograms.push_back(std::move(hs));
+  }
+  return snap;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+}  // namespace kb

@@ -1,0 +1,174 @@
+#ifndef KBFORGE_UTIL_METRICS_REGISTRY_H_
+#define KBFORGE_UTIL_METRICS_REGISTRY_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace kb {
+
+/// Monotonically increasing event count. All operations are lock-free
+/// and safe to call from any thread.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Point-in-time level (queue depth, bytes resident, open tables).
+/// Thread-safe; last writer wins on Set.
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Lock-free exponential-bucket histogram for latencies and other
+/// positive measures. Buckets double from kBucketBase; values are in
+/// whatever unit the caller observes (latencies use milliseconds by
+/// convention, so the range spans ~1us to ~100 days).
+class Histogram {
+ public:
+  static constexpr size_t kNumBuckets = 48;
+  static constexpr double kBucketBase = 1e-3;
+
+  void Observe(double value);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double mean() const;
+  double min() const;  ///< 0 when empty
+  double max() const;  ///< 0 when empty
+  /// Approximate quantile (linear interpolation inside the bucket);
+  /// `q` in [0, 1]. Returns 0 when empty.
+  double Quantile(double q) const;
+
+  uint64_t bucket_count(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  /// Upper bound of bucket `i` (inclusive).
+  static double BucketUpperBound(size_t i);
+
+  void Reset();
+
+ private:
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{0.0};
+};
+
+/// Point-in-time view of one histogram.
+struct HistogramSnapshot {
+  std::string name;
+  uint64_t count = 0;
+  double sum = 0, min = 0, max = 0, mean = 0;
+  double p50 = 0, p90 = 0, p99 = 0;
+};
+
+/// A consistent-enough view of a registry (each instrument is read
+/// atomically; the set of instruments is read under the registry lock).
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;  ///< name-sorted
+  std::vector<std::pair<std::string, int64_t>> gauges;     ///< name-sorted
+  std::vector<HistogramSnapshot> histograms;               ///< name-sorted
+
+  /// Counter value by name (0 when absent).
+  uint64_t counter(const std::string& name) const;
+  /// Gauge value by name (0 when absent).
+  int64_t gauge(const std::string& name) const;
+  /// Histogram by name (nullptr when absent).
+  const HistogramSnapshot* histogram(const std::string& name) const;
+
+  /// Human-readable table, one instrument per line.
+  std::string ToText() const;
+  /// JSON object {"counters": {...}, "gauges": {...}, "histograms": {...}}.
+  std::string ToJson() const;
+};
+
+/// Process-wide named registry of counters, gauges and histograms.
+///
+/// Instruments are created on first use and live for the registry's
+/// lifetime, so hot paths should look them up once and keep the
+/// reference — updates on the returned instruments are lock-free.
+/// Instrument creation/lookup and Snapshot() take a mutex.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The default process-wide registry (what the library instruments).
+  static MetricsRegistry& Default();
+  /// A process-wide singleton registry under `name` (created on first
+  /// use) for callers that want an isolated namespace.
+  static MetricsRegistry& Named(const std::string& name);
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every instrument. References handed out earlier stay
+  /// valid; concurrent updates are not lost-safe (intended for tests
+  /// and bench setup, not for concurrent production use).
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Records wall-clock milliseconds into a histogram on destruction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& histogram)
+      : histogram_(&histogram), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedTimer() {
+    if (histogram_ != nullptr) histogram_->Observe(ElapsedMs());
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+  /// Records now and disarms the destructor; returns the elapsed ms.
+  double Stop() {
+    double ms = ElapsedMs();
+    if (histogram_ != nullptr) histogram_->Observe(ms);
+    histogram_ = nullptr;
+    return ms;
+  }
+
+ private:
+  Histogram* histogram_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace kb
+
+#endif  // KBFORGE_UTIL_METRICS_REGISTRY_H_

@@ -1,6 +1,7 @@
 #include "util/thread_pool.h"
 
 #include <atomic>
+#include <utility>
 
 #include "util/logging.h"
 
@@ -35,6 +36,11 @@ void ThreadPool::Submit(std::function<void()> task) {
 void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mu_);
   idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  if (first_exception_) {
+    std::exception_ptr e = std::exchange(first_exception_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(e);
+  }
 }
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
@@ -71,9 +77,15 @@ void ThreadPool::WorkerLoop() {
       queue_.pop_front();
       ++active_;
     }
-    task();
+    std::exception_ptr thrown;
+    try {
+      task();
+    } catch (...) {
+      thrown = std::current_exception();
+    }
     {
       std::unique_lock<std::mutex> lock(mu_);
+      if (thrown && !first_exception_) first_exception_ = thrown;
       --active_;
       if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
     }

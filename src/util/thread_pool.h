@@ -4,6 +4,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -24,12 +25,16 @@ class ThreadPool {
   /// Enqueues a task. Must not be called after Shutdown.
   void Submit(std::function<void()> task);
 
-  /// Blocks until the queue is empty and all workers are idle.
+  /// Blocks until the queue is empty and all workers are idle. If any
+  /// task threw since the last Wait, rethrows the first such exception
+  /// (the remaining tasks still ran to completion or threw silently).
   void Wait();
 
   size_t num_threads() const { return workers_.size(); }
 
-  /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+  /// Runs fn(i) for i in [0, n) across the pool and waits for
+  /// completion. Rethrows the first exception any fn(i) threw; indices
+  /// handed to other workers may still run before the rethrow.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
  private:
@@ -42,6 +47,7 @@ class ThreadPool {
   std::condition_variable idle_cv_;
   size_t active_ = 0;
   bool shutdown_ = false;
+  std::exception_ptr first_exception_;
 };
 
 }  // namespace kb

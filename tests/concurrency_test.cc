@@ -1,0 +1,272 @@
+// Concurrency hammer tests: these exist to be run under
+// KBFORGE_SANITIZE=tsan/asan builds, where the sanitizer (not just the
+// assertions) is the oracle. Each test drives a shared component from
+// at least eight threads.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/harvester.h"
+#include "core/knowledge_base.h"
+#include "rdf/namespaces.h"
+#include "storage/kv_store.h"
+#include "util/metrics_registry.h"
+#include "util/thread_pool.h"
+
+namespace kb {
+namespace {
+
+constexpr size_t kThreads = 8;
+
+std::string TempDir(const std::string& name) {
+  auto path = std::filesystem::temp_directory_path() / ("kbforge_" + name);
+  std::filesystem::remove_all(path);
+  std::filesystem::create_directories(path);
+  return path.string();
+}
+
+// ------------------------------------------------------------- Harvest
+
+class ConcurrentHarvestFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    corpus::WorldOptions wopts;
+    wopts.seed = 301;
+    wopts.num_persons = 60;
+    wopts.num_cities = 15;
+    wopts.num_companies = 20;
+    corpus::CorpusOptions copts;
+    copts.seed = 302;
+    copts.news_docs = 80;
+    copts.web_docs = 15;
+    corpus_ = new corpus::Corpus(corpus::BuildCorpus(wopts, copts));
+  }
+  static void TearDownTestSuite() { delete corpus_; }
+  static corpus::Corpus* corpus_;
+};
+
+corpus::Corpus* ConcurrentHarvestFixture::corpus_ = nullptr;
+
+TEST_F(ConcurrentHarvestFixture, EightThreadHarvestMatchesSingleThread) {
+  core::HarvestOptions serial;
+  serial.threads = 1;
+  core::HarvestResult one = core::Harvester(serial).Harvest(*corpus_);
+
+  core::HarvestOptions parallel;
+  parallel.threads = kThreads;
+  core::HarvestResult eight = core::Harvester(parallel).Harvest(*corpus_);
+
+  // The map phase shards documents; the merge order is canonicalized,
+  // so the output must be bit-identical regardless of thread count.
+  EXPECT_EQ(eight.stats.documents, one.stats.documents);
+  EXPECT_EQ(eight.stats.sentences, one.stats.sentences);
+  EXPECT_EQ(eight.stats.candidate_facts, one.stats.candidate_facts);
+  EXPECT_EQ(eight.stats.accepted_facts, one.stats.accepted_facts);
+  EXPECT_EQ(eight.kb.NumTriples(), one.kb.NumTriples());
+  EXPECT_EQ(eight.kb.NumEntities(), one.kb.NumEntities());
+  EXPECT_GT(eight.stats.accepted_facts, 0u);
+}
+
+TEST_F(ConcurrentHarvestFixture, ConcurrentHarvestsDoNotInterfere) {
+  // Several full pipelines at once: all share the global metrics
+  // registry and the extractors' static tables.
+  std::vector<core::HarvestResult> results(4);
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < results.size(); ++t) {
+    threads.emplace_back([this, t, &results] {
+      core::HarvestOptions options;
+      options.threads = 2;
+      results[t] = core::Harvester(options).Harvest(*corpus_);
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (size_t t = 1; t < results.size(); ++t) {
+    EXPECT_EQ(results[t].stats.accepted_facts,
+              results[0].stats.accepted_facts);
+    EXPECT_EQ(results[t].kb.NumTriples(), results[0].kb.NumTriples());
+  }
+}
+
+// ------------------------------------------------------------- KVStore
+
+TEST(ConcurrencyTest, KvStoreConcurrentReadsWritesScansFlushes) {
+  std::string dir = TempDir("concurrent_kv");
+  storage::StoreOptions options;
+  options.memtable_flush_bytes = 16 << 10;  // force frequent flushes
+  options.l0_compaction_trigger = 3;
+  auto store_or = storage::KVStore::Open(options, dir);
+  ASSERT_TRUE(store_or.ok());
+  std::unique_ptr<storage::KVStore> store = std::move(store_or).value();
+
+  constexpr int kKeysPerThread = 400;
+  std::atomic<size_t> get_hits{0};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kKeysPerThread; ++i) {
+        std::string key =
+            "k" + std::to_string(t) + "_" + std::to_string(i);
+        std::string value = "v" + std::to_string(t * 100000 + i);
+        ASSERT_TRUE(store->Put(Slice(key), Slice(value)).ok());
+        // Read back own write (other threads' flushes/compactions may
+        // run concurrently).
+        std::string got;
+        if (store->Get(Slice(key), &got).ok()) {
+          ASSERT_EQ(got, value);
+          get_hits.fetch_add(1);
+        }
+        if (i % 97 == 0) {
+          ASSERT_TRUE(store->Flush().ok());
+        }
+        if (i % 163 == 0) {
+          size_t seen = 0;
+          store->Scan(Slice("k"), Slice(),
+                      [&seen](const Slice&, const Slice&) {
+                        ++seen;
+                        return seen < 50;  // bounded walk
+                      });
+        }
+        if (i % 211 == 0 && t == 0) {
+          ASSERT_TRUE(store->CompactAll().ok());
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Own-writes must always be visible.
+  EXPECT_EQ(get_hits.load(), kThreads * kKeysPerThread);
+
+  // Every key survives the concurrent churn.
+  for (size_t t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kKeysPerThread; ++i) {
+      std::string key = "k" + std::to_string(t) + "_" + std::to_string(i);
+      std::string got;
+      ASSERT_TRUE(store->Get(Slice(key), &got).ok()) << key;
+    }
+  }
+  store.reset();
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ConcurrencyTest, KvStoreConcurrentDeletesStayConsistent) {
+  std::string dir = TempDir("concurrent_kv_del");
+  storage::StoreOptions options;
+  options.memtable_flush_bytes = 8 << 10;
+  auto store_or = storage::KVStore::Open(options, dir);
+  ASSERT_TRUE(store_or.ok());
+  std::unique_ptr<storage::KVStore> store = std::move(store_or).value();
+
+  // Pre-populate, then half the threads delete even keys while the
+  // other half read odd keys.
+  constexpr int kKeys = 2000;
+  for (int i = 0; i < kKeys; ++i) {
+    std::string key = "key" + std::to_string(i);
+    ASSERT_TRUE(store->Put(Slice(key), Slice("value")).ok());
+  }
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      if (t % 2 == 0) {
+        for (int i = static_cast<int>(t); i < kKeys; i += 2 * kThreads) {
+          ASSERT_TRUE(store->Delete(
+              Slice("key" + std::to_string(2 * (i / 2)))).ok());
+        }
+      } else {
+        std::string got;
+        for (int i = 1; i < kKeys; i += 2) {
+          ASSERT_TRUE(
+              store->Get(Slice("key" + std::to_string(i)), &got).ok());
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Odd keys all survive.
+  std::string got;
+  for (int i = 1; i < kKeys; i += 2) {
+    ASSERT_TRUE(store->Get(Slice("key" + std::to_string(i)), &got).ok());
+  }
+  store.reset();
+  std::filesystem::remove_all(dir);
+}
+
+// ------------------------------------------------------- KnowledgeBase
+
+TEST(ConcurrencyTest, KnowledgeBaseConcurrentAssertsAndQueries) {
+  core::KnowledgeBase kb;
+  std::atomic<size_t> asserted{0};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      core::FactMeta meta;
+      meta.confidence = 0.5 + 0.05 * static_cast<double>(t);
+      for (int i = 0; i < 200; ++i) {
+        std::string subject = "E" + std::to_string(t) + "_" +
+                              std::to_string(i);
+        if (kb.AssertFact(subject, "rel", "Target", meta)) {
+          asserted.fetch_add(1);
+        }
+        // Contended fact: every thread asserts the same statement, so
+        // meta merge runs under contention.
+        kb.AssertFact("Shared", "rel", "Target", meta);
+        kb.AssertType(subject, "thing");
+        if (i % 50 == 0) {
+          auto rows = kb.Query("SELECT ?s WHERE { ?s <" +
+                               rdf::PropertyIri("rel") + "> <" +
+                               rdf::EntityIri("Target") + "> . }");
+          ASSERT_TRUE(rows.ok());
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(asserted.load(), kThreads * 200u);
+
+  auto rows = kb.Query("SELECT ?s WHERE { ?s <" + rdf::PropertyIri("rel") +
+                       "> <" + rdf::EntityIri("Target") + "> . }");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), kThreads * 200u + 1);  // +1 for "Shared"
+
+  // The contended fact merged all supports and kept the max confidence.
+  rdf::Triple contended(kb.EntityTerm("Shared"), kb.PropertyTerm("rel"),
+                        kb.EntityTerm("Target"));
+  const core::FactMeta* meta = kb.MetaOf(contended);
+  ASSERT_NE(meta, nullptr);
+  EXPECT_EQ(meta->support, kThreads * 200u);
+  EXPECT_DOUBLE_EQ(meta->confidence,
+                   0.5 + 0.05 * static_cast<double>(kThreads - 1));
+}
+
+// ------------------------------------------------------------- Metrics
+
+TEST(ConcurrencyTest, MetricsRegistryHammer) {
+  MetricsRegistry registry;
+  ThreadPool pool(kThreads);
+  constexpr int kOps = 2000;
+  pool.ParallelFor(kThreads, [&registry](size_t t) {
+    for (int i = 0; i < kOps; ++i) {
+      registry.counter("hammer.count").Increment();
+      registry.gauge("hammer.gauge").Set(static_cast<int64_t>(i));
+      registry.histogram("hammer.hist").Observe(0.5 * (t + 1));
+      if (i % 100 == 0) {
+        // Snapshots race against updates; they must be safe (values
+        // are torn only across instruments, never within a counter).
+        MetricsSnapshot snap = registry.Snapshot();
+        (void)snap.ToText();
+      }
+    }
+  });
+  pool.Wait();
+  EXPECT_EQ(registry.counter("hammer.count").value(),
+            static_cast<uint64_t>(kThreads) * kOps);
+  EXPECT_EQ(registry.histogram("hammer.hist").count(),
+            static_cast<uint64_t>(kThreads) * kOps);
+}
+
+}  // namespace
+}  // namespace kb

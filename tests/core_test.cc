@@ -5,6 +5,7 @@
 #include "core/knowledge_base.h"
 #include "extraction/evaluation.h"
 #include "rdf/namespaces.h"
+#include "util/metrics_registry.h"
 
 namespace kb {
 namespace core {
@@ -259,6 +260,47 @@ TEST_F(HarvestFixture, CardsForHarvestedEntities) {
   }
   EXPECT_GT(with_facts,
             corpus_->world.ByKind(corpus::EntityKind::kPerson).size() / 2);
+}
+
+TEST_F(HarvestFixture, MetricsRecordTheHarvest) {
+  // The fixture harvest ran in SetUpTestSuite, so the process-wide
+  // registry must already hold per-stage latencies and extractor yields.
+  MetricsSnapshot snap = MetricsRegistry::Default().Snapshot();
+
+  EXPECT_GE(snap.counter("harvest.runs"), 1u);
+  EXPECT_GE(snap.counter("harvest.documents"), corpus_->docs.size());
+  EXPECT_GT(snap.counter("harvest.sentences"), 0u);
+  EXPECT_GT(snap.counter("harvest.facts.accepted"), 0u);
+
+  for (const char* name :
+       {"harvest.stage.annotate_ms", "harvest.stage.extract_ms",
+        "harvest.stage.reason_ms", "harvest.stage.assemble_ms",
+        "harvest.total_ms"}) {
+    const HistogramSnapshot* h = snap.histogram(name);
+    ASSERT_NE(h, nullptr) << name;
+    EXPECT_GT(h->count, 0u) << name;
+    EXPECT_GT(h->sum, 0.0) << name;
+  }
+  // The map phase timed each document annotation.
+  const HistogramSnapshot* per_doc =
+      snap.histogram("harvest.map.annotate_doc_ms");
+  ASSERT_NE(per_doc, nullptr);
+  EXPECT_GE(per_doc->count, corpus_->docs.size());
+
+  // Per-extractor yield counters and confidence histograms.
+  EXPECT_GT(snap.counter("extraction.infobox.facts"), 0u);
+  EXPECT_GT(snap.counter("extraction.pattern.facts"), 0u);
+  EXPECT_GT(snap.counter("extraction.bootstrap.batches"), 0u);
+  EXPECT_GT(snap.counter("extraction.statistical.batches"), 0u);
+  const HistogramSnapshot* conf =
+      snap.histogram("extraction.infobox.confidence");
+  ASSERT_NE(conf, nullptr);
+  EXPECT_GT(conf->count, 0u);
+  EXPECT_GT(conf->max, 0.0);
+
+  // The snapshot renders with the recorded values inside.
+  std::string text = snap.ToText();
+  EXPECT_NE(text.find("harvest.stage.extract_ms"), std::string::npos);
 }
 
 TEST_F(HarvestFixture, DeterministicAcrossRuns) {

@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <filesystem>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "storage/block.h"
 #include "storage/env.h"
@@ -155,12 +157,15 @@ TEST(SSTableTest, CorruptContentsRejected) {
 }
 
 TEST(SSTableTest, BloomFilterScreensAbsentKeys) {
-  TableBuilder builder;
+  // TableBuilder requires sorted keys (asserted in Debug builds).
+  std::vector<std::string> keys;
   for (int i = 0; i < 1000; ++i) {
-    builder.Add(Slice("present" + std::string(1, 'a' + i % 26) +
-                      std::to_string(i)),
-                Slice("v"));
+    keys.push_back("present" + std::string(1, 'a' + i % 26) +
+                   std::to_string(i));
   }
+  std::sort(keys.begin(), keys.end());
+  TableBuilder builder;
+  for (const std::string& key : keys) builder.Add(Slice(key), Slice("v"));
   auto table_or = TableReader::Open(builder.Finish());
   ASSERT_TRUE(table_or.ok());
   const auto& table = *table_or;

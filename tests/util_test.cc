@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <limits>
 #include <map>
 #include <set>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -10,6 +13,7 @@
 #include "util/date.h"
 #include "util/hash.h"
 #include "util/metrics.h"
+#include "util/metrics_registry.h"
 #include "util/random.h"
 #include "util/slice.h"
 #include "util/logging.h"
@@ -421,6 +425,223 @@ TEST(ThreadPoolTest, WaitIsReentrant) {
   pool.Wait();
   pool.Wait();
   EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForZeroTasksReturnsImmediately) {
+  ThreadPool pool(4);
+  bool ran = false;
+  pool.ParallelFor(0, [&ran](size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+  pool.Wait();
+}
+
+TEST(ThreadPoolTest, DestructionDrainsQueuedWork) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 200; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    // No Wait(): the destructor must drain the queue before joining.
+  }
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPoolTest, WaitRethrowsTaskException) {
+  ThreadPool pool(4);
+  for (int i = 0; i < 16; ++i) {
+    pool.Submit([i] {
+      if (i == 7) throw std::runtime_error("task 7 failed");
+    });
+  }
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  // The exception slot is cleared: subsequent rounds work normally.
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(100,
+                       [](size_t i) {
+                         if (i == 42) throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+  pool.Wait();  // pool still usable
+}
+
+TEST(ThreadPoolTest, OversubscriptionCompletesAllTasks) {
+  // Far more tasks than threads; every index must run exactly once.
+  ThreadPool pool(2);
+  constexpr size_t kTasks = 5000;
+  std::vector<std::atomic<int>> hits(kTasks);
+  pool.ParallelFor(kTasks, [&hits](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < kTasks; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+// ------------------------------------------------------- MetricsRegistry
+
+TEST(MetricsRegistryTest, CounterIncrementsAndResets) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("test.counter");
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Increment(9);
+  EXPECT_EQ(c.value(), 10u);
+  // Same name returns the same instrument.
+  EXPECT_EQ(&registry.counter("test.counter"), &c);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(MetricsRegistryTest, GaugeSetAndAdd) {
+  MetricsRegistry registry;
+  Gauge& g = registry.gauge("test.gauge");
+  g.Set(100);
+  g.Add(-30);
+  EXPECT_EQ(g.value(), 70);
+  g.Set(-5);
+  EXPECT_EQ(g.value(), -5);
+}
+
+TEST(MetricsRegistryTest, HistogramBasicStats) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("test.hist");
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0.0);  // empty histogram reports zeros, not inf
+  EXPECT_EQ(h.max(), 0.0);
+  for (double v : {1.0, 2.0, 3.0, 4.0}) h.Observe(v);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 10.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 4.0);
+}
+
+TEST(MetricsRegistryTest, HistogramQuantilesAreOrdered) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("test.quant");
+  for (int i = 1; i <= 1000; ++i) h.Observe(i * 0.1);  // 0.1 .. 100 ms
+  double p50 = h.Quantile(0.5);
+  double p90 = h.Quantile(0.9);
+  double p99 = h.Quantile(0.99);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  // Exponential buckets are coarse; just sanity-band the median.
+  EXPECT_GT(p50, 10.0);
+  EXPECT_LT(p50, 110.0);
+}
+
+TEST(MetricsRegistryTest, HistogramClampsNegativeAndNan) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("test.clamp");
+  h.Observe(-5.0);
+  h.Observe(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.sum(), 0.0);
+}
+
+TEST(MetricsRegistryTest, SnapshotContainsAllInstruments) {
+  MetricsRegistry registry;
+  registry.counter("zebra.count").Increment(3);
+  registry.counter("apple.count").Increment(1);
+  registry.gauge("mid.gauge").Set(42);
+  registry.histogram("lat.ms").Observe(7.0);
+  MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  // Sorted by name.
+  EXPECT_EQ(snap.counters[0].first, "apple.count");
+  EXPECT_EQ(snap.counters[1].first, "zebra.count");
+  EXPECT_EQ(snap.counter("zebra.count"), 3u);
+  EXPECT_EQ(snap.gauge("mid.gauge"), 42);
+  const HistogramSnapshot* h = snap.histogram("lat.ms");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 1u);
+  EXPECT_DOUBLE_EQ(h->sum, 7.0);
+  EXPECT_EQ(snap.histogram("no.such"), nullptr);
+}
+
+TEST(MetricsRegistryTest, SnapshotToTextAndJson) {
+  MetricsRegistry registry;
+  registry.counter("requests").Increment(12);
+  registry.histogram("latency.ms").Observe(3.5);
+  MetricsSnapshot snap = registry.Snapshot();
+  std::string text = snap.ToText();
+  EXPECT_NE(text.find("requests"), std::string::npos);
+  EXPECT_NE(text.find("12"), std::string::npos);
+  EXPECT_NE(text.find("latency.ms"), std::string::npos);
+  std::string json = snap.ToJson();
+  EXPECT_NE(json.find("\"requests\""), std::string::npos);
+  EXPECT_NE(json.find("\"latency.ms\""), std::string::npos);
+  // Crude structural sanity: balanced braces start/end.
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(MetricsRegistryTest, NamedRegistriesAreDistinctAndStable) {
+  MetricsRegistry* a = &MetricsRegistry::Named("util_test.a");
+  MetricsRegistry* b = &MetricsRegistry::Named("util_test.b");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(&MetricsRegistry::Named("util_test.a"), a);
+  EXPECT_NE(&MetricsRegistry::Default(), a);
+  EXPECT_EQ(&MetricsRegistry::Default(), &MetricsRegistry::Default());
+}
+
+TEST(MetricsRegistryTest, ResetClearsValuesButKeepsInstruments) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("keep.me");
+  c.Increment(5);
+  registry.histogram("keep.hist").Observe(1.0);
+  registry.Reset();
+  EXPECT_EQ(c.value(), 0u);  // same instrument, zeroed
+  MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.counter("keep.me"), 0u);
+  const HistogramSnapshot* h = snap.histogram("keep.hist");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 0u);
+}
+
+TEST(MetricsRegistryTest, ScopedTimerRecordsOnDestruction) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("timer.ms");
+  {
+    ScopedTimer t(h);
+  }
+  EXPECT_EQ(h.count(), 1u);
+  // Stop() records once and disarms the destructor.
+  double ms = 0;
+  {
+    ScopedTimer t(h);
+    ms = t.Stop();
+  }
+  EXPECT_GE(ms, 0.0);
+  EXPECT_EQ(h.count(), 2u);
+}
+
+TEST(MetricsRegistryTest, ConcurrentUpdatesAreExact) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("mt.counter");
+  Histogram& h = registry.histogram("mt.hist");
+  ThreadPool pool(8);
+  constexpr int kPerTask = 1000;
+  pool.ParallelFor(8, [&](size_t) {
+    for (int i = 0; i < kPerTask; ++i) {
+      c.Increment();
+      h.Observe(1.0);
+      // Instrument creation must also be safe under concurrency.
+      registry.counter("mt.shared").Increment();
+    }
+  });
+  pool.Wait();
+  EXPECT_EQ(c.value(), 8u * kPerTask);
+  EXPECT_EQ(h.count(), 8u * kPerTask);
+  EXPECT_DOUBLE_EQ(h.sum(), 8.0 * kPerTask);
+  EXPECT_EQ(registry.counter("mt.shared").value(), 8u * kPerTask);
 }
 
 }  // namespace
