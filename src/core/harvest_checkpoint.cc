@@ -1,0 +1,223 @@
+#include "core/harvest_checkpoint.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "core/persistence.h"
+#include "util/metrics_registry.h"
+#include "util/varint.h"
+
+namespace kb {
+namespace core {
+
+namespace {
+
+using extraction::ExtractedFact;
+
+// Checkpoint keyspace inside the KbStorage directory. Disjoint from
+// the KB prefixes ('D','S','P','O','X','M'), so the final Save can
+// share the store.
+constexpr char kFactPrefix = 'F';
+constexpr char kCursorKey[] = "Ccursor";
+
+struct CheckpointMetrics {
+  Counter& batches;
+  Counter& saved_facts;
+  Counter& resumes;
+  Counter& resumed_docs;
+
+  static CheckpointMetrics& Get() {
+    static CheckpointMetrics* m = [] {
+      MetricsRegistry& r = MetricsRegistry::Default();
+      return new CheckpointMetrics{
+          r.counter("harvest.checkpoint.batches"),
+          r.counter("harvest.checkpoint.saved_facts"),
+          r.counter("harvest.checkpoint.resumes"),
+          r.counter("harvest.checkpoint.resumed_docs"),
+      };
+    }();
+    return *m;
+  }
+};
+
+/// Key = statement identity: re-extracting the same statement in a
+/// replayed batch overwrites rather than duplicates.
+std::string FactKey(const ExtractedFact& f) {
+  std::string key(1, kFactPrefix);
+  PutVarint32(&key, f.subject);
+  PutVarint32(&key, static_cast<uint32_t>(f.relation));
+  PutVarint32(&key, f.object);
+  PutFixed32(&key, static_cast<uint32_t>(f.literal_year));
+  return key;
+}
+
+std::string EncodeFact(const ExtractedFact& f) {
+  std::string out;
+  PutVarint32(&out, f.subject);
+  PutVarint32(&out, static_cast<uint32_t>(f.relation));
+  PutVarint32(&out, f.object);
+  PutFixed32(&out, static_cast<uint32_t>(f.literal_year));
+  uint64_t confidence_bits = 0;
+  memcpy(&confidence_bits, &f.confidence, sizeof(confidence_bits));
+  PutFixed64(&out, confidence_bits);
+  PutVarint32(&out, f.doc_id);
+  PutVarint32(&out, f.extractor);
+  auto put_date = [&out](const Date& d) {
+    PutVarint32(&out, static_cast<uint32_t>(d.year));
+    PutVarint32(&out, static_cast<uint32_t>(d.month));
+    PutVarint32(&out, static_cast<uint32_t>(d.day));
+  };
+  put_date(f.span.begin);
+  put_date(f.span.end);
+  return out;
+}
+
+bool DecodeFact(Slice input, ExtractedFact* f) {
+  uint32_t subject = 0, relation = 0, object = 0, year_bits = 0;
+  if (!GetVarint32(&input, &subject) || !GetVarint32(&input, &relation) ||
+      !GetVarint32(&input, &object) || !GetFixed32(&input, &year_bits)) {
+    return false;
+  }
+  f->subject = subject;
+  f->relation = static_cast<corpus::Relation>(relation);
+  f->object = object;
+  f->literal_year = static_cast<int32_t>(year_bits);
+  uint64_t confidence_bits = 0;
+  if (!GetFixed64(&input, &confidence_bits)) return false;
+  memcpy(&f->confidence, &confidence_bits, sizeof(f->confidence));
+  uint32_t doc_id = 0, extractor = 0;
+  if (!GetVarint32(&input, &doc_id) || !GetVarint32(&input, &extractor)) {
+    return false;
+  }
+  f->doc_id = doc_id;
+  f->extractor = extractor;
+  auto get_date = [&input](Date* d) {
+    uint32_t year = 0, month = 0, day = 0;
+    if (!GetVarint32(&input, &year) || !GetVarint32(&input, &month) ||
+        !GetVarint32(&input, &day)) {
+      return false;
+    }
+    d->year = static_cast<int32_t>(year);
+    d->month = static_cast<int8_t>(month);
+    d->day = static_cast<int8_t>(day);
+    return true;
+  };
+  return get_date(&f->span.begin) && get_date(&f->span.end);
+}
+
+/// Merge-writes one accepted fact: an already-checkpointed copy of the
+/// same statement survives unless the new one is more confident —
+/// matching what DeduplicateFacts would keep in a single-shot run.
+Status SaveFact(storage::KVStore* store, const ExtractedFact& f) {
+  std::string key = FactKey(f);
+  std::string existing;
+  Status s = store->Get(Slice(key), &existing);
+  if (s.ok()) {
+    ExtractedFact old;
+    if (DecodeFact(Slice(existing), &old) && old.confidence >= f.confidence) {
+      return Status::OK();
+    }
+  } else if (!s.IsNotFound()) {
+    return s;
+  }
+  CheckpointMetrics::Get().saved_facts.Increment();
+  return store->Put(Slice(key), Slice(EncodeFact(f)));
+}
+
+StatusOr<uint64_t> LoadCursor(storage::KVStore* store) {
+  std::string value;
+  Status s = store->Get(Slice(kCursorKey), &value);
+  if (s.IsNotFound()) return uint64_t{0};
+  if (!s.ok()) return s;
+  Slice input(value);
+  uint64_t cursor = 0;
+  if (!GetVarint64(&input, &cursor)) {
+    return Status::Corruption("bad checkpoint cursor");
+  }
+  return cursor;
+}
+
+StatusOr<std::vector<ExtractedFact>> LoadFacts(storage::KVStore* store) {
+  std::vector<ExtractedFact> facts;
+  Status decode_status = Status::OK();
+  std::string begin(1, kFactPrefix);
+  std::string end(1, kFactPrefix + 1);
+  KB_RETURN_IF_ERROR(store->Scan(
+      Slice(begin), Slice(end), [&](const Slice&, const Slice& value) {
+        ExtractedFact f;
+        if (!DecodeFact(value, &f)) {
+          decode_status = Status::Corruption("bad checkpointed fact");
+          return false;
+        }
+        facts.push_back(f);
+        return true;
+      }));
+  KB_RETURN_IF_ERROR(decode_status);
+  return facts;
+}
+
+}  // namespace
+
+StatusOr<CheckpointedHarvest> HarvestWithCheckpoints(
+    const HarvestOptions& harvest_options, const corpus::Corpus& corpus,
+    const std::string& checkpoint_dir, const CheckpointOptions& options) {
+  CheckpointMetrics& metrics = CheckpointMetrics::Get();
+  const size_t batch_docs = options.batch_docs > 0 ? options.batch_docs : 64;
+  // Crash-tolerant open: a run killed mid-checkpoint leaves a torn WAL
+  // tail or a half-written table, neither of which may brick the
+  // harvest.
+  auto storage = KbStorage::Recover(checkpoint_dir);
+  if (!storage.ok()) return storage.status();
+  storage::KVStore* store = (*storage)->store();
+
+  CheckpointedHarvest out;
+  auto cursor = LoadCursor(store);
+  if (!cursor.ok()) return cursor.status();
+  out.resumed_at_doc = static_cast<size_t>(*cursor);
+  out.docs_processed = out.resumed_at_doc;
+  if (out.resumed_at_doc > 0) {
+    metrics.resumes.Increment();
+    metrics.resumed_docs.Increment(out.resumed_at_doc);
+  }
+
+  Harvester harvester(harvest_options);
+  while (out.docs_processed < corpus.docs.size()) {
+    if (options.max_batches > 0 && out.batches_run >= options.max_batches) {
+      return out;  // simulated kill; state is durable, resume later
+    }
+    size_t batch_end =
+        std::min(out.docs_processed + batch_docs, corpus.docs.size());
+    corpus::Corpus batch;
+    batch.world = corpus.world;
+    batch.options = corpus.options;
+    batch.docs.assign(corpus.docs.begin() + out.docs_processed,
+                      corpus.docs.begin() + batch_end);
+    HarvestResult harvested = harvester.Harvest(batch);
+    if (!harvested.status.ok()) return harvested.status;
+    for (const ExtractedFact& f : harvested.accepted) {
+      KB_RETURN_IF_ERROR(SaveFact(store, f));
+    }
+    // Cursor last: if we die before this lands, the whole batch is
+    // re-run and its facts overwrite themselves by identity.
+    std::string cursor_value;
+    PutVarint64(&cursor_value, batch_end);
+    KB_RETURN_IF_ERROR(store->Put(Slice(kCursorKey), Slice(cursor_value)));
+    KB_RETURN_IF_ERROR(store->Flush());  // durable checkpoint boundary
+    out.docs_processed = batch_end;
+    ++out.batches_run;
+    metrics.batches.Increment();
+  }
+
+  // All batches done: global reasoning + assembly over the accumulated
+  // facts, then persist the finished KB beside the checkpoint state.
+  auto facts = LoadFacts(store);
+  if (!facts.ok()) return facts.status();
+  out.result = harvester.AssembleFromFacts(corpus, std::move(*facts));
+  if (!out.result.status.ok()) return out.result.status;
+  KB_RETURN_IF_ERROR((*storage)->Save(out.result.kb));
+  out.completed = true;
+  return out;
+}
+
+}  // namespace core
+}  // namespace kb

@@ -1,0 +1,52 @@
+#ifndef KBFORGE_CORE_HARVEST_CHECKPOINT_H_
+#define KBFORGE_CORE_HARVEST_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/harvester.h"
+#include "util/statusor.h"
+
+namespace kb {
+namespace core {
+
+/// Knobs for the checkpointed harvest driver.
+struct CheckpointOptions {
+  /// Documents per batch; a durable checkpoint is written after each.
+  /// Resume restarts at the last completed batch boundary, so the
+  /// batch schedule (and thus the extraction result) is identical
+  /// whether or not the harvest was interrupted.
+  size_t batch_docs = 64;
+  /// Stop this call after N batches even if documents remain (0 =
+  /// run to completion). Test hook: simulates the process dying
+  /// mid-harvest so a follow-up call can exercise resume.
+  size_t max_batches = 0;
+};
+
+/// Outcome of one HarvestWithCheckpoints call.
+struct CheckpointedHarvest {
+  HarvestResult result;        ///< populated only when `completed`
+  bool completed = false;      ///< all documents processed + KB saved
+  size_t docs_processed = 0;   ///< cumulative, including prior runs
+  size_t batches_run = 0;      ///< batches executed by this call
+  size_t resumed_at_doc = 0;   ///< cursor found when the dir was opened
+};
+
+/// Runs the harvest in document batches, persisting accumulated
+/// accepted facts and a progress cursor to `checkpoint_dir` (a
+/// KbStorage directory, opened crash-tolerantly via KbStorage::Recover)
+/// after every batch. If a previous run died mid-harvest, the next
+/// call resumes from the last durable checkpoint: completed batches
+/// are not re-extracted, re-processed batches overwrite their own
+/// facts by statement identity (idempotent), so nothing is duplicated
+/// and nothing durable is lost. On completion the final KB (assembled
+/// from all checkpointed facts) is also saved into `checkpoint_dir`.
+StatusOr<CheckpointedHarvest> HarvestWithCheckpoints(
+    const HarvestOptions& harvest_options, const corpus::Corpus& corpus,
+    const std::string& checkpoint_dir,
+    const CheckpointOptions& options = CheckpointOptions());
+
+}  // namespace core
+}  // namespace kb
+
+#endif  // KBFORGE_CORE_HARVEST_CHECKPOINT_H_

@@ -1,5 +1,7 @@
 #include "core/harvester.h"
 
+#include <atomic>
+#include <exception>
 #include <unordered_map>
 
 #include "extraction/bootstrap.h"
@@ -32,6 +34,8 @@ namespace {
 struct HarvestMetrics {
   Counter& runs;
   Counter& documents;
+  Counter& documents_failed;  ///< skipped by graceful degradation
+  Counter& aborts;            ///< circuit-breaker trips
   Counter& sentences;
   Counter& map_docs;  ///< incremented per document by map workers
   Counter& infobox_facts;
@@ -54,6 +58,8 @@ struct HarvestMetrics {
       return new HarvestMetrics{
           r.counter("harvest.runs"),
           r.counter("harvest.documents"),
+          r.counter("harvest.documents_failed"),
+          r.counter("harvest.aborts"),
           r.counter("harvest.sentences"),
           r.counter("harvest.map.docs"),
           r.counter("harvest.facts.infobox"),
@@ -106,41 +112,66 @@ HarvestResult Harvester::Harvest(const corpus::Corpus& corpus) const {
         ned::CoherenceModel::Build(world, corpus.docs));
   }
   std::vector<std::vector<AnnotatedSentence>> per_doc(corpus.docs.size());
+  std::atomic<size_t> failed_docs{0};
   {
     ThreadPool pool(options_.threads);
     pool.ParallelFor(corpus.docs.size(), [&](size_t i) {
-      metrics.map_docs.Increment();
-      ScopedTimer doc_timer(metrics.annotate_doc_ms);
-      if (options_.use_gold_mentions) {
-        per_doc[i] = extraction::AnnotateDocument(world, corpus.docs[i],
-                                                  tagger);
+      // Circuit breaker already tripped: don't burn cycles on a
+      // harvest that will be aborted.
+      if (failed_docs.load(std::memory_order_relaxed) >
+          options_.max_document_failures) {
         return;
       }
-      // Detected-mention path: dictionary spans + joint NED.
-      ned::MentionDetector detector(aliases.get());
-      ned::Disambiguator disambiguator(aliases.get(), context.get(),
-                                       coherence.get(), ned::NedOptions());
-      corpus::Document redetected = corpus.docs[i];
-      redetected.mentions.clear();
-      for (const ned::DetectedMention& m :
-           detector.Detect(corpus.docs[i].text)) {
-        corpus::Mention mention;
-        mention.begin = m.begin;
-        mention.end = m.end;
-        mention.entity = UINT32_MAX;
-        redetected.mentions.push_back(mention);
+      metrics.map_docs.Increment();
+      ScopedTimer doc_timer(metrics.annotate_doc_ms);
+      try {
+        if (options_.document_fault_hook) options_.document_fault_hook(i);
+        if (options_.use_gold_mentions) {
+          per_doc[i] = extraction::AnnotateDocument(world, corpus.docs[i],
+                                                    tagger);
+          return;
+        }
+        // Detected-mention path: dictionary spans + joint NED.
+        ned::MentionDetector detector(aliases.get());
+        ned::Disambiguator disambiguator(aliases.get(), context.get(),
+                                         coherence.get(), ned::NedOptions());
+        corpus::Document redetected = corpus.docs[i];
+        redetected.mentions.clear();
+        for (const ned::DetectedMention& m :
+             detector.Detect(corpus.docs[i].text)) {
+          corpus::Mention mention;
+          mention.begin = m.begin;
+          mention.end = m.end;
+          mention.entity = UINT32_MAX;
+          redetected.mentions.push_back(mention);
+        }
+        auto decisions = disambiguator.DisambiguateDocument(redetected);
+        std::vector<corpus::Mention> resolved;
+        for (const ned::Disambiguation& d : decisions) {
+          if (d.predicted == UINT32_MAX) continue;  // NIL
+          corpus::Mention mention = redetected.mentions[d.mention_index];
+          mention.entity = d.predicted;
+          resolved.push_back(mention);
+        }
+        redetected.mentions = std::move(resolved);
+        per_doc[i] = extraction::AnnotateDocument(world, redetected, tagger);
+      } catch (...) {
+        // One bad document must not sink the harvest: count it, drop
+        // its sentences, keep going.
+        per_doc[i].clear();
+        failed_docs.fetch_add(1, std::memory_order_relaxed);
+        metrics.documents_failed.Increment();
       }
-      auto decisions = disambiguator.DisambiguateDocument(redetected);
-      std::vector<corpus::Mention> resolved;
-      for (const ned::Disambiguation& d : decisions) {
-        if (d.predicted == UINT32_MAX) continue;  // NIL
-        corpus::Mention mention = redetected.mentions[d.mention_index];
-        mention.entity = d.predicted;
-        resolved.push_back(mention);
-      }
-      redetected.mentions = std::move(resolved);
-      per_doc[i] = extraction::AnnotateDocument(world, redetected, tagger);
     });
+  }
+  result.stats.failed_documents = failed_docs.load();
+  if (result.stats.failed_documents > options_.max_document_failures) {
+    metrics.aborts.Increment();
+    result.status = Status::Aborted(
+        "harvest aborted: " + std::to_string(result.stats.failed_documents) +
+        " document failures exceed max_document_failures=" +
+        std::to_string(options_.max_document_failures));
+    return result;
   }
   std::vector<AnnotatedSentence> sentences;
   for (auto& doc_sentences : per_doc) {
@@ -208,6 +239,27 @@ HarvestResult Harvester::Harvest(const corpus::Corpus& corpus) const {
     all_facts.insert(all_facts.end(), ds_facts.begin(), ds_facts.end());
   }
   result.stats.extract_ms = extract_timer.Stop();
+
+  ReasonAndAssemble(corpus, std::move(all_facts), &result);
+  return result;
+}
+
+HarvestResult Harvester::AssembleFromFacts(
+    const corpus::Corpus& corpus,
+    std::vector<ExtractedFact> candidates) const {
+  HarvestResult result;
+  result.stats.documents = corpus.docs.size();
+  ReasonAndAssemble(corpus, std::move(candidates), &result);
+  return result;
+}
+
+void Harvester::ReasonAndAssemble(const corpus::Corpus& corpus,
+                                  std::vector<ExtractedFact> all_facts,
+                                  HarvestResult* result_out) const {
+  HarvestMetrics& metrics = HarvestMetrics::Get();
+  HarvestResult& result = *result_out;
+  const corpus::World& world = corpus.world;
+  nlp::PosTagger tagger;
 
   // ---- Consistency reasoning.
   ScopedTimer reason_timer(metrics.reason_ms);
@@ -283,7 +335,6 @@ HarvestResult Harvester::Harvest(const corpus::Corpus& corpus) const {
     kb.AssertLabel(e.canonical, e.full_name, "en");
   }
   result.stats.assemble_ms = assemble_timer.Stop();
-  return result;
 }
 
 }  // namespace core

@@ -2,6 +2,7 @@
 #define KBFORGE_CORE_HARVESTER_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -10,6 +11,7 @@
 #include "corpus/generator.h"
 #include "extraction/annotation.h"
 #include "taxonomy/category_induction.h"
+#include "util/status.h"
 
 namespace kb {
 namespace core {
@@ -28,11 +30,23 @@ struct HarvestOptions {
   bool use_temporal = true;       ///< timespan attachment
   bool use_reasoning = true;      ///< MaxSat consistency filtering
   double statistical_min_confidence = 0.7;
+  /// Graceful degradation: a document whose annotation throws is
+  /// counted in HarvestStats::failed_documents and skipped — one bad
+  /// page must not sink a million-document harvest. When *more* than
+  /// this many documents fail, the circuit breaker trips and Harvest
+  /// returns early with HarvestResult::status == Aborted (the input is
+  /// systematically broken, not merely noisy). Default: never trip.
+  size_t max_document_failures = SIZE_MAX;
+  /// Test hook, invoked at the start of each document's map step with
+  /// the document index; throw to inject a per-document failure. Must
+  /// be thread-safe (map workers call it concurrently).
+  std::function<void(size_t)> document_fault_hook;
 };
 
 /// Per-stage wall-clock and yield accounting.
 struct HarvestStats {
   size_t documents = 0;
+  size_t failed_documents = 0;  ///< skipped by graceful degradation
   size_t sentences = 0;
   size_t infobox_facts = 0;
   size_t pattern_facts = 0;
@@ -54,6 +68,10 @@ struct HarvestResult {
   std::vector<extraction::ExtractedFact> accepted;
   taxonomy::InducedTaxonomy induced;
   HarvestStats stats;
+  /// OK for a complete harvest (even with skipped documents); Aborted
+  /// when the max_document_failures circuit breaker tripped, in which
+  /// case kb/accepted are partial and should not be trusted.
+  Status status = Status::OK();
 };
 
 /// The end-to-end knowledge harvesting pipeline (the tutorial's §2+§3
@@ -68,7 +86,19 @@ class Harvester {
   /// Runs the full pipeline over a corpus.
   HarvestResult Harvest(const corpus::Corpus& corpus) const;
 
+  /// Runs only the back half of the pipeline — consistency reasoning,
+  /// taxonomy induction and RDF assembly — over already-extracted
+  /// candidate facts. Used by the checkpointed harvest to build the
+  /// final KB from facts accumulated across batches.
+  HarvestResult AssembleFromFacts(
+      const corpus::Corpus& corpus,
+      std::vector<extraction::ExtractedFact> candidates) const;
+
  private:
+  void ReasonAndAssemble(const corpus::Corpus& corpus,
+                         std::vector<extraction::ExtractedFact> all_facts,
+                         HarvestResult* result) const;
+
   HarvestOptions options_;
 };
 

@@ -63,10 +63,32 @@ bool DecodeMeta(Slice input, FactMeta* meta) {
 
 }  // namespace
 
+namespace {
+storage::StoreOptions DefaultKbStoreOptions() {
+  storage::StoreOptions options;
+  // Save is a bulk load ending in Flush; per-Put fsyncs would only
+  // slow it down without adding durability to the final state.
+  options.sync_wal = false;
+  return options;
+}
+}  // namespace
+
 StatusOr<std::unique_ptr<KbStorage>> KbStorage::Open(
     const std::string& path) {
-  storage::StoreOptions options;
+  return Open(path, DefaultKbStoreOptions());
+}
+
+StatusOr<std::unique_ptr<KbStorage>> KbStorage::Open(
+    const std::string& path, const storage::StoreOptions& options) {
   auto store = storage::KVStore::Open(options, path);
+  if (!store.ok()) return store.status();
+  return std::unique_ptr<KbStorage>(new KbStorage(std::move(*store)));
+}
+
+StatusOr<std::unique_ptr<KbStorage>> KbStorage::Recover(
+    const std::string& path, storage::RecoveryReport* report) {
+  auto store =
+      storage::KVStore::Recover(DefaultKbStoreOptions(), path, report);
   if (!store.ok()) return store.status();
   return std::unique_ptr<KbStorage>(new KbStorage(std::move(*store)));
 }
@@ -111,57 +133,57 @@ StatusOr<std::unique_ptr<KnowledgeBase>> KbStorage::Load() {
   std::map<rdf::TermId, rdf::TermId> remap;
   Status status = Status::OK();
   std::string dict_end(1, kDictPrefix + 1);
-  store_->Scan(Slice(std::string(1, kDictPrefix)), Slice(dict_end),
-               [&](const Slice& key, const Slice& value) {
-                 Slice input = key;
-                 input.remove_prefix(1);
-                 uint32_t old_id = 0;
-                 if (!GetVarint32(&input, &old_id)) {
-                   status = Status::Corruption("bad dictionary key");
-                   return false;
-                 }
-                 auto term = rdf::Term::Parse(value.ToStringView());
-                 if (!term.ok()) {
-                   status = term.status();
-                   return false;
-                 }
-                 remap[old_id] = kb->store().dict().Intern(*term);
-                 return true;
-               });
+  KB_RETURN_IF_ERROR(store_->Scan(
+      Slice(std::string(1, kDictPrefix)), Slice(dict_end),
+      [&](const Slice& key, const Slice& value) {
+        Slice input = key;
+        input.remove_prefix(1);
+        uint32_t old_id = 0;
+        if (!GetVarint32(&input, &old_id)) {
+          status = Status::Corruption("bad dictionary key");
+          return false;
+        }
+        auto term = rdf::Term::Parse(value.ToStringView());
+        if (!term.ok()) {
+          status = term.status();
+          return false;
+        }
+        remap[old_id] = kb->store().dict().Intern(*term);
+        return true;
+      }));
   KB_RETURN_IF_ERROR(status);
   // 2. Triples + metadata from the SPO keyspace.
   std::string spo_begin(1, 'S');
   std::string spo_end(1, 'S' + 1);
-  store_->Scan(Slice(spo_begin), Slice(spo_end),
-               [&](const Slice& key, const Slice& value) {
-                 storage::TripleOrder order;
-                 rdf::Triple old_triple;
-                 if (!storage::DecodeTripleKey(key, &order, &old_triple)) {
-                   status = Status::Corruption("bad triple key");
-                   return false;
-                 }
-                 auto s = remap.find(old_triple.s);
-                 auto p = remap.find(old_triple.p);
-                 auto o = remap.find(old_triple.o);
-                 if (s == remap.end() || p == remap.end() ||
-                     o == remap.end()) {
-                   status = Status::Corruption("triple references "
-                                               "unknown term");
-                   return false;
-                 }
-                 rdf::Triple triple(s->second, p->second, o->second);
-                 if (value.empty()) {
-                   kb->AddTripleWithMeta(triple, nullptr);
-                 } else {
-                   FactMeta meta;
-                   if (!DecodeMeta(value, &meta)) {
-                     status = Status::Corruption("bad fact metadata");
-                     return false;
-                   }
-                   kb->AddTripleWithMeta(triple, &meta);
-                 }
-                 return true;
-               });
+  KB_RETURN_IF_ERROR(store_->Scan(
+      Slice(spo_begin), Slice(spo_end),
+      [&](const Slice& key, const Slice& value) {
+        storage::TripleOrder order;
+        rdf::Triple old_triple;
+        if (!storage::DecodeTripleKey(key, &order, &old_triple)) {
+          status = Status::Corruption("bad triple key");
+          return false;
+        }
+        auto s = remap.find(old_triple.s);
+        auto p = remap.find(old_triple.p);
+        auto o = remap.find(old_triple.o);
+        if (s == remap.end() || p == remap.end() || o == remap.end()) {
+          status = Status::Corruption("triple references unknown term");
+          return false;
+        }
+        rdf::Triple triple(s->second, p->second, o->second);
+        if (value.empty()) {
+          kb->AddTripleWithMeta(triple, nullptr);
+        } else {
+          FactMeta meta;
+          if (!DecodeMeta(value, &meta)) {
+            status = Status::Corruption("bad fact metadata");
+            return false;
+          }
+          kb->AddTripleWithMeta(triple, &meta);
+        }
+        return true;
+      }));
   KB_RETURN_IF_ERROR(status);
   kb->RebuildDerivedIndexes();
   return kb;

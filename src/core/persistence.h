@@ -17,11 +17,25 @@ namespace core {
 ///   'X' <class-pair>              -> "" (taxonomy subclass edges)
 ///   'M' "next_term"               -> varint high-water term id
 /// Triples are stored in all three collation orders so a reopened KB
-/// can range-scan any access path straight off disk.
+/// can range-scan any access path straight off disk. The checkpointed
+/// harvest (core/harvest_checkpoint) stores its state under the
+/// reserved prefixes 'F' (accepted facts by statement identity) and
+/// 'C' (progress cursor) in the same keyspace.
 class KbStorage {
  public:
-  /// Opens (or creates) the storage directory.
+  /// Opens (or creates) the storage directory. The default options
+  /// skip per-record WAL fsyncs: Save is a bulk load that ends in
+  /// Flush, and the SSTable write itself syncs.
   static StatusOr<std::unique_ptr<KbStorage>> Open(const std::string& path);
+  static StatusOr<std::unique_ptr<KbStorage>> Open(
+      const std::string& path, const storage::StoreOptions& options);
+
+  /// Crash-tolerant open: replays the WAL and quarantines corrupt
+  /// SSTables instead of failing (see KVStore::Recover). Used by the
+  /// harvest-checkpoint resume path, where a half-written checkpoint
+  /// must not brick the whole harvest.
+  static StatusOr<std::unique_ptr<KbStorage>> Recover(
+      const std::string& path, storage::RecoveryReport* report = nullptr);
 
   /// Writes the whole KB. Existing content is logically replaced
   /// (same-key overwrites; stale keys from a previous, larger KB are

@@ -1,5 +1,10 @@
 #include "storage/env.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -9,69 +14,187 @@ namespace storage {
 
 namespace fs = std::filesystem;
 
-Status WriteStringToFile(const std::string& path, const std::string& data) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IOError("open for write: " + path);
-  out.write(data.data(), static_cast<std::streamsize>(data.size()));
-  out.flush();
-  if (!out) return Status::IOError("write: " + path);
-  return Status::OK();
-}
+namespace {
 
-Status AppendStringToFile(const std::string& path, const std::string& data) {
-  std::ofstream out(path, std::ios::binary | std::ios::app);
-  if (!out) return Status::IOError("open for append: " + path);
-  out.write(data.data(), static_cast<std::streamsize>(data.size()));
-  out.flush();
-  if (!out) return Status::IOError("append: " + path);
-  return Status::OK();
-}
+std::string ErrnoMessage() { return std::strerror(errno); }
 
-StatusOr<std::string> ReadFileToString(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IOError("open for read: " + path);
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  if (in.bad()) return Status::IOError("read: " + path);
-  return buf.str();
-}
+/// fd-backed appendable file so Sync can reach fsync (std::ofstream
+/// exposes no file descriptor).
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {}
 
-bool FileExists(const std::string& path) {
-  std::error_code ec;
-  return fs::exists(path, ec);
-}
-
-Status RemoveFile(const std::string& path) {
-  std::error_code ec;
-  if (!fs::remove(path, ec) || ec) {
-    return Status::IOError("remove: " + path + ": " + ec.message());
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) ::close(fd_);
   }
-  return Status::OK();
-}
 
-Status CreateDirIfMissing(const std::string& path) {
-  std::error_code ec;
-  fs::create_directories(path, ec);
-  if (ec) return Status::IOError("mkdir: " + path + ": " + ec.message());
-  return Status::OK();
-}
-
-StatusOr<std::vector<std::string>> ListDir(const std::string& path) {
-  std::error_code ec;
-  std::vector<std::string> names;
-  for (auto it = fs::directory_iterator(path, ec);
-       !ec && it != fs::directory_iterator(); it.increment(ec)) {
-    names.push_back(it->path().filename().string());
+  Status Append(const Slice& data) override {
+    if (fd_ < 0) return Status::IOError("append to closed file: " + path_);
+    const char* p = data.data();
+    size_t left = data.size();
+    while (left > 0) {
+      ssize_t n = ::write(fd_, p, left);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status::IOError("write " + path_ + ": " + ErrnoMessage());
+      }
+      p += n;
+      left -= static_cast<size_t>(n);
+    }
+    return Status::OK();
   }
-  if (ec) return Status::IOError("listdir: " + path + ": " + ec.message());
-  return names;
-}
 
-StatusOr<uint64_t> FileSize(const std::string& path) {
-  std::error_code ec;
-  uint64_t size = fs::file_size(path, ec);
-  if (ec) return Status::IOError("stat: " + path + ": " + ec.message());
-  return size;
+  Status Flush() override {
+    // Unbuffered writes: nothing held back from the OS.
+    return fd_ < 0 ? Status::IOError("flush on closed file: " + path_)
+                   : Status::OK();
+  }
+
+  Status Sync() override {
+    if (fd_ < 0) return Status::IOError("sync on closed file: " + path_);
+    if (::fdatasync(fd_) != 0) {
+      return Status::IOError("fsync " + path_ + ": " + ErrnoMessage());
+    }
+    return Status::OK();
+  }
+
+  Status Truncate(uint64_t size) override {
+    if (fd_ < 0) return Status::IOError("truncate on closed file: " + path_);
+    if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+      return Status::IOError("ftruncate " + path_ + ": " + ErrnoMessage());
+    }
+    if (::lseek(fd_, static_cast<off_t>(size), SEEK_SET) < 0) {
+      return Status::IOError("lseek " + path_ + ": " + ErrnoMessage());
+    }
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) {
+      return Status::IOError("close " + path_ + ": " + ErrnoMessage());
+    }
+    return Status::OK();
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+class PosixEnv : public Env {
+ public:
+  StatusOr<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override {
+    int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (fd < 0) {
+      return Status::IOError("open for append: " + path + ": " +
+                             ErrnoMessage());
+    }
+    return std::unique_ptr<WritableFile>(new PosixWritableFile(fd, path));
+  }
+
+  Status WriteStringToFile(const std::string& path,
+                           const std::string& data) override {
+    int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) {
+      return Status::IOError("open for write: " + path + ": " +
+                             ErrnoMessage());
+    }
+    PosixWritableFile file(fd, path);
+    Status s = file.Append(Slice(data));
+    // Full-file writes are used for SSTables, whose durability ordering
+    // matters (the WAL is deleted only after the table is on disk).
+    if (s.ok()) s = file.Sync();
+    Status close_status = file.Close();
+    return s.ok() ? close_status : s;
+  }
+
+  Status AppendStringToFile(const std::string& path,
+                            const std::string& data) override {
+    auto file = NewWritableFile(path);
+    if (!file.ok()) return file.status();
+    Status s = (*file)->Append(Slice(data));
+    Status close_status = (*file)->Close();
+    return s.ok() ? close_status : s;
+  }
+
+  StatusOr<std::string> ReadFileToString(const std::string& path) override {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return Status::IOError("open for read: " + path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    if (in.bad()) return Status::IOError("read: " + path);
+    return buf.str();
+  }
+
+  bool FileExists(const std::string& path) override {
+    std::error_code ec;
+    return fs::exists(path, ec);
+  }
+
+  Status RemoveFile(const std::string& path) override {
+    std::error_code ec;
+    if (!fs::remove(path, ec) || ec) {
+      return Status::IOError("remove: " + path + ": " + ec.message());
+    }
+    return Status::OK();
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    std::error_code ec;
+    fs::rename(from, to, ec);
+    if (ec) {
+      return Status::IOError("rename: " + from + " -> " + to + ": " +
+                             ec.message());
+    }
+    return Status::OK();
+  }
+
+  Status TruncateFile(const std::string& path, uint64_t size) override {
+    std::error_code ec;
+    fs::resize_file(path, size, ec);
+    if (ec) {
+      return Status::IOError("truncate: " + path + ": " + ec.message());
+    }
+    return Status::OK();
+  }
+
+  Status CreateDirIfMissing(const std::string& path) override {
+    std::error_code ec;
+    fs::create_directories(path, ec);
+    if (ec) return Status::IOError("mkdir: " + path + ": " + ec.message());
+    return Status::OK();
+  }
+
+  StatusOr<uint64_t> FileSize(const std::string& path) override {
+    std::error_code ec;
+    uint64_t size = fs::file_size(path, ec);
+    if (ec) return Status::IOError("filesize: " + path + ": " + ec.message());
+    return size;
+  }
+
+  StatusOr<std::vector<std::string>> ListDir(
+      const std::string& path) override {
+    std::error_code ec;
+    std::vector<std::string> names;
+    for (auto it = fs::directory_iterator(path, ec);
+         !ec && it != fs::directory_iterator(); it.increment(ec)) {
+      names.push_back(it->path().filename().string());
+    }
+    if (ec) return Status::IOError("listdir: " + path + ": " + ec.message());
+    return names;
+  }
+};
+
+}  // namespace
+
+Env* Env::Default() {
+  static PosixEnv* env = new PosixEnv();
+  return env;
 }
 
 }  // namespace storage

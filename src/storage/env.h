@@ -1,26 +1,109 @@
 #ifndef KBFORGE_STORAGE_ENV_H_
 #define KBFORGE_STORAGE_ENV_H_
 
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "util/slice.h"
 #include "util/status.h"
 #include "util/statusor.h"
 
 namespace kb {
 namespace storage {
 
-/// Thin filesystem shims used by the storage engine. Kept behind one
-/// header so tests can exercise failure paths uniformly.
+/// An append-only file handle produced by Env::NewWritableFile.
+///
+/// Durability contract: Append/Flush only hand bytes to the OS; data is
+/// guaranteed to survive a machine crash only after a successful Sync.
+/// Close is idempotent and does NOT imply Sync.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
 
-Status WriteStringToFile(const std::string& path, const std::string& data);
-Status AppendStringToFile(const std::string& path, const std::string& data);
-StatusOr<std::string> ReadFileToString(const std::string& path);
-bool FileExists(const std::string& path);
-Status RemoveFile(const std::string& path);
-Status CreateDirIfMissing(const std::string& path);
-StatusOr<std::vector<std::string>> ListDir(const std::string& path);
-StatusOr<uint64_t> FileSize(const std::string& path);
+  /// Appends bytes at the end of the file. On error the file may hold
+  /// an arbitrary prefix of `data` (torn write); callers that need
+  /// record atomicity must truncate back (see Truncate) before retrying.
+  virtual Status Append(const Slice& data) = 0;
+
+  /// Pushes buffered bytes to the OS (no durability guarantee).
+  virtual Status Flush() = 0;
+
+  /// Makes all appended bytes durable (fsync).
+  virtual Status Sync() = 0;
+
+  /// Truncates the file to `size` bytes and repositions the append
+  /// cursor there. Used to erase a torn tail before a retried append.
+  virtual Status Truncate(uint64_t size) = 0;
+
+  /// Idempotent; safe to call multiple times or never (the destructor
+  /// closes, without surfacing errors).
+  virtual Status Close() = 0;
+};
+
+/// The filesystem seam under the storage engine. Every byte the engine
+/// reads or writes goes through one Env, so tests can swap in a
+/// FaultInjectionEnv and exercise crash/corruption paths uniformly.
+///
+/// Implementations must be thread-safe: the engine calls Env methods
+/// concurrently from multiple stores.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// The process-wide PosixEnv singleton.
+  static Env* Default();
+
+  /// Opens `path` for appending (creating it if missing).
+  virtual StatusOr<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) = 0;
+
+  /// Atomic-enough full-file write: truncate + write + sync.
+  virtual Status WriteStringToFile(const std::string& path,
+                                   const std::string& data) = 0;
+  virtual Status AppendStringToFile(const std::string& path,
+                                    const std::string& data) = 0;
+  virtual StatusOr<std::string> ReadFileToString(const std::string& path) = 0;
+  virtual bool FileExists(const std::string& path) = 0;
+  virtual Status RemoveFile(const std::string& path) = 0;
+  virtual Status RenameFile(const std::string& from,
+                            const std::string& to) = 0;
+  virtual Status TruncateFile(const std::string& path, uint64_t size) = 0;
+  virtual Status CreateDirIfMissing(const std::string& path) = 0;
+  virtual StatusOr<std::vector<std::string>> ListDir(
+      const std::string& path) = 0;
+  virtual StatusOr<uint64_t> FileSize(const std::string& path) = 0;
+};
+
+/// Free-function shims over Env::Default(), kept for call sites that do
+/// not need an injectable seam (tools, tests, one-shot IO).
+inline Status WriteStringToFile(const std::string& path,
+                                const std::string& data) {
+  return Env::Default()->WriteStringToFile(path, data);
+}
+inline Status AppendStringToFile(const std::string& path,
+                                 const std::string& data) {
+  return Env::Default()->AppendStringToFile(path, data);
+}
+inline StatusOr<std::string> ReadFileToString(const std::string& path) {
+  return Env::Default()->ReadFileToString(path);
+}
+inline bool FileExists(const std::string& path) {
+  return Env::Default()->FileExists(path);
+}
+inline Status RemoveFile(const std::string& path) {
+  return Env::Default()->RemoveFile(path);
+}
+inline Status CreateDirIfMissing(const std::string& path) {
+  return Env::Default()->CreateDirIfMissing(path);
+}
+inline StatusOr<std::vector<std::string>> ListDir(const std::string& path) {
+  return Env::Default()->ListDir(path);
+}
+inline StatusOr<uint64_t> FileSize(const std::string& path) {
+  return Env::Default()->FileSize(path);
+}
 
 }  // namespace storage
 }  // namespace kb

@@ -1,0 +1,356 @@
+#include "storage/fault_injection_env.h"
+
+#include <utility>
+
+#include "util/metrics_registry.h"
+
+namespace kb {
+namespace storage {
+
+namespace {
+
+/// faultenv.* instruments in the default registry.
+struct FaultMetrics {
+  Counter& ops;
+  Counter& injected_errors;
+  Counter& torn_writes;
+  Counter& crashes;
+  Counter& corrupted_reads;
+  Counter& dropped_bytes;
+
+  static FaultMetrics& Get() {
+    static FaultMetrics* m = [] {
+      MetricsRegistry& r = MetricsRegistry::Default();
+      return new FaultMetrics{
+          r.counter("faultenv.ops"),
+          r.counter("faultenv.injected_errors"),
+          r.counter("faultenv.torn_writes"),
+          r.counter("faultenv.crashes"),
+          r.counter("faultenv.corrupted_reads"),
+          r.counter("faultenv.dropped_bytes"),
+      };
+    }();
+    return *m;
+  }
+};
+
+}  // namespace
+
+/// Wrapper declared at namespace scope so the friend declaration in
+/// FaultInjectionEnv applies.
+class FaultInjectionWritableFile : public WritableFile {
+ public:
+  FaultInjectionWritableFile(FaultInjectionEnv* env, std::string path,
+                             std::unique_ptr<WritableFile> base)
+      : env_(env), path_(std::move(path)), base_(std::move(base)) {}
+
+  Status Append(const Slice& data) override {
+    bool crash_now = false;
+    Status s = env_->ChargeOp(path_, &crash_now);
+    if (!s.ok()) {
+      if (crash_now && env_->options_.torn_writes && !data.empty()) {
+        size_t keep = env_->TornLength(data.size());
+        if (keep > 0 &&
+            base_->Append(Slice(data.data(), keep)).ok()) {
+          env_->NoteAppended(path_, keep);
+          FaultMetrics::Get().torn_writes.Increment();
+        }
+      }
+      return s;
+    }
+    Status as = base_->Append(data);
+    if (as.ok()) env_->NoteAppended(path_, data.size());
+    return as;
+  }
+
+  Status Flush() override { return base_->Flush(); }
+
+  Status Sync() override {
+    bool crash_now = false;
+    Status s = env_->ChargeOp(path_, &crash_now);
+    if (!s.ok()) return s;
+    if (env_->options_.sync_through) {
+      Status bs = base_->Sync();
+      if (!bs.ok()) return bs;
+    }
+    env_->NoteSynced(path_);
+    return Status::OK();
+  }
+
+  Status Truncate(uint64_t size) override {
+    bool crash_now = false;
+    Status s = env_->ChargeOp(path_, &crash_now);
+    if (!s.ok()) return s;
+    Status bs = base_->Truncate(size);
+    if (bs.ok()) env_->NoteTruncated(path_, size);
+    return bs;
+  }
+
+  Status Close() override { return base_->Close(); }
+
+ private:
+  FaultInjectionEnv* env_;
+  std::string path_;
+  std::unique_ptr<WritableFile> base_;
+};
+
+FaultInjectionEnv::FaultInjectionEnv(Env* base, Options options)
+    : base_(base), options_(options), rng_(options.seed) {}
+
+uint64_t FaultInjectionEnv::op_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ops_;
+}
+
+bool FaultInjectionEnv::crashed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crashed_;
+}
+
+uint64_t FaultInjectionEnv::injected_errors() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return injected_errors_;
+}
+
+void FaultInjectionEnv::Reset(Options options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  options_ = options;
+  rng_ = Rng(options.seed);
+  ops_ = 0;
+  injected_errors_ = 0;
+  crashed_ = false;
+  read_corruption_.clear();
+}
+
+Status FaultInjectionEnv::DropUnsyncedData() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = files_.begin(); it != files_.end();) {
+    FileState& state = it->second;
+    if (!base_->FileExists(it->first)) {
+      it = files_.erase(it);
+      continue;
+    }
+    if (state.synced < state.size) {
+      KB_RETURN_IF_ERROR(base_->TruncateFile(it->first, state.synced));
+      FaultMetrics::Get().dropped_bytes.Increment(state.size - state.synced);
+      state.size = state.synced;
+    }
+    ++it;
+  }
+  return Status::OK();
+}
+
+void FaultInjectionEnv::FlipBitOnRead(const std::string& path,
+                                      uint64_t offset, int bit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  read_corruption_.emplace(path, BitFlip{offset, bit});
+}
+
+void FaultInjectionEnv::ClearReadCorruption() {
+  std::lock_guard<std::mutex> lock(mu_);
+  read_corruption_.clear();
+}
+
+Status FaultInjectionEnv::ChargeOp(const std::string& path, bool* crash_now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  *crash_now = false;
+  FaultMetrics& metrics = FaultMetrics::Get();
+  metrics.ops.Increment();
+  if (crashed_) {
+    ++injected_errors_;
+    metrics.injected_errors.Increment();
+    return Status::IOError("injected crash (env down): " + path);
+  }
+  ++ops_;
+  if (options_.fail_at_op != 0 && ops_ >= options_.fail_at_op) {
+    crashed_ = true;
+    *crash_now = true;
+    ++injected_errors_;
+    metrics.injected_errors.Increment();
+    metrics.crashes.Increment();
+    return Status::IOError("injected crash at op " + std::to_string(ops_) +
+                           ": " + path);
+  }
+  if (options_.fail_probability > 0.0 &&
+      rng_.Bernoulli(options_.fail_probability)) {
+    ++injected_errors_;
+    metrics.injected_errors.Increment();
+    return Status::IOError("injected transient failure: " + path);
+  }
+  return Status::OK();
+}
+
+size_t FaultInjectionEnv::TornLength(size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (n == 0) return 0;
+  return static_cast<size_t>(rng_.Uniform(n));
+}
+
+void FaultInjectionEnv::NoteAppended(const std::string& path, uint64_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  files_[path].size += n;
+}
+
+void FaultInjectionEnv::NoteSynced(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  FileState& state = files_[path];
+  state.synced = state.size;
+}
+
+void FaultInjectionEnv::NoteTruncated(const std::string& path, uint64_t size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  FileState& state = files_[path];
+  state.size = size;
+  if (state.synced > size) state.synced = size;
+}
+
+StatusOr<std::unique_ptr<WritableFile>> FaultInjectionEnv::NewWritableFile(
+    const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (crashed_) {
+      ++injected_errors_;
+      FaultMetrics::Get().injected_errors.Increment();
+      return Status::IOError("injected crash (env down): " + path);
+    }
+  }
+  auto base_file = base_->NewWritableFile(path);
+  if (!base_file.ok()) return base_file.status();
+  uint64_t existing = 0;
+  auto size = base_->FileSize(path);
+  if (size.ok()) existing = *size;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    FileState& state = files_[path];
+    state.size = existing;
+    state.synced = existing;  // pre-existing bytes count as durable
+  }
+  return std::unique_ptr<WritableFile>(new FaultInjectionWritableFile(
+      this, path, std::move(*base_file)));
+}
+
+Status FaultInjectionEnv::WriteStringToFile(const std::string& path,
+                                            const std::string& data) {
+  bool crash_now = false;
+  Status s = ChargeOp(path, &crash_now);
+  if (!s.ok()) {
+    bool torn;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      torn = options_.torn_writes;
+    }
+    if (crash_now && torn && !data.empty()) {
+      size_t keep = TornLength(data.size());
+      if (base_->WriteStringToFile(path, data.substr(0, keep)).ok()) {
+        std::lock_guard<std::mutex> lock(mu_);
+        files_[path] = FileState{keep, keep};
+        FaultMetrics::Get().torn_writes.Increment();
+      }
+    }
+    return s;
+  }
+  KB_RETURN_IF_ERROR(base_->WriteStringToFile(path, data));
+  std::lock_guard<std::mutex> lock(mu_);
+  // Full-file writes sync internally, so the result counts as durable.
+  files_[path] = FileState{data.size(), data.size()};
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::AppendStringToFile(const std::string& path,
+                                             const std::string& data) {
+  bool crash_now = false;
+  Status s = ChargeOp(path, &crash_now);
+  if (!s.ok()) {
+    bool torn;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      torn = options_.torn_writes;
+    }
+    if (crash_now && torn && !data.empty()) {
+      size_t keep = TornLength(data.size());
+      if (keep > 0 &&
+          base_->AppendStringToFile(path, data.substr(0, keep)).ok()) {
+        NoteAppended(path, keep);
+        FaultMetrics::Get().torn_writes.Increment();
+      }
+    }
+    return s;
+  }
+  KB_RETURN_IF_ERROR(base_->AppendStringToFile(path, data));
+  NoteAppended(path, data.size());
+  return Status::OK();
+}
+
+StatusOr<std::string> FaultInjectionEnv::ReadFileToString(
+    const std::string& path) {
+  auto contents = base_->ReadFileToString(path);
+  if (!contents.ok()) return contents;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [begin, end] = read_corruption_.equal_range(path);
+  for (auto it = begin; it != end; ++it) {
+    if (it->second.offset < contents->size()) {
+      (*contents)[it->second.offset] ^=
+          static_cast<char>(1u << (it->second.bit & 7));
+      FaultMetrics::Get().corrupted_reads.Increment();
+    }
+  }
+  return contents;
+}
+
+bool FaultInjectionEnv::FileExists(const std::string& path) {
+  return base_->FileExists(path);
+}
+
+Status FaultInjectionEnv::RemoveFile(const std::string& path) {
+  bool crash_now = false;
+  KB_RETURN_IF_ERROR(ChargeOp(path, &crash_now));
+  Status s = base_->RemoveFile(path);
+  if (s.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    files_.erase(path);
+  }
+  return s;
+}
+
+Status FaultInjectionEnv::RenameFile(const std::string& from,
+                                     const std::string& to) {
+  bool crash_now = false;
+  KB_RETURN_IF_ERROR(ChargeOp(from, &crash_now));
+  Status s = base_->RenameFile(from, to);
+  if (s.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = files_.find(from);
+    if (it != files_.end()) {
+      files_[to] = it->second;
+      files_.erase(it);
+    }
+  }
+  return s;
+}
+
+Status FaultInjectionEnv::TruncateFile(const std::string& path,
+                                       uint64_t size) {
+  bool crash_now = false;
+  KB_RETURN_IF_ERROR(ChargeOp(path, &crash_now));
+  KB_RETURN_IF_ERROR(base_->TruncateFile(path, size));
+  NoteTruncated(path, size);
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::CreateDirIfMissing(const std::string& path) {
+  bool crash_now = false;
+  KB_RETURN_IF_ERROR(ChargeOp(path, &crash_now));
+  return base_->CreateDirIfMissing(path);
+}
+
+StatusOr<std::vector<std::string>> FaultInjectionEnv::ListDir(
+    const std::string& path) {
+  return base_->ListDir(path);
+}
+
+StatusOr<uint64_t> FaultInjectionEnv::FileSize(const std::string& path) {
+  return base_->FileSize(path);
+}
+
+}  // namespace storage
+}  // namespace kb

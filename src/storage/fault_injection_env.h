@@ -1,0 +1,126 @@
+#ifndef KBFORGE_STORAGE_FAULT_INJECTION_ENV_H_
+#define KBFORGE_STORAGE_FAULT_INJECTION_ENV_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "storage/env.h"
+#include "util/random.h"
+
+namespace kb {
+namespace storage {
+
+/// An Env wrapper that injects IO faults deterministically, for crash
+/// and corruption testing. Thread-safe (one internal mutex).
+///
+/// Fault model:
+///  - fail-at-Nth-op: the Nth mutating operation (1-based) fails and
+///    the env enters a permanent "crashed" state in which every further
+///    mutating operation returns IOError without touching disk. If the
+///    crashing op carried a payload and `torn_writes` is on, a seeded
+///    prefix of the payload persists first (torn write).
+///  - probabilistic: before the crash point, each mutating op fails
+///    with probability `fail_probability` (transient: no side effects,
+///    a retry may succeed). Draws come from a seeded RNG.
+///  - dropped unsynced data: the env tracks, per appendable file, how
+///    many bytes were covered by the last successful Sync.
+///    DropUnsyncedData() truncates every tracked file back to its
+///    synced length — the state a machine crash would leave behind.
+///  - read corruption: FlipBitOnRead(path, offset, bit) makes every
+///    ReadFileToString of `path` return contents with that bit flipped.
+///
+/// Reads are never charged as ops and keep working after a crash, so a
+/// test can inspect the "disk" without disturbing the op schedule.
+///
+/// All injected events are counted in MetricsRegistry::Default() under
+/// faultenv.* (ops, injected_errors, torn_writes, crashes,
+/// corrupted_reads, dropped_bytes).
+class FaultInjectionEnv : public Env {
+ public:
+  struct Options {
+    uint64_t fail_at_op = 0;        ///< 0 disables the crash point
+    double fail_probability = 0.0;  ///< transient failure rate per op
+    uint64_t seed = 42;             ///< RNG for probability + torn length
+    bool torn_writes = true;        ///< crashing writes persist a prefix
+    /// Forward WritableFile::Sync to the base env. Off by default:
+    /// crash durability is simulated via DropUnsyncedData, so real
+    /// fsyncs only slow the test down.
+    bool sync_through = false;
+  };
+
+  explicit FaultInjectionEnv(Env* base) : FaultInjectionEnv(base, Options()) {}
+  FaultInjectionEnv(Env* base, Options options);
+
+  // --- control surface -------------------------------------------------
+  uint64_t op_count() const;
+  bool crashed() const;
+  uint64_t injected_errors() const;
+  /// Re-arms the env: clears the op counter, crash state and read
+  /// corruption, keeping file sync bookkeeping.
+  void Reset(Options options);
+  /// Truncates every tracked appendable file to its last-synced length,
+  /// simulating the data loss of a machine crash. Call after the env
+  /// crashed (or any time) and before recovery.
+  Status DropUnsyncedData();
+  /// Every subsequent read of exactly `path` sees `bit` (0-7) of the
+  /// byte at `offset` flipped, if the file is that large.
+  void FlipBitOnRead(const std::string& path, uint64_t offset, int bit);
+  void ClearReadCorruption();
+
+  // --- Env interface ----------------------------------------------------
+  StatusOr<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override;
+  Status WriteStringToFile(const std::string& path,
+                           const std::string& data) override;
+  Status AppendStringToFile(const std::string& path,
+                            const std::string& data) override;
+  StatusOr<std::string> ReadFileToString(const std::string& path) override;
+  bool FileExists(const std::string& path) override;
+  Status RemoveFile(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status TruncateFile(const std::string& path, uint64_t size) override;
+  Status CreateDirIfMissing(const std::string& path) override;
+  StatusOr<std::vector<std::string>> ListDir(const std::string& path) override;
+  StatusOr<uint64_t> FileSize(const std::string& path) override;
+
+ private:
+  friend class FaultInjectionWritableFile;
+
+  struct FileState {
+    uint64_t size = 0;    ///< bytes written through this env
+    uint64_t synced = 0;  ///< bytes covered by the last Sync
+  };
+  struct BitFlip {
+    uint64_t offset;
+    int bit;
+  };
+
+  /// Charges one mutating op. Returns OK to proceed; IOError when the
+  /// op should fail. Sets *crash_now when this op is the crash point
+  /// (payload ops then persist a torn prefix before erroring).
+  Status ChargeOp(const std::string& path, bool* crash_now);
+  /// Seeded torn-write length for a payload of `n` bytes: [0, n).
+  size_t TornLength(size_t n);
+  void NoteAppended(const std::string& path, uint64_t n);
+  void NoteSynced(const std::string& path);
+  void NoteTruncated(const std::string& path, uint64_t size);
+
+  Env* const base_;
+  mutable std::mutex mu_;
+  Options options_;
+  Rng rng_;
+  uint64_t ops_ = 0;
+  uint64_t injected_errors_ = 0;
+  bool crashed_ = false;
+  std::map<std::string, FileState> files_;
+  std::multimap<std::string, BitFlip> read_corruption_;
+};
+
+}  // namespace storage
+}  // namespace kb
+
+#endif  // KBFORGE_STORAGE_FAULT_INJECTION_ENV_H_

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <optional>
 
-#include "storage/env.h"
 #include "util/logging.h"
 #include "util/metrics_registry.h"
 #include "util/string_util.h"
@@ -13,6 +12,7 @@ namespace storage {
 
 namespace {
 constexpr char kWalFileName[] = "wal.log";
+constexpr char kQuarantineSuffix[] = ".quarantine";
 
 /// Storage instruments in the default registry. The gauges describe
 /// the store that updated them last — with several stores open, treat
@@ -27,6 +27,11 @@ struct KvMetrics {
   Counter& bloom_skips;
   Counter& table_probes;
   Counter& wal_appends;
+  Counter& wal_syncs;
+  Counter& recoveries;
+  Counter& wal_replayed_records;
+  Counter& wal_truncated_bytes;
+  Counter& tables_quarantined;
   Histogram& get_ms;
   Histogram& put_ms;
   Histogram& flush_ms;
@@ -47,6 +52,11 @@ struct KvMetrics {
           r.counter("kv.bloom_skips"),
           r.counter("kv.table_probes"),
           r.counter("kv.wal_appends"),
+          r.counter("kv.wal_syncs"),
+          r.counter("kv.recoveries"),
+          r.counter("kv.wal_replayed_records"),
+          r.counter("kv.wal_truncated_bytes"),
+          r.counter("kv.tables_quarantined"),
           r.histogram("kv.get_ms"),
           r.histogram("kv.put_ms"),
           r.histogram("kv.flush_ms"),
@@ -78,7 +88,11 @@ bool UntagValue(const Slice& tagged, EntryType* type, Slice* value) {
 }  // namespace
 
 KVStore::KVStore(StoreOptions options, std::string path)
-    : options_(options), path_(std::move(path)), mem_(new MemTable()) {}
+    : options_(options),
+      env_(options.env != nullptr ? options.env : Env::Default()),
+      path_(std::move(path)),
+      retry_(options.retry),
+      mem_(new MemTable()) {}
 
 KVStore::~KVStore() {
   if (wal_open_) wal_.Close();
@@ -86,12 +100,29 @@ KVStore::~KVStore() {
 
 StatusOr<std::unique_ptr<KVStore>> KVStore::Open(const StoreOptions& options,
                                                  const std::string& path) {
-  KB_RETURN_IF_ERROR(CreateDirIfMissing(path));
+  return OpenInternal(options, path, /*repair=*/false, nullptr);
+}
+
+StatusOr<std::unique_ptr<KVStore>> KVStore::Recover(
+    const StoreOptions& options, const std::string& path,
+    RecoveryReport* report) {
+  RecoveryReport local;
+  auto store = OpenInternal(options, path, /*repair=*/true,
+                            report != nullptr ? report : &local);
+  if (store.ok()) KvMetrics::Get().recoveries.Increment();
+  return store;
+}
+
+StatusOr<std::unique_ptr<KVStore>> KVStore::OpenInternal(
+    const StoreOptions& options, const std::string& path, bool repair,
+    RecoveryReport* report) {
   std::unique_ptr<KVStore> store(new KVStore(options, path));
-  KB_RETURN_IF_ERROR(store->LoadExistingTables());
-  KB_RETURN_IF_ERROR(store->ReplayWalIntoMemtable());
+  KB_RETURN_IF_ERROR(store->env_->CreateDirIfMissing(path));
+  KB_RETURN_IF_ERROR(store->LoadExistingTables(repair, report));
+  KB_RETURN_IF_ERROR(store->ReplayWalIntoMemtable(repair, report));
   if (options.use_wal) {
-    KB_RETURN_IF_ERROR(WalWriter::Open(path + "/" + kWalFileName,
+    KB_RETURN_IF_ERROR(WalWriter::Open(store->env_,
+                                       path + "/" + kWalFileName,
                                        &store->wal_));
     store->wal_open_ = true;
   }
@@ -105,8 +136,8 @@ std::string KVStore::TableFileName(uint64_t number) const {
   return path_ + "/" + buf;
 }
 
-Status KVStore::LoadExistingTables() {
-  auto names = ListDir(path_);
+Status KVStore::LoadExistingTables(bool repair, RecoveryReport* report) {
+  auto names = env_->ListDir(path_);
   if (!names.ok()) return Status::OK();  // fresh directory
   std::vector<uint64_t> numbers;
   for (const std::string& name : *names) {
@@ -119,35 +150,109 @@ Status KVStore::LoadExistingTables() {
   }
   std::sort(numbers.begin(), numbers.end());
   for (uint64_t n : numbers) {
-    auto contents = ReadFileToString(TableFileName(n));
-    if (!contents.ok()) return contents.status();
-    auto table = TableReader::Open(std::move(*contents));
-    if (!table.ok()) return table.status();
-    tables_.push_back(std::move(*table));
-    table_numbers_.push_back(n);
+    const std::string file_name = TableFileName(n);
+    // A table is healthy when it reads, parses and every block passes
+    // its checksum. In repair mode anything less is quarantined (the
+    // file is renamed, never deleted — an operator may still salvage
+    // intact blocks); in strict mode it fails the open.
+    Status table_status = Status::OK();
+    auto contents = env_->ReadFileToString(file_name);
+    if (!contents.ok()) {
+      table_status = contents.status();
+    } else {
+      auto table = TableReader::Open(std::move(*contents));
+      if (!table.ok()) {
+        table_status = table.status();
+      } else {
+        if (repair) table_status = (*table)->VerifyAllBlocks();
+        if (table_status.ok()) {
+          tables_.push_back(std::move(*table));
+          table_numbers_.push_back(n);
+        }
+      }
+    }
     next_table_number_ = std::max(next_table_number_, n + 1);
+    if (table_status.ok()) {
+      if (report != nullptr) ++report->tables_loaded;
+      continue;
+    }
+    if (!repair) return table_status;
+    std::string quarantined = file_name + kQuarantineSuffix;
+    Status rename_status = env_->RenameFile(file_name, quarantined);
+    if (!rename_status.ok()) {
+      KB_LOG(Warning) << "quarantine failed for " << file_name << ": "
+                      << rename_status;
+      return rename_status;
+    }
+    KB_LOG(Warning) << "quarantined corrupt table " << file_name << ": "
+                    << table_status;
+    KvMetrics::Get().tables_quarantined.Increment();
+    if (report != nullptr) {
+      ++report->tables_quarantined;
+      report->quarantined_files.push_back(quarantined);
+    }
   }
   return Status::OK();
 }
 
-Status KVStore::ReplayWalIntoMemtable() {
+Status KVStore::ReplayWalIntoMemtable(bool repair, RecoveryReport* report) {
   std::string wal_path = path_ + "/" + kWalFileName;
-  if (!FileExists(wal_path)) return Status::OK();
-  return ReplayWal(wal_path, [this](EntryType type, const Slice& key,
-                                    const Slice& value) {
-    if (type == EntryType::kPut) {
-      mem_->Put(key, value);
-    } else {
-      mem_->Delete(key);
+  if (!env_->FileExists(wal_path)) return Status::OK();
+  WalReplayInfo info;
+  Status s = ReplayWal(env_, wal_path,
+                       [this](EntryType type, const Slice& key,
+                              const Slice& value) {
+                         if (type == EntryType::kPut) {
+                           mem_->Put(key, value);
+                         } else {
+                           mem_->Delete(key);
+                         }
+                       },
+                       &info);
+  if (!s.ok()) {
+    if (!repair) return s;
+    // The WAL cannot be read at all; set it aside so the store can
+    // still come up with what the tables hold.
+    std::string quarantined = wal_path + kQuarantineSuffix;
+    KB_RETURN_IF_ERROR(env_->RenameFile(wal_path, quarantined));
+    KB_LOG(Warning) << "quarantined unreadable wal " << wal_path << ": " << s;
+    if (report != nullptr) {
+      ++report->tables_quarantined;
+      report->quarantined_files.push_back(quarantined);
     }
-  });
+    return Status::OK();
+  }
+  if (info.truncated_bytes > 0) {
+    // Drop the torn tail so future appends land on a record boundary
+    // (otherwise replay would stop at the tear and lose them).
+    KB_RETURN_IF_ERROR(env_->TruncateFile(wal_path, info.valid_bytes));
+    KvMetrics::Get().wal_truncated_bytes.Increment(info.truncated_bytes);
+  }
+  KvMetrics::Get().wal_replayed_records.Increment(info.records);
+  if (report != nullptr) {
+    report->wal_records_replayed += info.records;
+    report->wal_bytes_truncated += info.truncated_bytes;
+  }
+  return Status::OK();
 }
 
 Status KVStore::WriteInternal(EntryType type, const Slice& key,
                               const Slice& value) {
+  if (options_.use_wal && !wal_open_) {
+    // A failed flush left the store without a log; accepting writes
+    // here would silently drop durability. Fail-stop instead.
+    return Status::IOError("wal unavailable after failed flush: " + path_);
+  }
   if (wal_open_) {
-    KB_RETURN_IF_ERROR(wal_.Append(type, key, value));
+    // WalWriter::Append self-heals a torn tail before each attempt, so
+    // retrying after a transient failure cannot corrupt the log.
+    KB_RETURN_IF_ERROR(
+        retry_.Run([&] { return wal_.Append(type, key, value); }));
     KvMetrics::Get().wal_appends.Increment();
+    if (options_.sync_wal) {
+      KB_RETURN_IF_ERROR(retry_.Run([&] { return wal_.Sync(); }));
+      KvMetrics::Get().wal_syncs.Increment();
+    }
   }
   if (type == EntryType::kPut) {
     mem_->Put(key, value);
@@ -227,20 +332,26 @@ Status KVStore::FlushLocked() {
   }
   uint64_t number = next_table_number_++;
   std::string contents = builder.Finish();
-  KB_RETURN_IF_ERROR(WriteStringToFile(TableFileName(number), contents));
+  // The table write syncs internally; the WAL may only be deleted
+  // after the table is durably on disk.
+  KB_RETURN_IF_ERROR(retry_.Run([&] {
+    return env_->WriteStringToFile(TableFileName(number), contents);
+  }));
   auto table = TableReader::Open(std::move(contents));
   if (!table.ok()) return table.status();
   tables_.push_back(std::move(*table));
   table_numbers_.push_back(number);
   mem_.reset(new MemTable());
   if (wal_open_) {
-    wal_.Close();
+    KB_RETURN_IF_ERROR(wal_.Close());
     wal_open_ = false;
     std::string wal_path = path_ + "/" + kWalFileName;
-    if (FileExists(wal_path)) {
-      KB_RETURN_IF_ERROR(RemoveFile(wal_path));
+    if (env_->FileExists(wal_path)) {
+      KB_RETURN_IF_ERROR(retry_.Run([&] {
+        return env_->RemoveFile(wal_path);
+      }));
     }
-    KB_RETURN_IF_ERROR(WalWriter::Open(wal_path, &wal_));
+    KB_RETURN_IF_ERROR(WalWriter::Open(env_, wal_path, &wal_));
     wal_open_ = true;
   }
   ++stats_.flushes;
@@ -268,6 +379,9 @@ struct MergeSource {
   bool Valid() const {
     return mem_iter.has_value() ? mem_iter->Valid() : table_iter->Valid();
   }
+  bool corrupted() const {
+    return !mem_iter.has_value() && table_iter->corrupted();
+  }
   Slice key() const {
     return mem_iter.has_value() ? mem_iter->key() : table_iter->key();
   }
@@ -291,8 +405,9 @@ struct MergeSource {
 };
 }  // namespace
 
-void KVStore::Scan(const Slice& start, const Slice& end,
-                   const std::function<bool(const Slice&, const Slice&)>& fn) {
+Status KVStore::Scan(
+    const Slice& start, const Slice& end,
+    const std::function<bool(const Slice&, const Slice&)>& fn) {
   KvMetrics::Get().scans.Increment();
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<MergeSource> sources;
@@ -324,7 +439,12 @@ void KVStore::Scan(const Slice& start, const Slice& end,
     // Pick the smallest key; among equals the highest priority.
     int best = -1;
     for (size_t i = 0; i < sources.size(); ++i) {
-      if (!sources[i].Valid()) continue;
+      if (!sources[i].Valid()) {
+        if (sources[i].corrupted()) {
+          return Status::Corruption("scan hit corrupt table block");
+        }
+        continue;
+      }
       if (best < 0) {
         best = static_cast<int>(i);
         continue;
@@ -335,9 +455,9 @@ void KVStore::Scan(const Slice& start, const Slice& end,
         best = static_cast<int>(i);
       }
     }
-    if (best < 0) return;
+    if (best < 0) return Status::OK();
     Slice key = sources[best].key();
-    if (!end.empty() && key.compare(end) >= 0) return;
+    if (!end.empty() && key.compare(end) >= 0) return Status::OK();
     bool duplicate = have_last && key == Slice(last_emitted_key);
     if (!duplicate) {
       EntryType type = EntryType::kPut;
@@ -346,7 +466,7 @@ void KVStore::Scan(const Slice& start, const Slice& end,
       last_emitted_key.assign(key.data(), key.size());
       have_last = true;
       if (type == EntryType::kPut) {
-        if (!fn(Slice(last_emitted_key), value)) return;
+        if (!fn(Slice(last_emitted_key), value)) return Status::OK();
       }
     }
     sources[best].Next();
@@ -376,7 +496,12 @@ Status KVStore::CompactAllLocked() {
   while (true) {
     int best = -1;
     for (size_t i = 0; i < iters.size(); ++i) {
-      if (!iters[i].Valid()) continue;
+      if (!iters[i].Valid()) {
+        if (iters[i].corrupted()) {
+          return Status::Corruption("compaction hit corrupt table block");
+        }
+        continue;
+      }
       if (best < 0) {
         best = static_cast<int>(i);
         continue;
@@ -403,12 +528,14 @@ Status KVStore::CompactAllLocked() {
   }
   uint64_t number = next_table_number_++;
   std::string contents = builder.Finish();
-  KB_RETURN_IF_ERROR(WriteStringToFile(TableFileName(number), contents));
+  KB_RETURN_IF_ERROR(retry_.Run([&] {
+    return env_->WriteStringToFile(TableFileName(number), contents);
+  }));
   auto merged = TableReader::Open(std::move(contents));
   if (!merged.ok()) return merged.status();
   // Remove the old files only after the new table is durable.
   for (uint64_t old_number : table_numbers_) {
-    Status s = RemoveFile(TableFileName(old_number));
+    Status s = env_->RemoveFile(TableFileName(old_number));
     if (!s.ok()) {
       KB_LOG(Warning) << "compaction cleanup: " << s;
     }

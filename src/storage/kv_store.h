@@ -8,9 +8,11 @@
 #include <string>
 #include <vector>
 
+#include "storage/env.h"
 #include "storage/memtable.h"
 #include "storage/sstable.h"
 #include "storage/wal.h"
+#include "util/retry.h"
 #include "util/status.h"
 #include "util/statusor.h"
 
@@ -22,6 +24,16 @@ struct StoreOptions {
   size_t memtable_flush_bytes = 1 << 20;  ///< flush threshold
   int l0_compaction_trigger = 4;          ///< #tables that triggers merge
   bool use_wal = true;                    ///< write-ahead logging on/off
+  /// fsync the WAL on every write, so a Put/Delete that returned OK is
+  /// durable across machine crashes. Turn off for bulk loads that end
+  /// with an explicit Flush (the SSTable write syncs).
+  bool sync_wal = true;
+  /// Filesystem seam; nullptr means Env::Default(). Tests inject a
+  /// FaultInjectionEnv here. Must outlive the store.
+  Env* env = nullptr;
+  /// Retry policy for transient IO failures on the WAL append/sync and
+  /// memtable-flush paths. max_attempts = 1 disables retries.
+  RetryOptions retry;
   TableOptions table;                     ///< SSTable layout options
 };
 
@@ -32,6 +44,16 @@ struct StoreStats {
   uint64_t table_probes = 0;     ///< actual block searches performed
   uint64_t flushes = 0;
   uint64_t compactions = 0;
+};
+
+/// What KVStore::Recover found and repaired. All counts refer to the
+/// opened directory, not process lifetime.
+struct RecoveryReport {
+  uint64_t wal_records_replayed = 0;  ///< intact records re-applied
+  uint64_t wal_bytes_truncated = 0;   ///< torn/corrupt WAL tail removed
+  uint64_t tables_loaded = 0;         ///< SSTables that passed checks
+  uint64_t tables_quarantined = 0;    ///< corrupt SSTables set aside
+  std::vector<std::string> quarantined_files;  ///< their new names
 };
 
 /// A persistent ordered key/value store in the LSM architecture the
@@ -48,8 +70,19 @@ struct StoreStats {
 class KVStore {
  public:
   /// Opens (or creates) a store in directory `path`, replaying any WAL.
+  /// Strict: a corrupt SSTable fails the open with Corruption.
   static StatusOr<std::unique_ptr<KVStore>> Open(const StoreOptions& options,
                                                  const std::string& path);
+
+  /// Crash-recovery open: replays the WAL (truncating a torn tail),
+  /// verifies every SSTable block checksum, and *quarantines* corrupt
+  /// tables (renamed to <name>.quarantine) instead of aborting, so a
+  /// store damaged by a crash or bit rot comes back up with every
+  /// intact byte served and nothing corrupt returned to readers.
+  /// `report` (optional) receives what was replayed/repaired.
+  static StatusOr<std::unique_ptr<KVStore>> Recover(
+      const StoreOptions& options, const std::string& path,
+      RecoveryReport* report = nullptr);
 
   ~KVStore();
 
@@ -61,9 +94,10 @@ class KVStore {
 
   /// Visits live entries with start <= key < end (empty end = no bound)
   /// in key order; newest version wins, tombstones are skipped.
-  /// Return false from fn to stop.
-  void Scan(const Slice& start, const Slice& end,
-            const std::function<bool(const Slice&, const Slice&)>& fn);
+  /// Return false from fn to stop. Returns Corruption if a table block
+  /// fails its checksum mid-scan (entries already visited stand).
+  Status Scan(const Slice& start, const Slice& end,
+              const std::function<bool(const Slice&, const Slice&)>& fn);
 
   /// Forces the memtable into a new SSTable.
   Status Flush();
@@ -88,9 +122,13 @@ class KVStore {
  private:
   KVStore(StoreOptions options, std::string path);
 
+  static StatusOr<std::unique_ptr<KVStore>> OpenInternal(
+      const StoreOptions& options, const std::string& path, bool repair,
+      RecoveryReport* report);
+
   Status WriteInternal(EntryType type, const Slice& key, const Slice& value);
-  Status LoadExistingTables();
-  Status ReplayWalIntoMemtable();
+  Status LoadExistingTables(bool repair, RecoveryReport* report);
+  Status ReplayWalIntoMemtable(bool repair, RecoveryReport* report);
   std::string TableFileName(uint64_t number) const;
   Status MaybeScheduleCompaction();
   Status FlushLocked();
@@ -98,7 +136,9 @@ class KVStore {
 
   mutable std::mutex mu_;
   StoreOptions options_;
+  Env* env_;  ///< resolved from options_.env (never null)
   std::string path_;
+  RetryPolicy retry_;
   std::unique_ptr<MemTable> mem_;
   WalWriter wal_;
   bool wal_open_ = false;

@@ -2,14 +2,39 @@
 
 #include <cassert>
 
+#include "util/hash.h"
+#include "util/metrics_registry.h"
 #include "util/varint.h"
 
 namespace kb {
 namespace storage {
 
 namespace {
-constexpr uint64_t kTableMagic = 0x6b62666f72676521ULL;  // "kbforge!"
+// "kbforge2": format v2, every region carries a trailing CRC32.
+constexpr uint64_t kTableMagic = 0x6b62666f72676532ULL;
 constexpr size_t kFooterSize = 8 * 5;
+constexpr size_t kCrcSize = 4;
+
+Counter& CorruptBlockCounter() {
+  static Counter* c = &MetricsRegistry::Default().counter(
+      "sstable.corrupt_blocks");
+  return *c;
+}
+
+/// Appends `region` followed by its CRC32 to `file`.
+void AppendChecksummed(std::string* file, const std::string& region) {
+  file->append(region);
+  PutFixed32(file, Crc32(region.data(), region.size()));
+}
+
+/// Verifies the CRC32 stored right after [offset, offset + size).
+bool RegionChecksumOk(const std::string& contents, uint64_t offset,
+                      uint64_t size) {
+  Slice crc_bytes(contents.data() + offset + size, kCrcSize);
+  uint32_t stored = 0;
+  GetFixed32(&crc_bytes, &stored);
+  return stored == Crc32(contents.data() + offset, size);
+}
 }  // namespace
 
 TableBuilder::TableBuilder(TableOptions options)
@@ -41,7 +66,7 @@ void TableBuilder::FlushDataBlock() {
   std::string block = data_block_.Finish();
   pending_offset_ = file_.size();
   pending_size_ = block.size();
-  file_.append(block);
+  AppendChecksummed(&file_, block);
   data_block_.Reset();
   pending_index_entry_ = true;
 }
@@ -58,10 +83,10 @@ std::string TableBuilder::Finish() {
   uint64_t filter_offset = file_.size();
   std::string filter =
       options_.bloom_bits_per_key > 0 ? bloom_.Finish() : std::string();
-  file_.append(filter);
+  AppendChecksummed(&file_, filter);
   uint64_t index_offset = file_.size();
   std::string index = index_block_.Finish();
-  file_.append(index);
+  AppendChecksummed(&file_, index);
   PutFixed64(&file_, index_offset);
   PutFixed64(&file_, index.size());
   PutFixed64(&file_, filter_offset);
@@ -83,9 +108,17 @@ StatusOr<std::shared_ptr<TableReader>> TableReader::Open(
   GetFixed64(&footer, &filter_size);
   GetFixed64(&footer, &magic);
   if (magic != kTableMagic) return Status::Corruption("bad table magic");
-  if (index_offset + index_size > contents.size() ||
-      filter_offset + filter_size > contents.size()) {
+  if (index_offset + index_size + kCrcSize > contents.size() ||
+      filter_offset + filter_size + kCrcSize > contents.size()) {
     return Status::Corruption("bad table footer offsets");
+  }
+  if (!RegionChecksumOk(contents, index_offset, index_size)) {
+    CorruptBlockCounter().Increment();
+    return Status::Corruption("index block checksum mismatch");
+  }
+  if (!RegionChecksumOk(contents, filter_offset, filter_size)) {
+    CorruptBlockCounter().Increment();
+    return Status::Corruption("filter block checksum mismatch");
   }
   auto table = std::shared_ptr<TableReader>(new TableReader());
   table->contents_ = std::move(contents);
@@ -97,7 +130,7 @@ StatusOr<std::shared_ptr<TableReader>> TableReader::Open(
     Slice handle = it.value();
     uint64_t offset, size;
     if (!GetFixed64(&handle, &offset) || !GetFixed64(&handle, &size) ||
-        offset + size > table->contents_.size()) {
+        offset + size + kCrcSize > table->contents_.size()) {
       return Status::Corruption("bad index entry");
     }
     table->index_entries_.push_back(
@@ -112,9 +145,23 @@ bool TableReader::MayContain(const Slice& key) const {
   return BloomFilterReader(Slice(filter_data_)).MayContain(key);
 }
 
-Slice TableReader::BlockContents(size_t index) const {
+Status TableReader::ReadBlock(size_t index, Slice* out) const {
   const IndexEntry& e = index_entries_[index];
-  return Slice(contents_.data() + e.offset, e.size);
+  if (!RegionChecksumOk(contents_, e.offset, e.size)) {
+    CorruptBlockCounter().Increment();
+    return Status::Corruption("data block " + std::to_string(index) +
+                              " checksum mismatch");
+  }
+  *out = Slice(contents_.data() + e.offset, e.size);
+  return Status::OK();
+}
+
+Status TableReader::VerifyAllBlocks() const {
+  for (size_t i = 0; i < index_entries_.size(); ++i) {
+    Slice block;
+    KB_RETURN_IF_ERROR(ReadBlock(i, &block));
+  }
+  return Status::OK();
 }
 
 Status TableReader::Get(const Slice& key, std::string* value) const {
@@ -130,7 +177,9 @@ Status TableReader::Get(const Slice& key, std::string* value) const {
     }
   }
   if (lo == index_entries_.size()) return Status::NotFound("past last block");
-  BlockIterator it(BlockContents(lo));
+  Slice block;
+  KB_RETURN_IF_ERROR(ReadBlock(lo, &block));
+  BlockIterator it(block);
   it.Seek(key);
   if (it.corrupted()) return Status::Corruption("corrupt data block");
   if (it.Valid() && it.key() == key) {
@@ -148,8 +197,18 @@ void TableReader::Iterator::LoadBlock(size_t index) {
     block_iter_.reset();
     return;
   }
-  block_iter_.emplace(table_->BlockContents(index));
+  Slice block;
+  if (!table_->ReadBlock(index, &block).ok()) {
+    block_iter_.reset();
+    corrupted_ = true;
+    return;
+  }
+  block_iter_.emplace(block);
   block_iter_->SeekToFirst();
+  if (block_iter_->corrupted()) {
+    corrupted_ = true;
+    block_iter_.reset();
+  }
 }
 
 bool TableReader::Iterator::Valid() const {

@@ -22,8 +22,11 @@ struct TableOptions {
 };
 
 /// Writes an immutable sorted table:
-///   [data blocks][filter block][index block][footer]
-/// The index block maps each data block's last key to its (offset, size).
+///   [data block | crc32]* [filter | crc32] [index block | crc32] [footer]
+/// Every region is followed by a CRC32 of its bytes, so bit rot
+/// anywhere in the file is detected as Status::Corruption instead of
+/// being parsed into garbage. The index block maps each data block's
+/// last key to its (offset, size); the crc sits at offset + size.
 class TableBuilder {
  public:
   explicit TableBuilder(TableOptions options = TableOptions());
@@ -52,21 +55,31 @@ class TableBuilder {
 };
 
 /// Reads an SSTable previously produced by TableBuilder. The table
-/// contents are held in memory (mmap-free simplification).
+/// contents are held in memory (mmap-free simplification). Block
+/// checksums are verified on every read; a corrupt block surfaces as
+/// Status::Corruption from Get (or corrupted() on an iterator), never
+/// as undefined behaviour.
 class TableReader {
  public:
-  /// Parses the footer and index; returns Corruption on malformed data.
+  /// Parses the footer and index (verifying their checksums); returns
+  /// Corruption on malformed data.
   static StatusOr<std::shared_ptr<TableReader>> Open(std::string contents);
 
-  /// Point lookup. Returns NotFound if absent (after Bloom check).
+  /// Point lookup. Returns NotFound if absent (after Bloom check),
+  /// Corruption if the covering block fails its checksum.
   Status Get(const Slice& key, std::string* value) const;
 
   /// Whether the Bloom filter rules the key out (used by stats/benches).
   bool MayContain(const Slice& key) const;
 
+  /// Checks every data block against its stored CRC32. Used by
+  /// KVStore::Recover to quarantine silently-corrupted tables.
+  Status VerifyAllBlocks() const;
+
   size_t num_blocks() const { return index_entries_.size(); }
 
-  /// Forward iterator over all entries in key order.
+  /// Forward iterator over all entries in key order. A block that
+  /// fails its checksum ends iteration with corrupted() == true.
   class Iterator {
    public:
     explicit Iterator(const TableReader* table);
@@ -76,12 +89,15 @@ class TableReader {
     void Next();
     Slice key() const;
     Slice value() const;
+    /// True if iteration hit a checksum or block-format failure.
+    bool corrupted() const { return corrupted_; }
 
    private:
     void LoadBlock(size_t index);
     const TableReader* table_;
     size_t block_index_ = 0;
     std::optional<BlockIterator> block_iter_;
+    bool corrupted_ = false;
   };
 
   Iterator NewIterator() const { return Iterator(this); }
@@ -95,7 +111,8 @@ class TableReader {
     uint64_t size;
   };
 
-  Slice BlockContents(size_t index) const;
+  /// Checksum-verified view of block `index`.
+  Status ReadBlock(size_t index, Slice* out) const;
 
   std::string contents_;
   std::vector<IndexEntry> index_entries_;

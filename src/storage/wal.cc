@@ -1,21 +1,46 @@
 #include "storage/wal.h"
 
-#include "storage/env.h"
 #include "util/hash.h"
 #include "util/varint.h"
 
 namespace kb {
 namespace storage {
 
-Status WalWriter::Open(const std::string& path, WalWriter* writer) {
+WalWriter::~WalWriter() {
+  if (file_ != nullptr) file_->Close();
+}
+
+Status WalWriter::Open(Env* env, const std::string& path, WalWriter* writer) {
   writer->path_ = path;
-  writer->out_.open(path, std::ios::binary | std::ios::app);
-  if (!writer->out_) return Status::IOError("open wal: " + path);
+  uint64_t existing = 0;
+  if (env->FileExists(path)) {
+    auto size = env->FileSize(path);
+    if (!size.ok()) return size.status();
+    existing = *size;
+  }
+  auto file = env->NewWritableFile(path);
+  if (!file.ok()) return file.status();
+  writer->file_ = std::move(*file);
+  // Treat whatever is on disk as the good prefix; KVStore recovery
+  // truncates a torn tail before reopening the log for appends.
+  writer->good_size_ = existing;
+  writer->dirty_tail_ = false;
   return Status::OK();
+}
+
+Status WalWriter::Open(const std::string& path, WalWriter* writer) {
+  return Open(Env::Default(), path, writer);
 }
 
 Status WalWriter::Append(EntryType type, const Slice& key,
                          const Slice& value) {
+  if (file_ == nullptr) return Status::IOError("wal closed: " + path_);
+  if (dirty_tail_) {
+    // A previous append may have left a torn record; erase it so this
+    // record lands on a clean boundary.
+    KB_RETURN_IF_ERROR(file_->Truncate(good_size_));
+    dirty_tail_ = false;
+  }
   std::string payload;
   PutVarint64(&payload, key.size());
   PutVarint64(&payload, value.size());
@@ -25,22 +50,40 @@ Status WalWriter::Append(EntryType type, const Slice& key,
   std::string record;
   PutFixed32(&record, static_cast<uint32_t>(Hash64(payload)));
   record += payload;
-  out_.write(record.data(), static_cast<std::streamsize>(record.size()));
-  out_.flush();
-  if (!out_) return Status::IOError("wal append: " + path_);
+  Status s = file_->Append(Slice(record));
+  if (!s.ok()) {
+    dirty_tail_ = true;  // unknown how many bytes landed
+    return s;
+  }
+  s = file_->Flush();
+  if (!s.ok()) {
+    dirty_tail_ = true;
+    return s;
+  }
+  good_size_ += record.size();
   return Status::OK();
 }
 
-void WalWriter::Close() {
-  if (out_.is_open()) out_.close();
+Status WalWriter::Sync() {
+  if (file_ == nullptr) return Status::IOError("wal closed: " + path_);
+  return file_->Sync();
+}
+
+Status WalWriter::Close() {
+  if (file_ == nullptr) return Status::OK();
+  Status s = file_->Close();
+  file_.reset();
+  return s;
 }
 
 Status ReplayWal(
-    const std::string& path,
-    const std::function<void(EntryType, const Slice&, const Slice&)>& fn) {
-  auto contents = ReadFileToString(path);
+    Env* env, const std::string& path,
+    const std::function<void(EntryType, const Slice&, const Slice&)>& fn,
+    WalReplayInfo* info) {
+  auto contents = env->ReadFileToString(path);
   if (!contents.ok()) return contents.status();
   Slice input(*contents);
+  uint64_t valid_bytes = 0, records = 0;
   while (!input.empty()) {
     Slice record = input;
     uint32_t stored_crc = 0;
@@ -63,10 +106,23 @@ Status ReplayWal(
     Slice key(record.data(), key_len);
     Slice value(record.data() + key_len, value_len);
     fn(type, key, value);
+    ++records;
+    valid_bytes += sizeof(uint32_t) + payload_size;
     input = Slice(record.data() + key_len + value_len,
                   record.size() - key_len - value_len);
   }
+  if (info != nullptr) {
+    info->records = records;
+    info->valid_bytes = valid_bytes;
+    info->truncated_bytes = contents->size() - valid_bytes;
+  }
   return Status::OK();
+}
+
+Status ReplayWal(
+    const std::string& path,
+    const std::function<void(EntryType, const Slice&, const Slice&)>& fn) {
+  return ReplayWal(Env::Default(), path, fn, nullptr);
 }
 
 }  // namespace storage

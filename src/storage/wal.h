@@ -1,10 +1,12 @@
 #ifndef KBFORGE_STORAGE_WAL_H_
 #define KBFORGE_STORAGE_WAL_H_
 
-#include <fstream>
+#include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 
+#include "storage/env.h"
 #include "storage/memtable.h"
 #include "util/slice.h"
 #include "util/status.h"
@@ -17,24 +19,67 @@ namespace storage {
 ///   | key | value
 /// where the checksum covers everything after itself. Replay stops at
 /// the first torn/corrupt record (standard crash-recovery semantics).
+///
+/// Durability semantics: Append pushes the record to the OS only — it
+/// survives a process crash but NOT a machine crash or power loss.
+/// Call Sync() (fsync through the Env) to make appended records
+/// durable; the KV store does this on its write path, so a Put that
+/// returned OK is actually on disk.
+///
+/// If an Append fails partway (torn write), the writer truncates the
+/// file back to the last complete record before the next append, so a
+/// retried Append cannot strand a committed record behind a torn one.
 class WalWriter {
  public:
-  /// Opens (creating or appending to) the log at `path`.
+  WalWriter() = default;
+  /// Closes the underlying file (best effort; errors are swallowed —
+  /// call Close() explicitly to observe them).
+  ~WalWriter();
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Opens (creating or appending to) the log at `path` via `env`.
+  static Status Open(Env* env, const std::string& path, WalWriter* writer);
+  /// Same, on Env::Default().
   static Status Open(const std::string& path, WalWriter* writer);
 
-  /// Appends one record and flushes it to the OS.
+  /// Appends one record and flushes it to the OS (not durable until
+  /// Sync). Self-heals a previously torn tail first.
   Status Append(EntryType type, const Slice& key, const Slice& value);
 
-  void Close();
+  /// Makes every appended record durable (fsync).
+  Status Sync();
+
+  /// Idempotent: the first call closes the file and reports its
+  /// status; later calls are no-ops returning OK.
+  Status Close();
+
+  bool is_open() const { return file_ != nullptr; }
 
  private:
-  std::ofstream out_;
+  std::unique_ptr<WritableFile> file_;
   std::string path_;
+  uint64_t good_size_ = 0;  ///< bytes holding complete records
+  bool dirty_tail_ = false;  ///< a failed append may have torn the file
+};
+
+/// Replay accounting, filled by ReplayWal when requested.
+struct WalReplayInfo {
+  uint64_t records = 0;          ///< intact records handed to `fn`
+  uint64_t valid_bytes = 0;      ///< file prefix holding those records
+  uint64_t truncated_bytes = 0;  ///< torn/corrupt tail after the prefix
 };
 
 /// Replays a log, invoking `fn(type, key, value)` per intact record.
 /// Returns OK even if the tail is torn (that is the expected crash
 /// shape); returns IOError only if the file cannot be read at all.
+Status ReplayWal(
+    Env* env, const std::string& path,
+    const std::function<void(EntryType, const Slice&, const Slice&)>& fn,
+    WalReplayInfo* info = nullptr);
+
+/// Same, on Env::Default().
 Status ReplayWal(
     const std::string& path,
     const std::function<void(EntryType, const Slice&, const Slice&)>& fn);

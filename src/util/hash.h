@@ -17,6 +17,13 @@ inline uint64_t Hash64(std::string_view s, uint64_t seed = 0xcbf29ce484222325ULL
 /// Mixes a 64-bit value (splitmix64 finalizer); good avalanche behaviour.
 uint64_t Mix64(uint64_t x);
 
+/// CRC-32 (IEEE 802.3 polynomial, the zlib/leveldb one); stable across
+/// platforms and runs, so it is safe to persist. Used for SSTable block
+/// footers, where detecting bit flips matters more than speed.
+uint32_t Crc32(const void* data, size_t n);
+
+inline uint32_t Crc32(std::string_view s) { return Crc32(s.data(), s.size()); }
+
 /// Combines two hashes.
 inline uint64_t HashCombine(uint64_t a, uint64_t b) {
   return Mix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));

@@ -1,0 +1,68 @@
+#include "util/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "util/metrics_registry.h"
+
+namespace kb {
+
+namespace {
+struct RetryMetrics {
+  Counter& runs;
+  Counter& retries;
+  Counter& recoveries;  ///< runs that failed at least once, then succeeded
+  Counter& exhausted;   ///< runs that used every attempt and still failed
+
+  static RetryMetrics& Get() {
+    static RetryMetrics* m = [] {
+      MetricsRegistry& r = MetricsRegistry::Default();
+      return new RetryMetrics{
+          r.counter("retry.runs"),
+          r.counter("retry.retries"),
+          r.counter("retry.recoveries"),
+          r.counter("retry.exhausted"),
+      };
+    }();
+    return *m;
+  }
+};
+}  // namespace
+
+RetryPolicy::RetryPolicy(RetryOptions options)
+    : options_(options), rng_(options.jitter_seed) {}
+
+Status RetryPolicy::Run(const std::function<Status()>& fn) {
+  RetryMetrics& metrics = RetryMetrics::Get();
+  metrics.runs.Increment();
+  Status status = Status::OK();
+  double backoff = options_.base_backoff_ms;
+  int attempts = std::max(1, options_.max_attempts);
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      metrics.retries.Increment();
+      double cap = std::min(backoff, options_.max_backoff_ms);
+      double sleep_ms = 0.0;
+      if (cap > 0.0) {
+        std::lock_guard<std::mutex> lock(mu_);
+        sleep_ms = rng_.UniformDouble() * cap;  // full jitter
+      }
+      if (sleep_ms > 0.0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(sleep_ms));
+      }
+      backoff *= options_.backoff_multiplier;
+    }
+    status = fn();
+    if (status.ok()) {
+      if (attempt > 0) metrics.recoveries.Increment();
+      return status;
+    }
+    if (!status.IsIOError()) return status;  // non-transient: do not retry
+  }
+  metrics.exhausted.Increment();
+  return status;
+}
+
+}  // namespace kb

@@ -1,0 +1,53 @@
+#ifndef KBFORGE_UTIL_RETRY_H_
+#define KBFORGE_UTIL_RETRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+
+#include "util/random.h"
+#include "util/status.h"
+
+namespace kb {
+
+/// Knobs for RetryPolicy. Defaults suit in-process filesystem IO:
+/// a handful of quick attempts, capped exponential backoff.
+struct RetryOptions {
+  int max_attempts = 3;            ///< total attempts (1 = no retry)
+  double base_backoff_ms = 0.1;    ///< sleep before the first retry
+  double backoff_multiplier = 2.0; ///< growth per retry
+  double max_backoff_ms = 50.0;    ///< cap on any single sleep
+  uint64_t jitter_seed = 42;       ///< seeded full jitter in [0, backoff)
+};
+
+/// Retries an operation on *transient* failure. Only IOError is
+/// considered transient: Corruption, NotFound, InvalidArgument etc.
+/// describe the data, not the attempt, and are returned immediately.
+///
+/// Backoff: attempt k (0-based) sleeps uniform(0, min(base * mult^k,
+/// max)) milliseconds — "full jitter", drawn from a seeded RNG so runs
+/// are reproducible. With base_backoff_ms = 0 retries are immediate
+/// (what tests use).
+///
+/// Thread-safe; one policy can serve concurrent call sites. Outcomes
+/// are counted in MetricsRegistry::Default() under retry.* (runs,
+/// retries, recoveries, exhausted).
+class RetryPolicy {
+ public:
+  explicit RetryPolicy(RetryOptions options = RetryOptions());
+
+  /// Runs `fn` until it returns OK, a non-transient status, or
+  /// attempts are exhausted; returns the last status.
+  Status Run(const std::function<Status()>& fn);
+
+  const RetryOptions& options() const { return options_; }
+
+ private:
+  RetryOptions options_;
+  std::mutex mu_;  ///< guards rng_
+  Rng rng_;
+};
+
+}  // namespace kb
+
+#endif  // KBFORGE_UTIL_RETRY_H_

@@ -77,6 +77,7 @@ class Status {
   }
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
   bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
 
   /// "OK" or "<CODE>: <message>".
   std::string ToString() const;

@@ -1,0 +1,580 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/harvest_checkpoint.h"
+#include "core/harvester.h"
+#include "storage/env.h"
+#include "storage/fault_injection_env.h"
+#include "storage/kv_store.h"
+#include "storage/wal.h"
+#include "util/retry.h"
+
+namespace kb {
+namespace storage {
+namespace {
+
+std::string TempDir(const std::string& name) {
+  std::string path =
+      (std::filesystem::temp_directory_path() / ("kbforge_" + name)).string();
+  std::filesystem::remove_all(path);
+  return path;
+}
+
+std::string Key(int i) {
+  char buf[16];
+  snprintf(buf, sizeof(buf), "key%05d", i);
+  return buf;
+}
+
+std::string Value(int i) { return "value" + std::to_string(i); }
+
+// ------------------------------------------------- FaultInjectionEnv
+
+TEST(FaultInjectionEnvTest, FailsAtNthOpAndStaysDown) {
+  FaultInjectionEnv::Options fopts;
+  fopts.fail_at_op = 3;
+  fopts.torn_writes = false;
+  FaultInjectionEnv env(Env::Default(), fopts);
+  std::string dir = TempDir("faultenv_nth");
+  ASSERT_TRUE(env.CreateDirIfMissing(dir).ok());       // op 1
+  ASSERT_TRUE(env.WriteStringToFile(dir + "/a", "x").ok());  // op 2
+  Status s = env.WriteStringToFile(dir + "/b", "y");   // op 3: crash
+  EXPECT_TRUE(s.IsIOError());
+  EXPECT_TRUE(env.crashed());
+  // Every further mutating op fails without side effects.
+  EXPECT_TRUE(env.WriteStringToFile(dir + "/c", "z").IsIOError());
+  EXPECT_FALSE(env.FileExists(dir + "/b"));
+  EXPECT_FALSE(env.FileExists(dir + "/c"));
+  // Reads still work after the crash.
+  auto contents = env.ReadFileToString(dir + "/a");
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(*contents, "x");
+  EXPECT_GE(env.injected_errors(), 2u);
+}
+
+TEST(FaultInjectionEnvTest, TornWriteKeepsSeededPrefix) {
+  FaultInjectionEnv::Options fopts;
+  fopts.fail_at_op = 2;
+  fopts.seed = 7;
+  FaultInjectionEnv env(Env::Default(), fopts);
+  std::string dir = TempDir("faultenv_torn");
+  ASSERT_TRUE(env.CreateDirIfMissing(dir).ok());  // op 1
+  std::string payload(256, 'p');
+  EXPECT_TRUE(env.WriteStringToFile(dir + "/torn", payload).IsIOError());
+  if (env.FileExists(dir + "/torn")) {
+    auto contents = Env::Default()->ReadFileToString(dir + "/torn");
+    ASSERT_TRUE(contents.ok());
+    EXPECT_LT(contents->size(), payload.size());
+    EXPECT_EQ(*contents, payload.substr(0, contents->size()));
+  }
+}
+
+TEST(FaultInjectionEnvTest, DropUnsyncedDataTruncatesToSyncedLength) {
+  FaultInjectionEnv env(Env::Default());
+  std::string dir = TempDir("faultenv_drop");
+  ASSERT_TRUE(env.CreateDirIfMissing(dir).ok());
+  std::string path = dir + "/file";
+  auto file = env.NewWritableFile(path);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Append(Slice("synced")).ok());
+  ASSERT_TRUE((*file)->Sync().ok());
+  ASSERT_TRUE((*file)->Append(Slice("-unsynced")).ok());
+  ASSERT_TRUE((*file)->Close().ok());
+  ASSERT_TRUE(env.DropUnsyncedData().ok());
+  auto contents = env.ReadFileToString(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(*contents, "synced");
+}
+
+TEST(FaultInjectionEnvTest, ProbabilisticFailuresAreTransientAndSeeded) {
+  FaultInjectionEnv::Options fopts;
+  fopts.fail_probability = 0.5;
+  fopts.seed = 11;
+  FaultInjectionEnv env(Env::Default(), fopts);
+  std::string dir = TempDir("faultenv_prob");
+  // Retry until the dir write sticks; transient errors never latch.
+  int failures = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (!env.CreateDirIfMissing(dir).ok()) ++failures;
+  }
+  EXPECT_GT(failures, 0);
+  EXPECT_LT(failures, 64);
+  EXPECT_FALSE(env.crashed());
+  EXPECT_EQ(env.injected_errors(), static_cast<uint64_t>(failures));
+}
+
+TEST(FaultInjectionEnvTest, FlipBitOnReadCorruptsExactlyThatBit) {
+  FaultInjectionEnv env(Env::Default());
+  std::string dir = TempDir("faultenv_flip");
+  ASSERT_TRUE(env.CreateDirIfMissing(dir).ok());
+  std::string path = dir + "/file";
+  ASSERT_TRUE(env.WriteStringToFile(path, "abcd").ok());
+  env.FlipBitOnRead(path, 2, 0);
+  auto corrupt = env.ReadFileToString(path);
+  ASSERT_TRUE(corrupt.ok());
+  EXPECT_EQ((*corrupt)[2], 'c' ^ 1);
+  env.ClearReadCorruption();
+  auto clean = env.ReadFileToString(path);
+  ASSERT_TRUE(clean.ok());
+  EXPECT_EQ(*clean, "abcd");
+}
+
+// ----------------------------------------------------- WAL satellites
+
+TEST(WalRobustnessTest, CloseIsIdempotent) {
+  std::string dir = TempDir("wal_double_close");
+  ASSERT_TRUE(Env::Default()->CreateDirIfMissing(dir).ok());
+  WalWriter wal;
+  ASSERT_TRUE(WalWriter::Open(dir + "/wal.log", &wal).ok());
+  ASSERT_TRUE(wal.Append(EntryType::kPut, Slice("k"), Slice("v")).ok());
+  EXPECT_TRUE(wal.Close().ok());
+  EXPECT_FALSE(wal.is_open());
+  EXPECT_TRUE(wal.Close().ok());  // second Close is a no-op
+  // Appending after Close fails cleanly.
+  EXPECT_TRUE(wal.Append(EntryType::kPut, Slice("k2"), Slice("v")).IsIOError());
+}
+
+TEST(WalRobustnessTest, DestructorClosesWithoutExplicitClose) {
+  std::string dir = TempDir("wal_dtor_close");
+  ASSERT_TRUE(Env::Default()->CreateDirIfMissing(dir).ok());
+  {
+    WalWriter wal;
+    ASSERT_TRUE(WalWriter::Open(dir + "/wal.log", &wal).ok());
+    ASSERT_TRUE(wal.Append(EntryType::kPut, Slice("k"), Slice("v")).ok());
+    // No Close: the destructor must release the file.
+  }
+  int records = 0;
+  ASSERT_TRUE(ReplayWal(dir + "/wal.log",
+                        [&](EntryType, const Slice&, const Slice&) {
+                          ++records;
+                        })
+                  .ok());
+  EXPECT_EQ(records, 1);
+}
+
+class WalCorruptionShapes : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = TempDir("wal_shapes");
+    ASSERT_TRUE(Env::Default()->CreateDirIfMissing(dir_).ok());
+    path_ = dir_ + "/wal.log";
+    WalWriter wal;
+    ASSERT_TRUE(WalWriter::Open(path_, &wal).ok());
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(
+          wal.Append(EntryType::kPut, Slice(Key(i)), Slice(Value(i))).ok());
+    }
+    ASSERT_TRUE(wal.Close().ok());
+    auto contents = Env::Default()->ReadFileToString(path_);
+    ASSERT_TRUE(contents.ok());
+    clean_ = *contents;
+  }
+
+  /// Replays and returns the recovered (key -> value) map + info.
+  std::map<std::string, std::string> Replay(WalReplayInfo* info) {
+    std::map<std::string, std::string> out;
+    Status s = ReplayWal(Env::Default(), path_,
+                         [&](EntryType, const Slice& k, const Slice& v) {
+                           out[k.ToString()] = v.ToString();
+                         },
+                         info);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+    return out;
+  }
+
+  std::string dir_, path_, clean_;
+};
+
+TEST_F(WalCorruptionShapes, TruncatedMidVarintKeepsPrefix) {
+  // Cut inside the 3rd record's length varints (4 bytes past its CRC).
+  size_t third_record = 2 * (clean_.size() / 5);
+  ASSERT_TRUE(Env::Default()
+                  ->WriteStringToFile(path_,
+                                      clean_.substr(0, third_record + 5))
+                  .ok());
+  WalReplayInfo info;
+  auto recovered = Replay(&info);
+  EXPECT_EQ(recovered.size(), 2u);
+  EXPECT_EQ(info.records, 2u);
+  EXPECT_GT(info.truncated_bytes, 0u);
+  EXPECT_TRUE(recovered.count(Key(0)));
+  EXPECT_TRUE(recovered.count(Key(1)));
+}
+
+TEST_F(WalCorruptionShapes, BadChecksumMidLogStopsThere) {
+  // Flip a payload byte inside the 2nd record; replay must keep record
+  // 1 and stop at the corruption, not resynchronize past it.
+  std::string damaged = clean_;
+  size_t record_size = clean_.size() / 5;
+  damaged[record_size + record_size / 2] ^= 0x40;
+  ASSERT_TRUE(Env::Default()->WriteStringToFile(path_, damaged).ok());
+  WalReplayInfo info;
+  auto recovered = Replay(&info);
+  EXPECT_EQ(recovered.size(), 1u);
+  EXPECT_TRUE(recovered.count(Key(0)));
+  EXPECT_EQ(info.valid_bytes, record_size);
+  EXPECT_EQ(info.truncated_bytes, clean_.size() - record_size);
+}
+
+TEST_F(WalCorruptionShapes, ZeroLengthFileIsEmptyNotError) {
+  ASSERT_TRUE(Env::Default()->WriteStringToFile(path_, "").ok());
+  WalReplayInfo info;
+  auto recovered = Replay(&info);
+  EXPECT_TRUE(recovered.empty());
+  EXPECT_EQ(info.records, 0u);
+  EXPECT_EQ(info.truncated_bytes, 0u);
+}
+
+TEST_F(WalCorruptionShapes, DeclaredLengthsExceedingFileStopReplay) {
+  // Append a record whose declared value length runs past EOF.
+  std::string damaged = clean_;
+  std::string bogus;
+  bogus.append(4, '\x00');   // checksum placeholder
+  bogus.push_back('\x04');   // key_len = 4
+  bogus.push_back('\x7f');   // value_len = 127, but no bytes follow
+  bogus.push_back('\x00');   // type
+  bogus.append("abcd");
+  ASSERT_TRUE(Env::Default()->WriteStringToFile(path_, damaged + bogus).ok());
+  WalReplayInfo info;
+  auto recovered = Replay(&info);
+  EXPECT_EQ(recovered.size(), 5u);
+  EXPECT_EQ(info.truncated_bytes, bogus.size());
+}
+
+// ------------------------------------------- corruption + quarantine
+
+class SstCorruptionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = TempDir("sst_corrupt");
+    env_ = std::make_unique<FaultInjectionEnv>(Env::Default());
+    StoreOptions options;
+    options.env = env_.get();
+    auto store = KVStore::Open(options, dir_);
+    ASSERT_TRUE(store.ok());
+    for (int i = 0; i < 200; ++i) {
+      ASSERT_TRUE((*store)->Put(Slice(Key(i)), Slice(Value(i))).ok());
+    }
+    ASSERT_TRUE((*store)->Flush().ok());
+    ASSERT_EQ((*store)->num_tables(), 1u);
+    table_path_ = dir_ + "/000001.sst";
+    ASSERT_TRUE(env_->FileExists(table_path_));
+  }
+
+  std::string dir_, table_path_;
+  std::unique_ptr<FaultInjectionEnv> env_;
+};
+
+TEST_F(SstCorruptionTest, BitFlippedBlockIsCorruptionNotGarbage) {
+  // Flip one bit inside the first data block on every read.
+  env_->FlipBitOnRead(table_path_, 10, 3);
+  StoreOptions options;
+  options.env = env_.get();
+  auto store = KVStore::Open(options, dir_);
+  // Strict open may already reject the table; if it opens (only data
+  // blocks damaged), the read must surface Corruption, never garbage.
+  if (store.ok()) {
+    std::string value;
+    Status s = (*store)->Get(Slice(Key(0)), &value);
+    EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+  } else {
+    EXPECT_TRUE(store.status().IsCorruption()) << store.status().ToString();
+  }
+}
+
+TEST_F(SstCorruptionTest, RecoverQuarantinesCorruptTable) {
+  env_->FlipBitOnRead(table_path_, 10, 3);
+  StoreOptions options;
+  options.env = env_.get();
+  RecoveryReport report;
+  auto store = KVStore::Recover(options, dir_, &report);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  EXPECT_EQ(report.tables_quarantined, 1u);
+  EXPECT_EQ(report.tables_loaded, 0u);
+  ASSERT_EQ(report.quarantined_files.size(), 1u);
+  EXPECT_TRUE(env_->FileExists(report.quarantined_files[0]));
+  EXPECT_FALSE(env_->FileExists(table_path_));
+  // The store serves what it can prove intact — here, nothing — but
+  // never the corrupt bytes.
+  std::string value;
+  EXPECT_TRUE((*store)->Get(Slice(Key(0)), &value).IsNotFound());
+  // New writes go to fresh table numbers, not the quarantined one.
+  ASSERT_TRUE((*store)->Put(Slice("new"), Slice("value")).ok());
+  ASSERT_TRUE((*store)->Flush().ok());
+  EXPECT_TRUE((*store)->Get(Slice("new"), &value).ok());
+}
+
+TEST_F(SstCorruptionTest, RecoverOnHealthyStoreLoadsEverything) {
+  StoreOptions options;
+  options.env = env_.get();
+  RecoveryReport report;
+  auto store = KVStore::Recover(options, dir_, &report);
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ(report.tables_quarantined, 0u);
+  EXPECT_EQ(report.tables_loaded, 1u);
+  std::string value;
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE((*store)->Get(Slice(Key(i)), &value).ok());
+    EXPECT_EQ(value, Value(i));
+  }
+}
+
+// ------------------------------------------------- retried WAL writes
+
+TEST(RetriedWritesTest, TransientFaultsAreAbsorbedByRetry) {
+  FaultInjectionEnv::Options fopts;
+  fopts.fail_probability = 0.3;
+  fopts.seed = 5;
+  FaultInjectionEnv env(Env::Default(), fopts);
+  std::string dir = TempDir("retried_writes");
+  StoreOptions options;
+  options.env = &env;
+  options.retry.max_attempts = 10;
+  options.retry.base_backoff_ms = 0;  // immediate retries in tests
+  // Open itself can hit transient faults; retry it the same way.
+  StatusOr<std::unique_ptr<KVStore>> store = Status::IOError("unopened");
+  for (int attempt = 0; attempt < 10 && !store.ok(); ++attempt) {
+    store = KVStore::Open(options, dir);
+  }
+  ASSERT_TRUE(store.ok());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE((*store)->Put(Slice(Key(i)), Slice(Value(i))).ok())
+        << "put " << i;
+  }
+  ASSERT_TRUE((*store)->Flush().ok());
+  EXPECT_GT(env.injected_errors(), 0u);
+  std::string value;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE((*store)->Get(Slice(Key(i)), &value).ok());
+    EXPECT_EQ(value, Value(i));
+  }
+}
+
+// --------------------------------------------------- crash-loop sweep
+
+/// Writes up to `entries` rows through a fault env that crashes at
+/// `fail_at_op`, machine-crashes (drops unsynced bytes), recovers, and
+/// asserts the recovered store holds an exact key prefix covering at
+/// least every acknowledged write.
+void RunCrashPoint(uint64_t fail_at_op, int entries) {
+  SCOPED_TRACE("fail_at_op=" + std::to_string(fail_at_op));
+  FaultInjectionEnv::Options fopts;
+  fopts.fail_at_op = fail_at_op;
+  fopts.seed = 13 + fail_at_op;
+  FaultInjectionEnv env(Env::Default());
+  env.Reset(fopts);
+  std::string dir = TempDir("crash_loop");
+
+  StoreOptions options;
+  options.env = &env;
+  options.sync_wal = true;
+  options.memtable_flush_bytes = 2048;  // several flushes per run
+  options.l0_compaction_trigger = 3;    // exercise compaction crashes
+  options.retry.max_attempts = 2;
+  options.retry.base_backoff_ms = 0;
+
+  int acked = 0;
+  {
+    auto store = KVStore::Open(options, dir);
+    if (store.ok()) {
+      for (int i = 0; i < entries; ++i) {
+        if (!(*store)->Put(Slice(Key(i)), Slice(Value(i))).ok()) break;
+        acked = i + 1;
+      }
+    }
+  }  // process "dies": store destroyed with whatever state it had
+
+  ASSERT_TRUE(env.DropUnsyncedData().ok());  // machine crash
+  env.Reset(FaultInjectionEnv::Options());   // healthy disk for recovery
+
+  RecoveryReport report;
+  auto recovered = KVStore::Recover(options, dir, &report);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+
+  // Exact prefix: keys 0..n-1 present with correct values, nothing
+  // else, and every acknowledged (synced) write survived.
+  std::vector<std::string> keys;
+  Status scan_status = (*recovered)->Scan(
+      Slice(), Slice(), [&](const Slice& k, const Slice& v) {
+        keys.push_back(k.ToString());
+        EXPECT_EQ(v.ToString(),
+                  Value(static_cast<int>(keys.size()) - 1));
+        return true;
+      });
+  ASSERT_TRUE(scan_status.ok()) << scan_status.ToString();
+  ASSERT_GE(static_cast<int>(keys.size()), acked)
+      << "acknowledged writes lost";
+  ASSERT_LE(static_cast<int>(keys.size()), entries);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(keys[i], Key(static_cast<int>(i)));
+  }
+}
+
+TEST(CrashLoopTest, RecoveryIsPrefixClosedAtEveryCrashPoint) {
+  constexpr int kEntries = 500;
+  // Clean run first to learn the op schedule length.
+  uint64_t total_ops = 0;
+  {
+    FaultInjectionEnv env(Env::Default());
+    std::string dir = TempDir("crash_loop_clean");
+    StoreOptions options;
+    options.env = &env;
+    options.sync_wal = true;
+    options.memtable_flush_bytes = 2048;
+    options.l0_compaction_trigger = 3;
+    auto store = KVStore::Open(options, dir);
+    ASSERT_TRUE(store.ok());
+    for (int i = 0; i < kEntries; ++i) {
+      ASSERT_TRUE((*store)->Put(Slice(Key(i)), Slice(Value(i))).ok());
+    }
+    total_ops = env.op_count();
+  }
+  ASSERT_GT(total_ops, static_cast<uint64_t>(kEntries));
+
+  // Sweep crash points across the whole schedule. The dense sweep is
+  // CI's fault-injection job (KBFORGE_FAULT_SWEEP=full); the default
+  // stride keeps local runs fast.
+  const char* sweep = std::getenv("KBFORGE_FAULT_SWEEP");
+  uint64_t stride = (sweep != nullptr && std::string(sweep) == "full")
+                        ? 7
+                        : (total_ops / 40 + 1);
+  for (uint64_t fail_at = 1; fail_at <= total_ops; fail_at += stride) {
+    RunCrashPoint(fail_at, kEntries);
+  }
+  // Always include the very last op.
+  RunCrashPoint(total_ops, kEntries);
+}
+
+// -------------------------------------------- harvester degradation
+
+corpus::Corpus SmallCorpus() {
+  corpus::WorldOptions wopts;
+  wopts.seed = 31;
+  wopts.num_persons = 30;
+  wopts.num_cities = 10;
+  wopts.num_companies = 10;
+  corpus::CorpusOptions copts;
+  copts.seed = 32;
+  copts.news_docs = 40;
+  copts.web_docs = 10;
+  return corpus::BuildCorpus(wopts, copts);
+}
+
+TEST(HarvestDegradationTest, PerDocumentFailuresAreCountedAndSkipped) {
+  corpus::Corpus corpus = SmallCorpus();
+  core::HarvestOptions options;
+  options.threads = 4;
+  // ~5% of documents fail.
+  std::atomic<size_t> injected{0};
+  options.document_fault_hook = [&](size_t i) {
+    if (i % 20 == 0) {
+      injected.fetch_add(1);
+      throw std::runtime_error("injected document failure");
+    }
+  };
+  core::HarvestResult result = core::Harvester(options).Harvest(corpus);
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  EXPECT_EQ(result.stats.failed_documents, injected.load());
+  EXPECT_GT(result.stats.failed_documents, 0u);
+  // The rest of the corpus still yields a KB.
+  EXPECT_GT(result.accepted.size(), 0u);
+  EXPECT_GT(result.kb.NumTriples(), 0u);
+}
+
+TEST(HarvestDegradationTest, CircuitBreakerAbortsSystematicFailure) {
+  corpus::Corpus corpus = SmallCorpus();
+  core::HarvestOptions options;
+  options.threads = 2;
+  options.max_document_failures = 3;
+  options.document_fault_hook = [](size_t) {
+    throw std::runtime_error("everything is broken");
+  };
+  core::HarvestResult result = core::Harvester(options).Harvest(corpus);
+  EXPECT_TRUE(result.status.IsAborted()) << result.status.ToString();
+  EXPECT_GT(result.stats.failed_documents, 3u);
+}
+
+// ------------------------------------------------ checkpointed harvest
+
+/// Statement identity set for comparing two harvests.
+std::set<std::tuple<uint32_t, int, uint32_t, int32_t>> StatementSet(
+    const std::vector<extraction::ExtractedFact>& facts) {
+  std::set<std::tuple<uint32_t, int, uint32_t, int32_t>> out;
+  for (const auto& f : facts) {
+    out.emplace(f.subject, static_cast<int>(f.relation), f.object,
+                f.literal_year);
+  }
+  return out;
+}
+
+TEST(HarvestCheckpointTest, KilledHarvestResumesWithoutLossOrDuplicates) {
+  corpus::Corpus corpus = SmallCorpus();
+  core::HarvestOptions hopts;
+  hopts.threads = 2;
+  core::CheckpointOptions copts;
+  copts.batch_docs = 16;
+
+  // Reference: the same batched harvest, never interrupted.
+  std::string ref_dir = TempDir("ckpt_reference");
+  auto reference =
+      core::HarvestWithCheckpoints(hopts, corpus, ref_dir, copts);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  ASSERT_TRUE(reference->completed);
+  ASSERT_GT(reference->result.accepted.size(), 0u);
+
+  // Interrupted run: die after 2 batches, then resume to completion.
+  std::string dir = TempDir("ckpt_killed");
+  core::CheckpointOptions killed = copts;
+  killed.max_batches = 2;
+  auto first = core::HarvestWithCheckpoints(hopts, corpus, dir, killed);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_FALSE(first->completed);
+  EXPECT_EQ(first->batches_run, 2u);
+  EXPECT_EQ(first->docs_processed, 2 * copts.batch_docs);
+
+  auto resumed = core::HarvestWithCheckpoints(hopts, corpus, dir, copts);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  ASSERT_TRUE(resumed->completed);
+  EXPECT_EQ(resumed->resumed_at_doc, 2 * copts.batch_docs);
+  EXPECT_EQ(resumed->docs_processed, corpus.docs.size());
+
+  // No gold-matched fact lost, none duplicated.
+  EXPECT_EQ(StatementSet(resumed->result.accepted),
+            StatementSet(reference->result.accepted));
+  EXPECT_EQ(resumed->result.accepted.size(),
+            StatementSet(resumed->result.accepted).size());
+  EXPECT_EQ(resumed->result.kb.NumTriples(),
+            reference->result.kb.NumTriples());
+}
+
+TEST(HarvestCheckpointTest, CompletedRunIsIdempotentOnRerun) {
+  corpus::Corpus corpus = SmallCorpus();
+  core::HarvestOptions hopts;
+  hopts.threads = 2;
+  core::CheckpointOptions copts;
+  copts.batch_docs = 32;
+  std::string dir = TempDir("ckpt_rerun");
+  auto first = core::HarvestWithCheckpoints(hopts, corpus, dir, copts);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(first->completed);
+  // Re-running over a finished checkpoint reprocesses nothing.
+  auto second = core::HarvestWithCheckpoints(hopts, corpus, dir, copts);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->completed);
+  EXPECT_EQ(second->batches_run, 0u);
+  EXPECT_EQ(StatementSet(second->result.accepted),
+            StatementSet(first->result.accepted));
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace kb

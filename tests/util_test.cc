@@ -15,6 +15,7 @@
 #include "util/metrics.h"
 #include "util/metrics_registry.h"
 #include "util/random.h"
+#include "util/retry.h"
 #include "util/slice.h"
 #include "util/logging.h"
 #include "util/status.h"
@@ -621,6 +622,74 @@ TEST(MetricsRegistryTest, ScopedTimerRecordsOnDestruction) {
   }
   EXPECT_GE(ms, 0.0);
   EXPECT_EQ(h.count(), 2u);
+}
+
+// ---------------------------------------------------------------- Retry
+
+TEST(RetryPolicyTest, SucceedsWithoutRetryOnFirstOk) {
+  RetryPolicy policy;
+  int calls = 0;
+  Status s = policy.Run([&] {
+    ++calls;
+    return Status::OK();
+  });
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryPolicyTest, RetriesTransientIOErrorUntilSuccess) {
+  RetryOptions options;
+  options.max_attempts = 5;
+  options.base_backoff_ms = 0;  // no sleeping in tests
+  RetryPolicy policy(options);
+  int calls = 0;
+  Status s = policy.Run([&] {
+    ++calls;
+    return calls < 3 ? Status::IOError("transient") : Status::OK();
+  });
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(RetryPolicyTest, ExhaustsBoundedAttempts) {
+  RetryOptions options;
+  options.max_attempts = 4;
+  options.base_backoff_ms = 0;
+  RetryPolicy policy(options);
+  int calls = 0;
+  Status s = policy.Run([&] {
+    ++calls;
+    return Status::IOError("always failing");
+  });
+  EXPECT_TRUE(s.IsIOError());
+  EXPECT_EQ(calls, 4);
+}
+
+TEST(RetryPolicyTest, NonTransientErrorsAreNotRetried) {
+  RetryOptions options;
+  options.max_attempts = 5;
+  options.base_backoff_ms = 0;
+  RetryPolicy policy(options);
+  int calls = 0;
+  Status s = policy.Run([&] {
+    ++calls;
+    return Status::Corruption("data is bad, retrying cannot help");
+  });
+  EXPECT_TRUE(s.IsCorruption());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryPolicyTest, SingleAttemptDisablesRetry) {
+  RetryOptions options;
+  options.max_attempts = 1;
+  RetryPolicy policy(options);
+  int calls = 0;
+  Status s = policy.Run([&] {
+    ++calls;
+    return Status::IOError("once");
+  });
+  EXPECT_TRUE(s.IsIOError());
+  EXPECT_EQ(calls, 1);
 }
 
 TEST(MetricsRegistryTest, ConcurrentUpdatesAreExact) {
