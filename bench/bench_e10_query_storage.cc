@@ -1,16 +1,23 @@
 // E10 — Analytics substrate performance (tutorial §4: "semantic search
 // and analytics over entities and relations"). google-benchmark micro-
 // benchmarks over the triple store (index vs full scan), the join
-// engine (selectivity reordering on/off) and the LSM store (Bloom
-// filters on/off), i.e. the design-choice ablations of DESIGN.md §4.
+// engine (selectivity reordering on/off, streamed vs materialized
+// LIMIT, plan cache hit vs miss), the pluggable TripleSource (in-memory
+// snapshot vs LSM-backed StoredTripleSource) and the LSM store (Bloom
+// filters on/off) — the design-choice ablations of DESIGN.md §4.
+//
+// `--smoke` skips google-benchmark and runs every ablation once on a
+// tiny graph (CI liveness + perf-trajectory seed, not a measurement).
 
 #include <benchmark/benchmark.h>
 
 #include <filesystem>
 
+#include "bench_util.h"
 #include "query/engine.h"
 #include "rdf/triple_store.h"
 #include "storage/kv_store.h"
+#include "storage/stored_triple_source.h"
 #include "storage/triple_codec.h"
 #include "util/random.h"
 
@@ -20,58 +27,79 @@ namespace {
 
 constexpr size_t kEntities = 2000;
 constexpr size_t kTriples = 100000;
+constexpr size_t kStoredTriples = 20000;  // LSM mirror is write-heavier
 
-/// One shared synthetic graph: (s, p, o) with 16 predicates.
-rdf::TripleStore* BuildStore() {
-  auto* store = new rdf::TripleStore();
-  Rng rng(33);
-  std::vector<rdf::TermId> entities, predicates;
-  for (size_t i = 0; i < kEntities; ++i) {
-    entities.push_back(store->dict().Intern(
-        rdf::Term::Iri("e" + std::to_string(i))));
+/// A synthetic (s, p, o) graph with 16 predicates.
+rdf::TripleStore BuildStore(uint64_t seed, size_t entities, size_t triples) {
+  rdf::TripleStore store;
+  Rng rng(seed);
+  std::vector<rdf::TermId> es, ps;
+  for (size_t i = 0; i < entities; ++i) {
+    es.push_back(store.dict().Intern(rdf::Term::Iri("e" + std::to_string(i))));
   }
   for (size_t i = 0; i < 16; ++i) {
-    predicates.push_back(store->dict().Intern(
-        rdf::Term::Iri("p" + std::to_string(i))));
+    ps.push_back(store.dict().Intern(rdf::Term::Iri("p" + std::to_string(i))));
   }
-  for (size_t i = 0; i < kTriples; ++i) {
-    store->Add(rdf::Triple(rng.Choice(entities), rng.Choice(predicates),
-                           rng.Choice(entities)));
+  for (size_t i = 0; i < triples; ++i) {
+    store.Add(rdf::Triple(rng.Choice(es), rng.Choice(ps), rng.Choice(es)));
   }
-  store->EnsureIndexed();
+  store.EnsureIndexed();
   return store;
 }
 
-rdf::TripleStore* g_store = BuildStore();
-
-void BM_TriplePattern_Indexed(benchmark::State& state) {
-  Rng rng(1);
-  rdf::TermId subject = g_store->dict().Lookup(rdf::Term::Iri("e42"));
-  for (auto _ : state) {
-    rdf::TriplePattern pattern;
-    pattern.s = subject;
-    benchmark::DoNotOptimize(g_store->Match(pattern));
-  }
+/// Lazy shared graph so `--smoke` never pays for the full-size build.
+rdf::TripleStore& GetStore() {
+  static rdf::TripleStore* store =
+      new rdf::TripleStore(BuildStore(33, kEntities, kTriples));
+  return *store;
 }
-BENCHMARK(BM_TriplePattern_Indexed);
 
-void BM_TriplePattern_FullScan(benchmark::State& state) {
-  rdf::TermId subject = g_store->dict().Lookup(rdf::Term::Iri("e42"));
-  for (auto _ : state) {
-    rdf::TriplePattern pattern;
-    pattern.s = subject;
-    benchmark::DoNotOptimize(g_store->MatchFullScan(pattern));
-  }
+std::string TempDbDir(const std::string& tag) {
+  std::string path = (std::filesystem::temp_directory_path() /
+                      ("kbforge_bench_" + tag))
+                         .string();
+  std::filesystem::remove_all(path);
+  return path;
 }
-BENCHMARK(BM_TriplePattern_FullScan);
 
-query::SelectQuery MakeJoinQuery(bool selective_last) {
+/// The same graph held twice: in memory and as triple keys in the LSM
+/// store, queried through the common TripleSource interface.
+struct StoredFixture {
+  rdf::TripleStore mem;
+  std::unique_ptr<storage::KVStore> kv;
+  std::unique_ptr<storage::StoredTripleSource> source;
+
+  StoredFixture(size_t entities, size_t triples) {
+    mem = BuildStore(34, entities, triples);
+    storage::StoreOptions options;
+    options.use_wal = false;
+    auto store = storage::KVStore::Open(options, TempDbDir("stored_src"));
+    kv = std::move(*store);
+    mem.Scan(rdf::TriplePattern(), [&](const rdf::Triple& t) {
+      for (storage::TripleOrder order :
+           {storage::TripleOrder::kSpo, storage::TripleOrder::kPos,
+            storage::TripleOrder::kOsp}) {
+        kv->Put(storage::EncodeTripleKey(order, t), "").ok();
+      }
+      return true;
+    });
+    kv->Flush().ok();
+    source = std::make_unique<storage::StoredTripleSource>(kv.get());
+  }
+};
+
+StoredFixture& GetStoredFixture() {
+  static StoredFixture* fixture = new StoredFixture(kEntities, kStoredTriples);
+  return *fixture;
+}
+
+query::SelectQuery MakeJoinQuery(const rdf::TripleStore& store,
+                                 bool selective_last) {
   // ?x p0 ?y . ?y p1 ?z . ?x p2 e7  — the bound pattern placed first
   // or last in written order.
   auto var = [](const char* v) { return query::QueryTerm::Var(v); };
   auto bound = [&](const std::string& iri) {
-    return query::QueryTerm::Bound(
-        g_store->dict().Lookup(rdf::Term::Iri(iri)));
+    return query::QueryTerm::Bound(store.dict().Lookup(rdf::Term::Iri(iri)));
   };
   query::SelectQuery q;
   query::QueryPattern p1{var("x"), bound("p0"), var("y")};
@@ -85,9 +113,29 @@ query::SelectQuery MakeJoinQuery(bool selective_last) {
   return q;
 }
 
+void BM_TriplePattern_Indexed(benchmark::State& state) {
+  rdf::TermId subject = GetStore().dict().Lookup(rdf::Term::Iri("e42"));
+  for (auto _ : state) {
+    rdf::TriplePattern pattern;
+    pattern.s = subject;
+    benchmark::DoNotOptimize(GetStore().Match(pattern));
+  }
+}
+BENCHMARK(BM_TriplePattern_Indexed);
+
+void BM_TriplePattern_FullScan(benchmark::State& state) {
+  rdf::TermId subject = GetStore().dict().Lookup(rdf::Term::Iri("e42"));
+  for (auto _ : state) {
+    rdf::TriplePattern pattern;
+    pattern.s = subject;
+    benchmark::DoNotOptimize(GetStore().MatchFullScan(pattern));
+  }
+}
+BENCHMARK(BM_TriplePattern_FullScan);
+
 void BM_Join3_Reordered(benchmark::State& state) {
-  query::QueryEngine engine(g_store);
-  query::SelectQuery q = MakeJoinQuery(/*selective_last=*/true);
+  query::QueryEngine engine(&GetStore());
+  query::SelectQuery q = MakeJoinQuery(GetStore(), /*selective_last=*/true);
   query::ExecutionOptions options;  // reordering on
   for (auto _ : state) {
     benchmark::DoNotOptimize(engine.Execute(q, options));
@@ -96,8 +144,8 @@ void BM_Join3_Reordered(benchmark::State& state) {
 BENCHMARK(BM_Join3_Reordered);
 
 void BM_Join3_WrittenOrder(benchmark::State& state) {
-  query::QueryEngine engine(g_store);
-  query::SelectQuery q = MakeJoinQuery(/*selective_last=*/true);
+  query::QueryEngine engine(&GetStore());
+  query::SelectQuery q = MakeJoinQuery(GetStore(), /*selective_last=*/true);
   query::ExecutionOptions options;
   options.reorder_patterns = false;  // executes the bad written order
   for (auto _ : state) {
@@ -106,15 +154,114 @@ void BM_Join3_WrittenOrder(benchmark::State& state) {
 }
 BENCHMARK(BM_Join3_WrittenOrder);
 
-// ---- LSM store ----------------------------------------------------
+// ---- Streaming executor ablations ---------------------------------
 
-std::string TempDbDir(const std::string& tag) {
-  std::string path = (std::filesystem::temp_directory_path() /
-                      ("kbforge_bench_" + tag))
-                         .string();
-  std::filesystem::remove_all(path);
-  return path;
+query::SelectQuery MakeLimitQuery(const rdf::TripleStore& store) {
+  query::SelectQuery q;
+  q.where.push_back({query::QueryTerm::Var("x"),
+                     query::QueryTerm::Bound(
+                         store.dict().Lookup(rdf::Term::Iri("p0"))),
+                     query::QueryTerm::Var("y")});
+  q.limit = 10;
+  return q;
 }
+
+void BM_Limit10_Streamed(benchmark::State& state) {
+  query::QueryEngine engine(&GetStore());
+  query::SelectQuery q = MakeLimitQuery(GetStore());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Execute(q));  // pushdown on
+  }
+}
+BENCHMARK(BM_Limit10_Streamed);
+
+void BM_Limit10_Materialized(benchmark::State& state) {
+  query::QueryEngine engine(&GetStore());
+  query::SelectQuery q = MakeLimitQuery(GetStore());
+  query::ExecutionOptions options;
+  options.pushdown_limit = false;  // drain everything, truncate at the end
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Execute(q, options));
+  }
+}
+BENCHMARK(BM_Limit10_Materialized);
+
+void BM_PlanCache_Hit(benchmark::State& state) {
+  query::QueryEngine engine(&GetStore());
+  query::SelectQuery q = MakeJoinQuery(GetStore(), /*selective_last=*/true);
+  q.limit = 1;                  // keep execution cheap: planning dominates
+  engine.Execute(q);            // warm the cache
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Execute(q));
+  }
+}
+BENCHMARK(BM_PlanCache_Hit);
+
+void BM_PlanCache_Miss(benchmark::State& state) {
+  query::QueryEngine engine(&GetStore());
+  query::SelectQuery q = MakeJoinQuery(GetStore(), /*selective_last=*/true);
+  q.limit = 1;
+  query::ExecutionOptions options;
+  options.use_plan_cache = false;  // replan (incl. estimates) every run
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Execute(q, options));
+  }
+}
+BENCHMARK(BM_PlanCache_Miss);
+
+// ---- TripleSource: memory vs LSM ----------------------------------
+
+void BM_PatternScan_MemorySource(benchmark::State& state) {
+  StoredFixture& fixture = GetStoredFixture();
+  rdf::TriplePattern pattern;
+  pattern.s = fixture.mem.dict().Lookup(rdf::Term::Iri("e42"));
+  for (auto _ : state) {
+    size_t n = 0;
+    fixture.mem.Scan(pattern, [&n](const rdf::Triple&) {
+      ++n;
+      return true;
+    });
+    benchmark::DoNotOptimize(n);
+  }
+}
+BENCHMARK(BM_PatternScan_MemorySource);
+
+void BM_PatternScan_StoredSource(benchmark::State& state) {
+  StoredFixture& fixture = GetStoredFixture();
+  rdf::TriplePattern pattern;
+  pattern.s = fixture.mem.dict().Lookup(rdf::Term::Iri("e42"));
+  for (auto _ : state) {
+    size_t n = 0;
+    fixture.source->Scan(pattern, [&n](const rdf::Triple&) {
+      ++n;
+      return true;
+    });
+    benchmark::DoNotOptimize(n);
+  }
+}
+BENCHMARK(BM_PatternScan_StoredSource);
+
+void BM_Join3_MemorySource(benchmark::State& state) {
+  StoredFixture& fixture = GetStoredFixture();
+  query::QueryEngine engine(&fixture.mem);
+  query::SelectQuery q = MakeJoinQuery(fixture.mem, /*selective_last=*/true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Execute(q));
+  }
+}
+BENCHMARK(BM_Join3_MemorySource);
+
+void BM_Join3_StoredSource(benchmark::State& state) {
+  StoredFixture& fixture = GetStoredFixture();
+  query::QueryEngine engine(fixture.source.get());
+  query::SelectQuery q = MakeJoinQuery(fixture.mem, /*selective_last=*/true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.Execute(q));
+  }
+}
+BENCHMARK(BM_Join3_StoredSource);
+
+// ---- LSM store ----------------------------------------------------
 
 void BM_LsmFill(benchmark::State& state) {
   for (auto _ : state) {
@@ -160,18 +307,21 @@ struct LsmFixture {
   }
 };
 
-LsmFixture* g_lsm = new LsmFixture();
+LsmFixture& GetLsm() {
+  static LsmFixture* fixture = new LsmFixture();
+  return *fixture;
+}
 
 void BM_LsmNegativeGet_Bloom(benchmark::State& state) {
   int i = 0;
   std::string value;
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        g_lsm->with_bloom->Get("absent" + std::to_string(i++ % 10000),
-                               &value));
+        GetLsm().with_bloom->Get("absent" + std::to_string(i++ % 10000),
+                                 &value));
   }
   state.counters["bloom_skips"] = static_cast<double>(
-      g_lsm->with_bloom->stats().bloom_skips);
+      GetLsm().with_bloom->stats().bloom_skips);
 }
 BENCHMARK(BM_LsmNegativeGet_Bloom);
 
@@ -180,8 +330,8 @@ void BM_LsmNegativeGet_NoBloom(benchmark::State& state) {
   std::string value;
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        g_lsm->without_bloom->Get("absent" + std::to_string(i++ % 10000),
-                                  &value));
+        GetLsm().without_bloom->Get("absent" + std::to_string(i++ % 10000),
+                                    &value));
   }
 }
 BENCHMARK(BM_LsmNegativeGet_NoBloom);
@@ -191,8 +341,8 @@ void BM_LsmPointGet(benchmark::State& state) {
   std::string value;
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        g_lsm->with_bloom->Get("key" + std::to_string(i++ % 50000),
-                               &value));
+        GetLsm().with_bloom->Get("key" + std::to_string(i++ % 50000),
+                                 &value));
   }
 }
 BENCHMARK(BM_LsmPointGet);
@@ -200,16 +350,100 @@ BENCHMARK(BM_LsmPointGet);
 void BM_LsmScan(benchmark::State& state) {
   for (auto _ : state) {
     size_t n = 0;
-    g_lsm->with_bloom->Scan(Slice("key1"), Slice("key2"),
-                            [&n](const Slice&, const Slice&) {
-                              ++n;
-                              return true;
-                            });
+    GetLsm().with_bloom->Scan(Slice("key1"), Slice("key2"),
+                              [&n](const Slice&, const Slice&) {
+                                ++n;
+                                return true;
+                              });
     benchmark::DoNotOptimize(n);
   }
 }
 BENCHMARK(BM_LsmScan);
 
+// ---- --smoke: every ablation once on a tiny graph -----------------
+
+double TimeQueryMs(const query::QueryEngine& engine,
+                   const query::SelectQuery& q,
+                   const query::ExecutionOptions& options,
+                   query::QueryStats* stats = nullptr) {
+  kbbench::Timer timer;
+  engine.Execute(q, options, stats);
+  return timer.ms();
+}
+
+int RunSmoke() {
+  kbbench::Banner(
+      "E10 query+storage (smoke)",
+      "indexes, join reordering, LIMIT streaming and plan caching each "
+      "cut query work; the same plans run off the LSM store",
+      "streamed LIMIT visits fewer intermediate rows; cache hits skip "
+      "planning; stored-source results match memory");
+  rdf::TripleStore store = BuildStore(33, 200, 5000);
+  query::QueryEngine engine(&store);
+
+  query::SelectQuery limit_q = MakeLimitQuery(store);
+  query::QueryStats streamed, drained;
+  query::ExecutionOptions no_pushdown;
+  no_pushdown.pushdown_limit = false;
+  double streamed_ms = TimeQueryMs(engine, limit_q, {}, &streamed);
+  double drained_ms = TimeQueryMs(engine, limit_q, no_pushdown, &drained);
+  kbbench::Row("%-34s %8.3f ms  %6llu intermediate rows",
+               "LIMIT 10 streamed", streamed_ms,
+               static_cast<unsigned long long>(streamed.intermediate_rows));
+  kbbench::Row("%-34s %8.3f ms  %6llu intermediate rows",
+               "LIMIT 10 materialized", drained_ms,
+               static_cast<unsigned long long>(drained.intermediate_rows));
+
+  query::SelectQuery join_q = MakeJoinQuery(store, /*selective_last=*/true);
+  query::QueryStats miss, hit;
+  query::ExecutionOptions uncached;
+  uncached.use_plan_cache = false;
+  double miss_ms = TimeQueryMs(engine, join_q, uncached, &miss);
+  TimeQueryMs(engine, join_q, {}, nullptr);  // warm
+  double hit_ms = TimeQueryMs(engine, join_q, {}, &hit);
+  kbbench::Row("%-34s %8.3f ms  cache_hit=%d", "3-way join, replanned",
+               miss_ms, miss.plan_cache_hit ? 1 : 0);
+  kbbench::Row("%-34s %8.3f ms  cache_hit=%d", "3-way join, cached plan",
+               hit_ms, hit.plan_cache_hit ? 1 : 0);
+
+  StoredFixture fixture(/*entities=*/50, /*triples=*/2000);
+  query::QueryEngine mem_engine(&fixture.mem);
+  query::QueryEngine disk_engine(fixture.source.get());
+  query::SelectQuery src_q = MakeJoinQuery(fixture.mem,
+                                           /*selective_last=*/true);
+  kbbench::Timer mem_timer;
+  auto mem_rows = mem_engine.Execute(src_q);
+  double mem_ms = mem_timer.ms();
+  kbbench::Timer disk_timer;
+  auto disk_rows = disk_engine.Execute(src_q);
+  double disk_ms = disk_timer.ms();
+  kbbench::Row("%-34s %8.3f ms  %zu rows", "3-way join, memory source",
+               mem_ms, mem_rows.size());
+  kbbench::Row("%-34s %8.3f ms  %zu rows", "3-way join, stored source",
+               disk_ms, disk_rows.size());
+  if (disk_rows.size() != mem_rows.size()) {
+    kbbench::Row("FAIL: stored source disagrees with memory source");
+    return 1;
+  }
+  if (streamed.intermediate_rows >= drained.intermediate_rows) {
+    kbbench::Row("FAIL: LIMIT pushdown did not reduce intermediate rows");
+    return 1;
+  }
+  if (!hit.plan_cache_hit) {
+    kbbench::Row("FAIL: repeated query shape missed the plan cache");
+    return 1;
+  }
+  kbbench::Row("ok");
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  kbbench::BenchArgs args = kbbench::ParseArgs(argc, argv);
+  if (args.smoke) return RunSmoke();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

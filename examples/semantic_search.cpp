@@ -7,12 +7,15 @@
 // "list <class>", "when was <X> founded".
 
 #include <cstdio>
+#include <filesystem>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "core/entity_card.h"
 #include "core/harvester.h"
+#include "core/persistence.h"
+#include "query/engine.h"
 #include "rdf/namespaces.h"
 #include "util/string_util.h"
 
@@ -139,5 +142,42 @@ int main() {
   if (card.ok()) {
     printf("knowledge panel:\n%s", core::RenderEntityCard(*card).c_str());
   }
+
+  // Persist the KB and stream a LIMIT query straight off the LSM
+  // store: LoadDictionary + NewTripleSource skip rebuilding the
+  // in-memory KB entirely, and the pull cursor stops the pipeline
+  // after three rows instead of enumerating every binding.
+  std::string dir = (std::filesystem::temp_directory_path() /
+                     "kbforge_semantic_search")
+                        .string();
+  std::filesystem::remove_all(dir);
+  auto storage = core::KbStorage::Open(dir);
+  if (storage.ok() && (*storage)->Save(result.kb).ok()) {
+    auto dict = (*storage)->LoadDictionary();
+    auto source = (*storage)->NewTripleSource();
+    auto parsed = dict.ok()
+                      ? query::ParseSparql(
+                            "SELECT ?p ?c WHERE { ?p <" +
+                                rdf::PropertyIri("worksFor") + "> ?c . } "
+                                "LIMIT 3",
+                            *dict)
+                      : dict.status();
+    if (parsed.ok()) {
+      query::QueryEngine engine(source.get());
+      query::Cursor cursor = engine.Open(*parsed);
+      printf("\nstreamed off disk (LIMIT 3):\n");
+      query::Row row;
+      while (cursor.Next(&row)) {
+        printf("  %s worksFor %s\n",
+               rdf::Abbreviate(dict->term(row[0]).value()).c_str(),
+               rdf::Abbreviate(dict->term(row[1]).value()).c_str());
+      }
+      printf("  (touched %llu of %zu stored triples before stopping)\n",
+             static_cast<unsigned long long>(
+                 cursor.stats().intermediate_rows),
+             result.kb.NumTriples());
+    }
+  }
+  std::filesystem::remove_all(dir);
   return 0;
 }

@@ -184,14 +184,19 @@ void KnowledgeBase::RebuildDerivedIndexes() {
 
 StatusOr<std::vector<query::Binding>> KnowledgeBase::Query(
     std::string_view sparql) const {
-  // Serialized with the assert APIs: parsing reads the dictionary and
-  // execution triggers the store's lazy index merge, both of which
-  // race with concurrent interning otherwise.
-  std::lock_guard<std::mutex> lock(mu_);
-  auto parsed = query::ParseSparql(sparql, store_.dict());
-  if (!parsed.ok()) return parsed.status();
-  query::QueryEngine engine(&store_);
-  return engine.Execute(*parsed);
+  // Parsing reads the dictionary, which races with concurrent
+  // interning, so it stays under the KB lock. Execution does not: the
+  // engine pins a store snapshot, so it runs lock-free while assert
+  // workers keep appending.
+  query::SelectQuery parsed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto result = query::ParseSparql(sparql, store_.dict());
+    if (!result.ok()) return result.status();
+    parsed = std::move(*result);
+  }
+  query::QueryEngine engine(&store_, &plan_cache_);
+  return engine.Execute(parsed);
 }
 
 }  // namespace core

@@ -30,11 +30,13 @@ struct FactMeta {
 /// the product the tutorial's §2-§3 pipeline builds and its §4
 /// applications consume.
 ///
-/// Concurrency: the Assert*/intern APIs, MetaOf and Query are
-/// serialized by one internal mutex, so reduce-phase workers may
-/// assert into a shared KB concurrently. Direct access to store(),
-/// taxonomy() and meta_map() bypasses that lock — quiesce writers
-/// before using those handles.
+/// Concurrency: the Assert*/intern APIs and MetaOf are serialized by
+/// one internal mutex, so reduce-phase workers may assert into a
+/// shared KB concurrently. Query parses under that lock but executes
+/// against an immutable store snapshot, so queries overlap each other
+/// and in-flight asserts. Direct access to store(), taxonomy() and
+/// meta_map() bypasses the lock — quiesce writers before using those
+/// handles.
 class KnowledgeBase {
  public:
   KnowledgeBase();
@@ -115,6 +117,10 @@ class KnowledgeBase {
                         bool merge_valid_time);
 
   mutable std::mutex mu_;
+  /// Compiled plans for repeated query shapes, keyed against this KB's
+  /// dictionary ids. Internally synchronized; not moved with the KB
+  /// (the target starts with a cold cache).
+  mutable query::PlanCache plan_cache_;
   rdf::TripleStore store_;
   taxonomy::Taxonomy taxonomy_;
   std::map<std::string, rdf::TermId> entity_terms_;

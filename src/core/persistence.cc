@@ -189,5 +189,39 @@ StatusOr<std::unique_ptr<KnowledgeBase>> KbStorage::Load() {
   return kb;
 }
 
+StatusOr<rdf::Dictionary> KbStorage::LoadDictionary() {
+  // Varint-encoded ids do not scan in numeric order, so collect first,
+  // then intern in ascending id order to reproduce the on-disk ids.
+  std::map<rdf::TermId, rdf::Term> terms;
+  Status status = Status::OK();
+  std::string dict_end(1, kDictPrefix + 1);
+  KB_RETURN_IF_ERROR(store_->Scan(
+      Slice(std::string(1, kDictPrefix)), Slice(dict_end),
+      [&](const Slice& key, const Slice& value) {
+        Slice input = key;
+        input.remove_prefix(1);
+        uint32_t id = 0;
+        if (!GetVarint32(&input, &id)) {
+          status = Status::Corruption("bad dictionary key");
+          return false;
+        }
+        auto term = rdf::Term::Parse(value.ToStringView());
+        if (!term.ok()) {
+          status = term.status();
+          return false;
+        }
+        terms.emplace(id, *term);
+        return true;
+      }));
+  KB_RETURN_IF_ERROR(status);
+  rdf::Dictionary dict;
+  for (const auto& [id, term] : terms) {
+    if (dict.Intern(term) != id) {
+      return Status::Corruption("dictionary ids are not dense");
+    }
+  }
+  return dict;
+}
+
 }  // namespace core
 }  // namespace kb

@@ -6,6 +6,7 @@
 
 #include "core/knowledge_base.h"
 #include "storage/kv_store.h"
+#include "storage/stored_triple_source.h"
 
 namespace kb {
 namespace core {
@@ -44,6 +45,20 @@ class KbStorage {
 
   /// Reconstructs a KB from storage.
   StatusOr<std::unique_ptr<KnowledgeBase>> Load();
+
+  /// Loads only the term dictionary, preserving the on-disk term ids.
+  /// Pairs with NewTripleSource() to run queries straight off the LSM
+  /// store without materializing the whole KB in memory.
+  StatusOr<rdf::Dictionary> LoadDictionary();
+
+  /// A TripleSource scanning this storage's triple keyspace directly.
+  /// Term ids are the on-disk ids (use LoadDictionary for lookups).
+  /// The source must not outlive this KbStorage.
+  std::unique_ptr<storage::StoredTripleSource> NewTripleSource(
+      size_t batch_size = 256) {
+    return std::make_unique<storage::StoredTripleSource>(store_.get(),
+                                                         batch_size);
+  }
 
   /// Durability/compaction passthroughs.
   Status Flush() { return store_->Flush(); }

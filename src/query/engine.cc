@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <set>
+#include <unordered_set>
 
 #include "rdf/term.h"
+#include "util/hash.h"
 #include "util/metrics_registry.h"
 #include "util/string_util.h"
 
@@ -16,8 +18,11 @@ namespace {
 struct QueryMetrics {
   Counter& executions;
   Counter& rows;
+  Counter& rows_streamed;
   Counter& patterns_evaluated;
   Counter& index_scans;
+  Counter& plan_cache_hits;
+  Counter& plan_cache_misses;
   Histogram& execute_ms;
 
   static QueryMetrics& Get() {
@@ -26,8 +31,11 @@ struct QueryMetrics {
       return new QueryMetrics{
           r.counter("query.executions"),
           r.counter("query.rows"),
+          r.counter("query.rows_streamed"),
           r.counter("query.patterns_evaluated"),
           r.counter("query.index_scans"),
+          r.counter("query.plan_cache_hits"),
+          r.counter("query.plan_cache_misses"),
           r.histogram("query.execute_ms"),
       };
     }();
@@ -35,50 +43,405 @@ struct QueryMetrics {
   }
 };
 
-/// Resolves a query term under the current binding. Returns kAnyTerm
-/// for unbound variables; sets *unmatchable for invalid constants.
-rdf::TermId Resolve(const QueryTerm& term, const Binding& binding,
-                    bool* unmatchable) {
-  if (!term.is_var) {
-    if (term.id == rdf::kInvalidTermId) *unmatchable = true;
-    return term.id == rdf::kInvalidTermId ? rdf::kAnyTerm : term.id;
-  }
-  auto it = binding.find(term.var);
-  return it == binding.end() ? rdf::kAnyTerm : it->second;
-}
-
-rdf::TriplePattern MakePattern(const QueryPattern& qp,
-                               const Binding& binding, bool* unmatchable) {
+/// Scan pattern for one join level: constants and probe slots resolved
+/// against the current row. With use_indexes off, everything is left
+/// wild and BindRow post-filters (the full-scan ablation).
+rdf::TriplePattern ScanPattern(const CompiledScan& scan, const Row& row,
+                               bool use_indexes) {
   rdf::TriplePattern pattern;
-  pattern.s = Resolve(qp.s, binding, unmatchable);
-  pattern.p = Resolve(qp.p, binding, unmatchable);
-  pattern.o = Resolve(qp.o, binding, unmatchable);
+  if (!use_indexes) return pattern;
+  rdf::TermId* out[3] = {&pattern.s, &pattern.p, &pattern.o};
+  const Access* accesses[3] = {&scan.s, &scan.p, &scan.o};
+  for (int i = 0; i < 3; ++i) {
+    switch (accesses[i]->kind) {
+      case Access::Kind::kConst:
+        *out[i] = accesses[i]->constant;
+        break;
+      case Access::Kind::kProbe:
+        *out[i] = row[static_cast<size_t>(accesses[i]->slot)];
+        break;
+      default:
+        break;  // kBind/kCheck stay wild
+    }
+  }
   return pattern;
 }
 
-int BoundPositions(const rdf::TriplePattern& p) {
-  return (p.s != rdf::kAnyTerm) + (p.p != rdf::kAnyTerm) +
-         (p.o != rdf::kAnyTerm);
+/// Applies one matched triple to the row: binds fresh slots, verifies
+/// constants, probes and repeated variables. Returns false if the
+/// triple does not extend the row.
+bool BindRow(const CompiledScan& scan, const rdf::Triple& t, Row* row) {
+  const Access* accesses[3] = {&scan.s, &scan.p, &scan.o};
+  const rdf::TermId values[3] = {t.s, t.p, t.o};
+  for (int i = 0; i < 3; ++i) {
+    const Access& a = *accesses[i];
+    switch (a.kind) {
+      case Access::Kind::kConst:
+        if (values[i] != a.constant) return false;
+        break;
+      case Access::Kind::kProbe:
+      case Access::Kind::kCheck:
+        if ((*row)[static_cast<size_t>(a.slot)] != values[i]) return false;
+        break;
+      case Access::Kind::kBind:
+        (*row)[static_cast<size_t>(a.slot)] = values[i];
+        break;
+    }
+  }
+  return true;
 }
 
+struct RowHash {
+  size_t operator()(const Row& row) const {
+    uint64_t h = 0x9e3779b97f4a7c15ULL;
+    for (rdf::TermId id : row) h = HashCombine(h, Mix64(id));
+    return static_cast<size_t>(h);
+  }
+};
+
 }  // namespace
+
+// --------------------------------------------------------- Operators
+
+class Cursor::Operator {
+ public:
+  virtual ~Operator() = default;
+  /// Produces the next row into `row`; false at end of stream.
+  virtual bool Next(Row* row) = 0;
+};
+
+namespace {
+
+using Operator = Cursor::Operator;
+
+/// Zero rows (unmatchable constants).
+class EmptyOp : public Operator {
+ public:
+  bool Next(Row*) override { return false; }
+};
+
+/// Exactly one empty row (empty WHERE clause).
+class OnceOp : public Operator {
+ public:
+  explicit OnceOp(size_t width) : width_(width) {}
+  bool Next(Row* row) override {
+    if (done_) return false;
+    done_ = true;
+    row->assign(width_, rdf::kAnyTerm);
+    return true;
+  }
+
+ private:
+  size_t width_;
+  bool done_ = false;
+};
+
+/// Leaf: one index scan binding the first pattern's variables.
+class IndexScanOp : public Operator {
+ public:
+  IndexScanOp(const rdf::TripleSource* source, const CompiledScan& scan,
+              size_t width, bool use_indexes, QueryStats* stats)
+      : source_(source),
+        scan_(scan),
+        width_(width),
+        use_indexes_(use_indexes),
+        stats_(stats) {}
+
+  bool Next(Row* row) override {
+    if (iter_ == nullptr) {
+      static const Row kNoRow;
+      iter_ = source_->NewScan(ScanPattern(scan_, kNoRow, use_indexes_));
+      ++stats_->index_scans;
+      ++stats_->patterns_evaluated;
+    }
+    while (iter_->Valid()) {
+      const rdf::Triple& t = iter_->Value();
+      ++stats_->intermediate_rows;
+      row->assign(width_, rdf::kAnyTerm);
+      bool ok = BindRow(scan_, t, row);
+      iter_->Next();
+      if (ok) return true;
+    }
+    return false;
+  }
+
+ private:
+  const rdf::TripleSource* source_;
+  CompiledScan scan_;
+  size_t width_;
+  bool use_indexes_;
+  QueryStats* stats_;
+  std::unique_ptr<rdf::ScanIterator> iter_;
+};
+
+/// Index nested-loop join: for every row of `child`, an index scan
+/// probes the matches of this level's pattern.
+class IndexNestedLoopJoinOp : public Operator {
+ public:
+  IndexNestedLoopJoinOp(std::unique_ptr<Operator> child,
+                        const rdf::TripleSource* source,
+                        const CompiledScan& scan, bool use_indexes,
+                        QueryStats* stats)
+      : child_(std::move(child)),
+        source_(source),
+        scan_(scan),
+        use_indexes_(use_indexes),
+        stats_(stats) {}
+
+  bool Next(Row* row) override {
+    for (;;) {
+      if (iter_ != nullptr) {
+        while (iter_->Valid()) {
+          const rdf::Triple& t = iter_->Value();
+          ++stats_->intermediate_rows;
+          *row = outer_;
+          bool ok = BindRow(scan_, t, row);
+          iter_->Next();
+          if (ok) return true;
+        }
+        iter_.reset();
+      }
+      if (!child_->Next(&outer_)) return false;
+      iter_ = source_->NewScan(ScanPattern(scan_, outer_, use_indexes_));
+      ++stats_->index_scans;
+      ++stats_->patterns_evaluated;
+    }
+  }
+
+ private:
+  std::unique_ptr<Operator> child_;
+  const rdf::TripleSource* source_;
+  CompiledScan scan_;
+  bool use_indexes_;
+  QueryStats* stats_;
+  Row outer_;
+  std::unique_ptr<rdf::ScanIterator> iter_;
+};
+
+/// Narrows full-width rows to the projected columns.
+class ProjectOp : public Operator {
+ public:
+  ProjectOp(std::unique_ptr<Operator> child, std::vector<int> slots)
+      : child_(std::move(child)), slots_(std::move(slots)) {}
+
+  bool Next(Row* row) override {
+    if (!child_->Next(&buffer_)) return false;
+    row->resize(slots_.size());
+    for (size_t i = 0; i < slots_.size(); ++i) {
+      (*row)[i] = buffer_[static_cast<size_t>(slots_[i])];
+    }
+    return true;
+  }
+
+ private:
+  std::unique_ptr<Operator> child_;
+  std::vector<int> slots_;
+  Row buffer_;
+};
+
+/// Drops duplicate projected rows.
+class DistinctOp : public Operator {
+ public:
+  explicit DistinctOp(std::unique_ptr<Operator> child)
+      : child_(std::move(child)) {}
+
+  bool Next(Row* row) override {
+    while (child_->Next(row)) {
+      if (seen_.insert(*row).second) return true;
+    }
+    return false;
+  }
+
+ private:
+  std::unique_ptr<Operator> child_;
+  std::unordered_set<Row, RowHash> seen_;
+};
+
+/// Stops the pipeline after `limit` rows (LIMIT pushdown: nothing
+/// below this operator runs once the quota is reached).
+class LimitOp : public Operator {
+ public:
+  LimitOp(std::unique_ptr<Operator> child, size_t limit)
+      : child_(std::move(child)), remaining_(limit) {}
+
+  bool Next(Row* row) override {
+    if (remaining_ == 0) return false;
+    if (!child_->Next(row)) {
+      remaining_ = 0;
+      return false;
+    }
+    --remaining_;
+    return true;
+  }
+
+ private:
+  std::unique_ptr<Operator> child_;
+  size_t remaining_;
+};
+
+}  // namespace
+
+// ------------------------------------------------------------ Cursor
+
+Cursor::Cursor(PlanPtr plan,
+               std::shared_ptr<const rdf::TripleSource> snapshot,
+               const rdf::TripleSource* source,
+               const ExecutionOptions& options, size_t limit)
+    : plan_(std::move(plan)),
+      snapshot_(std::move(snapshot)),
+      stats_(std::make_unique<QueryStats>()) {
+  const rdf::TripleSource* src =
+      snapshot_ != nullptr ? snapshot_.get() : source;
+  std::unique_ptr<Operator> op;
+  if (plan_->unmatchable) {
+    op = std::make_unique<EmptyOp>();
+  } else if (plan_->scans.empty()) {
+    op = std::make_unique<OnceOp>(plan_->var_names.size());
+  } else {
+    op = std::make_unique<IndexScanOp>(src, plan_->scans[0],
+                                       plan_->var_names.size(),
+                                       options.use_indexes, stats_.get());
+    for (size_t i = 1; i < plan_->scans.size(); ++i) {
+      op = std::make_unique<IndexNestedLoopJoinOp>(
+          std::move(op), src, plan_->scans[i], options.use_indexes,
+          stats_.get());
+    }
+  }
+  op = std::make_unique<ProjectOp>(std::move(op), plan_->projection_slots);
+  if (plan_->distinct) op = std::make_unique<DistinctOp>(std::move(op));
+  if (limit != 0) op = std::make_unique<LimitOp>(std::move(op), limit);
+  root_ = std::move(op);
+}
+
+Cursor::Cursor(Cursor&&) noexcept = default;
+Cursor& Cursor::operator=(Cursor&&) noexcept = default;
+
+Cursor::~Cursor() {
+  if (stats_ == nullptr || flushed_metrics_) return;
+  QueryMetrics& metrics = QueryMetrics::Get();
+  metrics.rows_streamed.Increment(stats_->rows_streamed);
+  metrics.patterns_evaluated.Increment(stats_->patterns_evaluated);
+  metrics.index_scans.Increment(stats_->index_scans);
+  flushed_metrics_ = true;
+}
+
+bool Cursor::Next(Row* row) {
+  if (!root_->Next(row)) return false;
+  ++stats_->rows_streamed;
+  return true;
+}
+
+const std::vector<std::string>& Cursor::columns() const {
+  return plan_->projection_names;
+}
+
+Binding Cursor::ToBinding(const Row& row) const {
+  Binding binding;
+  for (size_t i = 0; i < plan_->projection_names.size() && i < row.size();
+       ++i) {
+    binding[plan_->projection_names[i]] = row[i];
+  }
+  return binding;
+}
+
+// ------------------------------------------------------- QueryEngine
+
+PlanPtr QueryEngine::GetPlan(const SelectQuery& query,
+                             const ExecutionOptions& options,
+                             bool* cache_hit) const {
+  *cache_hit = false;
+  QueryMetrics& metrics = QueryMetrics::Get();
+  if (!options.use_plan_cache) {
+    return CompilePlan(query, *source_, options.reorder_patterns);
+  }
+  std::string key = PlanCacheKey(query, options.reorder_patterns);
+  if (PlanPtr plan = cache_->Lookup(key); plan != nullptr) {
+    metrics.plan_cache_hits.Increment();
+    *cache_hit = true;
+    return plan;
+  }
+  metrics.plan_cache_misses.Increment();
+  PlanPtr plan = CompilePlan(query, *source_, options.reorder_patterns);
+  cache_->Insert(key, plan);
+  return plan;
+}
+
+Cursor QueryEngine::Open(const SelectQuery& query,
+                         const ExecutionOptions& options) const {
+  QueryMetrics::Get().executions.Increment();
+  bool cache_hit = false;
+  PlanPtr plan = GetPlan(query, options, &cache_hit);
+  size_t limit = options.pushdown_limit ? query.limit : 0;
+  Cursor cursor(std::move(plan), source_->SnapshotSource(), source_, options,
+                limit);
+  cursor.stats_->plan_cache_hit = cache_hit;
+  return cursor;
+}
 
 std::vector<Binding> QueryEngine::Execute(const SelectQuery& query,
                                           const ExecutionOptions& options,
                                           QueryStats* stats) const {
+  if (!options.streaming) return ExecuteMaterialized(query, options, stats);
+  QueryMetrics& metrics = QueryMetrics::Get();
+  ScopedTimer timer(metrics.execute_ms);
+  Cursor cursor = Open(query, options);
+  std::vector<Binding> results;
+  Row row;
+  while (cursor.Next(&row)) results.push_back(cursor.ToBinding(row));
+  if (!options.pushdown_limit && query.limit != 0 &&
+      results.size() > query.limit) {
+    results.resize(query.limit);
+  }
+  if (stats != nullptr) *stats = cursor.stats();
+  metrics.rows.Increment(results.size());
+  return results;
+}
+
+// The pre-iterator executor, kept as the materializing ablation (and
+// the property-test foil): index nested-loop joins with dynamic
+// greedy reordering, but every intermediate result built as a
+// std::map binding and the full result set enumerated regardless of
+// LIMIT (truncation happens at the end).
+std::vector<Binding> QueryEngine::ExecuteMaterialized(
+    const SelectQuery& query, const ExecutionOptions& options,
+    QueryStats* stats) const {
   QueryMetrics& metrics = QueryMetrics::Get();
   metrics.executions.Increment();
   ScopedTimer timer(metrics.execute_ms);
+  std::shared_ptr<const rdf::TripleSource> snapshot =
+      source_->SnapshotSource();
+  const rdf::TripleSource* src =
+      snapshot != nullptr ? snapshot.get() : source_;
+
+  auto resolve = [](const QueryTerm& term, const Binding& binding,
+                    bool* unmatchable) {
+    if (!term.is_var) {
+      if (term.id == rdf::kInvalidTermId) *unmatchable = true;
+      return term.id == rdf::kInvalidTermId ? rdf::kAnyTerm : term.id;
+    }
+    auto it = binding.find(term.var);
+    return it == binding.end() ? rdf::kAnyTerm : it->second;
+  };
+  auto make_pattern = [&resolve](const QueryPattern& qp,
+                                 const Binding& binding, bool* unmatchable) {
+    rdf::TriplePattern pattern;
+    pattern.s = resolve(qp.s, binding, unmatchable);
+    pattern.p = resolve(qp.p, binding, unmatchable);
+    pattern.o = resolve(qp.o, binding, unmatchable);
+    return pattern;
+  };
+  auto bound_positions = [](const rdf::TriplePattern& p) {
+    return (p.s != rdf::kAnyTerm) + (p.p != rdf::kAnyTerm) +
+           (p.o != rdf::kAnyTerm);
+  };
+
   std::vector<Binding> results;
   std::vector<bool> used(query.where.size(), false);
   Binding binding;
   QueryStats local_stats;
   std::set<Binding> seen;  // for DISTINCT
-  bool done = false;
 
-  // Recursive index nested-loop join with greedy dynamic ordering.
   std::function<void(size_t)> recurse = [&](size_t depth) {
-    if (done) return;
     if (depth == query.where.size()) {
       Binding row;
       if (query.projection.empty()) {
@@ -91,10 +454,8 @@ std::vector<Binding> QueryEngine::Execute(const SelectQuery& query,
       }
       if (query.distinct && !seen.insert(row).second) return;
       results.push_back(std::move(row));
-      if (query.limit != 0 && results.size() >= query.limit) done = true;
       return;
     }
-    // Choose the next pattern.
     size_t chosen = query.where.size();
     if (options.reorder_patterns) {
       int best_bound = -1;
@@ -103,19 +464,18 @@ std::vector<Binding> QueryEngine::Execute(const SelectQuery& query,
         if (used[i]) continue;
         bool unmatchable = false;
         rdf::TriplePattern pattern =
-            MakePattern(query.where[i], binding, &unmatchable);
+            make_pattern(query.where[i], binding, &unmatchable);
         if (unmatchable) {
           chosen = i;  // will immediately produce zero rows
-          best_bound = 4;
           break;
         }
-        int bound = BoundPositions(pattern);
+        int bound = bound_positions(pattern);
         if (bound > best_bound) {
           best_bound = bound;
-          best_count = store_->CountMatches(pattern);
+          best_count = src->EstimateCount(pattern);
           chosen = i;
         } else if (bound == best_bound) {
-          size_t count = store_->CountMatches(pattern);
+          size_t count = src->EstimateCount(pattern);
           if (count < best_count) {
             best_count = count;
             chosen = i;
@@ -134,11 +494,14 @@ std::vector<Binding> QueryEngine::Execute(const SelectQuery& query,
     used[chosen] = true;
     const QueryPattern& qp = query.where[chosen];
     bool unmatchable = false;
-    rdf::TriplePattern pattern = MakePattern(qp, binding, &unmatchable);
+    rdf::TriplePattern pattern = make_pattern(qp, binding, &unmatchable);
     ++local_stats.patterns_evaluated;
     if (!unmatchable) {
-      auto visit = [&](const rdf::Triple& t) {
-        // Bind new variables; repeated variables must agree.
+      ++local_stats.index_scans;
+      rdf::TriplePattern scan_pattern =
+          options.use_indexes ? pattern : rdf::TriplePattern();
+      src->Scan(scan_pattern, [&](const rdf::Triple& t) {
+        if (!pattern.Matches(t)) return true;
         Binding saved = binding;
         auto bind = [&](const QueryTerm& term, rdf::TermId value) {
           if (!term.is_var) return true;
@@ -152,20 +515,15 @@ std::vector<Binding> QueryEngine::Execute(const SelectQuery& query,
           recurse(depth + 1);
         }
         binding = std::move(saved);
-        return !done;
-      };
-      ++local_stats.index_scans;
-      if (options.use_indexes) {
-        store_->Scan(pattern, visit);
-      } else {
-        for (const rdf::Triple& t : store_->MatchFullScan(pattern)) {
-          visit(t);
-        }
-      }
+        return true;
+      });
     }
     used[chosen] = false;
   };
   recurse(0);
+  if (query.limit != 0 && results.size() > query.limit) {
+    results.resize(query.limit);
+  }
   if (stats != nullptr) *stats = local_stats;
   metrics.rows.Increment(results.size());
   metrics.patterns_evaluated.Increment(local_stats.patterns_evaluated);

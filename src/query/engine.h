@@ -2,79 +2,117 @@
 #define KBFORGE_QUERY_ENGINE_H_
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "query/plan.h"
 #include "rdf/triple_store.h"
 #include "util/statusor.h"
 
 namespace kb {
 namespace query {
 
-/// One position of a query pattern: a variable or a bound term.
-struct QueryTerm {
-  bool is_var = false;
-  std::string var;          ///< without '?', e.g. "x"
-  rdf::TermId id = rdf::kInvalidTermId;
-
-  static QueryTerm Var(std::string name) {
-    QueryTerm t;
-    t.is_var = true;
-    t.var = std::move(name);
-    return t;
-  }
-  static QueryTerm Bound(rdf::TermId id) {
-    QueryTerm t;
-    t.id = id;
-    return t;
-  }
-};
-
-/// A triple pattern with variables (one conjunct of a basic graph
-/// pattern).
-struct QueryPattern {
-  QueryTerm s, p, o;
-};
-
-/// SELECT ?vars WHERE { patterns } — the analytics workhorse over
-/// entity-relationship data (tutorial §4 "semantic search and
-/// analytics over entities and relations").
-struct SelectQuery {
-  std::vector<std::string> projection;  ///< empty = all variables
-  std::vector<QueryPattern> where;
-  bool distinct = false;  ///< drop duplicate projected rows
-  size_t limit = 0;       ///< stop after this many rows (0 = no limit)
-};
-
-/// A result row: variable name -> term id.
+/// A result row: variable name -> term id. (Materializing API; the
+/// streaming executor works on slot-indexed flat rows and converts at
+/// the boundary.)
 using Binding = std::map<std::string, rdf::TermId>;
+
+/// A slot-indexed flat binding row, the executor's native currency:
+/// row[slot] holds the value of plan->var_names[slot].
+using Row = std::vector<rdf::TermId>;
 
 /// Executor knobs (E10 ablations).
 struct ExecutionOptions {
   bool reorder_patterns = true;  ///< greedy selectivity-based join order
   bool use_indexes = true;       ///< false = full scan per pattern
+  bool streaming = true;         ///< false = legacy materializing executor
+  bool use_plan_cache = true;    ///< false = replan every execution
+  /// false = drain the full result, then truncate (LIMIT ablation: no
+  /// early termination). Streaming executor only.
+  bool pushdown_limit = true;
 };
 
 /// Execution counters.
 struct QueryStats {
-  uint64_t patterns_evaluated = 0;
-  uint64_t intermediate_rows = 0;
+  uint64_t patterns_evaluated = 0;  ///< index scans opened
+  uint64_t intermediate_rows = 0;   ///< triples visited across all levels
   uint64_t index_scans = 0;
+  uint64_t rows_streamed = 0;  ///< rows the root operator produced
+  bool plan_cache_hit = false;
 };
 
-/// Evaluates basic graph patterns against a TripleStore with index
-/// nested-loop joins and greedy selectivity-based join ordering.
+/// A pull cursor over one executing query: the root of a Volcano-style
+/// operator tree (IndexScan -> IndexNestedLoopJoin* -> Project ->
+/// Distinct? -> Limit?). Rows are produced on demand, so LIMIT stops
+/// the pipeline without materializing intermediates. Movable,
+/// single-consumer; holds the source snapshot alive.
+class Cursor {
+ public:
+  class Operator;  ///< defined in engine.cc
+
+  Cursor(Cursor&&) noexcept;
+  Cursor& operator=(Cursor&&) noexcept;
+  ~Cursor();
+
+  /// Pulls the next projected row; false at end of stream.
+  bool Next(Row* row);
+
+  /// Output column names, in row order.
+  const std::vector<std::string>& columns() const;
+
+  /// Counters so far (final once Next returned false).
+  const QueryStats& stats() const { return *stats_; }
+
+  /// Converts a projected row to the map-based Binding.
+  Binding ToBinding(const Row& row) const;
+
+ private:
+  friend class QueryEngine;
+  Cursor(PlanPtr plan, std::shared_ptr<const rdf::TripleSource> snapshot,
+         const rdf::TripleSource* source, const ExecutionOptions& options,
+         size_t limit);
+
+  PlanPtr plan_;
+  std::shared_ptr<const rdf::TripleSource> snapshot_;  ///< may be null
+  std::unique_ptr<Operator> root_;
+  std::unique_ptr<QueryStats> stats_;
+  bool flushed_metrics_ = false;
+};
+
+/// Compiles SelectQuerys into streaming operator pipelines over any
+/// TripleSource (in-memory TripleStore, one of its snapshots, or the
+/// LSM-backed storage::StoredTripleSource) with index nested-loop
+/// joins, greedy selectivity-based join ordering and an LRU plan
+/// cache.
 class QueryEngine {
  public:
-  explicit QueryEngine(const rdf::TripleStore* store) : store_(store) {}
+  /// `cache` (optional) shares compiled plans across engines over the
+  /// same dictionary; by default each engine keeps a private cache.
+  /// Both pointers must outlive the engine.
+  explicit QueryEngine(const rdf::TripleSource* source,
+                       PlanCache* cache = nullptr)
+      : source_(source), cache_(cache != nullptr ? cache : &own_cache_) {}
 
   /// Runs the query, returning all result rows (projected).
   std::vector<Binding> Execute(const SelectQuery& query,
                                const ExecutionOptions& options = {},
                                QueryStats* stats = nullptr) const;
 
+  /// Opens a streaming cursor; rows are computed as they are pulled.
+  Cursor Open(const SelectQuery& query,
+              const ExecutionOptions& options = {}) const;
+
  private:
-  const rdf::TripleStore* store_;
+  PlanPtr GetPlan(const SelectQuery& query, const ExecutionOptions& options,
+                  bool* cache_hit) const;
+  std::vector<Binding> ExecuteMaterialized(const SelectQuery& query,
+                                           const ExecutionOptions& options,
+                                           QueryStats* stats) const;
+
+  const rdf::TripleSource* source_;
+  PlanCache* cache_;
+  mutable PlanCache own_cache_;
 };
 
 /// Parses a minimal SPARQL subset:

@@ -1,0 +1,80 @@
+#include "rdf/triple_source.h"
+
+namespace kb {
+namespace rdf {
+
+void ComponentsInOrder(ScanOrder order, const Triple& t, TermId out[3]) {
+  switch (order) {
+    case ScanOrder::kSpo:
+      out[0] = t.s;
+      out[1] = t.p;
+      out[2] = t.o;
+      return;
+    case ScanOrder::kPos:
+      out[0] = t.p;
+      out[1] = t.o;
+      out[2] = t.s;
+      return;
+    case ScanOrder::kOsp:
+      out[0] = t.o;
+      out[1] = t.s;
+      out[2] = t.p;
+      return;
+  }
+}
+
+Triple TripleFromOrder(ScanOrder order, TermId a, TermId b, TermId c) {
+  switch (order) {
+    case ScanOrder::kSpo:
+      return Triple(a, b, c);
+    case ScanOrder::kPos:
+      return Triple(c, a, b);
+    case ScanOrder::kOsp:
+      return Triple(b, c, a);
+  }
+  return Triple();
+}
+
+bool LessInOrder(ScanOrder order, const Triple& a, const Triple& b) {
+  TermId ka[3] = {0, 0, 0};
+  TermId kb_[3] = {0, 0, 0};
+  ComponentsInOrder(order, a, ka);
+  ComponentsInOrder(order, b, kb_);
+  if (ka[0] != kb_[0]) return ka[0] < kb_[0];
+  if (ka[1] != kb_[1]) return ka[1] < kb_[1];
+  return ka[2] < kb_[2];
+}
+
+int BoundPrefixLength(ScanOrder order, const TriplePattern& pattern) {
+  Triple as_triple(pattern.s, pattern.p, pattern.o);
+  TermId k[3] = {0, 0, 0};
+  ComponentsInOrder(order, as_triple, k);
+  int n = 0;
+  while (n < 3 && k[n] != kAnyTerm) ++n;
+  return n;
+}
+
+ScanOrder ChooseScanOrder(const TriplePattern& pattern) {
+  ScanOrder best = ScanOrder::kSpo;
+  int best_len = BoundPrefixLength(ScanOrder::kSpo, pattern);
+  for (ScanOrder order : {ScanOrder::kPos, ScanOrder::kOsp}) {
+    int len = BoundPrefixLength(order, pattern);
+    if (len > best_len) {
+      best_len = len;
+      best = order;
+    }
+  }
+  return best;
+}
+
+void TripleSource::Scan(
+    const TriplePattern& pattern,
+    const std::function<bool(const Triple&)>& fn) const {
+  for (std::unique_ptr<ScanIterator> it = NewScan(pattern); it->Valid();
+       it->Next()) {
+    if (!fn(it->Value())) return;
+  }
+}
+
+}  // namespace rdf
+}  // namespace kb

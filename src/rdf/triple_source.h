@@ -1,0 +1,109 @@
+#ifndef KBFORGE_RDF_TRIPLE_SOURCE_H_
+#define KBFORGE_RDF_TRIPLE_SOURCE_H_
+
+#include <functional>
+#include <memory>
+
+#include "rdf/triple.h"
+#include "util/status.h"
+
+namespace kb {
+namespace rdf {
+
+/// A triple pattern: any component may be a concrete TermId or the
+/// wildcard kAnyTerm.
+inline constexpr TermId kAnyTerm = 0xffffffffu;
+
+struct TriplePattern {
+  TermId s = kAnyTerm;
+  TermId p = kAnyTerm;
+  TermId o = kAnyTerm;
+
+  bool Matches(const Triple& t) const {
+    return (s == kAnyTerm || s == t.s) && (p == kAnyTerm || p == t.p) &&
+           (o == kAnyTerm || o == t.o);
+  }
+};
+
+/// The three collation orders every pattern shape can be answered from
+/// with a contiguous range (the RDF-3X permutation-index design).
+enum class ScanOrder { kSpo, kPos, kOsp };
+
+/// Projects a triple's components into `order` space (e.g. kPos maps
+/// (s,p,o) to (p,o,s)).
+void ComponentsInOrder(ScanOrder order, const Triple& t, TermId out[3]);
+
+/// Inverse of ComponentsInOrder.
+Triple TripleFromOrder(ScanOrder order, TermId a, TermId b, TermId c);
+
+/// Lexicographic comparison of two triples in `order` space.
+bool LessInOrder(ScanOrder order, const Triple& a, const Triple& b);
+
+/// The order whose sort prefix covers the most bound components of
+/// `pattern` (ties break SPO, POS, OSP).
+ScanOrder ChooseScanOrder(const TriplePattern& pattern);
+
+/// Number of leading bound components of `pattern` in `order` space.
+int BoundPrefixLength(ScanOrder order, const TriplePattern& pattern);
+
+/// Volcano-style pull iterator over the matches of one triple pattern
+/// in a fixed collation order. The iterator owns whatever it needs to
+/// stay valid (e.g. a store snapshot), so it may outlive changes to
+/// the underlying source.
+class ScanIterator {
+ public:
+  virtual ~ScanIterator() = default;
+
+  /// True while positioned on a match.
+  virtual bool Valid() const = 0;
+
+  /// The current match. Precondition: Valid().
+  virtual const Triple& Value() const = 0;
+
+  /// Advances to the next match. Precondition: Valid().
+  virtual void Next() = 0;
+
+  /// Repositions at the first match >= `target` in this iterator's
+  /// order. Never moves backwards.
+  virtual void Seek(const Triple& target) = 0;
+
+  /// The collation order this iterator scans in.
+  virtual ScanOrder order() const = 0;
+
+  /// Non-OK if the scan hit an unreadable region (e.g. a corrupt
+  /// storage block); the iterator then reports !Valid().
+  virtual Status status() const { return Status::OK(); }
+};
+
+/// Anything the query executor can scan: the in-memory TripleStore, an
+/// immutable store snapshot, or the LSM-backed StoredTripleSource.
+/// One SelectQuery compiles to the same operator tree over any of
+/// them.
+class TripleSource {
+ public:
+  virtual ~TripleSource() = default;
+
+  /// Opens a scan over the matches of `pattern`.
+  virtual std::unique_ptr<ScanIterator> NewScan(
+      const TriplePattern& pattern) const = 0;
+
+  /// Estimated (possibly capped) number of matches, for join ordering.
+  virtual size_t EstimateCount(const TriplePattern& pattern) const = 0;
+
+  /// A stable point-in-time view to run one query against, or nullptr
+  /// if this source is already stable (the default). Callers keep the
+  /// returned pointer alive for the duration of the query.
+  virtual std::shared_ptr<const TripleSource> SnapshotSource() const {
+    return nullptr;
+  }
+
+  /// Convenience push-style wrapper over NewScan. Return false from
+  /// `fn` to stop early.
+  void Scan(const TriplePattern& pattern,
+            const std::function<bool(const Triple&)>& fn) const;
+};
+
+}  // namespace rdf
+}  // namespace kb
+
+#endif  // KBFORGE_RDF_TRIPLE_SOURCE_H_

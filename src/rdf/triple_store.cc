@@ -5,7 +5,138 @@
 namespace kb {
 namespace rdf {
 
+namespace {
+
+/// Iterator over one sorted index range. Holds a shared_ptr to the
+/// snapshot so the data outlives store mutations and even the store.
+class MemScanIterator : public ScanIterator {
+ public:
+  MemScanIterator(std::shared_ptr<const StoreSnapshot> snap,
+                  const std::vector<Triple>& index, ScanOrder order,
+                  const TriplePattern& pattern)
+      : snap_(std::move(snap)), order_(order), pattern_(pattern) {
+    auto less = [order](const Triple& a, const Triple& b) {
+      return LessInOrder(order, a, b);
+    };
+    Triple as_triple(pattern.s, pattern.p, pattern.o);
+    TermId key[3];
+    ComponentsInOrder(order, as_triple, key);
+    int prefix = BoundPrefixLength(order, pattern);
+    TermId lo[3] = {0, 0, 0};
+    TermId hi[3] = {kAnyTerm, kAnyTerm, kAnyTerm};
+    for (int i = 0; i < prefix; ++i) lo[i] = hi[i] = key[i];
+    cur_ = std::lower_bound(index.data(), index.data() + index.size(),
+                            TripleFromOrder(order, lo[0], lo[1], lo[2]),
+                            less);
+    // No valid triple carries a kAnyTerm component, so the hi key is a
+    // strict upper bound of the prefix range.
+    end_ = std::upper_bound(cur_, index.data() + index.size(),
+                            TripleFromOrder(order, hi[0], hi[1], hi[2]),
+                            less);
+    SkipNonMatching();
+  }
+
+  bool Valid() const override { return cur_ != end_; }
+  const Triple& Value() const override { return *cur_; }
+
+  void Next() override {
+    ++cur_;
+    SkipNonMatching();
+  }
+
+  void Seek(const Triple& target) override {
+    auto less = [this](const Triple& a, const Triple& b) {
+      return LessInOrder(order_, a, b);
+    };
+    cur_ = std::lower_bound(cur_, end_, target, less);
+    SkipNonMatching();
+  }
+
+  ScanOrder order() const override { return order_; }
+
+ private:
+  void SkipNonMatching() {
+    while (cur_ != end_ && !pattern_.Matches(*cur_)) ++cur_;
+  }
+
+  std::shared_ptr<const StoreSnapshot> snap_;
+  ScanOrder order_;
+  TriplePattern pattern_;
+  const Triple* cur_ = nullptr;
+  const Triple* end_ = nullptr;
+};
+
+}  // namespace
+
+std::unique_ptr<ScanIterator> StoreSnapshot::NewScan(
+    const TriplePattern& pattern) const {
+  ScanOrder order = ChooseScanOrder(pattern);
+  return std::make_unique<MemScanIterator>(shared_from_this(), index(order),
+                                           order, pattern);
+}
+
+size_t StoreSnapshot::EstimateCount(const TriplePattern& pattern) const {
+  ScanOrder order = ChooseScanOrder(pattern);
+  const std::vector<Triple>& idx = index(order);
+  auto less = [order](const Triple& a, const Triple& b) {
+    return LessInOrder(order, a, b);
+  };
+  Triple as_triple(pattern.s, pattern.p, pattern.o);
+  TermId key[3];
+  ComponentsInOrder(order, as_triple, key);
+  int prefix = BoundPrefixLength(order, pattern);
+  TermId lo[3] = {0, 0, 0};
+  TermId hi[3] = {kAnyTerm, kAnyTerm, kAnyTerm};
+  for (int i = 0; i < prefix; ++i) lo[i] = hi[i] = key[i];
+  auto begin = std::lower_bound(idx.begin(), idx.end(),
+                                TripleFromOrder(order, lo[0], lo[1], lo[2]),
+                                less);
+  auto end = std::upper_bound(begin, idx.end(),
+                              TripleFromOrder(order, hi[0], hi[1], hi[2]),
+                              less);
+  int bound = (pattern.s != kAnyTerm) + (pattern.p != kAnyTerm) +
+              (pattern.o != kAnyTerm);
+  if (prefix == bound) {
+    // All bound components are inside the range prefix: the range IS
+    // the match set, so its width is an exact count.
+    return static_cast<size_t>(end - begin);
+  }
+  size_t n = 0;
+  for (auto it = begin; it != end; ++it) {
+    if (pattern.Matches(*it)) ++n;
+  }
+  return n;
+}
+
+std::vector<Triple> StoreSnapshot::MatchFullScan(
+    const TriplePattern& pattern) const {
+  std::vector<Triple> out;
+  for (const Triple& t : spo_) {
+    if (pattern.Matches(t)) out.push_back(t);
+  }
+  return out;
+}
+
+TripleStore::TripleStore(TripleStore&& other) noexcept {
+  std::lock_guard<std::mutex> lock(other.mu_);
+  dict_ = std::move(other.dict_);
+  set_ = std::move(other.set_);
+  pending_ = std::move(other.pending_);
+  snapshot_ = std::move(other.snapshot_);
+}
+
+TripleStore& TripleStore::operator=(TripleStore&& other) noexcept {
+  if (this == &other) return *this;
+  std::scoped_lock lock(mu_, other.mu_);
+  dict_ = std::move(other.dict_);
+  set_ = std::move(other.set_);
+  pending_ = std::move(other.pending_);
+  snapshot_ = std::move(other.snapshot_);
+  return *this;
+}
+
 bool TripleStore::Add(const Triple& t) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (!set_.insert(t).second) return false;
   pending_.push_back(t);
   return true;
@@ -15,106 +146,53 @@ bool TripleStore::AddTerms(const Term& s, const Term& p, const Term& o) {
   return Add(Triple(dict_.Intern(s), dict_.Intern(p), dict_.Intern(o)));
 }
 
-bool TripleStore::LessSpo(const Triple& a, const Triple& b) {
-  return std::tie(a.s, a.p, a.o) < std::tie(b.s, b.p, b.o);
-}
-bool TripleStore::LessPos(const Triple& a, const Triple& b) {
-  return std::tie(a.p, a.o, a.s) < std::tie(b.p, b.o, b.s);
-}
-bool TripleStore::LessOsp(const Triple& a, const Triple& b) {
-  return std::tie(a.o, a.s, a.p) < std::tie(b.o, b.s, b.p);
+bool TripleStore::Contains(const Triple& t) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return set_.count(t) > 0;
 }
 
-void TripleStore::EnsureIndexed() const {
-  if (pending_.empty()) return;
-  auto merge = [](std::vector<Triple>* index, std::vector<Triple> batch,
-                  bool (*less)(const Triple&, const Triple&)) {
-    std::sort(batch.begin(), batch.end(), less);
-    std::vector<Triple> merged;
-    merged.reserve(index->size() + batch.size());
-    std::merge(index->begin(), index->end(), batch.begin(), batch.end(),
-               std::back_inserter(merged), less);
-    *index = std::move(merged);
-  };
-  merge(&spo_, pending_, &LessSpo);
-  merge(&pos_, pending_, &LessPos);
-  merge(&osp_, pending_, &LessOsp);
-  pending_.clear();
+size_t TripleStore::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return set_.size();
 }
 
-void TripleStore::ScanIndex(
-    const std::vector<Triple>& index, Order order,
-    const TriplePattern& pattern,
-    const std::function<bool(const Triple&)>& fn) const {
-  // Build lower/upper bound triples for the bound prefix of the order.
-  // Components bound beyond the contiguous prefix are filtered in-loop.
-  TermId k1 = kAnyTerm, k2 = kAnyTerm;
-  bool (*less)(const Triple&, const Triple&) = &LessSpo;
-  switch (order) {
-    case Order::kSpo:
-      k1 = pattern.s;
-      k2 = pattern.p;
-      less = &LessSpo;
-      break;
-    case Order::kPos:
-      k1 = pattern.p;
-      k2 = pattern.o;
-      less = &LessPos;
-      break;
-    case Order::kOsp:
-      k1 = pattern.o;
-      k2 = pattern.s;
-      less = &LessOsp;
-      break;
+std::shared_ptr<const StoreSnapshot> TripleStore::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (snapshot_ == nullptr || !pending_.empty()) {
+    auto next = std::shared_ptr<StoreSnapshot>(new StoreSnapshot());
+    auto merge = [](std::vector<Triple>* out, const std::vector<Triple>& base,
+                    std::vector<Triple> batch, ScanOrder order) {
+      auto less = [order](const Triple& a, const Triple& b) {
+        return LessInOrder(order, a, b);
+      };
+      std::sort(batch.begin(), batch.end(), less);
+      out->reserve(base.size() + batch.size());
+      std::merge(base.begin(), base.end(), batch.begin(), batch.end(),
+                 std::back_inserter(*out), less);
+    };
+    static const std::vector<Triple> kEmpty;
+    const StoreSnapshot* base = snapshot_.get();
+    merge(&next->spo_, base ? base->spo_ : kEmpty, pending_, ScanOrder::kSpo);
+    merge(&next->pos_, base ? base->pos_ : kEmpty, pending_, ScanOrder::kPos);
+    merge(&next->osp_, base ? base->osp_ : kEmpty, pending_, ScanOrder::kOsp);
+    pending_.clear();
+    snapshot_ = std::move(next);
   }
-  auto make = [order](TermId a, TermId b, TermId c) {
-    switch (order) {
-      case Order::kSpo:
-        return Triple(a, b, c);
-      case Order::kPos:
-        return Triple(c, a, b);
-      case Order::kOsp:
-        return Triple(b, c, a);
-    }
-    return Triple();
-  };
-  auto begin = index.begin(), end = index.end();
-  if (k1 != kAnyTerm) {
-    if (k2 != kAnyTerm) {
-      begin = std::lower_bound(index.begin(), index.end(), make(k1, k2, 0),
-                               less);
-      end = std::upper_bound(begin, index.end(),
-                             make(k1, k2, kAnyTerm - 1), less);
-    } else {
-      begin = std::lower_bound(index.begin(), index.end(), make(k1, 0, 0),
-                               less);
-      end = std::upper_bound(begin, index.end(),
-                             make(k1, kAnyTerm - 1, kAnyTerm - 1), less);
-    }
-  }
-  for (auto it = begin; it != end; ++it) {
-    if (pattern.Matches(*it)) {
-      if (!fn(*it)) return;
-    }
-  }
+  return snapshot_;
+}
+
+std::unique_ptr<ScanIterator> TripleStore::NewScan(
+    const TriplePattern& pattern) const {
+  return Snapshot()->NewScan(pattern);
+}
+
+size_t TripleStore::EstimateCount(const TriplePattern& pattern) const {
+  return Snapshot()->EstimateCount(pattern);
 }
 
 void TripleStore::Scan(const TriplePattern& pattern,
                        const std::function<bool(const Triple&)>& fn) const {
-  EnsureIndexed();
-  const bool bs = pattern.s != kAnyTerm;
-  const bool bp = pattern.p != kAnyTerm;
-  const bool bo = pattern.o != kAnyTerm;
-  // Choose the index whose sort order has the longest bound prefix.
-  if (bs) {
-    ScanIndex(spo_, Order::kSpo, pattern, fn);  // S or SP or SPO or SO
-  } else if (bp) {
-    ScanIndex(pos_, Order::kPos, pattern, fn);  // P or PO
-  } else if (bo) {
-    ScanIndex(osp_, Order::kOsp, pattern, fn);  // O
-  } else {
-    ScanIndex(spo_, Order::kSpo, pattern, fn);  // full scan
-  }
+  TripleSource::Scan(pattern, fn);
 }
 
 std::vector<Triple> TripleStore::Match(const TriplePattern& pattern) const {
@@ -127,12 +205,7 @@ std::vector<Triple> TripleStore::Match(const TriplePattern& pattern) const {
 }
 
 size_t TripleStore::CountMatches(const TriplePattern& pattern) const {
-  size_t n = 0;
-  Scan(pattern, [&n](const Triple&) {
-    ++n;
-    return true;
-  });
-  return n;
+  return EstimateCount(pattern);
 }
 
 std::vector<TermId> TripleStore::Objects(TermId s, TermId p) const {
@@ -173,12 +246,7 @@ TermId TripleStore::FirstObject(TermId s, TermId p) const {
 
 std::vector<Triple> TripleStore::MatchFullScan(
     const TriplePattern& pattern) const {
-  EnsureIndexed();
-  std::vector<Triple> out;
-  for (const Triple& t : spo_) {
-    if (pattern.Matches(t)) out.push_back(t);
-  }
-  return out;
+  return Snapshot()->MatchFullScan(pattern);
 }
 
 }  // namespace rdf

@@ -3,28 +3,55 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <unordered_set>
 #include <vector>
 
 #include "rdf/dictionary.h"
 #include "rdf/triple.h"
+#include "rdf/triple_source.h"
 
 namespace kb {
 namespace rdf {
 
-/// A triple pattern: any component may be a concrete TermId or the
-/// wildcard kAnyTerm.
-inline constexpr TermId kAnyTerm = 0xffffffffu;
+/// An immutable point-in-time view of a TripleStore's three sorted
+/// permutation indexes. Snapshots are what queries actually scan:
+/// once taken, a snapshot never changes, so any number of readers can
+/// iterate it lock-free and see a consistent store even while writers
+/// keep appending to the owning TripleStore.
+class StoreSnapshot : public TripleSource,
+                      public std::enable_shared_from_this<StoreSnapshot> {
+ public:
+  std::unique_ptr<ScanIterator> NewScan(
+      const TriplePattern& pattern) const override;
 
-struct TriplePattern {
-  TermId s = kAnyTerm;
-  TermId p = kAnyTerm;
-  TermId o = kAnyTerm;
+  /// Exact for patterns whose bound components form a prefix of some
+  /// collation order (a range subtraction); counted by scan otherwise.
+  size_t EstimateCount(const TriplePattern& pattern) const override;
 
-  bool Matches(const Triple& t) const {
-    return (s == kAnyTerm || s == t.s) && (p == kAnyTerm || p == t.p) &&
-           (o == kAnyTerm || o == t.o);
+  size_t size() const { return spo_.size(); }
+
+  /// Naive full-scan matcher over the snapshot, the model for
+  /// property tests.
+  std::vector<Triple> MatchFullScan(const TriplePattern& pattern) const;
+
+ private:
+  friend class TripleStore;
+  StoreSnapshot() = default;
+
+  const std::vector<Triple>& index(ScanOrder order) const {
+    switch (order) {
+      case ScanOrder::kPos:
+        return pos_;
+      case ScanOrder::kOsp:
+        return osp_;
+      default:
+        return spo_;
+    }
   }
+
+  std::vector<Triple> spo_, pos_, osp_;
 };
 
 /// In-memory dictionary-encoded triple store with three collated
@@ -32,11 +59,19 @@ struct TriplePattern {
 /// triple-pattern shape with a binary-searchable range. This is the
 /// standard architecture of RDF engines (RDF-3X-style, simplified).
 ///
-/// Writes are buffered and merged into the sorted indexes lazily on the
-/// next read, so bulk loading stays O(n log n) overall.
-class TripleStore {
+/// Writes are buffered and merged into a fresh immutable snapshot
+/// lazily on the next read, so bulk loading stays O(n log n) overall.
+/// Add/Snapshot/Scan may be called from any thread concurrently: the
+/// pending buffer and snapshot pointer are guarded by one mutex, and
+/// published snapshots are never mutated. (The dictionary is NOT
+/// internally synchronized — callers that intern terms concurrently
+/// must serialize AddTerms against readers of dict(), as
+/// core::KnowledgeBase does.)
+class TripleStore : public TripleSource {
  public:
   TripleStore() = default;
+  TripleStore(TripleStore&& other) noexcept;
+  TripleStore& operator=(TripleStore&& other) noexcept;
 
   /// The shared term dictionary.
   Dictionary& dict() { return dict_; }
@@ -48,12 +83,27 @@ class TripleStore {
   /// Interns the terms and adds the triple.
   bool AddTerms(const Term& s, const Term& p, const Term& o);
 
-  bool Contains(const Triple& t) const { return set_.count(t) > 0; }
+  bool Contains(const Triple& t) const;
 
-  size_t size() const { return set_.size(); }
+  size_t size() const;
 
-  /// Invokes `fn` for each triple matching the pattern, in SPO order of
-  /// the chosen index. Return false from fn to stop early.
+  /// Takes (or reuses) the current immutable snapshot, merging any
+  /// pending writes first. Queries run against the returned view
+  /// lock-free while writers continue appending.
+  std::shared_ptr<const StoreSnapshot> Snapshot() const;
+
+  // TripleSource: scans open against the current snapshot; the
+  // iterator keeps that snapshot alive.
+  std::unique_ptr<ScanIterator> NewScan(
+      const TriplePattern& pattern) const override;
+  size_t EstimateCount(const TriplePattern& pattern) const override;
+  std::shared_ptr<const TripleSource> SnapshotSource() const override {
+    return Snapshot();
+  }
+
+  /// Invokes `fn` for each triple matching the pattern, in the chosen
+  /// index's order. Return false from fn to stop early. (Thin
+  /// compatibility wrapper over NewScan.)
   void Scan(const TriplePattern& pattern,
             const std::function<bool(const Triple&)>& fn) const;
 
@@ -72,30 +122,21 @@ class TripleStore {
   /// First object for (s, p, *), or kInvalidTermId.
   TermId FirstObject(TermId s, TermId p) const;
 
-  /// Forces the lazy indexes to be merged now (e.g. before timing reads).
-  void EnsureIndexed() const;
+  /// Forces pending writes into the snapshot now (e.g. before timing
+  /// reads).
+  void EnsureIndexed() const { Snapshot(); }
 
   /// Naive full-scan matcher, used as the ablation baseline in E10 and
   /// as the model for property tests.
   std::vector<Triple> MatchFullScan(const TriplePattern& pattern) const;
 
  private:
-  enum class Order { kSpo, kPos, kOsp };
-
-  static bool LessSpo(const Triple& a, const Triple& b);
-  static bool LessPos(const Triple& a, const Triple& b);
-  static bool LessOsp(const Triple& a, const Triple& b);
-
-  void ScanIndex(const std::vector<Triple>& index, Order order,
-                 const TriplePattern& pattern,
-                 const std::function<bool(const Triple&)>& fn) const;
-
   Dictionary dict_;
-  std::unordered_set<Triple, TripleHash> set_;
 
-  // Sorted indexes + unmerged tail. mutable: merged lazily on read.
-  mutable std::vector<Triple> spo_, pos_, osp_;
+  mutable std::mutex mu_;  ///< guards set_, pending_, snapshot_
+  std::unordered_set<Triple, TripleHash> set_;
   mutable std::vector<Triple> pending_;
+  mutable std::shared_ptr<const StoreSnapshot> snapshot_;
 };
 
 }  // namespace rdf

@@ -1,0 +1,169 @@
+#include "storage/stored_triple_source.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace kb {
+namespace storage {
+
+TripleOrder ToTripleOrder(rdf::ScanOrder order) {
+  switch (order) {
+    case rdf::ScanOrder::kSpo:
+      return TripleOrder::kSpo;
+    case rdf::ScanOrder::kPos:
+      return TripleOrder::kPos;
+    case rdf::ScanOrder::kOsp:
+      return TripleOrder::kOsp;
+  }
+  return TripleOrder::kSpo;
+}
+
+namespace {
+
+/// [start_key, end_key) covering every key that can match `pattern`
+/// under `order` (bound components beyond the sort prefix are filtered
+/// after decoding).
+void PatternKeyRange(rdf::ScanOrder order, const rdf::TriplePattern& pattern,
+                     std::string* start_key, std::string* end_key) {
+  TripleOrder tag = ToTripleOrder(order);
+  rdf::TermId key[3];
+  rdf::Triple as_triple(pattern.s, pattern.p, pattern.o);
+  rdf::ComponentsInOrder(order, as_triple, key);
+  switch (rdf::BoundPrefixLength(order, pattern)) {
+    case 0:
+      *start_key = std::string(1, static_cast<char>(tag));
+      break;
+    case 1:
+      *start_key = EncodeTriplePrefix(tag, key[0]);
+      break;
+    case 2:
+      *start_key = EncodeTriplePrefix(tag, key[0], key[1]);
+      break;
+    default:
+      *start_key =
+          EncodeTripleKey(tag, rdf::TripleFromOrder(order, key[0], key[1],
+                                                    key[2]));
+      break;
+  }
+  *end_key = PrefixUpperBound(*start_key);
+}
+
+/// Pull iterator over one key range of the LSM store, reading in
+/// bounded chunks so the store mutex is never held for a full result.
+class StoredScanIterator : public rdf::ScanIterator {
+ public:
+  StoredScanIterator(KVStore* store, rdf::ScanOrder order,
+                     const rdf::TriplePattern& pattern, size_t batch_size)
+      : store_(store),
+        order_(order),
+        pattern_(pattern),
+        batch_size_(std::max<size_t>(batch_size, 1)) {
+    PatternKeyRange(order, pattern, &cursor_, &end_key_);
+    Refill();
+  }
+
+  bool Valid() const override { return pos_ < batch_.size(); }
+  const rdf::Triple& Value() const override { return batch_[pos_]; }
+
+  void Next() override {
+    ++pos_;
+    if (pos_ >= batch_.size() && !exhausted_) Refill();
+  }
+
+  void Seek(const rdf::Triple& target) override {
+    // Within the current batch: binary search (batch is sorted in
+    // order_ space). Past it: restart the range scan at the target key.
+    auto less = [this](const rdf::Triple& a, const rdf::Triple& b) {
+      return rdf::LessInOrder(order_, a, b);
+    };
+    auto it = std::lower_bound(batch_.begin() + static_cast<long>(pos_),
+                               batch_.end(), target, less);
+    if (it != batch_.end() || exhausted_) {
+      pos_ = static_cast<size_t>(it - batch_.begin());
+      return;
+    }
+    std::string target_key = EncodeTripleKey(ToTripleOrder(order_), target);
+    if (target_key > cursor_) cursor_ = std::move(target_key);
+    Refill();
+  }
+
+  rdf::ScanOrder order() const override { return order_; }
+  Status status() const override { return status_; }
+
+ private:
+  void Refill() {
+    pos_ = 0;
+    // Loop while chunks come back all-non-matching, so one Refill call
+    // always lands on a match or the end of the range.
+    do {
+      batch_.clear();
+      if (exhausted_ || !status_.ok()) return;
+      size_t visited = 0;
+      std::string last_key;
+      Status s = store_->Scan(
+          cursor_, end_key_, [&](const Slice& key, const Slice&) {
+            ++visited;
+            last_key.assign(key.data(), key.size());
+            TripleOrder tag;
+            rdf::Triple t;
+            if (DecodeTripleKey(key, &tag, &t) && pattern_.Matches(t)) {
+              batch_.push_back(t);
+            }
+            return visited < batch_size_;
+          });
+      if (!s.ok()) {
+        status_ = s;
+        batch_.clear();
+        exhausted_ = true;
+        return;
+      }
+      if (visited < batch_size_) {
+        exhausted_ = true;  // the scan ran off the end of the range
+      } else {
+        cursor_ = last_key + '\0';  // smallest key after last_key
+      }
+    } while (batch_.empty() && !exhausted_);
+  }
+
+  KVStore* store_;
+  rdf::ScanOrder order_;
+  rdf::TriplePattern pattern_;
+  size_t batch_size_;
+  std::string cursor_;   ///< next chunk starts here
+  std::string end_key_;  ///< exclusive range end ("" = keyspace end)
+  std::vector<rdf::Triple> batch_;
+  size_t pos_ = 0;
+  bool exhausted_ = false;
+  Status status_ = Status::OK();
+};
+
+}  // namespace
+
+std::unique_ptr<rdf::ScanIterator> StoredTripleSource::NewScan(
+    const rdf::TriplePattern& pattern) const {
+  rdf::ScanOrder order = rdf::ChooseScanOrder(pattern);
+  return std::make_unique<StoredScanIterator>(store_, order, pattern,
+                                              batch_size_);
+}
+
+size_t StoredTripleSource::EstimateCount(
+    const rdf::TriplePattern& pattern) const {
+  rdf::ScanOrder order = rdf::ChooseScanOrder(pattern);
+  std::string start_key, end_key;
+  PatternKeyRange(order, pattern, &start_key, &end_key);
+  size_t visited = 0;
+  size_t matches = 0;
+  store_->Scan(start_key, end_key, [&](const Slice& key, const Slice&) {
+    ++visited;
+    TripleOrder tag;
+    rdf::Triple t;
+    if (DecodeTripleKey(key, &tag, &t) && pattern.Matches(t)) {
+      ++matches;
+    }
+    return visited < kEstimateCap;
+  });
+  return matches;
+}
+
+}  // namespace storage
+}  // namespace kb

@@ -1,0 +1,53 @@
+#ifndef KBFORGE_STORAGE_STORED_TRIPLE_SOURCE_H_
+#define KBFORGE_STORAGE_STORED_TRIPLE_SOURCE_H_
+
+#include <memory>
+
+#include "rdf/triple_source.h"
+#include "storage/kv_store.h"
+#include "storage/triple_codec.h"
+
+namespace kb {
+namespace storage {
+
+/// A rdf::TripleSource over the triples persisted in a KVStore by
+/// core::KbStorage ('S'/'P'/'O' keys from triple_codec), so the query
+/// executor runs the same operator pipelines against the LSM engine
+/// that it runs against the in-memory TripleStore.
+///
+/// KVStore::Scan holds the store mutex across its visitor, so
+/// iterators read in bounded *chunks*: each refill scans at most
+/// `batch_size` keys under the lock into a decoded batch, remembers
+/// where it stopped, and resumes from there on the next refill.
+/// Iterators therefore interleave fairly with concurrent writers; a
+/// write that lands inside an already-consumed chunk is not observed
+/// (read committed, not snapshot isolation — the in-memory store's
+/// Snapshot() is the stronger tool when that matters).
+class StoredTripleSource : public rdf::TripleSource {
+ public:
+  /// `store` must outlive this source and all its iterators.
+  explicit StoredTripleSource(KVStore* store, size_t batch_size = 256)
+      : store_(store), batch_size_(batch_size) {}
+
+  std::unique_ptr<rdf::ScanIterator> NewScan(
+      const rdf::TriplePattern& pattern) const override;
+
+  /// Counts matches by scanning the pattern's key range, capped at
+  /// `kEstimateCap` visited keys — a bounded-cost estimate for join
+  /// ordering, not an exact count.
+  size_t EstimateCount(const rdf::TriplePattern& pattern) const override;
+
+  static constexpr size_t kEstimateCap = 1024;
+
+ private:
+  KVStore* store_;
+  size_t batch_size_;
+};
+
+/// Maps an in-memory scan order to its on-disk key tag.
+TripleOrder ToTripleOrder(rdf::ScanOrder order);
+
+}  // namespace storage
+}  // namespace kb
+
+#endif  // KBFORGE_STORAGE_STORED_TRIPLE_SOURCE_H_

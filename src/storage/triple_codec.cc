@@ -87,6 +87,16 @@ std::string EncodeTriplePrefix(TripleOrder order, rdf::TermId first) {
   return key;
 }
 
+std::string EncodeTriplePrefix(TripleOrder order, rdf::TermId first,
+                               rdf::TermId second) {
+  std::string key;
+  key.reserve(9);
+  key.push_back(static_cast<char>(order));
+  AppendBigEndian32(&key, first);
+  AppendBigEndian32(&key, second);
+  return key;
+}
+
 std::string PrefixUpperBound(const std::string& prefix) {
   std::string out = prefix;
   for (size_t i = out.size(); i > 0; --i) {

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <filesystem>
 
 #include "core/harvester.h"
@@ -110,6 +111,88 @@ TEST(PersistenceTest, LoadFromEmptyStoreGivesEmptyKb) {
   auto loaded = (*storage)->Load();
   ASSERT_TRUE(loaded.ok());
   EXPECT_EQ((*loaded)->NumTriples(), 0u);
+}
+
+TEST(PersistenceTest, QueriesRunDirectlyOffTheLsmStore) {
+  std::string dir = TempDir("stored_source");
+  KnowledgeBase kb;
+  FactMeta meta;
+  kb.AssertFact("Alice", "worksFor", "Acme", meta);
+  kb.AssertFact("Bob", "worksFor", "Acme", meta);
+  kb.AssertFact("Carol", "worksFor", "Globex", meta);
+  kb.AssertFact("Acme", "locatedIn", "Springfield", meta);
+  kb.AssertType("Alice", "person");
+  kb.AssertType("Bob", "person");
+  auto storage = KbStorage::Open(dir);
+  ASSERT_TRUE(storage.ok());
+  ASSERT_TRUE((*storage)->Save(kb).ok());
+
+  // The on-disk dictionary reproduces the in-memory term ids (Save
+  // wrote this same KB), so one parsed query runs against both.
+  auto dict = (*storage)->LoadDictionary();
+  ASSERT_TRUE(dict.ok()) << dict.status();
+  ASSERT_EQ(dict->size(), kb.store().dict().size());
+  auto source = (*storage)->NewTripleSource(/*batch_size=*/2);
+
+  std::string sparql = "SELECT ?who WHERE { ?who <" +
+                       rdf::PropertyIri("worksFor") + "> <" +
+                       rdf::EntityIri("Acme") + "> . }";
+  auto parsed = query::ParseSparql(sparql, *dict);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+
+  query::QueryEngine disk_engine(source.get());
+  query::QueryEngine mem_engine(&kb.store());
+  auto from_disk = disk_engine.Execute(*parsed);
+  auto from_mem = mem_engine.Execute(*parsed);
+  ASSERT_EQ(from_disk.size(), 2u);
+  std::sort(from_disk.begin(), from_disk.end());
+  std::sort(from_mem.begin(), from_mem.end());
+  EXPECT_EQ(from_disk, from_mem);
+
+  // Streaming with LIMIT terminates early against the LSM store too.
+  parsed->limit = 1;
+  query::QueryStats stats;
+  auto limited = disk_engine.Execute(*parsed, {}, &stats);
+  EXPECT_EQ(limited.size(), 1u);
+  EXPECT_LT(stats.intermediate_rows, kb.NumTriples());
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(PersistenceTest, StoredSourceAgreesWithLoadedKbOnJoins) {
+  std::string dir = TempDir("stored_join");
+  KnowledgeBase kb;
+  FactMeta meta;
+  for (int i = 0; i < 12; ++i) {
+    std::string person = "P" + std::to_string(i);
+    std::string company = "C" + std::to_string(i % 3);
+    kb.AssertFact(person, "worksFor", company, meta);
+    kb.AssertFact(company, "locatedIn", i % 3 == 0 ? "Springfield" : "Ogden",
+                  meta);
+  }
+  auto storage = KbStorage::Open(dir);
+  ASSERT_TRUE(storage.ok());
+  ASSERT_TRUE((*storage)->Save(kb).ok());
+
+  auto dict = (*storage)->LoadDictionary();
+  ASSERT_TRUE(dict.ok());
+  auto source = (*storage)->NewTripleSource();
+  std::string sparql = "SELECT ?p WHERE { ?p <" +
+                       rdf::PropertyIri("worksFor") + "> ?c . ?c <" +
+                       rdf::PropertyIri("locatedIn") + "> <" +
+                       rdf::EntityIri("Springfield") + "> . }";
+  auto parsed = query::ParseSparql(sparql, *dict);
+  ASSERT_TRUE(parsed.ok());
+  query::QueryEngine disk_engine(source.get());
+  query::QueryEngine mem_engine(&kb.store());
+  auto from_disk = disk_engine.Execute(*parsed);
+  auto from_mem = mem_engine.Execute(*parsed);
+  EXPECT_EQ(from_disk.size(), 4u);  // P0, P3, P6, P9
+  std::sort(from_disk.begin(), from_disk.end());
+  std::sort(from_mem.begin(), from_mem.end());
+  EXPECT_EQ(from_disk, from_mem);
+
+  std::filesystem::remove_all(dir);
 }
 
 TEST(PersistenceTest, CorruptMetadataDetected) {

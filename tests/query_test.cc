@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <random>
+
 #include "query/engine.h"
 #include "rdf/namespaces.h"
 #include "rdf/term.h"
@@ -215,6 +218,279 @@ TEST_F(QueryFixture, ParseDistinctAndLimit) {
       "SELECT ?x WHERE { ?x ?y ?z . } LIMIT -3", store_.dict()).ok());
   EXPECT_FALSE(ParseSparql(
       "SELECT ?x WHERE { ?x ?y ?z . } GARBAGE", store_.dict()).ok());
+}
+
+// ------------------------------------------------------ Streaming cursor
+
+TEST_F(QueryFixture, CursorStreamsRowsOnDemand) {
+  SelectQuery q;
+  q.projection = {"who"};
+  q.where.push_back({QueryTerm::Var("who"), QueryTerm::Bound(works_for_),
+                     QueryTerm::Bound(acme_)});
+  QueryEngine engine(&store_);
+  Cursor cursor = engine.Open(q);
+  ASSERT_EQ(cursor.columns().size(), 1u);
+  EXPECT_EQ(cursor.columns()[0], "who");
+  std::set<TermId> who;
+  Row row;
+  while (cursor.Next(&row)) {
+    ASSERT_EQ(row.size(), 1u);
+    who.insert(row[0]);
+    Binding b = cursor.ToBinding(row);
+    EXPECT_EQ(b.at("who"), row[0]);
+  }
+  EXPECT_EQ(who, (std::set<TermId>{alice_, bob_}));
+  EXPECT_EQ(cursor.stats().rows_streamed, 2u);
+}
+
+TEST_F(QueryFixture, AbandonedCursorDoesNoExtraWork) {
+  SelectQuery q;
+  q.where.push_back({QueryTerm::Var("x"), QueryTerm::Var("y"),
+                     QueryTerm::Var("z")});
+  QueryEngine engine(&store_);
+  Cursor cursor = engine.Open(q);
+  Row row;
+  ASSERT_TRUE(cursor.Next(&row));
+  // One row pulled: the pipeline visited one triple, not the store.
+  EXPECT_EQ(cursor.stats().rows_streamed, 1u);
+  EXPECT_LT(cursor.stats().intermediate_rows, store_.size());
+}
+
+TEST_F(QueryFixture, SnapshotIsolatesCursorFromAppends) {
+  SelectQuery q;
+  q.where.push_back({QueryTerm::Var("x"), QueryTerm::Bound(type_),
+                     QueryTerm::Bound(person_)});
+  QueryEngine engine(&store_);
+  Cursor cursor = engine.Open(q);
+  // Appends after Open are invisible to the running query.
+  store_.Add({springfield_, type_, person_});
+  size_t n = 0;
+  for (Row row; cursor.Next(&row);) ++n;
+  EXPECT_EQ(n, 3u);
+  EXPECT_EQ(engine.Execute(q).size(), 4u);
+}
+
+TEST_F(QueryFixture, LimitPushdownAblation) {
+  SelectQuery q;
+  q.where.push_back({QueryTerm::Var("x"), QueryTerm::Var("y"),
+                     QueryTerm::Var("z")});
+  q.limit = 2;
+  QueryEngine engine(&store_);
+  ExecutionOptions no_pushdown;
+  no_pushdown.pushdown_limit = false;
+  QueryStats with_stats, without_stats;
+  auto with = engine.Execute(q, {}, &with_stats);
+  auto without = engine.Execute(q, no_pushdown, &without_stats);
+  EXPECT_EQ(with.size(), 2u);
+  EXPECT_EQ(without.size(), 2u);
+  // Pushdown stops after 2 triples; the ablation drains all 9.
+  EXPECT_LT(with_stats.intermediate_rows, without_stats.intermediate_rows);
+  EXPECT_EQ(without_stats.intermediate_rows, store_.size());
+}
+
+// ----------------------------------------------------------- Plan cache
+
+TEST_F(QueryFixture, PlanCacheHitsOnRepeatedShape) {
+  SelectQuery q;
+  q.where.push_back({QueryTerm::Var("p"), QueryTerm::Bound(works_for_),
+                     QueryTerm::Var("c")});
+  QueryEngine engine(&store_);
+  QueryStats first, second;
+  engine.Execute(q, {}, &first);
+  engine.Execute(q, {}, &second);
+  EXPECT_FALSE(first.plan_cache_hit);
+  EXPECT_TRUE(second.plan_cache_hit);
+
+  // LIMIT is not part of the plan, so variants share the entry.
+  q.limit = 1;
+  QueryStats limited;
+  EXPECT_EQ(engine.Execute(q, {}, &limited).size(), 1u);
+  EXPECT_TRUE(limited.plan_cache_hit);
+
+  // A different shape misses.
+  q.limit = 0;
+  q.distinct = true;
+  QueryStats distinct_stats;
+  engine.Execute(q, {}, &distinct_stats);
+  EXPECT_FALSE(distinct_stats.plan_cache_hit);
+
+  ExecutionOptions uncached;
+  uncached.use_plan_cache = false;
+  QueryStats uncached_stats;
+  engine.Execute(q, uncached, &uncached_stats);
+  EXPECT_FALSE(uncached_stats.plan_cache_hit);
+}
+
+TEST(PlanCacheTest, EvictsLeastRecentlyUsed) {
+  PlanCache cache(2);
+  auto plan = std::make_shared<CompiledPlan>();
+  cache.Insert("a", plan);
+  cache.Insert("b", plan);
+  ASSERT_NE(cache.Lookup("a"), nullptr);  // refreshes "a"
+  cache.Insert("c", plan);                // evicts "b"
+  EXPECT_NE(cache.Lookup("a"), nullptr);
+  EXPECT_EQ(cache.Lookup("b"), nullptr);
+  EXPECT_NE(cache.Lookup("c"), nullptr);
+}
+
+// -------------------------------------------- Parser edge cases (more)
+
+TEST_F(QueryFixture, ParseSelectStar) {
+  auto parsed = ParseSparql("SELECT * WHERE { ?x <worksFor> ?c . }",
+                            store_.dict());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_TRUE(parsed->projection.empty());
+  QueryEngine engine(&store_);
+  auto rows = engine.Execute(*parsed);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].size(), 2u);  // both ?x and ?c
+}
+
+TEST_F(QueryFixture, ParseMoreMalformedQueries) {
+  EXPECT_FALSE(ParseSparql("", store_.dict()).ok());
+  EXPECT_FALSE(ParseSparql("SELECT ?x WHERE { ? <p> <o> . }",
+                           store_.dict()).ok());  // bare '?'
+  EXPECT_FALSE(ParseSparql("SELECT ?x WHERE { ?x <p> . }",
+                           store_.dict()).ok());  // 2-term pattern
+  EXPECT_FALSE(ParseSparql("SELECT ?x WHERE { ?x ?y ?z . } LIMIT",
+                           store_.dict()).ok());  // LIMIT without count
+  EXPECT_FALSE(ParseSparql("SELECT ?x WHERE { ?x ?y ?z . } LIMIT two",
+                           store_.dict()).ok());
+}
+
+TEST_F(QueryFixture, ParseLimitZeroMeansNoLimit) {
+  auto parsed = ParseSparql("SELECT ?x WHERE { ?x ?y ?z . } LIMIT 0",
+                            store_.dict());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  QueryEngine engine(&store_);
+  EXPECT_EQ(engine.Execute(*parsed).size(), store_.size());
+}
+
+TEST_F(QueryFixture, ParseLiteralObjectWithSpaces) {
+  store_.AddTerms(Term::Iri("Acme"), Term::Iri("motto"),
+                  Term::Literal("We make everything"));
+  auto parsed = ParseSparql(
+      "SELECT ?x WHERE { ?x <motto> \"We make everything\" . }",
+      store_.dict());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  QueryEngine engine(&store_);
+  auto rows = engine.Execute(*parsed);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].at("x"), acme_);
+}
+
+// ------------------------------------------------- Equivalence property
+
+// Canonical form for multiset comparison across executors.
+std::vector<std::vector<std::pair<std::string, TermId>>> Canonical(
+    std::vector<Binding> rows) {
+  std::vector<std::vector<std::pair<std::string, TermId>>> out;
+  out.reserve(rows.size());
+  for (const Binding& row : rows) {
+    out.emplace_back(row.begin(), row.end());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// Reference evaluator: nested loops over MatchFullScan (no indexes, no
+// reordering, no streaming) — deliberately the dumbest correct join.
+std::vector<Binding> BruteForce(const rdf::TripleStore& store,
+                                const SelectQuery& q) {
+  std::vector<Binding> out;
+  std::set<Binding> seen;
+  auto all = store.MatchFullScan(rdf::TriplePattern());
+  Binding binding;
+  std::function<void(size_t)> rec = [&](size_t depth) {
+    if (depth == q.where.size()) {
+      Binding row;
+      if (q.projection.empty()) {
+        row = binding;
+      } else {
+        for (const std::string& var : q.projection) {
+          auto it = binding.find(var);
+          if (it != binding.end()) row[var] = it->second;
+        }
+      }
+      if (q.distinct && !seen.insert(row).second) return;
+      out.push_back(std::move(row));
+      return;
+    }
+    const QueryPattern& qp = q.where[depth];
+    for (const rdf::Triple& t : all) {
+      Binding saved = binding;
+      auto bind = [&](const QueryTerm& term, TermId value) {
+        if (!term.is_var) {
+          return term.id != rdf::kInvalidTermId && term.id == value;
+        }
+        auto it = binding.find(term.var);
+        if (it != binding.end()) return it->second == value;
+        binding[term.var] = value;
+        return true;
+      };
+      if (bind(qp.s, t.s) && bind(qp.p, t.p) && bind(qp.o, t.o)) {
+        rec(depth + 1);
+      }
+      binding = std::move(saved);
+    }
+  };
+  rec(0);
+  return out;
+}
+
+TEST(QueryPropertyTest, ExecutorsAgreeOnRandomStoresAndQueries) {
+  for (uint32_t seed : {1u, 7u, 42u}) {
+    std::mt19937 rng(seed);
+    rdf::TripleStore store;
+    std::vector<TermId> entities, predicates;
+    for (int i = 0; i < 10; ++i) {
+      entities.push_back(store.dict().Intern(
+          rdf::Term::Iri("e" + std::to_string(i))));
+    }
+    for (int i = 0; i < 4; ++i) {
+      predicates.push_back(store.dict().Intern(
+          rdf::Term::Iri("p" + std::to_string(i))));
+    }
+    auto pick = [&rng](const std::vector<TermId>& pool) {
+      return pool[rng() % pool.size()];
+    };
+    for (int i = 0; i < 60; ++i) {
+      store.Add({pick(entities), pick(predicates), pick(entities)});
+    }
+
+    QueryEngine engine(&store);
+    const char* vars[] = {"x", "y", "z"};
+    for (int trial = 0; trial < 40; ++trial) {
+      SelectQuery q;
+      q.distinct = (rng() % 4) == 0;
+      size_t num_patterns = 1 + rng() % 3;
+      for (size_t i = 0; i < num_patterns; ++i) {
+        auto term = [&](bool predicate_pos) {
+          if (rng() % 2) return QueryTerm::Var(vars[rng() % 3]);
+          return QueryTerm::Bound(
+              predicate_pos ? pick(predicates) : pick(entities));
+        };
+        q.where.push_back({term(false), term(true), term(false)});
+      }
+      auto expected = Canonical(BruteForce(store, q));
+
+      ExecutionOptions streaming;  // defaults
+      ExecutionOptions materialized;
+      materialized.streaming = false;
+      ExecutionOptions no_indexes;
+      no_indexes.use_indexes = false;
+      ExecutionOptions written_order;
+      written_order.reorder_patterns = false;
+      EXPECT_EQ(Canonical(engine.Execute(q, streaming)), expected)
+          << "seed=" << seed << " trial=" << trial;
+      EXPECT_EQ(Canonical(engine.Execute(q, materialized)), expected)
+          << "seed=" << seed << " trial=" << trial;
+      EXPECT_EQ(Canonical(engine.Execute(q, no_indexes)), expected)
+          << "seed=" << seed << " trial=" << trial;
+      EXPECT_EQ(Canonical(engine.Execute(q, written_order)), expected)
+          << "seed=" << seed << " trial=" << trial;
+    }
+  }
 }
 
 }  // namespace

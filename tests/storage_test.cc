@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <filesystem>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -11,6 +12,7 @@
 #include "storage/kv_store.h"
 #include "storage/memtable.h"
 #include "storage/sstable.h"
+#include "storage/stored_triple_source.h"
 #include "storage/triple_codec.h"
 #include "storage/wal.h"
 #include "util/random.h"
@@ -671,6 +673,115 @@ TEST(TripleCodecTest, RejectsMalformedKeys) {
   std::string key = EncodeTripleKey(TripleOrder::kSpo, rdf::Triple(1, 2, 3));
   key[0] = 'X';
   EXPECT_FALSE(DecodeTripleKey(Slice(key), &order, &t));
+}
+
+TEST(TripleCodecTest, TwoComponentPrefixSelectsSubjectPredicate) {
+  rdf::Triple in(7, 8, 9), out_p(7, 9, 1), out_s(8, 8, 9);
+  std::string prefix = EncodeTriplePrefix(TripleOrder::kSpo, 7, 8);
+  std::string upper = PrefixUpperBound(prefix);
+  std::string key = EncodeTripleKey(TripleOrder::kSpo, in);
+  EXPECT_TRUE(Slice(key).starts_with(Slice(prefix)));
+  EXPECT_LT(key, upper);
+  EXPECT_GE(EncodeTripleKey(TripleOrder::kSpo, out_p), upper);
+  EXPECT_GE(EncodeTripleKey(TripleOrder::kSpo, out_s), upper);
+  // In POS order the two components are (p, o).
+  std::string pos_prefix = EncodeTriplePrefix(TripleOrder::kPos, 8, 9);
+  EXPECT_TRUE(Slice(EncodeTripleKey(TripleOrder::kPos, in))
+                  .starts_with(Slice(pos_prefix)));
+}
+
+// -------------------------------------------------- StoredTripleSource
+
+class StoredTripleSourceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() / "kbforge_stored_src")
+               .string();
+    std::filesystem::remove_all(dir_);
+    StoreOptions options;
+    options.sync_wal = false;
+    auto store = KVStore::Open(options, dir_);
+    ASSERT_TRUE(store.ok());
+    store_ = std::move(*store);
+    // 40 triples over small id spaces, in all three collation orders
+    // (mirrors core::KbStorage::Save's layout).
+    for (rdf::TermId s = 1; s <= 5; ++s) {
+      for (rdf::TermId o = 1; o <= 4; ++o) {
+        rdf::Triple t(s, 1 + (s + o) % 2, 100 + o);
+        if (!triples_.insert(t).second) continue;
+        for (TripleOrder order :
+             {TripleOrder::kSpo, TripleOrder::kPos, TripleOrder::kOsp}) {
+          ASSERT_TRUE(store_->Put(EncodeTripleKey(order, t), "").ok());
+        }
+      }
+    }
+    ASSERT_TRUE(store_->Flush().ok());
+  }
+
+  void TearDown() override {
+    store_.reset();
+    std::filesystem::remove_all(dir_);
+  }
+
+  size_t CountMatching(const rdf::TriplePattern& pattern) const {
+    size_t n = 0;
+    for (const rdf::Triple& t : triples_) {
+      if (pattern.Matches(t)) ++n;
+    }
+    return n;
+  }
+
+  std::string dir_;
+  std::unique_ptr<KVStore> store_;
+  std::set<rdf::Triple> triples_;
+};
+
+TEST_F(StoredTripleSourceTest, ScansEveryPatternShape) {
+  // Tiny batches force many refills mid-scan.
+  StoredTripleSource source(store_.get(), /*batch_size=*/3);
+  std::vector<rdf::TriplePattern> patterns;
+  patterns.push_back({});                                 // (?,?,?)
+  patterns.push_back({3, rdf::kAnyTerm, rdf::kAnyTerm});  // (s,?,?)
+  patterns.push_back({rdf::kAnyTerm, 1, rdf::kAnyTerm});  // (?,p,?)
+  patterns.push_back({rdf::kAnyTerm, rdf::kAnyTerm, 102});
+  patterns.push_back({3, 1, rdf::kAnyTerm});
+  patterns.push_back({3, rdf::kAnyTerm, 102});
+  patterns.push_back({rdf::kAnyTerm, 1, 102});
+  patterns.push_back({3, 1, 102});
+  patterns.push_back({99, rdf::kAnyTerm, rdf::kAnyTerm});  // no match
+  for (const rdf::TriplePattern& pattern : patterns) {
+    std::set<rdf::Triple> got;
+    for (auto it = source.NewScan(pattern); it->Valid(); it->Next()) {
+      EXPECT_TRUE(pattern.Matches(it->Value()));
+      EXPECT_TRUE(got.insert(it->Value()).second) << "duplicate triple";
+      EXPECT_TRUE(it->status().ok());
+    }
+    EXPECT_EQ(got.size(), CountMatching(pattern));
+  }
+}
+
+TEST_F(StoredTripleSourceTest, IteratorSeekSkipsForward) {
+  StoredTripleSource source(store_.get(), /*batch_size=*/4);
+  rdf::TriplePattern all;
+  auto it = source.NewScan(all);
+  ASSERT_TRUE(it->Valid());
+  ASSERT_EQ(it->order(), rdf::ScanOrder::kSpo);
+  // Seek to subject 4: lands on the first triple with s >= 4.
+  it->Seek(rdf::Triple(4, 0, 0));
+  ASSERT_TRUE(it->Valid());
+  EXPECT_GE(it->Value().s, 4u);
+  size_t rest = 0;
+  for (; it->Valid(); it->Next()) ++rest;
+  EXPECT_EQ(rest, CountMatching({4, rdf::kAnyTerm, rdf::kAnyTerm}) +
+                      CountMatching({5, rdf::kAnyTerm, rdf::kAnyTerm}));
+}
+
+TEST_F(StoredTripleSourceTest, EstimateCountMatchesExactOnSmallStore) {
+  StoredTripleSource source(store_.get());
+  EXPECT_EQ(source.EstimateCount({}), triples_.size());
+  EXPECT_EQ(source.EstimateCount({3, rdf::kAnyTerm, rdf::kAnyTerm}),
+            CountMatching({3, rdf::kAnyTerm, rdf::kAnyTerm}));
+  EXPECT_EQ(source.EstimateCount({99, rdf::kAnyTerm, rdf::kAnyTerm}), 0u);
 }
 
 }  // namespace
