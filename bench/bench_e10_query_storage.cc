@@ -421,6 +421,16 @@ int RunSmoke() {
                mem_ms, mem_rows.size());
   kbbench::Row("%-34s %8.3f ms  %zu rows", "3-way join, stored source",
                disk_ms, disk_rows.size());
+  kbbench::Report("e10.limit", "streamed_ms", streamed_ms);
+  kbbench::Report("e10.limit", "materialized_ms", drained_ms);
+  kbbench::Report("e10.limit", "streamed_intermediate_rows",
+                  static_cast<double>(streamed.intermediate_rows));
+  kbbench::Report("e10.limit", "materialized_intermediate_rows",
+                  static_cast<double>(drained.intermediate_rows));
+  kbbench::Report("e10.plan_cache", "miss_ms", miss_ms);
+  kbbench::Report("e10.plan_cache", "hit_ms", hit_ms);
+  kbbench::Report("e10.source", "memory_ms", mem_ms);
+  kbbench::Report("e10.source", "stored_ms", disk_ms);
   if (disk_rows.size() != mem_rows.size()) {
     kbbench::Row("FAIL: stored source disagrees with memory source");
     return 1;

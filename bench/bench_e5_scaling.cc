@@ -1,15 +1,145 @@
 // E5 — Scalability of knowledge harvesting (tutorial §1/§3: "scalable
 // distributed algorithms for harvesting knowledge", map-reduce-style
-// computation). We shard the annotation+extraction map phase across a
-// worker pool and measure throughput and speedup vs. worker count.
+// computation). Two phases:
+//  1. the annotation+extraction map phase sharded across a worker
+//     pool (throughput and speedup vs. worker count), and
+//  2. the storage engine under a mixed read/write load: K writer + K
+//     reader threads against a ShardedKVStore, swept over shard count
+//     and block-cache on/off, plus a group-commit measurement showing
+//     WAL fsyncs amortizing across concurrent writers.
 
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <thread>
+#include <vector>
 
 #include "bench_util.h"
 #include "core/harvester.h"
+#include "storage/sharded_kv_store.h"
+#include "util/metrics_registry.h"
+#include "util/random.h"
 
 using namespace kb;
+
+namespace {
+
+struct MixedLoad {
+  int threads_per_role;      ///< K writers + K readers
+  size_t preload_keys;       ///< table-resident working set for readers
+  size_t writes_per_thread;
+  size_t reads_per_thread;
+};
+
+struct MixedResult {
+  double ops_per_sec;
+  uint64_t cache_hits;  ///< kv.cache_hits delta across the timed phase
+};
+
+std::string PreloadKey(size_t i) { return "p" + std::to_string(i); }
+
+/// K writer + K reader threads against one ShardedKVStore config.
+/// sync_wal stays off: this measures lock/CPU contention (the fsync
+/// bottleneck is measured separately by RunGroupCommit).
+MixedResult RunMixed(const std::string& dir, int shards, bool cache_on,
+                     const MixedLoad& load) {
+  std::filesystem::remove_all(dir);
+  storage::ShardedStoreOptions options;
+  options.num_shards = shards;
+  options.block_cache_bytes = cache_on ? (8u << 20) : 0;
+  options.store.sync_wal = false;
+  options.store.memtable_flush_bytes = 64 << 10;
+  auto store = storage::ShardedKVStore::Open(options, dir);
+  if (!store.ok()) {
+    fprintf(stderr, "open failed: %s\n", store.status().ToString().c_str());
+    exit(1);
+  }
+  const std::string value(100, 'v');
+  for (size_t i = 0; i < load.preload_keys; ++i) {
+    (*store)->Put(Slice(PreloadKey(i)), Slice(value));
+  }
+  (*store)->Flush();  // readers hit SSTables (and the cache), not memtables
+
+  Counter& hits = MetricsRegistry::Default().counter("kv.cache_hits");
+  const uint64_t hits_before = hits.value();
+  kbbench::Timer timer;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < load.threads_per_role; ++t) {
+    threads.emplace_back([&, t] {
+      std::string prefix = "w" + std::to_string(t) + "-";
+      for (size_t i = 0; i < load.writes_per_thread; ++i) {
+        (*store)->Put(Slice(prefix + std::to_string(i)), Slice(value));
+      }
+    });
+    threads.emplace_back([&, t] {
+      Rng rng(1000 + static_cast<uint64_t>(t));
+      std::string out;
+      for (size_t i = 0; i < load.reads_per_thread; ++i) {
+        (*store)->Get(Slice(PreloadKey(rng.Uniform(load.preload_keys))),
+                      &out);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  double secs = timer.seconds();
+  store->reset();  // drain background work before deleting the dir
+  std::filesystem::remove_all(dir);
+  size_t total_ops = static_cast<size_t>(load.threads_per_role) *
+                     (load.writes_per_thread + load.reads_per_thread);
+  return MixedResult{static_cast<double>(total_ops) / secs,
+                     hits.value() - hits_before};
+}
+
+/// K concurrent writers on ONE shard with sync_wal on: group commit
+/// lets a leader fsync once for a whole queued batch, so the fsync
+/// count comes out well under the write count.
+void RunGroupCommit(const std::string& dir, int writers,
+                    size_t writes_per_thread, bool smoke) {
+  std::filesystem::remove_all(dir);
+  storage::ShardedStoreOptions options;
+  options.num_shards = 1;
+  options.store.sync_wal = true;
+  auto store = storage::ShardedKVStore::Open(options, dir);
+  if (!store.ok()) {
+    fprintf(stderr, "open failed: %s\n", store.status().ToString().c_str());
+    exit(1);
+  }
+  Counter& syncs = MetricsRegistry::Default().counter("kv.wal_syncs");
+  const uint64_t syncs_before = syncs.value();
+  kbbench::Timer timer;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < writers; ++t) {
+    threads.emplace_back([&, t] {
+      std::string prefix = "g" + std::to_string(t) + "-";
+      for (size_t i = 0; i < writes_per_thread; ++i) {
+        (*store)->Put(Slice(prefix + std::to_string(i)), Slice("v"));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  double secs = timer.seconds();
+  uint64_t total_writes =
+      static_cast<uint64_t>(writers) * writes_per_thread;
+  uint64_t sync_count = syncs.value() - syncs_before;
+  store->reset();
+  std::filesystem::remove_all(dir);
+  kbbench::Row("%-22s %8d %10zu %10zu %10.0f", "group-commit(sync_wal)",
+               writers, static_cast<size_t>(total_writes),
+               static_cast<size_t>(sync_count),
+               static_cast<double>(total_writes) / secs);
+  kbbench::Report("e5.group_commit", "wal_syncs",
+                  static_cast<double>(sync_count));
+  kbbench::Report("e5.group_commit", "writes",
+                  static_cast<double>(total_writes));
+  if (smoke && sync_count >= total_writes) {
+    printf("SMOKE FAIL: group commit did not amortize fsyncs "
+           "(%zu syncs for %zu writes)\n",
+           static_cast<size_t>(sync_count), static_cast<size_t>(total_writes));
+    exit(1);
+  }
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const kbbench::BenchArgs args = kbbench::ParseArgs(argc, argv);
@@ -60,5 +190,57 @@ int main(int argc, char** argv) {
   }
   printf("\n(sharding is deterministic: every worker count yields the "
          "same KB)\n");
+
+  // ---- Phase 2: storage engine under mixed read/write load ----------
+  printf("\nstorage engine: %d writer + %d reader threads, shard count x "
+         "block cache\n\n",
+         4, 4);
+  MixedLoad load;
+  load.threads_per_role = 4;
+  load.preload_keys = args.Scaled(20000, 4000);
+  load.writes_per_thread = args.Scaled(30000, 4000);
+  load.reads_per_thread = args.Scaled(60000, 8000);
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "kbforge_bench_e5_kv")
+          .string();
+  kbbench::Row("%-22s %8s %10s %12s", "config", "shards", "cache",
+               "ops/sec");
+  double baseline_ops = 0;   // 1 shard, cache off
+  double best_ops = 0;       // 16 shards, cache on
+  uint64_t best_hits = 0;
+  for (int shards : {1, 4, 16}) {
+    for (bool cache_on : {false, true}) {
+      MixedResult r = RunMixed(dir, shards, cache_on, load);
+      kbbench::Row("%-22s %8d %10s %12.0f", "mixed-rw", shards,
+                   cache_on ? "on" : "off", r.ops_per_sec);
+      std::string bench = "e5.mixed_rw.shards" + std::to_string(shards) +
+                          (cache_on ? ".cache" : ".nocache");
+      kbbench::Report(bench, "ops_per_sec", r.ops_per_sec);
+      kbbench::Report(bench, "cache_hits", static_cast<double>(r.cache_hits));
+      if (shards == 1 && !cache_on) baseline_ops = r.ops_per_sec;
+      if (shards == 16 && cache_on) {
+        best_ops = r.ops_per_sec;
+        best_hits = r.cache_hits;
+      }
+    }
+  }
+  printf("\n");
+  kbbench::Row("%-22s %8s %10s %10s %10s", "config", "writers", "writes",
+               "fsyncs", "ops/sec");
+  RunGroupCommit(dir, 4, args.Scaled(4000, 500), args.smoke);
+  printf("\n(16 shards + cache vs 1 shard no cache: %.2fx)\n",
+         best_ops / baseline_ops);
+  if (args.smoke) {
+    if (best_ops < baseline_ops) {
+      printf("SMOKE FAIL: 16-shard+cache (%.0f ops/s) slower than "
+             "1-shard/no-cache (%.0f ops/s)\n",
+             best_ops, baseline_ops);
+      return 1;
+    }
+    if (best_hits == 0) {
+      printf("SMOKE FAIL: block cache saw no hits in the cached config\n");
+      return 1;
+    }
+  }
   return 0;
 }

@@ -4,15 +4,19 @@
 #include <chrono>
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 namespace kbbench {
 
 /// Options shared by the hand-rolled experiment runners. `--smoke`
 /// switches to tiny corpora so CI can execute every experiment binary
 /// end-to-end in seconds (a liveness check and a perf-trajectory seed,
-/// not a measurement).
+/// not a measurement). `--json=<path>` additionally writes every
+/// Report()ed metric as JSON rows, so CI can archive machine-readable
+/// results next to the human-readable logs.
 struct BenchArgs {
   bool smoke = false;
 
@@ -20,10 +24,59 @@ struct BenchArgs {
   size_t Scaled(size_t full, size_t tiny) const { return smoke ? tiny : full; }
 };
 
+namespace internal {
+struct JsonRow {
+  std::string bench;
+  std::string metric;
+  double value;
+};
+
+/// Process-wide sink for Report() rows; flushed by WriteJsonAtExit.
+struct JsonSink {
+  std::string path;
+  std::vector<JsonRow> rows;
+  static JsonSink& Get() {
+    static JsonSink* sink = new JsonSink();
+    return *sink;
+  }
+};
+
+inline void WriteJsonAtExit() {
+  JsonSink& sink = JsonSink::Get();
+  if (sink.path.empty()) return;
+  FILE* f = fopen(sink.path.c_str(), "w");
+  if (f == nullptr) {
+    fprintf(stderr, "bench: cannot write %s\n", sink.path.c_str());
+    return;
+  }
+  fprintf(f, "[\n");
+  for (size_t i = 0; i < sink.rows.size(); ++i) {
+    const JsonRow& r = sink.rows[i];
+    fprintf(f, "  {\"bench\": \"%s\", \"metric\": \"%s\", \"value\": %.17g}%s\n",
+            r.bench.c_str(), r.metric.c_str(), r.value,
+            i + 1 < sink.rows.size() ? "," : "");
+  }
+  fprintf(f, "]\n");
+  fclose(f);
+}
+}  // namespace internal
+
+/// Records one measured value. Printed rows stay the human-readable
+/// record; Report() is the machine-readable one (written to the
+/// --json=<path> file at process exit, dropped otherwise).
+inline void Report(const std::string& bench, const std::string& metric,
+                   double value) {
+  internal::JsonSink::Get().rows.push_back({bench, metric, value});
+}
+
 inline BenchArgs ParseArgs(int argc, char** argv) {
   BenchArgs args;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) args.smoke = true;
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      internal::JsonSink::Get().path = argv[i] + 7;
+      std::atexit(internal::WriteJsonAtExit);
+    }
   }
   if (args.smoke) printf("[--smoke: tiny corpus sizes, timings meaningless]\n");
   return args;

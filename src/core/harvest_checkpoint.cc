@@ -108,7 +108,7 @@ bool DecodeFact(Slice input, ExtractedFact* f) {
 /// Merge-writes one accepted fact: an already-checkpointed copy of the
 /// same statement survives unless the new one is more confident —
 /// matching what DeduplicateFacts would keep in a single-shot run.
-Status SaveFact(storage::KVStore* store, const ExtractedFact& f) {
+Status SaveFact(storage::ShardedKVStore* store, const ExtractedFact& f) {
   std::string key = FactKey(f);
   std::string existing;
   Status s = store->Get(Slice(key), &existing);
@@ -124,7 +124,7 @@ Status SaveFact(storage::KVStore* store, const ExtractedFact& f) {
   return store->Put(Slice(key), Slice(EncodeFact(f)));
 }
 
-StatusOr<uint64_t> LoadCursor(storage::KVStore* store) {
+StatusOr<uint64_t> LoadCursor(storage::ShardedKVStore* store) {
   std::string value;
   Status s = store->Get(Slice(kCursorKey), &value);
   if (s.IsNotFound()) return uint64_t{0};
@@ -137,7 +137,7 @@ StatusOr<uint64_t> LoadCursor(storage::KVStore* store) {
   return cursor;
 }
 
-StatusOr<std::vector<ExtractedFact>> LoadFacts(storage::KVStore* store) {
+StatusOr<std::vector<ExtractedFact>> LoadFacts(storage::ShardedKVStore* store) {
   std::vector<ExtractedFact> facts;
   Status decode_status = Status::OK();
   std::string begin(1, kFactPrefix);
@@ -168,7 +168,7 @@ StatusOr<CheckpointedHarvest> HarvestWithCheckpoints(
   // harvest.
   auto storage = KbStorage::Recover(checkpoint_dir);
   if (!storage.ok()) return storage.status();
-  storage::KVStore* store = (*storage)->store();
+  storage::ShardedKVStore* store = (*storage)->store();
 
   CheckpointedHarvest out;
   auto cursor = LoadCursor(store);

@@ -64,11 +64,11 @@ bool DecodeMeta(Slice input, FactMeta* meta) {
 }  // namespace
 
 namespace {
-storage::StoreOptions DefaultKbStoreOptions() {
-  storage::StoreOptions options;
+storage::ShardedStoreOptions DefaultKbStoreOptions() {
+  storage::ShardedStoreOptions options;
   // Save is a bulk load ending in Flush; per-Put fsyncs would only
   // slow it down without adding durability to the final state.
-  options.sync_wal = false;
+  options.store.sync_wal = false;
   return options;
 }
 }  // namespace
@@ -80,7 +80,14 @@ StatusOr<std::unique_ptr<KbStorage>> KbStorage::Open(
 
 StatusOr<std::unique_ptr<KbStorage>> KbStorage::Open(
     const std::string& path, const storage::StoreOptions& options) {
-  auto store = storage::KVStore::Open(options, path);
+  storage::ShardedStoreOptions sharded;
+  sharded.store = options;
+  return Open(path, sharded);
+}
+
+StatusOr<std::unique_ptr<KbStorage>> KbStorage::Open(
+    const std::string& path, const storage::ShardedStoreOptions& options) {
+  auto store = storage::ShardedKVStore::Open(options, path);
   if (!store.ok()) return store.status();
   return std::unique_ptr<KbStorage>(new KbStorage(std::move(*store)));
 }
@@ -88,7 +95,7 @@ StatusOr<std::unique_ptr<KbStorage>> KbStorage::Open(
 StatusOr<std::unique_ptr<KbStorage>> KbStorage::Recover(
     const std::string& path, storage::RecoveryReport* report) {
   auto store =
-      storage::KVStore::Recover(DefaultKbStoreOptions(), path, report);
+      storage::ShardedKVStore::Recover(DefaultKbStoreOptions(), path, report);
   if (!store.ok()) return store.status();
   return std::unique_ptr<KbStorage>(new KbStorage(std::move(*store)));
 }

@@ -5,7 +5,7 @@
 #include <string>
 
 #include "core/knowledge_base.h"
-#include "storage/kv_store.h"
+#include "storage/sharded_kv_store.h"
 #include "storage/stored_triple_source.h"
 
 namespace kb {
@@ -22,14 +22,23 @@ namespace core {
 /// harvest (core/harvest_checkpoint) stores its state under the
 /// reserved prefixes 'F' (accepted facts by statement identity) and
 /// 'C' (progress cursor) in the same keyspace.
+///
+/// Backed by a ShardedKVStore: keys hash-partition across independent
+/// LSM shards (parallel harvest writers land on disjoint locks/WALs)
+/// while Scan still yields one globally ordered stream, so the layout
+/// above is unchanged from the single-store engine's point of view.
 class KbStorage {
  public:
   /// Opens (or creates) the storage directory. The default options
   /// skip per-record WAL fsyncs: Save is a bulk load that ends in
   /// Flush, and the SSTable write itself syncs.
   static StatusOr<std::unique_ptr<KbStorage>> Open(const std::string& path);
+  /// Convenience overload: per-shard engine options with the default
+  /// shard layout.
   static StatusOr<std::unique_ptr<KbStorage>> Open(
       const std::string& path, const storage::StoreOptions& options);
+  static StatusOr<std::unique_ptr<KbStorage>> Open(
+      const std::string& path, const storage::ShardedStoreOptions& options);
 
   /// Crash-tolerant open: replays the WAL and quarantines corrupt
   /// SSTables instead of failing (see KVStore::Recover). Used by the
@@ -63,13 +72,13 @@ class KbStorage {
   /// Durability/compaction passthroughs.
   Status Flush() { return store_->Flush(); }
   Status Compact() { return store_->CompactAll(); }
-  storage::KVStore* store() { return store_.get(); }
+  storage::ShardedKVStore* store() { return store_.get(); }
 
  private:
-  explicit KbStorage(std::unique_ptr<storage::KVStore> store)
+  explicit KbStorage(std::unique_ptr<storage::ShardedKVStore> store)
       : store_(std::move(store)) {}
 
-  std::unique_ptr<storage::KVStore> store_;
+  std::unique_ptr<storage::ShardedKVStore> store_;
 };
 
 }  // namespace core

@@ -1,5 +1,7 @@
 #include "storage/fault_injection_env.h"
 
+#include <chrono>
+#include <thread>
 #include <utility>
 
 #include "util/metrics_registry.h"
@@ -231,6 +233,16 @@ StatusOr<std::unique_ptr<WritableFile>> FaultInjectionEnv::NewWritableFile(
 
 Status FaultInjectionEnv::WriteStringToFile(const std::string& path,
                                             const std::string& data) {
+  uint64_t delay;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    delay = options_.write_delay_micros;
+  }
+  if (delay > 0) {
+    // Outside mu_: the point is to slow the *writer* down, not to
+    // block every other env operation with it.
+    std::this_thread::sleep_for(std::chrono::microseconds(delay));
+  }
   bool crash_now = false;
   Status s = ChargeOp(path, &crash_now);
   if (!s.ok()) {

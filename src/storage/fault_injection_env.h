@@ -50,6 +50,11 @@ class FaultInjectionEnv : public Env {
     /// crash durability is simulated via DropUnsyncedData, so real
     /// fsyncs only slow the test down.
     bool sync_through = false;
+    /// Sleep this long inside each WriteStringToFile before touching
+    /// disk (outside the env mutex). Concurrency tests use it to hold
+    /// background flushes/compactions "in flight" long enough to prove
+    /// readers make progress meanwhile.
+    uint64_t write_delay_micros = 0;
   };
 
   explicit FaultInjectionEnv(Env* base) : FaultInjectionEnv(base, Options()) {}

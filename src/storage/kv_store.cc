@@ -1,7 +1,9 @@
 #include "storage/kv_store.h"
 
 #include <algorithm>
+#include <cstring>
 #include <optional>
+#include <utility>
 
 #include "util/logging.h"
 #include "util/metrics_registry.h"
@@ -11,7 +13,11 @@ namespace kb {
 namespace storage {
 
 namespace {
-constexpr char kWalFileName[] = "wal.log";
+// Single-log layout from format v1; still replayed (first) on open so
+// a store written by an older build comes up intact.
+constexpr char kLegacyWalFileName[] = "wal.log";
+constexpr char kWalFilePrefix[] = "wal-";
+constexpr char kWalFileSuffix[] = ".log";
 constexpr char kQuarantineSuffix[] = ".quarantine";
 
 /// Storage instruments in the default registry. The gauges describe
@@ -32,6 +38,9 @@ struct KvMetrics {
   Counter& wal_replayed_records;
   Counter& wal_truncated_bytes;
   Counter& tables_quarantined;
+  Counter& cache_hits;
+  Counter& cache_misses;
+  Counter& cache_evictions;
   Histogram& get_ms;
   Histogram& put_ms;
   Histogram& flush_ms;
@@ -57,6 +66,9 @@ struct KvMetrics {
           r.counter("kv.wal_replayed_records"),
           r.counter("kv.wal_truncated_bytes"),
           r.counter("kv.tables_quarantined"),
+          r.counter("kv.cache_hits"),
+          r.counter("kv.cache_misses"),
+          r.counter("kv.cache_evictions"),
           r.histogram("kv.get_ms"),
           r.histogram("kv.put_ms"),
           r.histogram("kv.flush_ms"),
@@ -85,17 +97,79 @@ bool UntagValue(const Slice& tagged, EntryType* type, Slice* value) {
   *value = Slice(tagged.data() + 1, tagged.size() - 1);
   return true;
 }
+
+/// One entry copied out of a memtable while pinning a Scan snapshot.
+struct SnapshotEntry {
+  std::string key;
+  std::string value;
+  EntryType type;
+};
+
+/// Copies [start, end) of `mem` into `out` (keys ascend). Bounded by
+/// the memtable flush threshold, so this is a small, lock-held copy.
+void MaterializeRange(const MemTable& mem, const Slice& start,
+                      const Slice& end, std::vector<SnapshotEntry>* out) {
+  MemTable::Iterator it = mem.NewIterator();
+  if (start.empty()) {
+    it.SeekToFirst();
+  } else {
+    it.Seek(start);
+  }
+  for (; it.Valid(); it.Next()) {
+    if (!end.empty() && it.key().compare(end) >= 0) break;
+    out->push_back(SnapshotEntry{it.key().ToString(), it.value().ToString(),
+                                 it.type()});
+  }
+}
 }  // namespace
+
+void RecoveryReport::Merge(const RecoveryReport& other) {
+  wal_records_replayed += other.wal_records_replayed;
+  wal_bytes_truncated += other.wal_bytes_truncated;
+  tables_loaded += other.tables_loaded;
+  tables_quarantined += other.tables_quarantined;
+  quarantined_files.insert(quarantined_files.end(),
+                           other.quarantined_files.begin(),
+                           other.quarantined_files.end());
+}
+
+ShardedLruCache::Instruments KvCacheInstruments() {
+  KvMetrics& m = KvMetrics::Get();
+  ShardedLruCache::Instruments out;
+  out.hits = &m.cache_hits;
+  out.misses = &m.cache_misses;
+  out.evictions = &m.cache_evictions;
+  return out;
+}
 
 KVStore::KVStore(StoreOptions options, std::string path)
     : options_(options),
       env_(options.env != nullptr ? options.env : Env::Default()),
       path_(std::move(path)),
       retry_(options.retry),
-      mem_(new MemTable()) {}
+      mem_(new MemTable()),
+      tables_(std::make_shared<TableSet>()) {
+  if (options_.block_cache != nullptr) {
+    cache_ = options_.block_cache;
+  } else if (options_.block_cache_bytes > 0) {
+    cache_ = std::make_shared<ShardedLruCache>(options_.block_cache_bytes, 16,
+                                               KvCacheInstruments());
+  }
+  pool_ = options_.background_pool;
+  if (pool_ == nullptr) {
+    owned_pool_.reset(new ThreadPool(1));
+    pool_ = owned_pool_.get();
+  }
+}
 
 KVStore::~KVStore() {
-  if (wal_open_) wal_.Close();
+  std::unique_lock<std::mutex> lock(mu_);
+  writers_cv_.wait(lock, [&] { return writers_.empty() && !log_busy_; });
+  bg_cv_.wait(lock, [&] { return pending_tasks_ == 0; });
+  if (wal_open_) {
+    wal_.Close();
+    wal_open_ = false;
+  }
 }
 
 StatusOr<std::unique_ptr<KVStore>> KVStore::Open(const StoreOptions& options,
@@ -119,12 +193,12 @@ StatusOr<std::unique_ptr<KVStore>> KVStore::OpenInternal(
   std::unique_ptr<KVStore> store(new KVStore(options, path));
   KB_RETURN_IF_ERROR(store->env_->CreateDirIfMissing(path));
   KB_RETURN_IF_ERROR(store->LoadExistingTables(repair, report));
-  KB_RETURN_IF_ERROR(store->ReplayWalIntoMemtable(repair, report));
+  KB_RETURN_IF_ERROR(store->ReplayWalsIntoMemtable(repair, report));
   if (options.use_wal) {
-    KB_RETURN_IF_ERROR(WalWriter::Open(store->env_,
-                                       path + "/" + kWalFileName,
-                                       &store->wal_));
+    std::string wal_path = store->WalFileName(store->next_wal_number_++);
+    KB_RETURN_IF_ERROR(WalWriter::Open(store->env_, wal_path, &store->wal_));
     store->wal_open_ = true;
+    store->mem_wal_paths_.push_back(wal_path);
   }
   return store;
 }
@@ -133,6 +207,13 @@ std::string KVStore::TableFileName(uint64_t number) const {
   char buf[32];
   snprintf(buf, sizeof(buf), "%06llu.sst",
            static_cast<unsigned long long>(number));
+  return path_ + "/" + buf;
+}
+
+std::string KVStore::WalFileName(uint64_t number) const {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "%s%06llu%s", kWalFilePrefix,
+           static_cast<unsigned long long>(number), kWalFileSuffix);
   return path_ + "/" + buf;
 }
 
@@ -149,6 +230,7 @@ Status KVStore::LoadExistingTables(bool repair, RecoveryReport* report) {
     }
   }
   std::sort(numbers.begin(), numbers.end());
+  TableSet loaded;
   for (uint64_t n : numbers) {
     const std::string file_name = TableFileName(n);
     // A table is healthy when it reads, parses and every block passes
@@ -160,14 +242,13 @@ Status KVStore::LoadExistingTables(bool repair, RecoveryReport* report) {
     if (!contents.ok()) {
       table_status = contents.status();
     } else {
-      auto table = TableReader::Open(std::move(*contents));
+      auto table = TableReader::Open(std::move(*contents), cache_);
       if (!table.ok()) {
         table_status = table.status();
       } else {
         if (repair) table_status = (*table)->VerifyAllBlocks();
         if (table_status.ok()) {
-          tables_.push_back(std::move(*table));
-          table_numbers_.push_back(n);
+          loaded.push_back(TableEntry{std::move(*table), n});
         }
       }
     }
@@ -192,92 +273,174 @@ Status KVStore::LoadExistingTables(bool repair, RecoveryReport* report) {
       report->quarantined_files.push_back(quarantined);
     }
   }
+  tables_ = std::make_shared<TableSet>(std::move(loaded));
   return Status::OK();
 }
 
-Status KVStore::ReplayWalIntoMemtable(bool repair, RecoveryReport* report) {
-  std::string wal_path = path_ + "/" + kWalFileName;
-  if (!env_->FileExists(wal_path)) return Status::OK();
-  WalReplayInfo info;
-  Status s = ReplayWal(env_, wal_path,
-                       [this](EntryType type, const Slice& key,
-                              const Slice& value) {
-                         if (type == EntryType::kPut) {
-                           mem_->Put(key, value);
-                         } else {
-                           mem_->Delete(key);
-                         }
-                       },
-                       &info);
-  if (!s.ok()) {
-    if (!repair) return s;
-    // The WAL cannot be read at all; set it aside so the store can
-    // still come up with what the tables hold.
+Status KVStore::ReplayWalsIntoMemtable(bool repair, RecoveryReport* report) {
+  // Logs are numbered per memtable generation; replay strictly in that
+  // order (the legacy single log, if present, predates them all).
+  std::vector<std::string> wal_files;
+  std::string legacy = path_ + "/" + kLegacyWalFileName;
+  if (env_->FileExists(legacy)) wal_files.push_back(legacy);
+  auto names = env_->ListDir(path_);
+  if (names.ok()) {
+    std::vector<uint64_t> numbers;
+    const size_t fixed =
+        std::strlen(kWalFilePrefix) + std::strlen(kWalFileSuffix);
+    for (const std::string& name : *names) {
+      if (name.size() > fixed && name.rfind(kWalFilePrefix, 0) == 0 &&
+          EndsWith(name, kWalFileSuffix)) {
+        long long n = 0;
+        if (ParseInt64(name.substr(std::strlen(kWalFilePrefix),
+                                   name.size() - fixed),
+                       &n) &&
+            n > 0) {
+          numbers.push_back(static_cast<uint64_t>(n));
+        }
+      }
+    }
+    std::sort(numbers.begin(), numbers.end());
+    for (uint64_t n : numbers) {
+      wal_files.push_back(WalFileName(n));
+      next_wal_number_ = std::max(next_wal_number_, n + 1);
+    }
+  }
+  auto apply = [this](EntryType type, const Slice& key, const Slice& value) {
+    if (type == EntryType::kPut) {
+      mem_->Put(key, value);
+    } else {
+      mem_->Delete(key);
+    }
+  };
+  auto quarantine = [&](const std::string& wal_path,
+                        const Status& why) -> Status {
     std::string quarantined = wal_path + kQuarantineSuffix;
     KB_RETURN_IF_ERROR(env_->RenameFile(wal_path, quarantined));
-    KB_LOG(Warning) << "quarantined unreadable wal " << wal_path << ": " << s;
+    KB_LOG(Warning) << "quarantined wal " << wal_path << ": " << why;
     if (report != nullptr) {
       ++report->tables_quarantined;
       report->quarantined_files.push_back(quarantined);
     }
     return Status::OK();
-  }
-  if (info.truncated_bytes > 0) {
-    // Drop the torn tail so future appends land on a record boundary
-    // (otherwise replay would stop at the tear and lose them).
-    KB_RETURN_IF_ERROR(env_->TruncateFile(wal_path, info.valid_bytes));
-    KvMetrics::Get().wal_truncated_bytes.Increment(info.truncated_bytes);
-  }
-  KvMetrics::Get().wal_replayed_records.Increment(info.records);
-  if (report != nullptr) {
-    report->wal_records_replayed += info.records;
-    report->wal_bytes_truncated += info.truncated_bytes;
+  };
+  bool torn_seen = false;
+  for (const std::string& wal_path : wal_files) {
+    if (torn_seen) {
+      // Records here postdate a torn/unreadable log; applying them
+      // would reorder history. Strict opens refuse; repair sets the
+      // log aside with the rest of the damage.
+      Status why = Status::Corruption("wal follows a torn log");
+      if (!repair) return why;
+      KB_RETURN_IF_ERROR(quarantine(wal_path, why));
+      continue;
+    }
+    WalReplayInfo info;
+    Status s = ReplayWal(env_, wal_path, apply, &info);
+    if (!s.ok()) {
+      if (!repair) return s;
+      // The log cannot be read at all; set it aside so the store can
+      // still come up with what the tables hold.
+      KB_RETURN_IF_ERROR(quarantine(wal_path, s));
+      torn_seen = true;
+      continue;
+    }
+    if (info.truncated_bytes > 0) {
+      // Drop the torn tail so future appends land on a record boundary
+      // (otherwise replay would stop at the tear and lose them).
+      KB_RETURN_IF_ERROR(env_->TruncateFile(wal_path, info.valid_bytes));
+      KvMetrics::Get().wal_truncated_bytes.Increment(info.truncated_bytes);
+      torn_seen = true;  // only the newest log may carry a tear
+    }
+    KvMetrics::Get().wal_replayed_records.Increment(info.records);
+    if (report != nullptr) {
+      report->wal_records_replayed += info.records;
+      report->wal_bytes_truncated += info.truncated_bytes;
+    }
+    mem_wal_paths_.push_back(wal_path);
   }
   return Status::OK();
 }
 
 Status KVStore::WriteInternal(EntryType type, const Slice& key,
                               const Slice& value) {
+  Writer w;
+  w.type = type;
+  w.key = key;
+  w.value = value;
+  std::unique_lock<std::mutex> lock(mu_);
+  writers_.push_back(&w);
+  while (!w.done && &w != writers_.front()) writers_cv_.wait(lock);
+  if (w.done) {
+    // An earlier leader committed (or failed) this write in its batch.
+    return w.status;
+  }
+  // This writer leads: commit every currently queued write as one batch.
+  std::vector<Writer*> batch(writers_.begin(), writers_.end());
+  Status ws;
   if (options_.use_wal && !wal_open_) {
     // A failed flush left the store without a log; accepting writes
     // here would silently drop durability. Fail-stop instead.
-    return Status::IOError("wal unavailable after failed flush: " + path_);
+    ws = Status::IOError("wal unavailable after failed flush: " + path_);
+  } else if (!bg_error_.ok()) {
+    ws = bg_error_;
   }
-  if (wal_open_) {
-    // WalWriter::Append self-heals a torn tail before each attempt, so
-    // retrying after a transient failure cannot corrupt the log.
-    KB_RETURN_IF_ERROR(
-        retry_.Run([&] { return wal_.Append(type, key, value); }));
-    KvMetrics::Get().wal_appends.Increment();
-    if (options_.sync_wal) {
-      KB_RETURN_IF_ERROR(retry_.Run([&] { return wal_.Sync(); }));
-      KvMetrics::Get().wal_syncs.Increment();
+  if (ws.ok() && wal_open_) {
+    KvMetrics& metrics = KvMetrics::Get();
+    // WAL IO runs with the lock released so reads and background table
+    // writes proceed; log_busy_ keeps rotation (Flush) and other
+    // leaders off wal_ meanwhile. Later writers queue behind the batch.
+    log_busy_ = true;
+    lock.unlock();
+    for (Writer* wr : batch) {
+      // WalWriter::Append self-heals a torn tail before each attempt,
+      // so retrying after a transient failure cannot corrupt the log.
+      ws = retry_.Run([&] { return wal_.Append(wr->type, wr->key, wr->value); });
+      if (!ws.ok()) break;
+      metrics.wal_appends.Increment();
     }
+    if (ws.ok() && options_.sync_wal) {
+      // Group commit: one fsync makes the whole batch durable.
+      ws = retry_.Run([&] { return wal_.Sync(); });
+      if (ws.ok()) metrics.wal_syncs.Increment();
+    }
+    lock.lock();
+    log_busy_ = false;
   }
-  if (type == EntryType::kPut) {
-    mem_->Put(key, value);
-  } else {
-    mem_->Delete(key);
+  if (ws.ok()) {
+    for (Writer* wr : batch) {
+      if (wr->type == EntryType::kPut) {
+        mem_->Put(wr->key, wr->value);
+      } else {
+        mem_->Delete(wr->key);
+      }
+    }
+    KvMetrics::Get().memtable_bytes.Set(
+        static_cast<int64_t>(mem_->ApproximateMemoryUsage()));
   }
-  KvMetrics::Get().memtable_bytes.Set(
-      static_cast<int64_t>(mem_->ApproximateMemoryUsage()));
-  if (mem_->ApproximateMemoryUsage() >= options_.memtable_flush_bytes) {
-    KB_RETURN_IF_ERROR(FlushLocked());
+  for (Writer* wr : batch) {
+    wr->status = ws;
+    wr->done = true;
   }
-  return Status::OK();
+  writers_.erase(writers_.begin(),
+                 writers_.begin() + static_cast<long>(batch.size()));
+  writers_cv_.notify_all();
+  if (ws.ok()) {
+    Status trigger = MaybeScheduleFlushLocked(lock);
+    if (!trigger.ok()) return trigger;
+  }
+  return ws;
 }
 
 Status KVStore::Put(const Slice& key, const Slice& value) {
   KvMetrics& metrics = KvMetrics::Get();
   metrics.puts.Increment();
   ScopedTimer timer(metrics.put_ms);
-  std::lock_guard<std::mutex> lock(mu_);
   return WriteInternal(EntryType::kPut, key, value);
 }
 
 Status KVStore::Delete(const Slice& key) {
   KvMetrics::Get().deletes.Increment();
-  std::lock_guard<std::mutex> lock(mu_);
   return WriteInternal(EntryType::kDelete, key, Slice());
 }
 
@@ -285,118 +448,381 @@ Status KVStore::Get(const Slice& key, std::string* value) {
   KvMetrics& metrics = KvMetrics::Get();
   metrics.gets.Increment();
   ScopedTimer timer(metrics.get_ms);
-  std::lock_guard<std::mutex> lock(mu_);
-  ++stats_.gets;
-  EntryType type;
-  if (mem_->Get(key, value, &type)) {
-    if (type == EntryType::kDelete) return Status::NotFound("tombstone");
-    return Status::OK();
+  std::shared_ptr<const TableSet> tables;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.gets;
+    EntryType type;
+    if (mem_->Get(key, value, &type)) {
+      if (type == EntryType::kDelete) return Status::NotFound("tombstone");
+      return Status::OK();
+    }
+    if (imm_ != nullptr && imm_->Get(key, value, &type)) {
+      if (type == EntryType::kDelete) return Status::NotFound("tombstone");
+      return Status::OK();
+    }
+    tables = tables_;
   }
-  for (auto it = tables_.rbegin(); it != tables_.rend(); ++it) {
-    if (!(*it)->MayContain(key)) {
-      ++stats_.bloom_skips;
+  // Table probes run against the pinned version with no lock held; a
+  // concurrent flush/compaction publishes a new version without
+  // disturbing this read.
+  uint64_t bloom_skips = 0;
+  uint64_t table_probes = 0;
+  Status result = Status::NotFound("key absent");
+  for (auto it = tables->rbegin(); it != tables->rend(); ++it) {
+    if (!it->table->MayContain(key)) {
+      ++bloom_skips;
       metrics.bloom_skips.Increment();
       continue;
     }
-    ++stats_.table_probes;
+    ++table_probes;
     metrics.table_probes.Increment();
     std::string tagged;
-    Status s = (*it)->Get(key, &tagged);
+    Status s = it->table->Get(key, &tagged);
     if (s.IsNotFound()) continue;
-    if (!s.ok()) return s;
+    if (!s.ok()) {
+      result = s;
+      break;
+    }
     EntryType t;
     Slice v;
     if (!UntagValue(Slice(tagged), &t, &v)) {
-      return Status::Corruption("untagged table value");
+      result = Status::Corruption("untagged table value");
+      break;
     }
-    if (t == EntryType::kDelete) return Status::NotFound("tombstone");
-    *value = v.ToString();
-    return Status::OK();
+    if (t == EntryType::kDelete) {
+      result = Status::NotFound("tombstone");
+    } else {
+      *value = v.ToString();
+      result = Status::OK();
+    }
+    break;
   }
-  return Status::NotFound("key absent");
+  if (bloom_skips != 0 || table_probes != 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.bloom_skips += bloom_skips;
+    stats_.table_probes += table_probes;
+  }
+  return result;
 }
 
 Status KVStore::Flush() {
-  std::lock_guard<std::mutex> lock(mu_);
-  return FlushLocked();
+  std::unique_lock<std::mutex> lock(mu_);
+  // Both conditions must hold in the *same* locked region before the
+  // log may be sealed: no leader mid-append (it owns wal_ with the
+  // lock released) and no flush already in flight. Each wait drops the
+  // lock, so re-check from the top after every wakeup.
+  for (;;) {
+    KB_RETURN_IF_ERROR(bg_error_);
+    if (log_busy_) {
+      writers_cv_.wait(lock);
+    } else if (imm_ != nullptr) {
+      bg_cv_.wait(lock);
+    } else {
+      break;
+    }
+  }
+  if (!mem_->empty()) {
+    KB_RETURN_IF_ERROR(BeginFlushLocked(lock));
+  }
+  bg_cv_.wait(lock, [&] { return imm_ == nullptr || !bg_error_.ok(); });
+  return bg_error_;
 }
 
-Status KVStore::FlushLocked() {
+Status KVStore::MaybeScheduleFlushLocked(std::unique_lock<std::mutex>& lock) {
+  if (mem_->ApproximateMemoryUsage() < options_.memtable_flush_bytes) {
+    return Status::OK();
+  }
+  // One flush at a time; mem_ keeps absorbing writes while imm_ is in
+  // flight and the next threshold crossing re-triggers.
+  if (imm_ != nullptr || !bg_error_.ok()) return Status::OK();
+  return BeginFlushLocked(lock);
+}
+
+Status KVStore::BeginFlushLocked(std::unique_lock<std::mutex>& lock) {
+  (void)lock;  // held throughout; rotation is short, table IO is not ours
   if (mem_->empty()) return Status::OK();
+  if (options_.use_wal && wal_open_) {
+    KvMetrics& metrics = KvMetrics::Get();
+    if (!options_.sync_wal) {
+      // Seal the log durably: its records must be on disk before the
+      // table that replaces it exists, so a machine crash can only
+      // ever lose the *newest* log's unsynced tail (recovery stays
+      // prefix-closed across log generations).
+      Status s = retry_.Run([&] { return wal_.Sync(); });
+      if (!s.ok()) return s;
+      metrics.wal_syncs.Increment();
+    }
+    Status close = wal_.Close();
+    if (!close.ok()) {
+      wal_open_ = false;  // fail-stop; data stays in mem_ + closed log
+      return close;
+    }
+    wal_open_ = false;
+    std::string next = WalFileName(next_wal_number_++);
+    KB_RETURN_IF_ERROR(WalWriter::Open(env_, next, &wal_));
+    wal_open_ = true;
+    imm_wal_paths_ = std::move(mem_wal_paths_);
+    mem_wal_paths_.clear();
+    mem_wal_paths_.push_back(next);
+  } else {
+    imm_wal_paths_ = std::move(mem_wal_paths_);
+    mem_wal_paths_.clear();
+  }
+  imm_ = std::move(mem_);
+  mem_ = std::make_shared<MemTable>();
+  KvMetrics::Get().memtable_bytes.Set(0);
+  ++pending_tasks_;
+  pool_->Submit([this] { BackgroundFlush(); });
+  return Status::OK();
+}
+
+void KVStore::BackgroundFlush() {
   KvMetrics& metrics = KvMetrics::Get();
   ScopedTimer timer(metrics.flush_ms);
-  TableBuilder builder(options_.table);
-  MemTable::Iterator it = mem_->NewIterator();
-  for (it.SeekToFirst(); it.Valid(); it.Next()) {
-    builder.Add(it.key(), Slice(TagValue(it.type(), it.value())));
+  std::shared_ptr<MemTable> imm;
+  uint64_t number = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    imm = imm_;
+    number = next_table_number_++;
   }
-  uint64_t number = next_table_number_++;
+  // Build and write the table with no lock held: imm is immutable (the
+  // swap happened under the lock) and concurrent readers still see it
+  // via imm_.
+  Status s;
+  std::shared_ptr<TableReader> table;
+  if (imm != nullptr && !imm->empty()) {
+    TableBuilder builder(options_.table);
+    MemTable::Iterator it = imm->NewIterator();
+    for (it.SeekToFirst(); it.Valid(); it.Next()) {
+      builder.Add(it.key(), Slice(TagValue(it.type(), it.value())));
+    }
+    std::string contents = builder.Finish();
+    // The table write syncs internally; the WAL files may only be
+    // deleted after the table is durably on disk.
+    s = retry_.Run([&] {
+      return env_->WriteStringToFile(TableFileName(number), contents);
+    });
+    if (s.ok()) {
+      auto opened = TableReader::Open(std::move(contents), cache_);
+      if (opened.ok()) {
+        table = std::move(*opened);
+      } else {
+        s = opened.status();
+      }
+    }
+  }
+  std::vector<std::string> stale_wals;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (s.ok()) {
+      if (table != nullptr) {
+        auto next = std::make_shared<TableSet>(*tables_);
+        next->push_back(TableEntry{std::move(table), number});
+        tables_ = std::move(next);
+        ++stats_.flushes;
+        metrics.flushes.Increment();
+        metrics.num_tables.Set(static_cast<int64_t>(tables_->size()));
+      }
+      imm_.reset();
+      stale_wals = std::move(imm_wal_paths_);
+      imm_wal_paths_.clear();
+    } else {
+      // Keep imm_ resident (reads still serve it) and its logs on disk
+      // (recovery still replays them); fail-stop future writes.
+      bg_error_ = s;
+    }
+  }
+  // Delete covered logs oldest-first outside the lock. Fail-stop on
+  // error: deleting a newer log while an older one lingers would break
+  // prefix-ordered replay on the next open.
+  Status rs;
+  for (const std::string& wal_path : stale_wals) {
+    rs = retry_.Run([&] { return env_->RemoveFile(wal_path); });
+    if (!rs.ok()) break;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!rs.ok() && bg_error_.ok()) {
+      KB_LOG(Warning) << "stale wal cleanup: " << rs;
+      bg_error_ = rs;
+    }
+    if (s.ok() && rs.ok()) MaybeScheduleCompactionLocked();
+    --pending_tasks_;
+    bg_cv_.notify_all();
+  }
+}
+
+void KVStore::MaybeScheduleCompactionLocked() {
+  if (compaction_running_ || !bg_error_.ok()) return;
+  if (static_cast<int>(tables_->size()) < options_.l0_compaction_trigger) {
+    return;
+  }
+  compaction_running_ = true;
+  ++pending_tasks_;
+  pool_->Submit([this] { BackgroundCompaction(); });
+}
+
+void KVStore::BackgroundCompaction() {
+  Status s = CompactOnce();
+  std::lock_guard<std::mutex> lock(mu_);
+  compaction_running_ = false;
+  if (!s.ok()) {
+    if (bg_error_.ok()) {
+      KB_LOG(Warning) << "background compaction: " << s;
+      bg_error_ = s;
+    }
+  } else {
+    // Flushes may have stacked past the trigger again meanwhile.
+    MaybeScheduleCompactionLocked();
+  }
+  --pending_tasks_;
+  bg_cv_.notify_all();
+}
+
+Status KVStore::CompactOnce() {
+  std::shared_ptr<const TableSet> input;
+  uint64_t number = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    input = tables_;
+    if (input->size() <= 1) return Status::OK();
+    number = next_table_number_++;
+  }
+  KvMetrics& metrics = KvMetrics::Get();
+  ScopedTimer timer(metrics.compact_ms);
+  TableBuilder builder(options_.table);
+  // Merge newest-wins across the pinned tables, keeping only live
+  // entries. Tables flushed while we merge are *newer* than every
+  // input, so dropping tombstones here stays correct: they still
+  // shadow the merged output from above.
+  std::vector<TableReader::Iterator> iters;
+  iters.reserve(input->size());
+  for (const TableEntry& entry : *input) {
+    iters.push_back(entry.table->NewIterator());
+    iters.back().SeekToFirst();
+  }
+  std::string last_key;
+  bool have_last = false;
+  while (true) {
+    int best = -1;
+    for (size_t i = 0; i < iters.size(); ++i) {
+      if (!iters[i].Valid()) {
+        if (iters[i].corrupted()) {
+          return Status::Corruption("compaction hit corrupt table block");
+        }
+        continue;
+      }
+      if (best < 0) {
+        best = static_cast<int>(i);
+        continue;
+      }
+      int cmp = iters[i].key().compare(iters[best].key());
+      // Later tables are newer; prefer them on equal keys (i ascends).
+      if (cmp <= 0) best = static_cast<int>(i);
+    }
+    if (best < 0) break;
+    Slice key = iters[best].key();
+    bool duplicate = have_last && key == Slice(last_key);
+    if (!duplicate) {
+      EntryType type = EntryType::kPut;
+      Slice value;
+      UntagValue(iters[best].value(), &type, &value);
+      last_key.assign(key.data(), key.size());
+      have_last = true;
+      if (type == EntryType::kPut) {
+        // Bottom-most merge: tombstones and shadowed versions drop out.
+        builder.Add(key, Slice(TagValue(EntryType::kPut, value)));
+      }
+    }
+    iters[best].Next();
+  }
   std::string contents = builder.Finish();
-  // The table write syncs internally; the WAL may only be deleted
-  // after the table is durably on disk.
   KB_RETURN_IF_ERROR(retry_.Run([&] {
     return env_->WriteStringToFile(TableFileName(number), contents);
   }));
-  auto table = TableReader::Open(std::move(contents));
-  if (!table.ok()) return table.status();
-  tables_.push_back(std::move(*table));
-  table_numbers_.push_back(number);
-  mem_.reset(new MemTable());
-  if (wal_open_) {
-    KB_RETURN_IF_ERROR(wal_.Close());
-    wal_open_ = false;
-    std::string wal_path = path_ + "/" + kWalFileName;
-    if (env_->FileExists(wal_path)) {
-      KB_RETURN_IF_ERROR(retry_.Run([&] {
-        return env_->RemoveFile(wal_path);
-      }));
+  auto merged = TableReader::Open(std::move(contents), cache_);
+  if (!merged.ok()) return merged.status();
+  std::vector<uint64_t> old_numbers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // tables_ is the pinned input plus tables flushed since (flushes
+    // only append, and compaction_running_ keeps other compactions
+    // out). The merged table replaces the input prefix and stays
+    // oldest; later flushes keep their newer positions.
+    auto next = std::make_shared<TableSet>();
+    next->push_back(TableEntry{std::move(*merged), number});
+    for (size_t i = input->size(); i < tables_->size(); ++i) {
+      next->push_back((*tables_)[i]);
     }
-    KB_RETURN_IF_ERROR(WalWriter::Open(env_, wal_path, &wal_));
-    wal_open_ = true;
+    for (const TableEntry& entry : *input) {
+      old_numbers.push_back(entry.number);
+    }
+    tables_ = std::move(next);
+    ++stats_.compactions;
+    metrics.compactions.Increment();
+    metrics.num_tables.Set(static_cast<int64_t>(tables_->size()));
   }
-  ++stats_.flushes;
-  metrics.flushes.Increment();
-  metrics.memtable_bytes.Set(0);
-  metrics.num_tables.Set(static_cast<int64_t>(tables_.size()));
-  return MaybeScheduleCompaction();
-}
-
-Status KVStore::MaybeScheduleCompaction() {
-  if (static_cast<int>(tables_.size()) >= options_.l0_compaction_trigger) {
-    return CompactAllLocked();
+  // Remove the old files only after the new table is durable. Readers
+  // still holding the old version are unaffected (contents live in
+  // memory).
+  for (uint64_t old_number : old_numbers) {
+    Status s = env_->RemoveFile(TableFileName(old_number));
+    if (!s.ok()) {
+      KB_LOG(Warning) << "compaction cleanup: " << s;
+    }
   }
   return Status::OK();
 }
 
+Status KVStore::CompactAll() {
+  KB_RETURN_IF_ERROR(Flush());
+  std::unique_lock<std::mutex> lock(mu_);
+  bg_cv_.wait(lock, [&] { return !compaction_running_; });
+  KB_RETURN_IF_ERROR(bg_error_);
+  if (tables_->size() <= 1) return Status::OK();
+  // Claim the compaction slot and merge on the calling thread; reads
+  // and writes continue against the published versions meanwhile.
+  compaction_running_ = true;
+  lock.unlock();
+  Status s = CompactOnce();
+  lock.lock();
+  compaction_running_ = false;
+  bg_cv_.notify_all();
+  return s;
+}
+
 namespace {
-/// One source in the k-way merge: either the memtable or a table.
-/// Higher `priority` shadows lower on equal keys.
+/// One source in the k-way merge: a materialized memtable snapshot or
+/// a pinned table. Higher `priority` shadows lower on equal keys.
 struct MergeSource {
-  std::optional<MemTable::Iterator> mem_iter;
+  const std::vector<SnapshotEntry>* vec = nullptr;
+  size_t pos = 0;
   std::optional<TableReader::Iterator> table_iter;
   int priority;
 
   bool Valid() const {
-    return mem_iter.has_value() ? mem_iter->Valid() : table_iter->Valid();
+    return vec != nullptr ? pos < vec->size() : table_iter->Valid();
   }
   bool corrupted() const {
-    return !mem_iter.has_value() && table_iter->corrupted();
+    return vec == nullptr && table_iter->corrupted();
   }
   Slice key() const {
-    return mem_iter.has_value() ? mem_iter->key() : table_iter->key();
+    return vec != nullptr ? Slice((*vec)[pos].key) : table_iter->key();
   }
   void Next() {
-    if (mem_iter.has_value()) {
-      mem_iter->Next();
+    if (vec != nullptr) {
+      ++pos;
     } else {
       table_iter->Next();
     }
   }
   /// Entry type and untagged value for the current position.
   void Current(EntryType* type, Slice* value) const {
-    if (mem_iter.has_value()) {
-      *type = mem_iter->type();
-      *value = mem_iter->value();
+    if (vec != nullptr) {
+      *type = (*vec)[pos].type;
+      *value = Slice((*vec)[pos].value);
     } else {
       Slice tagged = table_iter->value();
       UntagValue(tagged, type, value);
@@ -409,22 +835,34 @@ Status KVStore::Scan(
     const Slice& start, const Slice& end,
     const std::function<bool(const Slice&, const Slice&)>& fn) {
   KvMetrics::Get().scans.Increment();
-  std::lock_guard<std::mutex> lock(mu_);
+  // Pin a snapshot under the lock — bounded copies of the memtables
+  // plus the current table-set version — then merge and visit with the
+  // lock released, so the visitor may block or reenter the store.
+  std::vector<SnapshotEntry> mem_entries;
+  std::vector<SnapshotEntry> imm_entries;
+  std::shared_ptr<const TableSet> tables;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    MaterializeRange(*mem_, start, end, &mem_entries);
+    if (imm_ != nullptr) MaterializeRange(*imm_, start, end, &imm_entries);
+    tables = tables_;
+  }
   std::vector<MergeSource> sources;
   {
     MergeSource src;
-    src.mem_iter.emplace(mem_->NewIterator());
-    src.priority = static_cast<int>(tables_.size());
-    if (start.empty()) {
-      src.mem_iter->SeekToFirst();
-    } else {
-      src.mem_iter->Seek(start);
-    }
+    src.vec = &mem_entries;
+    src.priority = static_cast<int>(tables->size()) + 1;
     sources.push_back(std::move(src));
   }
-  for (size_t i = 0; i < tables_.size(); ++i) {
+  {
     MergeSource src;
-    src.table_iter.emplace(tables_[i]->NewIterator());
+    src.vec = &imm_entries;
+    src.priority = static_cast<int>(tables->size());
+    sources.push_back(std::move(src));
+  }
+  for (size_t i = 0; i < tables->size(); ++i) {
+    MergeSource src;
+    src.table_iter.emplace((*tables)[i].table->NewIterator());
     src.priority = static_cast<int>(i);
     if (start.empty()) {
       src.table_iter->SeekToFirst();
@@ -471,83 +909,6 @@ Status KVStore::Scan(
     }
     sources[best].Next();
   }
-}
-
-Status KVStore::CompactAll() {
-  std::lock_guard<std::mutex> lock(mu_);
-  return CompactAllLocked();
-}
-
-Status KVStore::CompactAllLocked() {
-  KB_RETURN_IF_ERROR(FlushLocked());
-  if (tables_.size() <= 1) return Status::OK();
-  KvMetrics& metrics = KvMetrics::Get();
-  ScopedTimer timer(metrics.compact_ms);
-  TableBuilder builder(options_.table);
-  // Merge newest-wins across all tables, keeping only live entries.
-  std::vector<TableReader::Iterator> iters;
-  iters.reserve(tables_.size());
-  for (const auto& t : tables_) {
-    iters.push_back(t->NewIterator());
-    iters.back().SeekToFirst();
-  }
-  std::string last_key;
-  bool have_last = false;
-  while (true) {
-    int best = -1;
-    for (size_t i = 0; i < iters.size(); ++i) {
-      if (!iters[i].Valid()) {
-        if (iters[i].corrupted()) {
-          return Status::Corruption("compaction hit corrupt table block");
-        }
-        continue;
-      }
-      if (best < 0) {
-        best = static_cast<int>(i);
-        continue;
-      }
-      int cmp = iters[i].key().compare(iters[best].key());
-      // Later tables are newer; prefer them on equal keys (i ascends).
-      if (cmp <= 0) best = static_cast<int>(i);
-    }
-    if (best < 0) break;
-    Slice key = iters[best].key();
-    bool duplicate = have_last && key == Slice(last_key);
-    if (!duplicate) {
-      EntryType type = EntryType::kPut;
-      Slice value;
-      UntagValue(iters[best].value(), &type, &value);
-      last_key.assign(key.data(), key.size());
-      have_last = true;
-      if (type == EntryType::kPut) {
-        // Bottom-most merge: tombstones and shadowed versions drop out.
-        builder.Add(key, Slice(TagValue(EntryType::kPut, value)));
-      }
-    }
-    iters[best].Next();
-  }
-  uint64_t number = next_table_number_++;
-  std::string contents = builder.Finish();
-  KB_RETURN_IF_ERROR(retry_.Run([&] {
-    return env_->WriteStringToFile(TableFileName(number), contents);
-  }));
-  auto merged = TableReader::Open(std::move(contents));
-  if (!merged.ok()) return merged.status();
-  // Remove the old files only after the new table is durable.
-  for (uint64_t old_number : table_numbers_) {
-    Status s = env_->RemoveFile(TableFileName(old_number));
-    if (!s.ok()) {
-      KB_LOG(Warning) << "compaction cleanup: " << s;
-    }
-  }
-  tables_.clear();
-  table_numbers_.clear();
-  tables_.push_back(std::move(*merged));
-  table_numbers_.push_back(number);
-  ++stats_.compactions;
-  metrics.compactions.Increment();
-  metrics.num_tables.Set(static_cast<int64_t>(tables_.size()));
-  return Status::OK();
 }
 
 }  // namespace storage

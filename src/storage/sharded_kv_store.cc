@@ -1,0 +1,214 @@
+#include "storage/sharded_kv_store.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/hash.h"
+#include "util/string_util.h"
+
+namespace kb {
+namespace storage {
+
+namespace {
+/// Marker file persisting the shard count. Routing must match the
+/// layout that wrote the data, so the on-disk value is authoritative.
+constexpr char kShardsFileName[] = "SHARDS";
+/// Entries pulled from a shard per refill during a merged Scan.
+constexpr size_t kScanBatchSize = 256;
+
+std::string ShardDirName(const std::string& root, int i) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "shard-%03d", i);
+  return root + "/" + buf;
+}
+}  // namespace
+
+StatusOr<std::unique_ptr<ShardedKVStore>> ShardedKVStore::Open(
+    const ShardedStoreOptions& options, const std::string& path) {
+  return OpenInternal(options, path, /*repair=*/false, nullptr);
+}
+
+StatusOr<std::unique_ptr<ShardedKVStore>> ShardedKVStore::Recover(
+    const ShardedStoreOptions& options, const std::string& path,
+    RecoveryReport* report) {
+  return OpenInternal(options, path, /*repair=*/true, report);
+}
+
+StatusOr<std::unique_ptr<ShardedKVStore>> ShardedKVStore::OpenInternal(
+    const ShardedStoreOptions& options, const std::string& path, bool repair,
+    RecoveryReport* report) {
+  Env* env = options.store.env != nullptr ? options.store.env : Env::Default();
+  KB_RETURN_IF_ERROR(env->CreateDirIfMissing(path));
+  int num_shards = std::max(1, options.num_shards);
+  const std::string marker = path + "/" + kShardsFileName;
+  if (env->FileExists(marker)) {
+    auto contents = env->ReadFileToString(marker);
+    if (!contents.ok()) return contents.status();
+    long long persisted = 0;
+    std::string trimmed = *contents;
+    while (!trimmed.empty() && (trimmed.back() == '\n' || trimmed.back() == ' ')) {
+      trimmed.pop_back();
+    }
+    if (!ParseInt64(trimmed, &persisted) || persisted < 1) {
+      return Status::Corruption("bad SHARDS marker: " + marker);
+    }
+    num_shards = static_cast<int>(persisted);
+  } else {
+    KB_RETURN_IF_ERROR(
+        env->WriteStringToFile(marker, std::to_string(num_shards) + "\n"));
+  }
+  std::unique_ptr<ShardedKVStore> store(new ShardedKVStore());
+  if (options.block_cache_bytes > 0) {
+    store->cache_ = std::make_shared<ShardedLruCache>(
+        options.block_cache_bytes, 16, KvCacheInstruments());
+  }
+  store->pool_.reset(new ThreadPool(
+      static_cast<size_t>(std::max(1, options.background_threads))));
+  store->shards_.reserve(static_cast<size_t>(num_shards));
+  for (int i = 0; i < num_shards; ++i) {
+    StoreOptions so = options.store;
+    so.block_cache = store->cache_;
+    so.block_cache_bytes = 0;
+    so.background_pool = store->pool_.get();
+    const std::string shard_path = ShardDirName(path, i);
+    if (repair) {
+      RecoveryReport shard_report;
+      auto shard = KVStore::Recover(so, shard_path, &shard_report);
+      if (!shard.ok()) return shard.status();
+      if (report != nullptr) report->Merge(shard_report);
+      store->shards_.push_back(std::move(*shard));
+    } else {
+      auto shard = KVStore::Open(so, shard_path);
+      if (!shard.ok()) return shard.status();
+      store->shards_.push_back(std::move(*shard));
+    }
+  }
+  return store;
+}
+
+ShardedKVStore::~ShardedKVStore() = default;
+
+KVStore* ShardedKVStore::ShardFor(const Slice& key) {
+  uint64_t h = Hash64(key.data(), key.size());
+  return shards_[h % shards_.size()].get();
+}
+
+Status ShardedKVStore::Put(const Slice& key, const Slice& value) {
+  return ShardFor(key)->Put(key, value);
+}
+
+Status ShardedKVStore::Delete(const Slice& key) {
+  return ShardFor(key)->Delete(key);
+}
+
+Status ShardedKVStore::Get(const Slice& key, std::string* value) {
+  return ShardFor(key)->Get(key, value);
+}
+
+namespace {
+/// One shard's position in the merged scan: a bounded batch of
+/// materialized entries plus the resume key for the next pull.
+struct ShardCursor {
+  KVStore* shard;
+  std::vector<std::pair<std::string, std::string>> batch;
+  size_t pos = 0;
+  std::string next_start;  ///< first key of the next refill
+  bool exhausted = false;  ///< shard has no entries >= next_start
+
+  bool HasCurrent() const { return pos < batch.size(); }
+  const std::string& key() const { return batch[pos].first; }
+
+  /// Pulls the next batch from the shard. The per-shard Scan visits
+  /// without holding the shard lock, and we stop it after
+  /// kScanBatchSize entries; resuming at last_key + '\0' is exact
+  /// because keys are unique within a shard.
+  Status Refill(const Slice& end) {
+    batch.clear();
+    pos = 0;
+    size_t collected = 0;
+    Status s = shard->Scan(
+        Slice(next_start), end,
+        [&](const Slice& k, const Slice& v) {
+          batch.emplace_back(k.ToString(), v.ToString());
+          return ++collected < kScanBatchSize;
+        });
+    KB_RETURN_IF_ERROR(s);
+    if (batch.size() < kScanBatchSize) {
+      exhausted = true;
+    } else {
+      next_start = batch.back().first + '\0';
+    }
+    return Status::OK();
+  }
+};
+}  // namespace
+
+Status ShardedKVStore::Scan(
+    const Slice& start, const Slice& end,
+    const std::function<bool(const Slice&, const Slice&)>& fn) {
+  std::vector<ShardCursor> cursors;
+  cursors.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    ShardCursor c;
+    c.shard = shard.get();
+    c.next_start.assign(start.data(), start.size());
+    KB_RETURN_IF_ERROR(c.Refill(end));
+    cursors.push_back(std::move(c));
+  }
+  while (true) {
+    // Keys are hash-partitioned: each lives in exactly one shard, so
+    // the smallest current key across cursors is the next global key.
+    ShardCursor* best = nullptr;
+    for (ShardCursor& c : cursors) {
+      if (!c.HasCurrent()) continue;
+      if (best == nullptr || c.key() < best->key()) best = &c;
+    }
+    if (best == nullptr) return Status::OK();
+    const auto& entry = best->batch[best->pos];
+    if (!fn(Slice(entry.first), Slice(entry.second))) return Status::OK();
+    ++best->pos;
+    if (!best->HasCurrent() && !best->exhausted) {
+      KB_RETURN_IF_ERROR(best->Refill(end));
+    }
+  }
+}
+
+Status ShardedKVStore::Flush() {
+  for (const auto& shard : shards_) {
+    KB_RETURN_IF_ERROR(shard->Flush());
+  }
+  return Status::OK();
+}
+
+Status ShardedKVStore::CompactAll() {
+  for (const auto& shard : shards_) {
+    KB_RETURN_IF_ERROR(shard->CompactAll());
+  }
+  return Status::OK();
+}
+
+size_t ShardedKVStore::num_tables() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) total += shard->num_tables();
+  return total;
+}
+
+StoreStats ShardedKVStore::stats() const {
+  StoreStats total;
+  for (const auto& shard : shards_) {
+    StoreStats s = shard->stats();
+    total.gets += s.gets;
+    total.bloom_skips += s.bloom_skips;
+    total.table_probes += s.table_probes;
+    total.flushes += s.flushes;
+    total.compactions += s.compactions;
+  }
+  return total;
+}
+
+void ShardedKVStore::ResetStats() {
+  for (const auto& shard : shards_) shard->ResetStats();
+}
+
+}  // namespace storage
+}  // namespace kb

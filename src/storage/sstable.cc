@@ -1,5 +1,6 @@
 #include "storage/sstable.h"
 
+#include <atomic>
 #include <cassert>
 
 #include "util/hash.h"
@@ -96,7 +97,7 @@ std::string TableBuilder::Finish() {
 }
 
 StatusOr<std::shared_ptr<TableReader>> TableReader::Open(
-    std::string contents) {
+    std::string contents, std::shared_ptr<ShardedLruCache> cache) {
   if (contents.size() < kFooterSize) {
     return Status::Corruption("table too small");
   }
@@ -120,8 +121,11 @@ StatusOr<std::shared_ptr<TableReader>> TableReader::Open(
     CorruptBlockCounter().Increment();
     return Status::Corruption("filter block checksum mismatch");
   }
+  static std::atomic<uint64_t> next_table_id{1};
   auto table = std::shared_ptr<TableReader>(new TableReader());
   table->contents_ = std::move(contents);
+  table->cache_ = std::move(cache);
+  table->id_ = next_table_id.fetch_add(1, std::memory_order_relaxed);
   table->filter_data_ =
       table->contents_.substr(filter_offset, filter_size);
   Slice index_block(table->contents_.data() + index_offset, index_size);
@@ -145,21 +149,45 @@ bool TableReader::MayContain(const Slice& key) const {
   return BloomFilterReader(Slice(filter_data_)).MayContain(key);
 }
 
-Status TableReader::ReadBlock(size_t index, Slice* out) const {
+Status TableReader::ReadBlock(size_t index, Slice* out,
+                              std::shared_ptr<const std::string>* pin) const {
   const IndexEntry& e = index_entries_[index];
+  if (cache_ != nullptr) {
+    if (auto cached = cache_->Lookup(id_, index)) {
+      *out = Slice(*cached);
+      *pin = std::move(cached);
+      return Status::OK();
+    }
+  }
   if (!RegionChecksumOk(contents_, e.offset, e.size)) {
     CorruptBlockCounter().Increment();
     return Status::Corruption("data block " + std::to_string(index) +
                               " checksum mismatch");
   }
+  if (cache_ != nullptr) {
+    // Cache a verified copy; future readers skip the CRC pass.
+    auto copy = std::make_shared<const std::string>(
+        contents_.data() + e.offset, e.size);
+    cache_->Insert(id_, index, copy);
+    *out = Slice(*copy);
+    *pin = std::move(copy);
+    return Status::OK();
+  }
+  pin->reset();
   *out = Slice(contents_.data() + e.offset, e.size);
   return Status::OK();
 }
 
 Status TableReader::VerifyAllBlocks() const {
+  // Always verifies the file bytes themselves, bypassing the cache —
+  // this is the recovery-time bit-rot check.
   for (size_t i = 0; i < index_entries_.size(); ++i) {
-    Slice block;
-    KB_RETURN_IF_ERROR(ReadBlock(i, &block));
+    const IndexEntry& e = index_entries_[i];
+    if (!RegionChecksumOk(contents_, e.offset, e.size)) {
+      CorruptBlockCounter().Increment();
+      return Status::Corruption("data block " + std::to_string(i) +
+                                " checksum mismatch");
+    }
   }
   return Status::OK();
 }
@@ -178,7 +206,8 @@ Status TableReader::Get(const Slice& key, std::string* value) const {
   }
   if (lo == index_entries_.size()) return Status::NotFound("past last block");
   Slice block;
-  KB_RETURN_IF_ERROR(ReadBlock(lo, &block));
+  std::shared_ptr<const std::string> pin;
+  KB_RETURN_IF_ERROR(ReadBlock(lo, &block, &pin));
   BlockIterator it(block);
   it.Seek(key);
   if (it.corrupted()) return Status::Corruption("corrupt data block");
@@ -195,11 +224,13 @@ void TableReader::Iterator::LoadBlock(size_t index) {
   block_index_ = index;
   if (index >= table_->index_entries_.size()) {
     block_iter_.reset();
+    pin_.reset();
     return;
   }
   Slice block;
-  if (!table_->ReadBlock(index, &block).ok()) {
+  if (!table_->ReadBlock(index, &block, &pin_).ok()) {
     block_iter_.reset();
+    pin_.reset();
     corrupted_ = true;
     return;
   }

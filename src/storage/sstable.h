@@ -7,6 +7,7 @@
 
 #include "storage/block.h"
 #include "util/bloom_filter.h"
+#include "util/lru_cache.h"
 #include "util/slice.h"
 #include "util/status.h"
 #include "util/statusor.h"
@@ -56,14 +57,20 @@ class TableBuilder {
 
 /// Reads an SSTable previously produced by TableBuilder. The table
 /// contents are held in memory (mmap-free simplification). Block
-/// checksums are verified on every read; a corrupt block surfaces as
-/// Status::Corruption from Get (or corrupted() on an iterator), never
-/// as undefined behaviour.
+/// checksums are verified when a block is first read; with a block
+/// cache attached, subsequent reads of the same block are served from
+/// the already-verified cached copy, skipping the CRC pass. A corrupt
+/// block surfaces as Status::Corruption from Get (or corrupted() on an
+/// iterator), never as undefined behaviour.
 class TableReader {
  public:
   /// Parses the footer and index (verifying their checksums); returns
-  /// Corruption on malformed data.
-  static StatusOr<std::shared_ptr<TableReader>> Open(std::string contents);
+  /// Corruption on malformed data. `cache` (optional, shared across
+  /// tables) caches verified data blocks keyed by (table id, block
+  /// index); each reader gets a process-unique id, so a re-opened
+  /// table never aliases a stale cache entry.
+  static StatusOr<std::shared_ptr<TableReader>> Open(
+      std::string contents, std::shared_ptr<ShardedLruCache> cache = nullptr);
 
   /// Point lookup. Returns NotFound if absent (after Bloom check),
   /// Corruption if the covering block fails its checksum.
@@ -77,6 +84,9 @@ class TableReader {
   Status VerifyAllBlocks() const;
 
   size_t num_blocks() const { return index_entries_.size(); }
+
+  /// Process-unique reader id (the block-cache key namespace).
+  uint64_t id() const { return id_; }
 
   /// Forward iterator over all entries in key order. A block that
   /// fails its checksum ends iteration with corrupted() == true.
@@ -97,6 +107,8 @@ class TableReader {
     const TableReader* table_;
     size_t block_index_ = 0;
     std::optional<BlockIterator> block_iter_;
+    /// Keeps a cached block alive while block_iter_ points into it.
+    std::shared_ptr<const std::string> pin_;
     bool corrupted_ = false;
   };
 
@@ -111,12 +123,17 @@ class TableReader {
     uint64_t size;
   };
 
-  /// Checksum-verified view of block `index`.
-  Status ReadBlock(size_t index, Slice* out) const;
+  /// Checksum-verified view of block `index`. On a cache hit `*out`
+  /// points into the pinned cached copy (set in `*pin`); otherwise it
+  /// points into contents_ and `*pin` is cleared.
+  Status ReadBlock(size_t index, Slice* out,
+                   std::shared_ptr<const std::string>* pin) const;
 
   std::string contents_;
   std::vector<IndexEntry> index_entries_;
   std::string filter_data_;
+  std::shared_ptr<ShardedLruCache> cache_;
+  uint64_t id_ = 0;
 };
 
 }  // namespace storage

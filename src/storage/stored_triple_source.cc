@@ -52,7 +52,7 @@ void PatternKeyRange(rdf::ScanOrder order, const rdf::TriplePattern& pattern,
 /// bounded chunks so the store mutex is never held for a full result.
 class StoredScanIterator : public rdf::ScanIterator {
  public:
-  StoredScanIterator(KVStore* store, rdf::ScanOrder order,
+  StoredScanIterator(KvReader* store, rdf::ScanOrder order,
                      const rdf::TriplePattern& pattern, size_t batch_size)
       : store_(store),
         order_(order),
@@ -125,7 +125,7 @@ class StoredScanIterator : public rdf::ScanIterator {
     } while (batch_.empty() && !exhausted_);
   }
 
-  KVStore* store_;
+  KvReader* store_;
   rdf::ScanOrder order_;
   rdf::TriplePattern pattern_;
   size_t batch_size_;

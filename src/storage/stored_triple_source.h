@@ -10,23 +10,23 @@
 namespace kb {
 namespace storage {
 
-/// A rdf::TripleSource over the triples persisted in a KVStore by
-/// core::KbStorage ('S'/'P'/'O' keys from triple_codec), so the query
-/// executor runs the same operator pipelines against the LSM engine
-/// that it runs against the in-memory TripleStore.
+/// A rdf::TripleSource over the triples persisted in a KvReader-backed
+/// engine (KVStore or ShardedKVStore) by core::KbStorage ('S'/'P'/'O'
+/// keys from triple_codec), so the query executor runs the same
+/// operator pipelines against the LSM engine that it runs against the
+/// in-memory TripleStore.
 ///
-/// KVStore::Scan holds the store mutex across its visitor, so
-/// iterators read in bounded *chunks*: each refill scans at most
-/// `batch_size` keys under the lock into a decoded batch, remembers
-/// where it stopped, and resumes from there on the next refill.
-/// Iterators therefore interleave fairly with concurrent writers; a
-/// write that lands inside an already-consumed chunk is not observed
-/// (read committed, not snapshot isolation — the in-memory store's
-/// Snapshot() is the stronger tool when that matters).
+/// Iterators read in bounded *chunks*: each refill scans at most
+/// `batch_size` keys into a decoded batch, remembers where it stopped,
+/// and resumes from there on the next refill. Each chunk sees a
+/// consistent engine snapshot; a write that lands inside an
+/// already-consumed chunk is not observed (read committed, not
+/// snapshot isolation — the in-memory store's Snapshot() is the
+/// stronger tool when that matters).
 class StoredTripleSource : public rdf::TripleSource {
  public:
   /// `store` must outlive this source and all its iterators.
-  explicit StoredTripleSource(KVStore* store, size_t batch_size = 256)
+  explicit StoredTripleSource(KvReader* store, size_t batch_size = 256)
       : store_(store), batch_size_(batch_size) {}
 
   std::unique_ptr<rdf::ScanIterator> NewScan(
@@ -40,7 +40,7 @@ class StoredTripleSource : public rdf::TripleSource {
   static constexpr size_t kEstimateCap = 1024;
 
  private:
-  KVStore* store_;
+  KvReader* store_;
   size_t batch_size_;
 };
 

@@ -1,0 +1,114 @@
+#include "util/lru_cache.h"
+
+#include "util/hash.h"
+
+namespace kb {
+
+namespace {
+/// Per-entry bookkeeping charged against capacity besides the payload
+/// (list node, hash slot, key, control block — a round estimate).
+constexpr size_t kEntryOverhead = 64;
+
+size_t RoundUpPow2(int n) {
+  size_t p = 1;
+  while (static_cast<int>(p) < n) p <<= 1;
+  return p;
+}
+}  // namespace
+
+size_t ShardedLruCache::KeyHash::operator()(const Key& k) const {
+  return static_cast<size_t>(HashCombine(Mix64(k.id), Mix64(k.index)));
+}
+
+ShardedLruCache::ShardedLruCache(size_t capacity_bytes, int num_shards)
+    : ShardedLruCache(capacity_bytes, num_shards, Instruments()) {}
+
+ShardedLruCache::ShardedLruCache(size_t capacity_bytes, int num_shards,
+                                 Instruments instruments)
+    : capacity_(capacity_bytes), instruments_(instruments) {
+  size_t n = RoundUpPow2(num_shards < 1 ? 1 : num_shards);
+  shards_.reserve(n);
+  for (size_t i = 0; i < n; ++i) shards_.emplace_back(new Shard());
+  shard_capacity_ = capacity_ / n;
+}
+
+ShardedLruCache::Shard& ShardedLruCache::ShardFor(const Key& key) {
+  size_t h = KeyHash()(key);
+  return *shards_[h & (shards_.size() - 1)];
+}
+
+size_t ShardedLruCache::Charge(
+    const std::shared_ptr<const std::string>& value) {
+  return (value != nullptr ? value->size() : 0) + kEntryOverhead;
+}
+
+std::shared_ptr<const std::string> ShardedLruCache::Lookup(uint64_t id,
+                                                           uint64_t index) {
+  Key key{id, index};
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    if (instruments_.misses != nullptr) instruments_.misses->Increment();
+    return nullptr;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  ++shard.hits;
+  if (instruments_.hits != nullptr) instruments_.hits->Increment();
+  return it->second->value;
+}
+
+void ShardedLruCache::Insert(uint64_t id, uint64_t index,
+                             std::shared_ptr<const std::string> value) {
+  Key key{id, index};
+  size_t charge = Charge(value);
+  if (charge > shard_capacity_) return;  // would evict the whole shard
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    shard.bytes -= it->second->charge;
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+  }
+  while (shard.bytes + charge > shard_capacity_ && !shard.lru.empty()) {
+    Entry& victim = shard.lru.back();
+    shard.bytes -= victim.charge;
+    shard.index.erase(victim.key);
+    shard.lru.pop_back();
+    ++shard.evictions;
+    if (instruments_.evictions != nullptr) instruments_.evictions->Increment();
+  }
+  shard.lru.push_front(Entry{key, std::move(value), charge});
+  shard.index[key] = shard.lru.begin();
+  shard.bytes += charge;
+  ++shard.inserts;
+}
+
+void ShardedLruCache::Erase(uint64_t id, uint64_t index) {
+  Key key{id, index};
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) return;
+  shard.bytes -= it->second->charge;
+  shard.lru.erase(it->second);
+  shard.index.erase(it);
+}
+
+LruCacheStats ShardedLruCache::stats() const {
+  LruCacheStats out;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    out.hits += shard->hits;
+    out.misses += shard->misses;
+    out.evictions += shard->evictions;
+    out.inserts += shard->inserts;
+    out.bytes_used += shard->bytes;
+    out.entries += shard->lru.size();
+  }
+  return out;
+}
+
+}  // namespace kb

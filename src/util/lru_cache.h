@@ -1,0 +1,108 @@
+#ifndef KBFORGE_UTIL_LRU_CACHE_H_
+#define KBFORGE_UTIL_LRU_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/metrics_registry.h"
+
+namespace kb {
+
+/// Point-in-time usage summary aggregated across all cache shards.
+struct LruCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t inserts = 0;
+  size_t bytes_used = 0;
+  size_t entries = 0;
+};
+
+/// A capacity-bounded LRU cache from (id, index) pairs to immutable
+/// byte strings, sharded N ways so concurrent readers on different
+/// keys rarely contend on the same mutex (the classic block-cache
+/// design). Values are handed out as shared_ptr, so an entry evicted
+/// while a reader still holds it stays valid until the reader drops
+/// its pin — eviction only removes the cache's own reference.
+///
+/// Thread-safe. Capacity is split evenly across shards; an entry
+/// larger than one shard's capacity is not cached at all.
+class ShardedLruCache {
+ public:
+  /// Optional externally-owned counters bumped on every lookup/evict
+  /// (e.g. the kv.cache_* instruments). May be left null.
+  struct Instruments {
+    Counter* hits = nullptr;
+    Counter* misses = nullptr;
+    Counter* evictions = nullptr;
+  };
+
+  /// `num_shards` is rounded up to a power of two (at least 1).
+  explicit ShardedLruCache(size_t capacity_bytes, int num_shards = 16);
+  ShardedLruCache(size_t capacity_bytes, int num_shards,
+                  Instruments instruments);
+
+  ShardedLruCache(const ShardedLruCache&) = delete;
+  ShardedLruCache& operator=(const ShardedLruCache&) = delete;
+
+  /// Returns the cached value (moving it to the front of its shard's
+  /// LRU list) or nullptr on a miss.
+  std::shared_ptr<const std::string> Lookup(uint64_t id, uint64_t index);
+
+  /// Inserts or replaces (id, index), evicting least-recently-used
+  /// entries from the shard until the new entry fits.
+  void Insert(uint64_t id, uint64_t index,
+              std::shared_ptr<const std::string> value);
+
+  /// Drops (id, index) if present. No-op otherwise.
+  void Erase(uint64_t id, uint64_t index);
+
+  LruCacheStats stats() const;
+  size_t capacity_bytes() const { return capacity_; }
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+
+ private:
+  struct Key {
+    uint64_t id;
+    uint64_t index;
+    bool operator==(const Key& o) const {
+      return id == o.id && index == o.index;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const;
+  };
+  struct Entry {
+    Key key;
+    std::shared_ptr<const std::string> value;
+    size_t charge;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  ///< front = most recently used
+    std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index;
+    size_t bytes = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t inserts = 0;
+  };
+
+  Shard& ShardFor(const Key& key);
+  /// Accounted size of one entry: payload plus bookkeeping overhead.
+  static size_t Charge(const std::shared_ptr<const std::string>& value);
+
+  size_t capacity_;
+  size_t shard_capacity_;
+  Instruments instruments_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace kb
+
+#endif  // KBFORGE_UTIL_LRU_CACHE_H_

@@ -7,6 +7,7 @@
 #include <set>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <tuple>
 #include <vector>
 
@@ -452,6 +453,172 @@ TEST(CrashLoopTest, RecoveryIsPrefixClosedAtEveryCrashPoint) {
   }
   // Always include the very last op.
   RunCrashPoint(total_ops, kEntries);
+}
+
+// ----------------------------------------- group-commit crash safety
+
+std::string ThreadKey(int t, int i) {
+  char buf[24];
+  snprintf(buf, sizeof(buf), "t%02d-key%05d", t, i);
+  return buf;
+}
+
+std::string ThreadValue(int t, int i) {
+  return "value-" + std::to_string(t) + "-" + std::to_string(i);
+}
+
+/// Runs `threads` concurrent writers against a group-committed WAL
+/// (sync_wal=true) through an env that crashes at `fail_at_op`, then
+/// machine-crashes (drops unsynced bytes) and recovers. Asserts the
+/// batch contract: every acknowledged write survives, and each
+/// writer's recovered keys form a contiguous prefix of its issue
+/// order — a batch applies all-or-nothing, so a later write can never
+/// persist without the earlier ones it was acknowledged after.
+void RunGroupCommitCrash(uint64_t fail_at_op, int threads, int per_thread) {
+  SCOPED_TRACE("fail_at_op=" + std::to_string(fail_at_op));
+  FaultInjectionEnv env(Env::Default());
+  FaultInjectionEnv::Options fopts;
+  fopts.fail_at_op = fail_at_op;
+  fopts.seed = 17 + fail_at_op;
+  env.Reset(fopts);
+  std::string dir = TempDir("group_commit_crash");
+
+  StoreOptions options;
+  options.env = &env;
+  options.sync_wal = true;
+  options.memtable_flush_bytes = 4096;
+  options.retry.max_attempts = 2;
+  options.retry.base_backoff_ms = 0;
+
+  std::vector<int> acked(threads, 0);
+  {
+    auto store = KVStore::Open(options, dir);
+    if (store.ok()) {
+      std::vector<std::thread> workers;
+      for (int t = 0; t < threads; ++t) {
+        workers.emplace_back([&, t] {
+          for (int i = 0; i < per_thread; ++i) {
+            if (!(*store)
+                     ->Put(Slice(ThreadKey(t, i)), Slice(ThreadValue(t, i)))
+                     .ok()) {
+              break;  // crashed env: every later write fails too
+            }
+            acked[t] = i + 1;
+          }
+        });
+      }
+      for (auto& w : workers) w.join();
+    }
+  }  // process dies with whatever state it had
+
+  ASSERT_TRUE(env.DropUnsyncedData().ok());  // machine crash
+  env.Reset(FaultInjectionEnv::Options());   // healthy disk for recovery
+
+  RecoveryReport report;
+  auto recovered = KVStore::Recover(options, dir, &report);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+
+  std::vector<int> survived(threads, 0);
+  Status scan_status = (*recovered)->Scan(
+      Slice(), Slice(), [&](const Slice& k, const Slice& v) {
+        int t = 0, i = 0;
+        EXPECT_EQ(sscanf(k.ToString().c_str(), "t%02d-key%05d", &t, &i), 2)
+            << "unexpected key " << k.ToString();
+        EXPECT_EQ(v.ToString(), ThreadValue(t, i));
+        // Scan is key-ordered, so each writer's keys must arrive
+        // ascending and contiguous: exactly the prefix property.
+        EXPECT_EQ(i, survived[t]) << "gap or reorder in writer " << t;
+        survived[t] = i + 1;
+        return true;
+      });
+  ASSERT_TRUE(scan_status.ok()) << scan_status.ToString();
+  for (int t = 0; t < threads; ++t) {
+    EXPECT_GE(survived[t], acked[t])
+        << "acknowledged write lost for writer " << t;
+    EXPECT_LE(survived[t], per_thread);
+  }
+}
+
+TEST(GroupCommitCrashTest, AckedWritesSurviveCrashAtManyPoints) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 120;
+  // Clean run first to learn roughly how long the op schedule is. The
+  // schedule is nondeterministic under concurrency, but the contract
+  // must hold at *every* crash point, so any sample within range is a
+  // valid probe.
+  uint64_t total_ops = 0;
+  {
+    FaultInjectionEnv env(Env::Default());
+    std::string dir = TempDir("group_commit_clean");
+    StoreOptions options;
+    options.env = &env;
+    options.sync_wal = true;
+    options.memtable_flush_bytes = 4096;
+    auto store = KVStore::Open(options, dir);
+    ASSERT_TRUE(store.ok());
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+      workers.emplace_back([&, t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          ASSERT_TRUE(
+              (*store)
+                  ->Put(Slice(ThreadKey(t, i)), Slice(ThreadValue(t, i)))
+                  .ok());
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    total_ops = env.op_count();
+  }
+  ASSERT_GT(total_ops, static_cast<uint64_t>(kThreads));
+
+  // Spread crash points across the schedule; CI's fault-injection job
+  // (KBFORGE_FAULT_SWEEP=full) probes far more densely.
+  const char* sweep = std::getenv("KBFORGE_FAULT_SWEEP");
+  int points = (sweep != nullptr && std::string(sweep) == "full") ? 24 : 6;
+  for (int p = 1; p <= points; ++p) {
+    uint64_t fail_at = total_ops * p / (points + 1) + 1;
+    RunGroupCommitCrash(fail_at, kThreads, kPerThread);
+  }
+}
+
+TEST(GroupCommitCrashTest, UnsyncedSuffixIsLostCleanlyWithoutReorder) {
+  // sync_wal=false: acks do not promise durability, but a machine
+  // crash must still lose only a *suffix* of the issue order — the
+  // live WAL is truncated at its last synced byte and replayed front
+  // to back, never resequenced. Rotation seals each retired log with
+  // a sync, so only the live tail is ever at risk.
+  FaultInjectionEnv env(Env::Default());
+  std::string dir = TempDir("group_commit_unsynced");
+  StoreOptions options;
+  options.env = &env;
+  options.sync_wal = false;
+  options.memtable_flush_bytes = 2048;  // several rotations mid-stream
+  constexpr int kEntries = 300;
+  {
+    auto store = KVStore::Open(options, dir);
+    ASSERT_TRUE(store.ok());
+    for (int i = 0; i < kEntries; ++i) {
+      ASSERT_TRUE((*store)->Put(Slice(Key(i)), Slice(Value(i))).ok());
+    }
+  }  // no Flush, no clean-shutdown sync
+  ASSERT_TRUE(env.DropUnsyncedData().ok());
+
+  RecoveryReport report;
+  auto recovered = KVStore::Recover(options, dir, &report);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  std::vector<std::string> keys;
+  Status scan_status = (*recovered)->Scan(
+      Slice(), Slice(), [&](const Slice& k, const Slice& v) {
+        EXPECT_EQ(v.ToString(), Value(static_cast<int>(keys.size())));
+        keys.push_back(k.ToString());
+        return true;
+      });
+  ASSERT_TRUE(scan_status.ok()) << scan_status.ToString();
+  ASSERT_LE(keys.size(), static_cast<size_t>(kEntries));
+  for (size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(keys[i], Key(static_cast<int>(i))) << "hole in prefix";
+  }
 }
 
 // -------------------------------------------- harvester degradation

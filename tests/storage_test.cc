@@ -11,6 +11,7 @@
 #include "storage/env.h"
 #include "storage/kv_store.h"
 #include "storage/memtable.h"
+#include "storage/sharded_kv_store.h"
 #include "storage/sstable.h"
 #include "storage/stored_triple_source.h"
 #include "storage/triple_codec.h"
@@ -502,7 +503,10 @@ TEST_P(KVStoreModelTest, AgreesWithMapModel) {
     } else if (action < 98) {
       ASSERT_TRUE((*store)->CompactAll().ok());
     } else {
-      // Reopen: everything must survive.
+      // Reopen: everything must survive. Destroy the old instance
+      // first so its background flushes drain before the new one
+      // scans the directory.
+      store->reset();
       store = KVStore::Open(options, dir);
       ASSERT_TRUE(store.ok());
     }
@@ -782,6 +786,285 @@ TEST_F(StoredTripleSourceTest, EstimateCountMatchesExactOnSmallStore) {
   EXPECT_EQ(source.EstimateCount({3, rdf::kAnyTerm, rdf::kAnyTerm}),
             CountMatching({3, rdf::kAnyTerm, rdf::kAnyTerm}));
   EXPECT_EQ(source.EstimateCount({99, rdf::kAnyTerm, rdf::kAnyTerm}), 0u);
+}
+
+// ---------------------------------------------------------- Block cache
+
+TEST(KVStoreCacheTest, RepeatedGetsHitTheBlockCache) {
+  std::string dir = TempDir("kv_cache_hits");
+  StoreOptions options;
+  options.sync_wal = false;
+  auto store = KVStore::Open(options, dir);
+  ASSERT_TRUE(store.ok());
+  ASSERT_NE((*store)->block_cache(), nullptr);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(
+        (*store)->Put(Slice("k" + std::to_string(i)), Slice("v")).ok());
+  }
+  ASSERT_TRUE((*store)->Flush().ok());
+  std::string value;
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 200; ++i) {
+      ASSERT_TRUE((*store)->Get(Slice("k" + std::to_string(i)), &value).ok());
+    }
+  }
+  LruCacheStats stats = (*store)->block_cache()->stats();
+  EXPECT_GT(stats.hits, 0u);
+  // The whole working set fits: later rounds should be nearly all hits.
+  EXPECT_GT(stats.hits, stats.misses);
+}
+
+TEST(KVStoreCacheTest, ZeroCapacityDisablesCaching) {
+  std::string dir = TempDir("kv_cache_off");
+  StoreOptions options;
+  options.sync_wal = false;
+  options.block_cache_bytes = 0;  // the ablation baseline
+  auto store = KVStore::Open(options, dir);
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ((*store)->block_cache(), nullptr);
+  ASSERT_TRUE((*store)->Put(Slice("k"), Slice("v")).ok());
+  ASSERT_TRUE((*store)->Flush().ok());
+  std::string value;
+  ASSERT_TRUE((*store)->Get(Slice("k"), &value).ok());
+  EXPECT_EQ(value, "v");
+}
+
+TEST(KVStoreCacheTest, SharedCacheServesSeveralStores) {
+  auto cache = std::make_shared<ShardedLruCache>(1 << 20, 4);
+  StoreOptions options;
+  options.sync_wal = false;
+  options.block_cache = cache;
+  std::string dir_a = TempDir("kv_cache_shared_a");
+  std::string dir_b = TempDir("kv_cache_shared_b");
+  auto a = KVStore::Open(options, dir_a);
+  auto b = KVStore::Open(options, dir_b);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE((*a)->Put(Slice("k"), Slice("from-a")).ok());
+  ASSERT_TRUE((*b)->Put(Slice("k"), Slice("from-b")).ok());
+  ASSERT_TRUE((*a)->Flush().ok());
+  ASSERT_TRUE((*b)->Flush().ok());
+  // Same key, same block index, different tables: ids keep the cached
+  // blocks apart.
+  std::string value;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE((*a)->Get(Slice("k"), &value).ok());
+    EXPECT_EQ(value, "from-a");
+    ASSERT_TRUE((*b)->Get(Slice("k"), &value).ok());
+    EXPECT_EQ(value, "from-b");
+  }
+  EXPECT_GT(cache->stats().hits, 0u);
+}
+
+// ------------------------------------------------------- Reentrant scan
+
+TEST(KVStoreTest, ScanVisitorMayReenterGet) {
+  std::string dir = TempDir("kv_reentrant");
+  StoreOptions options;
+  options.sync_wal = false;
+  auto store = KVStore::Open(options, dir);
+  ASSERT_TRUE(store.ok());
+  for (int i = 0; i < 50; ++i) {
+    std::string k = "k" + std::to_string(i);
+    ASSERT_TRUE((*store)->Put(Slice(k), Slice("v" + std::to_string(i))).ok());
+  }
+  ASSERT_TRUE((*store)->Flush().ok());
+  // The visitor runs with no store lock held, so calling back into the
+  // store (even writes) must not deadlock.
+  size_t visited = 0;
+  Status s = (*store)->Scan(Slice(), Slice(),
+                            [&](const Slice& key, const Slice& value) {
+                              std::string got;
+                              Status g = (*store)->Get(key, &got);
+                              EXPECT_TRUE(g.ok());
+                              EXPECT_EQ(got, value.ToString());
+                              if (visited == 0) {
+                                EXPECT_TRUE(
+                                    (*store)->Put(Slice("zz-new"), Slice("w"))
+                                        .ok());
+                              }
+                              ++visited;
+                              return true;
+                            });
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(visited, 50u);  // snapshot: the mid-scan Put is not seen
+  std::string got;
+  EXPECT_TRUE((*store)->Get(Slice("zz-new"), &got).ok());
+}
+
+// -------------------------------------------------------- ShardedKVStore
+
+TEST(ShardedKVStoreTest, RoundTripAcrossShards) {
+  std::string dir = TempDir("sharded_roundtrip");
+  ShardedStoreOptions options;
+  options.num_shards = 4;
+  options.store.sync_wal = false;
+  auto store = ShardedKVStore::Open(options, dir);
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ((*store)->num_shards(), 4);
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE((*store)
+                    ->Put(Slice("key" + std::to_string(i)),
+                          Slice("value" + std::to_string(i)))
+                    .ok());
+  }
+  std::string value;
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE((*store)->Get(Slice("key" + std::to_string(i)), &value).ok());
+    EXPECT_EQ(value, "value" + std::to_string(i));
+  }
+  ASSERT_TRUE((*store)->Delete(Slice("key7")).ok());
+  EXPECT_TRUE((*store)->Get(Slice("key7"), &value).IsNotFound());
+}
+
+TEST(ShardedKVStoreTest, ScanMergesShardsInKeyOrder) {
+  std::string dir = TempDir("sharded_scan");
+  ShardedStoreOptions options;
+  options.num_shards = 8;
+  options.store.sync_wal = false;
+  auto store = ShardedKVStore::Open(options, dir);
+  ASSERT_TRUE(store.ok());
+  std::map<std::string, std::string> model;
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    std::string key = "k" + std::to_string(rng.Uniform(100000));
+    std::string value = "v" + std::to_string(i);
+    ASSERT_TRUE((*store)->Put(Slice(key), Slice(value)).ok());
+    model[key] = value;
+  }
+  ASSERT_TRUE((*store)->Flush().ok());
+  std::vector<std::string> keys;
+  std::map<std::string, std::string> scanned;
+  ASSERT_TRUE((*store)
+                  ->Scan(Slice(), Slice(),
+                         [&](const Slice& k, const Slice& v) {
+                           keys.push_back(k.ToString());
+                           scanned[k.ToString()] = v.ToString();
+                           return true;
+                         })
+                  .ok());
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  EXPECT_EQ(scanned, model);
+  // Bounded sub-range, early stop.
+  size_t seen = 0;
+  ASSERT_TRUE((*store)
+                  ->Scan(Slice("k2"), Slice("k5"),
+                         [&](const Slice& k, const Slice&) {
+                           EXPECT_GE(k.ToString(), std::string("k2"));
+                           EXPECT_LT(k.ToString(), std::string("k5"));
+                           ++seen;
+                           return seen < 10;
+                         })
+                  .ok());
+  EXPECT_EQ(seen, 10u);
+}
+
+TEST(ShardedKVStoreTest, PersistedShardCountWinsOnReopen) {
+  std::string dir = TempDir("sharded_marker");
+  {
+    ShardedStoreOptions options;
+    options.num_shards = 4;
+    options.store.sync_wal = false;
+    auto store = ShardedKVStore::Open(options, dir);
+    ASSERT_TRUE(store.ok());
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_TRUE(
+          (*store)->Put(Slice("k" + std::to_string(i)), Slice("v")).ok());
+    }
+    ASSERT_TRUE((*store)->Flush().ok());
+  }
+  // Reopen asking for a different count: routing must follow the disk.
+  ShardedStoreOptions options;
+  options.num_shards = 16;
+  options.store.sync_wal = false;
+  auto reopened = ShardedKVStore::Open(options, dir);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->num_shards(), 4);
+  std::string value;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(
+        (*reopened)->Get(Slice("k" + std::to_string(i)), &value).ok());
+  }
+}
+
+TEST(ShardedKVStoreTest, RecoverMergesPerShardReports) {
+  std::string dir = TempDir("sharded_recover");
+  ShardedStoreOptions options;
+  options.num_shards = 4;
+  options.store.sync_wal = false;
+  {
+    auto store = ShardedKVStore::Open(options, dir);
+    ASSERT_TRUE(store.ok());
+    for (int i = 0; i < 200; ++i) {
+      ASSERT_TRUE(
+          (*store)->Put(Slice("k" + std::to_string(i)), Slice("v")).ok());
+    }
+    // No flush: every record stays WAL-resident across shards.
+  }
+  RecoveryReport report;
+  auto recovered = ShardedKVStore::Recover(options, dir, &report);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(report.wal_records_replayed, 200u);
+  EXPECT_EQ(report.tables_quarantined, 0u);
+  std::string value;
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(
+        (*recovered)->Get(Slice("k" + std::to_string(i)), &value).ok());
+  }
+}
+
+TEST(ShardedKVStoreTest, CompactAllCompactsEveryShard) {
+  std::string dir = TempDir("sharded_compact");
+  ShardedStoreOptions options;
+  options.num_shards = 2;
+  options.store.sync_wal = false;
+  options.store.l0_compaction_trigger = 100;  // keep compaction manual
+  auto store = ShardedKVStore::Open(options, dir);
+  ASSERT_TRUE(store.ok());
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_TRUE((*store)
+                      ->Put(Slice("k" + std::to_string(i)),
+                            Slice("r" + std::to_string(round)))
+                      .ok());
+    }
+    ASSERT_TRUE((*store)->Flush().ok());
+  }
+  EXPECT_GT((*store)->num_tables(), 2u);
+  ASSERT_TRUE((*store)->CompactAll().ok());
+  EXPECT_LE((*store)->num_tables(), 2u);  // <= 1 table per shard
+  std::string value;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE((*store)->Get(Slice("k" + std::to_string(i)), &value).ok());
+    EXPECT_EQ(value, "r2");
+  }
+}
+
+TEST(ShardedKVStoreTest, WorksThroughStoredTripleSource) {
+  std::string dir = TempDir("sharded_source");
+  ShardedStoreOptions options;
+  options.num_shards = 4;
+  options.store.sync_wal = false;
+  auto store = ShardedKVStore::Open(options, dir);
+  ASSERT_TRUE(store.ok());
+  std::set<rdf::Triple> triples;
+  for (rdf::TermId s = 1; s <= 5; ++s) {
+    for (rdf::TermId o = 1; o <= 4; ++o) {
+      rdf::Triple t(s, 1 + (s + o) % 2, 100 + o);
+      if (!triples.insert(t).second) continue;
+      for (TripleOrder order :
+           {TripleOrder::kSpo, TripleOrder::kPos, TripleOrder::kOsp}) {
+        ASSERT_TRUE((*store)->Put(EncodeTripleKey(order, t), "").ok());
+      }
+    }
+  }
+  StoredTripleSource source(store->get(), /*batch_size=*/4);
+  rdf::TriplePattern all;
+  std::set<rdf::Triple> got;
+  for (auto it = source.NewScan(all); it->Valid(); it->Next()) {
+    EXPECT_TRUE(got.insert(it->Value()).second);
+  }
+  EXPECT_EQ(got, triples);
 }
 
 }  // namespace

@@ -10,6 +10,7 @@
 
 #include "util/arena.h"
 #include "util/bloom_filter.h"
+#include "util/lru_cache.h"
 #include "util/date.h"
 #include "util/hash.h"
 #include "util/metrics.h"
@@ -711,6 +712,123 @@ TEST(MetricsRegistryTest, ConcurrentUpdatesAreExact) {
   EXPECT_EQ(h.count(), 8u * kPerTask);
   EXPECT_DOUBLE_EQ(h.sum(), 8.0 * kPerTask);
   EXPECT_EQ(registry.counter("mt.shared").value(), 8u * kPerTask);
+}
+
+// ---------------------------------------------------------------- LruCache
+
+std::shared_ptr<const std::string> CacheValue(size_t size, char fill = 'x') {
+  return std::make_shared<const std::string>(size, fill);
+}
+
+TEST(LruCacheTest, HitAndMiss) {
+  ShardedLruCache cache(1 << 20, /*num_shards=*/1);
+  EXPECT_EQ(cache.Lookup(1, 0), nullptr);
+  cache.Insert(1, 0, CacheValue(100, 'a'));
+  auto hit = cache.Lookup(1, 0);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ((*hit)[0], 'a');
+  EXPECT_EQ(cache.Lookup(1, 1), nullptr);  // same table, other block
+  EXPECT_EQ(cache.Lookup(2, 0), nullptr);  // other table, same block
+  LruCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 3u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsedFirst) {
+  // One shard, room for ~3 entries of 200B + overhead.
+  ShardedLruCache cache(800, /*num_shards=*/1);
+  cache.Insert(1, 0, CacheValue(200));
+  cache.Insert(1, 1, CacheValue(200));
+  cache.Insert(1, 2, CacheValue(200));
+  // Touch block 0 so block 1 is now the LRU entry.
+  ASSERT_NE(cache.Lookup(1, 0), nullptr);
+  cache.Insert(1, 3, CacheValue(200));  // must evict block 1
+  EXPECT_NE(cache.Lookup(1, 0), nullptr);
+  EXPECT_EQ(cache.Lookup(1, 1), nullptr);
+  EXPECT_NE(cache.Lookup(1, 2), nullptr);
+  EXPECT_NE(cache.Lookup(1, 3), nullptr);
+  EXPECT_GE(cache.stats().evictions, 1u);
+}
+
+TEST(LruCacheTest, CapacityAccountingStaysBounded) {
+  constexpr size_t kCapacity = 4096;
+  ShardedLruCache cache(kCapacity, /*num_shards=*/1);
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    cache.Insert(1, rng.Uniform(64), CacheValue(1 + rng.Uniform(300)));
+    EXPECT_LE(cache.stats().bytes_used, kCapacity);
+  }
+  // Re-inserting an existing key must replace, not double-count.
+  size_t entries_before = cache.stats().entries;
+  cache.Insert(1, 0, CacheValue(10));
+  cache.Insert(1, 0, CacheValue(10));
+  EXPECT_LE(cache.stats().entries, entries_before + 1);
+  EXPECT_LE(cache.stats().bytes_used, kCapacity);
+}
+
+TEST(LruCacheTest, OversizedEntryIsNotCached) {
+  ShardedLruCache cache(1024, /*num_shards=*/4);  // 256B per shard
+  cache.Insert(1, 0, CacheValue(5000));
+  EXPECT_EQ(cache.Lookup(1, 0), nullptr);
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(LruCacheTest, EvictedValueSurvivesWhilePinned) {
+  ShardedLruCache cache(400, /*num_shards=*/1);
+  cache.Insert(1, 0, CacheValue(200, 'p'));
+  auto pinned = cache.Lookup(1, 0);
+  ASSERT_NE(pinned, nullptr);
+  cache.Insert(1, 1, CacheValue(200));  // evicts block 0
+  cache.Insert(1, 2, CacheValue(200));
+  EXPECT_EQ(cache.Lookup(1, 0), nullptr);
+  // The pinned copy is untouched by the eviction.
+  EXPECT_EQ(pinned->size(), 200u);
+  EXPECT_EQ((*pinned)[0], 'p');
+}
+
+TEST(LruCacheTest, InstrumentsCountHitsMissesEvictions) {
+  MetricsRegistry registry;
+  ShardedLruCache::Instruments instruments;
+  instruments.hits = &registry.counter("c.hits");
+  instruments.misses = &registry.counter("c.misses");
+  instruments.evictions = &registry.counter("c.evictions");
+  ShardedLruCache cache(400, /*num_shards=*/1, instruments);
+  cache.Lookup(1, 0);                    // miss
+  cache.Insert(1, 0, CacheValue(200));
+  cache.Lookup(1, 0);                    // hit
+  cache.Insert(1, 1, CacheValue(200));   // evicts block 0
+  EXPECT_EQ(registry.counter("c.hits").value(), 1u);
+  EXPECT_EQ(registry.counter("c.misses").value(), 1u);
+  EXPECT_GE(registry.counter("c.evictions").value(), 1u);
+}
+
+TEST(LruCacheTest, ConcurrentHammerKeepsInvariants) {
+  constexpr size_t kCapacity = 64 << 10;
+  ShardedLruCache cache(kCapacity, /*num_shards=*/16);
+  ThreadPool pool(8);
+  pool.ParallelFor(8, [&](size_t t) {
+    Rng rng(100 + t);
+    for (int i = 0; i < 5000; ++i) {
+      uint64_t id = rng.Uniform(4);
+      uint64_t index = rng.Uniform(128);
+      if (rng.Uniform(2) == 0) {
+        auto v = cache.Lookup(id, index);
+        if (v != nullptr) {
+          // Values are immutable; a hit must be fully readable.
+          volatile char c = (*v)[v->size() - 1];
+          (void)c;
+        }
+      } else {
+        cache.Insert(id, index, CacheValue(1 + rng.Uniform(512)));
+      }
+    }
+  });
+  pool.Wait();
+  LruCacheStats stats = cache.stats();
+  EXPECT_LE(stats.bytes_used, kCapacity);
+  EXPECT_GT(stats.hits + stats.misses, 0u);
+  EXPECT_GT(stats.inserts, 0u);
 }
 
 }  // namespace
