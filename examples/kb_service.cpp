@@ -1,0 +1,171 @@
+// The KB as a service: a KbServer and a KbClient in one process.
+//
+// The tutorial's §1 framing is that big-data-era KBs power *services* —
+// knowledge panels, QA backends — not batch jobs. This example stands
+// up the serving layer over a freshly harvested KB and walks the
+// service surface a frontend would use:
+//
+//   1. health + metrics introspection,
+//   2. a SPARQL query, repeated to show the result cache hitting,
+//   3. a knowledge-panel entity card fetched over the wire,
+//   4. a live write (insert_facts) that invalidates the cached query
+//      by bumping the KB epoch — the next read sees the new fact,
+//   5. a deadline-bounded query and an over-capacity burst, showing
+//      the server failing *politely* (deadline_exceeded / overloaded).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/harvester.h"
+#include "rdf/namespaces.h"
+#include "server/kb_client.h"
+#include "server/kb_server.h"
+
+using namespace kb;
+
+namespace {
+
+void PrintRows(const server::QueryResult& result, size_t limit = 5) {
+  printf("   cached=%s, %zu rows\n", result.cached ? "yes" : "no",
+         result.rows.size());
+  for (size_t i = 0; i < result.rows.size() && i < limit; ++i) {
+    printf("   ");
+    for (size_t c = 0; c < result.columns.size(); ++c) {
+      printf("%s%s=%s", c > 0 ? "  " : "", result.columns[c].c_str(),
+             result.rows[i][c].c_str());
+    }
+    printf("\n");
+  }
+  if (result.rows.size() > limit) {
+    printf("   ... (%zu more)\n", result.rows.size() - limit);
+  }
+}
+
+}  // namespace
+
+int main() {
+  // Harvest a KB from the synthetic corpus, as the pipeline examples do.
+  corpus::WorldOptions world_options;
+  world_options.seed = 7;
+  world_options.num_persons = 120;
+  corpus::CorpusOptions corpus_options;
+  corpus_options.seed = 8;
+  corpus::Corpus corpus = corpus::BuildCorpus(world_options, corpus_options);
+  core::Harvester harvester;
+  core::HarvestResult harvest = harvester.Harvest(corpus);
+  printf("harvested KB: %zu triples, %zu entities\n\n",
+         harvest.kb.NumTriples(), harvest.kb.NumEntities());
+
+  server::KbServer::Options options;
+  options.num_workers = 2;
+  server::KbServer server(&harvest.kb, options);
+  Status status = server.Start();
+  if (!status.ok()) {
+    fprintf(stderr, "server start failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  printf("serving on 127.0.0.1:%d\n\n", server.port());
+
+  server::KbClient client;
+  if (!client.Connect(server.port()).ok()) return 1;
+
+  // 1. Health check.
+  auto health = client.Health();
+  if (health.ok()) {
+    printf("1. health: epoch=%lld, triples=%.0f, uptime=%.1fms\n\n",
+           static_cast<long long>(health->GetNumber("epoch")),
+           health->GetNumber("triples"), health->GetNumber("uptime_ms"));
+  }
+
+  // 2. A hot query, twice: the second round-trip is a cache hit.
+  const std::string employer_query =
+      "SELECT ?p ?c WHERE { ?p <" + rdf::PropertyIri("worksFor") +
+      "> ?c . }";
+  printf("2. query (cold):\n");
+  auto cold = client.Query(employer_query);
+  if (!cold.ok()) return 1;
+  PrintRows(*cold, 3);
+  printf("   query again (hot):\n");
+  auto hot = client.Query(employer_query);
+  if (!hot.ok()) return 1;
+  PrintRows(*hot, 0);
+
+  // 3. A knowledge panel over the wire.
+  const corpus::Entity& company = corpus.world.entity(
+      corpus.world.ByKind(corpus::EntityKind::kCompany)[0]);
+  printf("\n3. entity card for %s:\n", company.canonical.c_str());
+  auto card = client.EntityCard(company.canonical, 4);
+  if (card.ok()) {
+    printf("%s", card->GetString("text").c_str());
+  }
+
+  // 4. Live write: the insert bumps the KB epoch, so the cached query
+  // from step 2 is stale by construction and re-executes.
+  printf("\n4. insert a fact and re-run the cached query:\n");
+  server::WireFact fact;
+  fact.s = "Example_Hire";
+  fact.p = "worksFor";
+  fact.o = company.canonical;
+  fact.confidence = 0.99;
+  auto inserted = client.InsertFacts({fact});
+  if (inserted.ok()) {
+    printf("   inserted %lld fact(s); epoch now %lld\n",
+           static_cast<long long>(*inserted),
+           static_cast<long long>(
+               client.last_response().GetNumber("epoch")));
+  }
+  auto fresh = client.Query(employer_query);
+  if (!fresh.ok()) return 1;
+  printf("   re-query: cached=%s (stale entry dropped), %zu rows (+1)\n",
+         fresh->cached ? "yes" : "no", fresh->rows.size());
+
+  // 5a. Deadline-bounded query: an already-expired budget fails fast
+  // with a partial-free error instead of returning truncated rows.
+  printf("\n5. bounded failure modes:\n");
+  auto expired = client.Query(employer_query, /*deadline_ms=*/0,
+                              /*max_rows=*/-1, /*no_cache=*/true);
+  printf("   deadline_ms=0  -> %s\n", expired.status().ToString().c_str());
+
+  // 5b. Overload: park the only worker of a tiny server behind slow
+  // clients and watch admission control shed the rest with a retry
+  // hint rather than queueing them forever.
+  server::KbServer::Options tiny;
+  tiny.num_workers = 1;
+  tiny.queue_depth = 1;
+  tiny.retry_after_ms = 25;
+  server::KbServer small_server(&harvest.kb, tiny);
+  if (!small_server.Start().ok()) return 1;
+  server::KbClient holder;     // occupies the worker
+  server::KbClient waiter;     // occupies the queue slot
+  (void)holder.Connect(small_server.port());
+  (void)holder.Health();
+  (void)waiter.Connect(small_server.port());
+  server::KbClient shed;
+  (void)shed.Connect(small_server.port());
+  auto overloaded = shed.Health();
+  printf("   over capacity  -> %s (retry after %dms)\n",
+         overloaded.status().ToString().c_str(), shed.retry_after_ms());
+  small_server.Stop();
+
+  // Server-side view of everything above.
+  auto metrics = client.MetricsText();
+  if (metrics.ok()) {
+    printf("\nserver metrics snapshot (excerpt):\n");
+    size_t pos = 0, shown = 0;
+    while (shown < 12 && pos < metrics->size()) {
+      size_t end = metrics->find('\n', pos);
+      if (end == std::string::npos) end = metrics->size();
+      std::string line = metrics->substr(pos, end - pos);
+      if (line.find("server.") != std::string::npos) {
+        printf("  %s\n", line.c_str());
+        ++shown;
+      }
+      pos = end + 1;
+    }
+  }
+
+  server.Stop();
+  printf("\ndone.\n");
+  return 0;
+}

@@ -16,6 +16,8 @@ KnowledgeBase::KnowledgeBase() {
 
 KnowledgeBase::KnowledgeBase(KnowledgeBase&& other) noexcept {
   std::lock_guard<std::mutex> lock(other.mu_);
+  epoch_.store(other.epoch_.load(std::memory_order_acquire),
+               std::memory_order_release);
   store_ = std::move(other.store_);
   taxonomy_ = std::move(other.taxonomy_);
   entity_terms_ = std::move(other.entity_terms_);
@@ -28,6 +30,8 @@ KnowledgeBase::KnowledgeBase(KnowledgeBase&& other) noexcept {
 KnowledgeBase& KnowledgeBase::operator=(KnowledgeBase&& other) noexcept {
   if (this == &other) return *this;
   std::scoped_lock lock(mu_, other.mu_);
+  epoch_.store(other.epoch_.load(std::memory_order_acquire),
+               std::memory_order_release);
   store_ = std::move(other.store_);
   taxonomy_ = std::move(other.taxonomy_);
   entity_terms_ = std::move(other.entity_terms_);
@@ -75,6 +79,7 @@ void KnowledgeBase::AssertType(const std::string& canonical,
   taxonomy_.Intern(cls);
   store_.Add(rdf::Triple(EntityTermLocked(canonical), rdf_type_,
                          ClassTermLocked(cls)));
+  BumpEpoch();
 }
 
 void KnowledgeBase::AssertSubclass(const std::string& sub,
@@ -83,6 +88,7 @@ void KnowledgeBase::AssertSubclass(const std::string& sub,
   taxonomy_.AddSubclass(taxonomy_.Intern(sub), taxonomy_.Intern(super));
   store_.Add(rdf::Triple(ClassTermLocked(sub), rdfs_subclass_,
                          ClassTermLocked(super)));
+  BumpEpoch();
 }
 
 bool KnowledgeBase::InsertMetaLocked(const rdf::Triple& t,
@@ -109,6 +115,7 @@ bool KnowledgeBase::AssertFact(const std::string& subject,
                 EntityTermLocked(object));
   bool fresh = store_.Add(t);
   InsertMetaLocked(t, meta, /*merge_valid_time=*/true);
+  BumpEpoch();
   return fresh;
 }
 
@@ -120,6 +127,7 @@ bool KnowledgeBase::AssertYearFact(const std::string& subject,
                 store_.dict().Intern(Term::IntLiteral(year)));
   bool fresh = store_.Add(t);
   InsertMetaLocked(t, meta, /*merge_valid_time=*/false);
+  BumpEpoch();
   return fresh;
 }
 
@@ -130,6 +138,7 @@ void KnowledgeBase::AssertLabel(const std::string& canonical,
   store_.Add(rdf::Triple(EntityTermLocked(canonical), rdfs_label_,
                          store_.dict().Intern(Term::LangLiteral(label,
                                                                 lang))));
+  BumpEpoch();
 }
 
 const FactMeta* KnowledgeBase::MetaOf(const rdf::Triple& triple) const {
@@ -143,6 +152,7 @@ void KnowledgeBase::AddTripleWithMeta(const rdf::Triple& triple,
   std::lock_guard<std::mutex> lock(mu_);
   store_.Add(triple);
   if (meta != nullptr) meta_[triple] = *meta;
+  BumpEpoch();
 }
 
 void KnowledgeBase::RebuildDerivedIndexes() {
@@ -184,19 +194,32 @@ void KnowledgeBase::RebuildDerivedIndexes() {
 
 StatusOr<std::vector<query::Binding>> KnowledgeBase::Query(
     std::string_view sparql) const {
+  return Query(sparql, query::ExecutionOptions{});
+}
+
+StatusOr<std::vector<query::Binding>> KnowledgeBase::Query(
+    std::string_view sparql, const query::ExecutionOptions& options,
+    query::QueryStats* stats) const {
   // Parsing reads the dictionary, which races with concurrent
   // interning, so it stays under the KB lock. Execution does not: the
   // engine pins a store snapshot, so it runs lock-free while assert
   // workers keep appending.
-  query::SelectQuery parsed;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto result = query::ParseSparql(sparql, store_.dict());
-    if (!result.ok()) return result.status();
-    parsed = std::move(*result);
-  }
+  auto parsed = ParseQuery(sparql);
+  if (!parsed.ok()) return parsed.status();
+  return Execute(*parsed, options, stats);
+}
+
+StatusOr<query::SelectQuery> KnowledgeBase::ParseQuery(
+    std::string_view sparql) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return query::ParseSparql(sparql, store_.dict());
+}
+
+std::vector<query::Binding> KnowledgeBase::Execute(
+    const query::SelectQuery& parsed, const query::ExecutionOptions& options,
+    query::QueryStats* stats) const {
   query::QueryEngine engine(&store_, &plan_cache_);
-  return engine.Execute(parsed);
+  return engine.Execute(parsed, options, stats);
 }
 
 }  // namespace core

@@ -1,6 +1,7 @@
 #ifndef KBFORGE_CORE_KNOWLEDGE_BASE_H_
 #define KBFORGE_CORE_KNOWLEDGE_BASE_H_
 
+#include <atomic>
 #include <map>
 #include <mutex>
 #include <string>
@@ -106,6 +107,33 @@ class KnowledgeBase {
   /// Runs a SPARQL-lite query against the store.
   StatusOr<std::vector<query::Binding>> Query(std::string_view sparql) const;
 
+  /// Query with executor knobs (deadline, row caps, ablation toggles)
+  /// and optional stats out-param — the serving layer's entry point.
+  /// On a deadline the partial rows produced so far are returned and
+  /// `stats->deadline_exceeded` is set; callers decide whether a
+  /// prefix is acceptable.
+  StatusOr<std::vector<query::Binding>> Query(
+      std::string_view sparql, const query::ExecutionOptions& options,
+      query::QueryStats* stats = nullptr) const;
+
+  /// Parses without executing, under the KB lock (the dictionary races
+  /// with concurrent interning otherwise). The serving layer parses
+  /// first to derive its result-cache key from the normalized shape,
+  /// then executes only on a miss.
+  StatusOr<query::SelectQuery> ParseQuery(std::string_view sparql) const;
+
+  /// Executes an already-parsed query through this KB's plan cache,
+  /// against a store snapshot (safe alongside concurrent asserts).
+  std::vector<query::Binding> Execute(const query::SelectQuery& parsed,
+                                      const query::ExecutionOptions& options,
+                                      query::QueryStats* stats = nullptr) const;
+
+  /// Monotone write-version of this KB: bumped by every mutating call
+  /// (asserts, bulk loads). Caches keyed by (query, epoch) — the
+  /// serving layer's result cache — drop stale entries for free on the
+  /// next write, without any explicit invalidation traffic.
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
   /// Serializes all triples as N-Triples (Linked-Data export).
   std::string ExportNTriples() const { return rdf::WriteNTriples(store_); }
 
@@ -116,11 +144,14 @@ class KnowledgeBase {
   bool InsertMetaLocked(const rdf::Triple& t, const FactMeta& meta,
                         bool merge_valid_time);
 
+  void BumpEpoch() { epoch_.fetch_add(1, std::memory_order_acq_rel); }
+
   mutable std::mutex mu_;
   /// Compiled plans for repeated query shapes, keyed against this KB's
   /// dictionary ids. Internally synchronized; not moved with the KB
   /// (the target starts with a cold cache).
   mutable query::PlanCache plan_cache_;
+  std::atomic<uint64_t> epoch_{0};
   rdf::TripleStore store_;
   taxonomy::Taxonomy taxonomy_;
   std::map<std::string, rdf::TermId> entity_terms_;

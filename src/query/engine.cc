@@ -110,6 +110,32 @@ class Cursor::Operator {
   virtual bool Next(Row* row) = 0;
 };
 
+/// Shared cooperative-cancellation state for one cursor. The scan and
+/// join operators poll Expired() from their inner loops, so a deadline
+/// cuts off even executions that churn through intermediate triples
+/// without ever surfacing a row to Cursor::Next. The clock is only
+/// consulted every kCheckStride polls (a steady_clock read per triple
+/// would dominate scan cost); once expired, the state latches.
+struct Cursor::CancelState {
+  static constexpr uint32_t kCheckStride = 256;
+
+  std::chrono::steady_clock::time_point deadline{};
+  uint32_t polls_until_check = 0;  ///< first poll checks the clock
+  bool armed = false;
+  bool expired = false;
+
+  bool Expired() {
+    if (!armed || expired) return expired;
+    if (polls_until_check > 0) {
+      --polls_until_check;
+      return false;
+    }
+    polls_until_check = kCheckStride - 1;
+    expired = std::chrono::steady_clock::now() >= deadline;
+    return expired;
+  }
+};
+
 namespace {
 
 using Operator = Cursor::Operator;
@@ -140,12 +166,14 @@ class OnceOp : public Operator {
 class IndexScanOp : public Operator {
  public:
   IndexScanOp(const rdf::TripleSource* source, const CompiledScan& scan,
-              size_t width, bool use_indexes, QueryStats* stats)
+              size_t width, bool use_indexes, QueryStats* stats,
+              Cursor::CancelState* cancel)
       : source_(source),
         scan_(scan),
         width_(width),
         use_indexes_(use_indexes),
-        stats_(stats) {}
+        stats_(stats),
+        cancel_(cancel) {}
 
   bool Next(Row* row) override {
     if (iter_ == nullptr) {
@@ -155,6 +183,7 @@ class IndexScanOp : public Operator {
       ++stats_->patterns_evaluated;
     }
     while (iter_->Valid()) {
+      if (cancel_->Expired()) return false;
       const rdf::Triple& t = iter_->Value();
       ++stats_->intermediate_rows;
       row->assign(width_, rdf::kAnyTerm);
@@ -171,6 +200,7 @@ class IndexScanOp : public Operator {
   size_t width_;
   bool use_indexes_;
   QueryStats* stats_;
+  Cursor::CancelState* cancel_;
   std::unique_ptr<rdf::ScanIterator> iter_;
 };
 
@@ -181,17 +211,19 @@ class IndexNestedLoopJoinOp : public Operator {
   IndexNestedLoopJoinOp(std::unique_ptr<Operator> child,
                         const rdf::TripleSource* source,
                         const CompiledScan& scan, bool use_indexes,
-                        QueryStats* stats)
+                        QueryStats* stats, Cursor::CancelState* cancel)
       : child_(std::move(child)),
         source_(source),
         scan_(scan),
         use_indexes_(use_indexes),
-        stats_(stats) {}
+        stats_(stats),
+        cancel_(cancel) {}
 
   bool Next(Row* row) override {
     for (;;) {
       if (iter_ != nullptr) {
         while (iter_->Valid()) {
+          if (cancel_->Expired()) return false;
           const rdf::Triple& t = iter_->Value();
           ++stats_->intermediate_rows;
           *row = outer_;
@@ -214,6 +246,7 @@ class IndexNestedLoopJoinOp : public Operator {
   CompiledScan scan_;
   bool use_indexes_;
   QueryStats* stats_;
+  Cursor::CancelState* cancel_;
   Row outer_;
   std::unique_ptr<rdf::ScanIterator> iter_;
 };
@@ -289,7 +322,13 @@ Cursor::Cursor(PlanPtr plan,
                const ExecutionOptions& options, size_t limit)
     : plan_(std::move(plan)),
       snapshot_(std::move(snapshot)),
-      stats_(std::make_unique<QueryStats>()) {
+      cancel_(std::make_unique<CancelState>()),
+      stats_(std::make_unique<QueryStats>()),
+      max_rows_(options.exec.max_rows) {
+  if (options.exec.has_deadline()) {
+    cancel_->armed = true;
+    cancel_->deadline = options.exec.deadline;
+  }
   const rdf::TripleSource* src =
       snapshot_ != nullptr ? snapshot_.get() : source;
   std::unique_ptr<Operator> op;
@@ -300,11 +339,12 @@ Cursor::Cursor(PlanPtr plan,
   } else {
     op = std::make_unique<IndexScanOp>(src, plan_->scans[0],
                                        plan_->var_names.size(),
-                                       options.use_indexes, stats_.get());
+                                       options.use_indexes, stats_.get(),
+                                       cancel_.get());
     for (size_t i = 1; i < plan_->scans.size(); ++i) {
       op = std::make_unique<IndexNestedLoopJoinOp>(
           std::move(op), src, plan_->scans[i], options.use_indexes,
-          stats_.get());
+          stats_.get(), cancel_.get());
     }
   }
   op = std::make_unique<ProjectOp>(std::move(op), plan_->projection_slots);
@@ -326,7 +366,22 @@ Cursor::~Cursor() {
 }
 
 bool Cursor::Next(Row* row) {
-  if (!root_->Next(row)) return false;
+  if (stats_->deadline_exceeded || stats_->max_rows_hit) return false;
+  if (max_rows_ != 0 && stats_->rows_streamed >= max_rows_) {
+    stats_->max_rows_hit = true;
+    return false;
+  }
+  // An already-expired deadline ends the stream before the first pull
+  // (deterministic for "give up immediately" requests); otherwise the
+  // operators poll cooperatively from their scan loops.
+  if (cancel_->armed && stats_->rows_streamed == 0 &&
+      std::chrono::steady_clock::now() >= cancel_->deadline) {
+    cancel_->expired = true;
+  }
+  if (cancel_->expired || !root_->Next(row)) {
+    stats_->deadline_exceeded = cancel_->expired;
+    return false;
+  }
   ++stats_->rows_streamed;
   return true;
 }

@@ -1,6 +1,7 @@
 #ifndef KBFORGE_QUERY_ENGINE_H_
 #define KBFORGE_QUERY_ENGINE_H_
 
+#include <chrono>
 #include <map>
 #include <memory>
 #include <string>
@@ -22,6 +23,26 @@ using Binding = std::map<std::string, rdf::TermId>;
 /// row[slot] holds the value of plan->var_names[slot].
 using Row = std::vector<rdf::TermId>;
 
+/// Per-execution serving limits: a cooperative deadline checked inside
+/// the operator loops (so a join that grinds through millions of
+/// intermediate triples without yielding a row still stops), and a hard
+/// cap on produced rows. Both are enforced by Cursor::Next; when either
+/// trips, the cursor ends its stream and flags QueryStats, so callers
+/// can distinguish "exhausted" from "cut off" (and e.g. refuse to serve
+/// or cache a truncated result).
+struct ExecOptions {
+  /// Absolute give-up point; time_point{} (the epoch) = no deadline.
+  std::chrono::steady_clock::time_point deadline{};
+  /// Stop after this many produced rows; 0 = unlimited. Unlike LIMIT
+  /// this is a server-side protection, not part of the query (it does
+  /// not join the plan-cache key and trips `max_rows_hit`).
+  size_t max_rows = 0;
+
+  bool has_deadline() const {
+    return deadline != std::chrono::steady_clock::time_point{};
+  }
+};
+
 /// Executor knobs (E10 ablations).
 struct ExecutionOptions {
   bool reorder_patterns = true;  ///< greedy selectivity-based join order
@@ -31,6 +52,9 @@ struct ExecutionOptions {
   /// false = drain the full result, then truncate (LIMIT ablation: no
   /// early termination). Streaming executor only.
   bool pushdown_limit = true;
+  /// Serving limits (deadline + row cap). Streaming executor only; the
+  /// materializing ablation ignores them.
+  ExecOptions exec;
 };
 
 /// Execution counters.
@@ -40,6 +64,11 @@ struct QueryStats {
   uint64_t index_scans = 0;
   uint64_t rows_streamed = 0;  ///< rows the root operator produced
   bool plan_cache_hit = false;
+  /// The ExecOptions deadline expired before the stream was exhausted:
+  /// whatever rows were produced are a prefix, not the full result.
+  bool deadline_exceeded = false;
+  /// The ExecOptions row cap stopped the stream.
+  bool max_rows_hit = false;
 };
 
 /// A pull cursor over one executing query: the root of a Volcano-style
@@ -49,7 +78,8 @@ struct QueryStats {
 /// single-consumer; holds the source snapshot alive.
 class Cursor {
  public:
-  class Operator;  ///< defined in engine.cc
+  class Operator;     ///< defined in engine.cc
+  struct CancelState; ///< cooperative-cancellation state, in engine.cc
 
   Cursor(Cursor&&) noexcept;
   Cursor& operator=(Cursor&&) noexcept;
@@ -75,8 +105,10 @@ class Cursor {
 
   PlanPtr plan_;
   std::shared_ptr<const rdf::TripleSource> snapshot_;  ///< may be null
+  std::unique_ptr<CancelState> cancel_;
   std::unique_ptr<Operator> root_;
   std::unique_ptr<QueryStats> stats_;
+  size_t max_rows_ = 0;  ///< ExecOptions row cap (0 = unlimited)
   bool flushed_metrics_ = false;
 };
 

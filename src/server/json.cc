@@ -1,0 +1,355 @@
+#include "server/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace kb {
+namespace server {
+
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+struct Parser {
+  std::string_view text;
+  size_t pos = 0;
+
+  bool AtEnd() const { return pos >= text.size(); }
+  char Peek() const { return text[pos]; }
+
+  void SkipSpace() {
+    while (!AtEnd()) {
+      char c = text[pos];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos;
+    }
+  }
+
+  bool Consume(char c) {
+    if (AtEnd() || text[pos] != c) return false;
+    ++pos;
+    return true;
+  }
+
+  bool ConsumeWord(std::string_view word) {
+    if (text.substr(pos, word.size()) != word) return false;
+    pos += word.size();
+    return true;
+  }
+
+  Status Error(const char* what) const {
+    return Status::InvalidArgument(std::string("json: ") + what +
+                                   " at offset " + std::to_string(pos));
+  }
+
+  Status ParseValue(Json* out, int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    SkipSpace();
+    if (AtEnd()) return Error("unexpected end of input");
+    char c = Peek();
+    switch (c) {
+      case 'n':
+        if (!ConsumeWord("null")) return Error("bad literal");
+        *out = Json::Null();
+        return Status::OK();
+      case 't':
+        if (!ConsumeWord("true")) return Error("bad literal");
+        *out = Json::Bool(true);
+        return Status::OK();
+      case 'f':
+        if (!ConsumeWord("false")) return Error("bad literal");
+        *out = Json::Bool(false);
+        return Status::OK();
+      case '"':
+        return ParseString(out);
+      case '[':
+        return ParseArray(out, depth);
+      case '{':
+        return ParseObject(out, depth);
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseNumber(Json* out) {
+    size_t start = pos;
+    if (Consume('-')) {
+    }
+    while (!AtEnd() && (isdigit(static_cast<unsigned char>(Peek())) ||
+                        Peek() == '.' || Peek() == 'e' || Peek() == 'E' ||
+                        Peek() == '+' || Peek() == '-')) {
+      ++pos;
+    }
+    if (pos == start) return Error("expected value");
+    std::string token(text.substr(start, pos - start));
+    char* end = nullptr;
+    double v = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0' || !std::isfinite(v)) {
+      return Error("bad number");
+    }
+    *out = Json::Number(v);
+    return Status::OK();
+  }
+
+  Status ParseString(Json* out) {
+    std::string s;
+    KB_RETURN_IF_ERROR(ParseStringInto(&s));
+    *out = Json::Str(std::move(s));
+    return Status::OK();
+  }
+
+  Status ParseStringInto(std::string* s) {
+    if (!Consume('"')) return Error("expected string");
+    while (true) {
+      if (AtEnd()) return Error("unterminated string");
+      char c = text[pos++];
+      if (c == '"') return Status::OK();
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("control character in string");
+      }
+      if (c != '\\') {
+        s->push_back(c);
+        continue;
+      }
+      if (AtEnd()) return Error("unterminated escape");
+      char e = text[pos++];
+      switch (e) {
+        case '"': s->push_back('"'); break;
+        case '\\': s->push_back('\\'); break;
+        case '/': s->push_back('/'); break;
+        case 'b': s->push_back('\b'); break;
+        case 'f': s->push_back('\f'); break;
+        case 'n': s->push_back('\n'); break;
+        case 'r': s->push_back('\r'); break;
+        case 't': s->push_back('\t'); break;
+        case 'u': {
+          if (pos + 4 > text.size()) return Error("bad \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text[pos++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return Error("bad \\u escape");
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs are kept
+          // as-is per half; good enough for a debugging protocol).
+          if (code < 0x80) {
+            s->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            s->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            s->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            s->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            s->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            s->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Error("bad escape");
+      }
+    }
+  }
+
+  Status ParseArray(Json* out, int depth) {
+    Consume('[');
+    *out = Json::Array();
+    SkipSpace();
+    if (Consume(']')) return Status::OK();
+    while (true) {
+      Json item;
+      KB_RETURN_IF_ERROR(ParseValue(&item, depth + 1));
+      out->Append(std::move(item));
+      SkipSpace();
+      if (Consume(']')) return Status::OK();
+      if (!Consume(',')) return Error("expected ',' or ']'");
+    }
+  }
+
+  Status ParseObject(Json* out, int depth) {
+    Consume('{');
+    *out = Json::Object();
+    SkipSpace();
+    if (Consume('}')) return Status::OK();
+    while (true) {
+      SkipSpace();
+      std::string key;
+      KB_RETURN_IF_ERROR(ParseStringInto(&key));
+      SkipSpace();
+      if (!Consume(':')) return Error("expected ':'");
+      Json value;
+      KB_RETURN_IF_ERROR(ParseValue(&value, depth + 1));
+      out->Set(key, std::move(value));
+      SkipSpace();
+      if (Consume('}')) return Status::OK();
+      if (!Consume(',')) return Error("expected ',' or '}'");
+    }
+  }
+};
+
+void EscapeInto(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\b': *out += "\\b"; break;
+      case '\f': *out += "\\f"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void DumpInto(const Json& v, std::string* out) {
+  switch (v.type()) {
+    case Json::Type::kNull:
+      *out += "null";
+      return;
+    case Json::Type::kBool:
+      *out += v.as_bool() ? "true" : "false";
+      return;
+    case Json::Type::kNumber: {
+      double d = v.as_number();
+      // Integers print without a fraction (ids, counts, ports).
+      if (d == std::floor(d) && std::abs(d) < 9.0e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(d));
+        *out += buf;
+      } else {
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.17g", d);
+        *out += buf;
+      }
+      return;
+    }
+    case Json::Type::kString:
+      EscapeInto(v.as_string(), out);
+      return;
+    case Json::Type::kArray: {
+      out->push_back('[');
+      bool first = true;
+      for (const Json& item : v.items()) {
+        if (!first) out->push_back(',');
+        first = false;
+        DumpInto(item, out);
+      }
+      out->push_back(']');
+      return;
+    }
+    case Json::Type::kObject: {
+      out->push_back('{');
+      bool first = true;
+      for (const auto& [key, value] : v.fields()) {
+        if (!first) out->push_back(',');
+        first = false;
+        EscapeInto(key, out);
+        out->push_back(':');
+        DumpInto(value, out);
+      }
+      out->push_back('}');
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+Json Json::Bool(bool b) {
+  Json j;
+  j.type_ = Type::kBool;
+  j.bool_ = b;
+  return j;
+}
+
+Json Json::Number(double v) {
+  Json j;
+  j.type_ = Type::kNumber;
+  j.number_ = v;
+  return j;
+}
+
+Json Json::Str(std::string s) {
+  Json j;
+  j.type_ = Type::kString;
+  j.string_ = std::move(s);
+  return j;
+}
+
+Json Json::Array() {
+  Json j;
+  j.type_ = Type::kArray;
+  return j;
+}
+
+Json Json::Object() {
+  Json j;
+  j.type_ = Type::kObject;
+  return j;
+}
+
+StatusOr<Json> Json::Parse(std::string_view text) {
+  Parser parser{text};
+  Json value;
+  KB_RETURN_IF_ERROR(parser.ParseValue(&value, 0));
+  parser.SkipSpace();
+  if (!parser.AtEnd()) return parser.Error("trailing garbage");
+  return value;
+}
+
+const Json& Json::operator[](const std::string& key) const {
+  static const Json kNull;
+  if (type_ != Type::kObject) return kNull;
+  auto it = object_.find(key);
+  return it == object_.end() ? kNull : it->second;
+}
+
+std::string Json::GetString(const std::string& key,
+                            const std::string& fallback) const {
+  const Json& v = (*this)[key];
+  return v.is_string() ? v.as_string() : fallback;
+}
+
+double Json::GetNumber(const std::string& key, double fallback) const {
+  const Json& v = (*this)[key];
+  return v.is_number() ? v.as_number() : fallback;
+}
+
+bool Json::GetBool(const std::string& key, bool fallback) const {
+  const Json& v = (*this)[key];
+  return v.is_bool() ? v.as_bool() : fallback;
+}
+
+Json& Json::Set(const std::string& key, Json value) {
+  if (type_ == Type::kObject) object_[key] = std::move(value);
+  return *this;
+}
+
+Json& Json::Append(Json value) {
+  if (type_ == Type::kArray) array_.push_back(std::move(value));
+  return *this;
+}
+
+std::string Json::Dump() const {
+  std::string out;
+  DumpInto(*this, &out);
+  return out;
+}
+
+}  // namespace server
+}  // namespace kb

@@ -1,0 +1,181 @@
+#include "server/kb_client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <utility>
+
+#include "server/protocol.h"
+
+namespace kb {
+namespace server {
+
+KbClient::~KbClient() { Close(); }
+
+KbClient::KbClient(KbClient&& other) noexcept
+    : fd_(other.fd_),
+      retry_after_ms_(other.retry_after_ms_),
+      last_response_(std::move(other.last_response_)) {
+  other.fd_ = -1;
+}
+
+KbClient& KbClient::operator=(KbClient&& other) noexcept {
+  if (this == &other) return *this;
+  Close();
+  fd_ = other.fd_;
+  retry_after_ms_ = other.retry_after_ms_;
+  last_response_ = std::move(other.last_response_);
+  other.fd_ = -1;
+  return *this;
+}
+
+Status KbClient::Connect(int port) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return Status::IOError("socket: " + std::string(::strerror(errno)));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status s = Status::IOError("connect: " + std::string(::strerror(errno)));
+    Close();
+    return s;
+  }
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Status::OK();
+}
+
+void KbClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+StatusOr<Json> KbClient::Call(const Json& request) {
+  if (fd_ < 0) return Status::IOError("client not connected");
+  Status write_status = WriteFrame(fd_, request.Dump());
+  // Even when the write fails, read before giving up: a server that
+  // shed this connection at admission wrote its overload frame and
+  // closed before we ever sent — that frame is sitting in our receive
+  // buffer and carries the retry hint.
+  std::string payload;
+  Status status = ReadFrame(fd_, &payload);
+  if (!status.ok()) {
+    Close();
+    if (!write_status.ok()) return write_status;
+    if (status.IsAborted()) {
+      return Status::IOError("server closed the connection");
+    }
+    return status;
+  }
+  auto response = Json::Parse(payload);
+  if (!response.ok()) return response.status();
+  last_response_ = *response;
+
+  const std::string result = response->GetString("status");
+  if (result == "ok") return std::move(*response);
+  const std::string error = response->GetString("error");
+  const std::string message = response->GetString("message", error);
+  if (result == "overloaded" || error == "overloaded") {
+    // The server sheds the whole connection on overload, so this fd is
+    // dead; reconnect after the hinted backoff.
+    retry_after_ms_ =
+        static_cast<int>(response->GetNumber("retry_after_ms", 0));
+    Close();
+    return Status::Unavailable(message.empty() ? "overloaded" : message);
+  }
+  if (error == "deadline_exceeded") return Status::DeadlineExceeded(message);
+  if (error == "not_found") return Status::NotFound(message);
+  if (error == "bad_request" || error == "bad_query" ||
+      error == "bad_frame" || error == "unknown_endpoint") {
+    return Status::InvalidArgument(error + ": " + message);
+  }
+  return Status::Internal(error + ": " + message);
+}
+
+StatusOr<QueryResult> KbClient::Query(const std::string& sparql,
+                                      double deadline_ms, int64_t max_rows,
+                                      bool no_cache) {
+  Json request = Json::Object();
+  request.Set("op", Json::Str("query"));
+  request.Set("sparql", Json::Str(sparql));
+  if (deadline_ms >= 0) request.Set("deadline_ms", Json::Number(deadline_ms));
+  if (max_rows >= 0) {
+    request.Set("max_rows", Json::Number(static_cast<double>(max_rows)));
+  }
+  if (no_cache) request.Set("no_cache", Json::Bool(true));
+  auto response = Call(request);
+  if (!response.ok()) return response.status();
+  QueryResult result;
+  result.cached = response->GetBool("cached");
+  result.truncated = response->GetBool("truncated");
+  for (const Json& column : (*response)["columns"].items()) {
+    result.columns.push_back(column.as_string());
+  }
+  for (const Json& row : (*response)["rows"].items()) {
+    std::vector<std::string> out;
+    out.reserve(row.items().size());
+    for (const Json& cell : row.items()) out.push_back(cell.as_string());
+    result.rows.push_back(std::move(out));
+  }
+  return result;
+}
+
+StatusOr<Json> KbClient::EntityCard(const std::string& entity,
+                                    size_t max_facts) {
+  Json request = Json::Object();
+  request.Set("op", Json::Str("entity_card"));
+  request.Set("entity", Json::Str(entity));
+  if (max_facts > 0) {
+    request.Set("max_facts", Json::Number(static_cast<double>(max_facts)));
+  }
+  return Call(request);
+}
+
+StatusOr<int64_t> KbClient::InsertFacts(const std::vector<WireFact>& facts) {
+  Json request = Json::Object();
+  request.Set("op", Json::Str("insert_facts"));
+  Json array = Json::Array();
+  for (const WireFact& fact : facts) {
+    Json f = Json::Object();
+    f.Set("s", Json::Str(fact.s));
+    f.Set("p", Json::Str(fact.p));
+    if (fact.has_year) {
+      f.Set("year", Json::Number(fact.year));
+    } else {
+      f.Set("o", Json::Str(fact.o));
+    }
+    f.Set("confidence", Json::Number(fact.confidence));
+    f.Set("support", Json::Number(fact.support));
+    array.Append(std::move(f));
+  }
+  request.Set("facts", std::move(array));
+  auto response = Call(request);
+  if (!response.ok()) return response.status();
+  return static_cast<int64_t>(response->GetNumber("inserted"));
+}
+
+StatusOr<Json> KbClient::Health() {
+  Json request = Json::Object();
+  request.Set("op", Json::Str("health"));
+  return Call(request);
+}
+
+StatusOr<std::string> KbClient::MetricsText() {
+  Json request = Json::Object();
+  request.Set("op", Json::Str("metrics"));
+  auto response = Call(request);
+  if (!response.ok()) return response.status();
+  return response->GetString("text");
+}
+
+}  // namespace server
+}  // namespace kb

@@ -1,0 +1,82 @@
+#ifndef KBFORGE_SERVER_KB_CLIENT_H_
+#define KBFORGE_SERVER_KB_CLIENT_H_
+
+#include <string>
+#include <vector>
+
+#include "server/json.h"
+#include "util/statusor.h"
+
+namespace kb {
+namespace server {
+
+/// One decoded query result.
+struct QueryResult {
+  std::vector<std::string> columns;
+  std::vector<std::vector<std::string>> rows;  ///< abbreviated terms
+  bool cached = false;     ///< served from the server's result cache
+  bool truncated = false;  ///< row cap hit (prefix, not the full result)
+};
+
+/// A fact to insert via the wire protocol. Exactly one of `o` /
+/// `has_year` carries the object.
+struct WireFact {
+  std::string s, p, o;
+  bool has_year = false;
+  int32_t year = 0;
+  double confidence = 1.0;
+  uint32_t support = 1;
+};
+
+/// Blocking client for KbServer's length-prefixed JSON protocol. One
+/// connection, one outstanding request at a time; not thread-safe —
+/// give each load-generator thread its own client.
+///
+/// Server-side failures come back as the natural Status codes:
+/// admission-control sheds map to Unavailable (retry_after_ms() holds
+/// the server's hint), missed deadlines to DeadlineExceeded, unknown
+/// entities to NotFound, bad requests to InvalidArgument.
+class KbClient {
+ public:
+  KbClient() = default;
+  ~KbClient();
+
+  KbClient(const KbClient&) = delete;
+  KbClient& operator=(const KbClient&) = delete;
+  KbClient(KbClient&& other) noexcept;
+  KbClient& operator=(KbClient&& other) noexcept;
+
+  /// Connects to 127.0.0.1:port. On Unavailable (the server shed the
+  /// connection at admission), retry_after_ms() carries the hint.
+  Status Connect(int port);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// One round-trip: sends `request`, decodes the response envelope.
+  /// An {"status":"error"...} response is mapped to a Status; the raw
+  /// response is still available via last_response().
+  StatusOr<Json> Call(const Json& request);
+
+  StatusOr<QueryResult> Query(const std::string& sparql,
+                              double deadline_ms = -1, int64_t max_rows = -1,
+                              bool no_cache = false);
+  StatusOr<Json> EntityCard(const std::string& entity, size_t max_facts = 0);
+  /// Returns the number of freshly inserted facts.
+  StatusOr<int64_t> InsertFacts(const std::vector<WireFact>& facts);
+  StatusOr<Json> Health();
+  StatusOr<std::string> MetricsText();
+
+  /// Server's backoff hint from the last Unavailable, in ms.
+  int retry_after_ms() const { return retry_after_ms_; }
+  const Json& last_response() const { return last_response_; }
+
+ private:
+  int fd_ = -1;
+  int retry_after_ms_ = 0;
+  Json last_response_;
+};
+
+}  // namespace server
+}  // namespace kb
+
+#endif  // KBFORGE_SERVER_KB_CLIENT_H_

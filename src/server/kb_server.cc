@@ -1,0 +1,545 @@
+#include "server/kb_server.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <exception>
+
+#include "core/entity_card.h"
+#include "query/plan.h"
+#include "rdf/namespaces.h"
+#include "server/protocol.h"
+#include "util/logging.h"
+
+namespace kb {
+namespace server {
+
+namespace {
+
+std::string ErrorJson(const std::string& error, const std::string& message) {
+  Json response = Json::Object();
+  response.Set("status", Json::Str("error"));
+  response.Set("error", Json::Str(error));
+  response.Set("message", Json::Str(message));
+  return response.Dump();
+}
+
+std::string OverloadedJson(int retry_after_ms) {
+  Json response = Json::Object();
+  response.Set("status", Json::Str("overloaded"));
+  response.Set("error", Json::Str("overloaded"));
+  response.Set("retry_after_ms", Json::Number(retry_after_ms));
+  return response.Dump();
+}
+
+/// Splices a serialized result body ("{...}") into an ok envelope with
+/// the cached flag, without re-parsing the body — this is the entire
+/// work of a result-cache hit.
+std::string OkWithBody(const std::string& body, bool cached) {
+  std::string out = "{\"status\":\"ok\",\"cached\":";
+  out += cached ? "true" : "false";
+  if (body.size() > 2) {
+    out += ',';
+    out.append(body, 1, body.size() - 1);  // body without its '{'
+  } else {
+    out += '}';
+  }
+  return out;
+}
+
+}  // namespace
+
+struct KbServer::Metrics {
+  Counter& requests;
+  Counter& rejected;
+  Counter& errors;
+  Counter& queries;
+  Counter& entity_cards;
+  Counter& inserted_facts;
+  Counter& deadline_exceeded;
+  Gauge& queue_depth;
+  Gauge& active_connections;
+  Histogram& request_ms;
+  Histogram& query_ms;
+
+  static Metrics* Get() {
+    static Metrics* m = [] {
+      MetricsRegistry& r = MetricsRegistry::Default();
+      return new Metrics{
+          r.counter("server.requests"),
+          r.counter("server.rejected"),
+          r.counter("server.errors"),
+          r.counter("server.queries"),
+          r.counter("server.entity_cards"),
+          r.counter("server.inserted_facts"),
+          r.counter("server.deadline_exceeded"),
+          r.gauge("server.queue_depth"),
+          r.gauge("server.active_connections"),
+          r.histogram("server.request_ms"),
+          r.histogram("server.query_ms"),
+      };
+    }();
+    return m;
+  }
+};
+
+KbServer::KbServer(core::KnowledgeBase* kb, const Options& options)
+    : kb_(kb),
+      options_(options),
+      result_cache_(options.cache_bytes),
+      metrics_(Metrics::Get()) {}
+
+KbServer::~KbServer() { Stop(); }
+
+Status KbServer::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Status::IOError("socket: " + std::string(::strerror(errno)));
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) < 0) {
+    Status s = Status::IOError("bind: " + std::string(::strerror(errno)));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  if (::listen(listen_fd_, 128) < 0) {
+    Status s = Status::IOError("listen: " + std::string(::strerror(errno)));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  if (::pipe(wake_pipe_) < 0) {
+    Status s = Status::IOError("pipe: " + std::string(::strerror(errno)));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+
+  started_at_ = std::chrono::steady_clock::now();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    started_ = true;
+    stopping_ = false;
+  }
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  int workers = options_.num_workers > 0 ? options_.num_workers : 1;
+  workers_.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  return Status::OK();
+}
+
+void KbServer::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_ || stopping_) {
+      stopping_ = true;
+      return;
+    }
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  // Wake the acceptor's poll(), then unblock every worker parked in a
+  // read on a live connection.
+  if (wake_pipe_[1] >= 0) {
+    char byte = 0;
+    [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+  }
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (int fd : active_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  // Connections that were admitted but never picked up.
+  std::deque<int> orphans;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    orphans.swap(pending_);
+    metrics_->queue_depth.Set(0);
+  }
+  for (int fd : orphans) UnregisterAndClose(fd);
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  for (int i = 0; i < 2; ++i) {
+    if (wake_pipe_[i] >= 0) {
+      ::close(wake_pipe_[i]);
+      wake_pipe_[i] = -1;
+    }
+  }
+}
+
+void KbServer::RegisterConnection(int fd) {
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  active_fds_.insert(fd);
+}
+
+void KbServer::UnregisterAndClose(int fd) {
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  if (active_fds_.erase(fd) > 0) ::close(fd);
+}
+
+void KbServer::AcceptLoop() {
+  for (;;) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_pipe_[0], POLLIN, 0}};
+    int n = ::poll(fds, 2, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (fds[1].revents != 0) return;  // Stop() woke us
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    bool admitted = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!stopping_ && pending_.size() < options_.queue_depth) {
+        admitted = true;
+        pending_.push_back(fd);
+        metrics_->queue_depth.Set(static_cast<int64_t>(pending_.size()));
+      }
+    }
+    if (admitted) {
+      RegisterConnection(fd);
+      work_cv_.notify_one();
+      continue;
+    }
+    // Admission control: the queue is full (or we are stopping), so
+    // shed this connection *now* with a retry hint instead of letting
+    // the backlog — and every admitted request's tail latency — grow
+    // without bound. A short send timeout keeps a stalled client from
+    // wedging the acceptor.
+    metrics_->rejected.Increment();
+    timeval timeout{1, 0};
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+    WriteFrame(fd, OverloadedJson(options_.retry_after_ms));
+    ::close(fd);
+  }
+}
+
+void KbServer::WorkerLoop() {
+  for (;;) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stopping_ || !pending_.empty(); });
+      if (stopping_) return;  // Stop() closes whatever is still queued
+      fd = pending_.front();
+      pending_.pop_front();
+      metrics_->queue_depth.Set(static_cast<int64_t>(pending_.size()));
+    }
+    ServeConnection(fd);
+  }
+}
+
+void KbServer::ServeConnection(int fd) {
+  metrics_->active_connections.Add(1);
+  for (;;) {
+    std::string payload;
+    Status status = ReadFrame(fd, &payload);
+    if (status.IsAborted()) break;  // peer closed between requests
+    if (!status.ok()) {
+      if (status.IsInvalidArgument()) {
+        // Oversized length prefix: the stream is unframeable from
+        // here, so answer once and drop the connection.
+        metrics_->errors.Increment();
+        WriteFrame(fd, ErrorJson("bad_frame", status.message()));
+      }
+      break;
+    }
+    std::string response;
+    bool keep_open = HandleFrame(payload, &response);
+    if (!WriteFrame(fd, response).ok()) break;
+    if (!keep_open) break;
+    bool stopping;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stopping = stopping_;
+    }
+    if (stopping) break;
+  }
+  UnregisterAndClose(fd);
+  metrics_->active_connections.Add(-1);
+}
+
+bool KbServer::HandleFrame(const std::string& payload,
+                           std::string* response) {
+  ScopedTimer timer(metrics_->request_ms);
+  metrics_->requests.Increment();
+  auto request = Json::Parse(payload);
+  if (!request.ok()) {
+    metrics_->errors.Increment();
+    *response = ErrorJson("bad_request", request.status().message());
+    return true;  // framing is intact; only this request was garbage
+  }
+  try {
+    *response = HandleRequest(*request);
+  } catch (const std::exception& e) {
+    metrics_->errors.Increment();
+    *response = ErrorJson("internal", e.what());
+  }
+  return true;
+}
+
+std::string KbServer::HandleRequest(const Json& request) {
+  const std::string op = request.GetString("op");
+  if (op == "query") return HandleQuery(request);
+  if (op == "entity_card") return HandleEntityCard(request);
+  if (op == "insert_facts") return HandleInsertFacts(request);
+  if (op == "health") return HandleHealth();
+  if (op == "metrics") return HandleMetrics();
+  metrics_->errors.Increment();
+  return ErrorJson("unknown_endpoint", "no such op: " + op);
+}
+
+std::string KbServer::HandleQuery(const Json& request) {
+  metrics_->queries.Increment();
+  ScopedTimer timer(metrics_->query_ms);
+  const std::string sparql = request.GetString("sparql");
+  if (sparql.empty()) return ErrorJson("bad_request", "missing sparql");
+
+  // The epoch is read *before* parse/execute: if a write lands in
+  // between, the entry is cached under the older epoch and simply
+  // never matches again — the safe direction. (Reading it after could
+  // file pre-write rows under the post-write epoch: a stale read.)
+  const uint64_t epoch = kb_->epoch();
+  auto parsed = kb_->ParseQuery(sparql);
+  if (!parsed.ok()) return ErrorJson("bad_query", parsed.status().ToString());
+
+  query::ExecutionOptions exec;
+  double deadline_ms = options_.default_deadline_ms;
+  if (request["deadline_ms"].is_number()) {
+    deadline_ms = request["deadline_ms"].as_number();
+    if (deadline_ms < 0) deadline_ms = 0;  // explicit "no deadline"
+    else if (deadline_ms == 0) deadline_ms = 1e-9;  // expire immediately
+  }
+  if (deadline_ms > 0) {
+    exec.exec.deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::microseconds(static_cast<int64_t>(deadline_ms * 1000));
+  }
+  size_t max_rows = options_.default_max_rows;
+  if (request["max_rows"].is_number() && request["max_rows"].as_number() >= 0) {
+    max_rows = static_cast<size_t>(request["max_rows"].as_number());
+  }
+  exec.exec.max_rows = max_rows;
+
+  const bool use_cache =
+      result_cache_.enabled() && !request.GetBool("no_cache", false);
+  std::string cache_key;
+  if (use_cache) {
+    // Normalized shape + constants (the plan-cache key) plus what the
+    // plan deliberately leaves out but the result depends on.
+    cache_key = query::PlanCacheKey(*parsed, exec.reorder_patterns);
+    cache_key += "|limit=" + std::to_string(parsed->limit);
+    cache_key += "|cap=" + std::to_string(max_rows);
+    if (auto body = result_cache_.Lookup(cache_key, epoch);
+        body != nullptr) {
+      return OkWithBody(*body, /*cached=*/true);
+    }
+  }
+
+  query::QueryStats stats;
+  std::vector<query::Binding> rows = kb_->Execute(*parsed, exec, &stats);
+  if (stats.deadline_exceeded) {
+    // Partial-free by contract: whatever prefix was produced is
+    // dropped, the client sees an error it can retry with a longer
+    // budget — never silently truncated data.
+    metrics_->deadline_exceeded.Increment();
+    return ErrorJson("deadline_exceeded",
+                     "query missed its deadline after " +
+                         std::to_string(stats.rows_streamed) + " rows");
+  }
+
+  Json body = Json::Object();
+  {
+    // Term rendering reads the dictionary, which insert_facts grows
+    // under the exclusive side of this lock.
+    std::shared_lock<std::shared_mutex> lock(kb_mu_);
+    const rdf::Dictionary& dict = kb_->store().dict();
+    std::vector<std::string> columns = parsed->projection;
+    if (columns.empty() && !rows.empty()) {
+      for (const auto& [var, id] : rows.front()) columns.push_back(var);
+    }
+    Json columns_json = Json::Array();
+    for (const std::string& c : columns) columns_json.Append(Json::Str(c));
+    Json rows_json = Json::Array();
+    for (const query::Binding& row : rows) {
+      Json row_json = Json::Array();
+      for (const std::string& column : columns) {
+        auto it = row.find(column);
+        if (it == row.end() || it->second == rdf::kInvalidTermId) {
+          row_json.Append(Json::Null());
+        } else {
+          const rdf::Term& term = dict.term(it->second);
+          row_json.Append(Json::Str(
+              term.is_iri() ? rdf::Abbreviate(term.value()) : term.value()));
+        }
+      }
+      rows_json.Append(std::move(row_json));
+    }
+    body.Set("columns", std::move(columns_json));
+    body.Set("rows", std::move(rows_json));
+  }
+  body.Set("row_count", Json::Number(static_cast<double>(rows.size())));
+  if (stats.max_rows_hit) body.Set("truncated", Json::Bool(true));
+
+  std::string serialized = body.Dump();
+  // A row-capped result is a prefix; caching it would serve the
+  // truncation to callers with a different tolerance.
+  if (use_cache && !stats.max_rows_hit) {
+    result_cache_.Insert(cache_key, epoch, serialized);
+  }
+  return OkWithBody(serialized, /*cached=*/false);
+}
+
+std::string KbServer::HandleEntityCard(const Json& request) {
+  metrics_->entity_cards.Increment();
+  const std::string entity = request.GetString("entity");
+  if (entity.empty()) return ErrorJson("bad_request", "missing entity");
+  core::EntityCardOptions card_options;
+  if (request["max_facts"].is_number() &&
+      request["max_facts"].as_number() > 0) {
+    card_options.max_facts =
+        static_cast<size_t>(request["max_facts"].as_number());
+  }
+  StatusOr<core::EntityCard> card = [&] {
+    std::shared_lock<std::shared_mutex> lock(kb_mu_);
+    return core::BuildEntityCard(*kb_, entity, card_options);
+  }();
+  if (!card.ok()) {
+    if (card.status().IsNotFound()) {
+      return ErrorJson("not_found", card.status().message());
+    }
+    return ErrorJson("internal", card.status().ToString());
+  }
+  Json response = Json::Object();
+  response.Set("status", Json::Str("ok"));
+  response.Set("canonical", Json::Str(card->canonical));
+  response.Set("display_name", Json::Str(card->display_name));
+  Json types = Json::Array();
+  for (const std::string& type : card->types) types.Append(Json::Str(type));
+  response.Set("types", std::move(types));
+  Json facts = Json::Array();
+  for (const core::CardFact& fact : card->facts) {
+    Json f = Json::Object();
+    f.Set("property", Json::Str(fact.property));
+    f.Set("value", Json::Str(fact.value));
+    f.Set("confidence", Json::Number(fact.confidence));
+    f.Set("support", Json::Number(fact.support));
+    facts.Append(std::move(f));
+  }
+  response.Set("facts", std::move(facts));
+  Json labels = Json::Array();
+  for (const auto& [lang, label] : card->labels) {
+    Json l = Json::Object();
+    l.Set("lang", Json::Str(lang));
+    l.Set("label", Json::Str(label));
+    labels.Append(std::move(l));
+  }
+  response.Set("labels", std::move(labels));
+  response.Set("text", Json::Str(core::RenderEntityCard(*card)));
+  return response.Dump();
+}
+
+std::string KbServer::HandleInsertFacts(const Json& request) {
+  const Json& facts = request["facts"];
+  if (!facts.is_array()) {
+    return ErrorJson("bad_request", "facts must be an array");
+  }
+  size_t inserted = 0, merged = 0, skipped = 0;
+  {
+    std::unique_lock<std::shared_mutex> lock(kb_mu_);
+    for (const Json& fact : facts.items()) {
+      const std::string s = fact.GetString("s");
+      const std::string p = fact.GetString("p");
+      const std::string o = fact.GetString("o");
+      const bool has_year = fact["year"].is_number();
+      if (!fact.is_object() || s.empty() || p.empty() ||
+          (o.empty() && !has_year)) {
+        ++skipped;
+        continue;
+      }
+      core::FactMeta meta;
+      meta.confidence = fact.GetNumber("confidence", 1.0);
+      meta.support = static_cast<uint32_t>(fact.GetNumber("support", 1));
+      meta.extractor = static_cast<uint32_t>(fact.GetNumber("extractor", 0));
+      bool fresh =
+          has_year ? kb_->AssertYearFact(
+                         s, p, static_cast<int32_t>(fact["year"].as_number()),
+                         meta)
+                   : kb_->AssertFact(s, p, o, meta);
+      if (fresh) ++inserted;
+      else ++merged;
+    }
+  }
+  metrics_->inserted_facts.Increment(inserted);
+  Json response = Json::Object();
+  response.Set("status", Json::Str("ok"));
+  response.Set("inserted", Json::Number(static_cast<double>(inserted)));
+  response.Set("merged", Json::Number(static_cast<double>(merged)));
+  response.Set("skipped", Json::Number(static_cast<double>(skipped)));
+  response.Set("epoch", Json::Number(static_cast<double>(kb_->epoch())));
+  return response.Dump();
+}
+
+std::string KbServer::HandleHealth() const {
+  Json response = Json::Object();
+  response.Set("status", Json::Str("ok"));
+  response.Set("healthy", Json::Bool(true));
+  {
+    std::shared_lock<std::shared_mutex> lock(kb_mu_);
+    response.Set("triples",
+                 Json::Number(static_cast<double>(kb_->NumTriples())));
+    response.Set("entities",
+                 Json::Number(static_cast<double>(kb_->NumEntities())));
+  }
+  response.Set("epoch", Json::Number(static_cast<double>(kb_->epoch())));
+  double uptime_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - started_at_)
+                         .count();
+  response.Set("uptime_ms", Json::Number(uptime_ms));
+  return response.Dump();
+}
+
+std::string KbServer::HandleMetrics() const {
+  Json response = Json::Object();
+  response.Set("status", Json::Str("ok"));
+  response.Set("text",
+               Json::Str(MetricsRegistry::Default().Snapshot().ToText()));
+  return response.Dump();
+}
+
+}  // namespace server
+}  // namespace kb

@@ -1,0 +1,138 @@
+#ifndef KBFORGE_SERVER_KB_SERVER_H_
+#define KBFORGE_SERVER_KB_SERVER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <set>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/knowledge_base.h"
+#include "server/json.h"
+#include "server/result_cache.h"
+#include "util/metrics_registry.h"
+#include "util/status.h"
+
+namespace kb {
+namespace server {
+
+/// The KB serving layer: a multi-threaded TCP front door over a
+/// KnowledgeBase, speaking length-prefixed JSON (server/protocol.h).
+///
+/// Endpoints (request field "op"):
+///   query        {"op":"query","sparql":...,"deadline_ms"?,"max_rows"?,
+///                 "no_cache"?} -> {"status":"ok","cached":bool,
+///                 "columns":[...],"rows":[[...]],"row_count":N}
+///   entity_card  {"op":"entity_card","entity":canonical,"max_facts"?}
+///   insert_facts {"op":"insert_facts","facts":[{"s","p","o"|"year",
+///                 "confidence"?,"support"?}]}
+///   health       {"op":"health"}
+///   metrics      {"op":"metrics"} -> text snapshot of the PR-1 registry
+///
+/// Production concerns the in-process library lacks:
+///   - A fixed worker pool pulls accepted connections from a bounded
+///     queue. When the queue is full, new connections are *rejected*
+///     immediately with {"status":"overloaded","retry_after_ms":R}
+///     instead of queueing unboundedly (admission control: shed load,
+///     keep tail latency of admitted work flat). `server.rejected`
+///     counts the sheds.
+///   - Per-request deadlines, threaded into the query executor as
+///     query::ExecOptions and enforced cooperatively inside the scan
+///     loops. An expired query returns a partial-free
+///     "deadline_exceeded" error, never silently truncated rows.
+///   - A sharded LRU result cache keyed by the normalized query shape
+///     (plan-cache key + LIMIT + row cap) and the KB write epoch, so
+///     every write batch invalidates by construction (server/
+///     result_cache.h).
+///
+/// Writes go through the `insert_facts` endpoint under an exclusive
+/// lock (reads hold it shared while touching the dictionary), so term
+/// rendering never races interning. External code mutating the KB
+/// directly while the server runs must take no such license.
+class KbServer {
+ public:
+  struct Options {
+    int port = 0;               ///< 0 = ephemeral, see port()
+    int num_workers = 4;        ///< request-serving threads
+    size_t queue_depth = 16;    ///< pending connections before shedding
+    size_t cache_bytes = 8u << 20;  ///< result cache; 0 disables
+    /// Deadline applied when a query request carries none; 0 = none.
+    double default_deadline_ms = 0;
+    /// Row cap applied when a request carries none; 0 = unlimited.
+    size_t default_max_rows = 0;
+    /// Hint returned with overload rejections.
+    int retry_after_ms = 20;
+  };
+
+  /// The server serves `kb` (borrowed; must outlive the server).
+  KbServer(core::KnowledgeBase* kb, const Options& options);
+  ~KbServer();
+
+  KbServer(const KbServer&) = delete;
+  KbServer& operator=(const KbServer&) = delete;
+
+  /// Binds, listens and spawns the acceptor + worker threads.
+  Status Start();
+
+  /// Drains and joins everything. Idempotent.
+  void Stop();
+
+  /// The bound port (valid after Start; resolves port 0).
+  int port() const { return port_; }
+
+  const core::KnowledgeBase* kb() const { return kb_; }
+
+ private:
+  struct Metrics;
+
+  void AcceptLoop();
+  void WorkerLoop();
+  void ServeConnection(int fd);
+  /// One request -> one response; false = close the connection.
+  bool HandleFrame(const std::string& payload, std::string* response);
+
+  std::string HandleRequest(const Json& request);
+  std::string HandleQuery(const Json& request);
+  std::string HandleEntityCard(const Json& request);
+  std::string HandleInsertFacts(const Json& request);
+  std::string HandleHealth() const;
+  std::string HandleMetrics() const;
+
+  void RegisterConnection(int fd);
+  void UnregisterAndClose(int fd);
+
+  core::KnowledgeBase* kb_;
+  Options options_;
+  ResultCache result_cache_;
+  Metrics* metrics_;  ///< registry-owned instruments, never freed
+
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};  ///< unblocks the acceptor's poll()
+  int port_ = 0;
+  std::chrono::steady_clock::time_point started_at_{};
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<int> pending_;  ///< accepted, waiting for a worker
+  bool stopping_ = false;
+  bool started_ = false;
+
+  std::mutex conn_mu_;
+  std::set<int> active_fds_;  ///< every live accepted fd (for Stop)
+
+  /// Reads touching the dictionary/taxonomy hold this shared; the
+  /// insert endpoint holds it exclusive.
+  mutable std::shared_mutex kb_mu_;
+
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace server
+}  // namespace kb
+
+#endif  // KBFORGE_SERVER_KB_SERVER_H_

@@ -1,0 +1,86 @@
+#include "server/result_cache.h"
+
+#include "util/hash.h"
+#include "util/metrics_registry.h"
+
+namespace kb {
+namespace server {
+
+namespace {
+
+ShardedLruCache::Instruments CacheInstruments() {
+  MetricsRegistry& r = MetricsRegistry::Default();
+  ShardedLruCache::Instruments instruments;
+  instruments.hits = &r.counter("server.result_cache_hits");
+  instruments.misses = &r.counter("server.result_cache_misses");
+  instruments.evictions = &r.counter("server.result_cache_evictions");
+  return instruments;
+}
+
+/// Stored blob: 4-byte little-endian key length, the key bytes, the
+/// payload bytes. The embedded key makes 64-bit-hash collisions
+/// harmless: a colliding entry fails verification and reads as a miss.
+std::string PackEntry(const std::string& key, std::string payload) {
+  std::string blob;
+  blob.reserve(4 + key.size() + payload.size());
+  uint32_t n = static_cast<uint32_t>(key.size());
+  blob.push_back(static_cast<char>(n));
+  blob.push_back(static_cast<char>(n >> 8));
+  blob.push_back(static_cast<char>(n >> 16));
+  blob.push_back(static_cast<char>(n >> 24));
+  blob += key;
+  blob += payload;
+  return blob;
+}
+
+bool UnpackEntry(const std::string& blob, const std::string& key,
+                 std::string* payload) {
+  if (blob.size() < 4) return false;
+  uint32_t n = static_cast<uint32_t>(static_cast<unsigned char>(blob[0])) |
+               (static_cast<uint32_t>(static_cast<unsigned char>(blob[1]))
+                << 8) |
+               (static_cast<uint32_t>(static_cast<unsigned char>(blob[2]))
+                << 16) |
+               (static_cast<uint32_t>(static_cast<unsigned char>(blob[3]))
+                << 24);
+  if (n != key.size() || blob.size() < 4 + n) return false;
+  if (blob.compare(4, n, key) != 0) return false;
+  payload->assign(blob, 4 + n, blob.size() - 4 - n);
+  return true;
+}
+
+}  // namespace
+
+ResultCache::ResultCache(size_t capacity_bytes) {
+  if (capacity_bytes > 0) {
+    cache_ = std::make_unique<ShardedLruCache>(capacity_bytes, 16,
+                                               CacheInstruments());
+  }
+}
+
+std::shared_ptr<const std::string> ResultCache::Lookup(const std::string& key,
+                                                       uint64_t epoch) {
+  if (cache_ == nullptr) return nullptr;
+  std::shared_ptr<const std::string> blob =
+      cache_->Lookup(Hash64(key), epoch);
+  if (blob == nullptr) return nullptr;
+  auto payload = std::make_shared<std::string>();
+  if (!UnpackEntry(*blob, key, payload.get())) return nullptr;
+  return payload;
+}
+
+void ResultCache::Insert(const std::string& key, uint64_t epoch,
+                         std::string payload) {
+  if (cache_ == nullptr) return;
+  cache_->Insert(Hash64(key), epoch,
+                 std::make_shared<const std::string>(
+                     PackEntry(key, std::move(payload))));
+}
+
+LruCacheStats ResultCache::stats() const {
+  if (cache_ == nullptr) return LruCacheStats{};
+  return cache_->stats();
+}
+
+}  // namespace server
+}  // namespace kb

@@ -1,0 +1,53 @@
+#ifndef KBFORGE_SERVER_RESULT_CACHE_H_
+#define KBFORGE_SERVER_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/lru_cache.h"
+
+namespace kb {
+namespace server {
+
+/// Query-result cache for the serving layer, layered on the same
+/// sharded LRU the storage engine uses for blocks. Entries map a
+/// normalized query shape (the plan-cache key plus everything the plan
+/// deliberately omits: LIMIT and row caps) to the fully serialized
+/// response payload, so a hot-query hit skips parsing nothing but
+/// execution, serialization and allocation — the expensive parts.
+///
+/// Invalidation is epoch-based: the KB bumps its write epoch on every
+/// mutation, lookups always use the *current* epoch, and entries
+/// written under older epochs simply never match again (they age out
+/// of the LRU). A read-after-write is therefore never served stale —
+/// there is no invalidation broadcast to race with.
+///
+/// The underlying cache is keyed by a 64-bit hash; to make a hash
+/// collision impossible to observe, the stored value embeds the full
+/// normalized key and Lookup verifies it before returning the payload.
+class ResultCache {
+ public:
+  /// `capacity_bytes` == 0 disables the cache entirely (every Lookup
+  /// misses, Insert is a no-op) — the cache-off ablation.
+  explicit ResultCache(size_t capacity_bytes);
+
+  /// Returns the serialized payload cached for (key, epoch), or
+  /// nullptr. `hit`/`miss` counters are the server.result_cache_*
+  /// metrics, bumped internally.
+  std::shared_ptr<const std::string> Lookup(const std::string& key,
+                                            uint64_t epoch);
+
+  void Insert(const std::string& key, uint64_t epoch, std::string payload);
+
+  bool enabled() const { return cache_ != nullptr; }
+  LruCacheStats stats() const;
+
+ private:
+  std::unique_ptr<ShardedLruCache> cache_;
+};
+
+}  // namespace server
+}  // namespace kb
+
+#endif  // KBFORGE_SERVER_RESULT_CACHE_H_

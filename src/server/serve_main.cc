@@ -1,0 +1,115 @@
+// kbforge_serve: stand up a KbServer over a harvested KB.
+//
+// The KB is built the same way the examples build theirs — synthesize
+// a corpus, harvest it — so the binary is self-contained: no data
+// files, deterministic content, ready for load generators to point at.
+//
+// Usage:
+//   kbforge_serve [--port=N] [--workers=N] [--queue=N]
+//                 [--cache-bytes=N] [--deadline-ms=MS] [--max-rows=N]
+//                 [--persons=N] [--seed=N]
+//
+// Prints "listening on 127.0.0.1:<port>" once ready, then blocks until
+// SIGINT/SIGTERM.
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/harvester.h"
+#include "server/kb_server.h"
+
+namespace {
+
+int g_signal_pipe[2] = {-1, -1};
+
+void OnSignal(int) {
+  char byte = 0;
+  [[maybe_unused]] ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
+}
+
+bool FlagValue(const char* arg, const char* name, long* out) {
+  size_t len = ::strlen(name);
+  if (::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *out = ::strtol(arg + len + 1, nullptr, 10);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace kb;
+
+  long port = 7471, workers = 4, queue = 16;
+  long cache_bytes = 8 << 20, deadline_ms = 0, max_rows = 0;
+  long persons = 400, seed = 4242;
+  for (int i = 1; i < argc; ++i) {
+    long v = 0;
+    if (FlagValue(argv[i], "--port", &v)) port = v;
+    else if (FlagValue(argv[i], "--workers", &v)) workers = v;
+    else if (FlagValue(argv[i], "--queue", &v)) queue = v;
+    else if (FlagValue(argv[i], "--cache-bytes", &v)) cache_bytes = v;
+    else if (FlagValue(argv[i], "--deadline-ms", &v)) deadline_ms = v;
+    else if (FlagValue(argv[i], "--max-rows", &v)) max_rows = v;
+    else if (FlagValue(argv[i], "--persons", &v)) persons = v;
+    else if (FlagValue(argv[i], "--seed", &v)) seed = v;
+    else {
+      ::fprintf(stderr,
+                "usage: %s [--port=N] [--workers=N] [--queue=N] "
+                "[--cache-bytes=N] [--deadline-ms=MS] [--max-rows=N] "
+                "[--persons=N] [--seed=N]\n",
+                argv[0]);
+      return 2;
+    }
+  }
+
+  corpus::WorldOptions world_options;
+  world_options.seed = static_cast<uint64_t>(seed);
+  world_options.num_persons = static_cast<size_t>(persons);
+  corpus::CorpusOptions corpus_options;
+  corpus_options.seed = static_cast<uint64_t>(seed) + 1;
+  corpus::Corpus corpus = corpus::BuildCorpus(world_options, corpus_options);
+  core::Harvester harvester;
+  core::HarvestResult result = harvester.Harvest(corpus);
+  ::printf("harvested KB: %zu triples, %zu entities, %zu classes\n",
+           result.kb.NumTriples(), result.kb.NumEntities(),
+           result.kb.NumClasses());
+
+  server::KbServer::Options options;
+  options.port = static_cast<int>(port);
+  options.num_workers = static_cast<int>(workers);
+  options.queue_depth = static_cast<size_t>(queue);
+  options.cache_bytes = static_cast<size_t>(cache_bytes);
+  options.default_deadline_ms = static_cast<double>(deadline_ms);
+  options.default_max_rows = static_cast<size_t>(max_rows);
+  server::KbServer server(&result.kb, options);
+  Status status = server.Start();
+  if (!status.ok()) {
+    ::fprintf(stderr, "start failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  ::printf("listening on 127.0.0.1:%d (%ld workers, queue %ld, cache %ld "
+           "bytes)\n",
+           server.port(), workers, queue, cache_bytes);
+  ::fflush(stdout);
+
+  if (::pipe(g_signal_pipe) != 0) {
+    ::fprintf(stderr, "pipe failed\n");
+    return 1;
+  }
+  struct sigaction action{};
+  action.sa_handler = OnSignal;
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
+  char byte;
+  while (::read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+  }
+  ::printf("shutting down\n");
+  server.Stop();
+  return 0;
+}

@@ -1,0 +1,56 @@
+#include "util/io_util.h"
+
+#include <errno.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace kb {
+
+ssize_t ReadFully(int fd, void* buf, size_t n) {
+  char* out = static_cast<char*>(buf);
+  size_t done = 0;
+  while (done < n) {
+    ssize_t r = ::read(fd, out + done, n - done);
+    if (r > 0) {
+      done += static_cast<size_t>(r);
+      continue;
+    }
+    if (r == 0) return static_cast<ssize_t>(done);  // peer closed
+    if (errno == EINTR) continue;
+    if ((errno == EAGAIN || errno == EWOULDBLOCK) && done > 0) continue;
+    return -1;
+  }
+  return static_cast<ssize_t>(done);
+}
+
+ssize_t WriteFully(int fd, const void* buf, size_t n) {
+  const char* in = static_cast<const char*>(buf);
+  size_t done = 0;
+  while (done < n) {
+    ssize_t w = ::write(fd, in + done, n - done);
+    if (w > 0) {
+      done += static_cast<size_t>(w);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    return -1;
+  }
+  return static_cast<ssize_t>(done);
+}
+
+ssize_t SendFully(int fd, const void* buf, size_t n) {
+  const char* in = static_cast<const char*>(buf);
+  size_t done = 0;
+  while (done < n) {
+    ssize_t w = ::send(fd, in + done, n - done, MSG_NOSIGNAL);
+    if (w > 0) {
+      done += static_cast<size_t>(w);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    return -1;
+  }
+  return static_cast<ssize_t>(done);
+}
+
+}  // namespace kb

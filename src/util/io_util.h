@@ -1,0 +1,37 @@
+#ifndef KBFORGE_UTIL_IO_UTIL_H_
+#define KBFORGE_UTIL_IO_UTIL_H_
+
+#include <sys/types.h>
+
+#include <cstddef>
+
+namespace kb {
+
+/// Reads exactly `n` bytes from `fd` into `buf`, looping over short
+/// reads and retrying EINTR (a signal delivered mid-read must not tear
+/// a protocol frame). Returns:
+///   n      on success,
+///   0..n-1 when the peer closed the stream mid-way (clean EOF),
+///   -1     on error, with errno preserved from the failing read().
+/// A read that returns EAGAIN/EWOULDBLOCK after partial progress is
+/// retried (a receive timeout re-arms per call, so a trickling sender
+/// still completes); with zero progress it is surfaced as -1 so idle
+/// pollers can distinguish "no frame yet" from a torn one.
+ssize_t ReadFully(int fd, void* buf, size_t n);
+
+/// Writes exactly `n` bytes, looping over short writes and retrying
+/// EINTR. Returns n on success or -1 on error (errno preserved);
+/// unlike reads there is no clean partial outcome — a short final
+/// write is an error. EAGAIN is an error, not a retry: on a socket
+/// with a send timeout it means the peer stopped draining, and
+/// spinning on it would hang the writer.
+ssize_t WriteFully(int fd, const void* buf, size_t n);
+
+/// WriteFully for sockets: same contract, but uses send(MSG_NOSIGNAL)
+/// so writing to a peer-closed connection fails with EPIPE instead of
+/// raising SIGPIPE — a server must not die because one client hung up.
+ssize_t SendFully(int fd, const void* buf, size_t n);
+
+}  // namespace kb
+
+#endif  // KBFORGE_UTIL_IO_UTIL_H_

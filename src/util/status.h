@@ -22,6 +22,8 @@ enum class StatusCode : int {
   kUnimplemented = 7,
   kInternal = 8,
   kAborted = 9,
+  kUnavailable = 10,        ///< transient overload: retry later
+  kDeadlineExceeded = 11,   ///< request gave up before completing
 };
 
 /// Returns a stable human-readable name for a status code.
@@ -66,6 +68,12 @@ class Status {
   static Status Aborted(std::string msg) {
     return Status(StatusCode::kAborted, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -78,6 +86,10 @@ class Status {
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
   bool IsIOError() const { return code_ == StatusCode::kIOError; }
   bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
 
   /// "OK" or "<CODE>: <message>".
   std::string ToString() const;

@@ -1,0 +1,447 @@
+// Serving-layer tests: protocol framing, endpoint semantics, the
+// result cache's epoch invalidation, admission control, deadlines, and
+// a malformed-input fuzz pass. The concurrency tests drive one server
+// from many client threads and are meant to run under TSan/ASan (the
+// `serving` CI job), where the sanitizer is the oracle.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/knowledge_base.h"
+#include "server/json.h"
+#include "server/kb_client.h"
+#include "server/kb_server.h"
+#include "server/protocol.h"
+#include "util/metrics_registry.h"
+
+namespace kb {
+namespace server {
+namespace {
+
+/// A small deterministic KB: three people at two companies, typed and
+/// labeled, plus founding years.
+core::KnowledgeBase MakeKb() {
+  core::KnowledgeBase kb;
+  kb.AssertSubclass("company", "organization");
+  kb.AssertSubclass("person", "agent");
+  for (const char* company : {"Acme_Corp", "Globex"}) {
+    kb.AssertType(company, "company");
+  }
+  kb.AssertLabel("Acme_Corp", "Acme Corp", "en");
+  kb.AssertYearFact("Acme_Corp", "foundedIn", 1947, {});
+  core::FactMeta meta;
+  meta.confidence = 0.9;
+  kb.AssertType("Ada_Smith", "person");
+  kb.AssertFact("Ada_Smith", "worksFor", "Acme_Corp", meta);
+  kb.AssertType("Ben_Jones", "person");
+  kb.AssertFact("Ben_Jones", "worksFor", "Acme_Corp", meta);
+  kb.AssertType("Cleo_Ray", "person");
+  kb.AssertFact("Cleo_Ray", "worksFor", "Globex", meta);
+  return kb;
+}
+
+std::string WorksForQuery(const std::string& company) {
+  return "SELECT ?p WHERE { ?p <" + rdf::PropertyIri("worksFor") + "> <" +
+         rdf::EntityIri(company) + "> . }";
+}
+
+/// Server + KB bundle with ephemeral port.
+struct TestServer {
+  explicit TestServer(KbServer::Options options = {})
+      : kb(MakeKb()), server(&kb, options) {
+    Status status = server.Start();
+    EXPECT_TRUE(status.ok()) << status;
+  }
+  ~TestServer() { server.Stop(); }
+
+  KbClient Connect() {
+    KbClient client;
+    Status status = client.Connect(server.port());
+    EXPECT_TRUE(status.ok()) << status;
+    return client;
+  }
+
+  core::KnowledgeBase kb;
+  KbServer server;
+};
+
+/// Raw connected socket for speaking deliberately broken protocol.
+int RawConnect(int port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  return fd;
+}
+
+// ------------------------------------------------------------ endpoints
+
+TEST(KbServerTest, HealthReportsKbShape) {
+  TestServer ts;
+  KbClient client = ts.Connect();
+  auto health = client.Health();
+  ASSERT_TRUE(health.ok()) << health.status();
+  EXPECT_TRUE(health->GetBool("healthy"));
+  EXPECT_EQ(health->GetNumber("triples"), ts.kb.NumTriples());
+  EXPECT_GT(health->GetNumber("epoch"), 0);
+}
+
+TEST(KbServerTest, QueryReturnsBoundRows) {
+  TestServer ts;
+  KbClient client = ts.Connect();
+  auto result = client.Query(WorksForQuery("Acme_Corp"));
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_FALSE(result->cached);
+  ASSERT_EQ(result->columns, std::vector<std::string>{"p"});
+  ASSERT_EQ(result->rows.size(), 2u);
+  std::vector<std::string> people;
+  for (const auto& row : result->rows) people.push_back(row[0]);
+  EXPECT_NE(std::find(people.begin(), people.end(), "kb:Ada_Smith"),
+            people.end());
+  EXPECT_NE(std::find(people.begin(), people.end(), "kb:Ben_Jones"),
+            people.end());
+}
+
+TEST(KbServerTest, RepeatedQueryHitsCacheWithIdenticalRows) {
+  TestServer ts;
+  KbClient client = ts.Connect();
+  auto cold = client.Query(WorksForQuery("Acme_Corp"));
+  ASSERT_TRUE(cold.ok());
+  EXPECT_FALSE(cold->cached);
+  auto warm = client.Query(WorksForQuery("Acme_Corp"));
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->cached);
+  // The spliced cached envelope must decode to the same result.
+  EXPECT_EQ(warm->columns, cold->columns);
+  EXPECT_EQ(warm->rows, cold->rows);
+}
+
+TEST(KbServerTest, NoCacheFlagBypassesCache) {
+  TestServer ts;
+  KbClient client = ts.Connect();
+  ASSERT_TRUE(client.Query(WorksForQuery("Acme_Corp")).ok());
+  auto again = client.Query(WorksForQuery("Acme_Corp"), -1, -1,
+                            /*no_cache=*/true);
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(again->cached);
+}
+
+TEST(KbServerTest, EntityCardRendersFacts) {
+  TestServer ts;
+  KbClient client = ts.Connect();
+  auto card = client.EntityCard("Acme_Corp");
+  ASSERT_TRUE(card.ok()) << card.status();
+  EXPECT_EQ(card->GetString("canonical"), "Acme_Corp");
+  EXPECT_EQ(card->GetString("display_name"), "Acme Corp");
+  EXPECT_FALSE((*card)["facts"].items().empty());
+  auto missing = client.EntityCard("Nobody_Here");
+  EXPECT_TRUE(missing.status().IsNotFound());
+}
+
+TEST(KbServerTest, MetricsEndpointExposesRegistrySnapshot) {
+  TestServer ts;
+  KbClient client = ts.Connect();
+  ASSERT_TRUE(client.Health().ok());
+  auto text = client.MetricsText();
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("server.requests"), std::string::npos);
+}
+
+// ------------------------------------------- write path + invalidation
+
+TEST(KbServerTest, ReadAfterWriteSeesNewFactDespiteCache) {
+  TestServer ts;
+  KbClient client = ts.Connect();
+  // Warm the cache with the pre-write result.
+  auto cold = client.Query(WorksForQuery("Globex"));
+  ASSERT_TRUE(cold.ok());
+  ASSERT_EQ(cold->rows.size(), 1u);
+  ASSERT_TRUE(client.Query(WorksForQuery("Globex"))->cached);
+
+  WireFact fact;
+  fact.s = "Dee_Flynn";
+  fact.p = "worksFor";
+  fact.o = "Globex";
+  auto inserted = client.InsertFacts({fact});
+  ASSERT_TRUE(inserted.ok()) << inserted.status();
+  EXPECT_EQ(*inserted, 1);
+
+  // The write bumped the epoch, so the cached pre-write entry must not
+  // be served: the very next read sees the new fact.
+  auto fresh = client.Query(WorksForQuery("Globex"));
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_FALSE(fresh->cached);
+  ASSERT_EQ(fresh->rows.size(), 2u);
+  std::vector<std::string> people;
+  for (const auto& row : fresh->rows) people.push_back(row[0]);
+  EXPECT_NE(std::find(people.begin(), people.end(), "kb:Dee_Flynn"),
+            people.end());
+  // And the post-write result is cacheable under the new epoch.
+  EXPECT_TRUE(client.Query(WorksForQuery("Globex"))->cached);
+}
+
+TEST(KbServerTest, InsertFactsSkipsMalformedEntries) {
+  TestServer ts;
+  KbClient client = ts.Connect();
+  Json request = Json::Object();
+  request.Set("op", Json::Str("insert_facts"));
+  Json facts = Json::Array();
+  Json good = Json::Object();
+  good.Set("s", Json::Str("Eve_Gray"));
+  good.Set("p", Json::Str("worksFor"));
+  good.Set("o", Json::Str("Acme_Corp"));
+  facts.Append(std::move(good));
+  Json bad = Json::Object();
+  bad.Set("s", Json::Str("NoPredicate"));
+  facts.Append(std::move(bad));
+  facts.Append(Json::Str("not even an object"));
+  request.Set("facts", std::move(facts));
+  auto response = client.Call(request);
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->GetNumber("inserted"), 1);
+  EXPECT_EQ(response->GetNumber("skipped"), 2);
+}
+
+// --------------------------------------------------- deadlines + caps
+
+TEST(KbServerTest, ExpiredDeadlineReturnsPartialFreeError) {
+  TestServer ts;
+  KbClient client = ts.Connect();
+  // deadline_ms = 0 expires before the first row is pulled, so this is
+  // deterministic however fast the query is.
+  auto result = client.Query(WorksForQuery("Acme_Corp"), /*deadline_ms=*/0);
+  EXPECT_TRUE(result.status().IsDeadlineExceeded()) << result.status();
+  // The error is partial-free: a retry without deadline sees full rows.
+  auto retry = client.Query(WorksForQuery("Acme_Corp"));
+  ASSERT_TRUE(retry.ok());
+  EXPECT_EQ(retry->rows.size(), 2u);
+}
+
+TEST(KbServerTest, DeadlineErrorIsNeverCached) {
+  TestServer ts;
+  KbClient client = ts.Connect();
+  ASSERT_TRUE(client.Query(WorksForQuery("Acme_Corp"), 0).status()
+                  .IsDeadlineExceeded());
+  auto after = client.Query(WorksForQuery("Acme_Corp"));
+  ASSERT_TRUE(after.ok());
+  EXPECT_FALSE(after->cached);  // the failed attempt cached nothing
+  EXPECT_EQ(after->rows.size(), 2u);
+}
+
+TEST(KbServerTest, MaxRowsTruncatesWithoutPoisoningCache) {
+  TestServer ts;
+  KbClient client = ts.Connect();
+  auto capped = client.Query(WorksForQuery("Acme_Corp"), -1, /*max_rows=*/1);
+  ASSERT_TRUE(capped.ok()) << capped.status();
+  EXPECT_TRUE(capped->truncated);
+  EXPECT_EQ(capped->rows.size(), 1u);
+  // A different row cap is a different cache key, and truncated
+  // results are never cached, so the full query still sees all rows.
+  auto full = client.Query(WorksForQuery("Acme_Corp"));
+  ASSERT_TRUE(full.ok());
+  EXPECT_FALSE(full->truncated);
+  EXPECT_EQ(full->rows.size(), 2u);
+}
+
+// ---------------------------------------------------- admission control
+
+TEST(KbServerTest, QueueFullConnectionsAreShedWithRetryHint) {
+  KbServer::Options options;
+  options.num_workers = 1;
+  options.queue_depth = 1;
+  options.retry_after_ms = 7;
+  TestServer ts(options);
+
+  // Occupy the single worker: one full round-trip guarantees the
+  // worker has dequeued this connection and is parked reading it.
+  KbClient busy = ts.Connect();
+  ASSERT_TRUE(busy.Health().ok());
+  // Fill the queue with an admitted-but-unserved connection.
+  KbClient queued;
+  ASSERT_TRUE(queued.Connect(ts.server.port()).ok());
+  // Give the acceptor a moment to enqueue it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  // Now the queue is full: further connections must be rejected
+  // promptly with the overload envelope, not left hanging.
+  uint64_t rejected_before =
+      MetricsRegistry::Default().Snapshot().counter("server.rejected");
+  KbClient shed;
+  ASSERT_TRUE(shed.Connect(ts.server.port()).ok());
+  auto result = shed.Health();
+  EXPECT_TRUE(result.status().IsUnavailable()) << result.status();
+  EXPECT_EQ(shed.retry_after_ms(), 7);
+  EXPECT_FALSE(shed.connected());  // shed connections are closed
+  EXPECT_GT(MetricsRegistry::Default().Snapshot().counter("server.rejected"),
+            rejected_before);
+
+  // The admitted clients still work once the worker frees up.
+  EXPECT_TRUE(busy.Health().ok());
+}
+
+// -------------------------------------------------------- malformed input
+
+TEST(KbServerFuzzTest, OversizedLengthPrefixIsRejectedNotTrusted) {
+  TestServer ts;
+  int fd = RawConnect(ts.server.port());
+  // Claim a 4 GiB frame; the server must refuse to allocate it.
+  unsigned char header[4] = {0xff, 0xff, 0xff, 0xff};
+  ASSERT_EQ(::send(fd, header, 4, 0), 4);
+  std::string response;
+  Status status = ReadFrame(fd, &response);
+  ASSERT_TRUE(status.ok()) << status;
+  EXPECT_NE(response.find("bad_frame"), std::string::npos);
+  ::close(fd);
+  // Server survives.
+  EXPECT_TRUE(ts.Connect().Health().ok());
+}
+
+TEST(KbServerFuzzTest, TruncatedJsonGetsErrorAndConnectionSurvives) {
+  TestServer ts;
+  int fd = RawConnect(ts.server.port());
+  ASSERT_TRUE(WriteFrame(fd, "{\"op\":\"health\",").ok());
+  std::string response;
+  ASSERT_TRUE(ReadFrame(fd, &response).ok());
+  EXPECT_NE(response.find("bad_request"), std::string::npos);
+  // Framing was intact, so the connection stays usable.
+  ASSERT_TRUE(WriteFrame(fd, "{\"op\":\"health\"}").ok());
+  ASSERT_TRUE(ReadFrame(fd, &response).ok());
+  EXPECT_NE(response.find("\"healthy\":true"), std::string::npos);
+  ::close(fd);
+}
+
+TEST(KbServerFuzzTest, UnknownEndpointIsAnErrorNotACrash) {
+  TestServer ts;
+  int fd = RawConnect(ts.server.port());
+  ASSERT_TRUE(WriteFrame(fd, "{\"op\":\"drop_all_tables\"}").ok());
+  std::string response;
+  ASSERT_TRUE(ReadFrame(fd, &response).ok());
+  EXPECT_NE(response.find("unknown_endpoint"), std::string::npos);
+  ::close(fd);
+}
+
+TEST(KbServerFuzzTest, GarbageAndTornFramesNeverKillTheServer) {
+  TestServer ts;
+  const std::vector<std::string> raw_payloads = {
+      std::string("\x00\x00\x00\x05nope", 9),     // frame, garbage JSON
+      std::string("\x00\x00\x00\x10{\"op\":", 11),  // torn frame, then close
+      std::string("\x00\x00\x00\x00", 4),          // zero-length frame
+      std::string("junkjunkjunkjunk"),              // huge bogus prefix
+      std::string("\x7f", 1),                      // torn header
+  };
+  for (const std::string& raw : raw_payloads) {
+    int fd = RawConnect(ts.server.port());
+    ASSERT_EQ(::send(fd, raw.data(), raw.size(), 0),
+              static_cast<ssize_t>(raw.size()));
+    ::close(fd);  // hang up however the server was mid-parse
+  }
+  // Deep JSON nesting must hit the parser's depth limit, not the stack.
+  std::string deep(2000, '[');
+  deep += std::string(2000, ']');
+  int fd = RawConnect(ts.server.port());
+  ASSERT_TRUE(WriteFrame(fd, deep).ok());
+  std::string response;
+  ASSERT_TRUE(ReadFrame(fd, &response).ok());
+  EXPECT_NE(response.find("bad_request"), std::string::npos);
+  ::close(fd);
+  EXPECT_TRUE(ts.Connect().Health().ok());
+}
+
+// ------------------------------------------------------------ concurrency
+
+TEST(KbServerConcurrencyTest, EightClientThreadsMixedWorkload) {
+  KbServer::Options options;
+  options.num_workers = 8;
+  options.queue_depth = 64;
+  TestServer ts(options);
+  constexpr int kThreads = 8;
+  constexpr int kRequestsPerThread = 40;
+  std::atomic<int> ok_count{0};
+  std::atomic<int> unavailable{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      KbClient client;
+      if (!client.Connect(ts.server.port()).ok()) return;
+      for (int i = 0; i < kRequestsPerThread; ++i) {
+        Status status;
+        switch ((t + i) % 4) {
+          case 0:
+            status = client.Query(WorksForQuery("Acme_Corp")).status();
+            break;
+          case 1:
+            status = client.EntityCard("Acme_Corp").status();
+            break;
+          case 2: {
+            WireFact fact;
+            fact.s = "Writer_" + std::to_string(t);
+            fact.p = "worksFor";
+            fact.o = (i % 2) == 0 ? "Acme_Corp" : "Globex";
+            fact.support = 1;
+            status = client.InsertFacts({fact}).status();
+            break;
+          }
+          default:
+            status = client.Health().status();
+        }
+        if (status.ok()) {
+          ok_count.fetch_add(1);
+        } else if (status.IsUnavailable()) {
+          // Admission control may shed under this burst; back off and
+          // reconnect as the protocol intends.
+          unavailable.fetch_add(1);
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(client.retry_after_ms()));
+          if (!client.Connect(ts.server.port()).ok()) return;
+        } else {
+          ADD_FAILURE() << "unexpected status: " << status;
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_GT(ok_count.load(), kThreads * kRequestsPerThread / 2);
+  // Every writer thread's facts are queryable afterwards.
+  KbClient client = ts.Connect();
+  auto result = client.Query(WorksForQuery("Acme_Corp"), -1, -1,
+                             /*no_cache=*/true);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->rows.size(), 2u);
+}
+
+TEST(KbServerConcurrencyTest, StopWhileClientsAreConnectedIsClean) {
+  auto ts = std::make_unique<TestServer>();
+  std::vector<KbClient> clients(4);
+  for (auto& client : clients) {
+    ASSERT_TRUE(client.Connect(ts->server.port()).ok());
+    ASSERT_TRUE(client.Health().ok());
+  }
+  // Destroys the server with workers parked mid-read on live
+  // connections; Stop() must unblock and join them all.
+  ts.reset();
+  for (auto& client : clients) {
+    EXPECT_FALSE(client.Health().ok());  // connection was shut down
+  }
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace kb

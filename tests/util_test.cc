@@ -24,6 +24,17 @@
 #include "util/string_util.h"
 #include "util/thread_pool.h"
 #include "util/varint.h"
+#include "util/io_util.h"
+
+#include <errno.h>
+#include <pthread.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
 
 namespace kb {
 namespace {
@@ -830,6 +841,146 @@ TEST(LruCacheTest, ConcurrentHammerKeepsInvariants) {
   EXPECT_GT(stats.hits + stats.misses, 0u);
   EXPECT_GT(stats.inserts, 0u);
 }
+
+
+// --------------------------------------------------------------- io_util
+
+TEST(IoUtilTest, ReadFullyReassemblesChunkedWrites) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  const std::string payload = "length-prefixed frames survive short reads";
+  std::thread writer([&] {
+    // Dribble the payload a few bytes at a time so the reader sees
+    // short reads and must loop.
+    for (size_t i = 0; i < payload.size(); i += 3) {
+      size_t n = std::min<size_t>(3, payload.size() - i);
+      ASSERT_EQ(::write(fds[1], payload.data() + i, n),
+                static_cast<ssize_t>(n));
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ::close(fds[1]);
+  });
+  std::string buf(payload.size(), '\0');
+  EXPECT_EQ(ReadFully(fds[0], buf.data(), buf.size()),
+            static_cast<ssize_t>(buf.size()));
+  EXPECT_EQ(buf, payload);
+  writer.join();
+  ::close(fds[0]);
+}
+
+TEST(IoUtilTest, ReadFullyReportsCleanEofShort) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  ASSERT_EQ(::write(fds[1], "abc", 3), 3);
+  ::close(fds[1]);  // peer goes away mid-frame
+  char buf[10];
+  // A torn frame comes back as a short count, not an error: the caller
+  // distinguishes "peer hung up" from "syscall failed".
+  EXPECT_EQ(ReadFully(fds[0], buf, sizeof(buf)), 3);
+  ::close(fds[0]);
+}
+
+TEST(IoUtilTest, ReadFullyErrorsOnBadFd) {
+  char buf[4];
+  EXPECT_EQ(ReadFully(-1, buf, sizeof(buf)), -1);
+  EXPECT_EQ(errno, EBADF);
+}
+
+TEST(IoUtilTest, WriteFullyCompletesAcrossFullPipe) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  // Much larger than the default pipe buffer, so write() must block
+  // and return short at least once while the reader drains.
+  const size_t kBytes = 4u << 20;
+  std::string received;
+  std::thread reader([&] {
+    char chunk[4096];
+    ssize_t n;
+    while ((n = ::read(fds[0], chunk, sizeof(chunk))) > 0) {
+      received.append(chunk, static_cast<size_t>(n));
+    }
+  });
+  std::string payload(kBytes, 'x');
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<char>('a' + (i % 26));
+  }
+  EXPECT_EQ(WriteFully(fds[1], payload.data(), payload.size()),
+            static_cast<ssize_t>(payload.size()));
+  ::close(fds[1]);
+  reader.join();
+  EXPECT_EQ(received, payload);
+  ::close(fds[0]);
+}
+
+TEST(IoUtilTest, WriteFullyErrorsOnClosedPipe) {
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  ::close(fds[0]);
+  ::signal(SIGPIPE, SIG_IGN);
+  char buf[16] = {0};
+  EXPECT_EQ(WriteFully(fds[1], buf, sizeof(buf)), -1);
+  EXPECT_EQ(errno, EPIPE);
+  ::close(fds[1]);
+}
+
+TEST(IoUtilTest, SendFullyOnHungUpSocketIsEpipeNotSigpipe) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  ::close(fds[0]);  // peer hangs up
+  char buf[16] = {0};
+  // First send may succeed into the buffer; keep sending until the
+  // RST/EOF is observed. Without MSG_NOSIGNAL this would kill the
+  // process with SIGPIPE instead of failing politely.
+  ssize_t result = 0;
+  for (int i = 0; i < 8 && result >= 0; ++i) {
+    result = SendFully(fds[1], buf, sizeof(buf));
+  }
+  EXPECT_EQ(result, -1);
+  EXPECT_EQ(errno, EPIPE);
+  ::close(fds[1]);
+}
+
+namespace io_util_signal {
+void NoopHandler(int) {}
+}  // namespace io_util_signal
+
+TEST(IoUtilTest, ReadFullyRetriesEintr) {
+  // Install a no-op handler WITHOUT SA_RESTART so a signal delivered
+  // while read() is blocked makes it fail with EINTR — which ReadFully
+  // must swallow and retry.
+  struct sigaction action {};
+  action.sa_handler = io_util_signal::NoopHandler;
+  action.sa_flags = 0;
+  struct sigaction saved {};
+  ASSERT_EQ(::sigaction(SIGUSR1, &action, &saved), 0);
+
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  std::atomic<bool> reading{false};
+  pthread_t reader_thread;
+  std::string buf(8, '\0');
+  ssize_t result = -2;
+  std::thread reader([&] {
+    reader_thread = pthread_self();
+    reading.store(true);
+    result = ReadFully(fds[0], buf.data(), buf.size());
+  });
+  while (!reading.load()) std::this_thread::yield();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  // Interrupt the blocked read a few times, then satisfy it.
+  for (int i = 0; i < 3; ++i) {
+    pthread_kill(reader_thread, SIGUSR1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_EQ(::write(fds[1], "12345678", 8), 8);
+  reader.join();
+  EXPECT_EQ(result, 8);
+  EXPECT_EQ(buf, "12345678");
+  ::close(fds[0]);
+  ::close(fds[1]);
+  ::sigaction(SIGUSR1, &saved, nullptr);
+}
+
 
 }  // namespace
 }  // namespace kb
