@@ -1,6 +1,7 @@
 #ifndef KBFORGE_BENCH_BENCH_UTIL_H_
 #define KBFORGE_BENCH_BENCH_UTIL_H_
 
+#include <cerrno>
 #include <chrono>
 #include <cstdarg>
 #include <cstdio>
@@ -16,7 +17,8 @@ namespace kbbench {
 /// end-to-end in seconds (a liveness check and a perf-trajectory seed,
 /// not a measurement). `--json=<path>` additionally writes every
 /// Report()ed metric as JSON rows, so CI can archive machine-readable
-/// results next to the human-readable logs.
+/// results next to the human-readable logs and scripts/bench_check.py
+/// can gate them against bench/baselines/.
 struct BenchArgs {
   bool smoke = false;
 
@@ -29,44 +31,107 @@ struct JsonRow {
   std::string bench;
   std::string metric;
   double value;
+  std::string workload;  ///< optional run context ("A".."E"); may be empty
 };
 
 /// Process-wide sink for Report() rows; flushed by WriteJsonAtExit.
+/// `smoke` and `git_sha` are stamped onto every row so a trajectory
+/// file is self-describing: a baseline row records which mode produced
+/// it and from which commit.
 struct JsonSink {
+  /// Bumped whenever row fields change meaning; bench_check.py refuses
+  /// rows from a schema it does not understand.
+  static constexpr int kSchemaVersion = 2;
+
   std::string path;
   std::vector<JsonRow> rows;
+  bool smoke = false;
+  std::string git_sha;
+
   static JsonSink& Get() {
     static JsonSink* sink = new JsonSink();
     return *sink;
   }
 };
 
+/// Minimal JSON string escaping for the fields we emit (metric names
+/// carry dots and user-ish labels; don't let a quote corrupt the row).
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+/// Flushes the sink. A bench that was asked for --json output but
+/// cannot produce it must not look green to CI, so any IO failure here
+/// terminates the process with a nonzero status (we are already inside
+/// exit(), hence _Exit).
 inline void WriteJsonAtExit() {
   JsonSink& sink = JsonSink::Get();
   if (sink.path.empty()) return;
   FILE* f = fopen(sink.path.c_str(), "w");
   if (f == nullptr) {
-    fprintf(stderr, "bench: cannot write %s\n", sink.path.c_str());
-    return;
+    fprintf(stderr, "bench: cannot write %s: %s\n", sink.path.c_str(),
+            strerror(errno));
+    std::_Exit(1);
   }
   fprintf(f, "[\n");
   for (size_t i = 0; i < sink.rows.size(); ++i) {
     const JsonRow& r = sink.rows[i];
-    fprintf(f, "  {\"bench\": \"%s\", \"metric\": \"%s\", \"value\": %.17g}%s\n",
-            r.bench.c_str(), r.metric.c_str(), r.value,
-            i + 1 < sink.rows.size() ? "," : "");
+    fprintf(f,
+            "  {\"schema_version\": %d, \"bench\": \"%s\", "
+            "\"metric\": \"%s\", \"value\": %.17g, \"smoke\": %s, "
+            "\"git_sha\": \"%s\"",
+            JsonSink::kSchemaVersion, JsonEscape(r.bench).c_str(),
+            JsonEscape(r.metric).c_str(), r.value,
+            sink.smoke ? "true" : "false", JsonEscape(sink.git_sha).c_str());
+    if (!r.workload.empty()) {
+      fprintf(f, ", \"workload\": \"%s\"", JsonEscape(r.workload).c_str());
+    }
+    fprintf(f, "}%s\n", i + 1 < sink.rows.size() ? "," : "");
   }
   fprintf(f, "]\n");
-  fclose(f);
+  if (ferror(f) != 0 || fclose(f) != 0) {
+    fprintf(stderr, "bench: short write to %s\n", sink.path.c_str());
+    std::_Exit(1);
+  }
 }
 }  // namespace internal
 
 /// Records one measured value. Printed rows stay the human-readable
 /// record; Report() is the machine-readable one (written to the
-/// --json=<path> file at process exit, dropped otherwise).
+/// --json=<path> file at process exit, dropped otherwise). `workload`
+/// tags rows from a YCSB-style sweep with the workload letter.
 inline void Report(const std::string& bench, const std::string& metric,
-                   double value) {
-  internal::JsonSink::Get().rows.push_back({bench, metric, value});
+                   double value, const std::string& workload = "") {
+  internal::JsonSink::Get().rows.push_back({bench, metric, value, workload});
 }
 
 inline BenchArgs ParseArgs(int argc, char** argv) {
@@ -78,13 +143,20 @@ inline BenchArgs ParseArgs(int argc, char** argv) {
       std::atexit(internal::WriteJsonAtExit);
     }
   }
+  internal::JsonSink& sink = internal::JsonSink::Get();
+  sink.smoke = args.smoke;
+  // CI exports the commit being measured; local runs fall back to the
+  // KBFORGE_GIT_SHA the Makefile-less workflow sets by hand, then to
+  // "unknown" (rows stay comparable, provenance is just absent).
+  const char* sha = std::getenv("KBFORGE_GIT_SHA");
+  if (sha == nullptr) sha = std::getenv("GITHUB_SHA");
+  sink.git_sha = sha != nullptr ? sha : "unknown";
   if (args.smoke) printf("[--smoke: tiny corpus sizes, timings meaningless]\n");
   return args;
 }
 
 /// Prints the experiment banner (id, claim, expected shape).
-inline void Banner(const char* id, const char* claim,
-                   const char* expected) {
+inline void Banner(const char* id, const char* claim, const char* expected) {
   printf("================================================================\n");
   printf("%s\n", id);
   printf("claim:    %s\n", claim);

@@ -62,8 +62,9 @@ std::vector<ExtractedFact> InfoboxExtractor::ExtractFromArticle(
   size_t pos = 0;
   while (pos < box.size()) {
     size_t nl = box.find('\n', pos);
-    std::string_view line =
-        nl == std::string_view::npos ? box.substr(pos) : box.substr(pos, nl - pos);
+    std::string_view line = nl == std::string_view::npos
+                                ? box.substr(pos)
+                                : box.substr(pos, nl - pos);
     pos = nl == std::string_view::npos ? box.size() : nl + 1;
     line = StripWhitespace(line);
     if (line.empty() || line.front() != '|') continue;

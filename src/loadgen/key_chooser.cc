@@ -1,0 +1,80 @@
+#include "loadgen/key_chooser.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace kb {
+namespace loadgen {
+
+UniformChooser::UniformChooser(uint64_t num_records)
+    : num_records_(num_records) {
+  KB_CHECK(num_records > 0);
+}
+
+uint64_t UniformChooser::Next(Rng& rng) { return rng.Uniform(num_records_); }
+
+ZipfianChooser::ZipfianChooser(uint64_t num_records, double theta)
+    : num_records_(num_records),
+      theta_(theta),
+      zetan_(Zeta(num_records, theta)),
+      zeta2theta_(Zeta(2, theta)) {
+  KB_CHECK(num_records > 0);
+  KB_CHECK(theta > 0.0 && theta < 1.0);
+  RefreshConstants();
+}
+
+double ZipfianChooser::Zeta(uint64_t n, double theta, uint64_t cached_n,
+                            double cached_sum) {
+  double sum = cached_sum;
+  for (uint64_t i = cached_n; i < n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+  }
+  return sum;
+}
+
+void ZipfianChooser::RefreshConstants() {
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(num_records_),
+                         1.0 - theta_)) /
+         (1.0 - zeta2theta_ / zetan_);
+}
+
+uint64_t ZipfianChooser::Next(Rng& rng) {
+  // Gray et al. §3.2: the first two ranks carry enough mass to invert
+  // exactly; the rest goes through the approximate inverse CDF.
+  double u = rng.UniformDouble();
+  double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  double rank = static_cast<double>(num_records_) *
+                std::pow(eta_ * u - eta_ + 1.0, alpha_);
+  uint64_t result = static_cast<uint64_t>(rank);
+  return result >= num_records_ ? num_records_ - 1 : result;
+}
+
+LatestChooser::LatestChooser(const std::atomic<uint64_t>* insert_count,
+                             double theta)
+    : insert_count_(insert_count),
+      zipf_(std::max<uint64_t>(1, insert_count->load()), theta) {
+  KB_CHECK(insert_count != nullptr);
+}
+
+uint64_t LatestChooser::Next(Rng& rng) {
+  uint64_t n = std::max<uint64_t>(1, insert_count_->load());
+  if (n != zipf_.num_records_) {
+    // Extend (or in the shrink case rebuild) the zeta sum, then
+    // rederive the inversion constants for the new key-space size.
+    zipf_.zetan_ = n > zipf_.num_records_
+                       ? ZipfianChooser::Zeta(n, zipf_.theta_,
+                                              zipf_.num_records_, zipf_.zetan_)
+                       : ZipfianChooser::Zeta(n, zipf_.theta_);
+    zipf_.num_records_ = n;
+    zipf_.RefreshConstants();
+  }
+  // Hottest zipfian rank 0 -> newest record n-1.
+  return n - 1 - zipf_.Next(rng);
+}
+
+}  // namespace loadgen
+}  // namespace kb

@@ -1,0 +1,99 @@
+#ifndef KBFORGE_LOADGEN_KEY_CHOOSER_H_
+#define KBFORGE_LOADGEN_KEY_CHOOSER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "util/random.h"
+
+namespace kb {
+namespace loadgen {
+
+/// Picks which record an operation touches. Implementations are
+/// deterministic given the caller's Rng, so a seeded run replays the
+/// exact same key sequence. Not thread-safe unless noted: give each
+/// load-generator thread its own chooser (forked from the same seed
+/// stream) the way it gets its own Rng.
+class KeyChooser {
+ public:
+  virtual ~KeyChooser() = default;
+
+  /// The next record index in [0, current key-space size).
+  virtual uint64_t Next(Rng& rng) = 0;
+};
+
+/// Every record equally likely — the closed-loop benches' implicit
+/// assumption, kept as the ablation baseline for the skewed choosers.
+class UniformChooser : public KeyChooser {
+ public:
+  explicit UniformChooser(uint64_t num_records);
+  uint64_t Next(Rng& rng) override;
+
+ private:
+  uint64_t num_records_;
+};
+
+/// Zipfian-distributed ranks via the Gray et al. analytic-inversion
+/// method ("Quickly Generating Billion-Record Synthetic Databases",
+/// SIGMOD '94), the same algorithm YCSB's ZipfianGenerator uses: draw
+/// u ~ U(0,1) and invert an approximation of the Zipf CDF, with the
+/// two head ranks handled exactly and the tail mapped through
+/// eta/alpha constants precomputed from the zeta sums. O(n) setup to
+/// accumulate zeta(n, theta), O(1) per draw.
+///
+/// Rank 0 is the hottest key. theta in (0, 1); YCSB's default 0.99
+/// puts ~9% of draws on the hottest of 10^6 records.
+class ZipfianChooser : public KeyChooser {
+ public:
+  explicit ZipfianChooser(uint64_t num_records, double theta = kDefaultTheta);
+  uint64_t Next(Rng& rng) override;
+
+  /// Incremental zeta: extends a cached zeta(cached_n, theta) sum to
+  /// `n` terms. Exposed for LatestChooser and tests.
+  static double Zeta(uint64_t n, double theta, uint64_t cached_n = 0,
+                     double cached_sum = 0.0);
+
+  static constexpr double kDefaultTheta = 0.99;
+
+ private:
+  friend class LatestChooser;
+
+  /// Recomputes the inversion constants after num_records_/zetan_
+  /// changed (LatestChooser grows the key space between draws).
+  void RefreshConstants();
+
+  uint64_t num_records_;
+  double theta_;
+  double zetan_;        ///< zeta(num_records_, theta_)
+  double zeta2theta_;   ///< zeta(2, theta_)
+  double alpha_, eta_;  ///< Gray et al. inversion constants
+};
+
+/// "Latest" skew: a Zipfian over recency, so the most recently
+/// inserted record is the hottest (YCSB workload D's read side —
+/// think status updates: readers chase the newest facts). The key
+/// space grows as the shared insert counter advances; the zeta sum is
+/// extended incrementally, so growth costs O(new records) amortized,
+/// not O(n) per draw.
+///
+/// `insert_count` is shared with the inserting threads and may be
+/// advanced concurrently; each LatestChooser instance itself is
+/// single-threaded.
+class LatestChooser : public KeyChooser {
+ public:
+  LatestChooser(const std::atomic<uint64_t>* insert_count,
+                double theta = ZipfianChooser::kDefaultTheta);
+
+  /// Record index in [0, insert_count), biased toward insert_count-1.
+  uint64_t Next(Rng& rng) override;
+
+ private:
+  const std::atomic<uint64_t>* insert_count_;
+  ZipfianChooser zipf_;
+};
+
+}  // namespace loadgen
+}  // namespace kb
+
+#endif  // KBFORGE_LOADGEN_KEY_CHOOSER_H_

@@ -1,0 +1,68 @@
+#include "loadgen/open_loop.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace kb {
+namespace loadgen {
+
+OpenLoopResult RunOpenLoop(const OpenLoopOptions& options, const OpFn& op,
+                           Histogram* latency_ms) {
+  KB_CHECK(options.target_ops_per_sec > 0);
+  KB_CHECK(options.num_threads > 0);
+  using Clock = std::chrono::steady_clock;
+  const auto interval = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(1.0 / options.target_ops_per_sec));
+  const int threads = options.num_threads;
+  std::atomic<uint64_t> completed{0}, errors{0};
+  Rng seeder(options.seed);
+  std::vector<Rng> rngs;
+  rngs.reserve(static_cast<size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    rngs.push_back(seeder.Fork(static_cast<uint64_t>(t)));
+  }
+
+  const auto start = Clock::now();
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      Rng& rng = rngs[static_cast<size_t>(t)];
+      for (uint64_t i = static_cast<uint64_t>(t); i < options.num_ops;
+           i += static_cast<uint64_t>(threads)) {
+        // The schedule, not the previous response, decides when op i
+        // runs; sleeping past `intended` only happens when we are
+        // ahead of it.
+        const auto intended = start + interval * static_cast<int64_t>(i);
+        std::this_thread::sleep_until(intended);
+        bool ok = op(i, rng);
+        if (ok) {
+          completed.fetch_add(1, std::memory_order_relaxed);
+          if (latency_ms != nullptr) {
+            latency_ms->Observe(
+                std::chrono::duration<double, std::milli>(Clock::now() -
+                                                          intended)
+                    .count());
+          }
+        } else {
+          errors.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+
+  OpenLoopResult result;
+  result.scheduled = options.num_ops;
+  result.completed = completed.load();
+  result.errors = errors.load();
+  result.wall_seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  return result;
+}
+
+}  // namespace loadgen
+}  // namespace kb

@@ -1,0 +1,60 @@
+#ifndef KBFORGE_LOADGEN_OPEN_LOOP_H_
+#define KBFORGE_LOADGEN_OPEN_LOOP_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+
+#include "util/metrics_registry.h"
+#include "util/random.h"
+
+namespace kb {
+namespace loadgen {
+
+/// Open-loop arrival schedule. A closed loop waits for each response
+/// before sending the next request, so a slow server conveniently slows
+/// its own load — the "coordinated omission" blind spot: stalls hide
+/// from the latency record exactly when they matter. An open loop fixes
+/// the arrival times in advance (op i is *due* at start + i/rate,
+/// regardless of how the previous ops fared) and charges each op from
+/// its intended start, so queueing delay behind a stall lands in the
+/// histogram instead of disappearing from it.
+struct OpenLoopOptions {
+  double target_ops_per_sec = 1000.0;
+  uint64_t num_ops = 1000;
+  /// Generator threads; thread t owns ops t, t+T, t+2T, ... of the one
+  /// global schedule (each op keeps its global intended start).
+  int num_threads = 1;
+  /// Seed for the per-thread Rngs handed to the op functor.
+  uint64_t seed = 1;
+};
+
+struct OpenLoopResult {
+  uint64_t scheduled = 0;  ///< num_ops
+  uint64_t completed = 0;  ///< ops whose functor returned true
+  uint64_t errors = 0;     ///< ops whose functor returned false
+  double wall_seconds = 0;
+
+  double achieved_ops_per_sec() const {
+    return wall_seconds > 0 ? static_cast<double>(completed) / wall_seconds
+                            : 0.0;
+  }
+};
+
+/// One operation. `op_index` is the global schedule position (stable
+/// across thread counts for a fixed num_threads); `rng` is the
+/// thread's seeded generator. Return false to count an error.
+using OpFn = std::function<bool(uint64_t op_index, Rng& rng)>;
+
+/// Runs `op` over the open-loop schedule. Latencies (milliseconds from
+/// *intended* start to completion) go into `latency_ms` when non-null;
+/// errored ops are not recorded. Blocks until every scheduled op has
+/// run — the schedule never skips, so a generator that cannot keep up
+/// degrades into back-to-back issue with honestly huge latencies.
+OpenLoopResult RunOpenLoop(const OpenLoopOptions& options, const OpFn& op,
+                           Histogram* latency_ms);
+
+}  // namespace loadgen
+}  // namespace kb
+
+#endif  // KBFORGE_LOADGEN_OPEN_LOOP_H_

@@ -1,0 +1,88 @@
+#include "loadgen/workload.h"
+
+#include <cctype>
+
+#include "util/logging.h"
+
+namespace kb {
+namespace loadgen {
+
+const char* OpTypeName(OpType op) {
+  switch (op) {
+    case OpType::kRead:
+      return "read";
+    case OpType::kUpdate:
+      return "update";
+    case OpType::kInsert:
+      return "insert";
+    case OpType::kScan:
+      return "scan";
+  }
+  return "unknown";
+}
+
+const char* SkewName(Skew skew) {
+  switch (skew) {
+    case Skew::kUniform:
+      return "uniform";
+    case Skew::kZipfian:
+      return "zipfian";
+    case Skew::kLatest:
+      return "latest";
+  }
+  return "unknown";
+}
+
+OpType WorkloadMix::Choose(Rng& rng) const {
+  double u = rng.UniformDouble();
+  if ((u -= read) < 0) return OpType::kRead;
+  if ((u -= update) < 0) return OpType::kUpdate;
+  if ((u -= insert) < 0) return OpType::kInsert;
+  return OpType::kScan;
+}
+
+Workload Workload::Ycsb(char letter) {
+  Workload w;
+  w.name.assign(1, static_cast<char>(std::toupper(
+                       static_cast<unsigned char>(letter))));
+  switch (w.name[0]) {
+    case 'A':
+      w.mix = {0.5, 0.5, 0, 0};
+      break;
+    case 'B':
+      w.mix = {0.95, 0.05, 0, 0};
+      break;
+    case 'C':
+      w.mix = {1.0, 0, 0, 0};
+      break;
+    case 'D':
+      w.mix = {0.95, 0, 0.05, 0};
+      w.skew = Skew::kLatest;
+      break;
+    case 'E':
+      w.mix = {0, 0, 0.05, 0.95};
+      break;
+    default:
+      KB_CHECK(false) << "unknown YCSB workload: " << letter;
+  }
+  return w;
+}
+
+std::unique_ptr<KeyChooser> Workload::MakeChooser(
+    uint64_t initial_records,
+    const std::atomic<uint64_t>* insert_count) const {
+  switch (skew) {
+    case Skew::kUniform:
+      return std::make_unique<UniformChooser>(initial_records);
+    case Skew::kZipfian:
+      return std::make_unique<ZipfianChooser>(initial_records);
+    case Skew::kLatest:
+      KB_CHECK(insert_count != nullptr)
+          << "latest skew needs the shared insert counter";
+      return std::make_unique<LatestChooser>(insert_count);
+  }
+  return nullptr;
+}
+
+}  // namespace loadgen
+}  // namespace kb

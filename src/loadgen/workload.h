@@ -1,0 +1,64 @@
+#ifndef KBFORGE_LOADGEN_WORKLOAD_H_
+#define KBFORGE_LOADGEN_WORKLOAD_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include "loadgen/key_chooser.h"
+#include "util/random.h"
+
+namespace kb {
+namespace loadgen {
+
+/// The YCSB operation vocabulary. kInsert appends a fresh record at
+/// the end of the key space (advancing the shared insert counter);
+/// everything else targets an existing record through the chooser.
+enum class OpType { kRead, kUpdate, kInsert, kScan };
+
+const char* OpTypeName(OpType op);
+
+/// Which distribution drives key choice for read/update/scan targets.
+enum class Skew { kUniform, kZipfian, kLatest };
+
+const char* SkewName(Skew skew);
+
+/// Operation-mix proportions (must sum to ~1). Mirrors the YCSB core
+/// workload matrix; Choose() turns one uniform draw into an OpType.
+struct WorkloadMix {
+  double read = 0, update = 0, insert = 0, scan = 0;
+
+  OpType Choose(Rng& rng) const;
+};
+
+/// One YCSB-style workload: a mix plus the skew of its key choice.
+///
+///   A  update-heavy   50% read / 50% update            zipfian
+///   B  read-mostly    95% read /  5% update            zipfian
+///   C  read-only     100% read                         zipfian
+///   D  read-latest    95% read /  5% insert            latest
+///   E  short-scans    95% scan /  5% insert            zipfian
+struct Workload {
+  std::string name;  ///< "A".."E"
+  WorkloadMix mix;
+  Skew skew = Skew::kZipfian;
+  /// Scan lengths are uniform in [1, max_scan_len] (workload E).
+  uint64_t max_scan_len = 100;
+
+  /// The preset matrix above; `letter` in "ABCDE" (case-insensitive).
+  /// Dies on an unknown letter.
+  static Workload Ycsb(char letter);
+
+  /// The chooser implementing `skew` over a key space of
+  /// `initial_records` records grown by `insert_count` (shared with
+  /// inserting threads; must outlive the chooser; may be null when the
+  /// workload never inserts).
+  std::unique_ptr<KeyChooser> MakeChooser(
+      uint64_t initial_records,
+      const std::atomic<uint64_t>* insert_count) const;
+};
+
+}  // namespace loadgen
+}  // namespace kb
+
+#endif  // KBFORGE_LOADGEN_WORKLOAD_H_

@@ -37,7 +37,9 @@ class Dictionary {
   size_t size() const { return terms_.size() - 1; }
 
   /// Convenience: intern an IRI string.
-  TermId InternIri(std::string iri) { return Intern(Term::Iri(std::move(iri))); }
+  TermId InternIri(std::string iri) {
+    return Intern(Term::Iri(std::move(iri)));
+  }
 
  private:
   std::vector<Term> terms_;                       // terms_[id]

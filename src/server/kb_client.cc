@@ -37,7 +37,9 @@ KbClient& KbClient::operator=(KbClient&& other) noexcept {
 Status KbClient::Connect(int port) {
   Close();
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd_ < 0) return Status::IOError("socket: " + std::string(::strerror(errno)));
+  if (fd_ < 0) {
+    return Status::IOError("socket: " + std::string(::strerror(errno)));
+  }
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);

@@ -101,7 +101,9 @@ KbServer::~KbServer() { Stop(); }
 
 Status KbServer::Start() {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) return Status::IOError("socket: " + std::string(::strerror(errno)));
+  if (listen_fd_ < 0) {
+    return Status::IOError("socket: " + std::string(::strerror(errno)));
+  }
   int one = 1;
   ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
 

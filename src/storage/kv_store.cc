@@ -395,7 +395,8 @@ Status KVStore::WriteInternal(EntryType type, const Slice& key,
     for (Writer* wr : batch) {
       // WalWriter::Append self-heals a torn tail before each attempt,
       // so retrying after a transient failure cannot corrupt the log.
-      ws = retry_.Run([&] { return wal_.Append(wr->type, wr->key, wr->value); });
+      ws = retry_.Run(
+          [&] { return wal_.Append(wr->type, wr->key, wr->value); });
       if (!ws.ok()) break;
       metrics.wal_appends.Increment();
     }

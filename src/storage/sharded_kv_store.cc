@@ -46,7 +46,8 @@ StatusOr<std::unique_ptr<ShardedKVStore>> ShardedKVStore::OpenInternal(
     if (!contents.ok()) return contents.status();
     long long persisted = 0;
     std::string trimmed = *contents;
-    while (!trimmed.empty() && (trimmed.back() == '\n' || trimmed.back() == ' ')) {
+    while (!trimmed.empty() &&
+           (trimmed.back() == '\n' || trimmed.back() == ' ')) {
       trimmed.pop_back();
     }
     if (!ParseInt64(trimmed, &persisted) || persisted < 1) {

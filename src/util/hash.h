@@ -8,9 +8,11 @@ namespace kb {
 
 /// 64-bit FNV-1a over arbitrary bytes; stable across platforms and runs,
 /// so it is safe to persist (used by Bloom filters in SSTables).
-uint64_t Hash64(const void* data, size_t n, uint64_t seed = 0xcbf29ce484222325ULL);
+uint64_t Hash64(const void* data, size_t n,
+                uint64_t seed = 0xcbf29ce484222325ULL);
 
-inline uint64_t Hash64(std::string_view s, uint64_t seed = 0xcbf29ce484222325ULL) {
+inline uint64_t Hash64(std::string_view s,
+                       uint64_t seed = 0xcbf29ce484222325ULL) {
   return Hash64(s.data(), s.size(), seed);
 }
 

@@ -125,9 +125,9 @@ std::string MetricsSnapshot::ToText() const {
   for (const auto& h : histograms) {
     snprintf(buf, sizeof(buf),
              "histogram %s: count=%llu sum=%.3f mean=%.3f min=%.3f "
-             "max=%.3f p50=%.3f p90=%.3f p99=%.3f",
+             "max=%.3f p50=%.3f p90=%.3f p99=%.3f p999=%.3f",
              h.name.c_str(), static_cast<unsigned long long>(h.count), h.sum,
-             h.mean, h.min, h.max, h.p50, h.p90, h.p99);
+             h.mean, h.min, h.max, h.p50, h.p90, h.p99, h.p999);
     out << buf << "\n";
   }
   return out.str();
@@ -176,7 +176,8 @@ std::string MetricsSnapshot::ToJson() const {
         << JsonNumber(h.mean) << ",\"min\":" << JsonNumber(h.min)
         << ",\"max\":" << JsonNumber(h.max) << ",\"p50\":"
         << JsonNumber(h.p50) << ",\"p90\":" << JsonNumber(h.p90)
-        << ",\"p99\":" << JsonNumber(h.p99) << "}";
+        << ",\"p99\":" << JsonNumber(h.p99) << ",\"p999\":"
+        << JsonNumber(h.p999) << "}";
   }
   out << "}}";
   return out.str();
@@ -241,6 +242,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
     hs.p50 = h->Quantile(0.50);
     hs.p90 = h->Quantile(0.90);
     hs.p99 = h->Quantile(0.99);
+    hs.p999 = h->Quantile(0.999);
     snap.histograms.push_back(std::move(hs));
   }
   return snap;

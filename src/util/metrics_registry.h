@@ -32,7 +32,9 @@ class Counter {
 class Gauge {
  public:
   void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
-  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  void Add(int64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
   int64_t value() const { return value_.load(std::memory_order_relaxed); }
   void Reset() { value_.store(0, std::memory_order_relaxed); }
 
@@ -81,7 +83,7 @@ struct HistogramSnapshot {
   std::string name;
   uint64_t count = 0;
   double sum = 0, min = 0, max = 0, mean = 0;
-  double p50 = 0, p90 = 0, p99 = 0;
+  double p50 = 0, p90 = 0, p99 = 0, p999 = 0;
 };
 
 /// A consistent-enough view of a registry (each instrument is read

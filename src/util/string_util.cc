@@ -43,13 +43,17 @@ std::string Join(const std::vector<std::string>& parts,
 
 std::string ToLower(std::string_view s) {
   std::string out(s);
-  for (char& c : out) c = static_cast<char>(tolower(static_cast<unsigned char>(c)));
+  for (char& c : out) {
+    c = static_cast<char>(tolower(static_cast<unsigned char>(c)));
+  }
   return out;
 }
 
 std::string ToUpper(std::string_view s) {
   std::string out(s);
-  for (char& c : out) c = static_cast<char>(toupper(static_cast<unsigned char>(c)));
+  for (char& c : out) {
+    c = static_cast<char>(toupper(static_cast<unsigned char>(c)));
+  }
   return out;
 }
 

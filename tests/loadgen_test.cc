@@ -1,0 +1,261 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "loadgen/key_chooser.h"
+#include "loadgen/open_loop.h"
+#include "loadgen/workload.h"
+#include "util/metrics_registry.h"
+#include "util/random.h"
+
+namespace kb {
+namespace loadgen {
+namespace {
+
+// ------------------------------------------------------------ choosers
+
+TEST(UniformChooserTest, CoversRangeRoughlyEvenly) {
+  Rng rng(7);
+  UniformChooser chooser(10);
+  std::vector<uint64_t> counts(10, 0);
+  const int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) {
+    uint64_t k = chooser.Next(rng);
+    ASSERT_LT(k, 10u);
+    ++counts[k];
+  }
+  for (uint64_t c : counts) {
+    EXPECT_GT(c, kDraws / 10 * 0.9);
+    EXPECT_LT(c, kDraws / 10 * 1.1);
+  }
+}
+
+TEST(ZipfianChooserTest, ZetaMatchesDirectSum) {
+  double direct = 0;
+  for (uint64_t i = 1; i <= 1000; ++i) direct += 1.0 / std::pow(i, 0.99);
+  EXPECT_NEAR(ZipfianChooser::Zeta(1000, 0.99), direct, 1e-9);
+  // Incremental extension from a cached prefix equals the full sum.
+  double prefix = ZipfianChooser::Zeta(600, 0.99);
+  EXPECT_NEAR(ZipfianChooser::Zeta(1000, 0.99, 600, prefix), direct, 1e-9);
+}
+
+// Chi-square-style goodness-of-fit of observed rank frequencies
+// against the exact Zipf pmf p_i = (1/(i+1)^theta) / zeta(n, theta).
+// The Gray et al. inversion is approximate in the tail, so the check
+// bands the statistic rather than applying a textbook critical value;
+// a broken generator (uniform, shifted, or collapsed onto one rank)
+// overshoots the band by orders of magnitude.
+TEST(ZipfianChooserTest, RankFrequenciesFollowZipfPmf) {
+  const uint64_t kRecords = 100;
+  const double kTheta = 0.99;
+  const int kDraws = 200000;
+  Rng rng(42);
+  ZipfianChooser chooser(kRecords, kTheta);
+  std::vector<uint64_t> counts(kRecords, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    uint64_t k = chooser.Next(rng);
+    ASSERT_LT(k, kRecords);
+    ++counts[k];
+  }
+  double zetan = ZipfianChooser::Zeta(kRecords, kTheta);
+  double chi2 = 0;
+  for (uint64_t i = 0; i < kRecords; ++i) {
+    double expected = kDraws * (1.0 / std::pow(i + 1, kTheta)) / zetan;
+    double diff = counts[i] - expected;
+    chi2 += diff * diff / expected;
+  }
+  // 99 degrees of freedom: a faithful sampler lands in the low
+  // hundreds here; a uniform sampler scores > 100000.
+  EXPECT_LT(chi2, 2000.0);
+  // Head behaviour: rank 0 is the mode and beats rank 1, which beats
+  // the deep tail.
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[1], counts[kRecords - 1]);
+  // Rank 0 is handled exactly by the inversion: its observed share
+  // should be within 5% (relative) of 1/zetan.
+  double share0 = static_cast<double>(counts[0]) / kDraws;
+  EXPECT_NEAR(share0, 1.0 / zetan, 0.05 / zetan);
+}
+
+TEST(ZipfianChooserTest, DeterministicGivenSeed) {
+  ZipfianChooser a(1000), b(1000);
+  Rng ra(99), rb(99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(ra), b.Next(rb));
+}
+
+TEST(LatestChooserTest, FavorsNewestAndTracksGrowth) {
+  std::atomic<uint64_t> inserted{100};
+  LatestChooser chooser(&inserted);
+  Rng rng(5);
+  std::map<uint64_t, uint64_t> counts;
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t k = chooser.Next(rng);
+    ASSERT_LT(k, 100u);
+    ++counts[k];
+  }
+  // Hottest record is the most recent insert, and recency decays.
+  EXPECT_GT(counts[99], counts[98]);
+  EXPECT_GT(counts[99], 20000u / 10);
+  // Growing the key space shifts the mode to the new maximum.
+  inserted.store(200);
+  std::map<uint64_t, uint64_t> grown;
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t k = chooser.Next(rng);
+    ASSERT_LT(k, 200u);
+    ++grown[k];
+  }
+  EXPECT_GT(grown[199], grown[99]);
+}
+
+// ------------------------------------------------------------ workloads
+
+TEST(WorkloadTest, YcsbPresetsMatchTheMatrix) {
+  Workload a = Workload::Ycsb('A');
+  EXPECT_DOUBLE_EQ(a.mix.read, 0.5);
+  EXPECT_DOUBLE_EQ(a.mix.update, 0.5);
+  EXPECT_EQ(a.skew, Skew::kZipfian);
+  Workload d = Workload::Ycsb('d');  // case-insensitive
+  EXPECT_DOUBLE_EQ(d.mix.read, 0.95);
+  EXPECT_DOUBLE_EQ(d.mix.insert, 0.05);
+  EXPECT_EQ(d.skew, Skew::kLatest);
+  Workload e = Workload::Ycsb('E');
+  EXPECT_DOUBLE_EQ(e.mix.scan, 0.95);
+  EXPECT_DOUBLE_EQ(e.mix.insert, 0.05);
+}
+
+TEST(WorkloadTest, MixRatiosHoldOverManyDraws) {
+  Workload b = Workload::Ycsb('B');  // 95% read / 5% update
+  Rng rng(11);
+  const int kDraws = 10000;
+  int reads = 0, updates = 0, inserts = 0, scans = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    switch (b.mix.Choose(rng)) {
+      case OpType::kRead: ++reads; break;
+      case OpType::kUpdate: ++updates; break;
+      case OpType::kInsert: ++inserts; break;
+      case OpType::kScan: ++scans; break;
+    }
+  }
+  EXPECT_EQ(inserts, 0);
+  EXPECT_EQ(scans, 0);
+  EXPECT_NEAR(reads / static_cast<double>(kDraws), 0.95, 0.01);
+  EXPECT_NEAR(updates / static_cast<double>(kDraws), 0.05, 0.01);
+}
+
+TEST(WorkloadTest, MakeChooserMatchesSkew) {
+  std::atomic<uint64_t> inserted{50};
+  Workload c = Workload::Ycsb('C');
+  auto zipf = c.MakeChooser(50, nullptr);
+  ASSERT_NE(zipf, nullptr);
+  Workload d = Workload::Ycsb('D');
+  auto latest = d.MakeChooser(50, &inserted);
+  ASSERT_NE(latest, nullptr);
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(zipf->Next(rng), 50u);
+    EXPECT_LT(latest->Next(rng), 50u);
+  }
+}
+
+// ------------------------------------------------------------ open loop
+
+TEST(OpenLoopTest, EmitsEveryOpAtTargetRate) {
+  OpenLoopOptions options;
+  options.target_ops_per_sec = 2000;
+  options.num_ops = 400;
+  options.num_threads = 2;
+  MetricsRegistry registry;
+  Histogram& latency = registry.histogram("ol.lat");
+  std::atomic<uint64_t> ran{0};
+  OpenLoopResult result = RunOpenLoop(
+      options,
+      [&](uint64_t, Rng&) {
+        ran.fetch_add(1);
+        return true;
+      },
+      &latency);
+  EXPECT_EQ(result.scheduled, 400u);
+  EXPECT_EQ(result.completed, 400u);
+  EXPECT_EQ(result.errors, 0u);
+  EXPECT_EQ(ran.load(), 400u);
+  EXPECT_EQ(latency.count(), 400u);
+  // The schedule spans num_ops/rate = 0.2s; an open loop must not run
+  // ahead of it, and on an idle op should not lag it much either.
+  EXPECT_GE(result.wall_seconds, 0.18);
+  EXPECT_LE(result.wall_seconds, 1.0);
+  EXPECT_GE(result.achieved_ops_per_sec(), 400.0);
+  EXPECT_LE(result.achieved_ops_per_sec(), 2300.0);
+}
+
+TEST(OpenLoopTest, CountsErrorsWithoutRecordingLatency) {
+  OpenLoopOptions options;
+  options.target_ops_per_sec = 5000;
+  options.num_ops = 100;
+  MetricsRegistry registry;
+  Histogram& latency = registry.histogram("ol.err");
+  OpenLoopResult result = RunOpenLoop(
+      options, [](uint64_t i, Rng&) { return i % 4 != 0; }, &latency);
+  EXPECT_EQ(result.completed, 75u);
+  EXPECT_EQ(result.errors, 25u);
+  EXPECT_EQ(latency.count(), 75u);
+}
+
+TEST(OpenLoopTest, PerThreadRngsAreSeededAndDeterministic) {
+  std::vector<uint64_t> first, second;
+  for (int round = 0; round < 2; ++round) {
+    OpenLoopOptions options;
+    options.target_ops_per_sec = 100000;
+    options.num_ops = 64;
+    options.num_threads = 4;
+    options.seed = 123;
+    std::mutex mu;
+    std::map<uint64_t, uint64_t> draws;
+    RunOpenLoop(
+        options,
+        [&](uint64_t i, Rng& rng) {
+          uint64_t v = rng.Uniform(1u << 30);
+          std::lock_guard<std::mutex> lock(mu);
+          draws[i] = v;
+          return true;
+        },
+        nullptr);
+    std::vector<uint64_t>& out = round == 0 ? first : second;
+    for (const auto& [i, v] : draws) out.push_back(v);
+  }
+  EXPECT_EQ(first, second);
+}
+
+// The coordinated-omission check: one stalled op must poison the
+// latency of every op queued behind it, because each op is charged
+// from its *intended* start. A closed loop would record ~0ms for all
+// the delayed ops; the open loop must not.
+TEST(OpenLoopTest, QueueingDelayLandsInTheHistogram) {
+  OpenLoopOptions options;
+  options.target_ops_per_sec = 1000;  // 1ms spacing
+  options.num_ops = 50;
+  options.num_threads = 1;
+  MetricsRegistry registry;
+  Histogram& latency = registry.histogram("ol.co");
+  OpenLoopResult result = RunOpenLoop(
+      options,
+      [&](uint64_t i, Rng&) {
+        if (i == 0) std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        return true;
+      },
+      &latency);
+  EXPECT_EQ(result.completed, 50u);
+  // Ops 1..49 were due at 1..49ms but could not start before ~100ms,
+  // so the *median* latency reflects the stall, not just the max.
+  EXPECT_GT(latency.Quantile(0.5), 30.0);
+  EXPECT_GT(latency.max(), 90.0);
+}
+
+}  // namespace
+}  // namespace loadgen
+}  // namespace kb

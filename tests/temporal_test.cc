@@ -20,10 +20,9 @@ nlp::Sentence MakeSentence(const std::string& text) {
 // ---------------------------------------------------------------- Timex
 
 TEST(TimexTest, FullDate) {
-  auto timexes = MakeSentence("He was born on February 24, 1955.").tokens.empty()
-                     ? std::vector<Timex>{}
-                     : ExtractTimexes(
-                           MakeSentence("He was born on February 24, 1955."));
+  auto sentence = MakeSentence("He was born on February 24, 1955.");
+  auto timexes = sentence.tokens.empty() ? std::vector<Timex>{}
+                                         : ExtractTimexes(sentence);
   ASSERT_EQ(timexes.size(), 1u);
   EXPECT_EQ(timexes[0].kind, TimexKind::kDate);
   EXPECT_EQ(timexes[0].date.ToString(), "1955-02-24");

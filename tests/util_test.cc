@@ -550,6 +550,26 @@ TEST(MetricsRegistryTest, HistogramQuantilesAreOrdered) {
   EXPECT_LT(p50, 110.0);
 }
 
+TEST(MetricsRegistryTest, HistogramP999CapturesExtremeTail) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("test.p999");
+  // 995 fast ops and five 500ms stalls: p99 stays fast, p999 must see
+  // the stalls (this is the whole point of tracking it).
+  for (int i = 0; i < 995; ++i) h.Observe(0.5);
+  for (int i = 0; i < 5; ++i) h.Observe(500.0);
+  double p99 = h.Quantile(0.99);
+  double p999 = h.Quantile(0.999);
+  EXPECT_LT(p99, 10.0);
+  EXPECT_GT(p999, 100.0);
+  EXPECT_LE(p99, p999);
+  // The snapshot carries it too (benches read it from there).
+  MetricsSnapshot snap = registry.Snapshot();
+  const HistogramSnapshot* hs = snap.histogram("test.p999");
+  ASSERT_NE(hs, nullptr);
+  EXPECT_GT(hs->p999, 100.0);
+  EXPECT_NE(snap.ToJson().find("\"p999\""), std::string::npos);
+}
+
 TEST(MetricsRegistryTest, HistogramClampsNegativeAndNan) {
   MetricsRegistry registry;
   Histogram& h = registry.histogram("test.clamp");
