@@ -32,8 +32,14 @@ import sys
 SCHEMA_VERSION = 2
 
 
-def load_rows(directory):
-    """Maps (bench, workload, metric) -> row dict for every BENCH_*.json."""
+def load_rows(directory, errors):
+    """Maps (bench, workload, metric) -> row dict for every BENCH_*.json.
+
+    File-level problems (unparseable JSON, stale schema_version) are
+    appended to ``errors`` instead of aborting, so one truncated row
+    file cannot hide every other regression in the run: the full diff
+    is reported before the nonzero exit.
+    """
     rows = {}
     files = sorted(glob.glob(os.path.join(directory, "BENCH_*.json")))
     for path in files:
@@ -41,14 +47,16 @@ def load_rows(directory):
             try:
                 data = json.load(f)
             except json.JSONDecodeError as e:
-                sys.exit(f"bench_check: {path} is not valid JSON: {e}")
+                errors.append(f"{path}: not valid JSON: {e}")
+                continue
         for row in data:
             version = row.get("schema_version")
             if version != SCHEMA_VERSION:
-                sys.exit(
-                    f"bench_check: {path}: row schema_version {version!r} != "
+                errors.append(
+                    f"{path}: row schema_version {version!r} != "
                     f"{SCHEMA_VERSION}; regenerate with current bench_util.h"
                 )
+                break  # every row in a file shares one schema version
             key = (row["bench"], row.get("workload", ""), row["metric"])
             rows[key] = row
     return rows, files
@@ -125,18 +133,18 @@ def main():
     tolerances = args.tolerances or os.path.join(args.baselines,
                                                  "tolerances.json")
     rules = load_tolerances(tolerances)
-    baseline_rows, baseline_files = load_rows(args.baselines)
-    fresh_rows, fresh_files = load_rows(args.fresh)
-    if not baseline_rows:
+    failures = []
+    baseline_rows, baseline_files = load_rows(args.baselines, failures)
+    fresh_rows, fresh_files = load_rows(args.fresh, failures)
+    if not baseline_rows and not failures:
         sys.exit(f"bench_check: no baseline rows under {args.baselines}")
-    if not fresh_rows:
+    if not fresh_rows and not failures:
         sys.exit(f"bench_check: no fresh rows under {args.fresh}")
 
     # Every baselined bench must have produced at least one fresh row;
     # a bench that stopped emitting is a broken trajectory, not a pass.
     baseline_benches = {b for (b, _, _) in baseline_rows}
     fresh_benches = {b for (b, _, _) in fresh_rows}
-    failures = []
     for bench in sorted(baseline_benches - fresh_benches):
         failures.append(f"{bench}: no fresh rows (bench did not run?)")
 
@@ -177,7 +185,7 @@ def main():
           f"{len(new_keys)} new, {len(baseline_files)} baseline / "
           f"{len(fresh_files)} fresh files")
     if failures:
-        print(f"\n{len(failures)} regression(s):", file=sys.stderr)
+        print(f"\n{len(failures)} problem(s):", file=sys.stderr)
         for failure in failures:
             print(f"  FAIL {failure}", file=sys.stderr)
         sys.exit(1)

@@ -1,0 +1,69 @@
+#include "replication/hash_ring.h"
+
+#include "util/hash.h"
+
+namespace kb {
+namespace replication {
+
+HashRing::HashRing(int virtual_nodes)
+    : virtual_nodes_(virtual_nodes > 0 ? virtual_nodes : 1) {}
+
+void HashRing::Add(const std::string& node) {
+  if (Contains(node)) return;
+  for (int i = 0; i < virtual_nodes_; ++i) {
+    std::string vnode = node + "#" + std::to_string(i);
+    ring_.emplace(Hash64(vnode.data(), vnode.size()), node);
+  }
+  ++nodes_;
+}
+
+void HashRing::Remove(const std::string& node) {
+  if (!Contains(node)) return;
+  for (auto it = ring_.begin(); it != ring_.end();) {
+    if (it->second == node) {
+      it = ring_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  --nodes_;
+}
+
+bool HashRing::Contains(const std::string& node) const {
+  for (const auto& [point, owner] : ring_) {
+    if (owner == node) return true;
+  }
+  return false;
+}
+
+std::string HashRing::NodeFor(const std::string& key) const {
+  if (ring_.empty()) return std::string();
+  uint64_t point = Hash64(key.data(), key.size());
+  auto it = ring_.lower_bound(point);
+  if (it == ring_.end()) it = ring_.begin();  // wrap
+  return it->second;
+}
+
+std::vector<std::string> HashRing::OrderFor(const std::string& key,
+                                            size_t n) const {
+  std::vector<std::string> order;
+  if (ring_.empty() || n == 0) return order;
+  uint64_t point = Hash64(key.data(), key.size());
+  auto it = ring_.lower_bound(point);
+  for (size_t steps = 0; steps < ring_.size() && order.size() < n; ++steps) {
+    if (it == ring_.end()) it = ring_.begin();
+    bool seen = false;
+    for (const std::string& node : order) {
+      if (node == it->second) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) order.push_back(it->second);
+    ++it;
+  }
+  return order;
+}
+
+}  // namespace replication
+}  // namespace kb

@@ -1,0 +1,47 @@
+#ifndef KBFORGE_REPLICATION_HASH_RING_H_
+#define KBFORGE_REPLICATION_HASH_RING_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace kb {
+namespace replication {
+
+/// Consistent-hash ring over named nodes, with virtual nodes for
+/// smoothness. Used by the Router to pin a query's cache-affinity
+/// replica: the same query text keeps landing on the same replica
+/// (warming exactly one result cache), and when a replica is ejected
+/// only its arc moves — the rest of the keyspace keeps its affinity,
+/// unlike modulo hashing where one departure reshuffles everything.
+///
+/// Not thread-safe; the Router guards it with its own lock.
+class HashRing {
+ public:
+  explicit HashRing(int virtual_nodes = 64);
+
+  void Add(const std::string& node);
+  void Remove(const std::string& node);
+  bool Contains(const std::string& node) const;
+  size_t size() const { return nodes_; }
+  bool empty() const { return nodes_ == 0; }
+
+  /// The node owning `key`'s point on the ring; empty if no nodes.
+  std::string NodeFor(const std::string& key) const;
+
+  /// Up to `n` *distinct* nodes in ring order starting at `key`'s
+  /// point — the failover order: primary first, then the nodes that
+  /// would inherit its arc.
+  std::vector<std::string> OrderFor(const std::string& key, size_t n) const;
+
+ private:
+  int virtual_nodes_;
+  size_t nodes_ = 0;
+  std::map<uint64_t, std::string> ring_;  ///< point -> node
+};
+
+}  // namespace replication
+}  // namespace kb
+
+#endif  // KBFORGE_REPLICATION_HASH_RING_H_

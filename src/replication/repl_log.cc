@@ -1,0 +1,60 @@
+#include "replication/repl_log.h"
+
+#include <utility>
+
+#include "replication/repl_protocol.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace kb {
+namespace replication {
+
+StatusOr<std::unique_ptr<ReplicationLog>> ReplicationLog::Open(
+    const Options& options, const std::string& path) {
+  storage::ShardedStoreOptions store_options;
+  store_options.num_shards = options.num_shards;
+  store_options.store.retain_wals = true;
+  store_options.store.memtable_flush_bytes = options.memtable_bytes;
+  store_options.store.env = options.env;
+  auto store = storage::ShardedKVStore::Recover(store_options, path);
+  if (!store.ok()) return store.status();
+
+  auto log = std::unique_ptr<ReplicationLog>(new ReplicationLog());
+  log->store_ = std::move(*store);
+  // Resume the sequence after the largest persisted fact key. The scan
+  // is globally key-ordered, and fixed-width keys make key order equal
+  // append order.
+  uint64_t max_seq = 0;
+  bool any = false;
+  Status s = log->store_->Scan(
+      Slice(kFactKeyPrefix), Slice("f;"),  // ';' is ':' + 1
+      [&](const Slice& key, const Slice&) {
+        uint64_t seq = 0;
+        if (ParseFactKey(key, &seq)) {
+          max_seq = seq;
+          any = true;
+        }
+        return true;
+      });
+  if (!s.ok()) return s;
+  log->next_seq_ = any ? max_seq + 1 : 0;
+  return log;
+}
+
+Status ReplicationLog::Append(const std::vector<server::WireFact>& batch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const server::WireFact& fact : batch) {
+    Status s = store_->Put(FactKey(next_seq_), EncodeFactRecord(fact));
+    if (!s.ok()) return s;
+    ++next_seq_;
+  }
+  return Status::OK();
+}
+
+uint64_t ReplicationLog::next_seq() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_;
+}
+
+}  // namespace replication
+}  // namespace kb

@@ -1,0 +1,499 @@
+#include "replication/router.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "server/kb_client.h"
+#include "server/protocol.h"
+#include "util/logging.h"
+
+namespace kb {
+namespace replication {
+
+namespace {
+
+std::string ErrorJson(const std::string& error, const std::string& message) {
+  server::Json response = server::Json::Object();
+  response.Set("status", server::Json::Str("error"));
+  response.Set("error", server::Json::Str(error));
+  response.Set("message", server::Json::Str(message));
+  return response.Dump();
+}
+
+std::string OverloadedJson(int retry_after_ms) {
+  server::Json response = server::Json::Object();
+  response.Set("status", server::Json::Str("overloaded"));
+  response.Set("error", server::Json::Str("overloaded"));
+  response.Set("retry_after_ms", server::Json::Number(retry_after_ms));
+  return response.Dump();
+}
+
+}  // namespace
+
+struct Router::Metrics {
+  Counter& requests;
+  Counter& rejected;
+  Counter& errors;
+  Counter& failovers;    ///< forwarding attempts that moved on
+  Counter& ejections;    ///< replicas removed from the ring
+  Counter& readmissions; ///< ejected replicas restored by a probe
+  Counter& stale_skips;  ///< replicas skipped for lagging min_epoch
+
+  static Metrics* Get() {
+    static Metrics* m = [] {
+      MetricsRegistry& r = MetricsRegistry::Default();
+      return new Metrics{
+          r.counter("router.requests"),    r.counter("router.rejected"),
+          r.counter("router.errors"),      r.counter("router.failovers"),
+          r.counter("router.ejections"),   r.counter("router.readmissions"),
+          r.counter("router.stale_skips"),
+      };
+    }();
+    return m;
+  }
+};
+
+Router::Router(const Options& options)
+    : options_(options),
+      metrics_(Metrics::Get()),
+      ring_(options.virtual_nodes),
+      failover_policy_(options.failover) {
+  Backend leader;
+  leader.name = "leader";
+  leader.port = options_.leader_port;
+  leader.is_leader = true;
+  backends_.push_back(leader);
+  for (int port : options_.replica_ports) {
+    Backend replica;
+    replica.name = "replica:" + std::to_string(port);
+    replica.port = port;
+    backends_.push_back(replica);
+    ring_.Add(replica.name);  // innocent until health proves otherwise
+  }
+}
+
+Router::~Router() { Stop(); }
+
+Status Router::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IOError("socket: " + std::string(::strerror(errno)));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) < 0 ||
+      ::listen(listen_fd_, 128) < 0) {
+    Status s = Status::IOError("bind/listen: " +
+                               std::string(::strerror(errno)));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  if (::pipe(wake_pipe_) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IOError("pipe: " + std::string(::strerror(errno)));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    started_ = true;
+    stopping_ = false;
+  }
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  health_ = std::thread([this] { HealthLoop(); });
+  int workers = options_.num_workers > 0 ? options_.num_workers : 1;
+  workers_.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  return Status::OK();
+}
+
+void Router::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_ || stopping_) {
+      stopping_ = true;
+      return;
+    }
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  health_cv_.notify_all();
+  {
+    // Unblock workers parked in ReadFrame on idle client connections;
+    // they observe stopping_ and exit after the current request.
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int fd : active_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  if (wake_pipe_[1] >= 0) {
+    char byte = 0;
+    [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  if (health_.joinable()) health_.join();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  std::deque<int> orphans;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    orphans.swap(pending_);
+  }
+  for (int fd : orphans) ::close(fd);
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  for (int i = 0; i < 2; ++i) {
+    if (wake_pipe_[i] >= 0) {
+      ::close(wake_pipe_[i]);
+      wake_pipe_[i] = -1;
+    }
+  }
+}
+
+std::vector<std::string> Router::healthy_replicas() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  std::vector<std::string> names;
+  for (const Backend& backend : backends_) {
+    if (!backend.is_leader && backend.healthy) names.push_back(backend.name);
+  }
+  return names;
+}
+
+void Router::AcceptLoop() {
+  for (;;) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_pipe_[0], POLLIN, 0}};
+    int n = ::poll(fds, 2, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (fds[1].revents != 0) return;
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    bool admitted = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!stopping_ && pending_.size() < options_.queue_depth) {
+        admitted = true;
+        pending_.push_back(fd);
+      }
+    }
+    if (admitted) {
+      work_cv_.notify_one();
+      continue;
+    }
+    metrics_->rejected.Increment();
+    timeval timeout{1, 0};
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+    server::WriteFrame(fd, OverloadedJson(options_.retry_after_ms));
+    ::close(fd);
+  }
+}
+
+void Router::WorkerLoop() {
+  for (;;) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stopping_ || !pending_.empty(); });
+      if (stopping_) {
+        for (int orphan : pending_) ::close(orphan);
+        pending_.clear();
+        return;
+      }
+      fd = pending_.front();
+      pending_.pop_front();
+      active_fds_.insert(fd);  // same lock: Stop sees it or we see stopping_
+    }
+    ServeConnection(fd);
+  }
+}
+
+void Router::ServeConnection(int fd) {
+  for (;;) {
+    std::string payload;
+    Status status = server::ReadFrame(fd, &payload);
+    if (!status.ok()) {
+      if (status.IsInvalidArgument()) {
+        server::WriteFrame(fd, ErrorJson("bad_frame", status.message()));
+      }
+      break;
+    }
+    std::string response;
+    RouteRequest(payload, &response);
+    if (!server::WriteFrame(fd, response).ok()) break;
+    bool stopping;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stopping = stopping_;
+    }
+    if (stopping) break;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    active_fds_.erase(fd);
+  }
+  ::close(fd);
+}
+
+void Router::RouteRequest(const std::string& payload, std::string* response) {
+  metrics_->requests.Increment();
+  auto request = server::Json::Parse(payload);
+  if (!request.ok()) {
+    metrics_->errors.Increment();
+    *response = ErrorJson("bad_request", request.status().message());
+    return;
+  }
+  const std::string op = request->GetString("op");
+
+  if (op == "health") {
+    server::Json body = server::Json::Object();
+    body.Set("status", server::Json::Str("ok"));
+    body.Set("healthy", server::Json::Bool(true));
+    body.Set("role", server::Json::Str("router"));
+    server::Json list = server::Json::Array();
+    {
+      std::lock_guard<std::mutex> lock(state_mu_);
+      for (const Backend& backend : backends_) {
+        server::Json b = server::Json::Object();
+        b.Set("name", server::Json::Str(backend.name));
+        b.Set("port", server::Json::Number(backend.port));
+        b.Set("healthy", server::Json::Bool(backend.healthy));
+        b.Set("applied_epoch",
+              server::Json::Number(
+                  static_cast<double>(backend.applied_epoch)));
+        list.Append(std::move(b));
+      }
+    }
+    body.Set("backends", std::move(list));
+    *response = body.Dump();
+    return;
+  }
+  if (op == "metrics") {
+    server::Json body = server::Json::Object();
+    body.Set("status", server::Json::Str("ok"));
+    body.Set("text", server::Json::Str(
+                         MetricsRegistry::Default().Snapshot().ToText()));
+    *response = body.Dump();
+    return;
+  }
+
+  const bool is_read = op == "query" || op == "entity_card";
+  uint64_t min_epoch = 0;
+  if ((*request)["min_epoch"].is_number()) {
+    min_epoch = static_cast<uint64_t>((*request)["min_epoch"].as_number());
+  }
+  const std::string key =
+      op == "query" ? request->GetString("sparql")
+                    : request->GetString("entity");
+
+  // The ring walk is recomputed on every retry attempt, so a backoff
+  // sleep gives the health thread time to eject the dead backend and
+  // the next attempt routes around it — how an in-flight query
+  // survives the replica serving it being killed.
+  Status final = failover_policy_.Run(
+      [&]() -> Status {
+        std::vector<int> order;
+        if (is_read) {
+          order = ReadOrder(key, min_epoch);
+        } else {
+          order.push_back(options_.leader_port);
+        }
+        Status last = Status::Unavailable("no live backend");
+        bool first = true;
+        for (int port : order) {
+          Status s = ForwardOnce(port, *request, response);
+          if (s.ok()) return s;
+          last = s;
+          if (!first || order.size() == 1) metrics_->failovers.Increment();
+          first = false;
+        }
+        return last;
+      },
+      [](const Status& s) { return s.IsUnavailable() || s.IsIOError(); });
+  if (!final.ok()) {
+    metrics_->errors.Increment();
+    *response = ErrorJson("unavailable",
+                          "no backend could serve the request: " +
+                              final.message());
+  }
+}
+
+std::vector<int> Router::ReadOrder(const std::string& key,
+                                   uint64_t min_epoch) {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  std::vector<int> order;
+  for (const std::string& name : ring_.OrderFor(key, ring_.size())) {
+    for (const Backend& backend : backends_) {
+      if (backend.name != name) continue;
+      if (min_epoch > 0 && backend.applied_epoch < min_epoch) {
+        // Known to lag the client's own writes; it would answer
+        // stale_replica anyway, so don't waste the round trip.
+        metrics_->stale_skips.Increment();
+        break;
+      }
+      order.push_back(backend.port);
+      break;
+    }
+  }
+  order.push_back(options_.leader_port);  // the leader is never stale
+  return order;
+}
+
+Status Router::ForwardOnce(int port, const server::Json& request,
+                           std::string* response) {
+  // One connection per backend per worker thread, kept across
+  // requests; a failed forward discards it (reconnect next time).
+  thread_local std::map<int, server::KbClient> connections;
+  auto it = connections.find(port);
+  if (it == connections.end()) {
+    server::ClientOptions client_options;
+    client_options.timeout_ms = options_.backend_timeout_ms;
+    it = connections.emplace(port, server::KbClient(client_options)).first;
+  }
+  if (!it->second.connected()) {
+    Status s = it->second.Connect(port);
+    if (!s.ok()) {
+      connections.erase(it);
+      return s;
+    }
+  }
+  auto result = it->second.Call(request);
+  if (result.ok()) {
+    *response = result->Dump();
+    return Status::OK();
+  }
+  Status s = result.status();
+  if (s.IsUnavailable() || s.IsIOError()) {
+    // Shed, not-leader, stale, or a dead socket: fail over.
+    if (!it->second.connected()) connections.erase(it);
+    return s;
+  }
+  // Application-level error (not_found, bad_query, deadline_exceeded):
+  // the backend's verdict, passed through for the client to see.
+  *response = it->second.last_response().Dump();
+  return Status::OK();
+}
+
+void Router::HealthLoop() {
+  // First sweep immediately: a replica that is down at startup is
+  // ejected before it eats fail_threshold client requests.
+  for (;;) {
+    std::vector<Backend*> due;
+    auto now = std::chrono::steady_clock::now();
+    {
+      std::lock_guard<std::mutex> lock(state_mu_);
+      for (Backend& backend : backends_) {
+        if (now >= backend.next_check) due.push_back(&backend);
+      }
+    }
+    for (Backend* backend : due) CheckBackend(backend);
+    std::unique_lock<std::mutex> lock(mu_);
+    bool stopped = health_cv_.wait_for(
+        lock,
+        std::chrono::duration<double, std::milli>(
+            options_.health_interval_ms),
+        [this] { return stopping_; });
+    if (stopped) return;
+  }
+}
+
+void Router::CheckBackend(Backend* backend) {
+  auto it = health_conns_.find(backend->port);
+  if (it == health_conns_.end()) {
+    server::ClientOptions client_options;
+    client_options.timeout_ms = options_.backend_timeout_ms;
+    it = health_conns_
+             .emplace(backend->port, server::KbClient(client_options))
+             .first;
+  }
+  server::KbClient& client = it->second;
+  Status status = Status::OK();
+  if (!client.connected()) status = client.Connect(backend->port);
+  // Placeholder until Health() runs; StatusOr asserts on OK
+  // error-statuses, and the connect-failure path below never reads it.
+  StatusOr<server::Json> health = Status::Internal("health never ran");
+  if (status.ok()) {
+    health = client.Health();
+    status = health.status();
+  }
+  if (!status.ok()) client.Close();  // next probe reconnects fresh
+  std::lock_guard<std::mutex> lock(state_mu_);
+  auto now = std::chrono::steady_clock::now();
+  if (status.ok()) {
+    backend->consecutive_failures = 0;
+    backend->applied_epoch = static_cast<uint64_t>(
+        health->GetNumber("applied_epoch", health->GetNumber("epoch", 0)));
+    if (backend->is_leader) leader_epoch_ = backend->applied_epoch;
+    // A replica restarted from scratch answers health checks long
+    // before it holds the data; readmitting it immediately would serve
+    // near-empty reads. Keep probing until it has caught up.
+    const bool caught_up =
+        backend->is_leader ||
+        backend->applied_epoch + options_.max_readmit_lag >= leader_epoch_;
+    if (!backend->healthy && caught_up) {
+      // Probe succeeded on a caught-up backend: restore.
+      backend->healthy = true;
+      if (!backend->is_leader) {
+        ring_.Add(backend->name);
+        metrics_->readmissions.Increment();
+        KB_LOG(Info) << "router readmitted " << backend->name;
+      }
+    }
+    backend->next_check =
+        now + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double, std::milli>(
+                      backend->healthy ? options_.health_interval_ms
+                                       : options_.probe_interval_ms));
+  } else {
+    ++backend->consecutive_failures;
+    if (backend->healthy &&
+        backend->consecutive_failures >= options_.fail_threshold) {
+      // Fail fast: out of the ring until a probe brings it back.
+      backend->healthy = false;
+      if (!backend->is_leader) {
+        ring_.Remove(backend->name);
+        metrics_->ejections.Increment();
+        KB_LOG(Info) << "router ejected " << backend->name << ": "
+                     << status.ToString();
+      }
+    }
+    backend->next_check =
+        now + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double, std::milli>(
+                      backend->healthy ? options_.health_interval_ms
+                                       : options_.probe_interval_ms));
+  }
+}
+
+}  // namespace replication
+}  // namespace kb

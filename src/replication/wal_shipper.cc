@@ -1,0 +1,271 @@
+#include "replication/wal_shipper.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "replication/repl_protocol.h"
+#include "server/protocol.h"
+#include "util/logging.h"
+
+namespace kb {
+namespace replication {
+
+WalShipper::WalShipper(ReplicationLog* log,
+                       std::function<uint64_t()> epoch_fn,
+                       const Options& options)
+    : log_(log), epoch_fn_(std::move(epoch_fn)), options_(options) {}
+
+WalShipper::~WalShipper() { Stop(); }
+
+Status WalShipper::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IOError("socket: " + std::string(::strerror(errno)));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) < 0 ||
+      ::listen(listen_fd_, 16) < 0) {
+    Status s = Status::IOError("bind/listen: " +
+                               std::string(::strerror(errno)));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  if (::pipe(wake_pipe_) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IOError("pipe: " + std::string(::strerror(errno)));
+  }
+  stopping_.store(false);
+  started_ = true;
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void WalShipper::Stop() {
+  if (!started_) return;
+  started_ = false;
+  stopping_.store(true);
+  stop_cv_.notify_all();
+  if (wake_pipe_[1] >= 0) {
+    char byte = 0;
+    [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [fd, epoch] : acked_) ::shutdown(fd, SHUT_RDWR);
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  std::vector<std::thread> sessions;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sessions.swap(sessions_);
+  }
+  for (std::thread& session : sessions) {
+    if (session.joinable()) session.join();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  for (int i = 0; i < 2; ++i) {
+    if (wake_pipe_[i] >= 0) {
+      ::close(wake_pipe_[i]);
+      wake_pipe_[i] = -1;
+    }
+  }
+}
+
+uint64_t WalShipper::min_acked_epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (acked_.empty()) return 0;
+  uint64_t min_epoch = UINT64_MAX;
+  for (const auto& [fd, epoch] : acked_) {
+    min_epoch = std::min(min_epoch, epoch);
+  }
+  return min_epoch;
+}
+
+void WalShipper::AcceptLoop() {
+  for (;;) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_pipe_[0], POLLIN, 0}};
+    int n = ::poll(fds, 2, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (fds[1].revents != 0) return;  // Stop() woke us
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_.load()) {
+      ::close(fd);
+      return;
+    }
+    acked_[fd] = 0;
+    sessions_.emplace_back([this, fd] { Session(fd); });
+  }
+}
+
+void WalShipper::Session(int fd) {
+  active_sessions_.fetch_add(1);
+  const int num_shards = log_->store()->num_shards();
+
+  std::string payload;
+  Handshake handshake;
+  Status status = server::ReadFrame(fd, &payload);
+  if (status.ok()) status = DecodeHandshake(Slice(payload), &handshake);
+  if (status.ok()) {
+    // One position per shard; the follower's handshake overlays
+    // whatever it already holds (bootstrap sends nothing).
+    std::vector<ShardPosition> positions(
+        static_cast<size_t>(num_shards));
+    for (int i = 0; i < num_shards; ++i) {
+      positions[static_cast<size_t>(i)].shard = static_cast<uint32_t>(i);
+    }
+    for (const ShardPosition& p : handshake.positions) {
+      if (p.shard < static_cast<uint32_t>(num_shards)) {
+        positions[p.shard] = p;
+      }
+    }
+    Manifest manifest;
+    manifest.num_shards = static_cast<uint32_t>(num_shards);
+    manifest.leader_epoch = epoch_fn_();
+    status = server::WriteFrame(fd, EncodeManifest(manifest));
+
+    while (status.ok() && !stopping_.load()) {
+      bool had_backlog = false;
+      status = ShipRound(fd, &positions, &had_backlog);
+      if (!status.ok()) break;
+      status = server::ReadFrame(fd, &payload);
+      if (!status.ok()) break;
+      Ack ack;
+      status = DecodeAck(Slice(payload), &ack);
+      if (!status.ok()) break;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        acked_[fd] = ack.applied_epoch;
+      }
+      if (!had_backlog) {
+        std::unique_lock<std::mutex> lock(mu_);
+        stop_cv_.wait_for(
+            lock,
+            std::chrono::duration<double, std::milli>(
+                options_.poll_interval_ms),
+            [this] { return stopping_.load(); });
+      }
+    }
+  }
+  if (!status.ok() && !stopping_.load()) {
+    KB_LOG(Info) << "repl session ended: " << status.ToString();
+  }
+  ::close(fd);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    acked_.erase(fd);
+  }
+  active_sessions_.fetch_sub(1);
+}
+
+Status WalShipper::ShipRound(int fd, std::vector<ShardPosition>* positions,
+                             bool* had_backlog) {
+  DataRound round;
+  // Epoch first, files second: every write the epoch counts is already
+  // in the log (the pre-insert hook runs before the KB assert), so
+  // reaching the observed end of every WAL proves the follower holds
+  // all writes <= round.epoch.
+  round.epoch = epoch_fn_();
+  round.complete = true;
+  *had_backlog = false;
+  storage::ShardedKVStore* store = log_->store();
+
+  for (ShardPosition& pos : *positions) {
+    auto gens = store->WalGenerations(static_cast<int>(pos.shard));
+    if (!gens.ok()) return gens.status();
+    size_t budget = options_.max_bytes_per_shard;
+    for (size_t gi = 0; gi < gens->size(); ++gi) {
+      const storage::WalGenerationInfo& gen = (*gens)[gi];
+      if (gen.number < pos.gen) continue;
+      if (gen.number > pos.gen) {
+        // The follower's generation is gone from the manifest only
+        // when it was fully shipped and we advanced past it (or the
+        // follower bootstrapped at gen 0); start the next one clean.
+        pos.gen = gen.number;
+        pos.offset = 0;
+      }
+      if (pos.offset >= gen.size) {
+        // Caught up on this generation; hop to the next listed one if
+        // it exists (a closed generation never grows again).
+        if (gi + 1 < gens->size()) {
+          pos.gen = (*gens)[gi + 1].number;
+          pos.offset = 0;
+        }
+        continue;
+      }
+      if (budget == 0) {
+        round.complete = false;
+        break;
+      }
+      uint64_t avail = gen.size - pos.offset;
+      uint64_t take = std::min<uint64_t>(avail, budget);
+      auto contents =
+          store->shard(static_cast<int>(pos.shard))
+              ->env()
+              ->ReadFileToString(gen.path);
+      if (!contents.ok()) return contents.status();
+      if (contents->size() < pos.offset) {
+        return Status::Internal("wal shrank under the shipper: " + gen.path);
+      }
+      take = std::min<uint64_t>(take, contents->size() - pos.offset);
+      if (take > 0) {
+        WalChunk chunk;
+        chunk.shard = pos.shard;
+        chunk.gen = gen.number;
+        chunk.offset = pos.offset;
+        chunk.data = contents->substr(static_cast<size_t>(pos.offset),
+                                      static_cast<size_t>(take));
+        round.chunks.push_back(std::move(chunk));
+        pos.offset += take;
+        budget -= static_cast<size_t>(take);
+        *had_backlog = true;
+      }
+      if (pos.offset < gen.size) {
+        round.complete = false;  // budget (or a short read) stopped us
+        break;
+      }
+      if (gi + 1 < gens->size()) {
+        pos.gen = (*gens)[gi + 1].number;
+        pos.offset = 0;
+      }
+    }
+  }
+  return server::WriteFrame(fd, EncodeDataRound(round));
+}
+
+}  // namespace replication
+}  // namespace kb

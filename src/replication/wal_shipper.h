@@ -1,0 +1,98 @@
+#ifndef KBFORGE_REPLICATION_WAL_SHIPPER_H_
+#define KBFORGE_REPLICATION_WAL_SHIPPER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "replication/repl_log.h"
+#include "replication/repl_protocol.h"
+#include "util/status.h"
+
+namespace kb {
+namespace replication {
+
+/// Leader-side replication endpoint: listens on its own port, serves
+/// any number of followers, each on its own session thread. A session
+/// reads the follower's Handshake (per-shard WAL positions), answers
+/// with a Manifest, then loops:
+///
+///   1. sample epoch = epoch_fn()            (BEFORE touching files)
+///   2. for every shard, read the bytes between the follower's
+///      position and the current end of the retained WAL sequence
+///      (bounded per round), advance the session's shipped position
+///   3. send DataRound{epoch, complete, chunks}; complete means step 2
+///      reached the live end of every shard *as observed this round*
+///   4. read the follower's Ack (lag observability), sleep, repeat
+///
+/// The epoch-before-read order is what makes `complete` meaningful:
+/// the log is written ahead of the KB (pre-insert hook), so every
+/// write counted by the sampled epoch was already in the WALs when
+/// they were read.
+///
+/// Sessions are independent — a slow or dead follower never blocks
+/// the others (or the leader's write path; shipping only reads files).
+class WalShipper {
+ public:
+  struct Options {
+    int port = 0;  ///< 0 = ephemeral, see port()
+    /// Idle sleep between rounds when a follower is caught up.
+    double poll_interval_ms = 20;
+    /// Byte budget per shard per round; bounds frame sizes so one
+    /// giant backlog cannot exceed kMaxFrameBytes.
+    size_t max_bytes_per_shard = 1u << 20;
+  };
+
+  /// `log` must outlive the shipper. `epoch_fn` reports the leader
+  /// KB's current write epoch.
+  WalShipper(ReplicationLog* log, std::function<uint64_t()> epoch_fn,
+             const Options& options);
+  ~WalShipper();
+
+  WalShipper(const WalShipper&) = delete;
+  WalShipper& operator=(const WalShipper&) = delete;
+
+  Status Start();
+  void Stop();
+
+  int port() const { return port_; }
+  /// Followers currently in a session.
+  int active_followers() const { return active_sessions_.load(); }
+  /// Smallest applied epoch acked across live sessions (0 if none).
+  uint64_t min_acked_epoch() const;
+
+ private:
+  void AcceptLoop();
+  void Session(int fd);
+  /// One round for one session; `positions` is updated in place.
+  /// `had_backlog` reports whether any byte shipped (no sleep then).
+  Status ShipRound(int fd, std::vector<ShardPosition>* positions,
+                   bool* had_backlog);
+
+  ReplicationLog* log_;
+  std::function<uint64_t()> epoch_fn_;
+  Options options_;
+
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  int port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::atomic<int> active_sessions_{0};
+
+  mutable std::mutex mu_;
+  std::condition_variable stop_cv_;  ///< cuts the inter-round sleep short
+  std::vector<std::thread> sessions_;
+  std::map<int, uint64_t> acked_;  ///< live session fd -> acked epoch
+  std::thread acceptor_;
+  bool started_ = false;
+};
+
+}  // namespace replication
+}  // namespace kb
+
+#endif  // KBFORGE_REPLICATION_WAL_SHIPPER_H_

@@ -2,12 +2,16 @@
 
 #include <arpa/inet.h>
 #include <errno.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <string.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
+#include <cmath>
 #include <utility>
 
 #include "server/protocol.h"
@@ -15,11 +19,21 @@
 namespace kb {
 namespace server {
 
+KbClient::KbClient(const ClientOptions& options) : options_(options) {
+  if (options_.retry_unavailable) {
+    retry_policy_ = std::make_unique<RetryPolicy>(options_.retry);
+  }
+}
+
 KbClient::~KbClient() { Close(); }
 
 KbClient::KbClient(KbClient&& other) noexcept
-    : fd_(other.fd_),
+    : options_(other.options_),
+      retry_policy_(std::move(other.retry_policy_)),
+      fd_(other.fd_),
+      last_port_(other.last_port_),
       retry_after_ms_(other.retry_after_ms_),
+      last_write_epoch_(other.last_write_epoch_),
       last_response_(std::move(other.last_response_)) {
   other.fd_ = -1;
 }
@@ -27,8 +41,12 @@ KbClient::KbClient(KbClient&& other) noexcept
 KbClient& KbClient::operator=(KbClient&& other) noexcept {
   if (this == &other) return *this;
   Close();
+  options_ = other.options_;
+  retry_policy_ = std::move(other.retry_policy_);
   fd_ = other.fd_;
+  last_port_ = other.last_port_;
   retry_after_ms_ = other.retry_after_ms_;
+  last_write_epoch_ = other.last_write_epoch_;
   last_response_ = std::move(other.last_response_);
   other.fd_ = -1;
   return *this;
@@ -36,6 +54,7 @@ KbClient& KbClient::operator=(KbClient&& other) noexcept {
 
 Status KbClient::Connect(int port) {
   Close();
+  last_port_ = port;
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0) {
     return Status::IOError("socket: " + std::string(::strerror(errno)));
@@ -44,7 +63,38 @@ Status KbClient::Connect(int port) {
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(static_cast<uint16_t>(port));
-  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+  if (options_.timeout_ms > 0) {
+    // Bounded connect: non-blocking connect + poll, then back to
+    // blocking IO under SO_*TIMEO so no later call can hang either.
+    int flags = ::fcntl(fd_, F_GETFL, 0);
+    ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+    int rc = ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    if (rc < 0 && errno == EINPROGRESS) {
+      pollfd pfd{fd_, POLLOUT, 0};
+      rc = ::poll(&pfd, 1, static_cast<int>(std::ceil(options_.timeout_ms)));
+      if (rc <= 0) {
+        Close();
+        return Status::IOError("connect timed out");
+      }
+      int err = 0;
+      socklen_t len = sizeof(err);
+      ::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &err, &len);
+      if (err != 0) {
+        Close();
+        return Status::IOError("connect: " + std::string(::strerror(err)));
+      }
+    } else if (rc < 0) {
+      Status s = Status::IOError("connect: " + std::string(::strerror(errno)));
+      Close();
+      return s;
+    }
+    ::fcntl(fd_, F_SETFL, flags);
+    long usec = static_cast<long>(options_.timeout_ms * 1000);
+    timeval timeout{usec / 1000000, usec % 1000000};
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+    ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+  } else if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                       sizeof(addr)) < 0) {
     Status s = Status::IOError("connect: " + std::string(::strerror(errno)));
     Close();
     return s;
@@ -62,7 +112,31 @@ void KbClient::Close() {
 }
 
 StatusOr<Json> KbClient::Call(const Json& request) {
+  if (retry_policy_ == nullptr) return CallOnce(request);
+  // Placeholder until the first attempt runs; StatusOr asserts on OK
+  // error-statuses, and RetryPolicy::Run always invokes the attempt at
+  // least once before returning.
+  StatusOr<Json> response = Status::Internal("retry attempt never ran");
+  Status status = retry_policy_->Run(
+      [&] {
+        if (fd_ < 0 && last_port_ >= 0) {
+          // The server drops the connection when it sheds; reconnect
+          // before the next attempt.
+          Status connect_status = Connect(last_port_);
+          if (!connect_status.ok()) return connect_status;
+        }
+        response = CallOnce(request);
+        return response.status();
+      },
+      [](const Status& s) { return s.IsUnavailable() || s.IsIOError(); },
+      [this] { return static_cast<double>(retry_after_ms_); });
+  if (!status.ok()) return status;
+  return response;
+}
+
+StatusOr<Json> KbClient::CallOnce(const Json& request) {
   if (fd_ < 0) return Status::IOError("client not connected");
+  retry_after_ms_ = 0;  // hint applies only to the retry right after it
   Status write_status = WriteFrame(fd_, request.Dump());
   // Even when the write fails, read before giving up: a server that
   // shed this connection at admission wrote its overload frame and
@@ -94,6 +168,11 @@ StatusOr<Json> KbClient::Call(const Json& request) {
     Close();
     return Status::Unavailable(message.empty() ? "overloaded" : message);
   }
+  if (error == "not_leader" || error == "stale_replica") {
+    // Replicated-tier routing errors: this endpoint cannot serve the
+    // request right now, but a peer (or this one, shortly) can.
+    return Status::Unavailable(error + ": " + message);
+  }
   if (error == "deadline_exceeded") return Status::DeadlineExceeded(message);
   if (error == "not_found") return Status::NotFound(message);
   if (error == "bad_request" || error == "bad_query" ||
@@ -114,6 +193,10 @@ StatusOr<QueryResult> KbClient::Query(const std::string& sparql,
     request.Set("max_rows", Json::Number(static_cast<double>(max_rows)));
   }
   if (no_cache) request.Set("no_cache", Json::Bool(true));
+  if (options_.read_your_writes && last_write_epoch_ > 0) {
+    request.Set("min_epoch",
+                Json::Number(static_cast<double>(last_write_epoch_)));
+  }
   auto response = Call(request);
   if (!response.ok()) return response.status();
   QueryResult result;
@@ -162,6 +245,8 @@ StatusOr<int64_t> KbClient::InsertFacts(const std::vector<WireFact>& facts) {
   request.Set("facts", std::move(array));
   auto response = Call(request);
   if (!response.ok()) return response.status();
+  double epoch = response->GetNumber("epoch", 0);
+  if (epoch > 0) last_write_epoch_ = static_cast<uint64_t>(epoch);
   return static_cast<int64_t>(response->GetNumber("inserted"));
 }
 

@@ -1,10 +1,14 @@
 #ifndef KBFORGE_SERVER_KB_CLIENT_H_
 #define KBFORGE_SERVER_KB_CLIENT_H_
 
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "server/json.h"
+#include "server/wire_fact.h"
+#include "util/retry.h"
 #include "util/statusor.h"
 
 namespace kb {
@@ -18,14 +22,24 @@ struct QueryResult {
   bool truncated = false;  ///< row cap hit (prefix, not the full result)
 };
 
-/// A fact to insert via the wire protocol. Exactly one of `o` /
-/// `has_year` carries the object.
-struct WireFact {
-  std::string s, p, o;
-  bool has_year = false;
-  int32_t year = 0;
-  double confidence = 1.0;
-  uint32_t support = 1;
+/// Client behavior knobs. Defaults preserve the bare PR-5 client: no
+/// socket timeouts, overload sheds surfaced to the caller immediately.
+struct ClientOptions {
+  /// Connect/send/receive timeout for every socket operation;
+  /// 0 blocks forever. Routers health-checking replicas set this so a
+  /// hung backend cannot wedge them.
+  double timeout_ms = 0;
+  /// Opt-in: instead of surfacing Unavailable (an admission-control
+  /// shed or a mid-failover "not_leader"), reconnect and retry with a
+  /// bounded, jittered util::RetryPolicy backoff that honors the
+  /// server's retry_after_ms hint (the sleep is at least the hint).
+  bool retry_unavailable = false;
+  /// Attempt/backoff bounds for retry_unavailable.
+  RetryOptions retry;
+  /// Attach last_write_epoch() to queries as min_epoch, so a
+  /// replicated tier never serves this client's reads from a replica
+  /// that has not yet applied this client's own writes.
+  bool read_your_writes = false;
 };
 
 /// Blocking client for KbServer's length-prefixed JSON protocol. One
@@ -34,11 +48,14 @@ struct WireFact {
 ///
 /// Server-side failures come back as the natural Status codes:
 /// admission-control sheds map to Unavailable (retry_after_ms() holds
-/// the server's hint), missed deadlines to DeadlineExceeded, unknown
-/// entities to NotFound, bad requests to InvalidArgument.
+/// the server's hint; with retry_unavailable they are absorbed
+/// instead), missed deadlines to DeadlineExceeded, unknown entities to
+/// NotFound, bad requests to InvalidArgument, writes sent to a
+/// read-only follower to Unavailable ("not_leader").
 class KbClient {
  public:
   KbClient() = default;
+  explicit KbClient(const ClientOptions& options);
   ~KbClient();
 
   KbClient(const KbClient&) = delete;
@@ -54,7 +71,10 @@ class KbClient {
 
   /// One round-trip: sends `request`, decodes the response envelope.
   /// An {"status":"error"...} response is mapped to a Status; the raw
-  /// response is still available via last_response().
+  /// response is still available via last_response(). With
+  /// retry_unavailable set, Unavailable responses are retried (after
+  /// reconnecting — the server drops the connection when it sheds)
+  /// until the retry budget runs out.
   StatusOr<Json> Call(const Json& request);
 
   StatusOr<QueryResult> Query(const std::string& sparql,
@@ -70,9 +90,23 @@ class KbClient {
   int retry_after_ms() const { return retry_after_ms_; }
   const Json& last_response() const { return last_response_; }
 
+  /// Leader epoch acknowledged by the most recent successful
+  /// InsertFacts (0 before any write). With read_your_writes this is
+  /// attached to queries as min_epoch.
+  uint64_t last_write_epoch() const { return last_write_epoch_; }
+
  private:
+  /// One unretried round-trip (the body of Call).
+  StatusOr<Json> CallOnce(const Json& request);
+
+  ClientOptions options_;
+  /// Lazily built when retry_unavailable is set (RetryPolicy owns a
+  /// mutex, so a pointer keeps the client movable).
+  std::unique_ptr<RetryPolicy> retry_policy_;
   int fd_ = -1;
+  int last_port_ = -1;  ///< reconnect target for retries
   int retry_after_ms_ = 0;
+  uint64_t last_write_epoch_ = 0;
   Json last_response_;
 };
 

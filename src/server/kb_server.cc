@@ -140,6 +140,7 @@ Status KbServer::Start() {
     std::lock_guard<std::mutex> lock(mu_);
     started_ = true;
     stopping_ = false;
+    draining_ = false;
   }
   acceptor_ = std::thread([this] { AcceptLoop(); });
   int workers = options_.num_workers > 0 ? options_.num_workers : 1;
@@ -195,6 +196,27 @@ void KbServer::Stop() {
   }
 }
 
+void KbServer::Drain(double timeout_ms) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_ || stopping_) return;
+    draining_ = true;
+  }
+  // From here the acceptor sheds every new connection with the retry
+  // hint (a router treats that as unhealthy and fails over), and
+  // workers close each connection after its in-flight request.
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::duration<double, std::milli>(
+                      timeout_ms > 0 ? timeout_ms : 0);
+  {
+    std::unique_lock<std::mutex> lock(conn_mu_);
+    conn_cv_.wait_until(lock, deadline, [this] {
+      return active_fds_.empty();
+    });
+  }
+  Stop();
+}
+
 void KbServer::RegisterConnection(int fd) {
   std::lock_guard<std::mutex> lock(conn_mu_);
   active_fds_.insert(fd);
@@ -203,6 +225,17 @@ void KbServer::RegisterConnection(int fd) {
 void KbServer::UnregisterAndClose(int fd) {
   std::lock_guard<std::mutex> lock(conn_mu_);
   if (active_fds_.erase(fd) > 0) ::close(fd);
+  conn_cv_.notify_all();
+}
+
+void KbServer::WithWriteLock(const std::function<void()>& fn) {
+  std::unique_lock<std::shared_mutex> lock(kb_mu_);
+  fn();
+}
+
+uint64_t KbServer::applied_epoch() const {
+  return options_.applied_epoch_fn ? options_.applied_epoch_fn()
+                                   : kb_->epoch();
 }
 
 void KbServer::AcceptLoop() {
@@ -226,7 +259,8 @@ void KbServer::AcceptLoop() {
     bool admitted = false;
     {
       std::lock_guard<std::mutex> lock(mu_);
-      if (!stopping_ && pending_.size() < options_.queue_depth) {
+      if (!stopping_ && !draining_ &&
+          pending_.size() < options_.queue_depth) {
         admitted = true;
         pending_.push_back(fd);
         metrics_->queue_depth.Set(static_cast<int64_t>(pending_.size()));
@@ -287,7 +321,7 @@ void KbServer::ServeConnection(int fd) {
     bool stopping;
     {
       std::lock_guard<std::mutex> lock(mu_);
-      stopping = stopping_;
+      stopping = stopping_ || draining_;
     }
     if (stopping) break;
   }
@@ -325,11 +359,28 @@ std::string KbServer::HandleRequest(const Json& request) {
   return ErrorJson("unknown_endpoint", "no such op: " + op);
 }
 
+std::string KbServer::CheckMinEpoch(const Json& request) const {
+  if (!request["min_epoch"].is_number()) return std::string();
+  const uint64_t min_epoch =
+      static_cast<uint64_t>(request["min_epoch"].as_number());
+  const uint64_t applied = applied_epoch();
+  if (applied >= min_epoch) return std::string();
+  // Read-your-writes: this replica has not yet applied the epoch the
+  // client's own writes reached. The caller (router or retrying
+  // client) redirects to the leader or a fresher replica.
+  return ErrorJson("stale_replica",
+                   "applied epoch " + std::to_string(applied) +
+                       " < required " + std::to_string(min_epoch));
+}
+
 std::string KbServer::HandleQuery(const Json& request) {
   metrics_->queries.Increment();
   ScopedTimer timer(metrics_->query_ms);
   const std::string sparql = request.GetString("sparql");
   if (sparql.empty()) return ErrorJson("bad_request", "missing sparql");
+  if (std::string stale = CheckMinEpoch(request); !stale.empty()) {
+    return stale;
+  }
 
   // The epoch is read *before* parse/execute: if a write lands in
   // between, the entry is cached under the older epoch and simply
@@ -430,6 +481,9 @@ std::string KbServer::HandleEntityCard(const Json& request) {
   metrics_->entity_cards.Increment();
   const std::string entity = request.GetString("entity");
   if (entity.empty()) return ErrorJson("bad_request", "missing entity");
+  if (std::string stale = CheckMinEpoch(request); !stale.empty()) {
+    return stale;
+  }
   core::EntityCardOptions card_options;
   if (request["max_facts"].is_number() &&
       request["max_facts"].as_number() > 0) {
@@ -476,32 +530,66 @@ std::string KbServer::HandleEntityCard(const Json& request) {
 }
 
 std::string KbServer::HandleInsertFacts(const Json& request) {
+  if (options_.read_only) {
+    return ErrorJson("not_leader",
+                     "this replica is read-only; send writes to the leader");
+  }
   const Json& facts = request["facts"];
   if (!facts.is_array()) {
     return ErrorJson("bad_request", "facts must be an array");
   }
-  size_t inserted = 0, merged = 0, skipped = 0;
+  // Decode and validate outside the lock; invalid entries are counted
+  // and dropped here so the replication log only ever sees facts that
+  // will actually be asserted.
+  std::vector<WireFact> batch;
+  batch.reserve(facts.items().size());
+  std::vector<core::FactMeta> metas;
+  metas.reserve(facts.items().size());
+  size_t skipped = 0;
+  for (const Json& fact : facts.items()) {
+    WireFact wire;
+    wire.s = fact.GetString("s");
+    wire.p = fact.GetString("p");
+    wire.o = fact.GetString("o");
+    wire.has_year = fact["year"].is_number();
+    if (wire.has_year) {
+      wire.year = static_cast<int32_t>(fact["year"].as_number());
+    }
+    if (!fact.is_object() || wire.s.empty() || wire.p.empty() ||
+        (wire.o.empty() && !wire.has_year)) {
+      ++skipped;
+      continue;
+    }
+    wire.confidence = fact.GetNumber("confidence", 1.0);
+    wire.support = static_cast<uint32_t>(fact.GetNumber("support", 1));
+    core::FactMeta meta;
+    meta.confidence = wire.confidence;
+    meta.support = wire.support;
+    meta.extractor = static_cast<uint32_t>(fact.GetNumber("extractor", 0));
+    batch.push_back(std::move(wire));
+    metas.push_back(meta);
+  }
+  size_t inserted = 0, merged = 0;
   {
     std::unique_lock<std::shared_mutex> lock(kb_mu_);
-    for (const Json& fact : facts.items()) {
-      const std::string s = fact.GetString("s");
-      const std::string p = fact.GetString("p");
-      const std::string o = fact.GetString("o");
-      const bool has_year = fact["year"].is_number();
-      if (!fact.is_object() || s.empty() || p.empty() ||
-          (o.empty() && !has_year)) {
-        ++skipped;
-        continue;
+    if (options_.pre_insert_hook && !batch.empty()) {
+      // Log before apply: a follower can over-receive (idempotent
+      // replay dedups) but must never under-receive relative to the
+      // epoch this response publishes.
+      Status logged = options_.pre_insert_hook(batch);
+      if (!logged.ok()) {
+        metrics_->errors.Increment();
+        return ErrorJson("internal",
+                         "replication log append failed: " +
+                             logged.ToString());
       }
-      core::FactMeta meta;
-      meta.confidence = fact.GetNumber("confidence", 1.0);
-      meta.support = static_cast<uint32_t>(fact.GetNumber("support", 1));
-      meta.extractor = static_cast<uint32_t>(fact.GetNumber("extractor", 0));
-      bool fresh =
-          has_year ? kb_->AssertYearFact(
-                         s, p, static_cast<int32_t>(fact["year"].as_number()),
-                         meta)
-                   : kb_->AssertFact(s, p, o, meta);
+    }
+    for (size_t i = 0; i < batch.size(); ++i) {
+      const WireFact& wire = batch[i];
+      bool fresh = wire.has_year
+                       ? kb_->AssertYearFact(wire.s, wire.p, wire.year,
+                                             metas[i])
+                       : kb_->AssertFact(wire.s, wire.p, wire.o, metas[i]);
       if (fresh) ++inserted;
       else ++merged;
     }
@@ -528,6 +616,9 @@ std::string KbServer::HandleHealth() const {
                  Json::Number(static_cast<double>(kb_->NumEntities())));
   }
   response.Set("epoch", Json::Number(static_cast<double>(kb_->epoch())));
+  response.Set("role", Json::Str(options_.read_only ? "follower" : "leader"));
+  response.Set("applied_epoch",
+               Json::Number(static_cast<double>(applied_epoch())));
   double uptime_ms = std::chrono::duration<double, std::milli>(
                          std::chrono::steady_clock::now() - started_at_)
                          .count();

@@ -4,6 +4,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <mutex>
 #include <set>
 #include <shared_mutex>
@@ -14,6 +15,7 @@
 #include "core/knowledge_base.h"
 #include "server/json.h"
 #include "server/result_cache.h"
+#include "server/wire_fact.h"
 #include "util/metrics_registry.h"
 #include "util/status.h"
 
@@ -66,6 +68,23 @@ class KbServer {
     size_t default_max_rows = 0;
     /// Hint returned with overload rejections.
     int retry_after_ms = 20;
+    /// Follower mode: insert_facts is rejected with "not_leader" (the
+    /// router retries against the leader); health reports
+    /// role=follower. Replicated writes bypass the endpoint via
+    /// WithWriteLock.
+    bool read_only = false;
+    /// When set, health and min_epoch staleness checks use this
+    /// instead of the KB's own epoch. Followers point it at the
+    /// replication applied-epoch: their local KB epoch counts replay
+    /// progress in *their* numbering, while this is the leader epoch
+    /// the replica provably reflects.
+    std::function<uint64_t()> applied_epoch_fn;
+    /// Leader-side replication hook, called under the exclusive KB
+    /// lock with the validated batch *before* any fact is asserted. A
+    /// failure aborts the whole insert — the durability order is log
+    /// first, KB second, so a published epoch E always means "every
+    /// write <= E is in the replication log".
+    std::function<Status(const std::vector<WireFact>&)> pre_insert_hook;
   };
 
   /// The server serves `kb` (borrowed; must outlive the server).
@@ -81,10 +100,24 @@ class KbServer {
   /// Drains and joins everything. Idempotent.
   void Stop();
 
+  /// Graceful shutdown: immediately stops admitting new connections
+  /// (they are shed with the retry hint, so a router fails over), lets
+  /// in-flight requests finish for up to `timeout_ms`, then Stop()s.
+  /// What kbforge_serve runs on SIGTERM.
+  void Drain(double timeout_ms);
+
   /// The bound port (valid after Start; resolves port 0).
   int port() const { return port_; }
 
   const core::KnowledgeBase* kb() const { return kb_; }
+
+  /// Runs `fn` under the exclusive KB lock — the same lock the insert
+  /// endpoint holds — so out-of-band writers (a follower's replication
+  /// replay) serialize against in-flight reads.
+  void WithWriteLock(const std::function<void()>& fn);
+
+  /// The epoch this server claims to reflect (see applied_epoch_fn).
+  uint64_t applied_epoch() const;
 
  private:
   struct Metrics;
@@ -96,6 +129,9 @@ class KbServer {
   bool HandleFrame(const std::string& payload, std::string* response);
 
   std::string HandleRequest(const Json& request);
+  /// Non-empty = the "stale_replica" error response for a request
+  /// whose min_epoch this server has not applied yet.
+  std::string CheckMinEpoch(const Json& request) const;
   std::string HandleQuery(const Json& request);
   std::string HandleEntityCard(const Json& request);
   std::string HandleInsertFacts(const Json& request);
@@ -119,9 +155,11 @@ class KbServer {
   std::condition_variable work_cv_;
   std::deque<int> pending_;  ///< accepted, waiting for a worker
   bool stopping_ = false;
+  bool draining_ = false;  ///< shed new work, finish in-flight
   bool started_ = false;
 
   std::mutex conn_mu_;
+  std::condition_variable conn_cv_;  ///< signaled as connections close
   std::set<int> active_fds_;  ///< every live accepted fd (for Stop)
 
   /// Reads touching the dictionary/taxonomy hold this shared; the

@@ -7,10 +7,19 @@
 // Usage:
 //   kbforge_serve [--port=N] [--workers=N] [--queue=N]
 //                 [--cache-bytes=N] [--deadline-ms=MS] [--max-rows=N]
-//                 [--persons=N] [--seed=N]
+//                 [--persons=N] [--seed=N] [--drain-ms=MS]
+//                 [--repl-port=N] [--repl-data-dir=PATH]
+//                 [--repl-shards=N]
+//
+// With --repl-port the process runs as a replication *leader*: every
+// accepted insert is appended to a WAL-backed replication log before
+// the KB applies it, and a WalShipper on that port streams the log to
+// kbforge_follower processes.
 //
 // Prints "listening on 127.0.0.1:<port>" once ready, then blocks until
-// SIGINT/SIGTERM.
+// SIGINT/SIGTERM. The first signal drains gracefully (stop admitting,
+// finish in-flight work, up to --drain-ms); a second signal forces an
+// immediate stop.
 
 #include <signal.h>
 #include <unistd.h>
@@ -19,9 +28,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <thread>
 
 #include "core/harvester.h"
+#include "replication/repl_log.h"
+#include "replication/wal_shipper.h"
 #include "server/kb_server.h"
 
 namespace {
@@ -40,14 +53,26 @@ bool FlagValue(const char* arg, const char* name, long* out) {
   return true;
 }
 
+bool FlagString(const char* arg, const char* name, std::string* out) {
+  size_t len = ::strlen(name);
+  if (::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *out = arg + len + 1;
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace kb;
 
-  long port = 7471, workers = 4, queue = 16;
+  // Workers must exceed a fronting router's workers + 1: the router
+  // parks one cached data connection per worker plus one persistent
+  // health connection on every backend (DESIGN.md §5d).
+  long port = 7471, workers = 8, queue = 16;
   long cache_bytes = 8 << 20, deadline_ms = 0, max_rows = 0;
-  long persons = 400, seed = 4242;
+  long persons = 400, seed = 4242, drain_ms = 2000;
+  long repl_port = -1, repl_shards = 4;
+  std::string repl_data_dir = "kbforge-repl-log";
   for (int i = 1; i < argc; ++i) {
     long v = 0;
     if (FlagValue(argv[i], "--port", &v)) port = v;
@@ -58,15 +83,31 @@ int main(int argc, char** argv) {
     else if (FlagValue(argv[i], "--max-rows", &v)) max_rows = v;
     else if (FlagValue(argv[i], "--persons", &v)) persons = v;
     else if (FlagValue(argv[i], "--seed", &v)) seed = v;
-    else {
+    else if (FlagValue(argv[i], "--drain-ms", &v)) drain_ms = v;
+    else if (FlagValue(argv[i], "--repl-port", &v)) repl_port = v;
+    else if (FlagValue(argv[i], "--repl-shards", &v)) repl_shards = v;
+    else if (FlagString(argv[i], "--repl-data-dir", &repl_data_dir)) {
+    } else {
       ::fprintf(stderr,
                 "usage: %s [--port=N] [--workers=N] [--queue=N] "
                 "[--cache-bytes=N] [--deadline-ms=MS] [--max-rows=N] "
-                "[--persons=N] [--seed=N]\n",
+                "[--persons=N] [--seed=N] [--drain-ms=MS] [--repl-port=N] "
+                "[--repl-data-dir=PATH] [--repl-shards=N]\n",
                 argv[0]);
       return 2;
     }
   }
+
+  // Signals are trapped before the (slow) harvest so an early SIGTERM
+  // still lands in the pipe instead of killing us mid-build.
+  if (::pipe(g_signal_pipe) != 0) {
+    ::fprintf(stderr, "pipe failed\n");
+    return 1;
+  }
+  struct sigaction action{};
+  action.sa_handler = OnSignal;
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
 
   corpus::WorldOptions world_options;
   world_options.seed = static_cast<uint64_t>(seed);
@@ -80,6 +121,7 @@ int main(int argc, char** argv) {
            result.kb.NumTriples(), result.kb.NumEntities(),
            result.kb.NumClasses());
 
+  std::unique_ptr<replication::ReplicationLog> repl_log;
   server::KbServer::Options options;
   options.port = static_cast<int>(port);
   options.num_workers = static_cast<int>(workers);
@@ -87,6 +129,22 @@ int main(int argc, char** argv) {
   options.cache_bytes = static_cast<size_t>(cache_bytes);
   options.default_deadline_ms = static_cast<double>(deadline_ms);
   options.default_max_rows = static_cast<size_t>(max_rows);
+  if (repl_port >= 0) {
+    replication::ReplicationLog::Options log_options;
+    log_options.num_shards = static_cast<int>(repl_shards);
+    auto log = replication::ReplicationLog::Open(log_options, repl_data_dir);
+    if (!log.ok()) {
+      ::fprintf(stderr, "replication log open failed: %s\n",
+                log.status().ToString().c_str());
+      return 1;
+    }
+    repl_log = std::move(*log);
+    options.pre_insert_hook =
+        [&log = *repl_log](const std::vector<server::WireFact>& batch) {
+          return log.Append(batch);
+        };
+  }
+
   server::KbServer server(&result.kb, options);
   Status status = server.Start();
   if (!status.ok()) {
@@ -96,20 +154,45 @@ int main(int argc, char** argv) {
   ::printf("listening on 127.0.0.1:%d (%ld workers, queue %ld, cache %ld "
            "bytes)\n",
            server.port(), workers, queue, cache_bytes);
+
+  std::unique_ptr<replication::WalShipper> shipper;
+  if (repl_log != nullptr) {
+    replication::WalShipper::Options ship_options;
+    ship_options.port = static_cast<int>(repl_port);
+    const core::KnowledgeBase* kb = server.kb();
+    shipper = std::make_unique<replication::WalShipper>(
+        repl_log.get(), [kb] { return kb->epoch(); }, ship_options);
+    status = shipper->Start();
+    if (!status.ok()) {
+      ::fprintf(stderr, "shipper start failed: %s\n",
+                status.ToString().c_str());
+      return 1;
+    }
+    ::printf("replication on 127.0.0.1:%d (log %s, %ld shards)\n",
+             shipper->port(), repl_data_dir.c_str(), repl_shards);
+  }
   ::fflush(stdout);
 
-  if (::pipe(g_signal_pipe) != 0) {
-    ::fprintf(stderr, "pipe failed\n");
-    return 1;
-  }
-  struct sigaction action{};
-  action.sa_handler = OnSignal;
-  ::sigaction(SIGINT, &action, nullptr);
-  ::sigaction(SIGTERM, &action, nullptr);
   char byte;
   while (::read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
   }
-  ::printf("shutting down\n");
-  server.Stop();
+  ::printf("draining (up to %ld ms; signal again to force stop)\n",
+           drain_ms);
+  ::fflush(stdout);
+  // A second signal during the drain forces an immediate stop — Stop()
+  // is idempotent and thread-safe, so the racing Drain just finishes
+  // early.
+  std::thread force([&server] {
+    char again;
+    while (::read(g_signal_pipe[0], &again, 1) < 0 && errno == EINTR) {
+    }
+    server.Stop();
+  });
+  server.Drain(static_cast<double>(drain_ms));
+  if (shipper != nullptr) shipper->Stop();
+  // Unblock the force-stop watcher and reap it.
+  OnSignal(0);
+  force.join();
+  ::printf("stopped\n");
   return 0;
 }

@@ -1,0 +1,25 @@
+#ifndef KBFORGE_SERVER_WIRE_FACT_H_
+#define KBFORGE_SERVER_WIRE_FACT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace kb {
+namespace server {
+
+/// A fact as it crosses the wire protocol. Exactly one of `o` /
+/// `has_year` carries the object. Shared by the client (insert_facts
+/// requests), the server (validated insert batches handed to the
+/// replication pre-insert hook) and the replication log's fact codec.
+struct WireFact {
+  std::string s, p, o;
+  bool has_year = false;
+  int32_t year = 0;
+  double confidence = 1.0;
+  uint32_t support = 1;
+};
+
+}  // namespace server
+}  // namespace kb
+
+#endif  // KBFORGE_SERVER_WIRE_FACT_H_

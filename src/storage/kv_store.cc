@@ -637,11 +637,14 @@ void KVStore::BackgroundFlush() {
   }
   // Delete covered logs oldest-first outside the lock. Fail-stop on
   // error: deleting a newer log while an older one lingers would break
-  // prefix-ordered replay on the next open.
+  // prefix-ordered replay on the next open. In retain_wals mode the
+  // logs stay: they are the replication history a shipper streams.
   Status rs;
-  for (const std::string& wal_path : stale_wals) {
-    rs = retry_.Run([&] { return env_->RemoveFile(wal_path); });
-    if (!rs.ok()) break;
+  if (!options_.retain_wals) {
+    for (const std::string& wal_path : stale_wals) {
+      rs = retry_.Run([&] { return env_->RemoveFile(wal_path); });
+      if (!rs.ok()) break;
+    }
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -775,6 +778,41 @@ Status KVStore::CompactOnce() {
     }
   }
   return Status::OK();
+}
+
+StatusOr<std::vector<WalGenerationInfo>> KVStore::ListWalGenerations() const {
+  auto names = env_->ListDir(path_);
+  if (!names.ok()) return names.status();
+  const size_t fixed =
+      std::strlen(kWalFilePrefix) + std::strlen(kWalFileSuffix);
+  std::vector<WalGenerationInfo> out;
+  for (const std::string& name : *names) {
+    if (name.size() <= fixed || name.rfind(kWalFilePrefix, 0) != 0 ||
+        !EndsWith(name, kWalFileSuffix)) {
+      continue;
+    }
+    long long n = 0;
+    if (!ParseInt64(
+            name.substr(std::strlen(kWalFilePrefix), name.size() - fixed),
+            &n) ||
+        n <= 0) {
+      continue;
+    }
+    WalGenerationInfo info;
+    info.number = static_cast<uint64_t>(n);
+    info.path = path_ + "/" + name;
+    auto size = env_->FileSize(info.path);
+    // A log deleted between listing and stat (non-retained flush) is
+    // simply not part of this manifest.
+    if (!size.ok()) continue;
+    info.size = *size;
+    out.push_back(std::move(info));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const WalGenerationInfo& a, const WalGenerationInfo& b) {
+              return a.number < b.number;
+            });
+  return out;
 }
 
 Status KVStore::CompactAll() {

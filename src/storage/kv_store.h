@@ -50,6 +50,15 @@ struct StoreOptions {
   /// Pool running background flushes/compactions; nullptr gives the
   /// store its own single worker. Must outlive the store.
   ThreadPool* background_pool = nullptr;
+  /// Keep flushed WAL generations on disk instead of deleting them.
+  /// The numbered logs then form a complete, prefix-closed history of
+  /// every write — the replication log a WalShipper streams to
+  /// follower replicas, and what lets a lagging follower catch up from
+  /// any old position without a snapshot. Replay on reopen re-applies
+  /// the whole history (idempotent puts/deletes), so correctness is
+  /// unchanged; the cost is open/recovery time and disk proportional
+  /// to history length.
+  bool retain_wals = false;
 };
 
 /// Read/write counters for benches and the Bloom ablation (E10).
@@ -72,6 +81,16 @@ struct RecoveryReport {
 
   /// Folds another (e.g. per-shard) report into this one.
   void Merge(const RecoveryReport& other);
+};
+
+/// One numbered WAL generation on disk, as exported to WAL shipping.
+/// `size` is the file length at listing time; a concurrent appender
+/// may have grown it since (readers parse only complete records, so a
+/// stale size only delays data, never tears it).
+struct WalGenerationInfo {
+  uint64_t number = 0;
+  uint64_t size = 0;
+  std::string path;
 };
 
 /// The read surface shared by KVStore and ShardedKVStore, so read-side
@@ -169,6 +188,15 @@ class KVStore : public KvReader {
   const std::shared_ptr<ShardedLruCache>& block_cache() const {
     return cache_;
   }
+
+  /// The numbered WAL generations currently on disk, oldest first —
+  /// the export surface for WAL shipping. With retain_wals this is the
+  /// full prefix-closed write history; without it, only the logs still
+  /// feeding the memtables. Quarantined logs are excluded.
+  StatusOr<std::vector<WalGenerationInfo>> ListWalGenerations() const;
+
+  const std::string& path() const { return path_; }
+  Env* env() const { return env_; }
 
  private:
   /// One queued write; lives on its writer's stack for the duration of

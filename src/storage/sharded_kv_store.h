@@ -85,6 +85,13 @@ class ShardedKVStore : public KvReader {
   /// Direct access for tests/benches; `i` in [0, num_shards()).
   KVStore* shard(int i) { return shards_[static_cast<size_t>(i)].get(); }
 
+  /// Per-shard WAL manifest (see KVStore::ListWalGenerations) — the
+  /// unit a WalShipper streams; each shard's generations form an
+  /// independent prefix-closed log.
+  StatusOr<std::vector<WalGenerationInfo>> WalGenerations(int shard_index) {
+    return shards_[static_cast<size_t>(shard_index)]->ListWalGenerations();
+  }
+
  private:
   ShardedKVStore() = default;
 

@@ -76,14 +76,16 @@ Status WalWriter::Close() {
   return s;
 }
 
-Status ReplayWal(
-    Env* env, const std::string& path,
+Status ParseWalChunk(
+    const Slice& data, uint64_t* offset,
     const std::function<void(EntryType, const Slice&, const Slice&)>& fn,
-    WalReplayInfo* info) {
-  auto contents = env->ReadFileToString(path);
-  if (!contents.ok()) return contents.status();
-  Slice input(*contents);
-  uint64_t valid_bytes = 0, records = 0;
+    uint64_t* records, bool* corrupt) {
+  if (*offset > data.size()) {
+    return Status::InvalidArgument("wal chunk offset past end of data");
+  }
+  if (corrupt != nullptr) *corrupt = false;
+  Slice input(data.data() + *offset, data.size() - *offset);
+  uint64_t valid_bytes = 0, count = 0;
   while (!input.empty()) {
     Slice record = input;
     uint32_t stored_crc = 0;
@@ -102,19 +104,40 @@ Status ReplayWal(
                             payload_start);
     uint32_t actual_crc = static_cast<uint32_t>(
         Hash64(payload_start, payload_size));
-    if (actual_crc != stored_crc) break;  // corrupt record: stop replay
+    if (actual_crc != stored_crc) {
+      // All the bytes are here yet the checksum disagrees: this is
+      // corruption, not an append still in flight. File replay treats
+      // it as the torn tail (truncate there); a streaming consumer
+      // checks `corrupt` because for it "wait for more bytes" would
+      // stall forever.
+      if (corrupt != nullptr) *corrupt = true;
+      break;
+    }
     Slice key(record.data(), key_len);
     Slice value(record.data() + key_len, value_len);
     fn(type, key, value);
-    ++records;
+    ++count;
     valid_bytes += sizeof(uint32_t) + payload_size;
     input = Slice(record.data() + key_len + value_len,
                   record.size() - key_len - value_len);
   }
+  *offset += valid_bytes;
+  if (records != nullptr) *records = count;
+  return Status::OK();
+}
+
+Status ReplayWal(
+    Env* env, const std::string& path,
+    const std::function<void(EntryType, const Slice&, const Slice&)>& fn,
+    WalReplayInfo* info) {
+  auto contents = env->ReadFileToString(path);
+  if (!contents.ok()) return contents.status();
+  uint64_t offset = 0, records = 0;
+  KB_RETURN_IF_ERROR(ParseWalChunk(Slice(*contents), &offset, fn, &records));
   if (info != nullptr) {
     info->records = records;
-    info->valid_bytes = valid_bytes;
-    info->truncated_bytes = contents->size() - valid_bytes;
+    info->valid_bytes = offset;
+    info->truncated_bytes = contents->size() - offset;
   }
   return Status::OK();
 }

@@ -71,6 +71,24 @@ struct WalReplayInfo {
   uint64_t truncated_bytes = 0;  ///< torn/corrupt tail after the prefix
 };
 
+/// Parses complete records out of raw log bytes, starting at byte
+/// `*offset` of `data`, invoking `fn(type, key, value)` per record and
+/// advancing `*offset` past each one. Stops cleanly at a torn or
+/// corrupt tail (the expected shape both for a crash and for a log
+/// that is still being appended), leaving `*offset` at the end of the
+/// last complete record — the resume point for the next chunk. This is
+/// the incremental form of ReplayWal that WAL shipping uses to stream
+/// a live log: only the complete-record prefix ever moves, so shipped
+/// byte ranges are always replayable as-is.
+/// `corrupt`, when supplied, distinguishes the two stop causes: true
+/// means a byte-complete record failed its checksum (real damage —
+/// more bytes will never fix it), false means the tail is merely
+/// incomplete.
+Status ParseWalChunk(
+    const Slice& data, uint64_t* offset,
+    const std::function<void(EntryType, const Slice&, const Slice&)>& fn,
+    uint64_t* records = nullptr, bool* corrupt = nullptr);
+
 /// Replays a log, invoking `fn(type, key, value)` per intact record.
 /// Returns OK even if the tail is torn (that is the expected crash
 /// shape); returns IOError only if the file cannot be read at all.

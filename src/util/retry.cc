@@ -34,6 +34,12 @@ RetryPolicy::RetryPolicy(RetryOptions options)
     : options_(options), rng_(options.jitter_seed) {}
 
 Status RetryPolicy::Run(const std::function<Status()>& fn) {
+  return Run(fn, [](const Status& s) { return s.IsIOError(); });
+}
+
+Status RetryPolicy::Run(const std::function<Status()>& fn,
+                        const std::function<bool(const Status&)>& retryable,
+                        const std::function<double()>& min_sleep_ms) {
   RetryMetrics& metrics = RetryMetrics::Get();
   metrics.runs.Increment();
   Status status = Status::OK();
@@ -48,6 +54,9 @@ Status RetryPolicy::Run(const std::function<Status()>& fn) {
         std::lock_guard<std::mutex> lock(mu_);
         sleep_ms = rng_.UniformDouble() * cap;  // full jitter
       }
+      if (min_sleep_ms != nullptr) {
+        sleep_ms = std::max(sleep_ms, min_sleep_ms());
+      }
       if (sleep_ms > 0.0) {
         std::this_thread::sleep_for(
             std::chrono::duration<double, std::milli>(sleep_ms));
@@ -59,7 +68,7 @@ Status RetryPolicy::Run(const std::function<Status()>& fn) {
       if (attempt > 0) metrics.recoveries.Increment();
       return status;
     }
-    if (!status.IsIOError()) return status;  // non-transient: do not retry
+    if (!retryable(status)) return status;  // non-transient: do not retry
   }
   metrics.exhausted.Increment();
   return status;

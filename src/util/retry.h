@@ -40,6 +40,17 @@ class RetryPolicy {
   /// attempts are exhausted; returns the last status.
   Status Run(const std::function<Status()>& fn);
 
+  /// Same loop with a caller-supplied transience test, for call sites
+  /// whose retryable failures are not IOError (a KbClient treating
+  /// Unavailable overload sheds as transient, a router absorbing a
+  /// dead replica). `min_sleep_ms`, when set, is consulted before each
+  /// retry sleep and raises the jittered backoff to at least that
+  /// value — how a server's retry_after_ms hint is honored without
+  /// abandoning jitter for the un-hinted case.
+  Status Run(const std::function<Status()>& fn,
+             const std::function<bool(const Status&)>& retryable,
+             const std::function<double()>& min_sleep_ms = nullptr);
+
   const RetryOptions& options() const { return options_; }
 
  private:

@@ -442,6 +442,130 @@ TEST(KbServerConcurrencyTest, StopWhileClientsAreConnectedIsClean) {
   }
 }
 
+
+// --------------------------------------------------- client-side retry
+
+TEST(KbClientRetryTest, RetryAbsorbsOverloadShedsHonoringHint) {
+  // A raw fake server: shed the first two connections with an
+  // overloaded envelope carrying a retry_after_ms hint, then serve a
+  // real health response — fully deterministic overload.
+  int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listen_fd, 0);
+  int one = 1;
+  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(listen_fd, 8), 0);
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  const int port = ntohs(addr.sin_port);
+
+  constexpr int kHintMs = 40;
+  std::thread fake([listen_fd] {
+    for (int conn = 0; conn < 3; ++conn) {
+      int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) return;
+      std::string payload;
+      if (!ReadFrame(fd, &payload).ok()) {
+        ::close(fd);
+        continue;
+      }
+      Json response = Json::Object();
+      if (conn < 2) {
+        response.Set("status", Json::Str("overloaded"));
+        response.Set("error", Json::Str("overloaded"));
+        response.Set("retry_after_ms", Json::Number(kHintMs));
+        WriteFrame(fd, response.Dump());
+        ::close(fd);  // sheds drop the connection, like the real server
+      } else {
+        response.Set("status", Json::Str("ok"));
+        response.Set("healthy", Json::Bool(true));
+        WriteFrame(fd, response.Dump());
+        ::close(fd);
+      }
+    }
+  });
+
+  ClientOptions options;
+  options.retry_unavailable = true;
+  options.retry.max_attempts = 4;
+  options.retry.base_backoff_ms = 1;  // the hint must dominate
+  KbClient client(options);
+  ASSERT_TRUE(client.Connect(port).ok());
+  auto start = std::chrono::steady_clock::now();
+  auto health = client.Health();
+  auto elapsed = std::chrono::duration<double, std::milli>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_TRUE(health.ok()) << health.status();
+  // Two sheds, each with a kHintMs hint the sleep must not undercut.
+  EXPECT_GE(elapsed.count(), 2.0 * kHintMs);
+
+  fake.join();
+  ::close(listen_fd);
+}
+
+TEST(KbClientRetryTest, WithoutOptInShedsSurfaceImmediately) {
+  KbServer::Options options;
+  options.num_workers = 1;
+  options.queue_depth = 1;
+  options.retry_after_ms = 9;
+  TestServer ts(options);
+  KbClient busy = ts.Connect();
+  ASSERT_TRUE(busy.Health().ok());
+  KbClient queued;
+  ASSERT_TRUE(queued.Connect(ts.server.port()).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  KbClient plain;  // default options: no retry
+  ASSERT_TRUE(plain.Connect(ts.server.port()).ok());
+  auto result = plain.Health();
+  EXPECT_TRUE(result.status().IsUnavailable()) << result.status();
+  EXPECT_EQ(plain.retry_after_ms(), 9);
+}
+
+// ------------------------------------------------------- graceful drain
+
+TEST(KbServerDrainTest, DrainStopsAcceptingAndFinishesInFlight) {
+  auto ts = std::make_unique<TestServer>();
+  const int port = ts->server.port();
+  KbClient client = ts->Connect();
+  ASSERT_TRUE(client.Health().ok());
+  client.Close();  // no connections left: drain should be instant
+
+  auto start = std::chrono::steady_clock::now();
+  ts->server.Drain(/*timeout_ms=*/2000);
+  auto elapsed = std::chrono::duration<double, std::milli>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_LT(elapsed.count(), 1000.0) << "drain of an idle server dawdled";
+
+  // Fully stopped: new connections are refused outright.
+  KbClient late;
+  EXPECT_FALSE(late.Connect(port).ok());
+}
+
+TEST(KbServerDrainTest, DrainTimeoutBoundsIdleConnections) {
+  auto ts = std::make_unique<TestServer>();
+  // An idle persistent connection holds no in-flight request; drain
+  // waits for it only up to the timeout, then force-stops.
+  KbClient idle = ts->Connect();
+  ASSERT_TRUE(idle.Health().ok());
+  // Let the worker re-enter its blocking read: if drain flips the flag
+  // while the worker is still between response and read, it closes the
+  // connection at the loop-top check and drain returns instantly.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  auto start = std::chrono::steady_clock::now();
+  ts->server.Drain(/*timeout_ms=*/100);
+  auto elapsed = std::chrono::duration<double, std::milli>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_GE(elapsed.count(), 90.0);
+  EXPECT_LT(elapsed.count(), 2000.0);
+  EXPECT_FALSE(idle.Health().ok());  // connection was shut down
+}
+
 }  // namespace
 }  // namespace server
 }  // namespace kb

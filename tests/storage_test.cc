@@ -1067,6 +1067,135 @@ TEST(ShardedKVStoreTest, WorksThroughStoredTripleSource) {
   EXPECT_EQ(got, triples);
 }
 
+
+// ------------------------------------------------- WAL generations
+
+TEST(WalGenerationTest, RetainedGenerationsFormPrefixClosedLog) {
+  StoreOptions options;
+  options.retain_wals = true;
+  options.memtable_flush_bytes = 2 << 10;  // roll generations quickly
+  auto store = KVStore::Open(options, TempDir("wal_gens"));
+  ASSERT_TRUE(store.ok());
+  for (int i = 0; i < 300; ++i) {
+    char key[16];
+    snprintf(key, sizeof(key), "key%06d", i);
+    ASSERT_TRUE((*store)->Put(key, std::string(32, 'v')).ok());
+  }
+  ASSERT_TRUE((*store)->Flush().ok());
+
+  auto gens = (*store)->ListWalGenerations();
+  ASSERT_TRUE(gens.ok());
+  ASSERT_GT(gens->size(), 1u) << "flushes should have rolled the wal";
+  // Numbers strictly increase, every retained file exists with the
+  // reported size, and replaying the concatenation yields every key
+  // exactly once in append order.
+  std::vector<std::string> replayed;
+  for (size_t i = 0; i < gens->size(); ++i) {
+    if (i > 0) EXPECT_GT((*gens)[i].number, (*gens)[i - 1].number);
+    auto contents = Env::Default()->ReadFileToString((*gens)[i].path);
+    ASSERT_TRUE(contents.ok()) << (*gens)[i].path;
+    EXPECT_EQ(contents->size(), (*gens)[i].size);
+    uint64_t offset = 0;
+    ASSERT_TRUE(ParseWalChunk(Slice(*contents), &offset,
+                              [&](EntryType type, const Slice& key,
+                                  const Slice&) {
+                                if (type == EntryType::kPut) {
+                                  replayed.push_back(key.ToString());
+                                }
+                              })
+                    .ok());
+    EXPECT_EQ(offset, contents->size()) << "torn tail in a closed wal";
+  }
+  ASSERT_EQ(replayed.size(), 300u);
+  for (int i = 0; i < 300; ++i) {
+    char key[16];
+    snprintf(key, sizeof(key), "key%06d", i);
+    EXPECT_EQ(replayed[static_cast<size_t>(i)], key);
+  }
+}
+
+TEST(WalGenerationTest, WithoutRetainWalsFlushedGenerationsAreDeleted) {
+  StoreOptions options;
+  options.memtable_flush_bytes = 2 << 10;
+  auto store = KVStore::Open(options, TempDir("wal_unretained"));
+  ASSERT_TRUE(store.ok());
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(
+        (*store)->Put("key" + std::to_string(i), std::string(32, 'v')).ok());
+  }
+  ASSERT_TRUE((*store)->Flush().ok());
+  auto gens = (*store)->ListWalGenerations();
+  ASSERT_TRUE(gens.ok());
+  // Only the live tail remains; flushed history is reclaimed.
+  EXPECT_LE(gens->size(), 1u);
+}
+
+TEST(WalChunkTest, IncrementalParseStopsAtTornTailAndResumes) {
+  std::string dir = TempDir("wal_chunk");
+  ASSERT_TRUE(Env::Default()->CreateDirIfMissing(dir).ok());
+  std::string path = dir + "/chunk.log";
+  WalWriter writer;
+  ASSERT_TRUE(WalWriter::Open(path, &writer).ok());
+  ASSERT_TRUE(writer.Append(EntryType::kPut, Slice("alpha"), Slice("1")).ok());
+  ASSERT_TRUE(writer.Append(EntryType::kPut, Slice("beta"), Slice("2")).ok());
+  ASSERT_TRUE(writer.Close().ok());
+  auto contents = Env::Default()->ReadFileToString(path);
+  ASSERT_TRUE(contents.ok());
+
+  // Feed the bytes in two arbitrary pieces: the parser must stop at
+  // the torn boundary with corrupt=false, then finish once the rest
+  // arrives, never re-delivering a record.
+  const size_t cut = contents->size() / 2;
+  std::vector<std::string> keys;
+  auto collect = [&](EntryType, const Slice& key, const Slice&) {
+    keys.push_back(key.ToString());
+  };
+  uint64_t offset = 0;
+  bool corrupt = true;
+  ASSERT_TRUE(ParseWalChunk(Slice(contents->data(), cut), &offset, collect,
+                            nullptr, &corrupt)
+                  .ok());
+  EXPECT_FALSE(corrupt);
+  EXPECT_LE(offset, cut);
+  ASSERT_TRUE(ParseWalChunk(Slice(*contents), &offset, collect, nullptr,
+                            &corrupt)
+                  .ok());
+  EXPECT_FALSE(corrupt);
+  EXPECT_EQ(offset, contents->size());
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], "alpha");
+  EXPECT_EQ(keys[1], "beta");
+}
+
+TEST(WalChunkTest, ByteCompleteRecordWithBadChecksumReportsCorrupt) {
+  std::string dir = TempDir("wal_corrupt_chunk");
+  ASSERT_TRUE(Env::Default()->CreateDirIfMissing(dir).ok());
+  std::string path = dir + "/chunk.log";
+  WalWriter writer;
+  ASSERT_TRUE(WalWriter::Open(path, &writer).ok());
+  ASSERT_TRUE(writer.Append(EntryType::kPut, Slice("alpha"), Slice("1")).ok());
+  ASSERT_TRUE(writer.Append(EntryType::kPut, Slice("beta"), Slice("2")).ok());
+  ASSERT_TRUE(writer.Close().ok());
+  auto contents = Env::Default()->ReadFileToString(path);
+  ASSERT_TRUE(contents.ok());
+  std::string damaged = *contents;
+  damaged.back() ^= 0x40;  // flip a bit inside the second record
+
+  uint64_t offset = 0;
+  uint64_t records = 0;
+  bool corrupt = false;
+  ASSERT_TRUE(
+      ParseWalChunk(Slice(damaged), &offset, [](EntryType, const Slice&,
+                                                const Slice&) {},
+                    &records, &corrupt)
+          .ok());
+  // The intact first record parses; the damaged one is flagged as
+  // corruption (more bytes will never fix it), not a torn tail.
+  EXPECT_EQ(records, 1u);
+  EXPECT_TRUE(corrupt);
+  EXPECT_LT(offset, damaged.size());
+}
+
 }  // namespace
 }  // namespace storage
 }  // namespace kb
