@@ -1,0 +1,278 @@
+// E17 — Frame-store snapshots and instant start. The frame-store
+// refactor packs the KB into one mmap-able artifact (arena strings,
+// fixed-width id-triples in three sorted runs, packed fact metadata).
+// We measure the two claims that motivated it:
+//
+//   (a) cold start: booting a server by mapping a snapshot is >= 10x
+//       faster than replaying the equivalent WAL/delta state, and the
+//       gap widens with KB size (mmap is O(taxonomy), replay is O(KB));
+//   (b) id-native execution: scan+join on bare uint32 ids beats the
+//       term-object path (the materialize_terms ablation drags all
+//       three Terms of every visited triple off the heap).
+//
+// Plus a micro comparison of FrameStore id scans vs term-object
+// matching, and the snapshot artifact size per triple.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/harvester.h"
+#include "core/kb_snapshot.h"
+#include "core/knowledge_base.h"
+#include "query/engine.h"
+#include "rdf/namespaces.h"
+#include "storage/env.h"
+
+using namespace kb;
+
+namespace {
+
+std::string TempDir(const std::string& name) {
+  std::string path =
+      (std::filesystem::temp_directory_path() / ("kbforge_bench_" + name))
+          .string();
+  std::filesystem::remove_all(path);
+  return path;
+}
+
+core::KnowledgeBase HarvestKb(size_t persons) {
+  corpus::WorldOptions world_options;
+  world_options.seed = 4242;
+  world_options.num_persons = persons;
+  corpus::CorpusOptions corpus_options;
+  corpus_options.seed = 4243;
+  corpus::Corpus corpus = corpus::BuildCorpus(world_options, corpus_options);
+  core::Harvester harvester;
+  return std::move(harvester.Harvest(corpus).kb);
+}
+
+/// Most frequent predicate whose objects are typed entities — gives
+/// the join query {?x p ?y . ?y rdf:type ?c} a fat, productive scan
+/// without hardcoding the harvester's relation inventory. (Predicates
+/// with literal objects, like rdfs:label, can never join on ?y.)
+rdf::TermId BusiestPredicate(const core::KnowledgeBase& kb) {
+  rdf::TermId type_id =
+      kb.store().dict().Lookup(rdf::Term::Iri(std::string(rdf::kRdfType)));
+  std::set<rdf::TermId> typed;
+  for (auto it = kb.store().NewScan(
+           rdf::TriplePattern{rdf::kAnyTerm, type_id, rdf::kAnyTerm});
+       it->Valid(); it->Next()) {
+    typed.insert(it->Value().s);
+  }
+  std::map<rdf::TermId, size_t> counts;
+  for (auto it = kb.store().NewScan(rdf::TriplePattern{}); it->Valid();
+       it->Next()) {
+    if (typed.count(it->Value().o) > 0) ++counts[it->Value().p];
+  }
+  rdf::TermId best = rdf::kInvalidTermId;
+  size_t best_count = 0;
+  for (const auto& [p, count] : counts) {
+    if (p != type_id && count > best_count) {
+      best = p;
+      best_count = count;
+    }
+  }
+  return best;
+}
+
+double MedianOf(std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const kbbench::BenchArgs args = kbbench::ParseArgs(argc, argv);
+  kbbench::Banner(
+      "E17: frame-store snapshots and id-native execution",
+      "mapping one arena-packed snapshot cold-starts the KB >= 10x "
+      "faster than delta replay, and joining on bare uint32 ids beats "
+      "materializing term objects per visited triple",
+      "snapshot load is milliseconds regardless of replay cost; the "
+      "term-object ablation pays per-triple heap traffic the id path "
+      "never sees");
+
+  // The smoke corpus stays big enough that replay time dwarfs the
+  // snapshot path's fixed costs (mmap + CRC + taxonomy rebuild) — the
+  // >= 10x claim is about asymptotics, and a toy KB hides them.
+  const size_t persons = args.Scaled(2000, 800);
+  core::KnowledgeBase kb = HarvestKb(persons);
+  printf("harvested KB: %zu triples, %zu entities, %zu classes\n\n",
+         kb.NumTriples(), kb.NumEntities(), kb.NumClasses());
+  kbbench::Report("e17_snapshot", "kb_triples",
+                  static_cast<double>(kb.NumTriples()));
+
+  // --- (a) cold start: delta replay vs snapshot mmap ----------------
+  // Same content both ways: generation 0 holds the whole KB as a
+  // replayable delta (the legacy boot path); Checkpoint folds it into
+  // a frame-store snapshot (the instant-start path).
+  std::string dir = TempDir("e17_volume");
+  auto volume = core::KbVolume::Open(nullptr, dir);
+  if (!volume.ok()) return 1;
+  if (!(*volume)->SaveDelta(kb).ok()) return 1;
+
+  constexpr int kLoadRounds = 3;
+  std::vector<double> replay_samples;
+  size_t replay_triples = 0;
+  for (int i = 0; i < kLoadRounds; ++i) {
+    kbbench::Timer timer;
+    auto loaded = (*volume)->Load();
+    if (!loaded.ok() || loaded->from_snapshot) return 1;
+    replay_samples.push_back(timer.ms());
+    replay_triples = loaded->kb->NumTriples();
+  }
+
+  if (!(*volume)->Checkpoint(&kb).ok()) return 1;
+  std::vector<double> snapshot_samples;
+  for (int i = 0; i < kLoadRounds; ++i) {
+    kbbench::Timer timer;
+    auto loaded = (*volume)->Load();
+    if (!loaded.ok() || !loaded->from_snapshot) return 1;
+    snapshot_samples.push_back(timer.ms());
+    if (loaded->kb->NumTriples() != replay_triples) {
+      printf("FAIL: snapshot KB has %zu triples, replay had %zu\n",
+             loaded->kb->NumTriples(), replay_triples);
+      return 1;
+    }
+  }
+
+  const double replay_ms = MedianOf(replay_samples);
+  const double snapshot_ms = MedianOf(snapshot_samples);
+  const double speedup = replay_ms / snapshot_ms;
+  auto snapshot_size = storage::FileSize((*volume)->SnapshotPath(1));
+  if (!snapshot_size.ok()) return 1;
+
+  kbbench::Row("%-32s %12.2f", "delta replay load ms (median)", replay_ms);
+  kbbench::Row("%-32s %12.2f", "snapshot mmap load ms (median)",
+               snapshot_ms);
+  kbbench::Row("%-32s %12.1fx", "cold-start speedup", speedup);
+  kbbench::Row("%-32s %12.1f", "snapshot bytes/triple",
+               static_cast<double>(*snapshot_size) /
+                   static_cast<double>(replay_triples));
+  kbbench::Report("e17_snapshot", "load_replay_ms", replay_ms);
+  kbbench::Report("e17_snapshot", "load_snapshot_ms", snapshot_ms);
+  kbbench::Report("e17_snapshot", "cold_start_speedup", speedup);
+  kbbench::Report("e17_snapshot", "snapshot_bytes",
+                  static_cast<double>(*snapshot_size));
+  if (speedup < 10.0) {
+    printf("FAIL: snapshot cold start only %.1fx faster than replay "
+           "(claim: >= 10x)\n", speedup);
+    return 1;
+  }
+
+  // --- (b) id-native scan+join vs term-object ablation --------------
+  // One fat two-pattern join, repeated; the only difference between
+  // the runs is ExecutionOptions::materialize_terms.
+  rdf::TermId busiest = BusiestPredicate(kb);
+  rdf::TermId type_id =
+      kb.store().dict().Lookup(rdf::Term::Iri(std::string(rdf::kRdfType)));
+  if (busiest == rdf::kInvalidTermId || type_id == rdf::kInvalidTermId) {
+    printf("FAIL: harvested KB lacks a usable predicate\n");
+    return 1;
+  }
+  // An unselective three-pattern join: the full-scan head makes the
+  // executor visit every triple, so the ablation's per-visited-triple
+  // materialization cost dominates over timer jitter.
+  query::SelectQuery join;
+  join.where.push_back({query::QueryTerm::Var("x"),
+                        query::QueryTerm::Var("p"),
+                        query::QueryTerm::Var("y")});
+  join.where.push_back({query::QueryTerm::Var("x"),
+                        query::QueryTerm::Bound(busiest),
+                        query::QueryTerm::Var("y")});
+  join.where.push_back({query::QueryTerm::Var("y"),
+                        query::QueryTerm::Bound(type_id),
+                        query::QueryTerm::Var("c")});
+  query::QueryEngine engine(&kb.store());
+  const int rounds = static_cast<int>(args.Scaled(60, 30));
+  query::ExecutionOptions id_native;
+  id_native.reorder_patterns = false;  // keep the fat scan first
+  query::ExecutionOptions term_objects;
+  term_objects.reorder_patterns = false;
+  term_objects.materialize_terms = &kb.store().dict();
+
+  auto time_query = [&](const query::ExecutionOptions& options,
+                        query::QueryStats* stats) {
+    engine.Execute(join, options, stats);  // warm (plan cache, pages)
+    std::vector<double> samples;
+    size_t rows = 0;
+    for (int i = 0; i < rounds; ++i) {
+      kbbench::Timer timer;
+      rows = engine.Execute(join, options, stats).size();
+      samples.push_back(timer.ms());
+    }
+    printf("  rows per execution: %zu\n", rows);
+    return MedianOf(samples);
+  };
+
+  printf("\n");
+  query::QueryStats id_stats, term_stats;
+  const double id_ms = time_query(id_native, &id_stats);
+  const double term_ms = time_query(term_objects, &term_stats);
+  kbbench::Row("%-32s %12.3f", "id-native join ms (median)", id_ms);
+  kbbench::Row("%-32s %12.3f", "term-object join ms (median)", term_ms);
+  kbbench::Row("%-32s %12.1fx", "id-native advantage", term_ms / id_ms);
+  kbbench::Row("%-32s %12llu", "terms materialized / exec",
+               static_cast<unsigned long long>(
+                   term_stats.terms_materialized));
+  kbbench::Report("e17_snapshot", "join_id_native_ms", id_ms);
+  kbbench::Report("e17_snapshot", "join_term_object_ms", term_ms);
+  kbbench::Report("e17_snapshot", "id_native_advantage", term_ms / id_ms);
+  if (id_ms >= term_ms) {
+    printf("FAIL: id-native join (%.3f ms) not faster than term-object "
+           "path (%.3f ms)\n", id_ms, term_ms);
+    return 1;
+  }
+
+  // --- frame-store micro: id scans vs term-object matching ----------
+  // Per-subject lookups straight against the mapped FrameStore.
+  const auto& base = kb.store().base();
+  if (base == nullptr) return 1;
+  std::vector<rdf::TermId> subjects;
+  for (auto it = base->NewScan(rdf::TriplePattern{}); it->Valid();
+       it->Next()) {
+    if (subjects.empty() || subjects.back() != it->Value().s) {
+      subjects.push_back(it->Value().s);
+    }
+  }
+  const int micro_rounds = static_cast<int>(args.Scaled(20, 5));
+  size_t checksum_ids = 0, checksum_terms = 0;
+  kbbench::Timer id_timer;
+  for (int r = 0; r < micro_rounds; ++r) {
+    for (rdf::TermId s : subjects) {
+      checksum_ids += base->MatchFullScan(
+          rdf::TriplePattern{s, rdf::kAnyTerm, rdf::kAnyTerm}).size();
+    }
+  }
+  const double id_scan_ms = id_timer.ms();
+  kbbench::Timer term_timer;
+  for (int r = 0; r < micro_rounds; ++r) {
+    for (rdf::TermId s : subjects) {
+      rdf::Term subject = base->MaterializeTerm(s);
+      checksum_terms += base->MatchTermObjects(&subject, nullptr,
+                                               nullptr).size();
+    }
+  }
+  const double term_scan_ms = term_timer.ms();
+  if (checksum_ids != checksum_terms) {
+    printf("FAIL: id scans saw %zu triples, term scans %zu\n",
+           checksum_ids, checksum_terms);
+    return 1;
+  }
+  printf("\n");
+  kbbench::Row("%-32s %12.2f", "id per-subject scans ms", id_scan_ms);
+  kbbench::Row("%-32s %12.2f", "term-object scans ms", term_scan_ms);
+  kbbench::Report("e17_snapshot", "scan_id_ms", id_scan_ms);
+  kbbench::Report("e17_snapshot", "scan_term_object_ms", term_scan_ms);
+
+  printf("\nE17 OK: %.1fx cold start, %.1fx id-native join advantage\n",
+         speedup, term_ms / id_ms);
+  return 0;
+}

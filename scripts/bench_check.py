@@ -136,10 +136,16 @@ def main():
     failures = []
     baseline_rows, baseline_files = load_rows(args.baselines, failures)
     fresh_rows, fresh_files = load_rows(args.fresh, failures)
-    if not baseline_rows and not failures:
-        sys.exit(f"bench_check: no baseline rows under {args.baselines}")
     if not fresh_rows and not failures:
         sys.exit(f"bench_check: no fresh rows under {args.fresh}")
+    if not baseline_rows and not failures:
+        # A brand-new trajectory (first bench ever, or a fresh checkout
+        # without baselines) is not a regression — there is nothing to
+        # regress against. Warn and point at the adoption path.
+        print(f"bench_check: WARNING: no baseline rows under "
+              f"{args.baselines}; nothing gated. Adopt the fresh rows "
+              f"with: bench_check.py --fresh {args.fresh} --update")
+        return
 
     # Every baselined bench must have produced at least one fresh row;
     # a bench that stopped emitting is a broken trajectory, not a pass.
@@ -174,7 +180,17 @@ def main():
         if error:
             failures.append(f"{label}: {error}")
 
-    new_keys = sorted(set(fresh_rows) - set(baseline_rows))
+    # A bench that has fresh rows but no committed baseline at all is a
+    # newly added experiment, not a regression: warn once per bench with
+    # the adoption hint instead of failing (or spamming per-metric
+    # notes) — the gate only tightens once its rows are committed.
+    unbaselined = sorted(fresh_benches - baseline_benches)
+    for bench in unbaselined:
+        print(f"warning: bench {bench} has no committed baseline; "
+              f"run bench_check.py --fresh {args.fresh} --update to adopt")
+
+    new_keys = sorted(key for key in set(fresh_rows) - set(baseline_rows)
+                      if key[0] not in unbaselined)
     for bench, workload, metric in new_keys:
         label = f"{bench}[{workload}].{metric}" if workload else \
             f"{bench}.{metric}"

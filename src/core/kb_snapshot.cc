@@ -1,0 +1,331 @@
+#include "core/kb_snapshot.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "core/persistence.h"
+#include "util/string_util.h"
+#include "util/varint.h"
+
+namespace kb {
+namespace core {
+
+namespace {
+
+constexpr char kCurrentName[] = "CURRENT";
+constexpr char kSnapshotPrefix[] = "snapshot-";
+constexpr char kSnapshotSuffix[] = ".kbsnap";
+constexpr char kDeltaPrefix[] = "delta-";
+
+std::string GenName(const char* prefix, uint64_t gen, const char* suffix) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s%06llu%s", prefix,
+                static_cast<unsigned long long>(gen), suffix);
+  return buf;
+}
+
+bool ParseGenName(const std::string& name, const std::string& prefix,
+                  const std::string& suffix, uint64_t* gen) {
+  if (name.size() != prefix.size() + 6 + suffix.size()) return false;
+  if (name.compare(0, prefix.size(), prefix) != 0) return false;
+  if (!suffix.empty() &&
+      name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
+    return false;
+  }
+  uint64_t v = 0;
+  for (size_t i = prefix.size(); i < prefix.size() + 6; ++i) {
+    if (name[i] < '0' || name[i] > '9') return false;
+    v = v * 10 + static_cast<uint64_t>(name[i] - '0');
+  }
+  *gen = v;
+  return true;
+}
+
+uint32_t LoadU32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+rdf::Triple RecordTriple(const char* rec) {
+  return rdf::Triple(LoadU32(rec), LoadU32(rec + 4), LoadU32(rec + 8));
+}
+
+void RecordMeta(const char* rec, FactMeta* out) {
+  uint64_t bits;
+  std::memcpy(&bits, rec + 12, sizeof(bits));
+  std::memcpy(&out->confidence, &bits, sizeof(out->confidence));
+  out->support = LoadU32(rec + 20);
+  out->extractor = LoadU32(rec + 24);
+  auto date = [](const char* p, Date* d) {
+    d->year = static_cast<int32_t>(LoadU32(p));
+    d->month = static_cast<int8_t>(p[4]);
+    d->day = static_cast<int8_t>(p[5]);
+  };
+  date(rec + 28, &out->valid_time.begin);
+  date(rec + 34, &out->valid_time.end);
+}
+
+}  // namespace
+
+std::string EncodePackedMeta(const std::map<rdf::Triple, FactMeta>& metas) {
+  // std::map iterates in Triple order (s, p, o) — exactly the sort the
+  // binary search in LookupPackedMeta relies on.
+  std::string out;
+  out.reserve(metas.size() * kPackedMetaRecordSize);
+  for (const auto& [t, meta] : metas) {
+    PutFixed32(&out, t.s);
+    PutFixed32(&out, t.p);
+    PutFixed32(&out, t.o);
+    uint64_t bits = 0;
+    std::memcpy(&bits, &meta.confidence, sizeof(bits));
+    PutFixed64(&out, bits);
+    PutFixed32(&out, meta.support);
+    PutFixed32(&out, meta.extractor);
+    auto put_date = [&out](const Date& d) {
+      PutFixed32(&out, static_cast<uint32_t>(d.year));
+      out.push_back(static_cast<char>(d.month));
+      out.push_back(static_cast<char>(d.day));
+    };
+    put_date(meta.valid_time.begin);
+    put_date(meta.valid_time.end);
+  }
+  return out;
+}
+
+bool LookupPackedMeta(std::string_view section, const rdf::Triple& t,
+                      FactMeta* out) {
+  if (section.size() % kPackedMetaRecordSize != 0) return false;
+  const size_t n = section.size() / kPackedMetaRecordSize;
+  size_t lo = 0, hi = n;
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    if (RecordTriple(section.data() + mid * kPackedMetaRecordSize) < t) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo == n) return false;
+  const char* rec = section.data() + lo * kPackedMetaRecordSize;
+  if (!(RecordTriple(rec) == t)) return false;
+  RecordMeta(rec, out);
+  return true;
+}
+
+void DecodeAllPackedMeta(std::string_view section,
+                         std::map<rdf::Triple, FactMeta>* out) {
+  if (section.size() % kPackedMetaRecordSize != 0) return;
+  for (size_t off = 0; off + kPackedMetaRecordSize <= section.size();
+       off += kPackedMetaRecordSize) {
+    const char* rec = section.data() + off;
+    FactMeta meta;
+    RecordMeta(rec, &meta);
+    (*out)[RecordTriple(rec)] = meta;
+  }
+}
+
+StatusOr<std::string> SerializeKbSnapshot(const KnowledgeBase& kb) {
+  const rdf::Dictionary& dict = kb.store().dict();
+  rdf::FrameStoreBuilder builder;
+  uint64_t entities = 0;
+  for (rdf::TermId id = 1; id <= dict.size(); ++id) {
+    const rdf::Term& term = dict.term(id);
+    builder.AddTerm(term);
+    if (term.is_iri() && StartsWith(term.value(), rdf::kEntityNs)) {
+      ++entities;
+    }
+  }
+  rdf::TriplePattern all;
+  kb.store().Scan(all, [&](const rdf::Triple& t) {
+    builder.AddTriple(t);
+    return true;
+  });
+  // Metadata: the base snapshot's packed section (if any) overlaid
+  // with the in-memory dirty map, so merged support/confidence from
+  // this generation's writes survives the compaction.
+  std::map<rdf::Triple, FactMeta> metas;
+  if (kb.store().base() != nullptr) {
+    std::string_view base_meta;
+    if (kb.store().base()->section(rdf::FrameStore::kSectionFactMeta,
+                                   &base_meta)) {
+      DecodeAllPackedMeta(base_meta, &metas);
+    }
+  }
+  for (const auto& [t, meta] : kb.meta_map()) metas[t] = meta;
+  if (!metas.empty()) {
+    builder.SetSection(rdf::FrameStore::kSectionFactMeta,
+                       EncodePackedMeta(metas));
+  }
+  builder.SetEpoch(kb.epoch());
+  builder.SetNumEntities(entities);
+  return builder.Serialize();
+}
+
+Status WriteKbSnapshot(storage::Env* env, const std::string& path,
+                       const KnowledgeBase& kb) {
+  if (env == nullptr) env = storage::Env::Default();
+  auto bytes = SerializeKbSnapshot(kb);
+  if (!bytes.ok()) return bytes.status();
+  const std::string tmp = path + ".tmp";
+  KB_RETURN_IF_ERROR(env->WriteStringToFile(tmp, *bytes));  // synced
+  return env->RenameFile(tmp, path);
+}
+
+StatusOr<std::shared_ptr<const rdf::FrameStore>> OpenKbSnapshot(
+    storage::Env* env, const std::string& path,
+    const SnapshotOpenOptions& options) {
+  if (env == nullptr) env = storage::Env::Default();
+  auto region = env->MapReadOnly(path);
+  if (!region.ok()) return region.status();
+  std::shared_ptr<storage::MappedRegion> owner(std::move(*region));
+  const char* data = owner->data();
+  const size_t size = owner->size();
+  auto store = rdf::FrameStore::Attach(data, size, owner, options.attach);
+  if (!store.ok()) return store.status();
+  return std::shared_ptr<const rdf::FrameStore>(std::move(*store));
+}
+
+StatusOr<std::unique_ptr<KbVolume>> KbVolume::Open(storage::Env* env,
+                                                   const std::string& dir) {
+  if (env == nullptr) env = storage::Env::Default();
+  KB_RETURN_IF_ERROR(env->CreateDirIfMissing(dir));
+  std::unique_ptr<KbVolume> volume(new KbVolume(env, dir));
+  // Current generation: CURRENT is authoritative; the directory
+  // listing covers a crash between snapshot write and CURRENT update
+  // (the orphan snapshot claims its number so it is never reused).
+  uint64_t gen = 0;
+  const std::string current_path = dir + "/" + kCurrentName;
+  if (env->FileExists(current_path)) {
+    auto text = env->ReadFileToString(current_path);
+    if (!text.ok()) return text.status();
+    uint64_t v = 0;
+    bool any = false;
+    for (char c : *text) {
+      if (c < '0' || c > '9') break;
+      v = v * 10 + static_cast<uint64_t>(c - '0');
+      any = true;
+    }
+    if (!any) return Status::Corruption("bad CURRENT file: " + current_path);
+    gen = v;
+  }
+  auto names = env->ListDir(dir);
+  if (!names.ok()) return names.status();
+  for (const auto& name : *names) {
+    uint64_t g = 0;
+    if (ParseGenName(name, kSnapshotPrefix, kSnapshotSuffix, &g) ||
+        ParseGenName(name, kDeltaPrefix, "", &g)) {
+      gen = std::max(gen, g);
+    }
+  }
+  volume->current_gen_ = gen;
+  return volume;
+}
+
+std::string KbVolume::SnapshotPath(uint64_t gen) const {
+  return dir_ + "/" + GenName(kSnapshotPrefix, gen, kSnapshotSuffix);
+}
+
+std::string KbVolume::DeltaDir(uint64_t gen) const {
+  return dir_ + "/" + GenName(kDeltaPrefix, gen, "");
+}
+
+StatusOr<KbVolume::LoadResult> KbVolume::Load(
+    const SnapshotOpenOptions& options) {
+  auto names = env_->ListDir(dir_);
+  if (!names.ok()) return names.status();
+  std::vector<uint64_t> snapshot_gens;
+  std::vector<uint64_t> delta_gens;
+  for (const auto& name : *names) {
+    uint64_t g = 0;
+    if (ParseGenName(name, kSnapshotPrefix, kSnapshotSuffix, &g)) {
+      snapshot_gens.push_back(g);
+    } else if (ParseGenName(name, kDeltaPrefix, "", &g)) {
+      delta_gens.push_back(g);
+    }
+  }
+  std::sort(snapshot_gens.begin(), snapshot_gens.end(),
+            std::greater<uint64_t>());
+  snapshot_gens.push_back(0);  // the implicit empty base: pure replay
+  std::sort(delta_gens.begin(), delta_gens.end());
+
+  LoadResult result;
+  for (uint64_t g : snapshot_gens) {
+    std::unique_ptr<KnowledgeBase> kb;
+    if (g > 0) {
+      auto snap = OpenKbSnapshot(env_, SnapshotPath(g), options);
+      if (!snap.ok()) {
+        result.refused.push_back(SnapshotPath(g) + ": " +
+                                 snap.status().ToString());
+        continue;
+      }
+      kb = KnowledgeBase::FromSnapshot(std::move(*snap));
+    } else {
+      kb = std::make_unique<KnowledgeBase>();
+    }
+    // Deltas written while generation >= g was current, oldest first:
+    // later generations carry the further-merged metadata, so they
+    // overwrite earlier replays.
+    for (uint64_t dg : delta_gens) {
+      if (dg < g) continue;
+      KB_RETURN_IF_ERROR(ApplyDelta(dg, kb.get()));
+    }
+    if (g > 0) {
+      kb->RebuildTaxonomy();
+    } else {
+      kb->RebuildDerivedIndexes();
+    }
+    result.kb = std::move(kb);
+    result.generation = g;
+    result.from_snapshot = g > 0;
+    return result;
+  }
+  return Status::Corruption("kb volume has no usable generation: " + dir_);
+}
+
+Status KbVolume::ApplyDelta(uint64_t gen, KnowledgeBase* kb) const {
+  const std::string path = DeltaDir(gen);
+  if (!env_->FileExists(path)) return Status::OK();
+  storage::ShardedStoreOptions options;
+  options.store.sync_wal = false;
+  options.store.env = env_;
+  auto storage = KbStorage::Open(path, options);
+  if (!storage.ok()) return storage.status();
+  return (*storage)->ApplyInto(kb);
+}
+
+Status KbVolume::SaveDelta(const KnowledgeBase& kb) {
+  storage::ShardedStoreOptions options;
+  options.store.sync_wal = false;
+  options.store.env = env_;
+  auto storage = KbStorage::Open(DeltaDir(current_gen_), options);
+  if (!storage.ok()) return storage.status();
+  return (*storage)->SaveOverlay(kb);
+}
+
+StatusOr<uint64_t> KbVolume::Checkpoint(KnowledgeBase* kb) {
+  const uint64_t gen = current_gen_ + 1;
+  KB_RETURN_IF_ERROR(WriteKbSnapshot(env_, SnapshotPath(gen), *kb));
+  // Re-open what was just written BEFORE publishing: a snapshot that
+  // does not verify never becomes CURRENT.
+  auto snap = OpenKbSnapshot(env_, SnapshotPath(gen));
+  if (!snap.ok()) return snap.status();
+  KB_RETURN_IF_ERROR(PublishCurrent(gen));
+  *kb = std::move(*KnowledgeBase::FromSnapshot(std::move(*snap)));
+  current_gen_ = gen;
+  return gen;
+}
+
+Status KbVolume::PublishCurrent(uint64_t gen) {
+  const std::string path = dir_ + "/" + kCurrentName;
+  const std::string tmp = path + ".tmp";
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%06llu\n",
+                static_cast<unsigned long long>(gen));
+  KB_RETURN_IF_ERROR(env_->WriteStringToFile(tmp, buf));
+  return env_->RenameFile(tmp, path);
+}
+
+}  // namespace core
+}  // namespace kb

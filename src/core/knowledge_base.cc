@@ -1,5 +1,6 @@
 #include "core/knowledge_base.h"
 
+#include "core/kb_snapshot.h"
 #include "util/string_util.h"
 
 namespace kb {
@@ -14,6 +15,27 @@ KnowledgeBase::KnowledgeBase() {
   rdfs_label_ = store_.dict().InternIri(std::string(rdf::kRdfsLabel));
 }
 
+KnowledgeBase::KnowledgeBase(std::shared_ptr<const rdf::FrameStore> base)
+    : store_(base), base_(std::move(base)) {
+  epoch_.store(base_->epoch(), std::memory_order_release);
+  base_entity_count_ = base_->num_entities();
+  std::string_view meta_section;
+  if (base_->section(rdf::FrameStore::kSectionFactMeta, &meta_section)) {
+    base_meta_ = meta_section;
+  }
+  // The builtins are in every non-trivial snapshot, so these hit the
+  // base catalog instead of growing the overlay.
+  rdf_type_ = store_.dict().InternIri(std::string(rdf::kRdfType));
+  rdfs_subclass_ = store_.dict().InternIri(std::string(rdf::kRdfsSubClassOf));
+  rdfs_label_ = store_.dict().InternIri(std::string(rdf::kRdfsLabel));
+  RebuildTaxonomyLocked();  // construction: no concurrent access yet
+}
+
+std::unique_ptr<KnowledgeBase> KnowledgeBase::FromSnapshot(
+    std::shared_ptr<const rdf::FrameStore> base) {
+  return std::unique_ptr<KnowledgeBase>(new KnowledgeBase(std::move(base)));
+}
+
 KnowledgeBase::KnowledgeBase(KnowledgeBase&& other) noexcept {
   std::lock_guard<std::mutex> lock(other.mu_);
   epoch_.store(other.epoch_.load(std::memory_order_acquire),
@@ -25,6 +47,11 @@ KnowledgeBase::KnowledgeBase(KnowledgeBase&& other) noexcept {
   rdf_type_ = other.rdf_type_;
   rdfs_subclass_ = other.rdfs_subclass_;
   rdfs_label_ = other.rdfs_label_;
+  base_ = std::move(other.base_);
+  base_meta_ = other.base_meta_;
+  base_entity_count_ = other.base_entity_count_;
+  new_entity_count_ = other.new_entity_count_;
+  base_meta_cache_ = std::move(other.base_meta_cache_);
 }
 
 KnowledgeBase& KnowledgeBase::operator=(KnowledgeBase&& other) noexcept {
@@ -39,6 +66,12 @@ KnowledgeBase& KnowledgeBase::operator=(KnowledgeBase&& other) noexcept {
   rdf_type_ = other.rdf_type_;
   rdfs_subclass_ = other.rdfs_subclass_;
   rdfs_label_ = other.rdfs_label_;
+  base_ = std::move(other.base_);
+  base_meta_ = other.base_meta_;
+  other.base_meta_ = std::string_view();
+  base_entity_count_ = other.base_entity_count_;
+  new_entity_count_ = other.new_entity_count_;
+  base_meta_cache_ = std::move(other.base_meta_cache_);
   return *this;
 }
 
@@ -47,6 +80,9 @@ TermId KnowledgeBase::EntityTermLocked(const std::string& canonical) {
   if (it != entity_terms_.end()) return it->second;
   TermId id = store_.dict().InternIri(rdf::EntityIri(canonical));
   entity_terms_.emplace(canonical, id);
+  // Over a snapshot base, entity_terms_ is a lazy cache rather than the
+  // full roster, so new entities are counted as they first appear.
+  if (base_ != nullptr && id > store_.dict().base_size()) ++new_entity_count_;
   return id;
 }
 
@@ -94,6 +130,13 @@ void KnowledgeBase::AssertSubclass(const std::string& sub,
 bool KnowledgeBase::InsertMetaLocked(const rdf::Triple& t,
                                      const FactMeta& meta,
                                      bool merge_valid_time) {
+  // A re-asserted snapshot fact merges into its packed base metadata,
+  // not a blank slate: seed the in-memory entry from the base first.
+  if (meta_.find(t) == meta_.end()) {
+    if (const FactMeta* inherited = BaseMetaLocked(t)) {
+      meta_.emplace(t, *inherited);
+    }
+  }
   auto [it, inserted] = meta_.emplace(t, meta);
   if (!inserted) {
     it->second.confidence = std::max(it->second.confidence, meta.confidence);
@@ -144,7 +187,17 @@ void KnowledgeBase::AssertLabel(const std::string& canonical,
 const FactMeta* KnowledgeBase::MetaOf(const rdf::Triple& triple) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = meta_.find(triple);
-  return it == meta_.end() ? nullptr : &it->second;
+  if (it != meta_.end()) return &it->second;
+  return BaseMetaLocked(triple);
+}
+
+const FactMeta* KnowledgeBase::BaseMetaLocked(const rdf::Triple& t) const {
+  if (base_meta_.empty()) return nullptr;
+  auto it = base_meta_cache_.find(t);
+  if (it != base_meta_cache_.end()) return &it->second;
+  FactMeta meta;
+  if (!LookupPackedMeta(base_meta_, t, &meta)) return nullptr;
+  return &base_meta_cache_.emplace(t, meta).first->second;
 }
 
 void KnowledgeBase::AddTripleWithMeta(const rdf::Triple& triple,
@@ -163,6 +216,30 @@ void KnowledgeBase::RebuildDerivedIndexes() {
     if (term.is_iri() && StartsWith(term.value(), rdf::kEntityNs)) {
       entity_terms_[term.value().substr(rdf::kEntityNs.size())] = id;
     }
+  }
+  RebuildTaxonomyLocked();
+}
+
+void KnowledgeBase::RebuildTaxonomy() {
+  std::lock_guard<std::mutex> lock(mu_);
+  RebuildTaxonomyLocked();
+}
+
+void KnowledgeBase::RebuildTaxonomyLocked() {
+  if (base_ != nullptr) {
+    // Delta replay interns terms through the dictionary directly, so
+    // recount overlay entities from the overlay id range (never the
+    // base range — that would defeat the lazy cold-start).
+    size_t overlay_entities = 0;
+    for (rdf::TermId id = store_.dict().base_size() + 1;
+         id <= store_.dict().size(); ++id) {
+      const rdf::Term& term = store_.dict().term(id);
+      if (term.is_iri() && StartsWith(term.value(), rdf::kEntityNs)) {
+        entity_terms_[term.value().substr(rdf::kEntityNs.size())] = id;
+        ++overlay_entities;
+      }
+    }
+    new_entity_count_ = overlay_entities;
   }
   auto class_name = [&](rdf::TermId id) -> std::string {
     const rdf::Term& term = store_.dict().term(id);

@@ -42,6 +42,17 @@ class KnowledgeBase {
  public:
   KnowledgeBase();
 
+  /// Boots a KB directly over an immutable FrameStore snapshot — the
+  /// instant-start path. The snapshot serves reads; asserts land in
+  /// the in-memory delta (merged reads behind TripleSource); the epoch
+  /// resumes from the snapshot's, so result caches keyed on it stay
+  /// coherent. Cold-start cost is O(taxonomy), not O(KB): the taxonomy
+  /// is re-derived from two indexed scans, entity terms materialize
+  /// lazily, and fact metadata is decoded on first touch from the
+  /// snapshot's packed meta section.
+  static std::unique_ptr<KnowledgeBase> FromSnapshot(
+      std::shared_ptr<const rdf::FrameStore> base);
+
   /// Movable (the mutex is not moved — the target gets a fresh one).
   /// Moving while another thread still uses the source is a race, as
   /// with any container.
@@ -99,8 +110,17 @@ class KnowledgeBase {
   /// rdfs:subClassOf edges are re-derived.
   void RebuildDerivedIndexes();
 
+  /// Re-derives only the taxonomy, from indexed rdf:type and
+  /// rdfs:subClassOf scans — the cheap subset of RebuildDerivedIndexes
+  /// used after a delta replay over a snapshot base (entity terms stay
+  /// lazy there).
+  void RebuildTaxonomy();
+
   /// Number of distinct entity IRIs typed or used as subjects.
-  size_t NumEntities() const { return entity_terms_.size(); }
+  size_t NumEntities() const {
+    return base_ != nullptr ? base_entity_count_ + new_entity_count_
+                            : entity_terms_.size();
+  }
   size_t NumTriples() const { return store_.size(); }
   size_t NumClasses() const { return taxonomy_.size(); }
 
@@ -138,11 +158,15 @@ class KnowledgeBase {
   std::string ExportNTriples() const { return rdf::WriteNTriples(store_); }
 
  private:
+  explicit KnowledgeBase(std::shared_ptr<const rdf::FrameStore> base);
+
   rdf::TermId EntityTermLocked(const std::string& canonical);
   rdf::TermId PropertyTermLocked(const std::string& local_name);
   rdf::TermId ClassTermLocked(const std::string& class_name);
   bool InsertMetaLocked(const rdf::Triple& t, const FactMeta& meta,
                         bool merge_valid_time);
+  const FactMeta* BaseMetaLocked(const rdf::Triple& t) const;
+  void RebuildTaxonomyLocked();
 
   void BumpEpoch() { epoch_.fetch_add(1, std::memory_order_acq_rel); }
 
@@ -159,6 +183,15 @@ class KnowledgeBase {
   rdf::TermId rdf_type_;
   rdf::TermId rdfs_subclass_;
   rdf::TermId rdfs_label_;
+
+  /// Snapshot-boot state (null/empty for a plain KB). base_meta_ views
+  /// the snapshot's packed meta section; decoded entries are cached in
+  /// base_meta_cache_ under mu_ on first access.
+  std::shared_ptr<const rdf::FrameStore> base_;
+  std::string_view base_meta_;
+  size_t base_entity_count_ = 0;
+  size_t new_entity_count_ = 0;
+  mutable std::map<rdf::Triple, FactMeta> base_meta_cache_;
 };
 
 }  // namespace core

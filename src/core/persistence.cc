@@ -2,6 +2,7 @@
 
 #include <cstring>
 #include <map>
+#include <set>
 
 #include "rdf/term.h"
 #include "storage/triple_codec.h"
@@ -133,10 +134,55 @@ Status KbStorage::Save(const KnowledgeBase& kb) {
   return store_->Flush();
 }
 
+Status KbStorage::SaveOverlay(const KnowledgeBase& kb) {
+  const rdf::Dictionary& dict = kb.store().dict();
+  // Triples to persist: the in-memory delta, plus base triples whose
+  // metadata was touched (meta_map holds exactly the dirty set).
+  std::set<rdf::Triple> triples;
+  auto delta = kb.store().Snapshot();  // delta-only on hybrid stores
+  rdf::TriplePattern all;
+  for (auto it = delta->NewScan(all); it->Valid(); it->Next()) {
+    triples.insert(it->Value());
+  }
+  for (const auto& [t, meta] : kb.meta_map()) triples.insert(t);
+  // Terms: every overlay id, plus every id the persisted triples
+  // reference (base ids are stable against the same snapshot, and the
+  // text makes the delta replayable without any snapshot at all).
+  std::set<rdf::TermId> ids;
+  for (rdf::TermId id = dict.base_size() + 1; id <= dict.size(); ++id) {
+    ids.insert(id);
+  }
+  for (const auto& t : triples) {
+    ids.insert(t.s);
+    ids.insert(t.p);
+    ids.insert(t.o);
+  }
+  for (rdf::TermId id : ids) {
+    KB_RETURN_IF_ERROR(store_->Put(DictKey(id), dict.term(id).ToString()));
+  }
+  for (const auto& t : triples) {
+    const FactMeta* meta = kb.MetaOf(t);
+    std::string value = meta != nullptr ? EncodeMeta(*meta) : std::string();
+    KB_RETURN_IF_ERROR(store_->Put(
+        storage::EncodeTripleKey(storage::TripleOrder::kSpo, t), value));
+    KB_RETURN_IF_ERROR(store_->Put(
+        storage::EncodeTripleKey(storage::TripleOrder::kPos, t), ""));
+    KB_RETURN_IF_ERROR(store_->Put(
+        storage::EncodeTripleKey(storage::TripleOrder::kOsp, t), ""));
+  }
+  return store_->Flush();
+}
+
 StatusOr<std::unique_ptr<KnowledgeBase>> KbStorage::Load() {
   auto kb = std::make_unique<KnowledgeBase>();
+  KB_RETURN_IF_ERROR(ApplyInto(kb.get()));
+  kb->RebuildDerivedIndexes();
+  return kb;
+}
+
+Status KbStorage::ApplyInto(KnowledgeBase* kb) {
   // 1. Dictionary: old id -> new id (interning preserves semantics even
-  // if the fresh KB pre-interned its builtin terms in another order).
+  // if the receiving KB assigned its existing ids in another order).
   std::map<rdf::TermId, rdf::TermId> remap;
   Status status = Status::OK();
   std::string dict_end(1, kDictPrefix + 1);
@@ -192,8 +238,7 @@ StatusOr<std::unique_ptr<KnowledgeBase>> KbStorage::Load() {
         return true;
       }));
   KB_RETURN_IF_ERROR(status);
-  kb->RebuildDerivedIndexes();
-  return kb;
+  return Status::OK();
 }
 
 StatusOr<rdf::Dictionary> KbStorage::LoadDictionary() {

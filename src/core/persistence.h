@@ -52,8 +52,23 @@ class KbStorage {
   /// not chased — use a fresh directory for snapshots).
   Status Save(const KnowledgeBase& kb);
 
+  /// Writes only the KB's delta against its snapshot base: overlay
+  /// dictionary terms, delta triples, and any triple whose metadata
+  /// was touched (plus the terms those triples reference, so the delta
+  /// stays self-describing — replayable onto an empty KB as well as
+  /// onto the base it was written against). On a plain KB this
+  /// degenerates to Save. The KbVolume delta-shipping path.
+  Status SaveOverlay(const KnowledgeBase& kb);
+
   /// Reconstructs a KB from storage.
   StatusOr<std::unique_ptr<KnowledgeBase>> Load();
+
+  /// Replays this storage's dictionary and SPO keyspace into an
+  /// existing KB: terms are re-interned by text (ids remap), triples
+  /// are added idempotently, stored metadata overwrites. Used by
+  /// KbVolume to apply delta generations over a snapshot-booted KB;
+  /// the caller rebuilds derived indexes afterwards.
+  Status ApplyInto(KnowledgeBase* kb);
 
   /// Loads only the term dictionary, preserving the on-disk term ids.
   /// Pairs with NewTripleSource() to run queries straight off the LSM

@@ -140,6 +140,20 @@ namespace {
 
 using Operator = Cursor::Operator;
 
+/// The materialize_terms ablation body: copies all three Terms out of
+/// the dictionary (string heap traffic and all) and keeps a byte count
+/// the optimizer cannot discard.
+inline void MaterializeTriple(const rdf::Dictionary* dict,
+                              const rdf::Triple& t, QueryStats* stats) {
+  rdf::Term s = dict->term(t.s);
+  rdf::Term p = dict->term(t.p);
+  rdf::Term o = dict->term(t.o);
+  stats->terms_materialized += 3;
+  volatile size_t sink =
+      s.value().size() + p.value().size() + o.value().size();
+  (void)sink;
+}
+
 /// Zero rows (unmatchable constants).
 class EmptyOp : public Operator {
  public:
@@ -166,12 +180,14 @@ class OnceOp : public Operator {
 class IndexScanOp : public Operator {
  public:
   IndexScanOp(const rdf::TripleSource* source, const CompiledScan& scan,
-              size_t width, bool use_indexes, QueryStats* stats,
+              size_t width, bool use_indexes,
+              const rdf::Dictionary* materialize, QueryStats* stats,
               Cursor::CancelState* cancel)
       : source_(source),
         scan_(scan),
         width_(width),
         use_indexes_(use_indexes),
+        materialize_(materialize),
         stats_(stats),
         cancel_(cancel) {}
 
@@ -186,6 +202,7 @@ class IndexScanOp : public Operator {
       if (cancel_->Expired()) return false;
       const rdf::Triple& t = iter_->Value();
       ++stats_->intermediate_rows;
+      if (materialize_ != nullptr) MaterializeTriple(materialize_, t, stats_);
       row->assign(width_, rdf::kAnyTerm);
       bool ok = BindRow(scan_, t, row);
       iter_->Next();
@@ -199,6 +216,7 @@ class IndexScanOp : public Operator {
   CompiledScan scan_;
   size_t width_;
   bool use_indexes_;
+  const rdf::Dictionary* materialize_;
   QueryStats* stats_;
   Cursor::CancelState* cancel_;
   std::unique_ptr<rdf::ScanIterator> iter_;
@@ -211,11 +229,13 @@ class IndexNestedLoopJoinOp : public Operator {
   IndexNestedLoopJoinOp(std::unique_ptr<Operator> child,
                         const rdf::TripleSource* source,
                         const CompiledScan& scan, bool use_indexes,
-                        QueryStats* stats, Cursor::CancelState* cancel)
+                        const rdf::Dictionary* materialize, QueryStats* stats,
+                        Cursor::CancelState* cancel)
       : child_(std::move(child)),
         source_(source),
         scan_(scan),
         use_indexes_(use_indexes),
+        materialize_(materialize),
         stats_(stats),
         cancel_(cancel) {}
 
@@ -226,6 +246,9 @@ class IndexNestedLoopJoinOp : public Operator {
           if (cancel_->Expired()) return false;
           const rdf::Triple& t = iter_->Value();
           ++stats_->intermediate_rows;
+          if (materialize_ != nullptr) {
+            MaterializeTriple(materialize_, t, stats_);
+          }
           *row = outer_;
           bool ok = BindRow(scan_, t, row);
           iter_->Next();
@@ -245,6 +268,7 @@ class IndexNestedLoopJoinOp : public Operator {
   const rdf::TripleSource* source_;
   CompiledScan scan_;
   bool use_indexes_;
+  const rdf::Dictionary* materialize_;
   QueryStats* stats_;
   Cursor::CancelState* cancel_;
   Row outer_;
@@ -337,14 +361,13 @@ Cursor::Cursor(PlanPtr plan,
   } else if (plan_->scans.empty()) {
     op = std::make_unique<OnceOp>(plan_->var_names.size());
   } else {
-    op = std::make_unique<IndexScanOp>(src, plan_->scans[0],
-                                       plan_->var_names.size(),
-                                       options.use_indexes, stats_.get(),
-                                       cancel_.get());
+    op = std::make_unique<IndexScanOp>(
+        src, plan_->scans[0], plan_->var_names.size(), options.use_indexes,
+        options.materialize_terms, stats_.get(), cancel_.get());
     for (size_t i = 1; i < plan_->scans.size(); ++i) {
       op = std::make_unique<IndexNestedLoopJoinOp>(
           std::move(op), src, plan_->scans[i], options.use_indexes,
-          stats_.get(), cancel_.get());
+          options.materialize_terms, stats_.get(), cancel_.get());
     }
   }
   op = std::make_unique<ProjectOp>(std::move(op), plan_->projection_slots);

@@ -55,6 +55,13 @@ struct ExecutionOptions {
   /// Serving limits (deadline + row cap). Streaming executor only; the
   /// materializing ablation ignores them.
   ExecOptions exec;
+  /// E17 ablation: when set, the scan/join operators materialize all
+  /// three Terms of every visited triple through this dictionary — the
+  /// pre-frame-store term-object path, heap churn included. Unset, the
+  /// executor joins on bare uint32 ids and terms are only materialized
+  /// at the result boundary. Counted in QueryStats::terms_materialized.
+  /// Streaming executor only; must outlive the execution.
+  const rdf::Dictionary* materialize_terms = nullptr;
 };
 
 /// Execution counters.
@@ -63,6 +70,8 @@ struct QueryStats {
   uint64_t intermediate_rows = 0;   ///< triples visited across all levels
   uint64_t index_scans = 0;
   uint64_t rows_streamed = 0;  ///< rows the root operator produced
+  /// Terms pulled off the heap by the materialize_terms ablation.
+  uint64_t terms_materialized = 0;
   bool plan_cache_hit = false;
   /// The ExecOptions deadline expired before the stream was exhausted:
   /// whatever rows were produced are a prefix, not the full result.

@@ -1,11 +1,13 @@
 #ifndef KBFORGE_RDF_DICTIONARY_H_
 #define KBFORGE_RDF_DICTIONARY_H_
 
+#include <atomic>
 #include <cstdint>
-#include <optional>
+#include <deque>
+#include <memory>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
-#include <vector>
 
 #include "rdf/term.h"
 
@@ -17,12 +19,50 @@ namespace rdf {
 using TermId = uint32_t;
 inline constexpr TermId kInvalidTermId = 0;
 
+/// Read-only view of an immutable, pre-interned term catalog — e.g. a
+/// mmap'd FrameStore snapshot. Ids [1, catalog_size()] belong to the
+/// catalog; a Dictionary layered on top hands out ids above that, so
+/// ids assigned before a snapshot stay stable after it is reopened.
+/// Implementations must be safe for concurrent readers.
+class TermCatalog {
+ public:
+  virtual ~TermCatalog() = default;
+
+  /// Number of terms in the catalog (ids 1..catalog_size()).
+  virtual size_t catalog_size() const = 0;
+
+  /// Materializes the term for an id in [1, catalog_size()].
+  virtual Term CatalogTerm(TermId id) const = 0;
+
+  /// Id of `term` in the catalog, or kInvalidTermId if absent.
+  virtual TermId CatalogLookup(const Term& term) const = 0;
+};
+
 /// Bidirectional mapping between RDF terms and dense ids. Dictionary
 /// encoding is what lets the triple store hold hundreds of millions of
 /// triples in sorted integer arrays (the standard RDF-store design).
+///
+/// A Dictionary may sit on top of an immutable TermCatalog base: base
+/// ids are served from the catalog (materialized lazily, cached), and
+/// newly interned terms get overlay ids starting at base_size()+1.
+///
+/// Thread safety: Lookup()/term()/size() may run concurrently with one
+/// another and with Intern(). Intern() calls are serialized against
+/// each other internally, but callers typically hold a coarser write
+/// lock (KnowledgeBase does). References returned by term() stay valid
+/// for the lifetime of the Dictionary — overlay terms live in a deque,
+/// base terms in a CAS-published cache that is never torn down early.
 class Dictionary {
  public:
   Dictionary();
+  explicit Dictionary(std::shared_ptr<const TermCatalog> base);
+  ~Dictionary();
+
+  Dictionary(const Dictionary&) = delete;
+  Dictionary& operator=(const Dictionary&) = delete;
+  /// Moving is not thread-safe: no concurrent readers of either side.
+  Dictionary(Dictionary&& other) noexcept;
+  Dictionary& operator=(Dictionary&& other) noexcept;
 
   /// Returns the id for `term`, interning it if new.
   TermId Intern(const Term& term);
@@ -33,8 +73,13 @@ class Dictionary {
   /// Returns the term for a valid id. Aborts on invalid id.
   const Term& term(TermId id) const;
 
-  /// Number of interned terms.
-  size_t size() const { return terms_.size() - 1; }
+  /// Number of interned terms (base + overlay).
+  size_t size() const;
+
+  /// Number of ids served by the immutable base catalog (0 if none).
+  size_t base_size() const { return base_size_; }
+
+  const std::shared_ptr<const TermCatalog>& base() const { return base_; }
 
   /// Convenience: intern an IRI string.
   TermId InternIri(std::string iri) {
@@ -42,8 +87,19 @@ class Dictionary {
   }
 
  private:
-  std::vector<Term> terms_;                       // terms_[id]
-  std::unordered_map<std::string, TermId> index_; // ToString() -> id
+  const Term& BaseTerm(TermId id) const;
+  void DestroyBaseCache();
+
+  std::shared_ptr<const TermCatalog> base_;
+  size_t base_size_ = 0;
+  /// Lazily materialized base terms, indexed by id. Slots go nullptr ->
+  /// heap Term exactly once (CAS publish); the CAS loser deletes its
+  /// copy, so readers can hold the reference without any lock.
+  mutable std::unique_ptr<std::atomic<const Term*>[]> base_cache_;
+
+  mutable std::shared_mutex mu_;                   // guards the overlay
+  std::deque<Term> terms_;                         // overlay, id-ordered
+  std::unordered_map<std::string, TermId> index_;  // ToString() -> id
 };
 
 }  // namespace rdf

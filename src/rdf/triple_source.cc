@@ -1,5 +1,7 @@
 #include "rdf/triple_source.h"
 
+#include "util/logging.h"
+
 namespace kb {
 namespace rdf {
 
@@ -65,6 +67,47 @@ ScanOrder ChooseScanOrder(const TriplePattern& pattern) {
     }
   }
   return best;
+}
+
+MergeScanIterator::MergeScanIterator(std::unique_ptr<ScanIterator> a,
+                                     std::unique_ptr<ScanIterator> b)
+    : a_(std::move(a)), b_(std::move(b)) {
+  KB_CHECK(a_->order() == b_->order()) << "merged scans must share an order";
+}
+
+bool MergeScanIterator::Valid() const { return a_->Valid() || b_->Valid(); }
+
+const Triple& MergeScanIterator::Value() const {
+  return FromA() ? a_->Value() : b_->Value();
+}
+
+void MergeScanIterator::Next() {
+  // If both sides sit on the same triple, advancing only the served
+  // side would re-emit it from the other: step past the duplicate too.
+  bool both_equal =
+      a_->Valid() && b_->Valid() && a_->Value() == b_->Value();
+  if (FromA()) {
+    a_->Next();
+    if (both_equal) b_->Next();
+  } else {
+    b_->Next();
+  }
+}
+
+void MergeScanIterator::Seek(const Triple& target) {
+  a_->Seek(target);
+  b_->Seek(target);
+}
+
+Status MergeScanIterator::status() const {
+  if (!a_->status().ok()) return a_->status();
+  return b_->status();
+}
+
+bool MergeScanIterator::FromA() const {
+  if (!b_->Valid()) return true;
+  if (!a_->Valid()) return false;
+  return !LessInOrder(a_->order(), b_->Value(), a_->Value());
 }
 
 void TripleSource::Scan(

@@ -75,6 +75,29 @@ class ScanIterator {
   virtual Status status() const { return Status::OK(); }
 };
 
+/// Merges two iterators of the same collation order into one sorted,
+/// duplicate-free stream (the left iterator wins ties). This is how a
+/// hybrid store reads an immutable base snapshot plus its delta as one
+/// source without materializing either side.
+class MergeScanIterator : public ScanIterator {
+ public:
+  MergeScanIterator(std::unique_ptr<ScanIterator> a,
+                    std::unique_ptr<ScanIterator> b);
+
+  bool Valid() const override;
+  const Triple& Value() const override;
+  void Next() override;
+  void Seek(const Triple& target) override;
+  ScanOrder order() const override { return a_->order(); }
+  Status status() const override;
+
+ private:
+  bool FromA() const;
+
+  std::unique_ptr<ScanIterator> a_;
+  std::unique_ptr<ScanIterator> b_;
+};
+
 /// Anything the query executor can scan: the in-memory TripleStore, an
 /// immutable store snapshot, or the LSM-backed StoredTripleSource.
 /// One SelectQuery compiles to the same operator tree over any of

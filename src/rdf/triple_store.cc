@@ -117,8 +117,38 @@ std::vector<Triple> StoreSnapshot::MatchFullScan(
   return out;
 }
 
+/// Point-in-time view of a hybrid store: an immutable FrameStore base
+/// merged with an immutable delta snapshot. Both sides choose the same
+/// scan order for a pattern (ChooseScanOrder is deterministic), so the
+/// merged stream is sorted in that order.
+class HybridSnapshot : public TripleSource {
+ public:
+  HybridSnapshot(std::shared_ptr<const FrameStore> base,
+                 std::shared_ptr<const StoreSnapshot> delta)
+      : base_(std::move(base)), delta_(std::move(delta)) {}
+
+  std::unique_ptr<ScanIterator> NewScan(
+      const TriplePattern& pattern) const override {
+    return std::make_unique<MergeScanIterator>(base_->NewScan(pattern),
+                                               delta_->NewScan(pattern));
+  }
+
+  size_t EstimateCount(const TriplePattern& pattern) const override {
+    // Exact: the delta is kept disjoint from the base by Add().
+    return base_->EstimateCount(pattern) + delta_->EstimateCount(pattern);
+  }
+
+ private:
+  std::shared_ptr<const FrameStore> base_;
+  std::shared_ptr<const StoreSnapshot> delta_;
+};
+
+TripleStore::TripleStore(std::shared_ptr<const FrameStore> base)
+    : base_(base), dict_(std::move(base)) {}
+
 TripleStore::TripleStore(TripleStore&& other) noexcept {
   std::lock_guard<std::mutex> lock(other.mu_);
+  base_ = std::move(other.base_);
   dict_ = std::move(other.dict_);
   set_ = std::move(other.set_);
   pending_ = std::move(other.pending_);
@@ -128,6 +158,7 @@ TripleStore::TripleStore(TripleStore&& other) noexcept {
 TripleStore& TripleStore::operator=(TripleStore&& other) noexcept {
   if (this == &other) return *this;
   std::scoped_lock lock(mu_, other.mu_);
+  base_ = std::move(other.base_);
   dict_ = std::move(other.dict_);
   set_ = std::move(other.set_);
   pending_ = std::move(other.pending_);
@@ -136,6 +167,7 @@ TripleStore& TripleStore::operator=(TripleStore&& other) noexcept {
 }
 
 bool TripleStore::Add(const Triple& t) {
+  if (base_ != nullptr && base_->Contains(t)) return false;
   std::lock_guard<std::mutex> lock(mu_);
   if (!set_.insert(t).second) return false;
   pending_.push_back(t);
@@ -147,13 +179,14 @@ bool TripleStore::AddTerms(const Term& s, const Term& p, const Term& o) {
 }
 
 bool TripleStore::Contains(const Triple& t) const {
+  if (base_ != nullptr && base_->Contains(t)) return true;
   std::lock_guard<std::mutex> lock(mu_);
   return set_.count(t) > 0;
 }
 
 size_t TripleStore::size() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return set_.size();
+  return set_.size() + (base_ != nullptr ? base_->size() : 0);
 }
 
 std::shared_ptr<const StoreSnapshot> TripleStore::Snapshot() const {
@@ -183,11 +216,22 @@ std::shared_ptr<const StoreSnapshot> TripleStore::Snapshot() const {
 
 std::unique_ptr<ScanIterator> TripleStore::NewScan(
     const TriplePattern& pattern) const {
-  return Snapshot()->NewScan(pattern);
+  if (base_ == nullptr) return Snapshot()->NewScan(pattern);
+  // Each child iterator pins its own view, so the transient
+  // HybridSnapshot need not outlive this call.
+  return std::make_unique<MergeScanIterator>(base_->NewScan(pattern),
+                                             Snapshot()->NewScan(pattern));
 }
 
 size_t TripleStore::EstimateCount(const TriplePattern& pattern) const {
-  return Snapshot()->EstimateCount(pattern);
+  size_t n = Snapshot()->EstimateCount(pattern);
+  if (base_ != nullptr) n += base_->EstimateCount(pattern);
+  return n;
+}
+
+std::shared_ptr<const TripleSource> TripleStore::SnapshotSource() const {
+  if (base_ == nullptr) return Snapshot();
+  return std::make_shared<HybridSnapshot>(base_, Snapshot());
 }
 
 void TripleStore::Scan(const TriplePattern& pattern,
@@ -246,7 +290,14 @@ TermId TripleStore::FirstObject(TermId s, TermId p) const {
 
 std::vector<Triple> TripleStore::MatchFullScan(
     const TriplePattern& pattern) const {
-  return Snapshot()->MatchFullScan(pattern);
+  std::vector<Triple> delta = Snapshot()->MatchFullScan(pattern);
+  if (base_ == nullptr) return delta;
+  std::vector<Triple> from_base = base_->MatchFullScan(pattern);
+  std::vector<Triple> out;
+  out.reserve(delta.size() + from_base.size());
+  std::merge(from_base.begin(), from_base.end(), delta.begin(), delta.end(),
+             std::back_inserter(out));
+  return out;
 }
 
 }  // namespace rdf

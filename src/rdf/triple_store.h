@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "rdf/dictionary.h"
+#include "rdf/frame_store.h"
 #include "rdf/triple.h"
 #include "rdf/triple_source.h"
 
@@ -70,6 +71,14 @@ class StoreSnapshot : public TripleSource,
 class TripleStore : public TripleSource {
  public:
   TripleStore() = default;
+
+  /// A hybrid store over an immutable FrameStore base: the base serves
+  /// reads (ids, terms, triples) while this store holds only the delta
+  /// written since the snapshot. Reads merge both sides behind the
+  /// TripleSource interface; the dictionary overlays the base catalog
+  /// so base ids stay stable.
+  explicit TripleStore(std::shared_ptr<const FrameStore> base);
+
   TripleStore(TripleStore&& other) noexcept;
   TripleStore& operator=(TripleStore&& other) noexcept;
 
@@ -77,7 +86,12 @@ class TripleStore : public TripleSource {
   Dictionary& dict() { return dict_; }
   const Dictionary& dict() const { return dict_; }
 
-  /// Adds a triple of term ids; returns false if it was already present.
+  /// The immutable base snapshot, or nullptr for a plain store.
+  const std::shared_ptr<const FrameStore>& base() const { return base_; }
+
+  /// Adds a triple of term ids; returns false if it was already present
+  /// (in the delta or in the base — the delta stays disjoint from the
+  /// base, so merged reads never see duplicates).
   bool Add(const Triple& t);
 
   /// Interns the terms and adds the triple.
@@ -89,17 +103,17 @@ class TripleStore : public TripleSource {
 
   /// Takes (or reuses) the current immutable snapshot, merging any
   /// pending writes first. Queries run against the returned view
-  /// lock-free while writers continue appending.
+  /// lock-free while writers continue appending. For a hybrid store
+  /// this covers the DELTA only — use SnapshotSource() for the merged
+  /// base+delta view.
   std::shared_ptr<const StoreSnapshot> Snapshot() const;
 
-  // TripleSource: scans open against the current snapshot; the
-  // iterator keeps that snapshot alive.
+  // TripleSource: scans open against the current snapshot (merged with
+  // the base for hybrid stores); iterators keep their views alive.
   std::unique_ptr<ScanIterator> NewScan(
       const TriplePattern& pattern) const override;
   size_t EstimateCount(const TriplePattern& pattern) const override;
-  std::shared_ptr<const TripleSource> SnapshotSource() const override {
-    return Snapshot();
-  }
+  std::shared_ptr<const TripleSource> SnapshotSource() const override;
 
   /// Invokes `fn` for each triple matching the pattern, in the chosen
   /// index's order. Return false from fn to stop early. (Thin
@@ -131,6 +145,7 @@ class TripleStore : public TripleSource {
   std::vector<Triple> MatchFullScan(const TriplePattern& pattern) const;
 
  private:
+  std::shared_ptr<const FrameStore> base_;
   Dictionary dict_;
 
   mutable std::mutex mu_;  ///< guards set_, pending_, snapshot_

@@ -11,7 +11,13 @@
 //   kbforge_follower --leader-repl-port=N --data-dir=PATH
 //                    [--port=N] [--workers=N] [--queue=N]
 //                    [--cache-bytes=N] [--persons=N] [--seed=N]
-//                    [--drain-ms=MS]
+//                    [--drain-ms=MS] [--snapshot=PATH]
+//
+// With --snapshot the base KB is bootstrapped by mapping a shipped
+// FrameStore snapshot (the leader's --write-snapshot artifact) instead
+// of re-harvesting — the follower cold-starts in milliseconds and then
+// catches up from the WAL tail as usual. The snapshot must come from
+// the same leader lineage so term ids line up with the shipped WAL.
 
 #include <signal.h>
 #include <unistd.h>
@@ -24,6 +30,7 @@
 #include <string>
 
 #include "core/harvester.h"
+#include "core/kb_snapshot.h"
 #include "replication/follower.h"
 #include "server/kb_server.h"
 
@@ -61,7 +68,7 @@ int main(int argc, char** argv) {
   long port = 7481, workers = 8, queue = 16, cache_bytes = 8 << 20;
   long persons = 400, seed = 4242, drain_ms = 2000;
   long leader_repl_port = -1;
-  std::string data_dir;
+  std::string data_dir, snapshot_path;
   for (int i = 1; i < argc; ++i) {
     long v = 0;
     if (FlagValue(argv[i], "--port", &v)) port = v;
@@ -74,11 +81,12 @@ int main(int argc, char** argv) {
     else if (FlagValue(argv[i], "--leader-repl-port", &v)) {
       leader_repl_port = v;
     } else if (FlagString(argv[i], "--data-dir", &data_dir)) {
+    } else if (FlagString(argv[i], "--snapshot", &snapshot_path)) {
     } else {
       ::fprintf(stderr,
                 "usage: %s --leader-repl-port=N --data-dir=PATH [--port=N] "
                 "[--workers=N] [--queue=N] [--cache-bytes=N] [--persons=N] "
-                "[--seed=N] [--drain-ms=MS]\n",
+                "[--seed=N] [--drain-ms=MS] [--snapshot=PATH]\n",
                 argv[0]);
       return 2;
     }
@@ -98,18 +106,33 @@ int main(int argc, char** argv) {
   ::sigaction(SIGINT, &action, nullptr);
   ::sigaction(SIGTERM, &action, nullptr);
 
-  // The base KB must match the leader's byte for byte — same seeds,
-  // same harvest — so replication only has to ship the delta.
-  corpus::WorldOptions world_options;
-  world_options.seed = static_cast<uint64_t>(seed);
-  world_options.num_persons = static_cast<size_t>(persons);
-  corpus::CorpusOptions corpus_options;
-  corpus_options.seed = static_cast<uint64_t>(seed) + 1;
-  corpus::Corpus corpus = corpus::BuildCorpus(world_options, corpus_options);
-  core::Harvester harvester;
-  core::HarvestResult result = harvester.Harvest(corpus);
-  ::printf("base KB: %zu triples, %zu entities\n", result.kb.NumTriples(),
-           result.kb.NumEntities());
+  // The base KB must match the leader's — either mapped from the
+  // leader's shipped snapshot artifact, or re-derived byte for byte
+  // with the same seeds — so replication only has to ship the delta.
+  core::HarvestResult result;
+  if (!snapshot_path.empty()) {
+    auto snap = core::OpenKbSnapshot(nullptr, snapshot_path);
+    if (!snap.ok()) {
+      ::fprintf(stderr, "snapshot open failed: %s\n",
+                snap.status().ToString().c_str());
+      return 1;
+    }
+    result.kb = std::move(*core::KnowledgeBase::FromSnapshot(std::move(*snap)));
+    ::printf("base KB (snapshot %s): %zu triples, %zu entities\n",
+             snapshot_path.c_str(), result.kb.NumTriples(),
+             result.kb.NumEntities());
+  } else {
+    corpus::WorldOptions world_options;
+    world_options.seed = static_cast<uint64_t>(seed);
+    world_options.num_persons = static_cast<size_t>(persons);
+    corpus::CorpusOptions corpus_options;
+    corpus_options.seed = static_cast<uint64_t>(seed) + 1;
+    corpus::Corpus corpus = corpus::BuildCorpus(world_options, corpus_options);
+    core::Harvester harvester;
+    result = harvester.Harvest(corpus);
+    ::printf("base KB: %zu triples, %zu entities\n", result.kb.NumTriples(),
+             result.kb.NumEntities());
+  }
 
   std::unique_ptr<replication::FollowerReplica> replica;
   server::KbServer::Options options;

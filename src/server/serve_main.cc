@@ -10,6 +10,14 @@
 //                 [--persons=N] [--seed=N] [--drain-ms=MS]
 //                 [--repl-port=N] [--repl-data-dir=PATH]
 //                 [--repl-shards=N]
+//                 [--snapshot=PATH] [--write-snapshot=PATH]
+//
+// --snapshot=PATH boots the KB by mapping a FrameStore snapshot file
+// instead of harvesting — the instant-start path (milliseconds instead
+// of a full corpus build). --write-snapshot=PATH harvests as usual,
+// serializes the KB into PATH and exits 0; pair them across runs:
+//   kbforge_serve --write-snapshot=kb.kbsnap
+//   kbforge_serve --snapshot=kb.kbsnap
 //
 // With --repl-port the process runs as a replication *leader*: every
 // accepted insert is appended to a WAL-backed replication log before
@@ -32,7 +40,10 @@
 #include <string>
 #include <thread>
 
+#include <chrono>
+
 #include "core/harvester.h"
+#include "core/kb_snapshot.h"
 #include "replication/repl_log.h"
 #include "replication/wal_shipper.h"
 #include "server/kb_server.h"
@@ -73,6 +84,7 @@ int main(int argc, char** argv) {
   long persons = 400, seed = 4242, drain_ms = 2000;
   long repl_port = -1, repl_shards = 4;
   std::string repl_data_dir = "kbforge-repl-log";
+  std::string snapshot_path, write_snapshot_path;
   for (int i = 1; i < argc; ++i) {
     long v = 0;
     if (FlagValue(argv[i], "--port", &v)) port = v;
@@ -87,12 +99,15 @@ int main(int argc, char** argv) {
     else if (FlagValue(argv[i], "--repl-port", &v)) repl_port = v;
     else if (FlagValue(argv[i], "--repl-shards", &v)) repl_shards = v;
     else if (FlagString(argv[i], "--repl-data-dir", &repl_data_dir)) {
+    } else if (FlagString(argv[i], "--snapshot", &snapshot_path)) {
+    } else if (FlagString(argv[i], "--write-snapshot", &write_snapshot_path)) {
     } else {
       ::fprintf(stderr,
                 "usage: %s [--port=N] [--workers=N] [--queue=N] "
                 "[--cache-bytes=N] [--deadline-ms=MS] [--max-rows=N] "
                 "[--persons=N] [--seed=N] [--drain-ms=MS] [--repl-port=N] "
-                "[--repl-data-dir=PATH] [--repl-shards=N]\n",
+                "[--repl-data-dir=PATH] [--repl-shards=N] "
+                "[--snapshot=PATH] [--write-snapshot=PATH]\n",
                 argv[0]);
       return 2;
     }
@@ -109,17 +124,49 @@ int main(int argc, char** argv) {
   ::sigaction(SIGINT, &action, nullptr);
   ::sigaction(SIGTERM, &action, nullptr);
 
-  corpus::WorldOptions world_options;
-  world_options.seed = static_cast<uint64_t>(seed);
-  world_options.num_persons = static_cast<size_t>(persons);
-  corpus::CorpusOptions corpus_options;
-  corpus_options.seed = static_cast<uint64_t>(seed) + 1;
-  corpus::Corpus corpus = corpus::BuildCorpus(world_options, corpus_options);
-  core::Harvester harvester;
-  core::HarvestResult result = harvester.Harvest(corpus);
-  ::printf("harvested KB: %zu triples, %zu entities, %zu classes\n",
-           result.kb.NumTriples(), result.kb.NumEntities(),
-           result.kb.NumClasses());
+  core::HarvestResult result;
+  if (!snapshot_path.empty()) {
+    // Instant-start: map the snapshot artifact instead of harvesting.
+    auto start = std::chrono::steady_clock::now();
+    auto snap = core::OpenKbSnapshot(nullptr, snapshot_path);
+    if (!snap.ok()) {
+      ::fprintf(stderr, "snapshot open failed: %s\n",
+                snap.status().ToString().c_str());
+      return 1;
+    }
+    result.kb = std::move(*core::KnowledgeBase::FromSnapshot(std::move(*snap)));
+    double boot_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+    ::printf("mapped snapshot %s in %.2f ms: %zu triples, %zu entities, "
+             "%zu classes\n",
+             snapshot_path.c_str(), boot_ms, result.kb.NumTriples(),
+             result.kb.NumEntities(), result.kb.NumClasses());
+  } else {
+    corpus::WorldOptions world_options;
+    world_options.seed = static_cast<uint64_t>(seed);
+    world_options.num_persons = static_cast<size_t>(persons);
+    corpus::CorpusOptions corpus_options;
+    corpus_options.seed = static_cast<uint64_t>(seed) + 1;
+    corpus::Corpus corpus = corpus::BuildCorpus(world_options, corpus_options);
+    core::Harvester harvester;
+    result = harvester.Harvest(corpus);
+    ::printf("harvested KB: %zu triples, %zu entities, %zu classes\n",
+             result.kb.NumTriples(), result.kb.NumEntities(),
+             result.kb.NumClasses());
+  }
+  if (!write_snapshot_path.empty()) {
+    Status write_status =
+        core::WriteKbSnapshot(nullptr, write_snapshot_path, result.kb);
+    if (!write_status.ok()) {
+      ::fprintf(stderr, "snapshot write failed: %s\n",
+                write_status.ToString().c_str());
+      return 1;
+    }
+    ::printf("wrote snapshot %s (%zu triples)\n", write_snapshot_path.c_str(),
+             result.kb.NumTriples());
+    return 0;
+  }
 
   std::unique_ptr<replication::ReplicationLog> repl_log;
   server::KbServer::Options options;

@@ -1,6 +1,7 @@
 #include "storage/env.h"
 
 #include <fcntl.h>
+#include <sys/mman.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -8,6 +9,7 @@
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <utility>
 
 namespace kb {
 namespace storage {
@@ -17,6 +19,34 @@ namespace fs = std::filesystem;
 namespace {
 
 std::string ErrnoMessage() { return std::strerror(errno); }
+
+/// Heap-backed region for the portable MapReadOnly default.
+class StringRegion : public MappedRegion {
+ public:
+  explicit StringRegion(std::string bytes) : bytes_(std::move(bytes)) {}
+  const char* data() const override { return bytes_.data(); }
+  size_t size() const override { return bytes_.size(); }
+
+ private:
+  std::string bytes_;
+};
+
+/// A real mmap, unmapped on release.
+class PosixMappedRegion : public MappedRegion {
+ public:
+  PosixMappedRegion(void* addr, size_t size) : addr_(addr), size_(size) {}
+  ~PosixMappedRegion() override {
+    if (addr_ != nullptr && size_ > 0) ::munmap(addr_, size_);
+  }
+  const char* data() const override {
+    return static_cast<const char*>(addr_);
+  }
+  size_t size() const override { return size_; }
+
+ private:
+  void* addr_;
+  size_t size_;
+};
 
 /// fd-backed appendable file so Sync can reach fsync (std::ofstream
 /// exposes no file descriptor).
@@ -188,9 +218,44 @@ class PosixEnv : public Env {
     if (ec) return Status::IOError("listdir: " + path + ": " + ec.message());
     return names;
   }
+
+  StatusOr<std::unique_ptr<MappedRegion>> MapReadOnly(
+      const std::string& path) override {
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+      return Status::IOError("open for mmap: " + path + ": " +
+                             ErrnoMessage());
+    }
+    off_t size = ::lseek(fd, 0, SEEK_END);
+    if (size < 0) {
+      ::close(fd);
+      return Status::IOError("lseek: " + path + ": " + ErrnoMessage());
+    }
+    if (size == 0) {
+      ::close(fd);
+      return std::unique_ptr<MappedRegion>(new StringRegion(""));
+    }
+    void* addr = ::mmap(nullptr, static_cast<size_t>(size), PROT_READ,
+                        MAP_PRIVATE, fd, 0);
+    // The mapping holds its own reference to the inode; the fd is done.
+    ::close(fd);
+    if (addr == MAP_FAILED) {
+      return Status::IOError("mmap: " + path + ": " + ErrnoMessage());
+    }
+    return std::unique_ptr<MappedRegion>(
+        new PosixMappedRegion(addr, static_cast<size_t>(size)));
+  }
 };
 
 }  // namespace
+
+StatusOr<std::unique_ptr<MappedRegion>> Env::MapReadOnly(
+    const std::string& path) {
+  StatusOr<std::string> bytes = this->ReadFileToString(path);
+  if (!bytes.ok()) return bytes.status();
+  return std::unique_ptr<MappedRegion>(
+      new StringRegion(std::move(*bytes)));
+}
 
 Env* Env::Default() {
   static PosixEnv* env = new PosixEnv();

@@ -42,6 +42,16 @@ class WritableFile {
   virtual Status Close() = 0;
 };
 
+/// A read-only byte region pinning an open file mapping (or a heap
+/// copy of one). Releasing the region unmaps/frees the bytes, so any
+/// structure bound to data() must hold the region alive.
+class MappedRegion {
+ public:
+  virtual ~MappedRegion() = default;
+  virtual const char* data() const = 0;
+  virtual size_t size() const = 0;
+};
+
 /// The filesystem seam under the storage engine. Every byte the engine
 /// reads or writes goes through one Env, so tests can swap in a
 /// FaultInjectionEnv and exercise crash/corruption paths uniformly.
@@ -74,6 +84,13 @@ class Env {
   virtual StatusOr<std::vector<std::string>> ListDir(
       const std::string& path) = 0;
   virtual StatusOr<uint64_t> FileSize(const std::string& path) = 0;
+
+  /// Maps `path` read-only. The base implementation routes through
+  /// ReadFileToString into a heap region — deliberately, so wrappers
+  /// like FaultInjectionEnv inject read faults into mappings without
+  /// overriding this; PosixEnv overrides with a real mmap.
+  virtual StatusOr<std::unique_ptr<MappedRegion>> MapReadOnly(
+      const std::string& path);
 };
 
 /// Free-function shims over Env::Default(), kept for call sites that do

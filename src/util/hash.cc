@@ -13,22 +13,44 @@ uint64_t Hash64(const void* data, size_t n, uint64_t seed) {
 }
 
 uint32_t Crc32(const void* data, size_t n) {
-  // Table-driven, table built once on first use.
-  static const uint32_t* table = [] {
-    static uint32_t t[256];
+  // Slicing-by-8: eight derived tables let the loop fold 8 input bytes
+  // per iteration instead of 1 — snapshot attach verifies whole mmap'd
+  // files through this, so the byte-at-a-time version was the cold-
+  // start bottleneck. Same polynomial, bit-identical results.
+  using Tables = uint32_t[8][256];
+  static const Tables& tables = []() -> const Tables& {
+    static Tables t;
     for (uint32_t i = 0; i < 256; ++i) {
       uint32_t c = i;
       for (int k = 0; k < 8; ++k) {
         c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
       }
-      t[i] = c;
+      t[0][i] = c;
+    }
+    for (int k = 1; k < 8; ++k) {
+      for (uint32_t i = 0; i < 256; ++i) {
+        t[k][i] = t[0][t[k - 1][i] & 0xffu] ^ (t[k - 1][i] >> 8);
+      }
     }
     return t;
   }();
   const unsigned char* p = static_cast<const unsigned char*>(data);
   uint32_t crc = 0xffffffffu;
-  for (size_t i = 0; i < n; ++i) {
-    crc = table[(crc ^ p[i]) & 0xffu] ^ (crc >> 8);
+  while (n >= 8) {
+    // Little-endian host assumption, same as the storage codecs.
+    uint32_t lo, hi;
+    __builtin_memcpy(&lo, p, 4);
+    __builtin_memcpy(&hi, p + 4, 4);
+    crc ^= lo;
+    crc = tables[7][crc & 0xffu] ^ tables[6][(crc >> 8) & 0xffu] ^
+          tables[5][(crc >> 16) & 0xffu] ^ tables[4][crc >> 24] ^
+          tables[3][hi & 0xffu] ^ tables[2][(hi >> 8) & 0xffu] ^
+          tables[1][(hi >> 16) & 0xffu] ^ tables[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
+  for (; n > 0; --n, ++p) {
+    crc = tables[0][(crc ^ *p) & 0xffu] ^ (crc >> 8);
   }
   return crc ^ 0xffffffffu;
 }

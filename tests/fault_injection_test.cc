@@ -13,6 +13,8 @@
 
 #include "core/harvest_checkpoint.h"
 #include "core/harvester.h"
+#include "core/kb_snapshot.h"
+#include "core/knowledge_base.h"
 #include "storage/env.h"
 #include "storage/fault_injection_env.h"
 #include "storage/kv_store.h"
@@ -619,6 +621,112 @@ TEST(GroupCommitCrashTest, UnsyncedSuffixIsLostCleanlyWithoutReorder) {
   for (size_t i = 0; i < keys.size(); ++i) {
     EXPECT_EQ(keys[i], Key(static_cast<int>(i))) << "hole in prefix";
   }
+}
+
+// ------------------------------------------- snapshot torn/bit-flip
+
+core::KnowledgeBase SmallKb() {
+  core::KnowledgeBase kb;
+  core::FactMeta meta;
+  meta.confidence = 0.9;
+  meta.support = 2;
+  kb.AssertType("Steve_Jobs", "entrepreneur");
+  kb.AssertFact("Steve_Jobs", "founded", "Apple_Inc", meta);
+  kb.AssertFact("Apple_Inc", "locatedIn", "Cupertino", meta);
+  kb.AssertLabel("Steve_Jobs", "Steve Jobs", "en");
+  return kb;
+}
+
+TEST(SnapshotFaultTest, BitFlippedSnapshotIsRefusedOnOpen) {
+  FaultInjectionEnv env(Env::Default());
+  std::string dir = TempDir("snap_flip");
+  ASSERT_TRUE(env.CreateDirIfMissing(dir).ok());
+  std::string path = dir + "/kb.kbsnap";
+  core::KnowledgeBase kb = SmallKb();
+  ASSERT_TRUE(core::WriteKbSnapshot(&env, path, kb).ok());
+
+  auto size = env.FileSize(path);
+  ASSERT_TRUE(size.ok());
+  // A flip anywhere — header, section table, payload — must refuse the
+  // snapshot; OpenKbSnapshot maps through the env, so FlipBitOnRead
+  // corrupts exactly what a decaying disk would.
+  for (uint64_t offset : {uint64_t{4}, uint64_t{40}, *size / 2, *size - 1}) {
+    env.FlipBitOnRead(path, offset, 5);
+    auto snap = core::OpenKbSnapshot(&env, path);
+    EXPECT_FALSE(snap.ok()) << "offset " << offset;
+    EXPECT_TRUE(snap.status().IsCorruption() ||
+                snap.status().IsInvalidArgument())
+        << snap.status().ToString();
+    env.ClearReadCorruption();
+  }
+  // Pristine bytes attach fine afterwards.
+  auto snap = core::OpenKbSnapshot(&env, path);
+  ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+  EXPECT_EQ((*snap)->size(), kb.NumTriples());
+}
+
+TEST(SnapshotFaultTest, TornSnapshotWriteIsRefused) {
+  std::string dir = TempDir("snap_torn");
+  ASSERT_TRUE(Env::Default()->CreateDirIfMissing(dir).ok());
+  std::string path = dir + "/kb.kbsnap";
+  core::KnowledgeBase kb = SmallKb();
+  ASSERT_TRUE(core::WriteKbSnapshot(nullptr, path, kb).ok());
+  auto clean = Env::Default()->ReadFileToString(path);
+  ASSERT_TRUE(clean.ok());
+  // Every truncation point loses the snapshot, never mis-attaches: the
+  // header's file_size field cannot match a short file.
+  for (size_t cut : {size_t{0}, size_t{12}, clean->size() / 3,
+                     clean->size() - 1}) {
+    ASSERT_TRUE(
+        Env::Default()->WriteStringToFile(path, clean->substr(0, cut)).ok());
+    EXPECT_FALSE(core::OpenKbSnapshot(nullptr, path).ok()) << "cut " << cut;
+  }
+}
+
+TEST(SnapshotFaultTest, VolumeFallsBackToReplayUnderReadCorruption) {
+  FaultInjectionEnv env(Env::Default());
+  std::string dir = TempDir("snap_volume_fallback");
+  auto volume = core::KbVolume::Open(&env, dir);
+  ASSERT_TRUE(volume.ok()) << volume.status();
+
+  core::KnowledgeBase kb = SmallKb();
+  ASSERT_TRUE((*volume)->SaveDelta(kb).ok());
+  ASSERT_TRUE((*volume)->Checkpoint(&kb).ok());
+  core::FactMeta meta;
+  meta.confidence = 0.7;
+  kb.AssertFact("Apple_Inc", "created", "Macintosh", meta);
+  ASSERT_TRUE((*volume)->SaveDelta(kb).ok());
+  const std::string full = kb.ExportNTriples();
+
+  // Healthy load boots from the snapshot.
+  auto healthy = (*volume)->Load();
+  ASSERT_TRUE(healthy.ok()) << healthy.status();
+  EXPECT_TRUE(healthy->from_snapshot);
+  EXPECT_EQ(healthy->generation, 1u);
+
+  // With the snapshot's bytes rotting on read, Load must refuse it and
+  // replay delta generations 0+1 instead — same content, no snapshot.
+  env.FlipBitOnRead((*volume)->SnapshotPath(1), 64, 2);
+  auto degraded = (*volume)->Load();
+  ASSERT_TRUE(degraded.ok()) << degraded.status();
+  EXPECT_FALSE(degraded->from_snapshot);
+  EXPECT_EQ(degraded->generation, 0u);
+  ASSERT_FALSE(degraded->refused.empty());
+  EXPECT_NE(degraded->refused[0].find("snapshot-000001"), std::string::npos);
+
+  auto lines = [](const std::string& text) {
+    std::set<std::string> out;
+    size_t start = 0;
+    while (start < text.size()) {
+      size_t end = text.find('\n', start);
+      if (end == std::string::npos) end = text.size();
+      if (end > start) out.insert(text.substr(start, end - start));
+      start = end + 1;
+    }
+    return out;
+  };
+  EXPECT_EQ(lines(degraded->kb->ExportNTriples()), lines(full));
+  EXPECT_EQ(lines(healthy->kb->ExportNTriples()), lines(full));
 }
 
 // -------------------------------------------- harvester degradation

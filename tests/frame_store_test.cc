@@ -1,0 +1,418 @@
+// Frame-store snapshot tests: builder/attach round trip, hybrid
+// (base + delta) stores, corruption refusal, and the KbVolume
+// generation lifecycle with its property test against a shadow KB.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/kb_snapshot.h"
+#include "core/knowledge_base.h"
+#include "rdf/frame_store.h"
+#include "rdf/namespaces.h"
+#include "rdf/triple_store.h"
+#include "storage/env.h"
+#include "util/random.h"
+
+namespace kb {
+namespace {
+
+using rdf::FrameStore;
+using rdf::FrameStoreBuilder;
+using rdf::Term;
+using rdf::TermId;
+using rdf::Triple;
+using rdf::TriplePattern;
+
+std::string TempDir(const std::string& name) {
+  std::string path =
+      (std::filesystem::temp_directory_path() / ("kbforge_frame_" + name))
+          .string();
+  std::filesystem::remove_all(path);
+  return path;
+}
+
+/// Attaches a FrameStore to a string's bytes (the string outlives the
+/// store via the shared owner).
+StatusOr<std::shared_ptr<FrameStore>> AttachToString(std::string bytes) {
+  auto owner = std::make_shared<std::string>(std::move(bytes));
+  return FrameStore::Attach(owner->data(), owner->size(), owner);
+}
+
+/// A small dictionary exercising every term kind.
+std::vector<Term> SampleTerms() {
+  return {
+      Term::Iri(rdf::EntityIri("Steve_Jobs")),
+      Term::Iri(rdf::EntityIri("Apple_Inc")),
+      Term::Iri(rdf::PropertyIri("founded")),
+      Term::Literal("plain \"quoted\"\nvalue"),
+      Term::LangLiteral("Vienne", "fr"),
+      Term::IntLiteral(1976),
+      Term::TypedLiteral("3.14", "http://www.w3.org/2001/XMLSchema#double"),
+      Term::Blank("b1"),
+  };
+}
+
+TEST(FrameStoreTest, BuilderAttachRoundTrip) {
+  FrameStoreBuilder builder;
+  std::vector<Term> terms = SampleTerms();
+  for (size_t i = 0; i < terms.size(); ++i) {
+    EXPECT_EQ(builder.AddTerm(terms[i]), static_cast<TermId>(i + 1));
+  }
+  builder.AddTriple(Triple(1, 3, 2));
+  builder.AddTriple(Triple(2, 3, 1));
+  builder.AddTriple(Triple(1, 5, 6));
+  builder.SetEpoch(42);
+  builder.SetNumEntities(2);
+  auto bytes = builder.Serialize();
+  ASSERT_TRUE(bytes.ok()) << bytes.status();
+
+  auto store = AttachToString(*bytes);
+  ASSERT_TRUE(store.ok()) << store.status();
+  EXPECT_EQ((*store)->num_terms(), terms.size());
+  EXPECT_EQ((*store)->size(), 3u);
+  EXPECT_EQ((*store)->epoch(), 42u);
+  EXPECT_EQ((*store)->num_entities(), 2u);
+
+  for (size_t i = 0; i < terms.size(); ++i) {
+    TermId id = static_cast<TermId>(i + 1);
+    EXPECT_EQ((*store)->MaterializeTerm(id), terms[i]) << terms[i].ToString();
+    EXPECT_EQ((*store)->RenderTerm(id), terms[i].ToString());
+    EXPECT_EQ((*store)->LookupTerm(terms[i]), id);
+  }
+  EXPECT_EQ((*store)->LookupTerm(Term::Iri("http://nowhere/x")),
+            rdf::kInvalidTermId);
+
+  EXPECT_TRUE((*store)->Contains(Triple(1, 3, 2)));
+  EXPECT_FALSE((*store)->Contains(Triple(2, 3, 2)));
+}
+
+TEST(FrameStoreTest, ScansMatchAllPatternShapes) {
+  // Mirror a TripleStore and check every pattern shape agrees.
+  rdf::TripleStore model;
+  Rng rng(7);
+  std::vector<TermId> ids;
+  for (int i = 0; i < 20; ++i) {
+    ids.push_back(model.dict().InternIri(rdf::EntityIri("e" + std::to_string(i))));
+  }
+  std::set<Triple> triples;
+  for (int i = 0; i < 200; ++i) {
+    Triple t(ids[rng.Uniform(ids.size())], ids[rng.Uniform(ids.size())],
+             ids[rng.Uniform(ids.size())]);
+    model.Add(t);
+    triples.insert(t);
+  }
+  FrameStoreBuilder builder;
+  for (TermId id = 1; id <= model.dict().size(); ++id) {
+    builder.AddTerm(model.dict().term(id));
+  }
+  for (const Triple& t : triples) builder.AddTriple(t);
+  auto bytes = builder.Serialize();
+  ASSERT_TRUE(bytes.ok()) << bytes.status();
+  auto store = AttachToString(*bytes);
+  ASSERT_TRUE(store.ok()) << store.status();
+
+  auto check = [&](const TriplePattern& pattern) {
+    std::vector<Triple> expect = model.Match(pattern);
+    std::sort(expect.begin(), expect.end());
+    std::vector<Triple> got;
+    for (auto it = (*store)->NewScan(pattern); it->Valid(); it->Next()) {
+      got.push_back(it->Value());
+    }
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, expect);
+    EXPECT_EQ((*store)->EstimateCount(pattern), expect.size());
+    EXPECT_EQ((*store)->MatchFullScan(pattern).size(), expect.size());
+  };
+  TermId a = ids[3], b = ids[5];
+  check(TriplePattern{});                        // (*,*,*)
+  check(TriplePattern{a, rdf::kAnyTerm, rdf::kAnyTerm});
+  check(TriplePattern{rdf::kAnyTerm, a, rdf::kAnyTerm});
+  check(TriplePattern{rdf::kAnyTerm, rdf::kAnyTerm, a});
+  check(TriplePattern{a, b, rdf::kAnyTerm});
+  check(TriplePattern{rdf::kAnyTerm, a, b});
+  check(TriplePattern{a, rdf::kAnyTerm, b});
+  check(TriplePattern{a, a, a});
+}
+
+TEST(FrameStoreTest, TermObjectAblationMatchesIdScan) {
+  FrameStoreBuilder builder;
+  Term s = Term::Iri(rdf::EntityIri("S"));
+  Term p = Term::Iri(rdf::PropertyIri("p"));
+  Term o1 = Term::Iri(rdf::EntityIri("O1"));
+  Term o2 = Term::Iri(rdf::EntityIri("O2"));
+  builder.AddTerm(s);
+  builder.AddTerm(p);
+  builder.AddTerm(o1);
+  builder.AddTerm(o2);
+  builder.AddTriple(Triple(1, 2, 3));
+  builder.AddTriple(Triple(1, 2, 4));
+  builder.AddTriple(Triple(3, 2, 4));
+  auto bytes = builder.Serialize();
+  ASSERT_TRUE(bytes.ok());
+  auto store = AttachToString(*bytes);
+  ASSERT_TRUE(store.ok());
+
+  auto by_terms = (*store)->MatchTermObjects(&s, &p, nullptr);
+  auto by_ids =
+      (*store)->MatchFullScan(TriplePattern{1, 2, rdf::kAnyTerm});
+  std::sort(by_terms.begin(), by_terms.end());
+  std::sort(by_ids.begin(), by_ids.end());
+  EXPECT_EQ(by_terms, by_ids);
+  EXPECT_EQ(by_terms.size(), 2u);
+  EXPECT_EQ((*store)->MatchTermObjects(nullptr, nullptr, nullptr).size(), 3u);
+}
+
+TEST(FrameStoreTest, CorruptionIsRefused) {
+  FrameStoreBuilder builder;
+  for (const Term& t : SampleTerms()) builder.AddTerm(t);
+  builder.AddTriple(Triple(1, 3, 2));
+  auto bytes = builder.Serialize();
+  ASSERT_TRUE(bytes.ok());
+  ASSERT_TRUE(AttachToString(*bytes).ok());  // pristine attaches
+
+  // Truncation (torn write): never attaches at any cut point.
+  for (size_t cut : {size_t{0}, size_t{7}, size_t{55}, bytes->size() - 1}) {
+    EXPECT_FALSE(AttachToString(bytes->substr(0, cut)).ok()) << cut;
+  }
+  // Single-bit flips across the file: header, section table, term
+  // records, arena, runs — every one must be caught by a checksum.
+  for (size_t off = 0; off < bytes->size(); off += 13) {
+    std::string corrupt = *bytes;
+    corrupt[off] = static_cast<char>(corrupt[off] ^ 0x10);
+    EXPECT_FALSE(AttachToString(corrupt).ok()) << "offset " << off;
+  }
+}
+
+TEST(HybridStoreTest, DeltaStaysDisjointAndReadsMerge) {
+  FrameStoreBuilder builder;
+  builder.AddTerm(Term::Iri(rdf::EntityIri("A")));
+  builder.AddTerm(Term::Iri(rdf::PropertyIri("p")));
+  builder.AddTerm(Term::Iri(rdf::EntityIri("B")));
+  builder.AddTriple(Triple(1, 2, 3));
+  auto bytes = builder.Serialize();
+  ASSERT_TRUE(bytes.ok());
+  auto base = AttachToString(*bytes);
+  ASSERT_TRUE(base.ok());
+
+  rdf::TripleStore hybrid(*base);
+  // Base terms resolve to their snapshot ids; new terms go above.
+  EXPECT_EQ(hybrid.dict().InternIri(rdf::EntityIri("A")), 1u);
+  EXPECT_EQ(hybrid.dict().base_size(), 3u);
+  TermId c = hybrid.dict().InternIri(rdf::EntityIri("C"));
+  EXPECT_EQ(c, 4u);
+  EXPECT_EQ(hybrid.dict().term(c).value(), rdf::EntityIri("C"));
+  EXPECT_EQ(hybrid.dict().term(1).value(), rdf::EntityIri("A"));
+
+  // Re-adding a base triple is a no-op; new triples land in the delta.
+  EXPECT_FALSE(hybrid.Add(Triple(1, 2, 3)));
+  EXPECT_TRUE(hybrid.Add(Triple(1, 2, c)));
+  EXPECT_TRUE(hybrid.Add(Triple(3, 2, c)));
+  EXPECT_EQ(hybrid.size(), 3u);
+  EXPECT_TRUE(hybrid.Contains(Triple(1, 2, 3)));
+  EXPECT_TRUE(hybrid.Contains(Triple(1, 2, c)));
+
+  // Merged scan covers both sides, in order, without duplicates.
+  std::vector<Triple> all;
+  for (auto it = hybrid.NewScan(TriplePattern{}); it->Valid(); it->Next()) {
+    all.push_back(it->Value());
+  }
+  std::vector<Triple> expect = {Triple(1, 2, 3), Triple(1, 2, c),
+                                Triple(3, 2, c)};
+  EXPECT_EQ(all, expect);
+  EXPECT_EQ(hybrid.EstimateCount(TriplePattern{1, 2, rdf::kAnyTerm}), 2u);
+  EXPECT_EQ(hybrid.Match(TriplePattern{rdf::kAnyTerm, 2, c}).size(), 2u);
+}
+
+// --------------------------------------------------- KbVolume lifecycle
+
+core::FactMeta MetaWith(double confidence, uint32_t support) {
+  core::FactMeta meta;
+  meta.confidence = confidence;
+  meta.support = support;
+  return meta;
+}
+
+std::multiset<std::string> Lines(const std::string& ntriples) {
+  std::multiset<std::string> lines;
+  std::istringstream in(ntriples);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.insert(line);
+  }
+  return lines;
+}
+
+TEST(KbVolumeTest, CheckpointPreservesContentEpochAndMeta) {
+  std::string dir = TempDir("checkpoint");
+  auto volume = core::KbVolume::Open(nullptr, dir);
+  ASSERT_TRUE(volume.ok()) << volume.status();
+
+  core::KnowledgeBase kb;
+  kb.AssertType("Steve_Jobs", "entrepreneur");
+  kb.AssertFact("Steve_Jobs", "founded", "Apple_Inc", MetaWith(0.9, 2));
+  kb.AssertLabel("Steve_Jobs", "Steve Jobs", "en");
+  kb.AssertYearFact("Apple_Inc", "foundedYear", 1976, MetaWith(1.0, 1));
+  const std::string before = kb.ExportNTriples();
+  const uint64_t epoch_before = kb.epoch();
+  const size_t entities_before = kb.NumEntities();
+
+  auto gen = (*volume)->Checkpoint(&kb);
+  ASSERT_TRUE(gen.ok()) << gen.status();
+  EXPECT_EQ(*gen, 1u);
+  // The swapped KB reads identically: content, epoch, entity count.
+  EXPECT_EQ(Lines(kb.ExportNTriples()), Lines(before));
+  EXPECT_EQ(kb.epoch(), epoch_before);
+  EXPECT_EQ(kb.NumEntities(), entities_before);
+  ASSERT_NE(kb.store().base(), nullptr);
+  EXPECT_EQ(kb.store().Snapshot()->size(), 0u) << "delta must be empty";
+
+  // Packed metadata serves through MetaOf and merges on re-assert.
+  Triple t(kb.EntityTerm("Steve_Jobs"), kb.PropertyTerm("founded"),
+           kb.EntityTerm("Apple_Inc"));
+  const core::FactMeta* meta = kb.MetaOf(t);
+  ASSERT_NE(meta, nullptr);
+  EXPECT_DOUBLE_EQ(meta->confidence, 0.9);
+  EXPECT_EQ(meta->support, 2u);
+  EXPECT_FALSE(kb.AssertFact("Steve_Jobs", "founded", "Apple_Inc",
+                             MetaWith(0.5, 3)));
+  meta = kb.MetaOf(t);
+  ASSERT_NE(meta, nullptr);
+  EXPECT_DOUBLE_EQ(meta->confidence, 0.9);  // max
+  EXPECT_EQ(meta->support, 5u);             // summed
+
+  // Taxonomy survives the swap.
+  EXPECT_GE(kb.NumClasses(), 1u);
+}
+
+TEST(KbVolumeTest, LoadReplaysWritesFromEveryGeneration) {
+  std::string dir = TempDir("generations");
+  auto volume = core::KbVolume::Open(nullptr, dir);
+  ASSERT_TRUE(volume.ok());
+
+  core::KnowledgeBase kb;
+  kb.AssertFact("A", "knows", "B", MetaWith(0.8, 1));
+  ASSERT_TRUE((*volume)->SaveDelta(kb).ok());
+  auto gen = (*volume)->Checkpoint(&kb);
+  ASSERT_TRUE(gen.ok()) << gen.status();
+  kb.AssertFact("B", "knows", "C", MetaWith(0.7, 1));
+  ASSERT_TRUE((*volume)->SaveDelta(kb).ok());
+  const std::string full = kb.ExportNTriples();
+
+  // A fresh volume handle loads snapshot gen 1 + delta gen 1.
+  auto reopened = core::KbVolume::Open(nullptr, dir);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->current_generation(), 1u);
+  auto loaded = (*reopened)->Load();
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_TRUE(loaded->from_snapshot);
+  EXPECT_EQ(loaded->generation, 1u);
+  EXPECT_TRUE(loaded->refused.empty());
+  EXPECT_EQ(Lines(loaded->kb->ExportNTriples()), Lines(full));
+  const core::FactMeta* meta = loaded->kb->MetaOf(
+      Triple(loaded->kb->EntityTerm("A"), loaded->kb->PropertyTerm("knows"),
+             loaded->kb->EntityTerm("B")));
+  ASSERT_NE(meta, nullptr);
+  EXPECT_DOUBLE_EQ(meta->confidence, 0.8);
+}
+
+TEST(KbVolumeTest, CorruptSnapshotFallsBackToReplay) {
+  std::string dir = TempDir("fallback");
+  auto volume = core::KbVolume::Open(nullptr, dir);
+  ASSERT_TRUE(volume.ok());
+
+  core::KnowledgeBase kb;
+  kb.AssertFact("A", "knows", "B", MetaWith(0.8, 1));
+  kb.AssertType("A", "person");
+  ASSERT_TRUE((*volume)->SaveDelta(kb).ok());
+  ASSERT_TRUE((*volume)->Checkpoint(&kb).ok());
+  kb.AssertFact("B", "knows", "C", MetaWith(0.7, 1));
+  ASSERT_TRUE((*volume)->SaveDelta(kb).ok());
+  const std::string full = kb.ExportNTriples();
+
+  // Flip one bit in the middle of the published snapshot.
+  const std::string snap_path = (*volume)->SnapshotPath(1);
+  auto bytes = storage::ReadFileToString(snap_path);
+  ASSERT_TRUE(bytes.ok());
+  (*bytes)[bytes->size() / 2] ^= 0x20;
+  ASSERT_TRUE(storage::WriteStringToFile(snap_path, *bytes).ok());
+
+  auto loaded = (*volume)->Load();
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_FALSE(loaded->from_snapshot);
+  EXPECT_EQ(loaded->generation, 0u);
+  ASSERT_EQ(loaded->refused.size(), 1u);
+  EXPECT_NE(loaded->refused[0].find("snapshot-000001"), std::string::npos);
+  // Replay of delta-000000 + delta-000001 reproduces the full KB.
+  EXPECT_EQ(Lines(loaded->kb->ExportNTriples()), Lines(full));
+  EXPECT_GE(loaded->kb->NumClasses(), 1u);
+  EXPECT_EQ(loaded->kb->NumEntities(), kb.NumEntities());
+}
+
+// Property test: random insert / save / checkpoint / reload
+// interleavings keep the volume KB multiset-identical to a shadow KB
+// that never touches the snapshot machinery.
+TEST(KbVolumeTest, RandomInterleavingsMatchShadowStore) {
+  Rng rng(20260808);
+  for (int round = 0; round < 3; ++round) {
+    std::string dir = TempDir("prop" + std::to_string(round));
+    auto volume = core::KbVolume::Open(nullptr, dir);
+    ASSERT_TRUE(volume.ok());
+    auto kb = std::make_unique<core::KnowledgeBase>();
+    core::KnowledgeBase shadow;
+
+    auto entity = [&](Rng& r) { return "E" + std::to_string(r.Uniform(12)); };
+    auto property = [&](Rng& r) { return "p" + std::to_string(r.Uniform(4)); };
+    bool dirty = false;  // unsaved writes since the last SaveDelta
+    for (int step = 0; step < 120; ++step) {
+      uint64_t action = rng.Uniform(100);
+      if (action < 70) {
+        std::string s = entity(rng), p = property(rng), o = entity(rng);
+        core::FactMeta meta = MetaWith(0.5 + 0.5 * rng.UniformDouble(),
+                                       1 + rng.Uniform(3));
+        kb->AssertFact(s, p, o, meta);
+        shadow.AssertFact(s, p, o, meta);
+        dirty = true;
+      } else if (action < 80) {
+        std::string e = entity(rng), c = "C" + std::to_string(rng.Uniform(3));
+        kb->AssertType(e, c);
+        shadow.AssertType(e, c);
+        dirty = true;
+      } else if (action < 90) {
+        ASSERT_TRUE((*volume)->SaveDelta(*kb).ok());
+        dirty = false;
+      } else if (action < 95) {
+        auto gen = (*volume)->Checkpoint(kb.get());
+        ASSERT_TRUE(gen.ok()) << gen.status();
+        dirty = false;
+      } else {
+        // Reload from disk; whatever was not saved is legitimately
+        // lost, so flush first to keep the shadow comparable.
+        ASSERT_TRUE((*volume)->SaveDelta(*kb).ok());
+        dirty = false;
+        auto loaded = (*volume)->Load();
+        ASSERT_TRUE(loaded.ok()) << loaded.status();
+        EXPECT_TRUE(loaded->refused.empty());
+        kb = std::move(loaded->kb);
+        ASSERT_EQ(Lines(kb->ExportNTriples()),
+                  Lines(shadow.ExportNTriples()))
+            << "round " << round << " step " << step;
+      }
+    }
+    if (dirty) ASSERT_TRUE((*volume)->SaveDelta(*kb).ok());
+    // Final reload must equal the shadow exactly.
+    auto loaded = (*volume)->Load();
+    ASSERT_TRUE(loaded.ok()) << loaded.status();
+    EXPECT_EQ(Lines(loaded->kb->ExportNTriples()),
+              Lines(shadow.ExportNTriples()));
+    EXPECT_EQ(loaded->kb->NumTriples(), shadow.NumTriples());
+  }
+}
+
+}  // namespace
+}  // namespace kb

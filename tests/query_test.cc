@@ -288,6 +288,31 @@ TEST_F(QueryFixture, LimitPushdownAblation) {
   EXPECT_EQ(without_stats.intermediate_rows, store_.size());
 }
 
+TEST_F(QueryFixture, MaterializeTermsAblationChangesNothingButCounters) {
+  // The E17 term-object ablation drags every visited triple's three
+  // Terms off the heap; results and row order must be identical to the
+  // id-native path, only the materialization counter moves.
+  SelectQuery q;
+  q.where.push_back({QueryTerm::Var("p"), QueryTerm::Bound(works_for_),
+                     QueryTerm::Var("c")});
+  q.where.push_back({QueryTerm::Var("c"), QueryTerm::Bound(type_),
+                     QueryTerm::Bound(company_)});
+  QueryEngine engine(&store_);
+  ExecutionOptions id_native;
+  ExecutionOptions term_objects;
+  term_objects.materialize_terms = &store_.dict();
+  QueryStats id_stats, term_stats;
+  auto id_rows = engine.Execute(q, id_native, &id_stats);
+  auto term_rows = engine.Execute(q, term_objects, &term_stats);
+  EXPECT_EQ(id_rows, term_rows);
+  EXPECT_EQ(id_rows.size(), 3u);
+  EXPECT_EQ(id_stats.terms_materialized, 0u);
+  // Three terms per visited triple, across scan and join levels.
+  EXPECT_EQ(term_stats.terms_materialized,
+            3 * term_stats.intermediate_rows);
+  EXPECT_GT(term_stats.terms_materialized, 0u);
+}
+
 // ----------------------------------------------------------- Plan cache
 
 TEST_F(QueryFixture, PlanCacheHitsOnRepeatedShape) {

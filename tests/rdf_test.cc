@@ -1,9 +1,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <set>
+#include <thread>
+#include <vector>
 
 #include "rdf/dictionary.h"
+#include "rdf/frame_store.h"
 #include "rdf/namespaces.h"
 #include "rdf/ntriples.h"
 #include "rdf/term.h"
@@ -253,6 +257,188 @@ TEST(NTriplesTest, LiteralWithDotAndSpaces) {
       "<http://a> <http://b> \"ends with . dot \\\" q\" .\n";
   ASSERT_TRUE(ReadNTriples(line, &store).ok());
   EXPECT_EQ(store.size(), 1u);
+}
+
+// ------------------------------------- Term round-trip property test
+
+/// Random literal value stressing every escape ToString knows about
+/// (backslash, quote, newline, tab, carriage return) plus plain text.
+std::string RandomLiteralValue(Rng* rng) {
+  static const char* kPieces[] = {"a", "Z", " ", "0", "é", "界",
+                                  "\\", "\"", "\n", "\t", "\r",
+                                  ".", ">", "@", "^^"};
+  size_t len = rng->Uniform(12);
+  std::string out;
+  for (size_t i = 0; i < len; ++i) {
+    out += kPieces[rng->Uniform(sizeof(kPieces) / sizeof(kPieces[0]))];
+  }
+  return out;
+}
+
+/// Random IRI body: IRIs are not escaped in ToString, so the value must
+/// avoid the delimiters themselves.
+std::string RandomIriValue(Rng* rng) {
+  static const char kAlphabet[] =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+      "/_-.#?&=%:~";
+  std::string out = "http://kbforge.org/";
+  size_t len = 1 + rng->Uniform(24);
+  for (size_t i = 0; i < len; ++i) {
+    out += kAlphabet[rng->Uniform(sizeof(kAlphabet) - 1)];
+  }
+  return out;
+}
+
+std::string RandomLangTag(Rng* rng) {
+  static const char* kTags[] = {"en",      "fr", "de", "zh",
+                                "en-US",   "pt-BR"};
+  return kTags[rng->Uniform(sizeof(kTags) / sizeof(kTags[0]))];
+}
+
+Term RandomTerm(Rng* rng) {
+  switch (rng->Uniform(6)) {
+    case 0: return Term::Iri(RandomIriValue(rng));
+    case 1: return Term::Literal(RandomLiteralValue(rng));
+    case 2: return Term::LangLiteral(RandomLiteralValue(rng),
+                                     RandomLangTag(rng));
+    case 3: return Term::TypedLiteral(RandomLiteralValue(rng),
+                                      RandomIriValue(rng));
+    case 4: return Term::IntLiteral(static_cast<int64_t>(rng->Uniform(1u << 30)) -
+                                    (1 << 29));
+    default: return Term::Blank("b" + std::to_string(rng->Uniform(1000)));
+  }
+}
+
+TEST(TermTest, ParseToStringRoundTripProperty) {
+  Rng rng(0xE17);
+  for (int i = 0; i < 2000; ++i) {
+    Term t = RandomTerm(&rng);
+    std::string text = t.ToString();
+    auto parsed = Term::Parse(text);
+    ASSERT_TRUE(parsed.ok()) << text << ": " << parsed.status().ToString();
+    EXPECT_EQ(*parsed, t) << text;
+    // ToString is canonical: re-rendering the parse is byte-identical.
+    EXPECT_EQ(parsed->ToString(), text);
+  }
+}
+
+// ------------------------------- dictionary persistence + concurrency
+
+TEST(DictionaryTest, FrameStorePersistenceKeepsIdsStable) {
+  // Intern a corpus, persist through a FrameStore, re-layer a
+  // Dictionary on top: every pre-snapshot id must resolve to the same
+  // term, and re-interning the same term must return the same id.
+  Rng rng(99);
+  Dictionary dict;
+  std::vector<Term> corpus;
+  for (int i = 0; i < 300; ++i) {
+    Term t = RandomTerm(&rng);
+    TermId id = dict.Intern(t);
+    if (id == corpus.size() + 1) corpus.push_back(t);  // first sighting
+  }
+  FrameStoreBuilder builder;
+  for (TermId id = 1; id <= dict.size(); ++id) {
+    ASSERT_EQ(builder.AddTerm(dict.term(id)), id);
+  }
+  auto bytes = builder.Serialize();
+  ASSERT_TRUE(bytes.ok()) << bytes.status();
+  auto owner = std::make_shared<std::string>(std::move(*bytes));
+  auto store = FrameStore::Attach(owner->data(), owner->size(), owner);
+  ASSERT_TRUE(store.ok()) << store.status();
+
+  Dictionary reopened(*store);
+  ASSERT_EQ(reopened.size(), corpus.size());
+  for (TermId id = 1; id <= corpus.size(); ++id) {
+    EXPECT_EQ(reopened.term(id), corpus[id - 1]);
+    EXPECT_EQ(reopened.Lookup(corpus[id - 1]), id);
+    EXPECT_EQ(reopened.Intern(corpus[id - 1]), id);  // no re-assignment
+  }
+  // New terms go strictly above the persisted range.
+  TermId fresh = reopened.InternIri("http://kbforge.org/entity/Fresh");
+  EXPECT_EQ(fresh, corpus.size() + 1);
+  EXPECT_EQ(reopened.base_size(), corpus.size());
+}
+
+TEST(DictionaryTest, ConcurrentLookupsDuringInterning) {
+  // One writer interning a stream of new terms while readers hammer
+  // Lookup/term on everything interned so far — the contract the KB
+  // relies on (queries overlap in-flight asserts). Run under
+  // TSan/ASan in CI.
+  Dictionary dict;
+  constexpr int kTerms = 4000;
+  std::atomic<TermId> published{0};
+  std::atomic<bool> failed{false};
+
+  std::thread writer([&] {
+    for (int i = 0; i < kTerms; ++i) {
+      TermId id = dict.InternIri(rdf::EntityIri("W" + std::to_string(i)));
+      published.store(id, std::memory_order_release);
+    }
+  });
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 4; ++r) {
+    readers.emplace_back([&, r] {
+      Rng rng(1000 + r);
+      while (published.load(std::memory_order_acquire) <
+             static_cast<TermId>(kTerms)) {
+        TermId upto = published.load(std::memory_order_acquire);
+        if (upto == 0) continue;
+        TermId id = static_cast<TermId>(1 + rng.Uniform(upto));
+        const Term& t = dict.term(id);
+        if (t.kind() != TermKind::kIri ||
+            dict.Lookup(t) != id) {
+          failed.store(true);
+          break;
+        }
+      }
+    });
+  }
+  writer.join();
+  for (auto& t : readers) t.join();
+  EXPECT_FALSE(failed.load());
+  EXPECT_EQ(dict.size(), static_cast<size_t>(kTerms));
+}
+
+TEST(DictionaryTest, ConcurrentReadsOverCatalogBase) {
+  // Same hammer, but layered over an immutable FrameStore catalog: the
+  // readers exercise the lock-free CAS-published base-term cache while
+  // the writer extends the overlay.
+  FrameStoreBuilder builder;
+  constexpr int kBase = 500;
+  for (int i = 0; i < kBase; ++i) {
+    builder.AddTerm(Term::Iri(rdf::EntityIri("B" + std::to_string(i))));
+  }
+  auto bytes = builder.Serialize();
+  ASSERT_TRUE(bytes.ok());
+  auto owner = std::make_shared<std::string>(std::move(*bytes));
+  auto store = FrameStore::Attach(owner->data(), owner->size(), owner);
+  ASSERT_TRUE(store.ok()) << store.status();
+
+  Dictionary dict(*store);
+  std::atomic<bool> stop{false};
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 4; ++r) {
+    readers.emplace_back([&, r] {
+      Rng rng(2000 + r);
+      while (!stop.load(std::memory_order_acquire)) {
+        TermId id = static_cast<TermId>(1 + rng.Uniform(kBase));
+        const Term& t = dict.term(id);
+        if (t.value() != rdf::EntityIri("B" + std::to_string(id - 1)) ||
+            dict.Lookup(t) != id) {
+          failed.store(true);
+          return;
+        }
+      }
+    });
+  }
+  for (int i = 0; i < 2000; ++i) {
+    dict.InternIri(rdf::EntityIri("O" + std::to_string(i)));
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+  EXPECT_FALSE(failed.load());
+  EXPECT_EQ(dict.size(), static_cast<size_t>(kBase + 2000));
 }
 
 }  // namespace

@@ -20,10 +20,12 @@
 #include <functional>
 #include <memory>
 #include <set>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "core/kb_snapshot.h"
 #include "core/knowledge_base.h"
 #include "rdf/namespaces.h"
 #include "replication/follower.h"
@@ -146,8 +148,18 @@ struct Leader {
 struct Follower {
   Follower(int leader_repl_port, const std::string& dir,
            storage::Env* env = nullptr, int port = 0,
-           bool start_replication = true) {
-    kb = MakeBaseKb();
+           bool start_replication = true,
+           const std::string& snapshot_path = std::string()) {
+    if (!snapshot_path.empty()) {
+      // Instant-start bootstrap: map the leader's shipped snapshot
+      // instead of re-deriving the base KB. Term ids line up with the
+      // leader's, so WAL application proceeds unchanged.
+      auto snap = core::OpenKbSnapshot(env, snapshot_path);
+      EXPECT_TRUE(snap.ok()) << snap.status();
+      kb = std::move(*core::KnowledgeBase::FromSnapshot(std::move(*snap)));
+    } else {
+      kb = MakeBaseKb();
+    }
     KbServer::Options server_options;
     server_options.port = port;
     server_options.num_workers = 8;  // router workers + health + direct
@@ -354,6 +366,48 @@ TEST(ReplicationTest, FollowerCatchesUpAndServesReads) {
   EXPECT_EQ(health->GetString("role"), "follower");
   EXPECT_GE(static_cast<uint64_t>(health->GetNumber("applied_epoch")),
             leader_epoch);
+}
+
+TEST(ReplicationTest, FollowerBootstrapsFromShippedSnapshot) {
+  // Ship the leader's base KB as a FrameStore snapshot; the follower
+  // maps it instead of re-harvesting, then catches up from the WAL
+  // tail. Term ids come straight from the snapshot, so the shipped
+  // facts land on the same ids as on the leader.
+  Leader leader(TempDir("snap_leader"));
+  std::string snap_dir = TempDir("snap_artifact");
+  ASSERT_TRUE(storage::Env::Default()->CreateDirIfMissing(snap_dir).ok());
+  std::string snap_path = snap_dir + "/base.kbsnap";
+  ASSERT_TRUE(core::WriteKbSnapshot(nullptr, snap_path, leader.kb).ok());
+
+  leader.Insert(0, 60);
+  Follower follower(leader.shipper->port(), TempDir("snap_follower"),
+                    /*env=*/nullptr, /*port=*/0, /*start_replication=*/true,
+                    snap_path);
+  ASSERT_NE(follower.kb.store().base(), nullptr) << "not snapshot-backed";
+  const uint64_t leader_epoch = leader.kb.epoch();
+  ASSERT_TRUE(WaitFor(
+      [&] { return follower.replica->applied_epoch() >= leader_epoch; },
+      5000))
+      << "follower stuck at epoch " << follower.replica->applied_epoch();
+
+  KbClient client;
+  ASSERT_TRUE(client.Connect(follower.server->port()).ok());
+  EXPECT_EQ(CountRows(&client, WorksForQuery("Globex")), 60u);
+  EXPECT_EQ(CountRows(&client, WorksForQuery("Acme_Corp")), 1u);
+
+  // Byte-for-byte convergence with the leader, snapshot base included.
+  std::set<std::string> leader_lines, follower_lines;
+  {
+    std::istringstream in(leader.kb.ExportNTriples());
+    std::string line;
+    while (std::getline(in, line)) leader_lines.insert(line);
+  }
+  {
+    std::istringstream in(follower.kb.ExportNTriples());
+    std::string line;
+    while (std::getline(in, line)) follower_lines.insert(line);
+  }
+  EXPECT_EQ(follower_lines, leader_lines);
 }
 
 TEST(ReplicationTest, LateJoinerBootstrapsFromRetainedGenerations) {
