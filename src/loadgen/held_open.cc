@@ -1,0 +1,344 @@
+#include "loadgen/held_open.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace kb {
+namespace loadgen {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct ConnState {
+  int fd = -1;
+  bool connecting = false;  ///< non-blocking connect still in flight
+  bool dead = false;
+  uint64_t next_op = 0;     ///< next global op index on this connection
+  std::string wbuf;
+  size_t wpos = 0;
+  std::string rbuf;
+  size_t rpos = 0;
+  std::deque<Clock::time_point> inflight;  ///< intended starts, FIFO
+};
+
+void AppendFrame(std::string* out, const std::string& payload) {
+  uint32_t len = static_cast<uint32_t>(payload.size());
+  out->push_back(static_cast<char>((len >> 24) & 0xff));
+  out->push_back(static_cast<char>((len >> 16) & 0xff));
+  out->push_back(static_cast<char>((len >> 8) & 0xff));
+  out->push_back(static_cast<char>(len & 0xff));
+  out->append(payload);
+}
+
+bool StartConnect(ConnState* conn, int port) {
+  conn->fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (conn->fd < 0) return false;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  int rc = ::connect(conn->fd, reinterpret_cast<sockaddr*>(&addr),
+                     sizeof(addr));
+  if (rc == 0) {
+    int one = 1;
+    ::setsockopt(conn->fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return true;
+  }
+  if (errno == EINPROGRESS) {
+    conn->connecting = true;
+    return true;
+  }
+  ::close(conn->fd);
+  conn->fd = -1;
+  return false;
+}
+
+/// One driver thread's shard of the run.
+struct Shard {
+  uint64_t issued = 0;
+  uint64_t completed = 0;
+  uint64_t errors = 0;
+  uint64_t sheds = 0;
+  uint64_t lost = 0;
+  uint64_t dead = 0;
+};
+
+void KillConn(ConnState* conn, Shard* shard) {
+  if (conn->dead) return;
+  conn->dead = true;
+  ++shard->dead;
+  shard->lost += conn->inflight.size();
+  conn->inflight.clear();
+  if (conn->fd >= 0) {
+    ::close(conn->fd);
+    conn->fd = -1;
+  }
+}
+
+/// Consumes complete response frames from conn->rbuf. Classification
+/// is a cheap substring probe, not a JSON parse — at hundreds of
+/// thousands of responses the parse would dominate the driver.
+void ConsumeResponses(ConnState* conn, Shard* shard, Histogram* latency_ms,
+                      Clock::time_point now) {
+  for (;;) {
+    size_t avail = conn->rbuf.size() - conn->rpos;
+    if (avail < 4) break;
+    const unsigned char* p =
+        reinterpret_cast<const unsigned char*>(conn->rbuf.data() + conn->rpos);
+    uint32_t len = (static_cast<uint32_t>(p[0]) << 24) |
+                   (static_cast<uint32_t>(p[1]) << 16) |
+                   (static_cast<uint32_t>(p[2]) << 8) |
+                   static_cast<uint32_t>(p[3]);
+    if (avail - 4 < len) break;
+    const char* body = conn->rbuf.data() + conn->rpos + 4;
+    conn->rpos += 4 + static_cast<size_t>(len);
+    if (conn->inflight.empty()) continue;  // unsolicited (shed race)
+    Clock::time_point intended = conn->inflight.front();
+    conn->inflight.pop_front();
+    std::string_view view(body, len);
+    if (view.find("\"status\":\"ok\"") != std::string_view::npos) {
+      ++shard->completed;
+      if (latency_ms != nullptr) {
+        latency_ms->Observe(
+            std::chrono::duration<double, std::milli>(now - intended).count());
+      }
+    } else {
+      ++shard->errors;
+      if (view.find("overloaded") != std::string_view::npos) ++shard->sheds;
+    }
+  }
+  if (conn->rpos == conn->rbuf.size()) {
+    conn->rbuf.clear();
+    conn->rpos = 0;
+  } else if (conn->rpos >= 4096) {
+    conn->rbuf.erase(0, conn->rpos);
+    conn->rpos = 0;
+  }
+}
+
+}  // namespace
+
+HeldOpenResult RunHeldOpen(const HeldOpenOptions& options,
+                           Histogram* latency_ms) {
+  KB_CHECK(options.target_ops_per_sec > 0);
+  KB_CHECK(options.num_connections > 0);
+  KB_CHECK(options.num_threads > 0);
+  KB_CHECK(options.make_request != nullptr);
+
+  const uint64_t num_ops = options.num_ops;
+  const size_t num_conns = options.num_connections;
+  const int threads =
+      static_cast<int>(std::min<size_t>(
+          static_cast<size_t>(options.num_threads), num_conns));
+  const auto interval = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(1.0 / options.target_ops_per_sec));
+  const auto start = Clock::now();
+  const auto issue_deadline = start + interval * static_cast<int64_t>(num_ops);
+  const auto hard_deadline =
+      issue_deadline + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double, std::milli>(
+                               options.drain_timeout_ms));
+  const auto connect_deadline =
+      start + std::chrono::duration_cast<Clock::duration>(
+                  std::chrono::duration<double, std::milli>(
+                      options.connect_timeout_ms));
+
+  std::vector<Shard> shards(static_cast<size_t>(threads));
+  std::vector<std::thread> drivers;
+  drivers.reserve(static_cast<size_t>(threads));
+
+  for (int t = 0; t < threads; ++t) {
+    drivers.emplace_back([&, t] {
+      Shard* shard = &shards[static_cast<size_t>(t)];
+      // Connection c is owned by thread c % T and carries global ops
+      // c, c+C, c+2C, ... of the shared schedule.
+      std::vector<ConnState> conns;
+      for (size_t c = static_cast<size_t>(t); c < num_conns;
+           c += static_cast<size_t>(threads)) {
+        ConnState conn;
+        conn.next_op = c;
+        if (!StartConnect(&conn, options.port)) {
+          conn.dead = true;
+          ++shard->dead;
+        }
+        conns.push_back(std::move(conn));
+      }
+      std::vector<pollfd> pfds;
+      pfds.reserve(conns.size());
+      std::vector<size_t> pfd_conn;
+      pfd_conn.reserve(conns.size());
+
+      for (;;) {
+        auto now = Clock::now();
+        if (now >= hard_deadline) break;
+        bool anything_live = false;
+        bool anything_due_later = false;
+        auto next_due = hard_deadline;
+
+        for (ConnState& conn : conns) {
+          if (conn.dead || conn.connecting) {
+            if (conn.connecting) {
+              anything_live = true;
+              if (now >= connect_deadline) KillConn(&conn, shard);
+            }
+            continue;
+          }
+          // Enqueue every op that is due, up to the pipeline cap. Ops
+          // held back by the cap keep their original intended start,
+          // so the delay is charged to the server.
+          while (conn.next_op < num_ops &&
+                 conn.inflight.size() < options.max_pipeline) {
+            auto intended =
+                start + interval * static_cast<int64_t>(conn.next_op);
+            if (intended > now) {
+              anything_due_later = true;
+              next_due = std::min(next_due, intended);
+              break;
+            }
+            AppendFrame(&conn.wbuf, options.make_request(conn.next_op));
+            conn.inflight.push_back(intended);
+            ++shard->issued;
+            conn.next_op += num_conns;
+          }
+          if (conn.next_op < num_ops || !conn.inflight.empty()) {
+            anything_live = true;
+          }
+          // Flush pending writes.
+          while (conn.wpos < conn.wbuf.size()) {
+            ssize_t n = ::send(conn.fd, conn.wbuf.data() + conn.wpos,
+                               conn.wbuf.size() - conn.wpos,
+                               MSG_NOSIGNAL | MSG_DONTWAIT);
+            if (n > 0) {
+              conn.wpos += static_cast<size_t>(n);
+            } else if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+              break;
+            } else if (n < 0 && errno == EINTR) {
+              continue;
+            } else {
+              // EPIPE/ECONNRESET: drain whatever responses are already
+              // buffered (a shed frame, tail responses) before burying
+              // the connection.
+              break;
+            }
+          }
+          if (conn.wpos == conn.wbuf.size()) {
+            conn.wbuf.clear();
+            conn.wpos = 0;
+          }
+          // Drain responses.
+          char buf[16 * 1024];
+          for (;;) {
+            ssize_t n = ::recv(conn.fd, buf, sizeof(buf), MSG_DONTWAIT);
+            if (n > 0) {
+              conn.rbuf.append(buf, static_cast<size_t>(n));
+              if (n < static_cast<ssize_t>(sizeof(buf))) break;
+            } else if (n == 0) {
+              ConsumeResponses(&conn, shard, latency_ms, Clock::now());
+              KillConn(&conn, shard);
+              break;
+            } else if (errno == EINTR) {
+              continue;
+            } else if (errno == EAGAIN || errno == EWOULDBLOCK) {
+              break;
+            } else {
+              ConsumeResponses(&conn, shard, latency_ms, Clock::now());
+              KillConn(&conn, shard);
+              break;
+            }
+          }
+          if (conn.dead) continue;
+          ConsumeResponses(&conn, shard, latency_ms, Clock::now());
+        }
+
+        if (!anything_live && !anything_due_later) break;
+
+        // Sleep in poll until a socket is ready or the next op is due.
+        pfds.clear();
+        pfd_conn.clear();
+        for (size_t ci = 0; ci < conns.size(); ++ci) {
+          ConnState& conn = conns[ci];
+          if (conn.dead) continue;
+          short events = 0;
+          if (conn.connecting || conn.wpos < conn.wbuf.size()) {
+            events |= POLLOUT;
+          }
+          if (!conn.inflight.empty()) events |= POLLIN;
+          if (events == 0) continue;
+          pfds.push_back(pollfd{conn.fd, events, 0});
+          pfd_conn.push_back(ci);
+        }
+        auto wait = std::chrono::duration_cast<std::chrono::milliseconds>(
+            next_due - Clock::now());
+        int timeout = static_cast<int>(
+            std::clamp<int64_t>(wait.count(), 0, 10));
+        if (pfds.empty()) {
+          if (timeout > 0) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(timeout));
+          }
+          continue;
+        }
+        ::poll(pfds.data(), pfds.size(), timeout);
+        for (size_t pi = 0; pi < pfds.size(); ++pi) {
+          if ((pfds[pi].revents & POLLOUT) == 0) continue;
+          ConnState& conn = conns[pfd_conn[pi]];
+          if (!conn.connecting) continue;
+          int err = 0;
+          socklen_t len = sizeof(err);
+          ::getsockopt(conn.fd, SOL_SOCKET, SO_ERROR, &err, &len);
+          if (err != 0) {
+            KillConn(&conn, shard);
+            continue;
+          }
+          conn.connecting = false;
+          int one = 1;
+          ::setsockopt(conn.fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        }
+      }
+
+      // Account the unfinished: in-flight ops and never-issued
+      // schedule slots on both live and dead connections.
+      for (ConnState& conn : conns) {
+        shard->lost += conn.inflight.size();
+        for (uint64_t op = conn.next_op; op < num_ops; op += num_conns) {
+          ++shard->lost;
+        }
+        if (conn.fd >= 0) ::close(conn.fd);
+      }
+    });
+  }
+  for (std::thread& driver : drivers) driver.join();
+
+  HeldOpenResult result;
+  result.scheduled = num_ops;
+  for (const Shard& shard : shards) {
+    result.issued += shard.issued;
+    result.completed += shard.completed;
+    result.errors += shard.errors;
+    result.sheds += shard.sheds;
+    result.lost += shard.lost;
+    result.dead_connections += shard.dead;
+  }
+  result.wall_seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  return result;
+}
+
+}  // namespace loadgen
+}  // namespace kb

@@ -1,0 +1,73 @@
+#ifndef KBFORGE_LOADGEN_HELD_OPEN_H_
+#define KBFORGE_LOADGEN_HELD_OPEN_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "util/metrics_registry.h"
+
+namespace kb {
+namespace loadgen {
+
+/// Open-loop load over many *held-open* connections (open_loop.h runs
+/// the schedule but gives each op a fresh or caller-managed call; this
+/// driver owns the sockets). A few driver threads multiplex
+/// `num_connections` non-blocking connections each, spreading one
+/// global arrival schedule across them: op i is due at start + i/rate
+/// and belongs to connection i % C, so every connection carries an
+/// equal rate/C trickle — the shape of ten thousand modest clients,
+/// which is precisely the workload a thread-per-connection server
+/// cannot hold (it serves the first workers+queue connections and
+/// sheds the rest) and an event-driven core must.
+///
+/// Ops are charged from their *intended* start — including time spent
+/// waiting for pipeline capacity or a writable socket — so stalls land
+/// in the latency histogram instead of hiding (no coordinated
+/// omission). Up to `max_pipeline` requests ride in flight per
+/// connection; responses are length-prefixed frames matched FIFO,
+/// which is exactly the in-order contract the server's pipelining
+/// guarantees.
+struct HeldOpenOptions {
+  int port = 0;
+  size_t num_connections = 64;
+  double target_ops_per_sec = 1000.0;  ///< total across all connections
+  uint64_t num_ops = 1000;
+  int num_threads = 2;        ///< driver threads multiplexing the conns
+  size_t max_pipeline = 8;    ///< in-flight cap per connection
+  double connect_timeout_ms = 5000;
+  /// After the last op is issued, wait at most this long for
+  /// stragglers; unanswered in-flight ops then count as lost.
+  double drain_timeout_ms = 10000;
+  /// Builds the JSON payload for global op `i`.
+  std::function<std::string(uint64_t op_index)> make_request;
+};
+
+struct HeldOpenResult {
+  uint64_t scheduled = 0;   ///< num_ops
+  uint64_t issued = 0;      ///< frames actually written toward a server
+  uint64_t completed = 0;   ///< "status":"ok" responses
+  uint64_t errors = 0;      ///< non-ok responses (sheds included)
+  uint64_t sheds = 0;       ///< "overloaded" responses
+  uint64_t lost = 0;        ///< issued or due, but never answered
+  uint64_t dead_connections = 0;  ///< closed/refused/failed conns
+  double wall_seconds = 0;
+
+  double achieved_ops_per_sec() const {
+    return wall_seconds > 0 ? static_cast<double>(completed) / wall_seconds
+                            : 0.0;
+  }
+};
+
+/// Runs the schedule. Latencies (ms from intended start to response)
+/// go into `latency_ms` when non-null; only completed ops are
+/// recorded. A connection the server sheds or drops is marked dead and
+/// its remaining schedule counts as lost — it is not retried, so the
+/// result reflects what the server actually sustained.
+HeldOpenResult RunHeldOpen(const HeldOpenOptions& options,
+                           Histogram* latency_ms);
+
+}  // namespace loadgen
+}  // namespace kb
+
+#endif  // KBFORGE_LOADGEN_HELD_OPEN_H_

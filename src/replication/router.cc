@@ -86,43 +86,49 @@ Router::Router(const Options& options)
 Router::~Router() { Stop(); }
 
 Status Router::Start() {
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) {
-    return Status::IOError("socket: " + std::string(::strerror(errno)));
-  }
-  int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
-             sizeof(addr)) < 0 ||
-      ::listen(listen_fd_, 128) < 0) {
-    Status s = Status::IOError("bind/listen: " +
-                               std::string(::strerror(errno)));
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  server::EventServerOptions ev;
+  ev.port = options_.port;
+  ev.io_threads = options_.io_threads;
+  ev.backlog = options_.backlog;
+  size_t workers =
+      static_cast<size_t>(options_.num_workers > 0 ? options_.num_workers : 1);
+  ev.max_connections = options_.max_connections > 0
+                           ? options_.max_connections
+                           : workers + options_.queue_depth;
+  ev.idle_timeout_ms = options_.idle_timeout_ms;
+  ev.max_pipeline = options_.max_pipeline;
+  ev.open_connections =
+      &MetricsRegistry::Default().gauge("router.open_connections");
+  ev.sheds = &metrics_->rejected;
+
+  server::EventHooks hooks;
+  hooks.on_frame = [this](const server::ConnRef& conn, uint64_t seq,
+                          std::string payload) {
+    OnFrame(conn, seq, std::move(payload));
+  };
+  hooks.bad_frame_response = [this](const std::string& message) {
+    metrics_->errors.Increment();
+    return ErrorJson("bad_frame", message);
+  };
+  hooks.shed_response = OverloadedJson(options_.retry_after_ms);
+
+  event_server_ =
+      std::make_unique<server::EventServer>(ev, std::move(hooks));
+  Status s = event_server_->Start();
+  if (!s.ok()) {
+    event_server_.reset();
     return s;
   }
-  socklen_t len = sizeof(addr);
-  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
-  port_ = ntohs(addr.sin_port);
-  if (::pipe(wake_pipe_) < 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    return Status::IOError("pipe: " + std::string(::strerror(errno)));
-  }
+  port_ = event_server_->port();
   {
     std::lock_guard<std::mutex> lock(mu_);
     started_ = true;
     stopping_ = false;
   }
-  acceptor_ = std::thread([this] { AcceptLoop(); });
   health_ = std::thread([this] { HealthLoop(); });
-  int workers = options_.num_workers > 0 ? options_.num_workers : 1;
-  workers_.reserve(static_cast<size_t>(workers));
-  for (int i = 0; i < workers; ++i) {
+  int workers_n = options_.num_workers > 0 ? options_.num_workers : 1;
+  workers_.reserve(static_cast<size_t>(workers_n));
+  for (int i = 0; i < workers_n; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
   return Status::OK();
@@ -139,38 +145,16 @@ void Router::Stop() {
   }
   work_cv_.notify_all();
   health_cv_.notify_all();
-  {
-    // Unblock workers parked in ReadFrame on idle client connections;
-    // they observe stopping_ and exit after the current request.
-    std::lock_guard<std::mutex> lock(mu_);
-    for (int fd : active_fds_) ::shutdown(fd, SHUT_RDWR);
-  }
-  if (wake_pipe_[1] >= 0) {
-    char byte = 0;
-    [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1], &byte, 1);
-  }
-  if (acceptor_.joinable()) acceptor_.join();
+  // I/O threads first: any in-flight worker Complete() after this is
+  // dropped at the loop's post gate.
+  if (event_server_) event_server_->Stop();
   if (health_.joinable()) health_.join();
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
   workers_.clear();
-  std::deque<int> orphans;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    orphans.swap(pending_);
-  }
-  for (int fd : orphans) ::close(fd);
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-  }
-  for (int i = 0; i < 2; ++i) {
-    if (wake_pipe_[i] >= 0) {
-      ::close(wake_pipe_[i]);
-      wake_pipe_[i] = -1;
-    }
-  }
+  std::lock_guard<std::mutex> lock(mu_);
+  reqs_.clear();
 }
 
 std::vector<std::string> Router::healthy_replicas() const {
@@ -182,87 +166,39 @@ std::vector<std::string> Router::healthy_replicas() const {
   return names;
 }
 
-void Router::AcceptLoop() {
-  for (;;) {
-    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_pipe_[0], POLLIN, 0}};
-    int n = ::poll(fds, 2, -1);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return;
+void Router::OnFrame(const server::ConnRef& conn, uint64_t seq,
+                     std::string payload) {
+  bool admitted = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!stopping_ && reqs_.size() < options_.queue_depth) {
+      reqs_.push_back(PendingRequest{conn, seq, std::move(payload)});
+      admitted = true;
     }
-    if (fds[1].revents != 0) return;
-    if ((fds[0].revents & POLLIN) == 0) continue;
-    int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) {
-      if (errno == EINTR || errno == ECONNABORTED) continue;
-      return;
-    }
-    int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    bool admitted = false;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (!stopping_ && pending_.size() < options_.queue_depth) {
-        admitted = true;
-        pending_.push_back(fd);
-      }
-    }
-    if (admitted) {
-      work_cv_.notify_one();
-      continue;
-    }
-    metrics_->rejected.Increment();
-    timeval timeout{1, 0};
-    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
-    server::WriteFrame(fd, OverloadedJson(options_.retry_after_ms));
-    ::close(fd);
   }
+  if (admitted) {
+    work_cv_.notify_one();
+    return;
+  }
+  metrics_->rejected.Increment();
+  conn->Complete(seq, OverloadedJson(options_.retry_after_ms),
+                 /*close_after=*/true);
 }
 
 void Router::WorkerLoop() {
   for (;;) {
-    int fd = -1;
+    PendingRequest work;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return stopping_ || !pending_.empty(); });
-      if (stopping_) {
-        for (int orphan : pending_) ::close(orphan);
-        pending_.clear();
-        return;
-      }
-      fd = pending_.front();
-      pending_.pop_front();
-      active_fds_.insert(fd);  // same lock: Stop sees it or we see stopping_
-    }
-    ServeConnection(fd);
-  }
-}
-
-void Router::ServeConnection(int fd) {
-  for (;;) {
-    std::string payload;
-    Status status = server::ReadFrame(fd, &payload);
-    if (!status.ok()) {
-      if (status.IsInvalidArgument()) {
-        server::WriteFrame(fd, ErrorJson("bad_frame", status.message()));
-      }
-      break;
+      work_cv_.wait(lock, [this] { return stopping_ || !reqs_.empty(); });
+      if (stopping_) return;
+      work = std::move(reqs_.front());
+      reqs_.pop_front();
     }
     std::string response;
-    RouteRequest(payload, &response);
-    if (!server::WriteFrame(fd, response).ok()) break;
-    bool stopping;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      stopping = stopping_;
-    }
-    if (stopping) break;
+    RouteRequest(work.payload, &response);
+    work.conn->Complete(work.seq, std::move(response));
   }
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    active_fds_.erase(fd);
-  }
-  ::close(fd);
 }
 
 void Router::RouteRequest(const std::string& payload, std::string* response) {
@@ -339,7 +275,9 @@ void Router::RouteRequest(const std::string& payload, std::string* response) {
         }
         return last;
       },
-      [](const Status& s) { return s.IsUnavailable() || s.IsIOError(); });
+      [](const Status& s) {
+        return s.IsUnavailable() || s.IsIOError() || s.IsConnectionClosed();
+      });
   if (!final.ok()) {
     metrics_->errors.Increment();
     *response = ErrorJson("unavailable",
@@ -393,8 +331,9 @@ Status Router::ForwardOnce(int port, const server::Json& request,
     return Status::OK();
   }
   Status s = result.status();
-  if (s.IsUnavailable() || s.IsIOError()) {
-    // Shed, not-leader, stale, or a dead socket: fail over.
+  if (s.IsUnavailable() || s.IsIOError() || s.IsConnectionClosed()) {
+    // Shed, not-leader, stale, a dead socket, or a backend that hung
+    // up cleanly: fail over.
     if (!it->second.connected()) connections.erase(it);
     return s;
   }

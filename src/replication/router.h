@@ -6,13 +6,14 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
 #include <mutex>
-#include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "replication/hash_ring.h"
+#include "server/event_loop.h"
 #include "server/json.h"
 #include "server/kb_client.h"
 #include "util/metrics_registry.h"
@@ -23,8 +24,10 @@ namespace kb {
 namespace replication {
 
 /// The replicated tier's front door. Speaks the same length-prefixed
-/// JSON protocol as KbServer, so existing clients and load generators
-/// point at the router unchanged; behind it:
+/// JSON protocol as KbServer — over the same epoll event core
+/// (server/event_loop.h), so thousands of keep-alive clients can hold
+/// pipelined connections to the router — and existing clients and
+/// load generators point at it unchanged; behind it:
 ///
 ///   - writes (insert_facts) always go to the leader,
 ///   - reads (query / entity_card) consistent-hash onto the healthy
@@ -54,6 +57,13 @@ class Router {
     std::vector<int> replica_ports;  ///< follower KbServers
     int num_workers = 4;
     size_t queue_depth = 32;
+    int io_threads = 2;              ///< epoll I/O threads (front door)
+    int backlog = 0;                 ///< listen(2) backlog; <= 0 = SOMAXCONN
+    /// Open-connection cap; 0 derives num_workers + queue_depth (the
+    /// old thread-per-connection envelope).
+    size_t max_connections = 0;
+    double idle_timeout_ms = 0;      ///< idle client reaping; 0 = never
+    size_t max_pipeline = 128;       ///< per-connection pipelining cap
     int retry_after_ms = 20;         ///< hint on router-level sheds
     double backend_timeout_ms = 1000;
     double health_interval_ms = 50;
@@ -94,9 +104,18 @@ class Router {
   };
   struct Metrics;
 
-  void AcceptLoop();
+  /// One parsed frame waiting for (or held by) a worker.
+  struct PendingRequest {
+    server::ConnRef conn;
+    uint64_t seq = 0;
+    std::string payload;
+  };
+
+  /// I/O-thread handoff: admission-check into the bounded request
+  /// queue (shed with the retry hint when full).
+  void OnFrame(const server::ConnRef& conn, uint64_t seq,
+               std::string payload);
   void WorkerLoop();
-  void ServeConnection(int fd);
   /// Routes one request payload; fills `response` (always).
   void RouteRequest(const std::string& payload, std::string* response);
   /// One forwarding attempt to one backend. OK = `response` is the
@@ -112,14 +131,12 @@ class Router {
   Options options_;
   Metrics* metrics_;
 
-  int listen_fd_ = -1;
-  int wake_pipe_[2] = {-1, -1};
+  std::unique_ptr<server::EventServer> event_server_;
   int port_ = 0;
 
   std::mutex mu_;
   std::condition_variable work_cv_;
-  std::deque<int> pending_;
-  std::set<int> active_fds_;  ///< shutdown() on Stop unblocks workers
+  std::deque<PendingRequest> reqs_;  ///< parsed, waiting for a worker
   bool stopping_ = false;
   bool started_ = false;
 
@@ -137,7 +154,6 @@ class Router {
   std::map<int, server::KbClient> health_conns_;
   RetryPolicy failover_policy_;
 
-  std::thread acceptor_;
   std::thread health_;
   std::vector<std::thread> workers_;
 };

@@ -9,8 +9,16 @@
 // Usage:
 //   kbforge_router --leader-port=N --replicas=P1,P2,...
 //                  [--port=N] [--workers=N]
+//                  [--io-threads=N] [--backlog=N] [--max-connections=N]
+//                  [--idle-timeout-ms=MS] [--max-pipeline=N]
 //                  [--health-interval-ms=MS] [--probe-interval-ms=MS]
 //                  [--fail-threshold=N] [--backend-timeout-ms=MS]
+//
+// The router fronts clients with the same epoll event core as the
+// server (DESIGN.md §5f): --io-threads loops own the client fds,
+// --max-connections sheds excess accepts, --idle-timeout-ms reaps
+// silent clients, --max-pipeline bounds per-connection in-flight
+// requests.
 
 #include <signal.h>
 #include <unistd.h>
@@ -67,6 +75,8 @@ int main(int argc, char** argv) {
   using namespace kb;
 
   long port = 7490, workers = 4;
+  long io_threads = 2, backlog = 0, max_connections = 0;
+  long idle_timeout_ms = 0, max_pipeline = 128;
   long health_interval_ms = 50, probe_interval_ms = 100, fail_threshold = 2;
   long backend_timeout_ms = 1000, leader_port = -1;
   std::string replicas_csv;
@@ -74,6 +84,11 @@ int main(int argc, char** argv) {
     long v = 0;
     if (FlagValue(argv[i], "--port", &v)) port = v;
     else if (FlagValue(argv[i], "--workers", &v)) workers = v;
+    else if (FlagValue(argv[i], "--io-threads", &v)) io_threads = v;
+    else if (FlagValue(argv[i], "--backlog", &v)) backlog = v;
+    else if (FlagValue(argv[i], "--max-connections", &v)) max_connections = v;
+    else if (FlagValue(argv[i], "--idle-timeout-ms", &v)) idle_timeout_ms = v;
+    else if (FlagValue(argv[i], "--max-pipeline", &v)) max_pipeline = v;
     else if (FlagValue(argv[i], "--leader-port", &v)) leader_port = v;
     else if (FlagValue(argv[i], "--health-interval-ms", &v)) {
       health_interval_ms = v;
@@ -87,7 +102,9 @@ int main(int argc, char** argv) {
     } else {
       ::fprintf(stderr,
                 "usage: %s --leader-port=N --replicas=P1,P2,... [--port=N] "
-                "[--workers=N] [--health-interval-ms=MS] "
+                "[--workers=N] [--io-threads=N] [--backlog=N] "
+                "[--max-connections=N] [--idle-timeout-ms=MS] "
+                "[--max-pipeline=N] [--health-interval-ms=MS] "
                 "[--probe-interval-ms=MS] [--fail-threshold=N] "
                 "[--backend-timeout-ms=MS]\n",
                 argv[0]);
@@ -104,6 +121,11 @@ int main(int argc, char** argv) {
   options.leader_port = static_cast<int>(leader_port);
   options.replica_ports = ParsePorts(replicas_csv);
   options.num_workers = static_cast<int>(workers);
+  options.io_threads = static_cast<int>(io_threads);
+  options.backlog = static_cast<int>(backlog);
+  options.max_connections = static_cast<size_t>(max_connections);
+  options.idle_timeout_ms = static_cast<double>(idle_timeout_ms);
+  options.max_pipeline = static_cast<size_t>(max_pipeline);
   options.health_interval_ms = static_cast<double>(health_interval_ms);
   options.probe_interval_ms = static_cast<double>(probe_interval_ms);
   options.fail_threshold = static_cast<int>(fail_threshold);

@@ -40,7 +40,7 @@ Status WalShipper::Start() {
   addr.sin_port = htons(static_cast<uint16_t>(options_.port));
   if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
              sizeof(addr)) < 0 ||
-      ::listen(listen_fd_, 16) < 0) {
+      ::listen(listen_fd_, SOMAXCONN) < 0) {
     Status s = Status::IOError("bind/listen: " +
                                std::string(::strerror(errno)));
     ::close(listen_fd_);

@@ -1,0 +1,34 @@
+#include "server/conn.h"
+
+#include <unistd.h>
+
+#include <utility>
+
+#include "server/event_loop.h"
+
+namespace kb {
+namespace server {
+
+Conn::Conn(EventLoop* loop, int fd, uint64_t id)
+    : loop_(loop),
+      fd_(fd),
+      id_(id),
+      last_active_(std::chrono::steady_clock::now()) {}
+
+Conn::~Conn() {
+  // Normally the owning loop closed the fd in CloseConn/CloseAll; this
+  // only fires for a connection that never finished registering.
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void Conn::Complete(uint64_t seq, std::string response, bool close_after) {
+  ConnRef self = shared_from_this();
+  loop_->Post(
+      [self, seq, body = std::move(response), close_after]() mutable {
+        self->loop_->CompleteOnLoop(self.get(), seq, std::move(body),
+                                    close_after);
+      });
+}
+
+}  // namespace server
+}  // namespace kb

@@ -1,0 +1,89 @@
+#ifndef KBFORGE_SERVER_CONN_H_
+#define KBFORGE_SERVER_CONN_H_
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+
+namespace kb {
+namespace server {
+
+class EventLoop;
+
+/// One accepted connection inside an event-driven server core
+/// (event_loop.h). All mutable state — the read buffer, the parse
+/// cursor, the write queue, the epoll interest set — is owned by the
+/// EventLoop thread that accepted the fd and is only ever touched
+/// there. The single cross-thread entry point is Complete(), which a
+/// worker thread calls when a request finishes; it posts the response
+/// back onto the owning loop (wake-eventfd), where it is sequenced and
+/// flushed.
+///
+/// Pipelining contract: every parsed frame is assigned the next
+/// sequence number on its connection, responses may complete in any
+/// order across worker threads, and the loop flushes them strictly in
+/// sequence order — frame i's response always precedes frame i+1's on
+/// the wire, however the workers raced. A response may carry
+/// close_after, which drops everything parsed after its own frame and
+/// closes the connection once the response (and every response before
+/// it) has been flushed.
+class Conn : public std::enable_shared_from_this<Conn> {
+ public:
+  Conn(EventLoop* loop, int fd, uint64_t id);
+  ~Conn();
+
+  Conn(const Conn&) = delete;
+  Conn& operator=(const Conn&) = delete;
+
+  uint64_t id() const { return id_; }
+  int fd() const { return fd_; }
+  EventLoop* loop() const { return loop_; }
+
+  /// Thread-safe: hand the response for frame `seq` back to the owning
+  /// loop. With close_after the connection is closed once this
+  /// response has been flushed in order (late frames already parsed
+  /// behind it are dropped, matching "the stream is unframeable /
+  /// shed" semantics). Safe to call after the connection died — the
+  /// posted completion is dropped on the floor.
+  void Complete(uint64_t seq, std::string response, bool close_after = false);
+
+ private:
+  friend class EventLoop;
+
+  EventLoop* loop_;
+  int fd_;
+  uint64_t id_;
+  bool closed_ = false;        ///< fd closed, conn unregistered
+  bool read_eof_ = false;      ///< peer half-closed; flush then close
+  /// A close_after response exists (possibly still waiting its turn in
+  /// ready_): stop reading and parsing, nothing after it matters.
+  bool close_pending_ = false;
+  /// The close_after response has reached the write queue: close as
+  /// soon as the queue drains.
+  bool close_after_flush_ = false;
+  bool want_write_ = false;    ///< EPOLLOUT currently armed
+  bool read_paused_ = false;   ///< pipeline cap hit; EPOLLIN disarmed
+
+  std::string rbuf_;           ///< unconsumed inbound bytes
+  size_t rpos_ = 0;            ///< parse cursor into rbuf_
+
+  uint64_t next_seq_ = 0;      ///< seq assigned to the next parsed frame
+  uint64_t next_flush_ = 0;    ///< seq whose response flushes next
+  /// Responses completed out of order, waiting for their turn.
+  std::map<uint64_t, std::pair<std::string, bool>> ready_;
+
+  std::deque<std::string> wq_; ///< framed responses awaiting the wire
+  size_t woff_ = 0;            ///< bytes of wq_.front() already written
+
+  std::chrono::steady_clock::time_point last_active_;
+};
+
+using ConnRef = std::shared_ptr<Conn>;
+
+}  // namespace server
+}  // namespace kb
+
+#endif  // KBFORGE_SERVER_CONN_H_

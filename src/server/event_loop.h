@@ -1,0 +1,184 @@
+#ifndef KBFORGE_SERVER_EVENT_LOOP_H_
+#define KBFORGE_SERVER_EVENT_LOOP_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "server/conn.h"
+#include "util/metrics_registry.h"
+#include "util/status.h"
+
+namespace kb {
+namespace server {
+
+/// The shared event-driven server core (DESIGN.md §5f). A small fixed
+/// set of I/O threads — each one an epoll EventLoop — owns the listen
+/// socket (every loop registers it EPOLLEXCLUSIVE, so the kernel wakes
+/// exactly one loop per connection burst) and all accepted connection
+/// fds. Loops never execute request logic: they parse length-prefixed
+/// frames incrementally out of per-connection read buffers, hand each
+/// complete frame to the owner through `on_frame`, and flush completed
+/// responses from per-connection write queues with batched writev,
+/// falling back to EPOLLOUT when a peer stops draining. Connection
+/// count is therefore decoupled from thread count: ten thousand idle
+/// keep-alive clients cost ten thousand fds and nothing else.
+///
+/// The owner (KbServer, the replication Router) supplies the policy:
+/// what to do with a frame (typically: admission-check into a bounded
+/// worker queue), what an unframeable stream is told, and what a shed
+/// connection is told.
+struct EventHooks {
+  /// A complete frame arrived: per-connection sequence `seq`, raw
+  /// payload. Runs on the owning I/O thread and must not block; answer
+  /// by calling conn->Complete(seq, response) exactly once, from any
+  /// thread.
+  std::function<void(const ConnRef& conn, uint64_t seq, std::string payload)>
+      on_frame;
+  /// Response for a stream that cannot be re-framed (length prefix
+  /// over kMaxFrameBytes); flushed in order, then the connection
+  /// closes.
+  std::function<std::string(const std::string& message)> bad_frame_response;
+  /// Envelope written (best-effort, then close) when the connection
+  /// cap or draining sheds a fresh accept. Empty = close silently.
+  std::string shed_response;
+};
+
+struct EventServerOptions {
+  int port = 0;       ///< 0 = ephemeral; see EventServer::port()
+  int io_threads = 2;
+  int backlog = 0;    ///< listen(2) backlog; <= 0 means SOMAXCONN
+  /// Accepts past this many open connections are shed with
+  /// shed_response instead of blocking accept. 0 = unlimited.
+  size_t max_connections = 0;
+  /// Connections with no traffic and no request in flight for this
+  /// long are closed (idle_closed metric). 0 = never.
+  double idle_timeout_ms = 0;
+  /// Parsed-but-unanswered frames allowed per connection. At the cap
+  /// the loop stops reading that connection (EPOLLIN disarmed) until
+  /// responses drain below half — backpressure instead of unbounded
+  /// buffering for a client that pipelines faster than workers drain.
+  size_t max_pipeline = 128;
+
+  /// Optional instruments (registry-owned; may be null).
+  Gauge* open_connections = nullptr;
+  Counter* epoll_wakeups = nullptr;
+  Counter* pipelined_frames = nullptr;
+  Counter* idle_closed = nullptr;
+  Counter* sheds = nullptr;
+};
+
+class EventLoop {
+ public:
+  EventLoop(const EventServerOptions* options, const EventHooks* hooks,
+            std::atomic<size_t>* open_conns, std::atomic<bool>* draining);
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Creates the epoll instance + wake eventfd and registers
+  /// `listen_fd` (EPOLLEXCLUSIVE). Call before Run.
+  Status Init(int listen_fd);
+  /// Spawns the loop thread.
+  void Start();
+  /// Posts a stop task, lets the loop close every connection it owns,
+  /// and joins the thread. Idempotent.
+  void Stop();
+
+  /// Thread-safe: run `fn` on the loop thread. Dropped (with `fn`
+  /// destroyed) once the loop has stopped.
+  void Post(std::function<void()> fn);
+
+ private:
+  friend class Conn;
+
+  void Run();
+  void RunPosts();
+  void AcceptReady();
+  void ShedAccept(int fd);
+  void HandleConnEvent(Conn* conn, uint32_t events);
+  void ReadReady(Conn* conn);
+  void ParseFrames(Conn* conn);
+  /// Sequences a completed response; flushes everything now in order.
+  void CompleteOnLoop(Conn* conn, uint64_t seq, std::string&& response,
+                      bool close_after);
+  void FlushReady(Conn* conn);
+  void TryWrite(Conn* conn);
+  void UpdateInterest(Conn* conn);
+  void SweepIdle();
+  void CloseConn(Conn* conn);
+  void CloseAll();
+
+  const EventServerOptions* options_;
+  const EventHooks* hooks_;
+  std::atomic<size_t>* open_conns_;
+  std::atomic<bool>* draining_;
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  ///< eventfd; Post() and Stop() write it
+  int listen_fd_ = -1;
+  uint64_t next_conn_id_ = 0;
+
+  std::unordered_map<int, ConnRef> conns_;
+  /// Conns closed mid-batch; their memory must outlive the epoll_wait
+  /// batch that may still carry events for them (handlers check
+  /// closed_). Cleared at the top of every iteration.
+  std::vector<ConnRef> graveyard_;
+  std::chrono::steady_clock::time_point last_sweep_;
+
+  std::mutex post_mu_;
+  std::vector<std::function<void()>> posts_;
+  bool stopped_ = false;         ///< guarded by post_mu_; drops Posts
+  bool stop_requested_ = false;  ///< loop-thread flag set via Post
+
+  std::thread thread_;
+};
+
+/// N EventLoops + one listen socket. See file comment.
+class EventServer {
+ public:
+  EventServer(const EventServerOptions& options, EventHooks hooks);
+  ~EventServer();
+
+  EventServer(const EventServer&) = delete;
+  EventServer& operator=(const EventServer&) = delete;
+
+  /// Binds 127.0.0.1:port, listens, spawns the I/O threads.
+  Status Start();
+  /// Closes the listen socket and every connection, joins the I/O
+  /// threads. Idempotent.
+  void Stop();
+
+  /// While draining, fresh accepts are shed with shed_response. The
+  /// owner decides when established connections close (typically by
+  /// completing their next response with close_after).
+  void SetDraining(bool draining) { draining_.store(draining); }
+
+  int port() const { return port_; }
+  size_t open_connections() const { return open_conns_.load(); }
+
+ private:
+  EventServerOptions options_;
+  EventHooks hooks_;
+  std::atomic<size_t> open_conns_{0};
+  std::atomic<bool> draining_{false};
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  bool started_ = false;
+  bool stopped_ = false;
+  std::vector<std::unique_ptr<EventLoop>> loops_;
+};
+
+}  // namespace server
+}  // namespace kb
+
+#endif  // KBFORGE_SERVER_EVENT_LOOP_H_

@@ -112,6 +112,20 @@ void KbClient::Close() {
 }
 
 StatusOr<Json> KbClient::Call(const Json& request) {
+  StatusOr<Json> response = CallWithRetry(request);
+  if (options_.reconnect_on_close &&
+      response.status().IsConnectionClosed() && last_port_ >= 0) {
+    // Keep-alive path: the server closed this connection cleanly (idle
+    // timeout, drain) — not a failure of the request itself. Reconnect
+    // and retry once; a second clean close is surfaced.
+    Status connect_status = Connect(last_port_);
+    if (!connect_status.ok()) return connect_status;
+    response = CallWithRetry(request);
+  }
+  return response;
+}
+
+StatusOr<Json> KbClient::CallWithRetry(const Json& request) {
   if (retry_policy_ == nullptr) return CallOnce(request);
   // Placeholder until the first attempt runs; StatusOr asserts on OK
   // error-statuses, and RetryPolicy::Run always invokes the attempt at
@@ -128,7 +142,9 @@ StatusOr<Json> KbClient::Call(const Json& request) {
         response = CallOnce(request);
         return response.status();
       },
-      [](const Status& s) { return s.IsUnavailable() || s.IsIOError(); },
+      [](const Status& s) {
+        return s.IsUnavailable() || s.IsIOError() || s.IsConnectionClosed();
+      },
       [this] { return static_cast<double>(retry_after_ms_); });
   if (!status.ok()) return status;
   return response;
@@ -146,10 +162,13 @@ StatusOr<Json> KbClient::CallOnce(const Json& request) {
   Status status = ReadFrame(fd_, &payload);
   if (!status.ok()) {
     Close();
-    if (!write_status.ok()) return write_status;
     if (status.IsAborted()) {
-      return Status::IOError("server closed the connection");
+      // Clean EOF: the server hung up between requests (idle timeout,
+      // drain) — even a failed write (EPIPE against the closed socket)
+      // means "closed", not "torn".
+      return Status::ConnectionClosed("server closed the connection");
     }
+    if (!write_status.ok()) return write_status;
     return status;
   }
   auto response = Json::Parse(payload);

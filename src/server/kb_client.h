@@ -40,6 +40,12 @@ struct ClientOptions {
   /// replicated tier never serves this client's reads from a replica
   /// that has not yet applied this client's own writes.
   bool read_your_writes = false;
+  /// Opt-in keep-alive: when a call fails with ConnectionClosed (the
+  /// server idle-timed the connection out, or closed it cleanly
+  /// between requests), reconnect to the last port and retry the call
+  /// once instead of surfacing the error. Long-held load-generator
+  /// connections use this to survive server-side idle reaping.
+  bool reconnect_on_close = false;
 };
 
 /// Blocking client for KbServer's length-prefixed JSON protocol. One
@@ -51,7 +57,10 @@ struct ClientOptions {
 /// the server's hint; with retry_unavailable they are absorbed
 /// instead), missed deadlines to DeadlineExceeded, unknown entities to
 /// NotFound, bad requests to InvalidArgument, writes sent to a
-/// read-only follower to Unavailable ("not_leader").
+/// read-only follower to Unavailable ("not_leader"). A connection the
+/// server closed cleanly (idle timeout, drain) maps to
+/// ConnectionClosed — distinct from IOError's torn reads — so callers
+/// (or reconnect_on_close) can treat it as "reconnect and carry on".
 class KbClient {
  public:
   KbClient() = default;
@@ -96,6 +105,9 @@ class KbClient {
   uint64_t last_write_epoch() const { return last_write_epoch_; }
 
  private:
+  /// Call with the retry_unavailable policy applied (no
+  /// reconnect-on-close handling).
+  StatusOr<Json> CallWithRetry(const Json& request);
   /// One unretried round-trip (the body of Call).
   StatusOr<Json> CallOnce(const Json& request);
 

@@ -65,8 +65,12 @@ struct KbServer::Metrics {
   Counter& entity_cards;
   Counter& inserted_facts;
   Counter& deadline_exceeded;
+  Counter& epoll_wakeups;
+  Counter& pipelined_frames;
+  Counter& idle_closed;
   Gauge& queue_depth;
   Gauge& active_connections;
+  Gauge& open_connections;
   Histogram& request_ms;
   Histogram& query_ms;
 
@@ -81,8 +85,12 @@ struct KbServer::Metrics {
           r.counter("server.entity_cards"),
           r.counter("server.inserted_facts"),
           r.counter("server.deadline_exceeded"),
+          r.counter("server.epoll_wakeups"),
+          r.counter("server.pipelined_frames"),
+          r.counter("server.idle_closed"),
           r.gauge("server.queue_depth"),
           r.gauge("server.active_connections"),
+          r.gauge("server.open_connections"),
           r.histogram("server.request_ms"),
           r.histogram("server.query_ms"),
       };
@@ -100,6 +108,113 @@ KbServer::KbServer(core::KnowledgeBase* kb, const Options& options)
 KbServer::~KbServer() { Stop(); }
 
 Status KbServer::Start() {
+  return options_.threaded_core ? StartThreaded() : StartEvent();
+}
+
+Status KbServer::StartEvent() {
+  EventServerOptions ev;
+  ev.port = options_.port;
+  ev.io_threads = options_.io_threads;
+  ev.backlog = options_.backlog;
+  // Default cap = the envelope the threaded core could hold (every
+  // worker busy + a full queue), so default shedding is unchanged:
+  // the N+Q+1'th concurrent connection is refused with the retry hint.
+  size_t workers =
+      static_cast<size_t>(options_.num_workers > 0 ? options_.num_workers : 1);
+  ev.max_connections = options_.max_connections > 0
+                           ? options_.max_connections
+                           : workers + options_.queue_depth;
+  ev.idle_timeout_ms = options_.idle_timeout_ms;
+  ev.max_pipeline = options_.max_pipeline;
+  ev.open_connections = &metrics_->open_connections;
+  ev.epoll_wakeups = &metrics_->epoll_wakeups;
+  ev.pipelined_frames = &metrics_->pipelined_frames;
+  ev.idle_closed = &metrics_->idle_closed;
+  ev.sheds = &metrics_->rejected;
+
+  EventHooks hooks;
+  hooks.on_frame = [this](const ConnRef& conn, uint64_t seq,
+                          std::string payload) {
+    OnFrame(conn, seq, std::move(payload));
+  };
+  hooks.bad_frame_response = [this](const std::string& message) {
+    metrics_->errors.Increment();
+    return ErrorJson("bad_frame", message);
+  };
+  hooks.shed_response = OverloadedJson(options_.retry_after_ms);
+
+  event_server_ = std::make_unique<EventServer>(ev, std::move(hooks));
+  Status s = event_server_->Start();
+  if (!s.ok()) {
+    event_server_.reset();
+    return s;
+  }
+  port_ = event_server_->port();
+  started_at_ = std::chrono::steady_clock::now();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    started_ = true;
+    stopping_ = false;
+    draining_ = false;
+  }
+  int workers_n = options_.num_workers > 0 ? options_.num_workers : 1;
+  workers_.reserve(static_cast<size_t>(workers_n));
+  for (int i = 0; i < workers_n; ++i) {
+    workers_.emplace_back([this] { EventWorkerLoop(); });
+  }
+  return Status::OK();
+}
+
+void KbServer::OnFrame(const ConnRef& conn, uint64_t seq,
+                       std::string payload) {
+  // I/O-thread side of the handoff: admission-check into the bounded
+  // request queue and return — never run request logic here.
+  bool admitted = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!stopping_ && reqs_.size() < options_.queue_depth) {
+      reqs_.push_back(PendingRequest{conn, seq, std::move(payload)});
+      metrics_->queue_depth.Set(static_cast<int64_t>(reqs_.size()));
+      admitted = true;
+    }
+  }
+  if (admitted) {
+    work_cv_.notify_one();
+    return;
+  }
+  // Queue full: shed this request with the retry hint and drop the
+  // connection, exactly like a shed accept — a pipelining client must
+  // not keep a saturated server buffering its backlog.
+  metrics_->rejected.Increment();
+  conn->Complete(seq, OverloadedJson(options_.retry_after_ms),
+                 /*close_after=*/true);
+}
+
+void KbServer::EventWorkerLoop() {
+  for (;;) {
+    PendingRequest work;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stopping_ || !reqs_.empty(); });
+      if (stopping_) return;  // Stop() drops whatever is still queued
+      work = std::move(reqs_.front());
+      reqs_.pop_front();
+      metrics_->queue_depth.Set(static_cast<int64_t>(reqs_.size()));
+    }
+    std::string response;
+    HandleFrame(work.payload, &response);
+    bool close_after;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      // Draining: each connection closes right after its next flushed
+      // response; idle connections ride out the drain timeout.
+      close_after = draining_;
+    }
+    work.conn->Complete(work.seq, std::move(response), close_after);
+  }
+}
+
+Status KbServer::StartThreaded() {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) {
     return Status::IOError("socket: " + std::string(::strerror(errno)));
@@ -118,7 +233,8 @@ Status KbServer::Start() {
     listen_fd_ = -1;
     return s;
   }
-  if (::listen(listen_fd_, 128) < 0) {
+  if (::listen(listen_fd_,
+               options_.backlog > 0 ? options_.backlog : SOMAXCONN) < 0) {
     Status s = Status::IOError("listen: " + std::string(::strerror(errno)));
     ::close(listen_fd_);
     listen_fd_ = -1;
@@ -161,6 +277,22 @@ void KbServer::Stop() {
     stopping_ = true;
   }
   work_cv_.notify_all();
+  if (!options_.threaded_core) {
+    // Order matters: joining the I/O threads first means any late
+    // worker Complete() is dropped at the loop's post gate instead of
+    // racing a dying epoll set.
+    if (event_server_) event_server_->Stop();
+    for (std::thread& worker : workers_) {
+      if (worker.joinable()) worker.join();
+    }
+    workers_.clear();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      reqs_.clear();
+      metrics_->queue_depth.Set(0);
+    }
+    return;
+  }
   // Wake the acceptor's poll(), then unblock every worker parked in a
   // read on a live connection.
   if (wake_pipe_[1] >= 0) {
@@ -202,12 +334,23 @@ void KbServer::Drain(double timeout_ms) {
     if (!started_ || stopping_) return;
     draining_ = true;
   }
-  // From here the acceptor sheds every new connection with the retry
-  // hint (a router treats that as unhealthy and fails over), and
-  // workers close each connection after its in-flight request.
+  // From here new connections are shed with the retry hint (a router
+  // treats that as unhealthy and fails over), and each established
+  // connection closes right after its next flushed response. Idle
+  // connections are left alone until the timeout: they hold no worker
+  // and owe nobody a response.
   auto deadline = std::chrono::steady_clock::now() +
                   std::chrono::duration<double, std::milli>(
                       timeout_ms > 0 ? timeout_ms : 0);
+  if (!options_.threaded_core) {
+    event_server_->SetDraining(true);
+    while (event_server_->open_connections() > 0 &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    Stop();
+    return;
+  }
   {
     std::unique_lock<std::mutex> lock(conn_mu_);
     conn_cv_.wait_until(lock, deadline, [this] {

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <set>
 #include <shared_mutex>
@@ -13,6 +14,7 @@
 #include <vector>
 
 #include "core/knowledge_base.h"
+#include "server/event_loop.h"
 #include "server/json.h"
 #include "server/result_cache.h"
 #include "server/wire_fact.h"
@@ -22,7 +24,7 @@
 namespace kb {
 namespace server {
 
-/// The KB serving layer: a multi-threaded TCP front door over a
+/// The KB serving layer: an event-driven TCP front door over a
 /// KnowledgeBase, speaking length-prefixed JSON (server/protocol.h).
 ///
 /// Endpoints (request field "op"):
@@ -36,12 +38,20 @@ namespace server {
 ///   metrics      {"op":"metrics"} -> text snapshot of the PR-1 registry
 ///
 /// Production concerns the in-process library lacks:
-///   - A fixed worker pool pulls accepted connections from a bounded
-///     queue. When the queue is full, new connections are *rejected*
-///     immediately with {"status":"overloaded","retry_after_ms":R}
-///     instead of queueing unboundedly (admission control: shed load,
-///     keep tail latency of admitted work flat). `server.rejected`
-///     counts the sheds.
+///   - An event-driven I/O core (server/event_loop.h): a few epoll
+///     threads own every connection fd, so connection count is
+///     decoupled from thread count — 10k keep-alive clients cost 10k
+///     fds, not 10k stacks. Clients may pipeline: frames on one
+///     connection are answered strictly in order however the workers
+///     race. The PR-5 thread-per-connection core survives as an
+///     ablation (Options::threaded_core) so the benchmark can measure
+///     the difference.
+///   - A fixed worker pool pulls parsed requests from a bounded queue.
+///     When the queue is full, requests are *rejected* immediately
+///     with {"status":"overloaded","retry_after_ms":R} instead of
+///     queueing unboundedly (admission control: shed load, keep tail
+///     latency of admitted work flat); the connection cap sheds
+///     excess accepts the same way. `server.rejected` counts both.
 ///   - Per-request deadlines, threaded into the query executor as
 ///     query::ExecOptions and enforced cooperatively inside the scan
 ///     loops. An expired query returns a partial-free
@@ -60,7 +70,27 @@ class KbServer {
   struct Options {
     int port = 0;               ///< 0 = ephemeral, see port()
     int num_workers = 4;        ///< request-serving threads
-    size_t queue_depth = 16;    ///< pending connections before shedding
+    size_t queue_depth = 16;    ///< pending requests before shedding
+    int io_threads = 2;         ///< epoll I/O threads (event core)
+    /// listen(2) backlog; <= 0 means SOMAXCONN.
+    int backlog = 0;
+    /// Open-connection cap: accepts past it are shed with the overload
+    /// hint instead of blocking accept. 0 derives num_workers +
+    /// queue_depth — the same envelope the thread-per-connection core
+    /// could hold, so shedding behavior is unchanged by default; raise
+    /// it explicitly (e.g. the concurrency bench) to hold thousands of
+    /// keep-alive connections.
+    size_t max_connections = 0;
+    /// Connections idle (no traffic, nothing in flight) this long are
+    /// closed. 0 = never. Event core only.
+    double idle_timeout_ms = 0;
+    /// Parsed-but-unanswered frames allowed per connection before the
+    /// loop stops reading it (pipelining backpressure). Event core
+    /// only.
+    size_t max_pipeline = 128;
+    /// Ablation: run the PR-5 thread-per-connection core instead of
+    /// the epoll event core. Kept so bench_e18 can compare the two.
+    bool threaded_core = false;
     size_t cache_bytes = 8u << 20;  ///< result cache; 0 disables
     /// Deadline applied when a query request carries none; 0 = none.
     double default_deadline_ms = 0;
@@ -122,6 +152,20 @@ class KbServer {
  private:
   struct Metrics;
 
+  /// One parsed frame waiting for (or held by) a worker.
+  struct PendingRequest {
+    ConnRef conn;
+    uint64_t seq = 0;
+    std::string payload;
+  };
+
+  // Event core.
+  Status StartEvent();
+  void OnFrame(const ConnRef& conn, uint64_t seq, std::string payload);
+  void EventWorkerLoop();
+
+  // Threaded-core ablation (PR-5 behavior).
+  Status StartThreaded();
   void AcceptLoop();
   void WorkerLoop();
   void ServeConnection(int fd);
@@ -146,6 +190,8 @@ class KbServer {
   ResultCache result_cache_;
   Metrics* metrics_;  ///< registry-owned instruments, never freed
 
+  std::unique_ptr<EventServer> event_server_;
+
   int listen_fd_ = -1;
   int wake_pipe_[2] = {-1, -1};  ///< unblocks the acceptor's poll()
   int port_ = 0;
@@ -153,7 +199,8 @@ class KbServer {
 
   std::mutex mu_;
   std::condition_variable work_cv_;
-  std::deque<int> pending_;  ///< accepted, waiting for a worker
+  std::deque<int> pending_;          ///< threaded core: queued conn fds
+  std::deque<PendingRequest> reqs_;  ///< event core: queued requests
   bool stopping_ = false;
   bool draining_ = false;  ///< shed new work, finish in-flight
   bool started_ = false;

@@ -6,11 +6,22 @@
 //
 // Usage:
 //   kbforge_serve [--port=N] [--workers=N] [--queue=N]
+//                 [--io-threads=N] [--backlog=N] [--max-connections=N]
+//                 [--idle-timeout-ms=MS] [--max-pipeline=N]
+//                 [--threaded-core]
 //                 [--cache-bytes=N] [--deadline-ms=MS] [--max-rows=N]
 //                 [--persons=N] [--seed=N] [--drain-ms=MS]
 //                 [--repl-port=N] [--repl-data-dir=PATH]
 //                 [--repl-shards=N]
 //                 [--snapshot=PATH] [--write-snapshot=PATH]
+//
+// The server runs on the epoll event core (DESIGN.md §5f):
+// --io-threads epoll loops own every connection fd while --workers
+// threads execute requests, so held-open connections cost no worker.
+// --max-connections (0 = workers + queue) sheds excess accepts,
+// --idle-timeout-ms reaps silent connections, --max-pipeline bounds
+// per-connection in-flight requests. --threaded-core selects the old
+// thread-per-connection core (ablation/escape hatch).
 //
 // --snapshot=PATH boots the KB by mapping a FrameStore snapshot file
 // instead of harvesting — the instant-start path (milliseconds instead
@@ -80,6 +91,9 @@ int main(int argc, char** argv) {
   // parks one cached data connection per worker plus one persistent
   // health connection on every backend (DESIGN.md §5d).
   long port = 7471, workers = 8, queue = 16;
+  long io_threads = 2, backlog = 0, max_connections = 0;
+  long idle_timeout_ms = 0, max_pipeline = 128;
+  bool threaded_core = false;
   long cache_bytes = 8 << 20, deadline_ms = 0, max_rows = 0;
   long persons = 400, seed = 4242, drain_ms = 2000;
   long repl_port = -1, repl_shards = 4;
@@ -90,6 +104,12 @@ int main(int argc, char** argv) {
     if (FlagValue(argv[i], "--port", &v)) port = v;
     else if (FlagValue(argv[i], "--workers", &v)) workers = v;
     else if (FlagValue(argv[i], "--queue", &v)) queue = v;
+    else if (FlagValue(argv[i], "--io-threads", &v)) io_threads = v;
+    else if (FlagValue(argv[i], "--backlog", &v)) backlog = v;
+    else if (FlagValue(argv[i], "--max-connections", &v)) max_connections = v;
+    else if (FlagValue(argv[i], "--idle-timeout-ms", &v)) idle_timeout_ms = v;
+    else if (FlagValue(argv[i], "--max-pipeline", &v)) max_pipeline = v;
+    else if (::strcmp(argv[i], "--threaded-core") == 0) threaded_core = true;
     else if (FlagValue(argv[i], "--cache-bytes", &v)) cache_bytes = v;
     else if (FlagValue(argv[i], "--deadline-ms", &v)) deadline_ms = v;
     else if (FlagValue(argv[i], "--max-rows", &v)) max_rows = v;
@@ -104,6 +124,9 @@ int main(int argc, char** argv) {
     } else {
       ::fprintf(stderr,
                 "usage: %s [--port=N] [--workers=N] [--queue=N] "
+                "[--io-threads=N] [--backlog=N] [--max-connections=N] "
+                "[--idle-timeout-ms=MS] [--max-pipeline=N] "
+                "[--threaded-core] "
                 "[--cache-bytes=N] [--deadline-ms=MS] [--max-rows=N] "
                 "[--persons=N] [--seed=N] [--drain-ms=MS] [--repl-port=N] "
                 "[--repl-data-dir=PATH] [--repl-shards=N] "
@@ -173,6 +196,12 @@ int main(int argc, char** argv) {
   options.port = static_cast<int>(port);
   options.num_workers = static_cast<int>(workers);
   options.queue_depth = static_cast<size_t>(queue);
+  options.io_threads = static_cast<int>(io_threads);
+  options.backlog = static_cast<int>(backlog);
+  options.max_connections = static_cast<size_t>(max_connections);
+  options.idle_timeout_ms = static_cast<double>(idle_timeout_ms);
+  options.max_pipeline = static_cast<size_t>(max_pipeline);
+  options.threaded_core = threaded_core;
   options.cache_bytes = static_cast<size_t>(cache_bytes);
   options.default_deadline_ms = static_cast<double>(deadline_ms);
   options.default_max_rows = static_cast<size_t>(max_rows);
@@ -198,9 +227,10 @@ int main(int argc, char** argv) {
     ::fprintf(stderr, "start failed: %s\n", status.ToString().c_str());
     return 1;
   }
-  ::printf("listening on 127.0.0.1:%d (%ld workers, queue %ld, cache %ld "
-           "bytes)\n",
-           server.port(), workers, queue, cache_bytes);
+  ::printf("listening on 127.0.0.1:%d (%s core, %ld workers, queue %ld, "
+           "%ld io threads, cache %ld bytes)\n",
+           server.port(), threaded_core ? "threaded" : "event", workers,
+           queue, io_threads, cache_bytes);
 
   std::unique_ptr<replication::WalShipper> shipper;
   if (repl_log != nullptr) {

@@ -28,6 +28,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "UNAVAILABLE";
     case StatusCode::kDeadlineExceeded:
       return "DEADLINE_EXCEEDED";
+    case StatusCode::kConnectionClosed:
+      return "CONNECTION_CLOSED";
   }
   return "UNKNOWN";
 }

@@ -24,6 +24,11 @@ enum class StatusCode : int {
   kAborted = 9,
   kUnavailable = 10,        ///< transient overload: retry later
   kDeadlineExceeded = 11,   ///< request gave up before completing
+  /// The peer closed the connection (clean EOF, EPIPE, ECONNRESET, or
+  /// a server-side idle timeout). Distinct from kIOError so clients
+  /// holding long-lived connections can transparently reconnect
+  /// without also retrying on genuinely torn reads.
+  kConnectionClosed = 12,
 };
 
 /// Returns a stable human-readable name for a status code.
@@ -74,6 +79,9 @@ class Status {
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
+  static Status ConnectionClosed(std::string msg) {
+    return Status(StatusCode::kConnectionClosed, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -89,6 +97,9 @@ class Status {
   bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
   bool IsDeadlineExceeded() const {
     return code_ == StatusCode::kDeadlineExceeded;
+  }
+  bool IsConnectionClosed() const {
+    return code_ == StatusCode::kConnectionClosed;
   }
 
   /// "OK" or "<CODE>: <message>".

@@ -566,6 +566,155 @@ TEST(KbServerDrainTest, DrainTimeoutBoundsIdleConnections) {
   EXPECT_FALSE(idle.Health().ok());  // connection was shut down
 }
 
+// ------------------------------------------------ event core / pipelining
+
+/// Wire framing for raw-socket tests: 4-byte big-endian length prefix.
+std::string Framed(const std::string& payload) {
+  uint32_t len = static_cast<uint32_t>(payload.size());
+  std::string out;
+  out.push_back(static_cast<char>((len >> 24) & 0xff));
+  out.push_back(static_cast<char>((len >> 16) & 0xff));
+  out.push_back(static_cast<char>((len >> 8) & 0xff));
+  out.push_back(static_cast<char>(len & 0xff));
+  out += payload;
+  return out;
+}
+
+TEST(KbServerPipelineTest, ByteDribbledFramesParseAcrossArbitrarySplits) {
+  TestServer ts;
+  int fd = RawConnect(ts.server.port());
+  // Two pipelined requests delivered one byte at a time: the server's
+  // incremental parser must reassemble frames across every possible
+  // read boundary, including headers torn mid-length.
+  std::string stream =
+      Framed("{\"op\":\"health\"}") + Framed("{\"op\":\"metrics\"}");
+  for (size_t i = 0; i < stream.size(); ++i) {
+    ASSERT_EQ(::send(fd, stream.data() + i, 1, 0), 1);
+    if (i % 7 == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  std::string response;
+  ASSERT_TRUE(ReadFrame(fd, &response).ok());
+  EXPECT_NE(response.find("\"healthy\":true"), std::string::npos);
+  ASSERT_TRUE(ReadFrame(fd, &response).ok());
+  EXPECT_NE(response.find("server.requests"), std::string::npos);
+  ::close(fd);
+}
+
+TEST(KbServerPipelineTest, PipelinedFramesAnswerStrictlyInOrder) {
+  KbServer::Options options;
+  options.num_workers = 4;  // workers race; the flush order must not
+  options.queue_depth = 64;  // hold the whole burst without shedding
+  TestServer ts(options);
+  const auto before = MetricsRegistry::Default().Snapshot();
+  int fd = RawConnect(ts.server.port());
+  // Each request's op name is its schedule position, and the error
+  // response echoes it back — so response order proves sequencing.
+  constexpr int kFrames = 32;
+  std::string stream;
+  for (int i = 0; i < kFrames; ++i) {
+    stream += Framed("{\"op\":\"probe_" + std::to_string(i) + "\"}");
+  }
+  ASSERT_EQ(::send(fd, stream.data(), stream.size(), 0),
+            static_cast<ssize_t>(stream.size()));
+  for (int i = 0; i < kFrames; ++i) {
+    std::string response;
+    ASSERT_TRUE(ReadFrame(fd, &response).ok()) << "frame " << i;
+    EXPECT_NE(response.find("no such op: probe_" + std::to_string(i)),
+              std::string::npos)
+        << "out-of-order response at " << i << ": " << response;
+  }
+  const auto after = MetricsRegistry::Default().Snapshot();
+  EXPECT_GT(after.counter("server.pipelined_frames"),
+            before.counter("server.pipelined_frames"));
+  EXPECT_GT(after.counter("server.epoll_wakeups"),
+            before.counter("server.epoll_wakeups"));
+  EXPECT_GE(after.gauge("server.open_connections"), 1);
+  ::close(fd);
+}
+
+TEST(KbServerEventCoreTest, RequestShedWhenQueueFullClosesAfterHint) {
+  KbServer::Options options;
+  options.queue_depth = 0;  // every request sheds at admission
+  options.retry_after_ms = 7;
+  TestServer ts(options);
+  int fd = RawConnect(ts.server.port());
+  // Pipeline three requests: the first one's shed response carries the
+  // hint and closes the connection, dropping the two behind it.
+  std::string stream;
+  for (int i = 0; i < 3; ++i) stream += Framed("{\"op\":\"health\"}");
+  ASSERT_EQ(::send(fd, stream.data(), stream.size(), 0),
+            static_cast<ssize_t>(stream.size()));
+  std::string response;
+  ASSERT_TRUE(ReadFrame(fd, &response).ok());
+  EXPECT_NE(response.find("\"status\":\"overloaded\""), std::string::npos);
+  EXPECT_NE(response.find("\"retry_after_ms\":7"), std::string::npos);
+  Status eof = ReadFrame(fd, &response);
+  EXPECT_TRUE(eof.IsAborted()) << eof;  // clean close, no more frames
+  ::close(fd);
+}
+
+TEST(KbServerEventCoreTest, ConnectionCapShedsExcessAccepts) {
+  KbServer::Options options;
+  options.max_connections = 2;
+  options.retry_after_ms = 9;
+  TestServer ts(options);
+  KbClient a = ts.Connect();
+  ASSERT_TRUE(a.Health().ok());
+  KbClient b = ts.Connect();
+  ASSERT_TRUE(b.Health().ok());
+
+  KbClient c;
+  ASSERT_TRUE(c.Connect(ts.server.port()).ok());  // TCP-level accept
+  auto shed = c.Health();
+  ASSERT_FALSE(shed.ok());
+  EXPECT_TRUE(shed.status().IsUnavailable()) << shed.status();
+  EXPECT_EQ(c.retry_after_ms(), 9);
+
+  // Capacity frees once an admitted connection goes away.
+  a.Close();
+  bool readmitted = false;
+  for (int i = 0; i < 200 && !readmitted; ++i) {
+    KbClient d;
+    readmitted = d.Connect(ts.server.port()).ok() && d.Health().ok();
+    if (!readmitted) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  EXPECT_TRUE(readmitted);
+}
+
+TEST(KbServerEventCoreTest, IdleConnectionsAreReapedAndKeepAliveRecovers) {
+  KbServer::Options options;
+  options.idle_timeout_ms = 60;
+  TestServer ts(options);
+  const uint64_t reaped_before =
+      MetricsRegistry::Default().Snapshot().counter("server.idle_closed");
+
+  // Without the opt-in, the reap surfaces as a typed ConnectionClosed —
+  // not IOError — so callers can tell "reconnect" from "torn read".
+  KbClient bare;
+  ASSERT_TRUE(bare.Connect(ts.server.port()).ok());
+  ASSERT_TRUE(bare.Health().ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  auto closed = bare.Health();
+  ASSERT_FALSE(closed.ok());
+  EXPECT_TRUE(closed.status().IsConnectionClosed()) << closed.status();
+  EXPECT_GT(MetricsRegistry::Default().Snapshot().counter(
+                "server.idle_closed"),
+            reaped_before);
+
+  // With reconnect_on_close the same sequence just works.
+  ClientOptions keep_alive;
+  keep_alive.reconnect_on_close = true;
+  KbClient client(keep_alive);
+  ASSERT_TRUE(client.Connect(ts.server.port()).ok());
+  ASSERT_TRUE(client.Health().ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  EXPECT_TRUE(client.Health().ok());
+}
+
 }  // namespace
 }  // namespace server
 }  // namespace kb
