@@ -1,0 +1,193 @@
+#include "analytics/class_stats.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "rdf/term.h"
+#include "util/metrics_registry.h"
+
+namespace kb {
+namespace analytics {
+namespace {
+
+struct ClassStatsMetrics {
+  Counter& runs;
+  Counter& entities;
+
+  static ClassStatsMetrics& Get() {
+    static ClassStatsMetrics* m = [] {
+      MetricsRegistry& r = MetricsRegistry::Default();
+      return new ClassStatsMetrics{r.counter("analytics.class_stats.runs"),
+                                   r.counter("analytics.class_stats.entities")};
+    }();
+    return *m;
+  }
+};
+
+/// Reflexive-transitive ancestor closures over the subclass edges,
+/// memoized per class. Cycle-safe: a class on the current DFS path
+/// contributes itself only.
+class AncestorClosure {
+ public:
+  explicit AncestorClosure(
+      std::unordered_map<rdf::TermId, std::vector<rdf::TermId>> parents)
+      : parents_(std::move(parents)) {}
+
+  const std::vector<rdf::TermId>& Of(rdf::TermId cls) {
+    auto it = closure_.find(cls);
+    if (it != closure_.end()) return it->second;
+    // Mark in-progress with an empty entry so cycles terminate.
+    closure_.emplace(cls, std::vector<rdf::TermId>{});
+    std::vector<rdf::TermId> out{cls};
+    auto pit = parents_.find(cls);
+    if (pit != parents_.end()) {
+      for (rdf::TermId parent : pit->second) {
+        const std::vector<rdf::TermId>& up = Of(parent);
+        out.insert(out.end(), up.begin(), up.end());
+      }
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return closure_[cls] = std::move(out);
+  }
+
+ private:
+  std::unordered_map<rdf::TermId, std::vector<rdf::TermId>> parents_;
+  std::unordered_map<rdf::TermId, std::vector<rdf::TermId>> closure_;
+};
+
+}  // namespace
+
+ClassStatsResult ComputeClassStats(const rdf::TripleSource& source,
+                                   const ClassStatsOptions& options,
+                                   ThreadPool* pool) {
+  ClassStatsResult result;
+  ClassStatsMetrics::Get().runs.Increment();
+  if (options.type_predicate == 0 ||
+      options.type_predicate == rdf::kAnyTerm) {
+    return result;
+  }
+
+  // Pass 1: subclass edges -> memoized ancestor closures (sequential;
+  // taxonomies are tiny next to the entity population).
+  AncestorClosure closure = [&] {
+    std::unordered_map<rdf::TermId, std::vector<rdf::TermId>> parents;
+    if (options.rollup && options.subclass_predicate != 0 &&
+        options.subclass_predicate != rdf::kAnyTerm) {
+      rdf::TriplePattern sub;
+      sub.p = options.subclass_predicate;
+      source.Scan(sub, [&](const rdf::Triple& t) {
+        parents[t.s].push_back(t.o);
+        return true;
+      });
+    }
+    return AncestorClosure(std::move(parents));
+  }();
+
+  // Pass 2: type triples grouped by entity. The POS scan delivers
+  // (type, class, entity) sorted by class then entity, so re-sort by
+  // entity to recover per-entity runs.
+  std::vector<std::pair<rdf::TermId, rdf::TermId>> typed;  // (entity, class)
+  {
+    rdf::TriplePattern type;
+    type.p = options.type_predicate;
+    source.Scan(type, [&](const rdf::Triple& t) {
+      typed.emplace_back(t.s, t.o);
+      return true;
+    });
+  }
+  std::sort(typed.begin(), typed.end());
+  typed.erase(std::unique(typed.begin(), typed.end()), typed.end());
+  std::vector<size_t> entity_begin;  // run starts in `typed`
+  for (size_t i = 0; i < typed.size(); ++i) {
+    if (i == 0 || typed[i].first != typed[i - 1].first) {
+      entity_begin.push_back(i);
+    }
+  }
+  result.num_entities = entity_begin.size();
+  ClassStatsMetrics::Get().entities.Increment(entity_begin.size());
+
+  // Precompute every closure once (the closure cache is not
+  // thread-safe; after this, shards only read it).
+  for (const auto& [entity, cls] : typed) {
+    (void)entity;
+    (void)closure.Of(cls);
+  }
+
+  // Pass 3: per-shard distinct counting, merged at the end. Each
+  // entity's direct classes expand to their ancestor union exactly
+  // once, so an entity typed under two siblings counts once for the
+  // shared superclass.
+  size_t num_shards = pool != nullptr ? pool->num_threads() * 4 : 1;
+  if (num_shards == 0 || num_shards > entity_begin.size()) {
+    num_shards = std::max<size_t>(entity_begin.size(), 1);
+  }
+  if (pool == nullptr) num_shards = 1;
+  std::vector<std::unordered_map<rdf::TermId, uint64_t>> shard_counts(
+      num_shards);
+  size_t per = (entity_begin.size() + num_shards - 1) / num_shards;
+  auto count_range = [&](size_t begin_run, size_t end_run, size_t shard) {
+    std::unordered_map<rdf::TermId, uint64_t>& counts = shard_counts[shard];
+    std::vector<rdf::TermId> classes;
+    for (size_t r = begin_run; r < end_run; ++r) {
+      size_t lo = entity_begin[r];
+      size_t hi =
+          r + 1 < entity_begin.size() ? entity_begin[r + 1] : typed.size();
+      classes.clear();
+      for (size_t i = lo; i < hi; ++i) {
+        if (options.rollup) {
+          const std::vector<rdf::TermId>& up = closure.Of(typed[i].second);
+          classes.insert(classes.end(), up.begin(), up.end());
+        } else {
+          classes.push_back(typed[i].second);
+        }
+      }
+      std::sort(classes.begin(), classes.end());
+      classes.erase(std::unique(classes.begin(), classes.end()),
+                    classes.end());
+      for (rdf::TermId cls : classes) ++counts[cls];
+    }
+  };
+  if (pool != nullptr && num_shards > 1) {
+    pool->ParallelFor(num_shards, [&](size_t shard) {
+      size_t begin_run = shard * per;
+      size_t end_run = std::min(entity_begin.size(), begin_run + per);
+      if (begin_run < end_run) count_range(begin_run, end_run, shard);
+    });
+  } else {
+    count_range(0, entity_begin.size(), 0);
+  }
+
+  std::unordered_map<rdf::TermId, uint64_t> merged;
+  for (const auto& shard : shard_counts) {
+    for (const auto& [cls, count] : shard) merged[cls] += count;
+  }
+  result.counts.assign(merged.begin(), merged.end());
+  std::sort(result.counts.begin(), result.counts.end(),
+            [](const std::pair<rdf::TermId, uint64_t>& a,
+               const std::pair<rdf::TermId, uint64_t>& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+  result.num_classes = result.counts.size();
+  return result;
+}
+
+size_t InsertClassStatsFacts(const ClassStatsResult& result,
+                             const std::string& property,
+                             core::KnowledgeBase* kb) {
+  rdf::TermId p = kb->PropertyTerm(property);
+  size_t inserted = 0;
+  for (const auto& [cls, count] : result.counts) {
+    rdf::TermId o = kb->store().dict().Intern(
+        rdf::Term::IntLiteral(static_cast<int64_t>(count)));
+    core::FactMeta meta;
+    kb->AddTripleWithMeta(rdf::Triple{cls, p, o}, &meta);
+    ++inserted;
+  }
+  return inserted;
+}
+
+}  // namespace analytics
+}  // namespace kb

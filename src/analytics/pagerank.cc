@@ -1,0 +1,194 @@
+#include "analytics/pagerank.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <unordered_map>
+
+#include "rdf/namespaces.h"
+#include "util/metrics_registry.h"
+
+namespace kb {
+namespace analytics {
+namespace {
+
+struct PageRankMetrics {
+  Counter& runs;
+  Counter& iterations;
+  Counter& edges;
+
+  static PageRankMetrics& Get() {
+    static PageRankMetrics* m = [] {
+      MetricsRegistry& r = MetricsRegistry::Default();
+      return new PageRankMetrics{r.counter("analytics.pagerank.runs"),
+                                 r.counter("analytics.pagerank.iterations"),
+                                 r.counter("analytics.pagerank.edges")};
+    }();
+    return *m;
+  }
+};
+
+/// Splits [0, n) into roughly even chunks and runs `fn(begin, end,
+/// chunk_index)` for each — on the pool when given, inline otherwise.
+/// The per-chunk index lets callers keep partial reductions without
+/// sharing.
+template <typename Fn>
+size_t ForChunks(ThreadPool* pool, size_t n, const Fn& fn) {
+  size_t num_chunks = pool != nullptr ? pool->num_threads() * 4 : 1;
+  if (num_chunks == 0) num_chunks = 1;
+  if (num_chunks > n) num_chunks = n > 0 ? n : 1;
+  size_t per = (n + num_chunks - 1) / num_chunks;
+  if (pool == nullptr || num_chunks == 1) {
+    fn(0, n, 0);
+    return 1;
+  }
+  pool->ParallelFor(num_chunks, [&](size_t c) {
+    size_t begin = c * per;
+    size_t end = std::min(n, begin + per);
+    if (begin < end) fn(begin, end, c);
+  });
+  return num_chunks;
+}
+
+}  // namespace
+
+std::vector<std::pair<rdf::TermId, double>> PageRankResult::TopK(
+    size_t k) const {
+  std::vector<std::pair<rdf::TermId, double>> out;
+  out.reserve(nodes.size());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    out.emplace_back(nodes[i], ranks[i]);
+  }
+  auto better = [](const std::pair<rdf::TermId, double>& a,
+                   const std::pair<rdf::TermId, double>& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  };
+  if (k < out.size()) {
+    std::partial_sort(out.begin(), out.begin() + static_cast<long>(k),
+                      out.end(), better);
+    out.resize(k);
+  } else {
+    std::sort(out.begin(), out.end(), better);
+  }
+  return out;
+}
+
+PageRankResult ComputePageRank(const rdf::TripleSource& source,
+                               const PageRankOptions& options,
+                               ThreadPool* pool) {
+  PageRankResult result;
+  PageRankMetrics::Get().runs.Increment();
+
+  // --- Graph build: one full scan, dense-renumbered edge list. ---
+  std::vector<rdf::TermId> excluded = options.exclude_predicates;
+  std::sort(excluded.begin(), excluded.end());
+  std::unordered_map<rdf::TermId, uint32_t> index_of;
+  std::vector<std::pair<uint32_t, uint32_t>> edges;  // (src, dst), dense
+  auto dense = [&](rdf::TermId id) {
+    auto [it, inserted] =
+        index_of.emplace(id, static_cast<uint32_t>(result.nodes.size()));
+    if (inserted) result.nodes.push_back(id);
+    return it->second;
+  };
+  source.Scan({}, [&](const rdf::Triple& t) {
+    if (std::binary_search(excluded.begin(), excluded.end(), t.p)) {
+      return true;
+    }
+    if (options.iri_objects_only != nullptr &&
+        !options.iri_objects_only->term(t.o).is_iri()) {
+      return true;
+    }
+    edges.emplace_back(dense(t.s), dense(t.o));
+    return true;
+  });
+  const size_t n = result.nodes.size();
+  result.num_edges = edges.size();
+  PageRankMetrics::Get().edges.Increment(edges.size());
+  result.ranks.assign(n, n > 0 ? 1.0 / static_cast<double>(n) : 0.0);
+  if (n == 0 || edges.empty()) return result;
+
+  // Out-degrees, then an incoming-edge CSR (dst-major) so each node's
+  // next rank is an independent pull — the unit the pool shards.
+  std::vector<uint32_t> out_degree(n, 0);
+  std::vector<uint32_t> in_offset(n + 1, 0);
+  for (const auto& [src, dst] : edges) {
+    ++out_degree[src];
+    ++in_offset[dst + 1];
+  }
+  for (size_t i = 0; i < n; ++i) in_offset[i + 1] += in_offset[i];
+  std::vector<uint32_t> in_src(edges.size());
+  {
+    std::vector<uint32_t> cursor(in_offset.begin(), in_offset.end() - 1);
+    for (const auto& [src, dst] : edges) in_src[cursor[dst]++] = src;
+  }
+
+  // --- Frontier-synchronized power iteration. ---
+  const double d = options.damping;
+  const double base = (1.0 - d) / static_cast<double>(n);
+  std::vector<double> next(n, 0.0);
+  size_t num_chunks = pool != nullptr ? pool->num_threads() * 4 : 1;
+  std::vector<double> partial(std::max<size_t>(num_chunks, 1), 0.0);
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    // Dangling mass: nodes with no out-edges leak rank; redistribute
+    // it uniformly so ranks keep summing to 1.
+    std::fill(partial.begin(), partial.end(), 0.0);
+    ForChunks(pool, n, [&](size_t begin, size_t end, size_t c) {
+      double sum = 0.0;
+      for (size_t i = begin; i < end; ++i) {
+        if (out_degree[i] == 0) sum += result.ranks[i];
+      }
+      partial[c] += sum;
+    });
+    double dangling = 0.0;
+    for (double p : partial) dangling += p;
+    const double redistribute = d * dangling / static_cast<double>(n);
+
+    std::fill(partial.begin(), partial.end(), 0.0);
+    ForChunks(pool, n, [&](size_t begin, size_t end, size_t c) {
+      double delta = 0.0;
+      for (size_t i = begin; i < end; ++i) {
+        double in_sum = 0.0;
+        for (uint32_t e = in_offset[i]; e < in_offset[i + 1]; ++e) {
+          uint32_t src = in_src[e];
+          in_sum += result.ranks[src] / out_degree[src];
+        }
+        next[i] = base + redistribute + d * in_sum;
+        delta += std::fabs(next[i] - result.ranks[i]);
+      }
+      partial[c] += delta;
+    });
+    result.ranks.swap(next);
+    result.last_delta = 0.0;
+    for (double p : partial) result.last_delta += p;
+    result.iterations = iter + 1;
+    PageRankMetrics::Get().iterations.Increment();
+    if (options.tolerance > 0 && result.last_delta < options.tolerance) {
+      break;
+    }
+  }
+  return result;
+}
+
+size_t InsertPageRankFacts(const PageRankResult& result, size_t top_k,
+                           const std::string& property,
+                           core::KnowledgeBase* kb) {
+  static constexpr std::string_view kXsdDouble =
+      "http://www.w3.org/2001/XMLSchema#double";
+  rdf::TermId p = kb->PropertyTerm(property);
+  size_t inserted = 0;
+  for (const auto& [node, score] : result.TopK(top_k)) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.10g", score);
+    rdf::TermId o = kb->store().dict().Intern(
+        rdf::Term::TypedLiteral(buf, std::string(kXsdDouble)));
+    core::FactMeta meta;
+    meta.extractor = 0;
+    kb->AddTripleWithMeta(rdf::Triple{node, p, o}, &meta);
+    ++inserted;
+  }
+  return inserted;
+}
+
+}  // namespace analytics
+}  // namespace kb

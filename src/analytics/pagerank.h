@@ -1,0 +1,74 @@
+#ifndef KBFORGE_ANALYTICS_PAGERANK_H_
+#define KBFORGE_ANALYTICS_PAGERANK_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/knowledge_base.h"
+#include "rdf/dictionary.h"
+#include "rdf/triple_source.h"
+#include "util/thread_pool.h"
+
+namespace kb {
+namespace analytics {
+
+/// Offline entity-importance analytics (the tutorial's §4 "big data
+/// analytics over the KB" workload): PageRank power iteration over the
+/// id-native entity link graph of a TripleSource. The graph is built
+/// from one full scan — every non-excluded triple contributes an
+/// s -> o edge — so the job runs against a store snapshot without
+/// touching the dictionary, and ranks are keyed by the same TermIds
+/// the serving tier renders.
+struct PageRankOptions {
+  double damping = 0.85;
+  /// Hard iteration cap.
+  int max_iterations = 20;
+  /// Stop once the L1 rank delta of an iteration falls below this;
+  /// 0 disables early convergence.
+  double tolerance = 1e-9;
+  /// Predicates whose triples contribute no edges (schema plumbing:
+  /// rdf:type, rdfs:subClassOf, rdfs:label, ...).
+  std::vector<rdf::TermId> exclude_predicates;
+  /// When set, only triples whose object is an IRI contribute edges
+  /// (literal-valued facts like years would otherwise become sink
+  /// nodes). Must stay valid and quiesced for the duration.
+  const rdf::Dictionary* iri_objects_only = nullptr;
+};
+
+struct PageRankResult {
+  /// Graph nodes (every TermId seen as subject or object of a kept
+  /// edge); ranks[i] is the score of nodes[i]. Ranks sum to ~1.
+  std::vector<rdf::TermId> nodes;
+  std::vector<double> ranks;
+  int iterations = 0;      ///< power iterations actually run
+  double last_delta = 0;   ///< L1 delta of the final iteration
+  size_t num_edges = 0;
+
+  /// The k highest-ranked nodes, score-descending (ties: smaller id
+  /// first, so results are deterministic).
+  std::vector<std::pair<rdf::TermId, double>> TopK(size_t k) const;
+};
+
+/// Runs PageRank over `source`. Each power iteration is sharded across
+/// `pool` (frontier-synchronized: all of iteration i completes before
+/// i+1 starts); pass nullptr to run single-threaded.
+PageRankResult ComputePageRank(const rdf::TripleSource& source,
+                               const PageRankOptions& options,
+                               ThreadPool* pool);
+
+/// Writes the top_k ranked entities back into the KB as
+///   <entity> kbp:<property> "score"^^xsd:double
+/// facts, making the analytics output queryable like any other fact.
+/// Returns the number of facts asserted. Caller must have writers
+/// quiesced (the helper interns literal terms through the raw
+/// dictionary handle).
+size_t InsertPageRankFacts(const PageRankResult& result, size_t top_k,
+                           const std::string& property,
+                           core::KnowledgeBase* kb);
+
+}  // namespace analytics
+}  // namespace kb
+
+#endif  // KBFORGE_ANALYTICS_PAGERANK_H_

@@ -1,0 +1,46 @@
+#ifndef KBFORGE_QUERY_BATCH_EXEC_H_
+#define KBFORGE_QUERY_BATCH_EXEC_H_
+
+#include <vector>
+
+#include "query/engine.h"
+#include "query/plan.h"
+
+namespace kb {
+namespace query {
+
+/// Vector-at-a-time execution of a compiled plan (the E19 ablation
+/// against the Volcano row-at-a-time pipeline):
+///
+///   - the leaf scan fills column-major id chunks of up to
+///     `options.batch_size` rows (one vector<TermId> per slot);
+///   - each join level consumes a chunk at a time, probing the index
+///     per outer row and appending extended rows to its output chunk;
+///   - join levels with exactly one probe slot get a Bloom-filter
+///     semijoin prefilter when the inner side is estimated smaller
+///     than the leaf: the inner scan's join-key column is folded into
+///     a Bloom filter once, and outer rows whose key definitely has
+///     no match skip the index probe entirely
+///     (QueryStats::bloom_probes / bloom_hits);
+///   - aggregation folds chunks column-wise into the shared
+///     GroupAggregator; plain queries project chunk columns.
+///
+/// Runs against the same CompiledPlan (and therefore through the same
+/// plan cache) as the row executor and returns the same projected
+/// rows: [projection...] or [group values..., count] for aggregates.
+/// Honors options.exec (deadline checked between chunks, max_rows on
+/// produced rows) and fills `stats` like the row path.
+std::vector<Row> ExecuteBatch(const CompiledPlan& plan,
+                              const SelectQuery& query,
+                              const rdf::TripleSource& source,
+                              const ExecutionOptions& options,
+                              QueryStats* stats);
+
+/// Flushes the batch-mode counters of one execution (query.batches,
+/// query.bloom_probes, query.bloom_hits) into the default registry.
+void BatchMetricsFlush(const QueryStats& stats);
+
+}  // namespace query
+}  // namespace kb
+
+#endif  // KBFORGE_QUERY_BATCH_EXEC_H_

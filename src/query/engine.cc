@@ -4,6 +4,9 @@
 #include <set>
 #include <unordered_set>
 
+#include "query/agg.h"
+#include "query/batch_exec.h"
+#include "query/exec_internal.h"
 #include "rdf/term.h"
 #include "util/hash.h"
 #include "util/metrics_registry.h"
@@ -23,6 +26,7 @@ struct QueryMetrics {
   Counter& index_scans;
   Counter& plan_cache_hits;
   Counter& plan_cache_misses;
+  Counter& agg_groups;
   Histogram& execute_ms;
 
   static QueryMetrics& Get() {
@@ -36,66 +40,11 @@ struct QueryMetrics {
           r.counter("query.index_scans"),
           r.counter("query.plan_cache_hits"),
           r.counter("query.plan_cache_misses"),
+          r.counter("query.agg_groups"),
           r.histogram("query.execute_ms"),
       };
     }();
     return *m;
-  }
-};
-
-/// Scan pattern for one join level: constants and probe slots resolved
-/// against the current row. With use_indexes off, everything is left
-/// wild and BindRow post-filters (the full-scan ablation).
-rdf::TriplePattern ScanPattern(const CompiledScan& scan, const Row& row,
-                               bool use_indexes) {
-  rdf::TriplePattern pattern;
-  if (!use_indexes) return pattern;
-  rdf::TermId* out[3] = {&pattern.s, &pattern.p, &pattern.o};
-  const Access* accesses[3] = {&scan.s, &scan.p, &scan.o};
-  for (int i = 0; i < 3; ++i) {
-    switch (accesses[i]->kind) {
-      case Access::Kind::kConst:
-        *out[i] = accesses[i]->constant;
-        break;
-      case Access::Kind::kProbe:
-        *out[i] = row[static_cast<size_t>(accesses[i]->slot)];
-        break;
-      default:
-        break;  // kBind/kCheck stay wild
-    }
-  }
-  return pattern;
-}
-
-/// Applies one matched triple to the row: binds fresh slots, verifies
-/// constants, probes and repeated variables. Returns false if the
-/// triple does not extend the row.
-bool BindRow(const CompiledScan& scan, const rdf::Triple& t, Row* row) {
-  const Access* accesses[3] = {&scan.s, &scan.p, &scan.o};
-  const rdf::TermId values[3] = {t.s, t.p, t.o};
-  for (int i = 0; i < 3; ++i) {
-    const Access& a = *accesses[i];
-    switch (a.kind) {
-      case Access::Kind::kConst:
-        if (values[i] != a.constant) return false;
-        break;
-      case Access::Kind::kProbe:
-      case Access::Kind::kCheck:
-        if ((*row)[static_cast<size_t>(a.slot)] != values[i]) return false;
-        break;
-      case Access::Kind::kBind:
-        (*row)[static_cast<size_t>(a.slot)] = values[i];
-        break;
-    }
-  }
-  return true;
-}
-
-struct RowHash {
-  size_t operator()(const Row& row) const {
-    uint64_t h = 0x9e3779b97f4a7c15ULL;
-    for (rdf::TermId id : row) h = HashCombine(h, Mix64(id));
-    return static_cast<size_t>(h);
   }
 };
 
@@ -108,32 +57,6 @@ class Cursor::Operator {
   virtual ~Operator() = default;
   /// Produces the next row into `row`; false at end of stream.
   virtual bool Next(Row* row) = 0;
-};
-
-/// Shared cooperative-cancellation state for one cursor. The scan and
-/// join operators poll Expired() from their inner loops, so a deadline
-/// cuts off even executions that churn through intermediate triples
-/// without ever surfacing a row to Cursor::Next. The clock is only
-/// consulted every kCheckStride polls (a steady_clock read per triple
-/// would dominate scan cost); once expired, the state latches.
-struct Cursor::CancelState {
-  static constexpr uint32_t kCheckStride = 256;
-
-  std::chrono::steady_clock::time_point deadline{};
-  uint32_t polls_until_check = 0;  ///< first poll checks the clock
-  bool armed = false;
-  bool expired = false;
-
-  bool Expired() {
-    if (!armed || expired) return expired;
-    if (polls_until_check > 0) {
-      --polls_until_check;
-      return false;
-    }
-    polls_until_check = kCheckStride - 1;
-    expired = std::chrono::steady_clock::now() >= deadline;
-    return expired;
-  }
 };
 
 namespace {
@@ -336,6 +259,55 @@ class LimitOp : public Operator {
   size_t remaining_;
 };
 
+/// Hash GROUP BY over full-width rows: drains the child into the
+/// shared GroupAggregator (query/agg.h), then streams the aggregated
+/// [group values..., count] rows — ordered when a top-k bound was
+/// requested, hash order otherwise. Replaces Project/Distinct in the
+/// pipeline: the aggregate's output columns are already narrow.
+class HashAggregateOp : public Operator {
+ public:
+  HashAggregateOp(std::unique_ptr<Operator> child, const CompiledAgg& agg,
+                  size_t top_k, QueryStats* stats,
+                  Cursor::CancelState* cancel)
+      : child_(std::move(child)),
+        agg_(agg),
+        top_k_(top_k),
+        stats_(stats),
+        cancel_(cancel) {}
+
+  bool Next(Row* row) override {
+    if (!done_) {
+      GroupAggregator groups(agg_);
+      Row in;
+      while (child_->Next(&in)) {
+        groups.Accumulate(in);
+        if (cancel_->expired) break;
+      }
+      done_ = true;
+      if (!cancel_->expired) {
+        stats_->agg_groups += groups.num_groups();
+        out_ = std::move(groups).Finish(top_k_);
+      }
+      // An expired deadline discards the partial aggregate: a group
+      // that is missing late rows would be silently *wrong*, not just
+      // a prefix, so nothing is emitted (the cursor flags the stats).
+    }
+    if (cancel_->expired || pos_ >= out_.size()) return false;
+    *row = std::move(out_[pos_++]);
+    return true;
+  }
+
+ private:
+  std::unique_ptr<Operator> child_;
+  CompiledAgg agg_;
+  size_t top_k_;
+  QueryStats* stats_;
+  Cursor::CancelState* cancel_;
+  std::vector<Row> out_;
+  size_t pos_ = 0;
+  bool done_ = false;
+};
+
 }  // namespace
 
 // ------------------------------------------------------------ Cursor
@@ -343,7 +315,7 @@ class LimitOp : public Operator {
 Cursor::Cursor(PlanPtr plan,
                std::shared_ptr<const rdf::TripleSource> snapshot,
                const rdf::TripleSource* source,
-               const ExecutionOptions& options, size_t limit)
+               const ExecutionOptions& options, size_t limit, size_t top_k)
     : plan_(std::move(plan)),
       snapshot_(std::move(snapshot)),
       cancel_(std::make_unique<CancelState>()),
@@ -370,8 +342,15 @@ Cursor::Cursor(PlanPtr plan,
           options.materialize_terms, stats_.get(), cancel_.get());
     }
   }
-  op = std::make_unique<ProjectOp>(std::move(op), plan_->projection_slots);
-  if (plan_->distinct) op = std::make_unique<DistinctOp>(std::move(op));
+  if (plan_->agg.enabled) {
+    // Aggregation replaces Project/Distinct: the aggregate streams
+    // id-native [group..., count] rows straight to the boundary.
+    op = std::make_unique<HashAggregateOp>(std::move(op), plan_->agg, top_k,
+                                           stats_.get(), cancel_.get());
+  } else {
+    op = std::make_unique<ProjectOp>(std::move(op), plan_->projection_slots);
+    if (plan_->distinct) op = std::make_unique<DistinctOp>(std::move(op));
+  }
   if (limit != 0) op = std::make_unique<LimitOp>(std::move(op), limit);
   root_ = std::move(op);
 }
@@ -385,6 +364,9 @@ Cursor::~Cursor() {
   metrics.rows_streamed.Increment(stats_->rows_streamed);
   metrics.patterns_evaluated.Increment(stats_->patterns_evaluated);
   metrics.index_scans.Increment(stats_->index_scans);
+  if (stats_->agg_groups > 0) {
+    metrics.agg_groups.Increment(stats_->agg_groups);
+  }
   flushed_metrics_ = true;
 }
 
@@ -451,7 +433,7 @@ Cursor QueryEngine::Open(const SelectQuery& query,
   PlanPtr plan = GetPlan(query, options, &cache_hit);
   size_t limit = options.pushdown_limit ? query.limit : 0;
   Cursor cursor(std::move(plan), source_->SnapshotSource(), source_, options,
-                limit);
+                limit, query.agg.top_k);
   cursor.stats_->plan_cache_hit = cache_hit;
   return cursor;
 }
@@ -459,7 +441,12 @@ Cursor QueryEngine::Open(const SelectQuery& query,
 std::vector<Binding> QueryEngine::Execute(const SelectQuery& query,
                                           const ExecutionOptions& options,
                                           QueryStats* stats) const {
-  if (!options.streaming) return ExecuteMaterialized(query, options, stats);
+  // Aggregates only exist in the streaming/batch executors; the legacy
+  // materializing ablation predates them and would return raw rows.
+  if (!options.streaming && !query.agg.enabled()) {
+    return ExecuteMaterialized(query, options, stats);
+  }
+  if (options.batch_size > 0) return ExecuteBatched(query, options, stats);
   QueryMetrics& metrics = QueryMetrics::Get();
   ScopedTimer timer(metrics.execute_ms);
   Cursor cursor = Open(query, options);
@@ -472,6 +459,47 @@ std::vector<Binding> QueryEngine::Execute(const SelectQuery& query,
   }
   if (stats != nullptr) *stats = cursor.stats();
   metrics.rows.Increment(results.size());
+  return results;
+}
+
+/// The vector-at-a-time mode: same plan (and plan cache), different
+/// executor (query/batch_exec.h).
+std::vector<Binding> QueryEngine::ExecuteBatched(
+    const SelectQuery& query, const ExecutionOptions& options,
+    QueryStats* stats) const {
+  QueryMetrics& metrics = QueryMetrics::Get();
+  metrics.executions.Increment();
+  ScopedTimer timer(metrics.execute_ms);
+  bool cache_hit = false;
+  PlanPtr plan = GetPlan(query, options, &cache_hit);
+  std::shared_ptr<const rdf::TripleSource> snapshot =
+      source_->SnapshotSource();
+  const rdf::TripleSource* src =
+      snapshot != nullptr ? snapshot.get() : source_;
+  QueryStats local;
+  local.plan_cache_hit = cache_hit;
+  std::vector<Row> rows = ExecuteBatch(*plan, query, *src, options, &local);
+  if (!options.pushdown_limit && query.limit != 0 &&
+      rows.size() > query.limit) {
+    rows.resize(query.limit);
+  }
+  std::vector<Binding> results;
+  results.reserve(rows.size());
+  for (const Row& row : rows) {
+    Binding binding;
+    for (size_t i = 0;
+         i < plan->projection_names.size() && i < row.size(); ++i) {
+      binding[plan->projection_names[i]] = row[i];
+    }
+    results.push_back(std::move(binding));
+  }
+  metrics.rows.Increment(results.size());
+  metrics.rows_streamed.Increment(local.rows_streamed);
+  metrics.patterns_evaluated.Increment(local.patterns_evaluated);
+  metrics.index_scans.Increment(local.index_scans);
+  if (local.agg_groups > 0) metrics.agg_groups.Increment(local.agg_groups);
+  BatchMetricsFlush(local);
+  if (stats != nullptr) *stats = local;
   return results;
 }
 
@@ -612,16 +640,29 @@ std::vector<Binding> QueryEngine::ExecuteMaterialized(
 StatusOr<SelectQuery> ParseSparql(std::string_view text,
                                   const rdf::Dictionary& dict) {
   SelectQuery query;
-  // Tokenize by whitespace but keep quoted literals intact.
+  // Tokenize by whitespace but keep quoted literals intact; parens
+  // become their own tokens (the aggregate syntax) except inside
+  // quotes or <IRIs>, where they are ordinary characters.
   std::vector<std::string> tokens;
   {
     std::string current;
     bool in_quotes = false;
+    bool in_iri = false;
     for (size_t i = 0; i < text.size(); ++i) {
       char c = text[i];
       if (c == '"' ) {
         in_quotes = !in_quotes;
         current += c;
+        continue;
+      }
+      if (!in_quotes && c == '<') in_iri = true;
+      if (!in_quotes && c == '>') in_iri = false;
+      if (!in_quotes && !in_iri && (c == '(' || c == ')')) {
+        if (!current.empty()) {
+          tokens.push_back(current);
+          current.clear();
+        }
+        tokens.push_back(std::string(1, c));
         continue;
       }
       if (!in_quotes && isspace(static_cast<unsigned char>(c))) {
@@ -645,11 +686,61 @@ StatusOr<SelectQuery> ParseSparql(std::string_view text,
   };
   if (!expect("SELECT")) return Status::InvalidArgument("expected SELECT");
   if (expect("DISTINCT")) query.distinct = true;
-  while (i < tokens.size() && tokens[i][0] == '?') {
-    query.projection.push_back(tokens[i].substr(1));
+  // Projection list: ?vars and at most one (COUNT(...) AS ?name)
+  // aggregate spec, in any interleaving.
+  while (i < tokens.size()) {
+    if (tokens[i][0] == '?') {
+      query.projection.push_back(tokens[i].substr(1));
+      ++i;
+      continue;
+    }
+    if (tokens[i] != "(") break;
+    if (query.agg.enabled()) {
+      return Status::InvalidArgument("only one aggregate is supported");
+    }
+    ++i;  // '('
+    if (!expect("COUNT")) {
+      return Status::InvalidArgument("expected COUNT in aggregate");
+    }
+    if (i >= tokens.size() || tokens[i] != "(") {
+      return Status::InvalidArgument("expected ( after COUNT");
+    }
+    ++i;
+    query.agg.func = expect("DISTINCT") ? AggFunc::kCountDistinct
+                                        : AggFunc::kCount;
+    if (i < tokens.size() && tokens[i] == "*") {
+      if (query.agg.func == AggFunc::kCountDistinct) {
+        return Status::InvalidArgument("COUNT(DISTINCT *) is unsupported");
+      }
+      ++i;
+    } else if (i < tokens.size() && tokens[i].size() > 1 &&
+               tokens[i][0] == '?') {
+      query.agg.var = tokens[i].substr(1);
+      ++i;
+    } else {
+      return Status::InvalidArgument("expected ?var or * in COUNT");
+    }
+    if (i >= tokens.size() || tokens[i] != ")") {
+      return Status::InvalidArgument("expected ) after COUNT argument");
+    }
+    ++i;
+    if (!expect("AS")) {
+      return Status::InvalidArgument("expected AS in aggregate");
+    }
+    if (i >= tokens.size() || tokens[i].size() < 2 || tokens[i][0] != '?') {
+      return Status::InvalidArgument("expected ?name after AS");
+    }
+    query.agg.out_name = tokens[i].substr(1);
+    ++i;
+    if (i >= tokens.size() || tokens[i] != ")") {
+      return Status::InvalidArgument("expected ) closing aggregate");
+    }
     ++i;
   }
   if (i < tokens.size() && tokens[i] == "*") ++i;  // SELECT *
+  if (query.agg.enabled() && query.distinct) {
+    return Status::InvalidArgument("DISTINCT with an aggregate");
+  }
   if (!expect("WHERE")) return Status::InvalidArgument("expected WHERE");
   if (i >= tokens.size() || tokens[i] != "{") {
     return Status::InvalidArgument("expected {");
@@ -672,8 +763,57 @@ StatusOr<SelectQuery> ParseSparql(std::string_view text,
       if (query.where.empty()) {
         return Status::InvalidArgument("empty WHERE clause");
       }
-      // Optional trailing "LIMIT n".
       ++i;
+      // Optional GROUP BY ?g ... (aggregate queries only).
+      if (i < tokens.size() && ToUpper(tokens[i]) == "GROUP") {
+        ++i;
+        if (!expect("BY")) {
+          return Status::InvalidArgument("expected BY after GROUP");
+        }
+        if (!query.agg.enabled()) {
+          return Status::InvalidArgument("GROUP BY without an aggregate");
+        }
+        while (i < tokens.size() && tokens[i].size() > 1 &&
+               tokens[i][0] == '?') {
+          query.agg.group_by.push_back(tokens[i].substr(1));
+          ++i;
+        }
+        if (query.agg.group_by.empty()) {
+          return Status::InvalidArgument("empty GROUP BY");
+        }
+      }
+      // Optional ORDER BY DESC(?agg) — the top-k form; only the
+      // aggregate output may be the sort key, and a LIMIT must bound
+      // the heap.
+      bool ordered = false;
+      if (i < tokens.size() && ToUpper(tokens[i]) == "ORDER") {
+        ++i;
+        if (!expect("BY")) {
+          return Status::InvalidArgument("expected BY after ORDER");
+        }
+        if (!query.agg.enabled()) {
+          return Status::InvalidArgument("ORDER BY without an aggregate");
+        }
+        if (!expect("DESC")) {
+          return Status::InvalidArgument(
+              "only ORDER BY DESC(?agg) is supported");
+        }
+        if (i >= tokens.size() || tokens[i] != "(") {
+          return Status::InvalidArgument("expected ( after DESC");
+        }
+        ++i;
+        if (i >= tokens.size() || tokens[i] != "?" + query.agg.out_name) {
+          return Status::InvalidArgument(
+              "ORDER BY DESC must sort on the aggregate output");
+        }
+        ++i;
+        if (i >= tokens.size() || tokens[i] != ")") {
+          return Status::InvalidArgument("expected ) after DESC(?var");
+        }
+        ++i;
+        ordered = true;
+      }
+      // Optional trailing "LIMIT n".
       if (i < tokens.size() && ToUpper(tokens[i]) == "LIMIT") {
         ++i;
         long long n = 0;
@@ -682,6 +822,31 @@ StatusOr<SelectQuery> ParseSparql(std::string_view text,
         }
         query.limit = static_cast<size_t>(n);
         ++i;
+      }
+      if (ordered) {
+        if (query.limit == 0) {
+          return Status::InvalidArgument(
+              "ORDER BY DESC(?agg) requires LIMIT (top-k)");
+        }
+        query.agg.top_k = query.limit;
+        query.limit = 0;  // the bounded heap already emits exactly k
+      }
+      if (query.agg.enabled()) {
+        // Grouped output variables must be exactly the projected ones
+        // (order included), so the output columns are unambiguous.
+        if (!query.projection.empty() &&
+            query.projection != query.agg.group_by) {
+          return Status::InvalidArgument(
+              "projected variables must match GROUP BY");
+        }
+        // The output row is keyed by name; a collision would make the
+        // count shadow its own group column.
+        for (const std::string& g : query.agg.group_by) {
+          if (g == query.agg.out_name) {
+            return Status::InvalidArgument(
+                "aggregate output name collides with a grouped variable");
+          }
+        }
       }
       if (i < tokens.size()) {
         return Status::InvalidArgument("trailing tokens after query");

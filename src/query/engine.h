@@ -55,6 +55,14 @@ struct ExecutionOptions {
   /// Serving limits (deadline + row cap). Streaming executor only; the
   /// materializing ablation ignores them.
   ExecOptions exec;
+  /// Vector-at-a-time execution (E19 ablation): when > 0, Execute runs
+  /// the plan through the batch executor — scans fill id-column chunks
+  /// of this many rows, join levels probe a chunk at a time, and
+  /// selective join levels get a Bloom-filter semijoin prefilter built
+  /// from the smaller side (query/batch_exec.h). 0 = the Volcano
+  /// row-at-a-time pipeline. Plans (and the plan cache) are shared
+  /// between both modes.
+  size_t batch_size = 0;
   /// E17 ablation: when set, the scan/join operators materialize all
   /// three Terms of every visited triple through this dictionary — the
   /// pre-frame-store term-object path, heap churn included. Unset, the
@@ -72,6 +80,14 @@ struct QueryStats {
   uint64_t rows_streamed = 0;  ///< rows the root operator produced
   /// Terms pulled off the heap by the materialize_terms ablation.
   uint64_t terms_materialized = 0;
+  /// Groups the hash aggregator materialized (aggregate queries only).
+  uint64_t agg_groups = 0;
+  /// Id-column chunks the batch executor filled (batch mode only).
+  uint64_t batches = 0;
+  /// Bloom-semijoin prefilter probes / passes (batch mode only). A
+  /// probe that misses skips the index lookup for that outer row.
+  uint64_t bloom_probes = 0;
+  uint64_t bloom_hits = 0;
   bool plan_cache_hit = false;
   /// The ExecOptions deadline expired before the stream was exhausted:
   /// whatever rows were produced are a prefix, not the full result.
@@ -87,8 +103,34 @@ struct QueryStats {
 /// single-consumer; holds the source snapshot alive.
 class Cursor {
  public:
-  class Operator;     ///< defined in engine.cc
-  struct CancelState; ///< cooperative-cancellation state, in engine.cc
+  class Operator;  ///< defined in engine.cc
+
+  /// Shared cooperative-cancellation state for one execution. The scan
+  /// and join operators (row and batch mode) poll Expired() from their
+  /// inner loops, so a deadline cuts off even executions that churn
+  /// through intermediate triples without ever surfacing a row. The
+  /// clock is only consulted every kCheckStride polls (a steady_clock
+  /// read per triple would dominate scan cost); once expired, the
+  /// state latches.
+  struct CancelState {
+    static constexpr uint32_t kCheckStride = 256;
+
+    std::chrono::steady_clock::time_point deadline{};
+    uint32_t polls_until_check = 0;  ///< first poll checks the clock
+    bool armed = false;
+    bool expired = false;
+
+    bool Expired() {
+      if (!armed || expired) return expired;
+      if (polls_until_check > 0) {
+        --polls_until_check;
+        return false;
+      }
+      polls_until_check = kCheckStride - 1;
+      expired = std::chrono::steady_clock::now() >= deadline;
+      return expired;
+    }
+  };
 
   Cursor(Cursor&&) noexcept;
   Cursor& operator=(Cursor&&) noexcept;
@@ -110,7 +152,7 @@ class Cursor {
   friend class QueryEngine;
   Cursor(PlanPtr plan, std::shared_ptr<const rdf::TripleSource> snapshot,
          const rdf::TripleSource* source, const ExecutionOptions& options,
-         size_t limit);
+         size_t limit, size_t top_k);
 
   PlanPtr plan_;
   std::shared_ptr<const rdf::TripleSource> snapshot_;  ///< may be null
@@ -150,6 +192,9 @@ class QueryEngine {
   std::vector<Binding> ExecuteMaterialized(const SelectQuery& query,
                                            const ExecutionOptions& options,
                                            QueryStats* stats) const;
+  std::vector<Binding> ExecuteBatched(const SelectQuery& query,
+                                      const ExecutionOptions& options,
+                                      QueryStats* stats) const;
 
   const rdf::TripleSource* source_;
   PlanCache* cache_;
@@ -160,6 +205,13 @@ class QueryEngine {
 ///   SELECT ?x ?y WHERE { ?x <iri> ?y . <iri> ?p "literal" . }
 /// Terms are N-Triples syntax or ?variables. Unknown constant terms
 /// yield an empty-result query (they cannot match).
+///
+/// Aggregates (the analytics surface):
+///   SELECT ?g (COUNT(?x) AS ?n) WHERE { ... } GROUP BY ?g
+///     [ORDER BY DESC(?n)] [LIMIT k]
+/// COUNT(*), COUNT(?x) and COUNT(DISTINCT ?x) are supported; with
+/// ORDER BY DESC(agg) + LIMIT the query becomes a top-k GROUP BY
+/// answered with a bounded heap (AggSpec::top_k) instead of LIMIT.
 StatusOr<SelectQuery> ParseSparql(std::string_view text,
                                   const rdf::Dictionary& dict);
 

@@ -62,10 +62,36 @@ PlanPtr CompilePlan(const SelectQuery& query, const rdf::TripleSource& source,
     }
   }
 
+  // Aggregation: group slots + counted slot resolve against the same
+  // slot table; the output columns become [group vars..., agg name].
+  // A group/agg variable absent from WHERE is dropped (grouping) or
+  // degraded to COUNT(*) (counting), mirroring how the projection
+  // silently skips absent variables.
+  if (query.agg.enabled()) {
+    plan->agg.enabled = true;
+    plan->agg.func = query.agg.func;
+    for (const std::string& var : query.agg.group_by) {
+      auto it = slots.find(var);
+      if (it == slots.end()) continue;
+      plan->agg.group_slots.push_back(it->second);
+      plan->projection_slots.push_back(it->second);
+      plan->projection_names.push_back(var);
+    }
+    if (!query.agg.var.empty()) {
+      auto it = slots.find(query.agg.var);
+      if (it != slots.end()) plan->agg.agg_slot = it->second;
+    }
+    plan->projection_names.push_back(
+        query.agg.out_name.empty() ? "count" : query.agg.out_name);
+    if (plan->unmatchable) return plan;
+  }
+
   // Projection: named variables that occur in the WHERE clause (others
   // are silently absent, matching the map-based executor's behavior);
   // an empty projection selects every variable.
-  if (query.projection.empty()) {
+  if (plan->agg.enabled) {
+    // handled above
+  } else if (query.projection.empty()) {
     for (size_t i = 0; i < plan->var_names.size(); ++i) {
       plan->projection_slots.push_back(static_cast<int>(i));
       plan->projection_names.push_back(plan->var_names[i]);
@@ -171,6 +197,24 @@ std::string PlanCacheKey(const SelectQuery& query, bool reorder_patterns) {
     AppendTermKey(qp.p, &key);
     AppendTermKey(qp.o, &key);
     key.push_back('.');
+  }
+  // Aggregation shape (absent for plain queries, so their keys are
+  // unchanged): function, counted variable, output name, group-bys.
+  // top_k is deliberately left out, like LIMIT — it does not change
+  // the compiled plan, only the bounded heap at open time.
+  if (query.agg.enabled()) {
+    key.append("|AGG:");
+    key.push_back(query.agg.func == AggFunc::kCountDistinct ? 'C' : 'c');
+    key.push_back('(');
+    key.append(query.agg.var);
+    key.append(")->");
+    key.append(query.agg.out_name);
+    key.append(" BY");
+    for (const std::string& var : query.agg.group_by) {
+      key.push_back(' ');
+      key.push_back('?');
+      key.append(var);
+    }
   }
   return key;
 }

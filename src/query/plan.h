@@ -38,6 +38,30 @@ struct QueryPattern {
   QueryTerm s, p, o;
 };
 
+/// Aggregation function of an AggSpec.
+enum class AggFunc : uint8_t {
+  kNone,           ///< no aggregation: plain pattern matching
+  kCount,          ///< COUNT(*) / COUNT(?x): matched rows per group
+  kCountDistinct,  ///< COUNT(DISTINCT ?x): distinct values per group
+};
+
+/// Aggregation shape of a SELECT: GROUP BY variables, the aggregate
+/// function, and an optional top-k order (ORDER BY DESC(agg) LIMIT k).
+/// The function and grouping compile into the plan (they change the
+/// operator tree); top_k stays out of the plan-cache key like LIMIT —
+/// it only parameterizes the bounded heap at open time.
+struct AggSpec {
+  AggFunc func = AggFunc::kNone;
+  std::string var;       ///< counted variable; empty = COUNT(*)
+  std::string out_name;  ///< output column of the aggregate, e.g. "n"
+  std::vector<std::string> group_by;  ///< grouping variables, in order
+  /// ORDER BY DESC(out_name) LIMIT k: keep only the k largest groups
+  /// (count-descending, group-key ascending on ties), 0 = all groups.
+  size_t top_k = 0;
+
+  bool enabled() const { return func != AggFunc::kNone; }
+};
+
 /// SELECT ?vars WHERE { patterns } — the analytics workhorse over
 /// entity-relationship data (tutorial §4 "semantic search and
 /// analytics over entities and relations").
@@ -46,6 +70,7 @@ struct SelectQuery {
   std::vector<QueryPattern> where;
   bool distinct = false;  ///< drop duplicate projected rows
   size_t limit = 0;       ///< stop after this many rows (0 = no limit)
+  AggSpec agg;            ///< aggregation shape; default = none
 };
 
 /// How one position of a compiled scan is produced or consumed at
@@ -68,11 +93,22 @@ struct CompiledScan {
   Access s, p, o;
 };
 
+/// Compiled aggregation: the slot-level mirror of AggSpec. When
+/// enabled, the executor replaces Project/Distinct with a hash
+/// aggregator whose output rows are [group values..., count].
+struct CompiledAgg {
+  bool enabled = false;
+  AggFunc func = AggFunc::kNone;
+  std::vector<int> group_slots;  ///< slots of the GROUP BY columns
+  /// Slot of the counted variable; -1 = COUNT(*) (row count).
+  int agg_slot = -1;
+};
+
 /// A compiled, immutable, shareable query plan: the INLJ pipeline
 /// order plus the slot layout. Safe to execute from many threads at
 /// once (executors keep all mutable state in their own operator tree).
 /// LIMIT is deliberately NOT part of the plan, so queries differing
-/// only in LIMIT share a cache entry.
+/// only in LIMIT share a cache entry (and so is AggSpec::top_k).
 struct CompiledPlan {
   std::vector<CompiledScan> scans;     ///< leaf first, then join levels
   std::vector<std::string> var_names;  ///< slot -> variable name
@@ -80,6 +116,10 @@ struct CompiledPlan {
   std::vector<std::string> projection_names;  ///< output column names
   bool distinct = false;
   bool unmatchable = false;  ///< some constant term cannot match
+  /// Aggregation pipeline tail. With agg.enabled, projection_names is
+  /// [group vars..., agg out name] — one longer than projection_slots
+  /// (the aggregate column is computed, not copied from a slot).
+  CompiledAgg agg;
 };
 
 using PlanPtr = std::shared_ptr<const CompiledPlan>;

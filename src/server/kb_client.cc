@@ -227,10 +227,32 @@ StatusOr<QueryResult> KbClient::Query(const std::string& sparql,
   for (const Json& row : (*response)["rows"].items()) {
     std::vector<std::string> out;
     out.reserve(row.items().size());
-    for (const Json& cell : row.items()) out.push_back(cell.as_string());
+    for (const Json& cell : row.items()) {
+      // Aggregate count columns come back as JSON numbers (always
+      // integral); everything else is a rendered term string.
+      if (cell.is_number()) {
+        out.push_back(
+            std::to_string(static_cast<long long>(cell.as_number())));
+      } else {
+        out.push_back(cell.as_string());
+      }
+    }
     result.rows.push_back(std::move(out));
   }
   return result;
+}
+
+StatusOr<Json> KbClient::Analytics(const std::string& job, size_t top_k,
+                                   bool insert, bool no_cache) {
+  Json request = Json::Object();
+  request.Set("op", Json::Str("analytics"));
+  request.Set("job", Json::Str(job));
+  if (top_k > 0) {
+    request.Set("top_k", Json::Number(static_cast<double>(top_k)));
+  }
+  if (insert) request.Set("insert", Json::Bool(true));
+  if (no_cache) request.Set("no_cache", Json::Bool(true));
+  return Call(request);
 }
 
 StatusOr<Json> KbClient::EntityCard(const std::string& entity,

@@ -90,6 +90,12 @@ class KbClient {
                               double deadline_ms = -1, int64_t max_rows = -1,
                               bool no_cache = false);
   StatusOr<Json> EntityCard(const std::string& entity, size_t max_facts = 0);
+  /// Runs a server-side analytics job ("pagerank" or "class_stats").
+  /// top_k 0 keeps the server default; insert=true asserts the results
+  /// back into the KB as facts. The returned Json is the job summary
+  /// (nodes/edges/iterations or entities/classes, plus "top").
+  StatusOr<Json> Analytics(const std::string& job, size_t top_k = 0,
+                           bool insert = false, bool no_cache = false);
   /// Returns the number of freshly inserted facts.
   StatusOr<int64_t> InsertFacts(const std::vector<WireFact>& facts);
   StatusOr<Json> Health();

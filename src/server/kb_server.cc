@@ -13,6 +13,8 @@
 #include <chrono>
 #include <exception>
 
+#include "analytics/class_stats.h"
+#include "analytics/pagerank.h"
 #include "core/entity_card.h"
 #include "query/plan.h"
 #include "rdf/namespaces.h"
@@ -64,6 +66,7 @@ struct KbServer::Metrics {
   Counter& queries;
   Counter& entity_cards;
   Counter& inserted_facts;
+  Counter& analytics;
   Counter& deadline_exceeded;
   Counter& epoll_wakeups;
   Counter& pipelined_frames;
@@ -73,6 +76,7 @@ struct KbServer::Metrics {
   Gauge& open_connections;
   Histogram& request_ms;
   Histogram& query_ms;
+  Histogram& analytics_ms;
 
   static Metrics* Get() {
     static Metrics* m = [] {
@@ -84,6 +88,7 @@ struct KbServer::Metrics {
           r.counter("server.queries"),
           r.counter("server.entity_cards"),
           r.counter("server.inserted_facts"),
+          r.counter("server.analytics"),
           r.counter("server.deadline_exceeded"),
           r.counter("server.epoll_wakeups"),
           r.counter("server.pipelined_frames"),
@@ -93,6 +98,7 @@ struct KbServer::Metrics {
           r.gauge("server.open_connections"),
           r.histogram("server.request_ms"),
           r.histogram("server.query_ms"),
+          r.histogram("server.analytics_ms"),
       };
     }();
     return m;
@@ -496,6 +502,7 @@ std::string KbServer::HandleRequest(const Json& request) {
   if (op == "query") return HandleQuery(request);
   if (op == "entity_card") return HandleEntityCard(request);
   if (op == "insert_facts") return HandleInsertFacts(request);
+  if (op == "analytics") return HandleAnalytics(request);
   if (op == "health") return HandleHealth();
   if (op == "metrics") return HandleMetrics();
   metrics_->errors.Increment();
@@ -530,6 +537,11 @@ std::string KbServer::HandleQuery(const Json& request) {
   // never matches again — the safe direction. (Reading it after could
   // file pre-write rows under the post-write epoch: a stale read.)
   const uint64_t epoch = kb_->epoch();
+  // Held across parse, execute and render: the exclusive side
+  // (insert_facts, WithWriteLock) must quiesce the whole read path —
+  // a background checkpoint move-assigns the KB out from under any
+  // reader it has not excluded.
+  std::shared_lock<std::shared_mutex> lock(kb_mu_);
   auto parsed = kb_->ParseQuery(sparql);
   if (!parsed.ok()) return ErrorJson("bad_query", parsed.status().ToString());
 
@@ -560,6 +572,9 @@ std::string KbServer::HandleQuery(const Json& request) {
     cache_key = query::PlanCacheKey(*parsed, exec.reorder_patterns);
     cache_key += "|limit=" + std::to_string(parsed->limit);
     cache_key += "|cap=" + std::to_string(max_rows);
+    // The plan key deliberately omits top-k (the plan is k-agnostic);
+    // the result is not.
+    cache_key += "|topk=" + std::to_string(parsed->agg.top_k);
     if (auto body = result_cache_.Lookup(cache_key, epoch);
         body != nullptr) {
       return OkWithBody(*body, /*cached=*/true);
@@ -581,11 +596,16 @@ std::string KbServer::HandleQuery(const Json& request) {
   Json body = Json::Object();
   {
     // Term rendering reads the dictionary, which insert_facts grows
-    // under the exclusive side of this lock.
-    std::shared_lock<std::shared_mutex> lock(kb_mu_);
+    // under the exclusive side of the lock held above.
     const rdf::Dictionary& dict = kb_->store().dict();
     std::vector<std::string> columns = parsed->projection;
-    if (columns.empty() && !rows.empty()) {
+    if (parsed->agg.enabled()) {
+      // Aggregate results are [group values..., count]; the count
+      // column is a plain number, not a dictionary term.
+      columns = parsed->agg.group_by;
+      columns.push_back(parsed->agg.out_name.empty() ? "count"
+                                                     : parsed->agg.out_name);
+    } else if (columns.empty() && !rows.empty()) {
       for (const auto& [var, id] : rows.front()) columns.push_back(var);
     }
     Json columns_json = Json::Array();
@@ -593,10 +613,12 @@ std::string KbServer::HandleQuery(const Json& request) {
     Json rows_json = Json::Array();
     for (const query::Binding& row : rows) {
       Json row_json = Json::Array();
-      for (const std::string& column : columns) {
-        auto it = row.find(column);
+      for (size_t c = 0; c < columns.size(); ++c) {
+        auto it = row.find(columns[c]);
         if (it == row.end() || it->second == rdf::kInvalidTermId) {
           row_json.Append(Json::Null());
+        } else if (parsed->agg.enabled() && c + 1 == columns.size()) {
+          row_json.Append(Json::Number(static_cast<double>(it->second)));
         } else {
           const rdf::Term& term = dict.term(it->second);
           row_json.Append(Json::Str(
@@ -745,6 +767,154 @@ std::string KbServer::HandleInsertFacts(const Json& request) {
   response.Set("skipped", Json::Number(static_cast<double>(skipped)));
   response.Set("epoch", Json::Number(static_cast<double>(kb_->epoch())));
   return response.Dump();
+}
+
+ThreadPool* KbServer::AnalyticsPool() {
+  std::lock_guard<std::mutex> lock(analytics_pool_mu_);
+  if (analytics_pool_ == nullptr) {
+    int n = options_.analytics_threads > 0
+                ? options_.analytics_threads
+                : (options_.num_workers > 0 ? options_.num_workers : 1);
+    analytics_pool_ = std::make_unique<ThreadPool>(static_cast<size_t>(n));
+  }
+  return analytics_pool_.get();
+}
+
+std::string KbServer::HandleAnalytics(const Json& request) {
+  metrics_->analytics.Increment();
+  ScopedTimer timer(metrics_->analytics_ms);
+  const std::string job = request.GetString("job");
+  if (job != "pagerank" && job != "class_stats") {
+    return ErrorJson("bad_request", "unknown analytics job: " + job);
+  }
+  if (std::string stale = CheckMinEpoch(request); !stale.empty()) {
+    return stale;
+  }
+
+  size_t top_k = 10;
+  if (request["top_k"].is_number() && request["top_k"].as_number() > 0) {
+    top_k = static_cast<size_t>(request["top_k"].as_number());
+  }
+  const bool insert = request.GetBool("insert", false);
+  if (insert && options_.read_only) {
+    return ErrorJson("not_leader",
+                     "this replica is read-only; send writes to the leader");
+  }
+  double damping = request.GetNumber("damping", 0.85);
+  int iterations = static_cast<int>(request.GetNumber("iterations", 20));
+  const bool rollup = request.GetBool("rollup", true);
+
+  // Same caching discipline as queries: epoch read before the scan, a
+  // job-shaped key, every write batch invalidates by construction. An
+  // inserting run mutates the KB (and bumps the epoch), so it is never
+  // served from — or written to — the cache.
+  const uint64_t epoch = kb_->epoch();
+  const bool use_cache = result_cache_.enabled() && !insert &&
+                         !request.GetBool("no_cache", false);
+  std::string cache_key;
+  if (use_cache) {
+    cache_key = "analytics|" + job + "|k=" + std::to_string(top_k);
+    if (job == "pagerank") {
+      cache_key += "|d=" + std::to_string(damping) +
+                   "|it=" + std::to_string(iterations);
+    } else {
+      cache_key += rollup ? "|rollup" : "|direct";
+    }
+    if (auto body = result_cache_.Lookup(cache_key, epoch);
+        body != nullptr) {
+      return OkWithBody(*body, /*cached=*/true);
+    }
+  }
+
+  ThreadPool* pool = AnalyticsPool();
+  Json body = Json::Object();
+  body.Set("job", Json::Str(job));
+  analytics::PageRankResult pagerank;
+  analytics::ClassStatsResult class_stats;
+  {
+    // The scans and term rendering read the store and dictionary;
+    // shared side for the whole job so writers (and checkpoints)
+    // exclude it wholesale.
+    std::shared_lock<std::shared_mutex> lock(kb_mu_);
+    const rdf::Dictionary& dict = kb_->store().dict();
+    auto predicate = [&](std::string_view iri) {
+      return dict.Lookup(rdf::Term::Iri(std::string(iri)));
+    };
+    if (job == "pagerank") {
+      analytics::PageRankOptions opt;
+      opt.damping = damping;
+      opt.max_iterations = iterations;
+      opt.iri_objects_only = &dict;
+      for (std::string_view iri :
+           {rdf::kRdfType, rdf::kRdfsSubClassOf, rdf::kRdfsLabel,
+            rdf::kOwlSameAs}) {
+        rdf::TermId id = predicate(iri);
+        if (id != rdf::kInvalidTermId) opt.exclude_predicates.push_back(id);
+      }
+      pagerank = analytics::ComputePageRank(kb_->store(), opt, pool);
+      body.Set("nodes",
+               Json::Number(static_cast<double>(pagerank.nodes.size())));
+      body.Set("edges",
+               Json::Number(static_cast<double>(pagerank.num_edges)));
+      body.Set("iterations", Json::Number(pagerank.iterations));
+      body.Set("delta", Json::Number(pagerank.last_delta));
+      Json top = Json::Array();
+      for (const auto& [node, score] : pagerank.TopK(top_k)) {
+        Json entry = Json::Object();
+        entry.Set("entity",
+                  Json::Str(rdf::Abbreviate(dict.term(node).value())));
+        entry.Set("score", Json::Number(score));
+        top.Append(std::move(entry));
+      }
+      body.Set("top", std::move(top));
+    } else {
+      analytics::ClassStatsOptions opt;
+      opt.type_predicate = predicate(rdf::kRdfType);
+      opt.subclass_predicate = predicate(rdf::kRdfsSubClassOf);
+      opt.rollup = rollup;
+      class_stats = analytics::ComputeClassStats(kb_->store(), opt, pool);
+      body.Set("entities",
+               Json::Number(static_cast<double>(class_stats.num_entities)));
+      body.Set("classes",
+               Json::Number(static_cast<double>(class_stats.num_classes)));
+      Json top = Json::Array();
+      size_t emitted = 0;
+      for (const auto& [cls, count] : class_stats.counts) {
+        if (emitted++ >= top_k) break;
+        Json entry = Json::Object();
+        entry.Set("class",
+                  Json::Str(rdf::Abbreviate(dict.term(cls).value())));
+        entry.Set("count", Json::Number(static_cast<double>(count)));
+        top.Append(std::move(entry));
+      }
+      body.Set("top", std::move(top));
+    }
+  }
+  if (insert) {
+    const std::string default_property =
+        job == "pagerank" ? "pagerankScore" : "entityCount";
+    std::string property = request.GetString("property");
+    if (property.empty()) property = default_property;
+    size_t inserted = 0;
+    {
+      // Exclusive: the insert helpers intern literal terms through the
+      // raw dictionary handle, which requires quiesced readers. The
+      // materialized facts are a local, recomputable cache — they do
+      // not ride the replication log (followers rerun the job).
+      std::unique_lock<std::shared_mutex> lock(kb_mu_);
+      inserted = job == "pagerank"
+                     ? analytics::InsertPageRankFacts(pagerank, top_k,
+                                                      property, kb_)
+                     : analytics::InsertClassStatsFacts(class_stats,
+                                                        property, kb_);
+    }
+    metrics_->inserted_facts.Increment(inserted);
+    body.Set("inserted", Json::Number(static_cast<double>(inserted)));
+  }
+
+  std::string serialized = body.Dump();
+  if (use_cache) result_cache_.Insert(cache_key, epoch, serialized);
+  return OkWithBody(serialized, /*cached=*/false);
 }
 
 std::string KbServer::HandleHealth() const {

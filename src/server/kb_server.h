@@ -20,6 +20,7 @@
 #include "server/wire_fact.h"
 #include "util/metrics_registry.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace kb {
 namespace server {
@@ -34,6 +35,11 @@ namespace server {
 ///   entity_card  {"op":"entity_card","entity":canonical,"max_facts"?}
 ///   insert_facts {"op":"insert_facts","facts":[{"s","p","o"|"year",
 ///                 "confidence"?,"support"?}]}
+///   analytics    {"op":"analytics","job":"pagerank"|"class_stats",
+///                 "top_k"?,"damping"?,"iterations"?,"rollup"?,
+///                 "insert"?,"property"?,"no_cache"?} -> job summary +
+///                 top-k results; with insert=true the results are
+///                 also asserted back into the KB as facts
 ///   health       {"op":"health"}
 ///   metrics      {"op":"metrics"} -> text snapshot of the PR-1 registry
 ///
@@ -115,6 +121,9 @@ class KbServer {
     /// first, KB second, so a published epoch E always means "every
     /// write <= E is in the replication log".
     std::function<Status(const std::vector<WireFact>&)> pre_insert_hook;
+    /// Threads in the lazily created analytics pool (PageRank shards,
+    /// class-stats shards). 0 derives num_workers.
+    int analytics_threads = 0;
   };
 
   /// The server serves `kb` (borrowed; must outlive the server).
@@ -179,6 +188,9 @@ class KbServer {
   std::string HandleQuery(const Json& request);
   std::string HandleEntityCard(const Json& request);
   std::string HandleInsertFacts(const Json& request);
+  std::string HandleAnalytics(const Json& request);
+  /// The lazily created shared pool analytics jobs shard across.
+  ThreadPool* AnalyticsPool();
   std::string HandleHealth() const;
   std::string HandleMetrics() const;
 
@@ -209,9 +221,17 @@ class KbServer {
   std::condition_variable conn_cv_;  ///< signaled as connections close
   std::set<int> active_fds_;  ///< every live accepted fd (for Stop)
 
-  /// Reads touching the dictionary/taxonomy hold this shared; the
-  /// insert endpoint holds it exclusive.
+  /// Reads (query parse/execute/render, entity cards, analytics
+  /// scans) hold this shared for their full KB access; the insert
+  /// endpoint and WithWriteLock hold it exclusive. Because every read
+  /// path is inside the shared side, an exclusive holder has truly
+  /// quiesced the KB — which is what lets kbforge_serve run
+  /// KbVolume::Checkpoint (a KB move-assign) under WithWriteLock while
+  /// serving.
   mutable std::shared_mutex kb_mu_;
+
+  std::mutex analytics_pool_mu_;
+  std::unique_ptr<ThreadPool> analytics_pool_;
 
   std::thread acceptor_;
   std::vector<std::thread> workers_;

@@ -14,6 +14,8 @@
 //                 [--repl-port=N] [--repl-data-dir=PATH]
 //                 [--repl-shards=N]
 //                 [--snapshot=PATH] [--write-snapshot=PATH]
+//                 [--volume=DIR] [--checkpoint-interval-s=N]
+//                 [--checkpoint-threshold=N]
 //
 // The server runs on the epoll event core (DESIGN.md §5f):
 // --io-threads epoll loops own every connection fd while --workers
@@ -30,6 +32,18 @@
 //   kbforge_serve --write-snapshot=kb.kbsnap
 //   kbforge_serve --snapshot=kb.kbsnap
 //
+// --volume=DIR serves out of a KbVolume home directory (snapshot
+// generations + deltas): boot takes the newest valid snapshot plus
+// delta replay, an empty volume is seeded by the usual harvest, and
+// the delta is persisted on clean shutdown. With
+// --checkpoint-interval-s=N a background thread wakes every N seconds
+// and — once the delta has grown by --checkpoint-threshold triples
+// (default 5000) since the last checkpoint — compacts base+delta into
+// the next snapshot generation *while serving*: the checkpoint runs
+// under the server's exclusive KB lock, which quiesces every in-flight
+// read and write for the duration, and the result cache survives
+// because the swap preserves the write epoch.
+//
 // With --repl-port the process runs as a replication *leader*: every
 // accepted insert is appended to a WAL-backed replication log before
 // the KB applies it, and a WalShipper on that port streams the log to
@@ -43,6 +57,7 @@
 #include <signal.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -97,8 +112,9 @@ int main(int argc, char** argv) {
   long cache_bytes = 8 << 20, deadline_ms = 0, max_rows = 0;
   long persons = 400, seed = 4242, drain_ms = 2000;
   long repl_port = -1, repl_shards = 4;
+  long checkpoint_interval_s = 0, checkpoint_threshold = 5000;
   std::string repl_data_dir = "kbforge-repl-log";
-  std::string snapshot_path, write_snapshot_path;
+  std::string snapshot_path, write_snapshot_path, volume_dir;
   for (int i = 1; i < argc; ++i) {
     long v = 0;
     if (FlagValue(argv[i], "--port", &v)) port = v;
@@ -121,6 +137,11 @@ int main(int argc, char** argv) {
     else if (FlagString(argv[i], "--repl-data-dir", &repl_data_dir)) {
     } else if (FlagString(argv[i], "--snapshot", &snapshot_path)) {
     } else if (FlagString(argv[i], "--write-snapshot", &write_snapshot_path)) {
+    } else if (FlagString(argv[i], "--volume", &volume_dir)) {
+    } else if (FlagValue(argv[i], "--checkpoint-interval-s", &v)) {
+      checkpoint_interval_s = v;
+    } else if (FlagValue(argv[i], "--checkpoint-threshold", &v)) {
+      checkpoint_threshold = v;
     } else {
       ::fprintf(stderr,
                 "usage: %s [--port=N] [--workers=N] [--queue=N] "
@@ -130,7 +151,9 @@ int main(int argc, char** argv) {
                 "[--cache-bytes=N] [--deadline-ms=MS] [--max-rows=N] "
                 "[--persons=N] [--seed=N] [--drain-ms=MS] [--repl-port=N] "
                 "[--repl-data-dir=PATH] [--repl-shards=N] "
-                "[--snapshot=PATH] [--write-snapshot=PATH]\n",
+                "[--snapshot=PATH] [--write-snapshot=PATH] "
+                "[--volume=DIR] [--checkpoint-interval-s=N] "
+                "[--checkpoint-threshold=N]\n",
                 argv[0]);
       return 2;
     }
@@ -148,7 +171,37 @@ int main(int argc, char** argv) {
   ::sigaction(SIGTERM, &action, nullptr);
 
   core::HarvestResult result;
-  if (!snapshot_path.empty()) {
+  std::unique_ptr<core::KbVolume> volume;
+  bool booted = false;
+  if (!volume_dir.empty()) {
+    auto opened = core::KbVolume::Open(nullptr, volume_dir);
+    if (!opened.ok()) {
+      ::fprintf(stderr, "volume open failed: %s\n",
+                opened.status().ToString().c_str());
+      return 1;
+    }
+    volume = std::move(*opened);
+    auto loaded = volume->Load();
+    if (!loaded.ok()) {
+      ::fprintf(stderr, "volume load failed: %s\n",
+                loaded.status().ToString().c_str());
+      return 1;
+    }
+    for (const std::string& refused : loaded->refused) {
+      ::fprintf(stderr, "volume: refused %s\n", refused.c_str());
+    }
+    if (loaded->kb->NumTriples() > 0) {
+      result.kb = std::move(*loaded->kb);
+      booted = true;
+      ::printf("loaded volume %s gen %llu: %zu triples, %zu entities\n",
+               volume_dir.c_str(),
+               static_cast<unsigned long long>(loaded->generation),
+               result.kb.NumTriples(), result.kb.NumEntities());
+    }
+    // An empty volume falls through to the harvest (or --snapshot)
+    // boot below and is seeded from whatever that produced.
+  }
+  if (!booted && !snapshot_path.empty()) {
     // Instant-start: map the snapshot artifact instead of harvesting.
     auto start = std::chrono::steady_clock::now();
     auto snap = core::OpenKbSnapshot(nullptr, snapshot_path);
@@ -165,7 +218,9 @@ int main(int argc, char** argv) {
              "%zu classes\n",
              snapshot_path.c_str(), boot_ms, result.kb.NumTriples(),
              result.kb.NumEntities(), result.kb.NumClasses());
-  } else {
+    booted = true;
+  }
+  if (!booted) {
     corpus::WorldOptions world_options;
     world_options.seed = static_cast<uint64_t>(seed);
     world_options.num_persons = static_cast<size_t>(persons);
@@ -177,6 +232,16 @@ int main(int argc, char** argv) {
     ::printf("harvested KB: %zu triples, %zu entities, %zu classes\n",
              result.kb.NumTriples(), result.kb.NumEntities(),
              result.kb.NumClasses());
+    if (volume != nullptr) {
+      // Seed the empty volume so the next boot replays instead of
+      // re-harvesting.
+      Status seeded = volume->SaveDelta(result.kb);
+      if (!seeded.ok()) {
+        ::fprintf(stderr, "volume seed failed: %s\n",
+                  seeded.ToString().c_str());
+        return 1;
+      }
+    }
   }
   if (!write_snapshot_path.empty()) {
     Status write_status =
@@ -248,6 +313,51 @@ int main(int argc, char** argv) {
     ::printf("replication on 127.0.0.1:%d (log %s, %ld shards)\n",
              shipper->port(), repl_data_dir.c_str(), repl_shards);
   }
+
+  // Background checkpoint scheduler: every interval, if the delta has
+  // grown enough since the last published generation, compact it into
+  // the next snapshot under the server's exclusive KB lock (every
+  // read/write path takes the shared side, so the KB move-assign
+  // inside Checkpoint is quiesced).
+  std::atomic<bool> checkpoint_stop{false};
+  std::thread checkpointer;
+  if (volume != nullptr && checkpoint_interval_s > 0) {
+    checkpointer = std::thread([&] {
+      size_t last_checkpoint_triples = result.kb.NumTriples();
+      auto next_wake = std::chrono::steady_clock::now() +
+                       std::chrono::seconds(checkpoint_interval_s);
+      while (!checkpoint_stop.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        if (std::chrono::steady_clock::now() < next_wake) continue;
+        next_wake = std::chrono::steady_clock::now() +
+                    std::chrono::seconds(checkpoint_interval_s);
+        size_t now_triples = result.kb.NumTriples();
+        if (now_triples < last_checkpoint_triples +
+                              static_cast<size_t>(checkpoint_threshold)) {
+          continue;
+        }
+        server.WithWriteLock([&] {
+          auto start = std::chrono::steady_clock::now();
+          auto gen = volume->Checkpoint(&result.kb);
+          double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+          if (gen.ok()) {
+            last_checkpoint_triples = result.kb.NumTriples();
+            ::printf("checkpointed gen %llu (%zu triples) in %.1f ms\n",
+                     static_cast<unsigned long long>(*gen),
+                     last_checkpoint_triples, ms);
+          } else {
+            ::fprintf(stderr, "checkpoint failed: %s\n",
+                      gen.status().ToString().c_str());
+          }
+          ::fflush(stdout);
+        });
+      }
+    });
+    ::printf("checkpointing every %ld s once delta >= %ld triples\n",
+             checkpoint_interval_s, checkpoint_threshold);
+  }
   ::fflush(stdout);
 
   char byte;
@@ -266,7 +376,17 @@ int main(int argc, char** argv) {
     server.Stop();
   });
   server.Drain(static_cast<double>(drain_ms));
+  checkpoint_stop.store(true, std::memory_order_release);
+  if (checkpointer.joinable()) checkpointer.join();
   if (shipper != nullptr) shipper->Stop();
+  if (volume != nullptr) {
+    // Persist writes made since the last checkpoint; the server is
+    // stopped, so the KB is quiesced.
+    Status saved = volume->SaveDelta(result.kb);
+    if (!saved.ok()) {
+      ::fprintf(stderr, "delta save failed: %s\n", saved.ToString().c_str());
+    }
+  }
   // Unblock the force-stop watcher and reap it.
   OnSignal(0);
   force.join();

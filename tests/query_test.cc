@@ -1,9 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <map>
 #include <random>
+#include <set>
 
 #include "query/engine.h"
+#include "rdf/frame_store.h"
 #include "rdf/namespaces.h"
 #include "rdf/term.h"
 
@@ -514,6 +517,372 @@ TEST(QueryPropertyTest, ExecutorsAgreeOnRandomStoresAndQueries) {
           << "seed=" << seed << " trial=" << trial;
       EXPECT_EQ(Canonical(engine.Execute(q, written_order)), expected)
           << "seed=" << seed << " trial=" << trial;
+    }
+  }
+}
+
+// ------------------------------------------------------------ Aggregates
+
+TEST_F(QueryFixture, ParseAggregateGroupByAndExecute) {
+  auto parsed = ParseSparql(
+      "SELECT ?c (COUNT(?p) AS ?n) WHERE { ?p <worksFor> ?c . } GROUP BY ?c",
+      store_.dict());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->agg.func, AggFunc::kCount);
+  EXPECT_EQ(parsed->agg.var, "p");
+  EXPECT_EQ(parsed->agg.out_name, "n");
+  EXPECT_EQ(parsed->agg.group_by, (std::vector<std::string>{"c"}));
+  QueryEngine engine(&store_);
+  QueryStats stats;
+  auto rows = engine.Execute(*parsed, {}, &stats);
+  ASSERT_EQ(rows.size(), 2u);
+  std::map<TermId, TermId> counts;
+  for (const Binding& row : rows) counts[row.at("c")] = row.at("n");
+  EXPECT_EQ(counts[acme_], 2u);
+  EXPECT_EQ(counts[globex_], 1u);
+  EXPECT_EQ(stats.agg_groups, 2u);
+}
+
+TEST_F(QueryFixture, CountStarIsOneGlobalGroup) {
+  auto parsed = ParseSparql(
+      "SELECT (COUNT(*) AS ?total) WHERE { ?x <type> ?t . }", store_.dict());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  QueryEngine engine(&store_);
+  auto rows = engine.Execute(*parsed);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].at("total"), 5u);
+}
+
+TEST_F(QueryFixture, CountDistinctCollapsesDuplicates) {
+  auto parsed = ParseSparql(
+      "SELECT (COUNT(DISTINCT ?c) AS ?n) WHERE { ?p <worksFor> ?c . }",
+      store_.dict());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  QueryEngine engine(&store_);
+  auto rows = engine.Execute(*parsed);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].at("n"), 2u);  // acme, globex
+
+  auto plain = ParseSparql(
+      "SELECT (COUNT(?c) AS ?n) WHERE { ?p <worksFor> ?c . }",
+      store_.dict());
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(engine.Execute(*plain)[0].at("n"), 3u);
+}
+
+TEST_F(QueryFixture, TopKGroupByIsOrderedAndBounded) {
+  auto parsed = ParseSparql(
+      "SELECT ?c (COUNT(?p) AS ?n) WHERE { ?p <worksFor> ?c . } "
+      "GROUP BY ?c ORDER BY DESC(?n) LIMIT 1",
+      store_.dict());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->agg.top_k, 1u);
+  EXPECT_EQ(parsed->limit, 0u);  // the bounded heap subsumes LIMIT
+  QueryEngine engine(&store_);
+  auto rows = engine.Execute(*parsed);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].at("c"), acme_);
+  EXPECT_EQ(rows[0].at("n"), 2u);
+
+  // k larger than the group count: every group, still count-descending.
+  auto all = ParseSparql(
+      "SELECT ?c (COUNT(?p) AS ?n) WHERE { ?p <worksFor> ?c . } "
+      "GROUP BY ?c ORDER BY DESC(?n) LIMIT 10",
+      store_.dict());
+  ASSERT_TRUE(all.ok());
+  auto ordered = engine.Execute(*all);
+  ASSERT_EQ(ordered.size(), 2u);
+  EXPECT_EQ(ordered[0].at("c"), acme_);
+  EXPECT_EQ(ordered[1].at("c"), globex_);
+}
+
+TEST_F(QueryFixture, AggregateParseErrors) {
+  const rdf::Dictionary& dict = store_.dict();
+  // GROUP BY / ORDER BY require an aggregate.
+  EXPECT_FALSE(ParseSparql(
+      "SELECT ?c WHERE { ?p <worksFor> ?c . } GROUP BY ?c", dict).ok());
+  EXPECT_FALSE(ParseSparql(
+      "SELECT ?c WHERE { ?p <worksFor> ?c . } ORDER BY DESC(?c) LIMIT 1",
+      dict).ok());
+  // Top-k needs a LIMIT to bound the heap.
+  EXPECT_FALSE(ParseSparql(
+      "SELECT ?c (COUNT(?p) AS ?n) WHERE { ?p <worksFor> ?c . } "
+      "GROUP BY ?c ORDER BY DESC(?n)", dict).ok());
+  // Sort key must be the aggregate output.
+  EXPECT_FALSE(ParseSparql(
+      "SELECT ?c (COUNT(?p) AS ?n) WHERE { ?p <worksFor> ?c . } "
+      "GROUP BY ?c ORDER BY DESC(?c) LIMIT 1", dict).ok());
+  // SELECT DISTINCT does not combine with an aggregate.
+  EXPECT_FALSE(ParseSparql(
+      "SELECT DISTINCT (COUNT(?p) AS ?n) WHERE { ?p <worksFor> ?c . }",
+      dict).ok());
+  // COUNT(DISTINCT *) is not a thing.
+  EXPECT_FALSE(ParseSparql(
+      "SELECT (COUNT(DISTINCT *) AS ?n) WHERE { ?p <worksFor> ?c . }",
+      dict).ok());
+  // Projection must equal GROUP BY.
+  EXPECT_FALSE(ParseSparql(
+      "SELECT ?p (COUNT(?p) AS ?n) WHERE { ?p <worksFor> ?c . } GROUP BY ?c",
+      dict).ok());
+  // Projected aggregate without GROUP BY cannot keep plain variables.
+  EXPECT_FALSE(ParseSparql(
+      "SELECT ?c (COUNT(?p) AS ?n) WHERE { ?p <worksFor> ?c . }",
+      dict).ok());
+  // Output name colliding with a grouped variable.
+  EXPECT_FALSE(ParseSparql(
+      "SELECT ?c (COUNT(?p) AS ?c) WHERE { ?p <worksFor> ?c . } GROUP BY ?c",
+      dict).ok());
+  // Only one aggregate per query.
+  EXPECT_FALSE(ParseSparql(
+      "SELECT (COUNT(?p) AS ?n) (COUNT(?c) AS ?m) "
+      "WHERE { ?p <worksFor> ?c . }", dict).ok());
+}
+
+TEST_F(QueryFixture, AggregatePlanKeyDistinctFromPlainShape) {
+  // Regression: an aggregate and a plain query over the same WHERE
+  // shape must not share a plan (or, downstream, a result-cache key).
+  auto plain = ParseSparql(
+      "SELECT ?c WHERE { ?p <worksFor> ?c . }", store_.dict());
+  auto agg = ParseSparql(
+      "SELECT ?c (COUNT(?p) AS ?n) WHERE { ?p <worksFor> ?c . } GROUP BY ?c",
+      store_.dict());
+  ASSERT_TRUE(plain.ok() && agg.ok());
+  EXPECT_NE(PlanCacheKey(*plain, true), PlanCacheKey(*agg, true));
+
+  QueryEngine engine(&store_);
+  QueryStats plain_stats, agg_stats;
+  engine.Execute(*plain, {}, &plain_stats);
+  auto rows = engine.Execute(*agg, {}, &agg_stats);
+  EXPECT_FALSE(agg_stats.plan_cache_hit);
+  ASSERT_FALSE(rows.empty());
+  EXPECT_TRUE(rows[0].count("n"));
+
+  // Top-k is not part of the plan: the k-variant reuses the agg plan.
+  auto topk = ParseSparql(
+      "SELECT ?c (COUNT(?p) AS ?n) WHERE { ?p <worksFor> ?c . } "
+      "GROUP BY ?c ORDER BY DESC(?n) LIMIT 1",
+      store_.dict());
+  ASSERT_TRUE(topk.ok());
+  EXPECT_EQ(PlanCacheKey(*agg, true), PlanCacheKey(*topk, true));
+  QueryStats topk_stats;
+  engine.Execute(*topk, {}, &topk_stats);
+  EXPECT_TRUE(topk_stats.plan_cache_hit);
+}
+
+// ------------------------------------------------------- Batch execution
+
+TEST_F(QueryFixture, BatchModeMatchesRowModeOnJoins) {
+  SelectQuery q;
+  q.projection = {"who"};
+  q.where.push_back({QueryTerm::Var("who"), QueryTerm::Bound(works_for_),
+                     QueryTerm::Var("c")});
+  q.where.push_back({QueryTerm::Var("c"), QueryTerm::Bound(located_in_),
+                     QueryTerm::Bound(springfield_)});
+  QueryEngine engine(&store_);
+  auto expected = Canonical(engine.Execute(q));
+  for (size_t batch : {1u, 2u, 1024u}) {
+    ExecutionOptions opts;
+    opts.batch_size = batch;
+    QueryStats stats;
+    EXPECT_EQ(Canonical(engine.Execute(q, opts, &stats)), expected)
+        << "batch_size=" << batch;
+    EXPECT_GE(stats.batches, 1u);
+  }
+}
+
+TEST_F(QueryFixture, BatchBloomPrefilterSkipsNonMatchingOuterRows) {
+  // Written order (reordering off): the unselective scan feeds the
+  // join, the selective level gets a Bloom prefilter built from its
+  // one-row inner side.
+  SelectQuery q;
+  q.projection = {"who"};
+  q.where.push_back({QueryTerm::Var("who"), QueryTerm::Bound(works_for_),
+                     QueryTerm::Var("c")});
+  q.where.push_back({QueryTerm::Var("c"), QueryTerm::Bound(located_in_),
+                     QueryTerm::Bound(springfield_)});
+  QueryEngine engine(&store_);
+  ExecutionOptions opts;
+  opts.batch_size = 16;
+  opts.reorder_patterns = false;
+  QueryStats stats;
+  auto rows = engine.Execute(q, opts, &stats);
+  EXPECT_EQ(rows.size(), 2u);
+  // Three outer rows probed; the two acme rows pass, globex is
+  // eliminated without ever touching the index.
+  EXPECT_EQ(stats.bloom_probes, 3u);
+  EXPECT_EQ(stats.bloom_hits, 2u);
+}
+
+TEST_F(QueryFixture, BatchModeMatchesRowModeOnAggregates) {
+  for (const char* sparql :
+       {"SELECT ?c (COUNT(?p) AS ?n) WHERE { ?p <worksFor> ?c . } "
+        "GROUP BY ?c",
+        "SELECT (COUNT(DISTINCT ?c) AS ?n) WHERE { ?p <worksFor> ?c . }",
+        "SELECT ?c (COUNT(?p) AS ?n) WHERE { ?p <worksFor> ?c . } "
+        "GROUP BY ?c ORDER BY DESC(?n) LIMIT 1"}) {
+    auto parsed = ParseSparql(sparql, store_.dict());
+    ASSERT_TRUE(parsed.ok()) << parsed.status();
+    QueryEngine engine(&store_);
+    auto expected = Canonical(engine.Execute(*parsed));
+    ExecutionOptions opts;
+    opts.batch_size = 2;
+    EXPECT_EQ(Canonical(engine.Execute(*parsed, opts)), expected) << sparql;
+  }
+}
+
+// -------------------------------------------- Aggregate property tests
+
+/// Reference aggregate evaluator: brute-force join rows, then fold by
+/// hand. Mirrors the planner's documented semantics for variables
+/// absent from WHERE (dropped from grouping; COUNT degrades to *).
+std::vector<std::vector<TermId>> BruteForceAgg(const rdf::TripleStore& store,
+                                               const SelectQuery& q) {
+  SelectQuery inner = q;
+  inner.agg = AggSpec{};
+  inner.projection.clear();
+  inner.distinct = false;
+  inner.limit = 0;
+  std::vector<Binding> rows = BruteForce(store, inner);
+
+  std::vector<std::string> group_vars;
+  for (const std::string& var : q.agg.group_by) {
+    if (!rows.empty() && rows.front().count(var)) group_vars.push_back(var);
+    if (rows.empty()) group_vars.push_back(var);  // moot: no rows
+  }
+  bool count_var_known =
+      !q.agg.var.empty() && !rows.empty() && rows.front().count(q.agg.var);
+  std::map<std::vector<TermId>, uint64_t> counts;
+  std::map<std::vector<TermId>, std::set<TermId>> distincts;
+  for (const Binding& row : rows) {
+    std::vector<TermId> key;
+    for (const std::string& var : group_vars) key.push_back(row.at(var));
+    if (q.agg.func == AggFunc::kCountDistinct && count_var_known) {
+      distincts[key].insert(row.at(q.agg.var));
+    } else {
+      ++counts[key];
+    }
+  }
+  if (q.agg.func == AggFunc::kCountDistinct && count_var_known) {
+    for (const auto& [key, values] : distincts) {
+      counts[key] = values.size();
+    }
+  }
+  std::vector<std::vector<TermId>> out;
+  for (const auto& [key, count] : counts) {
+    std::vector<TermId> row = key;
+    row.push_back(static_cast<TermId>(count));
+    out.push_back(std::move(row));
+  }
+  if (q.agg.top_k > 0) {
+    std::sort(out.begin(), out.end(),
+              [](const std::vector<TermId>& a, const std::vector<TermId>& b) {
+                if (a.back() != b.back()) return a.back() > b.back();
+                return std::vector<TermId>(a.begin(), a.end() - 1) <
+                       std::vector<TermId>(b.begin(), b.end() - 1);
+              });
+    if (out.size() > q.agg.top_k) out.resize(q.agg.top_k);
+  }
+  return out;
+}
+
+/// Engine output -> [group values..., count] rows in group_by order.
+std::vector<std::vector<TermId>> AggRows(const std::vector<Binding>& rows,
+                                         const SelectQuery& q) {
+  std::vector<std::vector<TermId>> out;
+  for (const Binding& row : rows) {
+    std::vector<TermId> flat;
+    for (const std::string& var : q.agg.group_by) {
+      auto it = row.find(var);
+      if (it != row.end()) flat.push_back(it->second);
+    }
+    flat.push_back(row.at(q.agg.out_name));
+    out.push_back(std::move(flat));
+  }
+  return out;
+}
+
+TEST(QueryPropertyTest, AggregatesMatchBruteForceAcrossModesAndStores) {
+  for (uint32_t seed : {3u, 11u, 29u}) {
+    std::mt19937 rng(seed);
+    rdf::TripleStore store;
+    std::vector<TermId> entities, predicates;
+    for (int i = 0; i < 8; ++i) {
+      entities.push_back(
+          store.dict().Intern(rdf::Term::Iri("e" + std::to_string(i))));
+    }
+    for (int i = 0; i < 3; ++i) {
+      predicates.push_back(
+          store.dict().Intern(rdf::Term::Iri("p" + std::to_string(i))));
+    }
+    auto pick = [&rng](const std::vector<TermId>& pool) {
+      return pool[rng() % pool.size()];
+    };
+    for (int i = 0; i < 50; ++i) {
+      store.Add({pick(entities), pick(predicates), pick(entities)});
+    }
+
+    // Mirror the store into a FrameStore (same term ids), so every
+    // trial also runs against the mmap-shaped source.
+    rdf::FrameStoreBuilder builder;
+    for (TermId id = 1; id <= store.dict().size(); ++id) {
+      builder.AddTerm(store.dict().term(id));
+    }
+    for (const rdf::Triple& t : store.MatchFullScan(rdf::TriplePattern())) {
+      builder.AddTriple(t);
+    }
+    auto bytes = builder.Serialize();
+    ASSERT_TRUE(bytes.ok()) << bytes.status();
+    auto owner = std::make_shared<std::string>(std::move(*bytes));
+    auto frame = rdf::FrameStore::Attach(owner->data(), owner->size(), owner);
+    ASSERT_TRUE(frame.ok()) << frame.status();
+
+    QueryEngine store_engine(&store);
+    QueryEngine frame_engine(frame->get());
+    const char* vars[] = {"x", "y", "z"};
+    for (int trial = 0; trial < 30; ++trial) {
+      SelectQuery q;
+      size_t num_patterns = 1 + rng() % 3;
+      std::set<std::string> used_vars;
+      for (size_t i = 0; i < num_patterns; ++i) {
+        auto term = [&](bool predicate_pos) {
+          if (rng() % 2) {
+            const char* v = vars[rng() % 3];
+            used_vars.insert(v);
+            return QueryTerm::Var(v);
+          }
+          return QueryTerm::Bound(predicate_pos ? pick(predicates)
+                                                : pick(entities));
+        };
+        q.where.push_back({term(false), term(true), term(false)});
+      }
+      if (used_vars.empty()) continue;  // no aggregate over zero vars
+      std::vector<std::string> pool(used_vars.begin(), used_vars.end());
+      q.agg.func = (rng() % 2) ? AggFunc::kCount : AggFunc::kCountDistinct;
+      q.agg.var = pool[rng() % pool.size()];
+      q.agg.out_name = "agg_count";
+      size_t num_groups = rng() % pool.size();
+      for (size_t g = 0; g < num_groups; ++g) {
+        q.agg.group_by.push_back(pool[g]);
+      }
+      bool top_k = (rng() % 3) == 0;
+      if (top_k) q.agg.top_k = 1 + rng() % 3;
+
+      auto expected = BruteForceAgg(store, q);
+      auto check = [&](QueryEngine& engine, size_t batch_size,
+                       const char* label) {
+        ExecutionOptions opts;
+        opts.batch_size = batch_size;
+        auto got = AggRows(engine.Execute(q, opts), q);
+        if (q.agg.top_k == 0) std::sort(got.begin(), got.end());
+        std::vector<std::vector<TermId>> want = expected;
+        if (q.agg.top_k == 0) std::sort(want.begin(), want.end());
+        EXPECT_EQ(got, want) << label << " seed=" << seed
+                             << " trial=" << trial;
+      };
+      check(store_engine, 0, "store/row");
+      check(store_engine, 3, "store/batch");
+      check(frame_engine, 0, "frame/row");
+      check(frame_engine, 7, "frame/batch");
     }
   }
 }

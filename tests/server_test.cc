@@ -14,11 +14,14 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <filesystem>
+#include <map>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "core/kb_snapshot.h"
 #include "core/knowledge_base.h"
 #include "server/json.h"
 #include "server/kb_client.h"
@@ -713,6 +716,235 @@ TEST(KbServerEventCoreTest, IdleConnectionsAreReapedAndKeepAliveRecovers) {
   ASSERT_TRUE(client.Health().ok());
   std::this_thread::sleep_for(std::chrono::milliseconds(400));
   EXPECT_TRUE(client.Health().ok());
+}
+
+// ------------------------------------------------------------ analytics
+
+TEST(KbServerAnalyticsTest, PageRankAndClassStatsRunOverTheWire) {
+  TestServer ts;
+  KbClient client = ts.Connect();
+
+  auto pagerank = client.Analytics("pagerank");
+  ASSERT_TRUE(pagerank.ok()) << pagerank.status();
+  EXPECT_FALSE(pagerank->GetBool("cached"));
+  // worksFor contributes the only entity->entity edges (type/subclass/
+  // label are excluded, foundedIn's literal object is filtered).
+  EXPECT_EQ(pagerank->GetNumber("edges"), 3);
+  EXPECT_GT(pagerank->GetNumber("nodes"), 0);
+  ASSERT_GT((*pagerank)["top"].items().size(), 0u);
+  // Acme has two in-links, every other node at most one.
+  EXPECT_EQ((*pagerank)["top"].items()[0].GetString("entity"),
+            "kb:Acme_Corp");
+
+  auto stats = client.Analytics("class_stats");
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->GetNumber("entities"), 5);  // 3 people + 2 companies
+  // person, company, and their superclasses agent, organization.
+  EXPECT_EQ(stats->GetNumber("classes"), 4);
+  bool agent_rolled_up = false;
+  for (const Json& entry : (*stats)["top"].items()) {
+    if (entry.GetString("class") == "kbc:agent") {
+      agent_rolled_up = entry.GetNumber("count") == 3;
+    }
+  }
+  EXPECT_TRUE(agent_rolled_up);
+
+  auto bad = client.Analytics("centrality");
+  EXPECT_TRUE(bad.status().IsInvalidArgument());
+}
+
+TEST(KbServerAnalyticsTest, ResultIsCachedUntilAWriteLands) {
+  TestServer ts;
+  KbClient client = ts.Connect();
+  ASSERT_TRUE(client.Analytics("pagerank").ok());
+  auto warm = client.Analytics("pagerank");
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->GetBool("cached"));
+  // Different job shape: separate entry, not a collision.
+  auto other_k = client.Analytics("pagerank", /*top_k=*/3);
+  ASSERT_TRUE(other_k.ok());
+  EXPECT_FALSE(other_k->GetBool("cached"));
+  // no_cache bypasses.
+  auto bypass = client.Analytics("pagerank", 0, false, /*no_cache=*/true);
+  ASSERT_TRUE(bypass.ok());
+  EXPECT_FALSE(bypass->GetBool("cached"));
+
+  WireFact fact;
+  fact.s = "Dee_Flynn";
+  fact.p = "worksFor";
+  fact.o = "Globex";
+  ASSERT_TRUE(client.InsertFacts({fact}).ok());
+
+  // Read-after-write: the insert bumped the epoch, so the pre-write
+  // analytics entry must not be served — and the fresh run sees the
+  // new edge.
+  auto fresh = client.Analytics("pagerank");
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_FALSE(fresh->GetBool("cached"));
+  EXPECT_EQ(fresh->GetNumber("edges"), 4);
+}
+
+TEST(KbServerAnalyticsTest, InsertBackMakesScoresQueryable) {
+  TestServer ts;
+  KbClient client = ts.Connect();
+  uint64_t epoch_before = ts.kb.epoch();
+  auto run = client.Analytics("pagerank", /*top_k=*/2, /*insert=*/true);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_EQ(run->GetNumber("inserted"), 2);
+  EXPECT_GT(ts.kb.epoch(), epoch_before);
+
+  // The materialized scores are ordinary facts: SPARQL finds them.
+  auto rows = client.Query("SELECT ?e WHERE { ?e <" +
+                           rdf::PropertyIri("pagerankScore") + "> ?s . }");
+  ASSERT_TRUE(rows.ok()) << rows.status();
+  EXPECT_EQ(rows->rows.size(), 2u);
+
+  // An inserting run mutates the KB, so it must never be served from
+  // the cache even when repeated back-to-back.
+  auto again = client.Analytics("pagerank", 2, true);
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(again->GetBool("cached"));
+
+  // read_only followers reject the mutation.
+  KbServer::Options follower_options;
+  follower_options.read_only = true;
+  TestServer follower(follower_options);
+  KbClient fclient = follower.Connect();
+  auto denied = fclient.Analytics("pagerank", 2, true);
+  EXPECT_TRUE(denied.status().IsUnavailable());
+  EXPECT_TRUE(fclient.Analytics("pagerank").ok());
+}
+
+TEST(KbServerAnalyticsTest, AggregateQueriesFlowThroughCacheAndEpochs) {
+  TestServer ts;
+  KbClient client = ts.Connect();
+  const std::string agg_sparql =
+      "SELECT ?c (COUNT(?p) AS ?n) WHERE { ?p <" +
+      rdf::PropertyIri("worksFor") + "> ?c . } GROUP BY ?c";
+
+  auto cold = client.Query(agg_sparql);
+  ASSERT_TRUE(cold.ok()) << cold.status();
+  EXPECT_EQ(cold->columns, (std::vector<std::string>{"c", "n"}));
+  ASSERT_EQ(cold->rows.size(), 2u);
+  std::map<std::string, std::string> counts;
+  for (const auto& row : cold->rows) counts[row[0]] = row[1];
+  EXPECT_EQ(counts["kb:Acme_Corp"], "2");
+  EXPECT_EQ(counts["kb:Globex"], "1");
+  EXPECT_TRUE(client.Query(agg_sparql)->cached);
+
+  // Insert invalidates the cached aggregate; the next read recounts.
+  WireFact fact;
+  fact.s = "Dee_Flynn";
+  fact.p = "worksFor";
+  fact.o = "Globex";
+  ASSERT_TRUE(client.InsertFacts({fact}).ok());
+  auto fresh = client.Query(agg_sparql);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_FALSE(fresh->cached);
+  counts.clear();
+  for (const auto& row : fresh->rows) counts[row[0]] = row[1];
+  EXPECT_EQ(counts["kb:Globex"], "2");
+}
+
+TEST(KbServerAnalyticsTest, AggregateShapesGetDistinctCacheEntries) {
+  // Regression: a plain query, its aggregate, and two top-k variants
+  // share a WHERE clause — none may collide in the result cache.
+  TestServer ts;
+  KbClient client = ts.Connect();
+  const std::string where =
+      " WHERE { ?p <" + rdf::PropertyIri("worksFor") + "> ?c . }";
+  const std::string plain = "SELECT ?c" + where;
+  const std::string agg =
+      "SELECT ?c (COUNT(?p) AS ?n)" + where + " GROUP BY ?c";
+  const std::string top1 = agg + " ORDER BY DESC(?n) LIMIT 1";
+  const std::string top2 = agg + " ORDER BY DESC(?n) LIMIT 2";
+
+  ASSERT_TRUE(client.Query(plain).ok());
+  auto agg_cold = client.Query(agg);
+  ASSERT_TRUE(agg_cold.ok());
+  EXPECT_FALSE(agg_cold->cached);  // plain's entry must not be served
+  EXPECT_EQ(agg_cold->rows.size(), 2u);
+
+  auto top1_cold = client.Query(top1);
+  ASSERT_TRUE(top1_cold.ok());
+  EXPECT_FALSE(top1_cold->cached);  // differs from the un-k'd aggregate
+  ASSERT_EQ(top1_cold->rows.size(), 1u);
+  EXPECT_EQ(top1_cold->rows[0][0], "kb:Acme_Corp");
+
+  auto top2_cold = client.Query(top2);
+  ASSERT_TRUE(top2_cold.ok());
+  EXPECT_FALSE(top2_cold->cached);  // k is part of the key
+  EXPECT_EQ(top2_cold->rows.size(), 2u);
+
+  // Each shape is individually cached under its own key.
+  EXPECT_TRUE(client.Query(plain)->cached);
+  EXPECT_TRUE(client.Query(agg)->cached);
+  EXPECT_TRUE(client.Query(top1)->cached);
+  EXPECT_TRUE(client.Query(top2)->cached);
+}
+
+// ----------------------------------------------------------- checkpoint
+
+TEST(KbServerCheckpointTest, CheckpointUnderConcurrentReadsIsSafe) {
+  // The serve_main background checkpointer in miniature: queries and
+  // inserts in flight while WithWriteLock + KbVolume::Checkpoint
+  // move-assigns the KB. The shared lock held across the whole read
+  // path is what makes this safe; TSan is the oracle for the rest.
+  std::string dir = (std::filesystem::temp_directory_path() /
+                     "kbforge_server_ckpt")
+                        .string();
+  std::filesystem::remove_all(dir);
+  auto volume = core::KbVolume::Open(nullptr, dir);
+  ASSERT_TRUE(volume.ok()) << volume.status();
+
+  TestServer ts;
+  ASSERT_TRUE((*volume)->SaveDelta(ts.kb).ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> readers;
+  for (int i = 0; i < 4; ++i) {
+    readers.emplace_back([&, i] {
+      KbClient client = ts.Connect();
+      int n = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        bool no_cache = (++n + i) % 2 == 0;
+        auto result =
+            client.Query(WorksForQuery("Acme_Corp"), -1, -1, no_cache);
+        if (!result.ok() || result->rows.size() < 2) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+
+  KbClient writer = ts.Connect();
+  uint64_t last_generation = 0;
+  for (int round = 0; round < 3; ++round) {
+    WireFact fact;
+    fact.s = "Churner_" + std::to_string(round);
+    fact.p = "worksFor";
+    fact.o = "Acme_Corp";
+    ASSERT_TRUE(writer.InsertFacts({fact}).ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    ts.server.WithWriteLock([&] {
+      auto generation = (*volume)->Checkpoint(&ts.kb);
+      ASSERT_TRUE(generation.ok()) << generation.status();
+      EXPECT_GT(*generation, last_generation);
+      last_generation = *generation;
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : readers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // The checkpointed volume reboots to the post-insert state.
+  auto loaded = (*volume)->Load();
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->generation, last_generation);
+  EXPECT_EQ(loaded->kb->NumTriples(), ts.kb.NumTriples());
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace
